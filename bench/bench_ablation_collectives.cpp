@@ -1,0 +1,73 @@
+// E15b — collective-algorithm ablation: ring vs. recursive-doubling
+// allreduce (measured wire bytes on SimMPI + modeled times across node
+// counts and message sizes), and the PS architectures, exposing the
+// latency/bandwidth crossover that the Level 3 schemes inherit.
+#include <iostream>
+
+#include "common.hpp"
+#include "dist/netmodel.hpp"
+#include "dist/simmpi.hpp"
+
+namespace d500::bench {
+
+int run() {
+  print_bench_header("ablation: collective algorithms", bench_seed(), "");
+
+  std::cout << "\n-- Measured wire bytes per rank (SimMPI, world=8) --\n";
+  Table w({"vector", "ring [B]", "recursive doubling [B]", "ratio"});
+  for (std::size_t elems : {256u, 4096u, 65536u}) {
+    std::uint64_t ring_bytes = 0, rd_bytes = 0;
+    {
+      SimMpi world(8);
+      world.run([&](Communicator& c) {
+        std::vector<float> v(elems, 1.0f);
+        c.allreduce_sum_ring(v);
+      });
+      ring_bytes = world.bytes_sent(0);
+    }
+    {
+      SimMpi world(8);
+      world.run([&](Communicator& c) {
+        std::vector<float> v(elems, 1.0f);
+        c.allreduce_sum_rd(v);
+      });
+      rd_bytes = world.bytes_sent(0);
+    }
+    w.add_row({std::to_string(elems * 4) + " B",
+               std::to_string(ring_bytes), std::to_string(rd_bytes),
+               Table::num(static_cast<double>(rd_bytes) / ring_bytes, 2) +
+                   "x"});
+  }
+  std::cout << w.to_text();
+
+  std::cout << "\n-- Modeled allreduce time (alpha-beta), 64 nodes --\n";
+  const NetParams net{};
+  Table m({"message", "ring [ms]", "rec. doubling [ms]", "winner"});
+  for (double bytes : {4e3, 4e4, 4e5, 4e6, 1e8}) {
+    const double ring = t_ring_allreduce(net, 64, bytes) * 1e3;
+    const double rd = t_rd_allreduce(net, 64, bytes) * 1e3;
+    m.add_row({Table::num(bytes / 1e3, 0) + " KB", Table::num(ring, 3),
+               Table::num(rd, 3), ring < rd ? "ring" : "rec-doubling"});
+  }
+  std::cout << m.to_text();
+
+  std::cout << "\n-- Parameter-server architectures vs allreduce (modeled, "
+               "102 MB gradients) --\n";
+  Table ps({"nodes", "ring allreduce [ms]", "central PS [ms]",
+            "sharded PS [ms]"});
+  for (int n : {8, 16, 64, 256}) {
+    ps.add_row({std::to_string(n),
+                Table::num(t_ring_allreduce(net, n, 102e6) * 1e3, 0),
+                Table::num(t_central_ps(net, n, 102e6) * 1e3, 0),
+                Table::num(t_sharded_ps(net, n, 102e6) * 1e3, 0)});
+  }
+  std::cout << ps.to_text();
+
+  std::cout << "\nshape checks: rec-doubling wins small messages, ring wins "
+               "large; central PS degrades linearly.\n";
+  return 0;
+}
+
+}  // namespace d500::bench
+
+int main() { return d500::bench::run(); }

@@ -1,0 +1,81 @@
+// E15a — kernel-backend ablation (DESIGN.md decision 5): GEMM
+// naive -> blocked -> packed and Conv2D direct -> im2col -> Winograd,
+// quantifying the backend diversity that lets the framework sims differ
+// and the DeepBench baseline play its role.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/rng.hpp"
+#include "ops/conv2d.hpp"
+#include "ops/gemm.hpp"
+
+namespace d500::bench {
+
+int run() {
+  print_bench_header("ablation: kernel backends", bench_seed(), "");
+  Rng rng(bench_seed());
+  const int reruns = scale_pick(3, 7, 15);
+
+  std::cout << "\n-- GEMM backends (GFLOP/s) --\n";
+  Table g({"size", "naive", "blocked", "packed", "best speedup"});
+  for (const GemmSize& s :
+       {GemmSize{128, 128, 128}, GemmSize{256, 256, 256},
+        GemmSize{640, 64, 640}, GemmSize{448, 64, 624}}) {
+    Tensor A({s.M, s.K}), B({s.K, s.N}), C({s.M, s.N});
+    A.fill_uniform(rng, -1, 1);
+    B.fill_uniform(rng, -1, 1);
+    const double flops = static_cast<double>(gemm_flops(s.M, s.N, s.K));
+    std::vector<std::string> row{std::to_string(s.M) + "x" +
+                                 std::to_string(s.N) + "x" +
+                                 std::to_string(s.K)};
+    double slowest = 0, fastest = 1e30;
+    for (GemmBackend b :
+         {GemmBackend::kNaive, GemmBackend::kBlocked, GemmBackend::kPacked}) {
+      std::vector<double> times;
+      gemm(b, s.M, s.N, s.K, 1.0f, A.data(), B.data(), 0.0f, C.data());
+      for (int r = 0; r < reruns; ++r) {
+        Timer t;
+        gemm(b, s.M, s.N, s.K, 1.0f, A.data(), B.data(), 0.0f, C.data());
+        times.push_back(t.seconds());
+      }
+      const double med = median(times);
+      slowest = std::max(slowest, med);
+      fastest = std::min(fastest, med);
+      row.push_back(Table::num(flops / med / 1e9, 2));
+    }
+    row.push_back(Table::num(slowest / fastest, 1) + "x");
+    g.add_row(std::move(row));
+  }
+  std::cout << g.to_text();
+
+  std::cout << "\n-- Conv2D backends (ms, 3x3 stride 1 pad 1) --\n";
+  Table c({"size", "direct", "im2col", "winograd"});
+  for (const ConvSize& s :
+       {ConvSize{4, 16, 28, 28, 32, 3, 1, 1},
+        ConvSize{4, 32, 14, 14, 64, 3, 1, 1},
+        ConvSize{2, 8, 56, 56, 16, 3, 1, 1}}) {
+    Tensor X({s.N, s.C, s.H, s.W}), W({s.K, s.C, 3, 3}), b({s.K});
+    X.fill_uniform(rng, -1, 1);
+    W.fill_uniform(rng, -1, 1);
+    std::vector<std::string> row{std::to_string(s.N) + "x" +
+                                 std::to_string(s.C) + "x" +
+                                 std::to_string(s.H) + "x" +
+                                 std::to_string(s.W) + ",K" +
+                                 std::to_string(s.K)};
+    for (ConvBackend bk : {ConvBackend::kDirect, ConvBackend::kIm2col,
+                           ConvBackend::kWinograd}) {
+      Conv2DParams p{3, 3, 1, 1, 1};
+      Conv2DOp op(p, bk);
+      Tensor Y(op.output_shapes({X.shape(), W.shape(), b.shape()})[0]);
+      const auto t = time_operator(op, {&X, &W, &b}, {&Y}, reruns);
+      row.push_back(Table::num(t.median * 1e3, 2));
+    }
+    c.add_row(std::move(row));
+  }
+  std::cout << c.to_text();
+  return 0;
+}
+
+}  // namespace d500::bench
+
+int main() { return d500::bench::run(); }

@@ -1,0 +1,125 @@
+// E2 / Fig. 6b — Level 0 matrix-multiplication benchmark, same protocol as
+// bench_l0_conv over the DeepBench GEMM size list; highlighted size
+// M=K=2560, N=64 (scaled 1/4 in M and K).
+#include <iostream>
+
+#include "common.hpp"
+#include "core/metrics.hpp"
+#include "core/rng.hpp"
+#include "frameworks/framework.hpp"
+#include "ops/gemm.hpp"
+
+namespace d500::bench {
+namespace {
+
+struct GemmData {
+  Tensor a, b, c;
+};
+
+GemmData make_data(const GemmSize& s, Rng& rng) {
+  GemmData d;
+  d.a = Tensor({s.M, s.K});
+  d.b = Tensor({s.K, s.N});
+  d.c = Tensor({s.M, s.N});
+  d.a.fill_uniform(rng, -1, 1);
+  d.b.fill_uniform(rng, -1, 1);
+  return d;
+}
+
+struct Series {
+  std::vector<double> medians;
+  void add(const SampleSummary& s) { medians.push_back(s.median * 1e3); }
+  std::string distribution() const {
+    const auto s = summarize(medians);
+    return Table::num(s.p25, 3) + " / " + Table::num(s.median, 3) + " / " +
+           Table::num(s.p75, 3);
+  }
+};
+
+}  // namespace
+
+int run() {
+  print_bench_header("L0 GEMM (Fig. 6b)", bench_seed(),
+                     "sizes=DeepBench-derived (dims scaled 1/4)");
+  Rng rng(bench_seed());
+  const auto sizes = deepbench_gemm_sizes();
+  const int reruns = bench_reruns();
+  const int sweep_reruns = scale_pick(3, 7, 15);
+
+  Series deepbench_series;
+  std::map<std::string, Series> native_series, wrapped_series;
+  std::map<std::string, double> worst_linf;
+
+  for (const GemmSize& s : sizes) {
+    GemmData d = make_data(s, rng);
+    const ConstTensors in{&d.a, &d.b};
+    const MutTensors out{&d.c};
+
+    // Reference: naive triple loop (Deep500 reference implementation).
+    auto ref_op = OperatorRegistry::instance().create(
+        "MatMul", Attrs{{"backend", std::string("naive")}});
+    Tensor ref_c(d.c.shape());
+    ref_op->forward(in, {&ref_c});
+    const std::vector<float> reference(ref_c.data(),
+                                       ref_c.data() + ref_c.elements());
+
+    auto db = deepbench_kernel("MatMul", {});
+    deepbench_series.add(time_operator(*db, in, out, sweep_reruns));
+
+    for (const Framework* fw : all_frameworks()) {
+      auto native = fw->native_operator("MatMul", {});
+      native_series[fw->name()].add(
+          time_operator(*native, in, out, sweep_reruns));
+      NormMetric linf(reference, NormKind::kLInf);
+      linf.observe(d.c.span());
+      worst_linf[fw->name()] =
+          std::max(worst_linf[fw->name()], linf.summary());
+
+      auto wrapped = custom_op_from_native(*fw, "MatMul", {});
+      wrapped_series[fw->name()].add(
+          time_operator(*wrapped, in, out, sweep_reruns));
+    }
+  }
+
+  std::cout << "\n-- All kernels (per-size medians, ms: p25 / median / p75) --\n";
+  Table dist({"framework", "native", "deep500-wrapped"});
+  dist.add_row({"deepbench", deepbench_series.distribution(), "-"});
+  for (const Framework* fw : all_frameworks())
+    dist.add_row({fw->name(), native_series[fw->name()].distribution(),
+                  wrapped_series[fw->name()].distribution()});
+  std::cout << dist.to_text();
+
+  std::cout << "\n-- Highlighted size M=K=640, N=64 (paper: 2560 scaled 1/4), "
+            << reruns << " runs --\n";
+  const GemmSize hs = highlighted_gemm_size();
+  GemmData d = make_data(hs, rng);
+  const ConstTensors in{&d.a, &d.b};
+  const MutTensors out{&d.c};
+  auto db = deepbench_kernel("MatMul", {});
+  const SampleSummary db_time = time_operator(*db, in, out, reruns);
+
+  Table high({"configuration", "median [95% CI]", "vs native"});
+  high.add_row({"deepbench (bare kernel)", ms(db_time), "-"});
+  for (const Framework* fw : all_frameworks()) {
+    auto native = fw->native_operator("MatMul", {});
+    auto wrapped = custom_op_from_native(*fw, "MatMul", {});
+    const SampleSummary tn = time_operator(*native, in, out, reruns);
+    const SampleSummary tw = time_operator(*wrapped, in, out, reruns);
+    high.add_row({fw->name() + " native", ms(tn), "-"});
+    high.add_row({fw->name() + " deep500", ms(tw),
+                  ci_overlap(tn, tw) ? "within CI (indistinguishable)"
+                                     : "outside CI"});
+  }
+  std::cout << high.to_text();
+
+  std::cout << "\n-- Correctness: worst L-inf vs Deep500 reference --\n";
+  Table norms({"framework", "linf"});
+  for (const auto& [name, v] : worst_linf)
+    norms.add_row({name, Table::num(v, 6)});
+  std::cout << norms.to_text();
+  return 0;
+}
+
+}  // namespace d500::bench
+
+int main() { return d500::bench::run(); }

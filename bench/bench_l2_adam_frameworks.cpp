@@ -1,0 +1,143 @@
+// E9 / Fig. 10 — Adam across frameworks: native Adam vs. Deep500 reference
+// Adam over both the TFSim and CF2Sim executors (four configurations, as
+// in the paper's "Adam TF / Adam CF2 / Adam TF Deep500 / Adam CF2
+// Deep500"). All must converge to comparable accuracy; the native fused
+// (CF2) implementation is the fastest, the composed TF one pays for
+// temporaries, the Deep500 references are slower still but correct.
+#include <iostream>
+#include <map>
+
+#include "common.hpp"
+#include "data/dataset.hpp"
+#include "data/sampler.hpp"
+#include "frameworks/framework.hpp"
+#include "models/builders.hpp"
+#include "train/optimizers.hpp"
+#include "train/trainer.hpp"
+
+namespace d500::bench {
+
+int run() {
+  const std::int64_t batch = 16;
+  const std::int64_t epochs = scale_pick<std::int64_t>(2, 3, 8);
+  print_bench_header("L2 Adam across frameworks (Fig. 10)", bench_seed(),
+                     std::to_string(epochs) + " epochs");
+
+  DatasetSpec spec = cifar10_like_spec();
+  spec.height = spec.width = 16;
+  spec.train_size = scale_pick<std::int64_t>(256, 512, 2048);
+  ProceduralImageDataset train(spec, bench_seed());
+  ProceduralImageDataset test(spec, bench_seed(), 0.25f, 1 << 20);
+  const Model model = models::resnet(batch, 3, 16, 16, spec.classes, 8, 1,
+                                     bench_seed());
+
+  struct Config {
+    std::string label;
+    const Framework* fw;
+    bool reference;
+  };
+  const std::vector<Config> configs = {
+      {"Adam TF (native)", &tfsim(), false},
+      {"Adam CF2 (native)", &cf2sim(), false},
+      {"Adam TF Deep500", &tfsim(), true},
+      {"Adam CF2 Deep500", &cf2sim(), true},
+  };
+
+  Table t({"configuration", "final acc", "final loss", "train time [s]"});
+  std::map<std::string, double> times, accs;
+  for (const Config& cfg : configs) {
+    auto exec = cfg.fw->compile(model);
+    std::unique_ptr<Optimizer> opt;
+    if (cfg.reference)
+      opt = std::make_unique<AdamOptimizer>(*exec, 0.005);
+    else
+      opt = cfg.fw->native_adam(*exec, 0.005);
+    opt->set_loss_value("loss");
+    ShuffleSampler sampler(train.size(), batch, bench_seed());
+    Runner runner(*opt, train, test, sampler, batch);
+    const RunStats stats = runner.run(epochs);
+    times[cfg.label] = stats.epochs.back().cumulative_seconds;
+    accs[cfg.label] = stats.final_test_accuracy();
+    t.add_row({cfg.label, Table::num(accs[cfg.label], 3),
+               Table::num(stats.epochs.back().train_loss, 3),
+               Table::num(times[cfg.label], 2)});
+  }
+  std::cout << "\n" << t.to_text();
+
+  // Isolated update cost: on a parameter-dominated model (2.4M-element
+  // layer, batch 1) the fused-vs-composed difference is not drowned by
+  // forward/backward. This is the Use Case 1 effect (Caffe2's single
+  // fused kernel vs TensorFlow's operator composition) at C++ speed; the
+  // paper's 5x reference gap additionally includes Python dispatch, which
+  // this reproduction models in the Level 3 reference-path cost model.
+  std::cout << "\n-- Isolated update cost (2.4M params, batch 1, median of "
+               "10 steps) --\n";
+  std::map<std::string, double> step_ms;
+  {
+    const Model big = models::mlp(1, 1200, {2000}, 10, bench_seed());
+    Table u({"optimizer", "step [ms]"});
+    struct UCfg {
+      std::string label;
+      std::function<std::unique_ptr<Optimizer>(GraphExecutor&)> make;
+    };
+    for (const UCfg& c : std::vector<UCfg>{
+             {"fused Adam (CF2-style)",
+              [](GraphExecutor& e) { return cf2sim().native_adam(e, 1e-3); }},
+             {"composed Adam (TF-style)",
+              [](GraphExecutor& e) { return tfsim().native_adam(e, 1e-3); }},
+             {"reference Adam (Deep500)",
+              [](GraphExecutor& e) {
+                return std::make_unique<AdamOptimizer>(e, 1e-3);
+              }}}) {
+      auto exec = cf2sim().compile(big);
+      auto opt = c.make(*exec);
+      opt->set_loss_value("loss");
+      Rng rng(bench_seed());
+      TensorMap feeds;
+      Tensor d({1, 1200});
+      d.fill_uniform(rng, -1, 1);
+      feeds["data"] = std::move(d);
+      feeds["labels"] = Tensor({1});
+      opt->train(feeds);  // warmup
+      std::vector<double> ts;
+      for (int s = 0; s < 10; ++s) {
+        Timer tm;
+        opt->train(feeds);
+        ts.push_back(tm.seconds());
+      }
+      step_ms[c.label] = median(ts) * 1e3;
+      u.add_row({c.label, Table::num(step_ms[c.label], 2)});
+    }
+    std::cout << u.to_text();
+  }
+
+  double min_acc = 1.0, max_acc = 0.0;
+  for (const auto& [_, a] : accs) {
+    min_acc = std::min(min_acc, a);
+    max_acc = std::max(max_acc, a);
+  }
+  std::cout << "\nshape checks (paper Fig. 10):\n"
+            << "  all four configurations reach comparable accuracy "
+               "(spread "
+            << Table::num(max_acc - min_acc, 3) << " <= 0.15): "
+            << (max_acc - min_acc <= 0.15 ? "yes" : "NO") << "\n"
+            << "  Deep500 reference achieves high accuracy even where "
+               "implementations differ: "
+            << (min_acc > 0.5 ? "yes" : "NO") << "\n"
+            << "  fused CF2 native faster than composed TF native "
+               "(end-to-end): "
+            << (times["Adam CF2 (native)"] < times["Adam TF (native)"]
+                    ? "yes"
+                    : "NO")
+            << "\n  fused beats composed on the isolated update: "
+            << (step_ms["fused Adam (CF2-style)"] <
+                        step_ms["composed Adam (TF-style)"]
+                    ? "yes"
+                    : "NO")
+            << "\n";
+  return 0;
+}
+
+}  // namespace d500::bench
+
+int main() { return d500::bench::run(); }

@@ -1,0 +1,171 @@
+// E6 / Fig. 8 — dataset ingestion latency.
+//
+// Left panel: batch-128 load latency of real data vs. synthetic generation
+// for the four small datasets (raw binary containers; MNIST-class preloaded
+// in memory, CIFAR-class streamed from disk) and for imagenet-like (codec-
+// encoded records).
+// Right panel: imagenet-like under 1 vs. many shards on 1 vs. 64 nodes —
+// measured local decode/read cost plus the PFS analytic model for the
+// multi-node I/O (see DESIGN.md substitutions).
+#include <filesystem>
+#include <map>
+#include <iostream>
+
+#include "common.hpp"
+#include "data/dataset.hpp"
+#include "data/pfs_model.hpp"
+#include "data/pipeline.hpp"
+#include "data/sampler.hpp"
+
+namespace d500::bench {
+namespace {
+
+constexpr std::int64_t kBatch = 128;
+
+SampleSummary time_batches(const std::function<void()>& load_one, int reps) {
+  load_one();  // warmup
+  std::vector<double> times;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    load_one();
+    times.push_back(t.seconds());
+  }
+  return summarize(times);
+}
+
+}  // namespace
+
+int run() {
+  print_bench_header("L2 dataset latency (Fig. 8)", bench_seed(),
+                     "batch=128");
+  const int reps = scale_pick(3, 8, 20);
+  const std::string dir = scratch_dir() + "/bench_datasets";
+  std::filesystem::create_directories(dir);
+
+  struct Row {
+    DatasetSpec spec;
+    bool preload;
+  };
+  std::vector<Row> small = {
+      {mnist_like_spec(), true},
+      {fashion_mnist_like_spec(), true},
+      {cifar10_like_spec(), false},
+      {cifar100_like_spec(), false},
+  };
+  for (auto& r : small)
+    r.spec.train_size = scale_pick<std::int64_t>(512, 1024, 4096);
+
+  std::cout << "\n-- Small datasets: real (binary container) vs synthetic "
+               "generation --\n";
+  Table left({"dataset", "real [ms]", "synth [ms]", "faster"});
+  for (const Row& row : small) {
+    ProceduralImageDataset src(row.spec, bench_seed());
+    // Materialize only the binary container for this panel.
+    std::vector<Record> records;
+    for (std::int64_t i = 0; i < src.size(); ++i) {
+      std::int64_t label;
+      const RawImage img = src.raw(i, label);
+      records.push_back({img.pixels, label});
+    }
+    const std::string bin_path = dir + "/" + row.spec.name + ".bin";
+    write_binary_container(bin_path, records);
+
+    BinaryFileDataset real(bin_path, row.spec, row.preload);
+    SyntheticDataset synth(row.spec, bench_seed());
+    ShuffleSampler sampler(real.size(), kBatch, bench_seed());
+
+    const auto t_real = time_batches(
+        [&] { load_batch(real, sampler.next_batch()); }, reps);
+    const auto t_synth = time_batches(
+        [&] { load_batch(synth, sampler.next_batch()); }, reps);
+    left.add_row({row.spec.name + (row.preload ? " (in-mem)" : " (streamed)"),
+                  Table::num(t_real.median * 1e3, 3),
+                  Table::num(t_synth.median * 1e3, 3),
+                  t_real.median < t_synth.median ? "real" : "synth"});
+    std::filesystem::remove(bin_path);
+  }
+  std::cout << left.to_text();
+
+  // --- imagenet-like: encoded records, decode dominates ---
+  std::cout << "\n-- imagenet-like (codec-encoded records) --\n";
+  DatasetSpec inet = imagenet_like_spec();
+  inet.train_size = scale_pick<std::int64_t>(256, 512, 2048);
+  ProceduralImageDataset src(inet, bench_seed());
+  const int shards = scale_pick(4, 16, 64);
+  const MaterializedDataset mat =
+      materialize_dataset(src, dir, "imagenet_like", shards);
+
+  RecordPipeline pipe({mat.record_path}, inet, /*shuffle_buffer=*/256,
+                      DecoderKind::kTurboSim, bench_seed());
+  const auto t_real =
+      time_batches([&] { pipe.next_batch(kBatch); }, reps);
+  RecordPipeline pipe_slow({mat.record_path}, inet, /*shuffle_buffer=*/256,
+                           DecoderKind::kPilSim, bench_seed());
+  const auto t_slow = time_batches(
+      [&] { pipe_slow.next_batch(kBatch); }, std::max(reps / 2, 1));
+  SyntheticDataset synth(inet, bench_seed());
+  ShuffleSampler sampler(inet.train_size, kBatch, bench_seed());
+  const auto t_synth = time_batches(
+      [&] { load_batch(synth, sampler.next_batch()); }, reps);
+  Table inet_t({"generator", "latency [ms]"});
+  inet_t.add_row({"real (record + fast decoder)",
+                  Table::num(t_real.median * 1e3, 2)});
+  inet_t.add_row({"real (record + slow decoder)",
+                  Table::num(t_slow.median * 1e3, 2)});
+  inet_t.add_row({"synthetic", Table::num(t_synth.median * 1e3, 2)});
+  std::cout << inet_t.to_text();
+  const double ratio = t_real.median / t_synth.median;
+  const double ratio_slow = t_slow.median / t_synth.median;
+  std::cout << "real/synth ratio: " << Table::num(ratio, 1)
+            << "x (fast decoder), " << Table::num(ratio_slow, 1)
+            << "x (slow decoder)\n"
+            << "(paper: ~2 orders of magnitude — its synthetic data is "
+               "GPU-generated, nearly free; both paths run on the CPU "
+               "here, see EXPERIMENTS.md)\n";
+
+  // --- Right panel: sharding x nodes through the PFS model ---
+  std::cout << "\n-- ImageNet on a parallel file system (modeled at paper "
+               "scale; Fig. 8 right) --\n";
+  // Paper-scale I/O: each node ingests its own batch of 128 full-size
+  // ImageNet JPEGs (~110 KB each -> ~14 MB per node per batch). Under
+  // random sampling from 1024 shards a 128-image batch touches ~120
+  // distinct shard files (coupon collection), vs. 1 extent of the single
+  // segmented file.
+  const std::uint64_t paper_bytes_per_node = 128ull * 110 * 1024;
+  PFSParams pfs;
+  Table right({"config", "modeled I/O latency [ms]"});
+  struct Cfg {
+    const char* label;
+    int nodes;
+    std::int64_t files;
+    std::int64_t touched;
+  };
+  std::map<std::string, double> io_ms;
+  for (const Cfg& c :
+       {Cfg{"1 file  + 1 node", 1, 1, 1},
+        Cfg{"1024 files + 1 node", 1, 1024, 120},
+        Cfg{"1 file  + 64 nodes", 64, 1, 1},
+        Cfg{"1024 files + 64 nodes", 64, 1024, 120}}) {
+    const auto est = pfs_batch_latency(pfs, c.nodes, c.files, c.touched,
+                                       paper_bytes_per_node);
+    io_ms[c.label] = est.seconds * 1e3;
+    right.add_row({c.label, Table::num(est.seconds * 1e3, 2)});
+  }
+  std::cout << right.to_text();
+
+  std::cout << "\nshape check: 1 file faster on 1 node: "
+            << (io_ms["1 file  + 1 node"] < io_ms["1024 files + 1 node"]
+                    ? "yes"
+                    : "NO")
+            << "; 1024 files faster on 64 nodes: "
+            << (io_ms["1024 files + 64 nodes"] < io_ms["1 file  + 64 nodes"]
+                    ? "yes"
+                    : "NO")
+            << " (paper: ~10% faster)\n";
+  std::filesystem::remove_all(dir);
+  return 0;
+}
+
+}  // namespace d500::bench
+
+int main() { return d500::bench::run(); }

@@ -1,0 +1,125 @@
+// E7 / Table III — ImageNet decoding latency breakdown.
+//
+// Containers x decoders, sequential vs shuffled, 1 vs 128 images:
+//   Indexed tar + pil_sim       (paper: tar + PIL)
+//   Indexed tar + turbo_sim     (paper: tar + libjpeg-turbo)
+//   Record file + native        (paper: TFRecord + TF native decoder —
+//                                sequential reads, pseudo-shuffle buffer,
+//                                batch decode)
+#include <filesystem>
+#include <iostream>
+
+#include "common.hpp"
+#include "data/dataset.hpp"
+#include "data/pipeline.hpp"
+
+namespace d500::bench {
+namespace {
+
+double time_once(const std::function<void()>& fn, int reps) {
+  fn();  // warmup
+  std::vector<double> times;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    fn();
+    times.push_back(t.seconds());
+  }
+  return median(times) * 1e3;  // ms
+}
+
+}  // namespace
+
+int run() {
+  print_bench_header("L2 decode breakdown (Table III)", bench_seed(),
+                     "imagenet-like records");
+  const int reps = scale_pick(3, 5, 10);
+  const std::string dir = scratch_dir() + "/bench_decode";
+  std::filesystem::create_directories(dir);
+
+  DatasetSpec inet = imagenet_like_spec();
+  inet.train_size = scale_pick<std::int64_t>(256, 512, 1024);
+  ProceduralImageDataset src(inet, bench_seed());
+  const MaterializedDataset mat =
+      materialize_dataset(src, dir, "inet", /*shards=*/1);
+
+  Rng rng(bench_seed());
+  Tensor sample({inet.channels, inet.height, inet.width});
+  std::int64_t label = 0;
+
+  auto tar_row = [&](DecoderKind dec, bool shuffled, std::int64_t count) {
+    IndexedTarDataset ds(mat.tar_path, inet, dec);
+    std::int64_t seq = 0;
+    return time_once(
+        [&] {
+          for (std::int64_t k = 0; k < count; ++k) {
+            const std::int64_t i =
+                shuffled ? static_cast<std::int64_t>(
+                               rng.below(static_cast<std::uint64_t>(ds.size())))
+                         : (seq++ % ds.size());
+            ds.get(i, sample, label);
+          }
+        },
+        reps);
+  };
+
+  auto record_row = [&](bool shuffled, std::int64_t count) {
+    RecordPipeline pipe({mat.record_path}, inet,
+                        shuffled ? inet.train_size / 2 : 0,
+                        DecoderKind::kTurboSim, bench_seed());
+    return time_once([&] { pipe.next_batch(count); }, reps);
+  };
+
+  Table t({"data type", "tar+pil_sim [ms]", "tar+turbo_sim [ms]",
+           "record+native [ms]"});
+  struct Case {
+    const char* label;
+    bool shuffled;
+    std::int64_t count;
+  };
+  double tar_pil_128s = 0, tar_turbo_128s = 0, rec_128s = 0, rec_1 = 0,
+         tar_turbo_1 = 0;
+  for (const Case& c : {Case{"1 image (sequential)", false, 1},
+                        Case{"1 image (shuffled)", true, 1},
+                        Case{"128 images (sequential)", false, 128},
+                        Case{"128 images (shuffled)", true, 128}}) {
+    const double pil = tar_row(DecoderKind::kPilSim, c.shuffled, c.count);
+    const double turbo = tar_row(DecoderKind::kTurboSim, c.shuffled, c.count);
+    const double rec = record_row(c.shuffled, c.count);
+    t.add_row({c.label, Table::num(pil, 2), Table::num(turbo, 2),
+               Table::num(rec, 2)});
+    if (c.shuffled && c.count == 128) {
+      tar_pil_128s = pil;
+      tar_turbo_128s = turbo;
+      rec_128s = rec;
+    }
+    if (!c.shuffled && c.count == 1) {
+      rec_1 = rec;
+      tar_turbo_1 = turbo;
+    }
+  }
+  std::cout << t.to_text();
+
+  std::cout << "\nshape checks (paper Table III):\n"
+            << "  record+native fastest (or tied within 5%) at 128 "
+               "shuffled: "
+            << (rec_128s <= tar_turbo_128s * 1.05 && rec_128s < tar_pil_128s
+                    ? "yes"
+                    : "NO")
+            << "\n  turbo decoder beats pil on tar at 128 shuffled ("
+            << Table::num(tar_pil_128s / tar_turbo_128s, 0)
+            << "x; paper tar PIL/turbo ~ 1.06x at 128 shuffled, 18x at 1 "
+               "seq): "
+            << (tar_turbo_128s < tar_pil_128s ? "yes" : "NO")
+            << "\n  single-image turbo competitive with record pipeline: "
+            << (tar_turbo_1 < rec_1 * 4 ? "yes" : "NO")
+            << "\n  note: the paper's record-vs-tar gap at 128 shuffled "
+               "(139 vs 6434 ms) comes from parallel decode threads and "
+               "Lustre seek costs; on one core with a warm page cache the "
+               "two decode-bound paths tie (see EXPERIMENTS.md)\n";
+  std::filesystem::remove_all(dir);
+  return 0;
+}
+
+}  // namespace d500::bench
+
+int main() { return d500::bench::run(); }

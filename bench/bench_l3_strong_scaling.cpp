@@ -1,0 +1,75 @@
+// E11 / Fig. 12 (left) — strong scaling on 8-64 nodes at global minibatch
+// 1024, ResNet-50-scale parameters. Per DESIGN.md, iteration times combine
+// the measured-compute/alpha-beta virtual-time model (the container has one
+// core); functional correctness of every scheme is covered by the SimMPI
+// test suite, and volumes by bench_l3_comm_volume.
+#include <iostream>
+#include <map>
+
+#include "common.hpp"
+#include "dist/distsim.hpp"
+
+namespace d500::bench {
+
+int run() {
+  print_bench_header("L3 strong scaling (Fig. 12 left)", bench_seed(),
+                     "global minibatch 1024, ResNet-50-scale model, "
+                     "virtual-time model");
+  const NetParams net{};
+  const ScalingConfig cfg{};
+  const std::vector<int> nodes{8, 16, 32, 64};
+  const std::vector<DistScheme> schemes{
+      DistScheme::kCDSGD,    DistScheme::kHorovod,  DistScheme::kSparCML,
+      DistScheme::kTFPS,     DistScheme::kRefDsgd,  DistScheme::kRefPssgd,
+      DistScheme::kRefAsgd,  DistScheme::kRefDpsgd, DistScheme::kRefMavg};
+
+  std::vector<std::string> header{"optimizer"};
+  for (int n : nodes) header.push_back(std::to_string(n) + " nodes [img/s]");
+  Table t(header);
+  std::map<DistScheme, std::vector<SchemePoint>> results;
+  for (DistScheme s : schemes) {
+    results[s] = simulate_scaling(s, net, cfg, nodes, 1024, false);
+    std::vector<std::string> row{scheme_name(s)};
+    for (const auto& pt : results[s])
+      row.push_back(pt.failed ? "FAIL" : Table::num(pt.throughput, 0));
+    t.add_row(std::move(row));
+  }
+  std::cout << "\n" << t.to_text();
+
+  // Shape checks against the paper's observations (§V-E ¶·¸).
+  auto tput = [&](DistScheme s, int idx) {
+    return results[s][static_cast<std::size_t>(idx)].throughput;
+  };
+  const bool cpp_order_of_magnitude =
+      tput(DistScheme::kCDSGD, 3) > 5.0 * tput(DistScheme::kRefDsgd, 3);
+  const bool cdsgd_on_par_horovod =
+      std::abs(tput(DistScheme::kCDSGD, 3) / tput(DistScheme::kHorovod, 3) -
+               1.0) < 0.25;
+  const bool asgd_degrades =
+      tput(DistScheme::kRefAsgd, 3) < tput(DistScheme::kRefAsgd, 0);
+  const bool decentralized_wins_at_scale =
+      tput(DistScheme::kRefDsgd, 3) > tput(DistScheme::kRefPssgd, 3) &&
+      tput(DistScheme::kRefMavg, 3) > tput(DistScheme::kRefPssgd, 3);
+  const bool sparcml_slower_with_nodes =
+      results[DistScheme::kSparCML][3].comm_seconds >
+      results[DistScheme::kSparCML][0].comm_seconds;
+
+  std::cout << "\nshape checks (paper Fig. 12 left):\n"
+            << "  C++ DSGD ~order of magnitude over Python reference at 64 "
+               "nodes: "
+            << (cpp_order_of_magnitude ? "yes" : "NO") << "\n"
+            << "  CDSGD on par with Horovod: "
+            << (cdsgd_on_par_horovod ? "yes" : "NO") << "\n"
+            << "  ASGD slows as worker nodes queue up: "
+            << (asgd_degrades ? "yes" : "NO") << "\n"
+            << "  decentralized (DSGD/MAVG) beats centralized PSSGD at "
+               "scale: "
+            << (decentralized_wins_at_scale ? "yes" : "NO") << "\n"
+            << "  SparCML time grows with nodes (densification): "
+            << (sparcml_slower_with_nodes ? "yes" : "NO") << "\n";
+  return 0;
+}
+
+}  // namespace d500::bench
+
+int main() { return d500::bench::run(); }

@@ -1,0 +1,105 @@
+// E16 — google-benchmark microkernel suite: per-kernel timings for the
+// primitives underlying every experiment (GEMM backends, conv backends,
+// pooling, softmax, codec decode). Complements the table-producing benches
+// with statistically managed per-op numbers.
+#include <benchmark/benchmark.h>
+
+#include "core/rng.hpp"
+#include "data/codec.hpp"
+#include "ops/conv2d.hpp"
+#include "ops/gemm.hpp"
+#include "ops/pool.hpp"
+#include "ops/softmax.hpp"
+
+namespace d500 {
+namespace {
+
+void BM_Gemm(benchmark::State& state, GemmBackend backend) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  Rng rng(1);
+  Tensor A({n, n}), B({n, n}), C({n, n});
+  A.fill_uniform(rng, -1, 1);
+  B.fill_uniform(rng, -1, 1);
+  for (auto _ : state) {
+    gemm(backend, n, n, n, 1.0f, A.data(), B.data(), 0.0f, C.data());
+    benchmark::DoNotOptimize(C.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(gemm_flops(n, n, n)));
+}
+BENCHMARK_CAPTURE(BM_Gemm, naive, GemmBackend::kNaive)->Arg(64)->Arg(128);
+BENCHMARK_CAPTURE(BM_Gemm, blocked, GemmBackend::kBlocked)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK_CAPTURE(BM_Gemm, packed, GemmBackend::kPacked)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv(benchmark::State& state, ConvBackend backend) {
+  const auto c = static_cast<std::int64_t>(state.range(0));
+  Rng rng(2);
+  Tensor X({2, c, 16, 16}), W({c, c, 3, 3}), b({c});
+  X.fill_uniform(rng, -1, 1);
+  W.fill_uniform(rng, -1, 1);
+  Conv2DParams p{3, 3, 1, 1, 1};
+  Conv2DOp op(p, backend);
+  Tensor Y(op.output_shapes({X.shape(), W.shape(), b.shape()})[0]);
+  for (auto _ : state) {
+    op.forward({&X, &W, &b}, {&Y});
+    benchmark::DoNotOptimize(Y.data());
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(
+          op.forward_flops({X.shape(), W.shape(), b.shape()})));
+}
+BENCHMARK_CAPTURE(BM_Conv, direct, ConvBackend::kDirect)->Arg(8)->Arg(16);
+BENCHMARK_CAPTURE(BM_Conv, im2col, ConvBackend::kIm2col)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK_CAPTURE(BM_Conv, winograd, ConvBackend::kWinograd)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Pool(benchmark::State& state, PoolKind kind) {
+  Rng rng(3);
+  Tensor X({4, 8, 32, 32});
+  X.fill_uniform(rng, -1, 1);
+  Pool2DOp op(kind, Pool2DParams{2, 2, 0});
+  Tensor Y(op.output_shapes({X.shape()})[0]);
+  for (auto _ : state) {
+    op.forward({&X}, {&Y});
+    benchmark::DoNotOptimize(Y.data());
+  }
+}
+BENCHMARK_CAPTURE(BM_Pool, max, PoolKind::kMax);
+BENCHMARK_CAPTURE(BM_Pool, avg, PoolKind::kAvg);
+BENCHMARK_CAPTURE(BM_Pool, median, PoolKind::kMedian);
+
+void BM_Softmax(benchmark::State& state) {
+  Rng rng(4);
+  Tensor X({64, 1000}), Y({64, 1000});
+  X.fill_uniform(rng, -5, 5);
+  SoftmaxOp op;
+  for (auto _ : state) {
+    op.forward({&X}, {&Y});
+    benchmark::DoNotOptimize(Y.data());
+  }
+}
+BENCHMARK(BM_Softmax);
+
+void BM_Decode(benchmark::State& state, DecoderKind decoder) {
+  Rng rng(5);
+  RawImage img;
+  img.channels = 3;
+  img.height = img.width = 64;
+  img.pixels.resize(img.size());
+  for (auto& p : img.pixels)
+    p = static_cast<std::uint8_t>(128 + 64 * std::sin(rng.uniform() * 6.28));
+  const auto encoded = encode_image(img, 75);
+  for (auto _ : state) {
+    const RawImage out = decode_image(encoded, decoder);
+    benchmark::DoNotOptimize(out.pixels.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(img.size()));
+}
+BENCHMARK_CAPTURE(BM_Decode, pil_sim, DecoderKind::kPilSim);
+BENCHMARK_CAPTURE(BM_Decode, turbo_sim, DecoderKind::kTurboSim);
+
+}  // namespace
+}  // namespace d500
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Shared benchmark harness pieces: DeepBench-derived problem-size lists
+// (scaled for single-core CPU execution; see DESIGN.md substitutions), and
+// the measurement loop implementing the paper's methodology (§V-A: 30
+// runs, median + nonparametric 95% CI).
+#pragma once
+
+#include <iostream>
+#include <vector>
+
+#include "core/env.hpp"
+#include "core/stats.hpp"
+#include "core/table.hpp"
+#include "core/timer.hpp"
+#include "ops/operator.hpp"
+
+namespace d500::bench {
+
+/// Conv problem (DeepBench layout: N, C, H, W, K filters, kernel, stride,
+/// pad). Spatial sizes are scaled by 1/4 from the published DeepBench
+/// server-inference/training set so a single CPU core sweeps the list.
+struct ConvSize {
+  std::int64_t N, C, H, W, K, R, stride, pad;
+};
+
+inline std::vector<ConvSize> deepbench_conv_sizes() {
+  // Derived from DeepBench's conv_training set (original spatial dims in
+  // comments), spatially scaled and channel-capped.
+  std::vector<ConvSize> sizes = {
+      {4, 3, 56, 56, 16, 3, 1, 1},    // 16x3x224x224,k64 (ResNet stem class)
+      {4, 16, 28, 28, 32, 3, 1, 1},   // mid-stage 3x3
+      {4, 32, 14, 14, 64, 3, 1, 1},   // deep-stage 3x3
+      {4, 64, 7, 7, 64, 3, 1, 1},     // last-stage 3x3
+      {4, 16, 28, 28, 32, 1, 1, 0},   // 1x1 projection
+      {4, 32, 14, 14, 64, 1, 1, 0},   // 1x1 projection
+      {4, 3, 28, 28, 16, 5, 1, 2},    // 5x5 (AlexNet/GoogLeNet class)
+      {4, 16, 28, 28, 32, 3, 2, 1},   // strided downsample
+      {2, 8, 56, 56, 16, 3, 1, 1},    // small batch, large spatial
+      {8, 16, 14, 14, 32, 3, 1, 1},   // larger batch, small spatial
+  };
+  if (bench_scale() == BenchScale::kFast) sizes.resize(4);
+  return sizes;
+}
+
+/// The paper's highlighted conv size (Fig. 6a right: N=16, C=3, H=W=224,
+/// 3x3), spatially scaled 4x like the list above.
+inline ConvSize highlighted_conv_size() { return {16, 3, 56, 56, 16, 3, 1, 1}; }
+
+struct GemmSize {
+  std::int64_t M, N, K;
+};
+
+inline std::vector<GemmSize> deepbench_gemm_sizes() {
+  // Derived from DeepBench's gemm_training set, dimensions scaled 1/4.
+  std::vector<GemmSize> sizes = {
+      {448, 64, 624},   // 1760x128x2496 (speech RNN class)
+      {512, 8, 512},    // 2048x32x2048
+      {640, 16, 640},   // 2560x64x2560
+      {1024, 4, 128},   // tall-skinny
+      {128, 128, 128},  // square small
+      {256, 256, 256},  // square mid
+      {88, 236, 355},   // irregular (attention class)
+      {512, 4, 1216},   // wide-K
+      {64, 512, 500},   // wide-N
+      {875, 8, 204},    // irregular tall
+      {160, 101, 485},  // irregular
+      {332, 16, 708},   // irregular
+      {128, 32, 1024},  // wide-K mid
+      {448, 128, 112},  // short-K
+  };
+  if (bench_scale() == BenchScale::kFast) sizes.resize(5);
+  return sizes;
+}
+
+/// The paper's highlighted GEMM size (Fig. 6b right: M=K=2560, N=64),
+/// scaled 1/4 in M and K.
+inline GemmSize highlighted_gemm_size() { return {640, 64, 640}; }
+
+inline int bench_reruns() { return scale_pick(5, 15, 30); }
+
+/// Times `reruns` calls of op->forward on fixed inputs/outputs.
+inline SampleSummary time_operator(CustomOperator& op,
+                                   const ConstTensors& inputs,
+                                   const MutTensors& outputs, int reruns) {
+  // One warmup run (plan compilation, page faults).
+  op.forward(inputs, outputs);
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reruns));
+  for (int r = 0; r < reruns; ++r) {
+    Timer t;
+    op.forward(inputs, outputs);
+    times.push_back(t.seconds());
+  }
+  return summarize(times);
+}
+
+inline std::string ms(const SampleSummary& s) {
+  return summary_to_string(s, 1e3, "ms");
+}
+
+}  // namespace d500::bench

@@ -1,0 +1,124 @@
+// The paper's Listings 3-4 scenario end to end: a median-pooling operator
+// written as plain C++ source, JIT-compiled into a shared object, loaded
+// through the C ABI, validated against the built-in implementation and by
+// numerical gradient checking of the built-in, and finally benchmarked
+// with Deep500 metrics.
+//
+// Run: ./custom_operator
+#include <iostream>
+
+#include "core/metrics.hpp"
+#include "ops/jit.hpp"
+#include "ops/pool.hpp"
+#include "ops/validation.hpp"
+
+namespace {
+
+// Listing 3, C++ side: the user's operator. Derives from
+// d500::RawCustomOperator (the JIT header provides it) and exports
+// d500_create_new_op.
+constexpr const char* kMedianPoolingSource = R"CPP(
+#include <algorithm>
+#include <vector>
+
+template <typename T>
+class MedianPooling : public d500::RawCustomOperator {
+ public:
+  explicit MedianPooling(int window) : window_(window) {}
+
+  void forward(const d500::tensor_t* inputs, int, d500::tensor_t* outputs,
+               int) override {
+    const d500::tensor_t& x = inputs[0];
+    d500::tensor_t& y = outputs[0];
+    const long long N = x.dims[0], C = x.dims[1], H = x.dims[2], W = x.dims[3];
+    const long long Ho = H / window_, Wo = W / window_;
+    const T* xs = static_cast<const T*>(x.data);
+    T* ys = static_cast<T*>(y.data);
+    std::vector<T> win;
+    for (long long nc = 0; nc < N * C; ++nc)
+      for (long long oh = 0; oh < Ho; ++oh)
+        for (long long ow = 0; ow < Wo; ++ow) {
+          win.clear();
+          for (int kh = 0; kh < window_; ++kh)
+            for (int kw = 0; kw < window_; ++kw)
+              win.push_back(xs[nc * H * W + (oh * window_ + kh) * W +
+                               ow * window_ + kw]);
+          auto mid = win.begin() + win.size() / 2;
+          std::nth_element(win.begin(), mid, win.end());
+          T v = *mid;
+          if (win.size() % 2 == 0) {
+            T lo = *std::max_element(win.begin(), mid);
+            v = static_cast<T>((lo + v) / 2);
+          }
+          ys[nc * Ho * Wo + oh * Wo + ow] = v;
+        }
+  }
+
+  void backward(const d500::tensor_t*, int, const d500::tensor_t*, int,
+                const d500::tensor_t*, int, d500::tensor_t*, int) override {}
+
+ private:
+  int window_;
+};
+
+D500_EXPORTED void* d500_create_new_op(const d500::tensor_t* in, int,
+                                       const d500::tensor_t* out, int) {
+  const int window = static_cast<int>(in[0].dims[2] / out[0].dims[2]);
+  return new MedianPooling<DTYPE>(window);
+}
+)CPP";
+
+}  // namespace
+
+int main() {
+  using namespace d500;
+
+  // Listing 4, host side: compile_custom_op with explicit tensor
+  // descriptors and a DTYPE definition.
+  OpCompileDesc desc;
+  desc.name = "MedianPooling";
+  desc.source_code = kMedianPoolingSource;
+  desc.input_descs = {tensordesc(DType::kFloat32, {4, 3, 32, 32})};
+  desc.output_descs = {tensordesc(DType::kFloat32, {4, 3, 16, 16})};
+  desc.definitions = {{"DTYPE", "float"}};
+  desc.has_backward = false;
+
+  std::cout << "JIT-compiling MedianPooling from source...\n";
+  OperatorPtr jit_op;
+  try {
+    jit_op = compile_custom_op(desc);
+  } catch (const Error& e) {
+    std::cerr << "toolchain unavailable: " << e.what() << "\n";
+    return 0;  // graceful: compilation environments vary
+  }
+
+  // Validate against the built-in reference implementation with the
+  // Level 0 test_forward harness.
+  Rng rng(7);
+  Tensor X({4, 3, 32, 32});
+  X.fill_uniform(rng, -1, 1);
+  Pool2DOp builtin(PoolKind::kMedian, Pool2DParams{2, 2, 0});
+  Tensor expected({4, 3, 16, 16});
+  builtin.forward({&X}, {&expected});
+
+  std::vector<Tensor> want;
+  want.push_back(expected.clone());
+  const ForwardTestResult fwd =
+      test_forward(*jit_op, {&X}, want, /*tol=*/1e-6, /*reruns=*/20);
+  std::cout << "test_forward: " << (fwd.passed ? "PASSED" : "FAILED")
+            << "  max_error=" << fwd.max_error
+            << "  median time=" << fwd.time.median * 1e3 << " ms\n";
+
+  // Gradient checking (Level 0 validation) on the differentiable built-in.
+  const GradientTestResult grad = test_gradient(builtin, {X});
+  std::cout << "test_gradient (built-in median pool): "
+            << (grad.passed ? "PASSED" : "FAILED")
+            << "  max_rel_error=" << grad.max_rel_error << "\n";
+
+  // Deep500 metrics over the custom operator.
+  WallclockMetric wall(20);
+  Tensor Y({4, 3, 16, 16});
+  measure(wall, [&] { jit_op->forward({&X}, {&Y}); });
+  std::cout << wall.report() << "\n";
+  return fwd.passed && grad.passed ? 0 : 1;
+}

@@ -1,0 +1,114 @@
+// The paper's Listing 8 scenario: comparing distributed training schemes
+// is a matter of wrapping the same base optimizer differently.
+//
+// Trains the same model with Consistent Decentralized (DSGD), Consistent
+// Centralized (PSSGD), and SparCML sparse allreduce over a 4-rank SimMPI
+// world, reporting per-scheme loss trajectories and the
+// CommunicationVolume metric at both accounting levels.
+//
+// Run: ./distributed_training
+#include <iostream>
+#include <mutex>
+
+#include "dist/dist_optimizer.hpp"
+#include "dist/sparcml.hpp"
+#include "graph/visitor.hpp"
+#include "models/builders.hpp"
+#include "train/optimizers.hpp"
+
+int main() {
+  using namespace d500;
+  constexpr int kWorld = 4;
+  constexpr std::int64_t kGlobalBatch = 16;
+  constexpr std::int64_t kPerRank = kGlobalBatch / kWorld;
+  constexpr int kSteps = 10;
+  const std::uint64_t seed = 11;
+
+  const Model model = models::mlp(kPerRank, 32, {24}, 4, seed);
+
+  // Deterministic global batches, sliced per rank (data parallelism).
+  auto rank_feeds = [&](int step, int rank) {
+    Rng rng(seed + static_cast<std::uint64_t>(step));
+    Tensor data({kGlobalBatch, 32}), labels({kGlobalBatch});
+    data.fill_uniform(rng, -1, 1);
+    for (std::int64_t i = 0; i < kGlobalBatch; ++i)
+      labels.at(i) = static_cast<float>(rng.below(4));
+    TensorMap f;
+    Tensor d({kPerRank, 32}), l({kPerRank});
+    for (std::int64_t i = 0; i < kPerRank; ++i) {
+      for (int k = 0; k < 32; ++k)
+        d.at(i * 32 + k) = data.at((rank * kPerRank + i) * 32 + k);
+      l.at(i) = labels.at(rank * kPerRank + i);
+    }
+    f["data"] = std::move(d);
+    f["labels"] = std::move(l);
+    return f;
+  };
+
+  using MakeFn = std::function<std::unique_ptr<DistributedOptimizer>(
+      std::unique_ptr<ThreeStepOptimizer>, Communicator&)>;
+
+  struct Result {
+    double first_loss = 0, last_loss = 0;
+    std::uint64_t app_bytes = 0, wire_bytes = 0;
+  };
+
+  auto run_scheme = [&](const std::string& label, const MakeFn& make) {
+    SimMpi mpi(kWorld);
+    Result res;
+    std::mutex mu;
+    mpi.run([&](Communicator& comm) {
+      ReferenceExecutor exec(build_network(model));
+      auto base = std::make_unique<MomentumOptimizer>(exec, 0.1, 0.9);
+      auto opt = make(std::move(base), comm);
+      opt->set_loss_value("loss");
+      double first = 0, last = 0;
+      for (int s = 0; s < kSteps; ++s) {
+        const auto out = opt->train(rank_feeds(s, comm.rank()));
+        const double loss = out.at("loss").at(0);
+        if (s == 0) first = loss;
+        last = loss;
+      }
+      if (comm.rank() == 0) {
+        std::lock_guard<std::mutex> lock(mu);
+        res.first_loss = first;
+        res.last_loss = last;
+        res.app_bytes = opt->app_bytes();
+      }
+    });
+    res.wire_bytes = mpi.total_bytes_sent() / kWorld;
+    std::cout << label << ": loss " << res.first_loss << " -> "
+              << res.last_loss << "   comm/node: app "
+              << res.app_bytes / 1024 << " KiB, wire "
+              << res.wire_bytes / 1024 << " KiB\n";
+    return res;
+  };
+
+  std::cout << "4 ranks, " << kSteps << " steps, global batch "
+            << kGlobalBatch << " (paper Listing 8 scenario)\n\n";
+  // Listing 8: swapping the distributed scheme is one line each.
+  const Result dsgd = run_scheme("ConsistentDecentralized (DSGD)",
+                                 [](auto base, Communicator& c) {
+                                   return std::make_unique<
+                                       ConsistentDecentralized>(std::move(base),
+                                                                c);
+                                 });
+  const Result ps = run_scheme("ConsistentCentralized (PSSGD) ",
+                               [](auto base, Communicator& c) {
+                                 return std::make_unique<ConsistentCentralized>(
+                                     std::move(base), c);
+                               });
+  const Result sparse = run_scheme("SparCML (density 0.1)       ",
+                                   [](auto base, Communicator& c) {
+                                     return std::make_unique<SparCMLOptimizer>(
+                                         std::move(base), c, 0.1);
+                                   });
+
+  std::cout << "\nsynchronous schemes agree on the trajectory: "
+            << (std::abs(dsgd.last_loss - ps.last_loss) < 1e-4 ? "yes" : "no")
+            << "\nSparCML app-level volume saves "
+            << 100.0 * (1.0 - static_cast<double>(sparse.app_bytes) /
+                                  static_cast<double>(dsgd.app_bytes))
+            << "% vs DSGD\n";
+  return dsgd.last_loss < dsgd.first_loss ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+// Quickstart: the complete Deep500++ loop in one file.
+//
+//   model -> framework executor -> optimizer -> Runner -> metrics
+//
+// Builds a LeNet-style network, trains it on the procedural mnist-like
+// dataset through the CF2Sim engine with the reference Adam optimizer, and
+// prints per-epoch accuracy/timing plus the time-to-accuracy metric.
+//
+// Run: ./quickstart
+#include <iostream>
+
+#include "data/dataset.hpp"
+#include "data/sampler.hpp"
+#include "frameworks/framework.hpp"
+#include "models/builders.hpp"
+#include "train/optimizers.hpp"
+#include "train/trainer.hpp"
+
+int main() {
+  using namespace d500;
+  const std::int64_t batch = 32;
+  const std::uint64_t seed = 42;
+
+  // 1. A dataset: procedurally generated, mnist-like shapes. Train and
+  //    test splits share class templates but draw disjoint samples.
+  DatasetSpec spec = mnist_like_spec();
+  spec.train_size = 1024;
+  ProceduralImageDataset train(spec, seed);
+  ProceduralImageDataset test(spec, seed, 0.25f, /*index_offset=*/1 << 20);
+
+  // 2. A model: stored in the ONNX-like format; could equally be
+  //    save_model()'d to disk and reloaded bit-exactly.
+  const Model model =
+      models::lenet(batch, 1, spec.height, spec.width, spec.classes, seed);
+  std::cout << model_to_text(model) << "\n";
+
+  // 3. An executor from one of the simulated frameworks (swap cf2sim()
+  //    for tfsim() / ptsim() — nothing else changes; that is the
+  //    meta-framework idea).
+  auto exec = cf2sim().compile(model);
+
+  // 4. An optimizer: here the Deep500 reference Adam. Framework-native
+  //    alternatives: cf2sim().native_adam(*exec, 1e-3).
+  AdamOptimizer opt(*exec, 1e-3);
+  opt.set_loss_value("loss");
+
+  // 5. Train through the Runner with a shuffling sampler.
+  ShuffleSampler sampler(train.size(), batch, seed);
+  Runner runner(opt, train, test, sampler, batch);
+  const RunStats stats = runner.run(/*epochs=*/3);
+
+  std::cout << "epoch  train_loss  test_acc  epoch_s\n";
+  for (const auto& e : stats.epochs)
+    std::cout << e.epoch << "      " << e.train_loss << "     "
+              << e.test_accuracy << "     " << e.epoch_seconds << "\n";
+
+  const double tta = stats.time_to_accuracy(0.8);
+  std::cout << "\nfinal test accuracy: " << stats.final_test_accuracy()
+            << "\ntime to 80% accuracy: "
+            << (tta < 0 ? std::string("not reached")
+                        : std::to_string(tta) + " s")
+            << "\n";
+  return stats.final_test_accuracy() > 0.5 ? 0 : 1;
+}

@@ -1,0 +1,43 @@
+#include "core/env.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+
+namespace d500 {
+
+namespace {
+bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+}  // namespace
+
+BenchScale bench_scale() {
+  static const BenchScale scale = [] {
+    if (env_flag("D500_FAST")) return BenchScale::kFast;
+    if (env_flag("D500_FULL")) return BenchScale::kFull;
+    return BenchScale::kDefault;
+  }();
+  return scale;
+}
+
+std::uint64_t bench_seed() {
+  static const std::uint64_t seed = [] {
+    if (const char* v = std::getenv("D500_SEED"))
+      return static_cast<std::uint64_t>(std::strtoull(v, nullptr, 10));
+    return std::uint64_t{0xD500'2019'0613'0001ULL};
+  }();
+  return seed;
+}
+
+std::string scratch_dir() {
+  static const std::string dir = [] {
+    std::string d = "/tmp/d500";
+    if (const char* v = std::getenv("D500_TMPDIR")) d = v;
+    std::filesystem::create_directories(d);
+    return d;
+  }();
+  return dir;
+}
+
+}  // namespace d500

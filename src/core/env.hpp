@@ -1,0 +1,37 @@
+// Benchmark sizing knobs. Every bench binary runs with no arguments; the
+// environment selects problem scale so the whole suite stays runnable on a
+// single CPU core:
+//   D500_FAST=1  — CI-sized problems (seconds total)
+//   default      — paper-shaped problems scaled to CPU (tens of seconds)
+//   D500_FULL=1  — closest to paper sizes (minutes)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace d500 {
+
+enum class BenchScale { kFast, kDefault, kFull };
+
+/// Reads D500_FAST / D500_FULL once; kDefault otherwise.
+BenchScale bench_scale();
+
+/// Scale-dependent pick helper.
+template <typename T>
+T scale_pick(T fast, T def, T full) {
+  switch (bench_scale()) {
+    case BenchScale::kFast: return fast;
+    case BenchScale::kFull: return full;
+    default: return def;
+  }
+}
+
+/// Global benchmark seed: D500_SEED env var or the fixed default, so every
+/// run prints and honors an explicit seed (reproducibility pillar).
+std::uint64_t bench_seed();
+
+/// Scratch directory for dataset containers and JIT artifacts
+/// (D500_TMPDIR, default /tmp/d500).
+std::string scratch_dir();
+
+}  // namespace d500

@@ -1,0 +1,64 @@
+// Error handling for Deep500++.
+//
+// All precondition violations throw d500::Error with a formatted message.
+// Benchmark and test code may additionally use D500_CHECK for invariants that
+// should hold in release builds (they are not compiled out).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace d500 {
+
+/// Base exception for all Deep500++ errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when tensor shapes are inconsistent with an operator's contract.
+class ShapeError : public Error {
+ public:
+  explicit ShapeError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a simulated allocation exceeds the configured memory budget
+/// (used by the micro-batching experiment to reproduce framework OOMs).
+class OutOfMemoryError : public Error {
+ public:
+  explicit OutOfMemoryError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on malformed model files / containers.
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "D500_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace d500
+
+#define D500_CHECK(expr)                                               \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::d500::detail::check_failed(#expr, __FILE__, __LINE__, "");     \
+  } while (0)
+
+#define D500_CHECK_MSG(expr, msg)                                      \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream os_;                                          \
+      os_ << msg;                                                      \
+      ::d500::detail::check_failed(#expr, __FILE__, __LINE__, os_.str()); \
+    }                                                                  \
+  } while (0)

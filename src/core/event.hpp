@@ -1,0 +1,48 @@
+// Event hooks (paper §IV-D): user-specified callbacks invoked by graph
+// executors and training runners at well-defined points, enabling
+// fine-grained measurement and early exits. A metric class may extend both
+// TestMetric and Event to benchmark a hook-delimited region.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace d500 {
+
+/// Points in execution where events fire.
+enum class EventPoint {
+  kBeforeInference,
+  kAfterInference,
+  kBeforeBackprop,
+  kAfterBackprop,
+  kBeforeOperator,   // payload: operator name
+  kAfterOperator,
+  kBeforeTrainingStep,
+  kAfterTrainingStep,
+  kBeforeEpoch,
+  kAfterEpoch,
+  kBeforeTestSet,
+  kAfterTestSet,
+};
+
+/// Context handed to event hooks.
+struct EventInfo {
+  EventPoint point;
+  std::int64_t step = -1;    // training step or operator index, if applicable
+  std::int64_t epoch = -1;   // epoch number, if applicable
+  std::string label;         // operator name / phase label
+  double scalar = 0.0;       // point-specific payload (e.g. loss value)
+};
+
+/// Base class for event hooks.
+class Event {
+ public:
+  virtual ~Event() = default;
+
+  /// Called at each event point the host object supports. Returning false
+  /// from a kAfter* point requests early termination of the enclosing loop
+  /// (the paper's early-stopping example).
+  virtual bool on_event(const EventInfo& info) = 0;
+};
+
+}  // namespace d500

@@ -1,0 +1,166 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace d500 {
+
+std::string TestMetric::report() const {
+  std::ostringstream os;
+  os << name() << ": " << summary();
+  return os.str();
+}
+
+double WallclockMetric::summary() const {
+  if (samples_.empty()) return 0.0;
+  return median(samples_);
+}
+
+std::string WallclockMetric::report() const {
+  if (samples_.empty()) return name() + ": <no samples>";
+  return name() + ": " + summary_to_string(summarize(samples_), 1e3, "ms");
+}
+
+double FlopsMetric::summary() const {
+  const double t = wallclock_.summary();
+  if (t <= 0.0) return 0.0;
+  return static_cast<double>(flops_) / t / 1e9;
+}
+
+std::string FlopsMetric::report() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << name() << ": " << summary() << " GFLOP/s (" << flops_ << " flops)";
+  return os.str();
+}
+
+std::string NormMetric::name() const {
+  switch (kind_) {
+    case NormKind::kL1: return "l1_norm";
+    case NormKind::kL2: return "l2_norm";
+    case NormKind::kLInf: return "linf_norm";
+  }
+  return "norm";
+}
+
+void NormMetric::observe(std::span<const float> values) {
+  D500_CHECK_MSG(values.size() == reference_.size(),
+                 "NormMetric: size mismatch vs reference");
+  double acc = 0.0;
+  switch (kind_) {
+    case NormKind::kL1:
+      for (std::size_t i = 0; i < values.size(); ++i)
+        acc += std::abs(static_cast<double>(values[i]) - reference_[i]);
+      break;
+    case NormKind::kL2:
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        const double d = static_cast<double>(values[i]) - reference_[i];
+        acc += d * d;
+      }
+      acc = std::sqrt(acc);
+      break;
+    case NormKind::kLInf:
+      for (std::size_t i = 0; i < values.size(); ++i)
+        acc = std::max(acc,
+                       std::abs(static_cast<double>(values[i]) - reference_[i]));
+      break;
+  }
+  norms_.push_back(acc);
+}
+
+double NormMetric::summary() const {
+  return norms_.empty() ? 0.0 : norms_.back();
+}
+
+std::string NormMetric::report() const {
+  if (norms_.empty()) return name() + ": <no observations>";
+  return name() + ": " + summary_to_string(summarize(norms_));
+}
+
+void MaxErrorMetric::observe(std::span<const float> values) {
+  D500_CHECK_MSG(values.size() == reference_.size(),
+                 "MaxErrorMetric: size mismatch vs reference");
+  for (std::size_t i = 0; i < values.size(); ++i)
+    max_error_ = std::max(
+        max_error_, std::abs(static_cast<double>(values[i]) - reference_[i]));
+}
+
+void VarianceMetric::observe(std::span<const float> values) {
+  if (mean_.empty()) {
+    mean_.assign(values.size(), 0.0);
+    m2_.assign(values.size(), 0.0);
+  }
+  D500_CHECK_MSG(values.size() == mean_.size(),
+                 "VarianceMetric: inconsistent observation size");
+  ++count_;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double x = values[i];
+    const double d = x - mean_[i];
+    mean_[i] += d / static_cast<double>(count_);
+    m2_[i] += d * (x - mean_[i]);
+  }
+}
+
+double VarianceMetric::summary() const {
+  if (count_ < 2 || m2_.empty()) return 0.0;
+  double acc = 0.0;
+  for (double v : m2_) acc += v / static_cast<double>(count_ - 1);
+  return acc / static_cast<double>(m2_.size());
+}
+
+std::vector<double> VarianceMetric::variance_map() const {
+  std::vector<double> out(m2_.size(), 0.0);
+  if (count_ >= 2)
+    for (std::size_t i = 0; i < m2_.size(); ++i)
+      out[i] = m2_[i] / static_cast<double>(count_ - 1);
+  return out;
+}
+
+HeatmapMetric::HeatmapMetric(std::vector<float> reference, int rows, int cols)
+    : reference_(std::move(reference)), rows_(rows), cols_(cols),
+      cells_(static_cast<std::size_t>(rows) * cols, 0.0) {
+  D500_CHECK(rows > 0 && cols > 0);
+}
+
+void HeatmapMetric::observe(std::span<const float> values) {
+  D500_CHECK_MSG(values.size() == reference_.size(),
+                 "HeatmapMetric: size mismatch vs reference");
+  // Map the flat index range onto the grid and accumulate max abs error per
+  // cell, so hot regions survive downsampling.
+  const std::size_t n = values.size();
+  const std::size_t ncells = cells_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t cell = (i * ncells) / (n == 0 ? 1 : n);
+    const double err =
+        std::abs(static_cast<double>(values[i]) - reference_[i]);
+    cells_[std::min(cell, ncells - 1)] =
+        std::max(cells_[std::min(cell, ncells - 1)], err);
+  }
+}
+
+double HeatmapMetric::summary() const {
+  double peak = 0.0;
+  for (double c : cells_) peak = std::max(peak, c);
+  return peak;
+}
+
+std::string HeatmapMetric::render() const {
+  static const char* kShades = " .:-=+*#%@";
+  const double peak = summary();
+  std::ostringstream os;
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      const double v = cells_[static_cast<std::size_t>(r) * cols_ + c];
+      const int idx =
+          peak <= 0.0 ? 0 : static_cast<int>(std::min(9.0, v / peak * 9.0));
+      os << kShades[idx];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace d500

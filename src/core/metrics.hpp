@@ -1,0 +1,172 @@
+// The TestMetric interface and the metric library shared by all levels
+// (paper §IV-B "Metrics" and the per-level metric families in Fig. 3).
+//
+// A TestMetric states how many re-runs a measurement needs (for numerical
+// stability), observes begin/end around the measured region plus an optional
+// value payload, and produces both a numeric summary and a human-readable
+// report. Metrics double as Event hooks (see event.hpp): a class may extend
+// both, exactly as the paper describes for benchmarking events.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "core/timer.hpp"
+
+namespace d500 {
+
+/// Base interface for all metrics (paper: `TestMetric`).
+class TestMetric {
+ public:
+  virtual ~TestMetric() = default;
+
+  /// Name used in reports, e.g. "wallclock_ms".
+  virtual std::string name() const = 0;
+
+  /// Number of repetitions the measurement should run to be considered
+  /// numerically stable (paper: "number of re-runs needed"). Default 1;
+  /// timing metrics typically want 30 per the paper's methodology.
+  virtual int reruns() const { return 1; }
+
+  /// Called immediately before / after the measured region of one run.
+  virtual void begin() {}
+  virtual void end() {}
+
+  /// Offers a data payload to the metric (accuracy metrics compare the
+  /// produced values against a reference supplied at construction).
+  virtual void observe(std::span<const float> /*values*/) {}
+
+  /// Scalar summary of everything measured so far (e.g. median time,
+  /// L2 norm). Meaning is metric-specific.
+  virtual double summary() const = 0;
+
+  /// Multi-line human-readable report ("generate a selected result").
+  virtual std::string report() const;
+};
+
+/// Median wall-clock time over repeated begin()/end() pairs, in seconds.
+class WallclockMetric : public TestMetric {
+ public:
+  explicit WallclockMetric(int reruns = 30) : reruns_(reruns) {}
+  std::string name() const override { return "wallclock_s"; }
+  int reruns() const override { return reruns_; }
+  void begin() override { timer_.reset(); }
+  void end() override { samples_.push_back(timer_.seconds()); }
+  double summary() const override;
+  std::string report() const override;
+  const std::vector<double>& samples() const { return samples_; }
+  SampleSummary stats() const { return summarize(samples_); }
+
+ private:
+  int reruns_;
+  Timer timer_;
+  std::vector<double> samples_;
+};
+
+/// Throughput in FLOP/s: caller supplies the analytic FLOP count of the
+/// measured region (kernels report theirs via ops/flops.hpp).
+class FlopsMetric : public TestMetric {
+ public:
+  explicit FlopsMetric(std::uint64_t flops_per_run, int reruns = 30)
+      : flops_(flops_per_run), wallclock_(reruns) {}
+  std::string name() const override { return "gflops"; }
+  int reruns() const override { return wallclock_.reruns(); }
+  void begin() override { wallclock_.begin(); }
+  void end() override { wallclock_.end(); }
+  double summary() const override;  // GFLOP/s at median time
+  std::string report() const override;
+
+ private:
+  std::uint64_t flops_;
+  WallclockMetric wallclock_;
+};
+
+/// Which vector norm an accuracy metric computes.
+enum class NormKind { kL1, kL2, kLInf };
+
+/// Norm of the difference between observed values and a fixed reference
+/// (paper: accuracy-per-operator via l1/l2/linf norms).
+class NormMetric : public TestMetric {
+ public:
+  NormMetric(std::vector<float> reference, NormKind kind)
+      : reference_(std::move(reference)), kind_(kind) {}
+  std::string name() const override;
+  void observe(std::span<const float> values) override;
+  double summary() const override;  // last observed norm
+  std::string report() const override;
+  const std::vector<double>& history() const { return norms_; }
+
+ private:
+  std::vector<float> reference_;
+  NormKind kind_;
+  std::vector<double> norms_;
+};
+
+/// Maximum absolute error vs. a reference, across all observations.
+class MaxErrorMetric : public TestMetric {
+ public:
+  explicit MaxErrorMetric(std::vector<float> reference)
+      : reference_(std::move(reference)) {}
+  std::string name() const override { return "max_error"; }
+  void observe(std::span<const float> values) override;
+  double summary() const override { return max_error_; }
+
+ private:
+  std::vector<float> reference_;
+  double max_error_ = 0.0;
+};
+
+/// Per-element variance across repeated observations (paper: repeatability
+/// via a map of output variance). summary() is the mean variance; the full
+/// variance map is available for heatmap rendering.
+class VarianceMetric : public TestMetric {
+ public:
+  std::string name() const override { return "output_variance"; }
+  void observe(std::span<const float> values) override;
+  double summary() const override;
+  std::vector<double> variance_map() const;
+  std::size_t observations() const { return count_; }
+
+ private:
+  std::size_t count_ = 0;
+  std::vector<double> mean_;
+  std::vector<double> m2_;  // Welford accumulators
+};
+
+/// 2-D heatmap of absolute error vs. a reference, downsampled to a fixed
+/// grid; render() returns an ASCII intensity map (paper: heatmaps that
+/// highlight regions of interest).
+class HeatmapMetric : public TestMetric {
+ public:
+  HeatmapMetric(std::vector<float> reference, int rows, int cols);
+  std::string name() const override { return "error_heatmap"; }
+  void observe(std::span<const float> values) override;
+  double summary() const override;  // peak cell intensity
+  std::string report() const override { return render(); }
+  std::string render() const;
+  const std::vector<double>& cells() const { return cells_; }
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+ private:
+  std::vector<float> reference_;
+  int rows_, cols_;
+  std::vector<double> cells_;
+};
+
+/// Runs `fn` under a metric honoring its reruns() count; convenience used by
+/// the validation helpers.
+template <typename Fn>
+void measure(TestMetric& metric, Fn&& fn) {
+  for (int i = 0; i < metric.reruns(); ++i) {
+    metric.begin();
+    fn();
+    metric.end();
+  }
+}
+
+}  // namespace d500

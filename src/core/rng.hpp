@@ -1,0 +1,102 @@
+// Deterministic random number generation.
+//
+// Reproducibility is one of the paper's five pillars; every stochastic
+// component in Deep500++ (weight init, samplers, synthetic datasets, dropout)
+// draws from an explicitly seeded xoshiro256** stream so that runs are
+// bit-reproducible across builds and platforms (no std::random_device, no
+// libstdc++ distribution-implementation dependence).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace d500 {
+
+/// splitmix64 — used to expand a single seed into stream state.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG (Blackman & Vigna). Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0xD500D500D500D500ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& s : s_) s = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) {
+    return lo + static_cast<float>(uniform()) * (hi - lo);
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n) {
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < n) {
+      std::uint64_t t = -n % n;
+      while (l < t) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Standard normal via Box–Muller (deterministic, no cached spare).
+  float normal() {
+    double u1 = 0.0;
+    do { u1 = uniform(); } while (u1 <= 1e-12);
+    const double u2 = uniform();
+    return static_cast<float>(std::sqrt(-2.0 * std::log(u1)) *
+                              std::cos(2.0 * 3.14159265358979323846 * u2));
+  }
+
+  float normal(float mean, float stddev) { return mean + stddev * normal(); }
+
+  /// Derives an independent child stream; used to give each component
+  /// (sampler, initializer, rank) its own stream from one master seed.
+  Rng fork(std::uint64_t stream_id) {
+    std::uint64_t mix = s_[0] ^ (0x9E3779B97F4A7C15ULL * (stream_id + 1));
+    return Rng(mix);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace d500

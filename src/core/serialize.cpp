@@ -1,0 +1,150 @@
+#include "core/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "core/error.hpp"
+
+namespace d500 {
+
+void BinaryWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void BinaryWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void BinaryWriter::f32(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, 4);
+  u32(bits);
+}
+
+void BinaryWriter::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  u64(bits);
+}
+
+void BinaryWriter::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void BinaryWriter::str(const std::string& s) {
+  varint(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void BinaryWriter::bytes(std::span<const std::uint8_t> data) {
+  varint(data.size());
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void BinaryWriter::raw(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + n);
+}
+
+void BinaryReader::need(std::size_t n) {
+  if (data_.size() - pos_ < n)
+    throw FormatError("BinaryReader: truncated input (need " +
+                      std::to_string(n) + " bytes at offset " +
+                      std::to_string(pos_) + ")");
+}
+
+std::uint8_t BinaryReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint32_t BinaryReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::uint64_t BinaryReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+float BinaryReader::f32() {
+  const std::uint32_t bits = u32();
+  float v;
+  std::memcpy(&v, &bits, 4);
+  return v;
+}
+
+double BinaryReader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+std::uint64_t BinaryReader::varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    need(1);
+    const std::uint8_t b = data_[pos_++];
+    if (shift >= 64)
+      throw FormatError("BinaryReader: varint overflow");
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if (!(b & 0x80)) break;
+    shift += 7;
+  }
+  return v;
+}
+
+std::string BinaryReader::str() {
+  const std::uint64_t n = varint();
+  need(n);
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+std::vector<std::uint8_t> BinaryReader::bytes() {
+  const std::uint64_t n = varint();
+  need(n);
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+void BinaryReader::raw(void* out, std::size_t n) {
+  need(n);
+  std::memcpy(out, data_.data() + pos_, n);
+  pos_ += n;
+}
+
+void write_file(const std::string& path, std::span<const std::uint8_t> data) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw Error("write_file: cannot open " + path);
+  f.write(reinterpret_cast<const char*>(data.data()),
+          static_cast<std::streamsize>(data.size()));
+  if (!f) throw Error("write_file: write failed for " + path);
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) throw Error("read_file: cannot open " + path);
+  const std::streamsize size = f.tellg();
+  f.seekg(0);
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(size));
+  f.read(reinterpret_cast<char*>(data.data()), size);
+  if (!f) throw Error("read_file: read failed for " + path);
+  return data;
+}
+
+}  // namespace d500

@@ -1,0 +1,66 @@
+// Minimal binary serialization used by the model format (graph/model.hpp)
+// and the dataset containers (data/container.hpp). Little-endian,
+// length-prefixed; varint encoding for the entropy coder lives here too.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace d500 {
+
+/// Append-only binary writer over an owned byte buffer.
+class BinaryWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f32(float v);
+  void f64(double v);
+  /// LEB128-style unsigned varint.
+  void varint(std::uint64_t v);
+  void str(const std::string& s);
+  void bytes(std::span<const std::uint8_t> data);
+  void raw(const void* data, std::size_t n);
+
+  const std::vector<std::uint8_t>& buffer() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked binary reader over an unowned byte span. Throws
+/// FormatError on truncation.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  float f32();
+  double f64();
+  std::uint64_t varint();
+  std::string str();
+  std::vector<std::uint8_t> bytes();
+  void raw(void* out, std::size_t n);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+  std::size_t position() const { return pos_; }
+
+ private:
+  void need(std::size_t n);
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Whole-file helpers.
+void write_file(const std::string& path, std::span<const std::uint8_t> data);
+std::vector<std::uint8_t> read_file(const std::string& path);
+
+}  // namespace d500

@@ -1,0 +1,97 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace d500 {
+
+double quantile(std::vector<double> xs, double q) {
+  D500_CHECK_MSG(!xs.empty(), "quantile of empty sample");
+  D500_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile q out of range");
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double median(std::vector<double> xs) { return quantile(std::move(xs), 0.5); }
+
+namespace {
+
+// Order-statistic indices for the nonparametric 95% CI of the median.
+// For sample size n, the CI is [x_(l), x_(u)] with l,u chosen so that the
+// binomial(n, 0.5) probability mass between them is >= 0.95. We use the
+// normal approximation l = floor(n/2 - 0.98*sqrt(n)), u = ceil(n/2 + 0.98*sqrt(n)),
+// clamped; exact enough for the n=30 regime the paper uses.
+void median_ci_indices(std::size_t n, std::size_t& lo, std::size_t& hi) {
+  const double half = static_cast<double>(n) / 2.0;
+  const double w = 0.98 * std::sqrt(static_cast<double>(n));
+  const double l = std::floor(half - w);
+  const double u = std::ceil(half + w);
+  lo = l < 0.0 ? 0 : static_cast<std::size_t>(l);
+  hi = u >= static_cast<double>(n) ? n - 1 : static_cast<std::size_t>(u);
+  if (lo >= n) lo = 0;
+  if (hi >= n) hi = n - 1;
+}
+
+}  // namespace
+
+SampleSummary summarize(const std::vector<double>& xs) {
+  D500_CHECK_MSG(!xs.empty(), "summarize of empty sample");
+  std::vector<double> s = xs;
+  std::sort(s.begin(), s.end());
+
+  SampleSummary out;
+  out.n = s.size();
+  out.min = s.front();
+  out.max = s.back();
+
+  double sum = 0.0;
+  for (double x : s) sum += x;
+  out.mean = sum / static_cast<double>(s.size());
+
+  double ss = 0.0;
+  for (double x : s) ss += (x - out.mean) * (x - out.mean);
+  out.stddev = s.size() > 1
+                   ? std::sqrt(ss / static_cast<double>(s.size() - 1))
+                   : 0.0;
+
+  auto sorted_quantile = [&s](double q) {
+    const double pos = q * static_cast<double>(s.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, s.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return s[lo] * (1.0 - frac) + s[hi] * frac;
+  };
+  out.median = sorted_quantile(0.5);
+  out.p25 = sorted_quantile(0.25);
+  out.p75 = sorted_quantile(0.75);
+
+  std::size_t lo = 0, hi = 0;
+  median_ci_indices(s.size(), lo, hi);
+  out.ci95_lo = s[lo];
+  out.ci95_hi = s[hi];
+  return out;
+}
+
+bool ci_overlap(const SampleSummary& a, const SampleSummary& b) {
+  return a.ci95_lo <= b.ci95_hi && b.ci95_lo <= a.ci95_hi;
+}
+
+std::string summary_to_string(const SampleSummary& s, double scale,
+                              const std::string& unit) {
+  std::ostringstream os;
+  os.precision(4);
+  os << s.median * scale;
+  if (!unit.empty()) os << " " << unit;
+  os << " [" << s.ci95_lo * scale << ", " << s.ci95_hi * scale << "]";
+  return os.str();
+}
+
+}  // namespace d500

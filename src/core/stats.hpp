@@ -1,0 +1,44 @@
+// Robust statistics for benchmarking, following the paper's methodology
+// (§V-A): medians with nonparametric 95% confidence intervals over 30 runs,
+// as recommended by Hoefler & Belli, "Scientific Benchmarking of Parallel
+// Computing Systems" (SC'15).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace d500 {
+
+/// Summary of a sample of measurements.
+struct SampleSummary {
+  std::size_t n = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;   // sample standard deviation
+  double p25 = 0.0;      // first quartile
+  double p75 = 0.0;      // third quartile
+  double ci95_lo = 0.0;  // nonparametric 95% CI of the median
+  double ci95_hi = 0.0;
+};
+
+/// Linear-interpolation quantile of an unsorted sample (q in [0,1]).
+double quantile(std::vector<double> xs, double q);
+
+double median(std::vector<double> xs);
+
+/// Full summary including the nonparametric (order-statistic / binomial)
+/// 95% confidence interval of the median.
+SampleSummary summarize(const std::vector<double>& xs);
+
+/// True when the two medians' 95% CIs overlap — the paper's criterion for
+/// "statistically indistinguishable" runtimes (§V-B).
+bool ci_overlap(const SampleSummary& a, const SampleSummary& b);
+
+/// Formats a summary like "12.34 ms [11.9, 12.8]" with the given unit scale.
+std::string summary_to_string(const SampleSummary& s, double scale = 1.0,
+                              const std::string& unit = "");
+
+}  // namespace d500

@@ -1,0 +1,80 @@
+#include "core/table.hpp"
+
+#include <cstdint>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace d500 {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  D500_CHECK_MSG(row.size() == header_.size(),
+                 "Table row width != header width");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << r[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::string rule;
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    rule += std::string(widths[c], '-') + "  ";
+  os << rule << '\n';
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  auto esc = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += "\"\"";
+      else out += ch;
+    }
+    return out + "\"";
+  };
+  std::ostringstream os;
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    os << (c ? "," : "") << esc(header_[c]);
+  os << '\n';
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c)
+      os << (c ? "," : "") << esc(r[c]);
+    os << '\n';
+  }
+  return os.str();
+}
+
+void print_bench_header(const std::string& name, std::uint64_t seed,
+                        const std::string& config) {
+  std::cout << "==================================================\n"
+            << "Deep500++ benchmark: " << name << "\n"
+            << "seed=" << seed;
+  if (!config.empty()) std::cout << "  " << config;
+  std::cout << "\n==================================================\n";
+}
+
+}  // namespace d500

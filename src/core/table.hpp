@@ -1,0 +1,36 @@
+// Plain-text result tables and CSV emission for benchmark binaries. Every
+// bench prints a reproducibility header (seed, configuration) followed by
+// one or more tables that mirror the paper's figures/tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace d500 {
+
+/// Column-aligned text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+
+  std::string to_text() const;
+  std::string to_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints the standard reproducibility header: benchmark name, seed, and
+/// free-form configuration notes.
+void print_bench_header(const std::string& name, std::uint64_t seed,
+                        const std::string& config);
+
+}  // namespace d500

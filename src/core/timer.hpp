@@ -1,0 +1,44 @@
+// Wall-clock timing utilities used by all metric implementations.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace d500 {
+
+/// Monotonic wall-clock timer with millisecond/second helpers.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+  double micros() const { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Virtual clock for the distributed-training simulator: advances only when
+/// told to, in seconds. Thread-compatible (owned per simulated rank).
+class VirtualClock {
+ public:
+  double now() const { return t_; }
+  void advance(double dt) { t_ += dt; }
+  /// Synchronization point: the clock jumps forward to `t` if behind.
+  void advance_to(double t) {
+    if (t > t_) t_ = t;
+  }
+
+ private:
+  double t_ = 0.0;
+};
+
+}  // namespace d500

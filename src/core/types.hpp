@@ -1,0 +1,136 @@
+// Fundamental descriptor types shared by all Deep500++ levels.
+//
+// `tensor_t` is the C-ABI-compatible tensor descriptor from the paper
+// (§IV-B "Interoperability: Frameworks and Platforms"): a POD struct that can
+// be passed across `extern "C"` boundaries between the meta-framework and the
+// simulated frameworks, mirroring how the Python implementation passes
+// descriptors through ctypes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace d500 {
+
+/// Element types supported by tensor descriptors. Deep500++ kernels compute in
+/// float32 (as the paper's evaluation does), but descriptors carry the wider
+/// set so format/conversion code paths are exercised.
+enum class DType : std::int32_t {
+  kFloat32 = 0,
+  kFloat64 = 1,
+  kInt32 = 2,
+  kInt64 = 3,
+  kUInt8 = 4,
+  kBitset = 5,  // paper: tensordesc extends ONNX types with e.g. bitsets
+};
+
+inline std::size_t dtype_size(DType t) {
+  switch (t) {
+    case DType::kFloat32: return 4;
+    case DType::kFloat64: return 8;
+    case DType::kInt32: return 4;
+    case DType::kInt64: return 8;
+    case DType::kUInt8: return 1;
+    case DType::kBitset: return 1;
+  }
+  throw Error("dtype_size: unknown dtype");
+}
+
+inline const char* dtype_name(DType t) {
+  switch (t) {
+    case DType::kFloat32: return "float32";
+    case DType::kFloat64: return "float64";
+    case DType::kInt32: return "int32";
+    case DType::kInt64: return "int64";
+    case DType::kUInt8: return "uint8";
+    case DType::kBitset: return "bitset";
+  }
+  return "?";
+}
+
+/// Data layout for 4-D image tensors.
+enum class Layout : std::int32_t { kNCHW = 0, kNHWC = 1 };
+
+/// Shape of a tensor: dimension sizes, outermost first.
+using Shape = std::vector<std::int64_t>;
+
+inline std::int64_t shape_elements(const Shape& s) {
+  std::int64_t n = 1;
+  for (auto d : s) {
+    D500_CHECK_MSG(d >= 0, "negative dimension in shape");
+    n *= d;
+  }
+  return n;
+}
+
+inline std::string shape_to_string(const Shape& s) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(s[i]);
+  }
+  return out + "]";
+}
+
+/// Maximum rank representable in the C-ABI descriptor.
+inline constexpr int kMaxRank = 8;
+
+/// C-ABI compatible tensor descriptor (paper: `deep500::tensor_t`).
+/// Plain-old-data so it can cross `extern "C"` boundaries; carries an
+/// unowned data pointer plus type/shape/layout information.
+struct tensor_t {
+  void* data = nullptr;
+  std::int32_t dtype = static_cast<std::int32_t>(DType::kFloat32);
+  std::int32_t layout = static_cast<std::int32_t>(Layout::kNCHW);
+  std::int32_t rank = 0;
+  std::int64_t dims[kMaxRank] = {0};
+
+  std::int64_t elements() const {
+    std::int64_t n = 1;
+    for (int i = 0; i < rank; ++i) n *= dims[i];
+    return n;
+  }
+};
+static_assert(std::is_standard_layout_v<tensor_t>,
+              "tensor_t must remain C-ABI compatible");
+static_assert(std::is_trivially_copyable_v<tensor_t>,
+              "tensor_t must remain C-ABI compatible");
+
+/// Builds a descriptor (shape only, no data) — analogous to the Python
+/// `d5.tensordesc(...)` helper in paper Listing 4.
+inline tensor_t tensordesc(DType dt, const Shape& shape,
+                           Layout layout = Layout::kNCHW) {
+  D500_CHECK_MSG(shape.size() <= kMaxRank, "rank exceeds kMaxRank");
+  tensor_t t;
+  t.dtype = static_cast<std::int32_t>(dt);
+  t.layout = static_cast<std::int32_t>(layout);
+  t.rank = static_cast<std::int32_t>(shape.size());
+  for (std::size_t i = 0; i < shape.size(); ++i) t.dims[i] = shape[i];
+  return t;
+}
+
+inline Shape desc_shape(const tensor_t& t) {
+  return Shape(t.dims, t.dims + t.rank);
+}
+
+/// Kind of compute device a framework or operator targets. The paper uses
+/// extensible device descriptors to pick the most advantageous device per
+/// operator; in this reproduction all devices execute on the host CPU, but
+/// the descriptor still selects backend/overhead profiles.
+enum class DeviceKind : std::int32_t { kCPU = 0, kGPU = 1, kFPGA = 2, kASIC = 3 };
+
+/// Device descriptor (paper §IV-B).
+struct DeviceDesc {
+  DeviceKind kind = DeviceKind::kCPU;
+  int index = 0;
+  std::string name = "cpu0";
+
+  bool operator==(const DeviceDesc&) const = default;
+};
+
+}  // namespace d500

@@ -1,0 +1,245 @@
+#include "data/codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "core/error.hpp"
+#include "core/serialize.hpp"
+
+namespace d500 {
+
+const char* decoder_name(DecoderKind k) {
+  switch (k) {
+    case DecoderKind::kPilSim: return "pil_sim";
+    case DecoderKind::kTurboSim: return "turbo_sim";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr std::uint32_t kCodecMagic = 0x44354A31;  // "D5J1"
+constexpr int kB = 8;  // block size
+
+// Zig-zag scan order for an 8x8 block.
+constexpr int kZigzag[64] = {
+    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+
+// Luminance-style base quantization table.
+constexpr int kBaseQuant[64] = {
+    16, 11, 10, 16, 24,  40,  51,  61,  12, 12, 14, 19, 26,  58,  60,  55,
+    14, 13, 16, 24, 40,  57,  69,  56,  14, 17, 22, 29, 51,  87,  80,  62,
+    18, 22, 37, 56, 68,  109, 103, 77,  24, 35, 55, 64, 81,  104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99};
+
+void quant_table(int quality, int out[64]) {
+  quality = std::clamp(quality, 1, 100);
+  const int scale = quality < 50 ? 5000 / quality : 200 - 2 * quality;
+  for (int i = 0; i < 64; ++i) {
+    int q = (kBaseQuant[i] * scale + 50) / 100;
+    out[i] = std::clamp(q, 1, 255);
+  }
+}
+
+// Forward DCT-II on one 8x8 block (float, direct formulation — encode speed
+// is not benchmarked).
+void fdct8x8(const float in[64], float out[64]) {
+  constexpr double kPi = 3.14159265358979323846;
+  for (int u = 0; u < kB; ++u) {
+    for (int v = 0; v < kB; ++v) {
+      double acc = 0.0;
+      for (int x = 0; x < kB; ++x)
+        for (int y = 0; y < kB; ++y)
+          acc += in[x * kB + y] *
+                 std::cos((2 * x + 1) * u * kPi / (2 * kB)) *
+                 std::cos((2 * y + 1) * v * kPi / (2 * kB));
+      const double cu = u == 0 ? 1.0 / std::sqrt(2.0) : 1.0;
+      const double cv = v == 0 ? 1.0 / std::sqrt(2.0) : 1.0;
+      out[u * kB + v] = static_cast<float>(0.25 * cu * cv * acc);
+    }
+  }
+}
+
+// "PIL-like" IDCT: direct quadruple loop with cos() evaluated inline.
+void idct8x8_pil(const float in[64], float out[64]) {
+  constexpr double kPi = 3.14159265358979323846;
+  for (int x = 0; x < kB; ++x) {
+    for (int y = 0; y < kB; ++y) {
+      double acc = 0.0;
+      for (int u = 0; u < kB; ++u)
+        for (int v = 0; v < kB; ++v) {
+          const double cu = u == 0 ? 1.0 / std::sqrt(2.0) : 1.0;
+          const double cv = v == 0 ? 1.0 / std::sqrt(2.0) : 1.0;
+          acc += cu * cv * in[u * kB + v] *
+                 std::cos((2 * x + 1) * u * kPi / (2 * kB)) *
+                 std::cos((2 * y + 1) * v * kPi / (2 * kB));
+        }
+      out[x * kB + y] = static_cast<float>(0.25 * acc);
+    }
+  }
+}
+
+// "turbo-like" IDCT: precomputed basis + separable row-column passes.
+struct IdctTables {
+  float basis[kB][kB];  // basis[u][x] = c(u) * cos((2x+1)u*pi/16) * 0.5
+  IdctTables() {
+    constexpr double kPi = 3.14159265358979323846;
+    for (int u = 0; u < kB; ++u) {
+      const double cu = u == 0 ? 1.0 / std::sqrt(2.0) : 1.0;
+      for (int x = 0; x < kB; ++x)
+        basis[u][x] = static_cast<float>(
+            0.5 * cu * std::cos((2 * x + 1) * u * kPi / (2 * kB)));
+    }
+  }
+};
+
+void idct8x8_turbo(const float in[64], float out[64]) {
+  static const IdctTables t;
+  float tmp[64];
+  // Rows: tmp[u][y] = sum_v in[u][v] * basis[v][y]
+  for (int u = 0; u < kB; ++u) {
+    for (int y = 0; y < kB; ++y) {
+      float acc = 0.0f;
+      for (int v = 0; v < kB; ++v) acc += in[u * kB + v] * t.basis[v][y];
+      tmp[u * kB + y] = acc;
+    }
+  }
+  // Columns: out[x][y] = sum_u tmp[u][y] * basis[u][x]
+  for (int x = 0; x < kB; ++x) {
+    for (int y = 0; y < kB; ++y) {
+      float acc = 0.0f;
+      for (int u = 0; u < kB; ++u) acc += tmp[u * kB + y] * t.basis[u][x];
+      out[x * kB + y] = acc;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_image(const RawImage& img, int quality) {
+  D500_CHECK_MSG(img.pixels.size() == img.size(), "encode: pixel size mismatch");
+  int quant[64];
+  quant_table(quality, quant);
+
+  BinaryWriter w;
+  w.u32(kCodecMagic);
+  w.u8(static_cast<std::uint8_t>(img.channels));
+  w.varint(static_cast<std::uint64_t>(img.height));
+  w.varint(static_cast<std::uint64_t>(img.width));
+  w.u8(static_cast<std::uint8_t>(std::clamp(quality, 1, 100)));
+
+  const int bh = (img.height + kB - 1) / kB;
+  const int bw = (img.width + kB - 1) / kB;
+  float block[64], coef[64];
+  for (int c = 0; c < img.channels; ++c) {
+    const std::uint8_t* plane =
+        img.pixels.data() + static_cast<std::size_t>(c) * img.height * img.width;
+    for (int by = 0; by < bh; ++by) {
+      for (int bx = 0; bx < bw; ++bx) {
+        // Gather (clamped at edges), center around 0.
+        for (int x = 0; x < kB; ++x)
+          for (int y = 0; y < kB; ++y) {
+            const int px = std::min(by * kB + x, img.height - 1);
+            const int py = std::min(bx * kB + y, img.width - 1);
+            block[x * kB + y] =
+                static_cast<float>(plane[px * img.width + py]) - 128.0f;
+          }
+        fdct8x8(block, coef);
+        // Quantize + zig-zag + RLE(zeros) with zig-zag signed values.
+        int run = 0;
+        for (int i = 0; i < 64; ++i) {
+          const int zi = kZigzag[i];
+          const int q = static_cast<int>(std::lround(coef[zi] / quant[zi]));
+          if (q == 0) {
+            ++run;
+            continue;
+          }
+          w.varint(static_cast<std::uint64_t>(run));
+          // zig-zag-encode the signed value
+          const std::uint64_t zz =
+              q >= 0 ? static_cast<std::uint64_t>(q) << 1
+                     : (static_cast<std::uint64_t>(-q) << 1) | 1;
+          w.varint(zz);
+          run = 0;
+        }
+        w.varint(64);  // end-of-block marker (run can never reach 64 mid-block)
+      }
+    }
+  }
+  return w.take();
+}
+
+RawImage decode_image(std::span<const std::uint8_t> data, DecoderKind decoder) {
+  BinaryReader r(data);
+  if (r.u32() != kCodecMagic) throw FormatError("d5j: bad magic");
+  RawImage img;
+  img.channels = r.u8();
+  img.height = static_cast<int>(r.varint());
+  img.width = static_cast<int>(r.varint());
+  const int quality = r.u8();
+  if (img.channels <= 0 || img.height <= 0 || img.width <= 0)
+    throw FormatError("d5j: bad dimensions");
+  img.pixels.assign(img.size(), 0);
+
+  int quant[64];
+  quant_table(quality, quant);
+
+  const int bh = (img.height + kB - 1) / kB;
+  const int bw = (img.width + kB - 1) / kB;
+  float coef[64], block[64];
+  for (int c = 0; c < img.channels; ++c) {
+    std::uint8_t* plane =
+        img.pixels.data() + static_cast<std::size_t>(c) * img.height * img.width;
+    for (int by = 0; by < bh; ++by) {
+      for (int bx = 0; bx < bw; ++bx) {
+        std::memset(coef, 0, sizeof(coef));
+        int pos = 0;
+        while (true) {
+          const std::uint64_t run = r.varint();
+          if (run >= 64) break;  // end of block
+          pos += static_cast<int>(run);
+          if (pos >= 64) throw FormatError("d5j: coefficient overrun");
+          const std::uint64_t zz = r.varint();
+          const std::int64_t q =
+              (zz & 1) ? -static_cast<std::int64_t>(zz >> 1)
+                       : static_cast<std::int64_t>(zz >> 1);
+          const int zi = kZigzag[pos];
+          coef[zi] = static_cast<float>(q) * static_cast<float>(quant[zi]);
+          ++pos;
+        }
+        switch (decoder) {
+          case DecoderKind::kPilSim: idct8x8_pil(coef, block); break;
+          case DecoderKind::kTurboSim: idct8x8_turbo(coef, block); break;
+        }
+        for (int x = 0; x < kB; ++x) {
+          const int px = by * kB + x;
+          if (px >= img.height) break;
+          for (int y = 0; y < kB; ++y) {
+            const int py = bx * kB + y;
+            if (py >= img.width) break;
+            const float v = block[x * kB + y] + 128.0f;
+            plane[px * img.width + py] = static_cast<std::uint8_t>(
+                std::clamp(static_cast<int>(std::lround(v)), 0, 255));
+          }
+        }
+      }
+    }
+  }
+  return img;
+}
+
+int codec_error_bound(int quality) {
+  // Empirical: at quality q the worst-case pixel error is bounded by the
+  // largest quantization step (DC term dominates).
+  int quant[64];
+  quant_table(quality, quant);
+  int mx = 0;
+  for (int i = 0; i < 64; ++i) mx = std::max(mx, quant[i]);
+  return mx;
+}
+
+}  // namespace d500

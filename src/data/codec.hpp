@@ -1,0 +1,50 @@
+// Toy lossy image codec ("d5j") standing in for JPEG in the dataset
+// ingestion experiments (paper Fig. 8 / Table III).
+//
+// Real pipeline stages with real, asymmetric cost: 8x8 block DCT-II,
+// quality-scaled quantization, zig-zag reordering, zero-run-length +
+// varint entropy coding. Two decoder implementations with genuinely
+// different speed play the roles of the paper's decoders:
+//   * DecoderKind::kPilSim   — direct O(64^2) per-block IDCT with cos()
+//                              evaluated inline (PIL-like, slow)
+//   * DecoderKind::kTurboSim — precomputed separable basis, row-column
+//                              IDCT (libjpeg-turbo-like, fast)
+// Both compute the same transform (pixels agree to within 1 quantization
+// of rounding), so correctness tests can cross-validate them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace d500 {
+
+/// Raw image: uint8 pixels, channel-major ([C][H][W]).
+struct RawImage {
+  int channels = 0;
+  int height = 0;
+  int width = 0;
+  std::vector<std::uint8_t> pixels;
+
+  std::size_t size() const {
+    return static_cast<std::size_t>(channels) * height * width;
+  }
+};
+
+/// Encodes with the given quality in [1, 100]; higher = larger/closer.
+std::vector<std::uint8_t> encode_image(const RawImage& img, int quality = 75);
+
+enum class DecoderKind { kPilSim, kTurboSim };
+
+const char* decoder_name(DecoderKind k);
+
+/// Decodes a d5j payload. Throws FormatError on malformed input.
+RawImage decode_image(std::span<const std::uint8_t> data, DecoderKind decoder);
+
+/// Maximum absolute pixel error the codec may introduce at the given
+/// quality (used by tests to bound lossiness).
+int codec_error_bound(int quality);
+
+}  // namespace d500

@@ -1,0 +1,343 @@
+#include "data/container.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/error.hpp"
+#include "core/serialize.hpp"
+
+namespace d500 {
+
+// ---- Raw binary container ---------------------------------------------
+
+namespace {
+constexpr std::uint32_t kBinMagic = 0x44354231;  // "D5B1"
+}
+
+void write_binary_container(const std::string& path,
+                            const std::vector<Record>& records) {
+  D500_CHECK_MSG(!records.empty(), "binary container: no records");
+  const std::size_t rec_bytes = records[0].payload.size();
+  for (const auto& r : records)
+    D500_CHECK_MSG(r.payload.size() == rec_bytes,
+                   "binary container requires fixed-size records");
+  BinaryWriter w;
+  w.u32(kBinMagic);
+  w.u64(records.size());
+  w.u64(rec_bytes);
+  for (const auto& r : records) w.raw(r.payload.data(), rec_bytes);
+  for (const auto& r : records) w.i64(r.label);
+  write_file(path, w.buffer());
+}
+
+BinaryContainerReader::BinaryContainerReader(const std::string& path) {
+  const auto bytes = read_file(path);
+  BinaryReader r(bytes);
+  if (r.u32() != kBinMagic) throw FormatError("binary container: bad magic");
+  count_ = static_cast<std::int64_t>(r.u64());
+  record_bytes_ = static_cast<std::int64_t>(r.u64());
+  data_.resize(static_cast<std::size_t>(count_ * record_bytes_));
+  r.raw(data_.data(), data_.size());
+  labels_.resize(static_cast<std::size_t>(count_));
+  for (auto& l : labels_) l = r.i64();
+}
+
+std::span<const std::uint8_t> BinaryContainerReader::payload(
+    std::int64_t i) const {
+  D500_CHECK(i >= 0 && i < count_);
+  return {data_.data() + static_cast<std::size_t>(i * record_bytes_),
+          static_cast<std::size_t>(record_bytes_)};
+}
+
+std::int64_t BinaryContainerReader::label(std::int64_t i) const {
+  D500_CHECK(i >= 0 && i < count_);
+  return labels_[static_cast<std::size_t>(i)];
+}
+
+// ---- RecordFile ----------------------------------------------------------
+
+void write_record_file(const std::string& path,
+                       const std::vector<Record>& records) {
+  BinaryWriter w;
+  for (const auto& r : records) {
+    w.varint(r.payload.size());
+    w.raw(r.payload.data(), r.payload.size());
+    w.varint(static_cast<std::uint64_t>(r.label));
+  }
+  write_file(path, w.buffer());
+}
+
+std::vector<std::string> write_sharded_record_files(
+    const std::string& base_path, const std::vector<Record>& records,
+    int shards) {
+  D500_CHECK(shards >= 1);
+  std::vector<std::string> paths;
+  for (int s = 0; s < shards; ++s) {
+    std::vector<Record> part;
+    for (std::size_t i = static_cast<std::size_t>(s); i < records.size();
+         i += static_cast<std::size_t>(shards))
+      part.push_back(records[i]);
+    const std::string p = base_path + ".shard" + std::to_string(s);
+    if (!part.empty()) {
+      write_record_file(p, part);
+      paths.push_back(p);
+    }
+  }
+  return paths;
+}
+
+RecordFileReader::RecordFileReader(std::vector<std::string> paths,
+                                   std::int64_t buffer_records,
+                                   std::uint64_t seed)
+    : paths_(std::move(paths)), buffer_target_(buffer_records), rng_(seed) {
+  D500_CHECK_MSG(!paths_.empty(), "RecordFileReader: no shards");
+  // Count total records once.
+  for (std::size_t s = 0; s < paths_.size(); ++s) {
+    open_shard(s);
+    Record r;
+    while (read_one(r)) ++total_;
+  }
+  bytes_read_ = 0;  // counting starts after the size scan
+  open_shard(0);
+}
+
+void RecordFileReader::open_shard(std::size_t idx) {
+  shard_ = idx;
+  in_.close();
+  in_.clear();
+  in_.open(paths_[shard_], std::ios::binary);
+  if (!in_) throw Error("RecordFileReader: cannot open " + paths_[shard_]);
+}
+
+bool RecordFileReader::read_one(Record& out) {
+  // Varint length.
+  std::uint64_t len = 0;
+  int shift = 0;
+  while (true) {
+    const int c = in_.get();
+    if (c == EOF) return false;
+    ++bytes_read_;
+    len |= static_cast<std::uint64_t>(c & 0x7F) << shift;
+    if (!(c & 0x80)) break;
+    shift += 7;
+    if (shift >= 64) throw FormatError("record file: varint overflow");
+  }
+  out.payload.resize(len);
+  in_.read(reinterpret_cast<char*>(out.payload.data()),
+           static_cast<std::streamsize>(len));
+  if (!in_) throw FormatError("record file: truncated payload");
+  bytes_read_ += len;
+  std::uint64_t label = 0;
+  shift = 0;
+  while (true) {
+    const int c = in_.get();
+    if (c == EOF) throw FormatError("record file: truncated label");
+    ++bytes_read_;
+    label |= static_cast<std::uint64_t>(c & 0x7F) << shift;
+    if (!(c & 0x80)) break;
+    shift += 7;
+  }
+  out.label = static_cast<std::int64_t>(label);
+  return true;
+}
+
+void RecordFileReader::refill() {
+  buffer_.clear();
+  buffer_pos_ = 0;
+  const std::int64_t want = std::max<std::int64_t>(buffer_target_, 1);
+  while (static_cast<std::int64_t>(buffer_.size()) < want) {
+    Record r;
+    if (read_one(r)) {
+      buffer_.push_back(std::move(r));
+      continue;
+    }
+    // Advance to the next shard; wrap at the end (stream semantics).
+    const std::size_t next = (shard_ + 1) % paths_.size();
+    open_shard(next);
+    if (buffer_.empty() && next == 0 && total_ == 0)
+      throw Error("RecordFileReader: empty dataset");
+    if (!buffer_.empty() && next == 0) break;  // avoid double epoch in one fill
+  }
+  // Pseudo-shuffle: permute within the in-memory window only (the paper's
+  // chunk-based loading, which trades stochasticity for pipelining).
+  if (buffer_target_ > 0)
+    for (std::size_t i = buffer_.size(); i > 1; --i)
+      std::swap(buffer_[i - 1], buffer_[rng_.below(i)]);
+}
+
+Record RecordFileReader::next() {
+  if (buffer_pos_ >= buffer_.size()) refill();
+  return std::move(buffer_[buffer_pos_++]);
+}
+
+// ---- IndexedTar ----------------------------------------------------------
+
+namespace {
+
+constexpr std::size_t kTarBlock = 512;
+
+void tar_write_octal(char* field, std::size_t len, std::uint64_t value) {
+  // len-1 octal digits, NUL-terminated.
+  for (std::size_t i = 0; i + 1 < len; ++i) {
+    field[len - 2 - i] = static_cast<char>('0' + (value & 7));
+    value >>= 3;
+  }
+  field[len - 1] = '\0';
+}
+
+std::uint64_t tar_read_octal(const char* field, std::size_t len) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < len && field[i]; ++i) {
+    if (field[i] == ' ') continue;
+    if (field[i] < '0' || field[i] > '7') break;
+    v = (v << 3) | static_cast<std::uint64_t>(field[i] - '0');
+  }
+  return v;
+}
+
+struct TarHeader {
+  char name[100];
+  char mode[8];
+  char uid[8];
+  char gid[8];
+  char size[12];
+  char mtime[12];
+  char chksum[8];
+  char typeflag;
+  char linkname[100];
+  char magic[6];
+  char version[2];
+  char uname[32];
+  char gname[32];
+  char devmajor[8];
+  char devminor[8];
+  char prefix[155];
+  char pad[12];
+};
+static_assert(sizeof(TarHeader) == kTarBlock, "ustar header must be 512 bytes");
+
+void fill_header(TarHeader& h, const std::string& name, std::uint64_t size) {
+  std::memset(&h, 0, sizeof(h));
+  D500_CHECK_MSG(name.size() < sizeof(h.name), "tar member name too long");
+  std::memcpy(h.name, name.c_str(), name.size());
+  tar_write_octal(h.mode, sizeof(h.mode), 0644);
+  tar_write_octal(h.uid, sizeof(h.uid), 0);
+  tar_write_octal(h.gid, sizeof(h.gid), 0);
+  tar_write_octal(h.size, sizeof(h.size), size);
+  tar_write_octal(h.mtime, sizeof(h.mtime), 0);
+  h.typeflag = '0';
+  std::memcpy(h.magic, "ustar", 6);
+  h.version[0] = '0';
+  h.version[1] = '0';
+  std::memcpy(h.uname, "d500", 4);
+  std::memcpy(h.gname, "d500", 4);
+  // Checksum: sum of all header bytes with the checksum field as spaces.
+  std::memset(h.chksum, ' ', sizeof(h.chksum));
+  const auto* bytes = reinterpret_cast<const unsigned char*>(&h);
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < kTarBlock; ++i) sum += bytes[i];
+  // Conventional format: 6 octal digits, NUL, space.
+  for (int i = 5; i >= 0; --i) {
+    h.chksum[i] = static_cast<char>('0' + (sum & 7));
+    sum >>= 3;
+  }
+  h.chksum[6] = '\0';
+  h.chksum[7] = ' ';
+}
+
+}  // namespace
+
+void write_indexed_tar(const std::string& path,
+                       const std::vector<Record>& records) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw Error("write_indexed_tar: cannot open " + path);
+  BinaryWriter index;
+  index.varint(records.size());
+  std::uint64_t offset = 0;
+  TarHeader h;
+  const char zeros[kTarBlock] = {0};
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    fill_header(h, "rec" + std::to_string(i) + ".d5j", r.payload.size());
+    f.write(reinterpret_cast<const char*>(&h), kTarBlock);
+    offset += kTarBlock;
+    index.varint(offset);               // data offset
+    index.varint(r.payload.size());     // data size
+    index.varint(static_cast<std::uint64_t>(r.label));
+    f.write(reinterpret_cast<const char*>(r.payload.data()),
+            static_cast<std::streamsize>(r.payload.size()));
+    const std::size_t padding =
+        (kTarBlock - r.payload.size() % kTarBlock) % kTarBlock;
+    f.write(zeros, static_cast<std::streamsize>(padding));
+    offset += r.payload.size() + padding;
+  }
+  // End-of-archive: two zero blocks.
+  f.write(zeros, kTarBlock);
+  f.write(zeros, kTarBlock);
+  if (!f) throw Error("write_indexed_tar: write failed");
+  f.close();
+  write_file(path + ".idx", index.buffer());
+}
+
+IndexedTarReader::IndexedTarReader(const std::string& path) {
+  const auto idx_bytes = read_file(path + ".idx");
+  BinaryReader r(idx_bytes);
+  const std::uint64_t n = r.varint();
+  index_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Entry e;
+    e.offset = r.varint();
+    e.size = r.varint();
+    e.label = static_cast<std::int64_t>(r.varint());
+    index_.push_back(e);
+  }
+  in_.open(path, std::ios::binary);
+  if (!in_) throw Error("IndexedTarReader: cannot open " + path);
+}
+
+Record IndexedTarReader::read(std::int64_t i) {
+  D500_CHECK(i >= 0 && i < size());
+  const Entry& e = index_[static_cast<std::size_t>(i)];
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(e.offset));
+  Record rec;
+  rec.payload.resize(e.size);
+  in_.read(reinterpret_cast<char*>(rec.payload.data()),
+           static_cast<std::streamsize>(e.size));
+  if (!in_) throw FormatError("IndexedTarReader: truncated member");
+  bytes_read_ += e.size;
+  rec.label = e.label;
+  return rec;
+}
+
+bool validate_ustar(const std::string& path, std::int64_t expected_members) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  TarHeader h;
+  std::int64_t members = 0;
+  while (f.read(reinterpret_cast<char*>(&h), kTarBlock)) {
+    const auto* bytes = reinterpret_cast<const unsigned char*>(&h);
+    bool all_zero = true;
+    for (std::size_t i = 0; i < kTarBlock; ++i)
+      if (bytes[i] != 0) {
+        all_zero = false;
+        break;
+      }
+    if (all_zero) break;  // end-of-archive
+    if (std::memcmp(h.magic, "ustar", 5) != 0) return false;
+    // Verify checksum.
+    TarHeader copy = h;
+    std::memset(copy.chksum, ' ', sizeof(copy.chksum));
+    const auto* cb = reinterpret_cast<const unsigned char*>(&copy);
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < kTarBlock; ++i) sum += cb[i];
+    if (sum != tar_read_octal(h.chksum, sizeof(h.chksum))) return false;
+    const std::uint64_t size = tar_read_octal(h.size, sizeof(h.size));
+    const std::uint64_t blocks = (size + kTarBlock - 1) / kTarBlock;
+    f.seekg(static_cast<std::streamoff>(blocks * kTarBlock), std::ios::cur);
+    ++members;
+  }
+  return members == expected_members;
+}
+
+}  // namespace d500

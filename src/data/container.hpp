@@ -1,0 +1,132 @@
+// On-disk dataset containers (paper Fig. 8 / Table III).
+//
+// Three formats with the access characteristics the paper measures:
+//  * Raw binary (IDX-like): fixed-size uint8 records, preloaded to memory —
+//    the MNIST/CIFAR row of Fig. 8.
+//  * RecordFile (TFRecord-like): length-prefixed records streamed
+//    sequentially; random access only via the chunk-based pseudo-shuffle
+//    buffer (a window of records is loaded and shuffled in memory, as the
+//    paper describes TensorFlow's 10,000-image shuffle buffer).
+//  * IndexedTar: a real POSIX ustar archive with one member per record and
+//    a sidecar index of offsets — true random access via seek, one
+//    pread-style access per record (the paper's IndexedTarDataset).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace d500 {
+
+/// A dataset record: encoded payload + integer label.
+struct Record {
+  std::vector<std::uint8_t> payload;
+  std::int64_t label = 0;
+};
+
+// ---- Raw binary container ---------------------------------------------
+
+/// Writes fixed-size records: header {count, record_bytes}, then packed
+/// payloads, then int64 labels.
+void write_binary_container(const std::string& path,
+                            const std::vector<Record>& records);
+
+/// Loads the whole container into memory (the "already stored in memory"
+/// behaviour of small datasets in Fig. 8).
+class BinaryContainerReader {
+ public:
+  explicit BinaryContainerReader(const std::string& path);
+  std::int64_t size() const { return count_; }
+  std::int64_t record_bytes() const { return record_bytes_; }
+  /// Zero-copy view of record i's payload.
+  std::span<const std::uint8_t> payload(std::int64_t i) const;
+  std::int64_t label(std::int64_t i) const;
+
+ private:
+  std::int64_t count_ = 0;
+  std::int64_t record_bytes_ = 0;
+  std::vector<std::uint8_t> data_;
+  std::vector<std::int64_t> labels_;
+};
+
+// ---- RecordFile (TFRecord-like) ----------------------------------------
+
+/// Writes records as {varint len, payload, varint label}, optionally
+/// sharded into `shards` files "<path>.shard<k>".
+void write_record_file(const std::string& path,
+                       const std::vector<Record>& records);
+std::vector<std::string> write_sharded_record_files(
+    const std::string& base_path, const std::vector<Record>& records,
+    int shards);
+
+/// Streaming reader with a pseudo-shuffle buffer: fills a window of
+/// `buffer_records` from the stream, then serves them in shuffled order,
+/// refilling chunk by chunk. With buffer_records == 0, serves sequentially.
+class RecordFileReader {
+ public:
+  RecordFileReader(std::vector<std::string> paths,
+                   std::int64_t buffer_records, std::uint64_t seed);
+
+  /// Next record; wraps around at end of all shards (epoch semantics are
+  /// the caller's concern).
+  Record next();
+
+  /// Total records across shards (scans once at construction).
+  std::int64_t size() const { return total_; }
+
+  /// Bytes read from disk so far (I/O accounting for the latency bench).
+  std::uint64_t bytes_read() const { return bytes_read_; }
+
+ private:
+  bool read_one(Record& out);
+  void open_shard(std::size_t idx);
+  void refill();
+
+  std::vector<std::string> paths_;
+  std::size_t shard_ = 0;
+  std::ifstream in_;
+  std::int64_t total_ = 0;
+  std::int64_t buffer_target_;
+  std::vector<Record> buffer_;
+  std::size_t buffer_pos_ = 0;
+  Rng rng_;
+  std::uint64_t bytes_read_ = 0;
+};
+
+// ---- IndexedTar ----------------------------------------------------------
+
+/// Writes a POSIX ustar archive with members "rec<i>.d5j" plus a sidecar
+/// "<path>.idx" with {offset, size, label} per record.
+void write_indexed_tar(const std::string& path,
+                       const std::vector<Record>& records);
+
+/// True random access: each read() seeks to the member and reads only its
+/// bytes. The archive is NOT preloaded.
+class IndexedTarReader {
+ public:
+  explicit IndexedTarReader(const std::string& path);
+  std::int64_t size() const { return static_cast<std::int64_t>(index_.size()); }
+  Record read(std::int64_t i);
+  std::uint64_t bytes_read() const { return bytes_read_; }
+
+ private:
+  struct Entry {
+    std::uint64_t offset;
+    std::uint64_t size;
+    std::int64_t label;
+  };
+  std::ifstream in_;
+  std::vector<Entry> index_;
+  std::uint64_t bytes_read_ = 0;
+};
+
+/// Verifies that a file is a well-formed ustar archive readable by
+/// standard tar (header checksums, member sizes). Used by tests.
+bool validate_ustar(const std::string& path, std::int64_t expected_members);
+
+}  // namespace d500

@@ -1,0 +1,222 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+
+namespace d500 {
+
+void Dataset::fill_batch(std::span<const std::int64_t> indices, Tensor& data,
+                         Tensor& labels) {
+  const Shape s = sample_shape();
+  const std::int64_t sample_elems = shape_elements(s);
+  D500_CHECK_MSG(data.dim(0) == static_cast<std::int64_t>(indices.size()) &&
+                 data.elements() == sample_elems * data.dim(0),
+                 "fill_batch: data tensor shape mismatch");
+  D500_CHECK_MSG(labels.elements() ==
+                 static_cast<std::int64_t>(indices.size()),
+                 "fill_batch: labels tensor shape mismatch");
+  Tensor sample(s);
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    std::int64_t label = 0;
+    get(indices[k], sample, label);
+    std::copy(sample.data(), sample.data() + sample_elems,
+              data.data() + static_cast<std::int64_t>(k) * sample_elems);
+    labels.at(static_cast<std::int64_t>(k)) = static_cast<float>(label);
+  }
+}
+
+DatasetSpec mnist_like_spec() { return {"mnist-like", 1, 28, 28, 10, 4096}; }
+DatasetSpec fashion_mnist_like_spec() {
+  return {"fashion-mnist-like", 1, 28, 28, 10, 4096};
+}
+DatasetSpec cifar10_like_spec() { return {"cifar10-like", 3, 32, 32, 10, 4096}; }
+DatasetSpec cifar100_like_spec() {
+  return {"cifar100-like", 3, 32, 32, 100, 4096};
+}
+DatasetSpec imagenet_like_spec() {
+  return {"imagenet-like", 3, 64, 64, 1000, 2048};
+}
+
+ProceduralImageDataset::ProceduralImageDataset(DatasetSpec spec,
+                                               std::uint64_t seed,
+                                               float noise_stddev,
+                                               std::int64_t index_offset)
+    : spec_(std::move(spec)), seed_(seed), noise_(noise_stddev),
+      index_offset_(index_offset) {
+  // Class templates: smooth blobs so that nearby pixels correlate (gives
+  // convolutions something to learn). Deterministic per (seed, class).
+  templates_.resize(static_cast<std::size_t>(spec_.classes));
+  const std::int64_t chw = spec_.channels * spec_.height * spec_.width;
+  Rng master(seed_);
+  for (std::int64_t c = 0; c < spec_.classes; ++c) {
+    Rng rng = master.fork(static_cast<std::uint64_t>(c) + 1000);
+    auto& tpl = templates_[static_cast<std::size_t>(c)];
+    tpl.resize(static_cast<std::size_t>(chw));
+    // Sum of a few random Gaussian bumps per channel.
+    for (std::int64_t ch = 0; ch < spec_.channels; ++ch) {
+      float* plane = tpl.data() + ch * spec_.height * spec_.width;
+      const int bumps = 3;
+      std::vector<float> cx(bumps), cy(bumps), amp(bumps), sig(bumps);
+      for (int b = 0; b < bumps; ++b) {
+        cx[b] = rng.uniform(0.0f, static_cast<float>(spec_.height));
+        cy[b] = rng.uniform(0.0f, static_cast<float>(spec_.width));
+        amp[b] = rng.uniform(0.3f, 1.0f);
+        sig[b] = rng.uniform(0.1f, 0.3f) * static_cast<float>(spec_.height);
+      }
+      for (std::int64_t x = 0; x < spec_.height; ++x)
+        for (std::int64_t y = 0; y < spec_.width; ++y) {
+          float v = 0.0f;
+          for (int b = 0; b < bumps; ++b) {
+            const float dx = (static_cast<float>(x) - cx[b]) / sig[b];
+            const float dy = (static_cast<float>(y) - cy[b]) / sig[b];
+            v += amp[b] * std::exp(-0.5f * (dx * dx + dy * dy));
+          }
+          plane[x * spec_.width + y] = v;
+        }
+    }
+  }
+}
+
+void ProceduralImageDataset::get(std::int64_t i, Tensor& out,
+                                 std::int64_t& label) {
+  D500_CHECK(i >= 0 && i < size());
+  label = i % spec_.classes;
+  const auto& tpl = templates_[static_cast<std::size_t>(label)];
+  Rng rng(seed_ ^ (0x9E3779B97F4A7C15ULL *
+                   (static_cast<std::uint64_t>(i + index_offset_) + 1)));
+  D500_CHECK(out.elements() == static_cast<std::int64_t>(tpl.size()));
+  for (std::size_t k = 0; k < tpl.size(); ++k)
+    out.at(static_cast<std::int64_t>(k)) = tpl[k] + rng.normal(0.0f, noise_);
+}
+
+RawImage ProceduralImageDataset::raw(std::int64_t i, std::int64_t& label) const {
+  RawImage img;
+  img.channels = static_cast<int>(spec_.channels);
+  img.height = static_cast<int>(spec_.height);
+  img.width = static_cast<int>(spec_.width);
+  img.pixels.resize(img.size());
+  label = i % spec_.classes;
+  const auto& tpl = templates_[static_cast<std::size_t>(label)];
+  Rng rng(seed_ ^ (0x9E3779B97F4A7C15ULL *
+                   (static_cast<std::uint64_t>(i + index_offset_) + 1)));
+  for (std::size_t k = 0; k < tpl.size(); ++k) {
+    const float v = (tpl[k] + rng.normal(0.0f, noise_)) * 127.0f + 64.0f;
+    img.pixels[k] = static_cast<std::uint8_t>(
+        std::clamp(static_cast<int>(std::lround(v)), 0, 255));
+  }
+  return img;
+}
+
+SyntheticDataset::SyntheticDataset(DatasetSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)), rng_(seed) {}
+
+void SyntheticDataset::get(std::int64_t i, Tensor& out, std::int64_t& label) {
+  // Allocate + generate fresh data (the cost Fig. 8 compares against real
+  // loading). The allocation is deliberately not reused.
+  Tensor fresh(sample_shape());
+  fresh.fill_uniform(rng_, 0.0f, 1.0f);
+  out = std::move(fresh);
+  label = static_cast<std::int64_t>(rng_.below(
+      static_cast<std::uint64_t>(spec_.classes)));
+}
+
+BinaryFileDataset::BinaryFileDataset(const std::string& path, DatasetSpec spec,
+                                     bool preload)
+    : spec_(std::move(spec)), preload_(preload) {
+  if (preload_) {
+    reader_ = std::make_unique<BinaryContainerReader>(path);
+    count_ = reader_->size();
+    record_bytes_ = reader_->record_bytes();
+  } else {
+    // Streaming: read the header + labels once, keep the file open and
+    // fetch payloads on demand.
+    BinaryContainerReader header(path);
+    count_ = header.size();
+    record_bytes_ = header.record_bytes();
+    labels_.resize(static_cast<std::size_t>(count_));
+    for (std::int64_t i = 0; i < count_; ++i)
+      labels_[static_cast<std::size_t>(i)] = header.label(i);
+    stream_.open(path, std::ios::binary);
+    if (!stream_) throw Error("BinaryFileDataset: cannot open " + path);
+    scratch_.resize(static_cast<std::size_t>(record_bytes_));
+  }
+  D500_CHECK_MSG(record_bytes_ == spec_.channels * spec_.height * spec_.width,
+                 "BinaryFileDataset: record size does not match spec");
+}
+
+void BinaryFileDataset::get(std::int64_t i, Tensor& out, std::int64_t& label) {
+  if (preload_) {
+    const auto payload = reader_->payload(i);
+    for (std::size_t k = 0; k < payload.size(); ++k)
+      out.at(static_cast<std::int64_t>(k)) =
+          static_cast<float>(payload[k]) / 255.0f;
+    label = reader_->label(i);
+    return;
+  }
+  D500_CHECK(i >= 0 && i < count_);
+  // Header layout: magic(4) + count(8) + record_bytes(8) + payloads.
+  const std::streamoff offset = 20 + static_cast<std::streamoff>(i) *
+                                         record_bytes_;
+  stream_.clear();
+  stream_.seekg(offset);
+  stream_.read(reinterpret_cast<char*>(scratch_.data()),
+               static_cast<std::streamsize>(record_bytes_));
+  if (!stream_) throw Error("BinaryFileDataset: read failed");
+  for (std::size_t k = 0; k < scratch_.size(); ++k)
+    out.at(static_cast<std::int64_t>(k)) =
+        static_cast<float>(scratch_[k]) / 255.0f;
+  label = labels_[static_cast<std::size_t>(i)];
+}
+
+IndexedTarDataset::IndexedTarDataset(const std::string& path, DatasetSpec spec,
+                                     DecoderKind decoder)
+    : spec_(std::move(spec)), decoder_(decoder), reader_(path) {}
+
+void IndexedTarDataset::get(std::int64_t i, Tensor& out, std::int64_t& label) {
+  const Record rec = reader_.read(i);
+  const RawImage img = decode_image(rec.payload, decoder_);
+  image_to_tensor(img, out);
+  label = rec.label;
+}
+
+void image_to_tensor(const RawImage& img, Tensor& out) {
+  D500_CHECK(out.elements() == static_cast<std::int64_t>(img.size()));
+  for (std::size_t k = 0; k < img.size(); ++k)
+    out.at(static_cast<std::int64_t>(k)) =
+        static_cast<float>(img.pixels[k]) / 255.0f;
+}
+
+MaterializedDataset materialize_dataset(const ProceduralImageDataset& ds,
+                                        const std::string& dir,
+                                        const std::string& name, int shards,
+                                        int quality) {
+  std::filesystem::create_directories(dir);
+  std::vector<Record> raw_records, encoded_records;
+  raw_records.reserve(static_cast<std::size_t>(ds.size()));
+  encoded_records.reserve(static_cast<std::size_t>(ds.size()));
+  for (std::int64_t i = 0; i < ds.size(); ++i) {
+    std::int64_t label = 0;
+    const RawImage img = ds.raw(i, label);
+    Record raw;
+    raw.payload = img.pixels;
+    raw.label = label;
+    raw_records.push_back(std::move(raw));
+    Record enc;
+    enc.payload = encode_image(img, quality);
+    enc.label = label;
+    encoded_records.push_back(std::move(enc));
+  }
+  MaterializedDataset out;
+  out.binary_path = dir + "/" + name + ".bin";
+  out.record_path = dir + "/" + name + ".rec";
+  out.tar_path = dir + "/" + name + ".tar";
+  write_binary_container(out.binary_path, raw_records);
+  write_record_file(out.record_path, encoded_records);
+  out.shard_paths =
+      write_sharded_record_files(dir + "/" + name, encoded_records, shards);
+  write_indexed_tar(out.tar_path, encoded_records);
+  return out;
+}
+
+}  // namespace d500

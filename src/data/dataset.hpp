@@ -1,0 +1,161 @@
+// Dataset interfaces and implementations (paper §IV-B "Interoperability:
+// Datasets" and §IV-E DatasetSampler inputs).
+//
+// All image content is procedural (see DESIGN.md substitutions): each class
+// has a deterministic template image, samples are noisy instances — a real
+// learning task with MNIST/CIFAR/ImageNet-like shapes. The same generator
+// feeds the in-memory datasets used for training (Figs. 9-11) and the
+// on-disk containers used for ingestion benchmarks (Fig. 8 / Table III).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/rng.hpp"
+#include "data/codec.hpp"
+#include "data/container.hpp"
+#include "tensor/tensor.hpp"
+
+namespace d500 {
+
+/// Supervised dataset: float32 sample tensors + integer labels.
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+  virtual std::int64_t size() const = 0;
+  virtual Shape sample_shape() const = 0;  // without the batch dimension
+  virtual std::int64_t classes() const = 0;
+  /// Writes sample i into `out` (shaped sample_shape()) and its label.
+  virtual void get(std::int64_t i, Tensor& out, std::int64_t& label) = 0;
+
+  /// Fills a minibatch: data [B, ...sample_shape], labels [B].
+  void fill_batch(std::span<const std::int64_t> indices, Tensor& data,
+                  Tensor& labels);
+};
+
+/// Named dataset shapes mirroring the paper's benchmark datasets (channel/
+/// spatial dims preserved; sample counts scaled for a single-core box).
+struct DatasetSpec {
+  std::string name;
+  std::int64_t channels, height, width, classes, train_size;
+};
+
+DatasetSpec mnist_like_spec();
+DatasetSpec fashion_mnist_like_spec();
+DatasetSpec cifar10_like_spec();
+DatasetSpec cifar100_like_spec();
+DatasetSpec imagenet_like_spec();  // 3x64x64, 1000 classes (downscaled)
+
+/// Procedural in-memory dataset: per-class template + Gaussian noise.
+/// Deterministic in (spec, seed). Train/test splits share the seed (same
+/// class templates = same distribution) and use disjoint `index_offset`
+/// ranges so their samples differ.
+class ProceduralImageDataset : public Dataset {
+ public:
+  ProceduralImageDataset(DatasetSpec spec, std::uint64_t seed,
+                         float noise_stddev = 0.25f,
+                         std::int64_t index_offset = 0);
+
+  std::int64_t size() const override { return spec_.train_size; }
+  Shape sample_shape() const override {
+    return {spec_.channels, spec_.height, spec_.width};
+  }
+  std::int64_t classes() const override { return spec_.classes; }
+  void get(std::int64_t i, Tensor& out, std::int64_t& label) override;
+
+  /// The uint8 image and label of sample i (for container materialization).
+  RawImage raw(std::int64_t i, std::int64_t& label) const;
+
+  const DatasetSpec& spec() const { return spec_; }
+
+ private:
+  DatasetSpec spec_;
+  std::uint64_t seed_;
+  float noise_;
+  std::int64_t index_offset_;
+  std::vector<std::vector<float>> templates_;  // per class, CHW
+};
+
+/// Synthetic on-demand dataset (Fig. 8 "Synth"): every get() allocates and
+/// generates fresh random data — measuring generator cost, not I/O.
+class SyntheticDataset : public Dataset {
+ public:
+  SyntheticDataset(DatasetSpec spec, std::uint64_t seed);
+  std::int64_t size() const override { return spec_.train_size; }
+  Shape sample_shape() const override {
+    return {spec_.channels, spec_.height, spec_.width};
+  }
+  std::int64_t classes() const override { return spec_.classes; }
+  void get(std::int64_t i, Tensor& out, std::int64_t& label) override;
+
+ private:
+  DatasetSpec spec_;
+  Rng rng_;
+};
+
+/// Dataset over a raw binary container. With preload=true (small datasets
+/// of Fig. 8: MNIST class) the whole container lives in memory and get()
+/// is a uint8->float conversion; with preload=false (CIFAR class: too big
+/// to keep resident in the paper's setting) every get() seeks and reads
+/// its record from the file.
+class BinaryFileDataset : public Dataset {
+ public:
+  BinaryFileDataset(const std::string& path, DatasetSpec spec,
+                    bool preload = true);
+  std::int64_t size() const override { return count_; }
+  Shape sample_shape() const override {
+    return {spec_.channels, spec_.height, spec_.width};
+  }
+  std::int64_t classes() const override { return spec_.classes; }
+  void get(std::int64_t i, Tensor& out, std::int64_t& label) override;
+
+ private:
+  DatasetSpec spec_;
+  bool preload_;
+  std::int64_t count_ = 0;
+  std::int64_t record_bytes_ = 0;
+  std::unique_ptr<BinaryContainerReader> reader_;  // preload mode
+  // streaming mode
+  std::ifstream stream_;
+  std::vector<std::int64_t> labels_;
+  std::vector<std::uint8_t> scratch_;
+};
+
+/// Dataset over an IndexedTar of codec-encoded images: every get() seeks,
+/// reads, and decodes (Table III's tar rows). Decoder selectable.
+class IndexedTarDataset : public Dataset {
+ public:
+  IndexedTarDataset(const std::string& path, DatasetSpec spec,
+                    DecoderKind decoder);
+  std::int64_t size() const override { return reader_.size(); }
+  Shape sample_shape() const override {
+    return {spec_.channels, spec_.height, spec_.width};
+  }
+  std::int64_t classes() const override { return spec_.classes; }
+  void get(std::int64_t i, Tensor& out, std::int64_t& label) override;
+  std::uint64_t bytes_read() const { return reader_.bytes_read(); }
+
+ private:
+  DatasetSpec spec_;
+  DecoderKind decoder_;
+  IndexedTarReader reader_;
+};
+
+/// Materializes a procedural dataset into the given containers on disk.
+/// Returns the record list (encoded with the codec for record/tar forms).
+struct MaterializedDataset {
+  std::string binary_path;              // raw uint8 container
+  std::string record_path;              // single record file
+  std::vector<std::string> shard_paths; // sharded record files
+  std::string tar_path;                 // indexed tar
+};
+
+MaterializedDataset materialize_dataset(const ProceduralImageDataset& ds,
+                                        const std::string& dir,
+                                        const std::string& name, int shards,
+                                        int quality = 75);
+
+/// uint8 CHW image -> float tensor in [0,1).
+void image_to_tensor(const RawImage& img, Tensor& out);
+
+}  // namespace d500

@@ -1,0 +1,45 @@
+// Analytic parallel-file-system cost model for the multi-node rows of the
+// dataset-latency experiment (paper Fig. 8 right: ImageNet sharded into
+// 1024 files vs. 1 file, read from 1 vs. 64 nodes on Piz Daint's Lustre).
+//
+// This container has one core and a local disk, so the distributed I/O
+// behaviour is modeled, not measured (see DESIGN.md substitutions). The
+// model captures the three effects the paper discusses:
+//   1. metadata cost — each distinct file touched costs an open/stat
+//      round trip ("PFS generally prefer one segmented file rather than
+//      querying strings and inodes");
+//   2. aggregate bandwidth contention — n nodes share the OST bandwidth;
+//   3. shared-file contention — when fewer files than nodes are read
+//      concurrently, extent-lock ping-pong penalizes each doubling of
+//      readers per file (why 1024 files beat 1 file at 64 nodes by ~10%).
+#pragma once
+
+#include <cstdint>
+
+namespace d500 {
+
+struct PFSParams {
+  double metadata_open_seconds = 0.8e-3;   // per distinct file opened
+  double per_node_bandwidth = 1.5e9;       // B/s client NIC cap
+  double total_bandwidth = 40e9;           // B/s aggregate OST bandwidth
+  double shared_lock_penalty = 0.035;      // per log2(readers-per-file)
+  double base_latency = 2e-4;              // request setup
+};
+
+struct PFSLoadEstimate {
+  double seconds = 0.0;       // per-node latency for its batch share
+  double metadata_seconds = 0.0;
+  double transfer_seconds = 0.0;
+  double effective_bandwidth = 0.0;  // B/s seen by one node
+};
+
+/// Latency for each of `nodes` nodes to read `bytes_per_node` of batch data
+/// spread over `total_files` container files, touching `files_touched`
+/// distinct files per node for this batch (1 for a segmented file, up to
+/// batch size for per-sample files).
+PFSLoadEstimate pfs_batch_latency(const PFSParams& p, int nodes,
+                                  std::int64_t total_files,
+                                  std::int64_t files_touched_per_node,
+                                  std::uint64_t bytes_per_node);
+
+}  // namespace d500

@@ -1,0 +1,100 @@
+#include "data/pipeline.hpp"
+
+#include <algorithm>
+
+namespace d500 {
+
+RecordPipeline::RecordPipeline(std::vector<std::string> shard_paths,
+                               DatasetSpec spec, std::int64_t shuffle_buffer,
+                               DecoderKind decoder, std::uint64_t seed)
+    : spec_(std::move(spec)),
+      decoder_(decoder),
+      reader_(std::move(shard_paths), shuffle_buffer, seed) {}
+
+Batch RecordPipeline::next_batch(std::int64_t batch) {
+  // Stage 1: sequential reads (through the pseudo-shuffle window).
+  std::vector<Record> records;
+  records.reserve(static_cast<std::size_t>(batch));
+  for (std::int64_t i = 0; i < batch; ++i) records.push_back(reader_.next());
+
+  // Stage 2: decode the whole batch (parallel across records when the
+  // machine has cores; the structure matches TensorFlow's parallel decode).
+  Batch out;
+  out.data = Tensor({batch, spec_.channels, spec_.height, spec_.width});
+  out.labels = Tensor({batch});
+  const std::int64_t sample_elems =
+      spec_.channels * spec_.height * spec_.width;
+#pragma omp parallel for schedule(dynamic)
+  for (std::int64_t i = 0; i < batch; ++i) {
+    const RawImage img =
+        decode_image(records[static_cast<std::size_t>(i)].payload, decoder_);
+    float* dst = out.data.data() + i * sample_elems;
+    for (std::size_t k = 0; k < img.size(); ++k)
+      dst[k] = static_cast<float>(img.pixels[k]) / 255.0f;
+  }
+  for (std::int64_t i = 0; i < batch; ++i)
+    out.labels.at(i) =
+        static_cast<float>(records[static_cast<std::size_t>(i)].label);
+  return out;
+}
+
+PrefetchLoader::PrefetchLoader(BatchProducer producer, int depth)
+    : producer_(std::move(producer)),
+      depth_(static_cast<std::size_t>(std::max(depth, 1))),
+      worker_([this] { worker_loop(); }) {}
+
+PrefetchLoader::~PrefetchLoader() { stop(); }
+
+void PrefetchLoader::worker_loop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_produce_.wait(lock,
+                       [this] { return stopping_ || queue_.size() < depth_; });
+      if (stopping_) return;
+    }
+    Batch b = producer_();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+      queue_.push_back(std::move(b));
+    }
+    cv_consume_.notify_one();
+  }
+}
+
+Batch PrefetchLoader::next() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_consume_.wait(lock, [this] { return !queue_.empty(); });
+  Batch b = std::move(queue_.front());
+  queue_.pop_front();
+  lock.unlock();
+  cv_produce_.notify_one();
+  return b;
+}
+
+void PrefetchLoader::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      if (worker_.joinable()) worker_.join();
+      return;
+    }
+    stopping_ = true;
+  }
+  cv_produce_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+Batch load_batch(Dataset& ds, std::span<const std::int64_t> indices) {
+  Batch out;
+  Shape data_shape = ds.sample_shape();
+  data_shape.insert(data_shape.begin(),
+                    static_cast<std::int64_t>(indices.size()));
+  out.data = Tensor(std::move(data_shape));
+  out.labels = Tensor({static_cast<std::int64_t>(indices.size())});
+  ds.fill_batch(indices, out.data, out.labels);
+  return out;
+}
+
+}  // namespace d500

@@ -1,0 +1,84 @@
+// Input pipelines (paper §V-D "Dataset Latency" and Table III).
+//
+// Two pieces:
+//  * RecordPipeline — the "native decoder" path of Table III: sequential
+//    record reads through the pseudo-shuffle buffer, batch decode (OpenMP
+//    across the batch where cores exist), producing float minibatches.
+//  * PrefetchLoader — a background worker thread that stages minibatches
+//    into a bounded queue, overlapping ingestion with DNN computation
+//    ("the latency of loading a batch can be hidden by pipelining loading
+//    with DNN computation", §V-D).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "data/dataset.hpp"
+#include "data/sampler.hpp"
+
+namespace d500 {
+
+/// A staged minibatch.
+struct Batch {
+  Tensor data;    // [B, ...]
+  Tensor labels;  // [B]
+};
+
+/// Record-file ingestion pipeline with batch decoding.
+class RecordPipeline {
+ public:
+  RecordPipeline(std::vector<std::string> shard_paths, DatasetSpec spec,
+                 std::int64_t shuffle_buffer, DecoderKind decoder,
+                 std::uint64_t seed);
+
+  /// Reads and decodes the next `batch` records into a Batch.
+  Batch next_batch(std::int64_t batch);
+
+  std::int64_t size() const { return reader_.size(); }
+
+ private:
+  DatasetSpec spec_;
+  DecoderKind decoder_;
+  RecordFileReader reader_;
+};
+
+/// Function producing the next minibatch (pull model).
+using BatchProducer = std::function<Batch()>;
+
+/// Bounded-queue prefetcher: a worker thread runs the producer ahead of the
+/// consumer. depth = max staged batches.
+class PrefetchLoader {
+ public:
+  PrefetchLoader(BatchProducer producer, int depth);
+  ~PrefetchLoader();
+
+  PrefetchLoader(const PrefetchLoader&) = delete;
+  PrefetchLoader& operator=(const PrefetchLoader&) = delete;
+
+  /// Blocks until a staged batch is available.
+  Batch next();
+
+  void stop();
+
+ private:
+  void worker_loop();
+
+  BatchProducer producer_;
+  std::size_t depth_;
+  std::mutex mu_;
+  std::condition_variable cv_produce_;
+  std::condition_variable cv_consume_;
+  std::deque<Batch> queue_;
+  bool stopping_ = false;
+  std::thread worker_;
+};
+
+/// Builds a Batch directly from a Dataset + index list (no pipeline), used
+/// as the unpipelined baseline in the dataset-latency benchmarks.
+Batch load_batch(Dataset& ds, std::span<const std::int64_t> indices);
+
+}  // namespace d500

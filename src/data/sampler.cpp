@@ -1,0 +1,96 @@
+#include "data/sampler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/error.hpp"
+
+namespace d500 {
+
+std::vector<std::int64_t> SequentialSampler::next_batch() {
+  std::vector<std::int64_t> out;
+  out.reserve(static_cast<std::size_t>(batch_));
+  for (std::int64_t k = 0; k < batch_; ++k) {
+    if (pos_ >= size_) pos_ = 0;
+    out.push_back(pos_++);
+  }
+  return out;
+}
+
+ShuffleSampler::ShuffleSampler(std::int64_t dataset_size,
+                               std::int64_t batch_size, std::uint64_t seed)
+    : Sampler(dataset_size, batch_size), rng_(seed) {
+  D500_CHECK(dataset_size > 0 && batch_size > 0);
+  perm_.resize(static_cast<std::size_t>(size_));
+  for (std::int64_t i = 0; i < size_; ++i)
+    perm_[static_cast<std::size_t>(i)] = i;
+  reshuffle();
+}
+
+void ShuffleSampler::reshuffle() {
+  for (std::size_t i = perm_.size(); i > 1; --i)
+    std::swap(perm_[i - 1], perm_[rng_.below(i)]);
+  pos_ = 0;
+}
+
+std::vector<std::int64_t> ShuffleSampler::next_batch() {
+  std::vector<std::int64_t> out;
+  out.reserve(static_cast<std::size_t>(batch_));
+  for (std::int64_t k = 0; k < batch_; ++k) {
+    if (pos_ >= size_) reshuffle();
+    out.push_back(perm_[static_cast<std::size_t>(pos_++)]);
+  }
+  return out;
+}
+
+DistributedSampler::DistributedSampler(std::int64_t dataset_size,
+                                       std::int64_t global_batch, int rank,
+                                       int world_size, std::uint64_t seed)
+    : Sampler(dataset_size, global_batch / world_size),
+      rank_(rank),
+      world_(world_size),
+      rng_(Rng(seed).fork(static_cast<std::uint64_t>(rank) + 1)) {
+  D500_CHECK_MSG(world_size > 0 && rank >= 0 && rank < world_size,
+                 "DistributedSampler: bad rank/world");
+  D500_CHECK_MSG(global_batch % world_size == 0,
+                 "DistributedSampler: global batch must divide evenly");
+  for (std::int64_t i = rank; i < dataset_size; i += world_size)
+    local_.push_back(i);
+  D500_CHECK_MSG(!local_.empty(), "DistributedSampler: empty partition");
+  reshuffle();
+}
+
+void DistributedSampler::reshuffle() {
+  for (std::size_t i = local_.size(); i > 1; --i)
+    std::swap(local_[i - 1], local_[rng_.below(i)]);
+  pos_ = 0;
+}
+
+std::vector<std::int64_t> DistributedSampler::next_batch() {
+  std::vector<std::int64_t> out;
+  out.reserve(static_cast<std::size_t>(batch_));
+  for (std::int64_t k = 0; k < batch_; ++k) {
+    if (pos_ >= static_cast<std::int64_t>(local_.size())) reshuffle();
+    out.push_back(local_[static_cast<std::size_t>(pos_++)]);
+  }
+  return out;
+}
+
+void DatasetBiasMetric::observe_label(std::int64_t label) {
+  D500_CHECK_MSG(label >= 0 &&
+                 label < static_cast<std::int64_t>(histogram_.size()),
+                 "DatasetBias: label out of range");
+  ++histogram_[static_cast<std::size_t>(label)];
+}
+
+double DatasetBiasMetric::bias() const {
+  std::int64_t mn = -1, mx = 0;
+  for (std::int64_t c : histogram_) {
+    mx = std::max(mx, c);
+    if (mn < 0 || c < mn) mn = c;
+  }
+  if (mn <= 0) return mx > 0 ? std::numeric_limits<double>::infinity() : 1.0;
+  return static_cast<double>(mx) / static_cast<double>(mn);
+}
+
+}  // namespace d500

@@ -1,0 +1,137 @@
+// DatasetSampler interfaces (paper §IV-E): minibatch index streams over a
+// dataset, including the distributed partitioning sampler of Level 3, plus
+// the DatasetBias metric and test_sampler validation (paper §IV-E
+// "dataset samplers can be tested individually").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace d500 {
+
+class Sampler {
+ public:
+  Sampler(std::int64_t dataset_size, std::int64_t batch_size)
+      : size_(dataset_size), batch_(batch_size) {}
+  virtual ~Sampler() = default;
+
+  std::int64_t dataset_size() const { return size_; }
+  std::int64_t batch_size() const { return batch_; }
+  std::int64_t batches_per_epoch() const { return size_ / batch_; }
+
+  /// Indices of the next minibatch; advances the stream. Epochs wrap
+  /// automatically (reshuffling where applicable).
+  virtual std::vector<std::int64_t> next_batch() = 0;
+
+ protected:
+  std::int64_t size_;
+  std::int64_t batch_;
+};
+
+/// In-order batches.
+class SequentialSampler : public Sampler {
+ public:
+  SequentialSampler(std::int64_t dataset_size, std::int64_t batch_size)
+      : Sampler(dataset_size, batch_size) {}
+  std::vector<std::int64_t> next_batch() override;
+
+ private:
+  std::int64_t pos_ = 0;
+};
+
+/// Uniform shuffle: a full Fisher-Yates permutation per epoch (true
+/// stochasticity, unlike the record pipeline's chunked pseudo-shuffle).
+class ShuffleSampler : public Sampler {
+ public:
+  ShuffleSampler(std::int64_t dataset_size, std::int64_t batch_size,
+                 std::uint64_t seed);
+  std::vector<std::int64_t> next_batch() override;
+
+ private:
+  void reshuffle();
+  Rng rng_;
+  std::vector<std::int64_t> perm_;
+  std::int64_t pos_ = 0;
+};
+
+/// Distributed partitioning (paper: ShuffleDistributedSampler): rank r of n
+/// sees the elements congruent to r mod n, shuffled locally with a
+/// rank-decorrelated stream. All ranks reshuffle at the same epoch
+/// boundaries, keeping the distributed-dataset semantics consistent.
+class DistributedSampler : public Sampler {
+ public:
+  DistributedSampler(std::int64_t dataset_size, std::int64_t global_batch,
+                     int rank, int world_size, std::uint64_t seed);
+
+  /// Per-rank share of the global batch.
+  std::vector<std::int64_t> next_batch() override;
+
+  int rank() const { return rank_; }
+  int world_size() const { return world_; }
+
+ private:
+  void reshuffle();
+  int rank_;
+  int world_;
+  Rng rng_;
+  std::vector<std::int64_t> local_;  // this rank's partition
+  std::int64_t pos_ = 0;
+};
+
+/// DatasetBias metric (paper §IV-E): label histogram over sampled batches.
+/// bias() is max/min class frequency (1.0 = perfectly balanced); the
+/// histogram itself supports finer analysis.
+class DatasetBiasMetric {
+ public:
+  explicit DatasetBiasMetric(std::int64_t classes)
+      : histogram_(static_cast<std::size_t>(classes), 0) {}
+
+  void observe_label(std::int64_t label);
+  double bias() const;
+  const std::vector<std::int64_t>& histogram() const { return histogram_; }
+
+ private:
+  std::vector<std::int64_t> histogram_;
+};
+
+struct SamplerTestResult {
+  bool passed = false;
+  double bias = 0.0;
+  std::int64_t duplicate_indices = 0;  // within one epoch
+  std::int64_t out_of_range = 0;
+};
+
+/// Runs the sampler for `epochs` epochs against a label function and checks
+/// (a) every index is in range, (b) each epoch is a permutation fragment
+/// (no duplicates within an epoch), (c) label bias stays under `max_bias`.
+template <typename LabelFn>
+SamplerTestResult test_sampler(Sampler& sampler, std::int64_t classes,
+                               LabelFn&& label_of, int epochs = 1,
+                               double max_bias = 2.0) {
+  SamplerTestResult res;
+  DatasetBiasMetric bias(classes);
+  for (int e = 0; e < epochs; ++e) {
+    std::vector<bool> seen(static_cast<std::size_t>(sampler.dataset_size()),
+                           false);
+    for (std::int64_t b = 0; b < sampler.batches_per_epoch(); ++b) {
+      for (std::int64_t idx : sampler.next_batch()) {
+        if (idx < 0 || idx >= sampler.dataset_size()) {
+          ++res.out_of_range;
+          continue;
+        }
+        if (seen[static_cast<std::size_t>(idx)]) ++res.duplicate_indices;
+        seen[static_cast<std::size_t>(idx)] = true;
+        bias.observe_label(label_of(idx));
+      }
+    }
+  }
+  res.bias = bias.bias();
+  res.passed = res.out_of_range == 0 && res.duplicate_indices == 0 &&
+               res.bias <= max_bias;
+  return res;
+}
+
+}  // namespace d500

@@ -1,0 +1,51 @@
+// Gradient compression (the paper's "Others" use case: "What is the
+// reduction in communication over the network, when a certain compression
+// scheme is applied in training?").
+//
+// Uniform stochastic int8 quantization with per-message scale and
+// per-worker error feedback (the residual of each quantization is added
+// back before the next one, preserving convergence), applied to the
+// centralized scheme: workers push quantized gradients (1/4 the bytes),
+// the server dequantizes, averages, updates, and broadcasts quantized
+// parameter *deltas* back. Quantized payloads travel through the
+// float-only SimMPI transport bit-packed 4-per-float.
+#pragma once
+
+#include "dist/dist_optimizer.hpp"
+
+namespace d500 {
+
+/// Quantized vector: int8 payload + scale such that
+/// value[i] ~ scale * q[i], with stochastic rounding driven by `rng`.
+struct QuantizedVector {
+  std::vector<std::int8_t> q;
+  float scale = 0.0f;
+};
+
+QuantizedVector quantize_int8(std::span<const float> values, Rng& rng);
+
+/// Dequantizes into `out` (sized like the original vector).
+void dequantize_int8(const QuantizedVector& v, std::span<float> out);
+
+/// Bit-packing through the float-only transport (4 int8 per float).
+std::vector<float> pack_quantized(const QuantizedVector& v);
+QuantizedVector unpack_quantized(std::span<const float> msg,
+                                 std::size_t count);
+
+/// PSSGD with int8-compressed pushes and broadcasts; error feedback on
+/// both the workers' gradients and the server's parameter deltas.
+class CompressedCentralized : public DistributedOptimizer {
+ public:
+  CompressedCentralized(std::unique_ptr<ThreeStepOptimizer> base,
+                        Communicator& comm, std::uint64_t seed);
+  std::string name() const override { return "PSSGD+int8"; }
+  TensorMap train(const TensorMap& feeds) override;
+
+ private:
+  Rng rng_;
+  std::vector<float> grad_residual_;    // worker-side error feedback
+  std::vector<float> delta_residual_;   // server-side error feedback
+  std::vector<float> server_params_;    // rank 0 only: master copy
+};
+
+}  // namespace d500

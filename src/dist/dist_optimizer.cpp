@@ -1,0 +1,353 @@
+#include "dist/dist_optimizer.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace d500 {
+
+DistributedOptimizer::DistributedOptimizer(
+    std::unique_ptr<ThreeStepOptimizer> base, Communicator& comm)
+    : Optimizer(base->executor()), base_(std::move(base)), comm_(comm) {}
+
+TensorMap DistributedOptimizer::step_with_gradients(
+    const TensorMap& feeds, const std::function<void()>& process_gradients) {
+  base_->new_input();
+  for (const auto& pname : network().parameters()) base_->prepare_param(pname);
+  TensorMap out = executor().inference_and_backprop(feeds, loss_value());
+  process_gradients();
+  return out;
+}
+
+// ---- pack/unpack -----------------------------------------------------------
+
+std::vector<float> pack_gradients(Network& net) {
+  std::vector<float> buf;
+  for (const auto& [pname, gname] : net.gradients()) {
+    const Tensor& g = net.fetch_tensor(gname);
+    buf.insert(buf.end(), g.data(), g.data() + g.elements());
+  }
+  return buf;
+}
+
+void unpack_gradients(Network& net, std::span<const float> buffer) {
+  std::size_t off = 0;
+  for (const auto& [pname, gname] : net.gradients()) {
+    Tensor& g = net.fetch_tensor(gname);
+    const auto n = static_cast<std::size_t>(g.elements());
+    D500_CHECK_MSG(off + n <= buffer.size(), "unpack_gradients: overrun");
+    std::memcpy(g.data(), buffer.data() + off, n * sizeof(float));
+    off += n;
+  }
+  D500_CHECK_MSG(off == buffer.size(), "unpack_gradients: size mismatch");
+}
+
+std::vector<float> pack_parameters(Network& net) {
+  std::vector<float> buf;
+  for (const auto& pname : net.parameters()) {
+    const Tensor& p = net.fetch_tensor(pname);
+    buf.insert(buf.end(), p.data(), p.data() + p.elements());
+  }
+  return buf;
+}
+
+void unpack_parameters(Network& net, std::span<const float> buffer) {
+  std::size_t off = 0;
+  for (const auto& pname : net.parameters()) {
+    Tensor& p = net.fetch_tensor(pname);
+    const auto n = static_cast<std::size_t>(p.elements());
+    D500_CHECK_MSG(off + n <= buffer.size(), "unpack_parameters: overrun");
+    std::memcpy(p.data(), buffer.data() + off, n * sizeof(float));
+    off += n;
+  }
+  D500_CHECK_MSG(off == buffer.size(), "unpack_parameters: size mismatch");
+}
+
+// ---- ConsistentDecentralized (DSGD / CDSGD / Horovod-like) -----------------
+
+ConsistentDecentralized::ConsistentDecentralized(
+    std::unique_ptr<ThreeStepOptimizer> base, Communicator& comm,
+    DsgdOptions options)
+    : DistributedOptimizer(std::move(base), comm), options_(options) {}
+
+std::string ConsistentDecentralized::name() const {
+  if (options_.fuse_buffers) return "Horovod-like";
+  return options_.staging_copies ? "REF-dsgd" : "CDSGD";
+}
+
+TensorMap ConsistentDecentralized::train(const TensorMap& feeds) {
+  return step_with_gradients(feeds, [&] {
+    const float inv_n = 1.0f / static_cast<float>(comm_.size());
+    auto allreduce = [&](std::span<float> data) {
+      if (options_.algo == AllreduceAlgo::kRing)
+        comm_.allreduce_sum_ring(data);
+      else
+        comm_.allreduce_sum_rd(data);
+      count(data.size() * sizeof(float));
+    };
+
+    if (options_.fuse_buffers) {
+      // Horovod-style: one fused allreduce over all gradients.
+      fusion_buffer_ = pack_gradients(network());
+      allreduce(fusion_buffer_);
+      for (auto& v : fusion_buffer_) v *= inv_n;
+      unpack_gradients(network(), fusion_buffer_);
+    } else {
+      for (const auto& [pname, gname] : network().gradients()) {
+        Tensor& g = network().fetch_tensor(gname);
+        if (options_.staging_copies) {
+          // Python-reference path: convert to a staging array, communicate,
+          // convert back (the NumPy round trip of the paper's REF-dsgd).
+          staging_.assign(g.data(), g.data() + g.elements());
+          allreduce(staging_);
+          std::memcpy(g.data(), staging_.data(),
+                      staging_.size() * sizeof(float));
+        } else {
+          // Custom C++ operator path: direct pointers, no conversion.
+          allreduce(g.span());
+        }
+        scale(g, inv_n);
+      }
+    }
+    // Apply the base update rule on the averaged gradients.
+    for (const auto& [pname, gname] : network().gradients()) {
+      const Tensor& g = network().fetch_tensor(gname);
+      Tensor updated =
+          base_->update_rule(g, network().fetch_tensor(pname), pname);
+      network().feed_tensor(pname, std::move(updated));
+    }
+  });
+}
+
+std::unique_ptr<ConsistentDecentralized> make_horovod_like(
+    std::unique_ptr<ThreeStepOptimizer> base, Communicator& comm) {
+  DsgdOptions opt;
+  opt.fuse_buffers = true;
+  return std::make_unique<ConsistentDecentralized>(std::move(base), comm, opt);
+}
+
+// ---- ConsistentCentralized (PSSGD) -----------------------------------------
+
+ConsistentCentralized::ConsistentCentralized(
+    std::unique_ptr<ThreeStepOptimizer> base, Communicator& comm)
+    : DistributedOptimizer(std::move(base), comm) {}
+
+TensorMap ConsistentCentralized::train(const TensorMap& feeds) {
+  return step_with_gradients(feeds, [&] {
+    const float inv_n = 1.0f / static_cast<float>(comm_.size());
+    for (const auto& [pname, gname] : network().gradients()) {
+      Tensor& g = network().fetch_tensor(gname);
+      // Workers reduce gradients to the server (rank 0)...
+      comm_.reduce_sum(g.span(), /*root=*/0);
+      count(g.bytes());
+      Tensor& p = network().fetch_tensor(pname);
+      if (comm_.rank() == 0) {
+        scale(g, inv_n);
+        Tensor updated = base_->update_rule(g, p, pname);
+        network().feed_tensor(pname, std::move(updated));
+      }
+      // ...and receive the new parameters back.
+      Tensor& updated = network().fetch_tensor(pname);
+      comm_.bcast(updated.span(), /*root=*/0);
+      count(updated.bytes());
+    }
+  });
+}
+
+// ---- ShardedParameterServer (TF-PS-like) ----------------------------------
+
+ShardedParameterServer::ShardedParameterServer(
+    std::unique_ptr<ThreeStepOptimizer> base, Communicator& comm)
+    : DistributedOptimizer(std::move(base), comm) {}
+
+TensorMap ShardedParameterServer::train(const TensorMap& feeds) {
+  return step_with_gradients(feeds, [&] {
+    const float inv_n = 1.0f / static_cast<float>(comm_.size());
+    int shard = 0;
+    for (const auto& [pname, gname] : network().gradients()) {
+      const int owner = shard % comm_.size();
+      ++shard;
+      Tensor& g = network().fetch_tensor(gname);
+      comm_.reduce_sum(g.span(), owner);
+      count(g.bytes());
+      Tensor& p = network().fetch_tensor(pname);
+      if (comm_.rank() == owner) {
+        scale(g, inv_n);
+        Tensor updated = base_->update_rule(g, p, pname);
+        network().feed_tensor(pname, std::move(updated));
+      }
+      Tensor& updated = network().fetch_tensor(pname);
+      comm_.bcast(updated.span(), owner);
+      count(updated.bytes());
+    }
+  });
+}
+
+// ---- ParameterStore + asynchronous variants --------------------------------
+
+ParameterStore::ParameterStore(const Network& net) {
+  for (const auto& pname : net.parameters())
+    params_.emplace(pname, net.fetch_tensor(pname));
+}
+
+void ParameterStore::register_worker(int rank, int world) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (steps_.size() != static_cast<std::size_t>(world))
+    steps_.assign(static_cast<std::size_t>(world), 0);
+}
+
+std::uint64_t ParameterStore::pull_into(Network& net) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t bytes = 0;
+  for (const auto& [pname, value] : params_) {
+    net.feed_tensor(pname, value);  // copy
+    bytes += value.bytes();
+  }
+  return bytes;
+}
+
+std::uint64_t ParameterStore::push_gradients(Network& net, double lr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t bytes = 0;
+  for (const auto& [pname, gname] : net.gradients()) {
+    const Tensor& g = net.fetch_tensor(gname);
+    auto it = params_.find(pname);
+    D500_CHECK_MSG(it != params_.end(), "ParameterStore: unknown param");
+    axpy(static_cast<float>(-lr), g, it->second);
+    bytes += g.bytes();
+  }
+  return bytes;
+}
+
+void ParameterStore::advance(int rank) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++steps_[static_cast<std::size_t>(rank)];
+  }
+  cv_.notify_all();
+}
+
+void ParameterStore::wait_for_staleness(int rank, std::int64_t bound) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    const std::int64_t mine = steps_[static_cast<std::size_t>(rank)];
+    std::int64_t slowest = mine;
+    for (auto s : steps_) slowest = std::min(slowest, s);
+    return mine - slowest <= bound;
+  });
+}
+
+InconsistentCentralized::InconsistentCentralized(
+    std::unique_ptr<ThreeStepOptimizer> base, Communicator& comm,
+    ParameterStore& store, double lr)
+    : DistributedOptimizer(std::move(base), comm), store_(store), lr_(lr) {
+  store_.register_worker(comm.rank(), comm.size());
+}
+
+TensorMap InconsistentCentralized::train(const TensorMap& feeds) {
+  // Pull the (possibly mid-update) global parameters, compute, push.
+  app_bytes_ += store_.pull_into(network());
+  ++comm_calls_;
+  base_->new_input();
+  for (const auto& pname : network().parameters()) base_->prepare_param(pname);
+  TensorMap out = executor().inference_and_backprop(feeds, loss_value());
+  app_bytes_ += store_.push_gradients(network(), lr_);
+  ++comm_calls_;
+  store_.advance(comm_.rank());
+  return out;
+}
+
+StaleSynchronous::StaleSynchronous(std::unique_ptr<ThreeStepOptimizer> base,
+                                   Communicator& comm, ParameterStore& store,
+                                   double lr, std::int64_t bound)
+    : DistributedOptimizer(std::move(base), comm), store_(store), lr_(lr),
+      bound_(bound) {
+  store_.register_worker(comm.rank(), comm.size());
+}
+
+TensorMap StaleSynchronous::train(const TensorMap& feeds) {
+  store_.wait_for_staleness(comm_.rank(), bound_);
+  app_bytes_ += store_.pull_into(network());
+  ++comm_calls_;
+  base_->new_input();
+  for (const auto& pname : network().parameters()) base_->prepare_param(pname);
+  TensorMap out = executor().inference_and_backprop(feeds, loss_value());
+  app_bytes_ += store_.push_gradients(network(), lr_);
+  ++comm_calls_;
+  store_.advance(comm_.rank());
+  return out;
+}
+
+// ---- ModelAveraging ----------------------------------------------------------
+
+ModelAveraging::ModelAveraging(std::unique_ptr<ThreeStepOptimizer> base,
+                               Communicator& comm)
+    : DistributedOptimizer(std::move(base), comm) {}
+
+TensorMap ModelAveraging::train(const TensorMap& feeds) {
+  return step_with_gradients(feeds, [&] {
+    // Local update first...
+    for (const auto& [pname, gname] : network().gradients()) {
+      const Tensor& g = network().fetch_tensor(gname);
+      Tensor updated =
+          base_->update_rule(g, network().fetch_tensor(pname), pname);
+      network().feed_tensor(pname, std::move(updated));
+    }
+    // ...then average the models.
+    const float inv_n = 1.0f / static_cast<float>(comm_.size());
+    for (const auto& pname : network().parameters()) {
+      Tensor& p = network().fetch_tensor(pname);
+      comm_.allreduce_sum_ring(p.span());
+      count(p.bytes());
+      scale(p, inv_n);
+    }
+  });
+}
+
+// ---- NeighborDecentralized (DPSGD) ------------------------------------------
+
+NeighborDecentralized::NeighborDecentralized(
+    std::unique_ptr<ThreeStepOptimizer> base, Communicator& comm)
+    : DistributedOptimizer(std::move(base), comm) {}
+
+TensorMap NeighborDecentralized::train(const TensorMap& feeds) {
+  return step_with_gradients(feeds, [&] {
+    // Local update.
+    for (const auto& [pname, gname] : network().gradients()) {
+      const Tensor& g = network().fetch_tensor(gname);
+      Tensor updated =
+          base_->update_rule(g, network().fetch_tensor(pname), pname);
+      network().feed_tensor(pname, std::move(updated));
+    }
+    // Mix with the two ring neighbors (constant volume in world size).
+    const int n = comm_.size();
+    if (n == 1) return;
+    const int left = (comm_.rank() - 1 + n) % n;
+    const int right = (comm_.rank() + 1) % n;
+    for (const auto& pname : network().parameters()) {
+      Tensor& p = network().fetch_tensor(pname);
+      if (n == 2) {
+        // Single neighbor: exchange once, average over 2.
+        comm_.send(right, p.span(), /*tag=*/600);
+        count(p.bytes());
+        Tensor other(p.shape());
+        comm_.recv(left, other.span(), /*tag=*/600);
+        axpy(1.0f, other, p);
+        scale(p, 0.5f);
+        continue;
+      }
+      comm_.send(left, p.span(), /*tag=*/601);
+      comm_.send(right, p.span(), /*tag=*/602);
+      count(p.bytes());
+      count(p.bytes());
+      Tensor from_left(p.shape()), from_right(p.shape());
+      comm_.recv(left, from_left.span(), /*tag=*/602);    // left's send-right
+      comm_.recv(right, from_right.span(), /*tag=*/601);  // right's send-left
+
+      axpy(1.0f, from_left, p);
+      axpy(1.0f, from_right, p);
+      scale(p, 1.0f / 3.0f);
+    }
+  });
+}
+
+}  // namespace d500

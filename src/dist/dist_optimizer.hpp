@@ -1,0 +1,189 @@
+// Level 3 distributed optimizers (paper §IV-F).
+//
+// Every variant wraps a Level 2 ThreeStepOptimizer and distributes it over
+// a SimMPI communicator, exactly as the paper's MPI-based reference
+// optimizers wrap update rules (Listing 9 is ConsistentDecentralized).
+// Variants (paper Fig. 5 + §V-E):
+//   ConsistentDecentralized  — DSGD: gradient allreduce, synchronous.
+//                              Options select ring vs. recursive-doubling,
+//                              per-tensor vs. fused-buffer (HorovodLike),
+//                              and a staging-copy mode that mimics the
+//                              Python reference path's NumPy conversions
+//                              (REF-dsgd) vs. the direct-pointer custom
+//                              C++ operator (CDSGD).
+//   ConsistentCentralized    — PSSGD: gradients reduced to a parameter
+//                              server, parameters broadcast back.
+//   ShardedParameterServer   — TF-PS-like: parameters sharded over ranks.
+//   InconsistentCentralized  — ASGD: HOGWILD-style asynchronous pushes and
+//                              pulls against a shared parameter store.
+//   StaleSynchronous         — ASGD with a bounded staleness window.
+//   ModelAveraging           — MAVG: local steps + parameter allreduce.
+//   NeighborDecentralized    — DPSGD: parameter averaging with ring
+//                              neighbors only.
+//
+// Byte accounting is two-level: app_bytes() counts MPI-call buffer sizes
+// at the caller (what mpiP reports, the paper's Fig. 12 caption numbers);
+// SimMpi's counters hold the wire-level traffic of the actual collective
+// algorithms.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "dist/simmpi.hpp"
+#include "train/optimizer.hpp"
+
+namespace d500 {
+
+class DistributedOptimizer : public Optimizer {
+ public:
+  DistributedOptimizer(std::unique_ptr<ThreeStepOptimizer> base,
+                       Communicator& comm);
+
+  /// mpiP-style per-node communication volume: buffer bytes per MPI call.
+  std::uint64_t app_bytes() const { return app_bytes_; }
+  /// Number of communication calls issued by this rank.
+  std::uint64_t comm_calls() const { return comm_calls_; }
+
+ protected:
+  /// Runs the three-step structure around a caller-supplied gradient hook.
+  TensorMap step_with_gradients(
+      const TensorMap& feeds,
+      const std::function<void()>& process_gradients);
+
+  void count(std::uint64_t bytes) {
+    app_bytes_ += bytes;
+    ++comm_calls_;
+  }
+
+  std::unique_ptr<ThreeStepOptimizer> base_;
+  Communicator& comm_;
+  std::uint64_t app_bytes_ = 0;
+  std::uint64_t comm_calls_ = 0;
+};
+
+enum class AllreduceAlgo { kRing, kRecursiveDoubling };
+
+struct DsgdOptions {
+  AllreduceAlgo algo = AllreduceAlgo::kRing;
+  bool fuse_buffers = false;    // Horovod-style tensor fusion
+  bool staging_copies = false;  // Python-reference NumPy-conversion path
+};
+
+/// Paper Listing 9.
+class ConsistentDecentralized : public DistributedOptimizer {
+ public:
+  ConsistentDecentralized(std::unique_ptr<ThreeStepOptimizer> base,
+                          Communicator& comm, DsgdOptions options = {});
+  std::string name() const override;
+  TensorMap train(const TensorMap& feeds) override;
+
+ private:
+  DsgdOptions options_;
+  std::vector<float> fusion_buffer_;
+  std::vector<float> staging_;
+};
+
+/// Horovod-like = DSGD with fused buffers (convenience factory).
+std::unique_ptr<ConsistentDecentralized> make_horovod_like(
+    std::unique_ptr<ThreeStepOptimizer> base, Communicator& comm);
+
+/// PSSGD: rank 0 is the parameter server (also a worker, as in the paper's
+/// reference implementation).
+class ConsistentCentralized : public DistributedOptimizer {
+ public:
+  ConsistentCentralized(std::unique_ptr<ThreeStepOptimizer> base,
+                        Communicator& comm);
+  std::string name() const override { return "PSSGD"; }
+  TensorMap train(const TensorMap& feeds) override;
+};
+
+/// TF-PS-like: parameter tensors sharded round-robin across all ranks;
+/// each shard owner reduces, updates, and broadcasts its shard.
+class ShardedParameterServer : public DistributedOptimizer {
+ public:
+  ShardedParameterServer(std::unique_ptr<ThreeStepOptimizer> base,
+                         Communicator& comm);
+  std::string name() const override { return "TF-PS"; }
+  TensorMap train(const TensorMap& feeds) override;
+};
+
+/// Shared in-memory parameter store for the asynchronous variants (plays
+/// the parameter-server process; access is serialized, which is exactly
+/// the queueing behaviour the paper observes hurting ASGD at scale).
+class ParameterStore {
+ public:
+  explicit ParameterStore(const Network& net);
+
+  /// Copies current parameters into the network (a "pull").
+  std::uint64_t pull_into(Network& net);
+  /// Applies gradients with the given scale via SGD (a "push").
+  std::uint64_t push_gradients(Network& net, double lr);
+
+  /// Bounded-staleness support.
+  void register_worker(int rank, int world);
+  void advance(int rank);
+  void wait_for_staleness(int rank, std::int64_t bound);
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, Tensor> params_;
+  std::vector<std::int64_t> steps_;
+};
+
+/// ASGD (HOGWILD-style): pull, compute, push — no synchronization.
+class InconsistentCentralized : public DistributedOptimizer {
+ public:
+  InconsistentCentralized(std::unique_ptr<ThreeStepOptimizer> base,
+                          Communicator& comm, ParameterStore& store,
+                          double lr);
+  std::string name() const override { return "ASGD"; }
+  TensorMap train(const TensorMap& feeds) override;
+
+ private:
+  ParameterStore& store_;
+  double lr_;
+};
+
+/// Stale-synchronous: ASGD with max staleness `bound`.
+class StaleSynchronous : public DistributedOptimizer {
+ public:
+  StaleSynchronous(std::unique_ptr<ThreeStepOptimizer> base,
+                   Communicator& comm, ParameterStore& store, double lr,
+                   std::int64_t bound);
+  std::string name() const override { return "SSP"; }
+  TensorMap train(const TensorMap& feeds) override;
+
+ private:
+  ParameterStore& store_;
+  double lr_;
+  std::int64_t bound_;
+};
+
+/// MAVG: local optimizer step, then parameter averaging via allreduce.
+class ModelAveraging : public DistributedOptimizer {
+ public:
+  ModelAveraging(std::unique_ptr<ThreeStepOptimizer> base, Communicator& comm);
+  std::string name() const override { return "MAVG"; }
+  TensorMap train(const TensorMap& feeds) override;
+};
+
+/// DPSGD: local step, then average parameters with ring neighbors
+/// (rank±1). Constant communication volume w.r.t. world size.
+class NeighborDecentralized : public DistributedOptimizer {
+ public:
+  NeighborDecentralized(std::unique_ptr<ThreeStepOptimizer> base,
+                        Communicator& comm);
+  std::string name() const override { return "DPSGD"; }
+  TensorMap train(const TensorMap& feeds) override;
+};
+
+/// Flattens all parameter gradients into one contiguous vector and back
+/// (used by fused-buffer variants and SparCML).
+std::vector<float> pack_gradients(Network& net);
+void unpack_gradients(Network& net, std::span<const float> buffer);
+std::vector<float> pack_parameters(Network& net);
+void unpack_parameters(Network& net, std::span<const float> buffer);
+
+}  // namespace d500

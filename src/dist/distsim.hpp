@@ -1,0 +1,78 @@
+// Virtual-time scaling simulator for the Fig. 12 reproduction: combines a
+// per-node compute-time model with the netmodel collective costs according
+// to each distributed scheme's synchronization semantics, yielding
+// throughput (images/s) versus node count for strong and weak scaling.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dist/netmodel.hpp"
+
+namespace d500 {
+
+/// The distributed training schemes compared in Fig. 12.
+enum class DistScheme {
+  kCDSGD,      // DSGD via custom C++ allreduce operator (direct pointers)
+  kHorovod,    // fused-buffer ring allreduce
+  kTFPS,       // sharded parameter server (TensorFlow-style)
+  kSparCML,    // sparse allreduce
+  kRefDsgd,    // Python-reference DSGD (staging conversions per tensor)
+  kRefPssgd,   // Python-reference central PS
+  kRefAsgd,    // Python-reference asynchronous PS
+  kRefDpsgd,   // Python-reference neighbor decentralized
+  kRefMavg,    // Python-reference model averaging
+};
+
+const char* scheme_name(DistScheme s);
+
+struct ScalingConfig {
+  /// Per-sample forward+backward time on one node (s). Default set to a
+  /// P100-class ResNet-50 rate (~225 images/s).
+  double compute_seconds_per_sample = 1.0 / 225.0;
+  /// Model size (ResNet-50: 25.5M float32 parameters).
+  double param_bytes = 25.5e6 * 4;
+  /// Number of parameter tensors (per-tensor reference paths pay per-call
+  /// overhead for each).
+  int tensors = 161;
+  /// Python-interpreter overhead per communication call in the reference
+  /// implementations (s).
+  double py_call_overhead = 5e-3;
+  /// NumPy staging-conversion bandwidth for the reference paths (B/s);
+  /// each tensor crosses twice per direction (the conversions the paper
+  /// blames for the ~10x REF-vs-C++ gap).
+  double py_conversion_bw = 0.15e9;
+  /// SparCML gradient density after top-k.
+  double sparse_density = 0.05;
+  /// Maximum usable nodes before TF-PS crashes / Horovod accumulates
+  /// incorrectly in the paper's weak-scaling run.
+  int tfps_crash_nodes = 256;
+  int horovod_unstable_nodes = 256;
+};
+
+struct SchemePoint {
+  int nodes = 0;
+  double iteration_seconds = 0.0;
+  double comm_seconds = 0.0;
+  double throughput = 0.0;  // images/s (aggregate)
+  bool failed = false;      // reproduced failure mode (crash / divergence)
+  std::string failure_reason;
+  double comm_gbytes_per_node = 0.0;  // app-level, per iteration
+};
+
+/// One scaling point. `global_batch` is fixed for strong scaling; for weak
+/// scaling pass global_batch = per_node_batch * nodes.
+SchemePoint simulate_point(DistScheme scheme, const NetParams& net,
+                           const ScalingConfig& cfg, int nodes,
+                           std::int64_t global_batch, bool weak_scaling);
+
+/// Sweep helper.
+std::vector<SchemePoint> simulate_scaling(DistScheme scheme,
+                                          const NetParams& net,
+                                          const ScalingConfig& cfg,
+                                          const std::vector<int>& node_counts,
+                                          std::int64_t batch,
+                                          bool weak_scaling);
+
+}  // namespace d500

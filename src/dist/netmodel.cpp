@@ -1,0 +1,108 @@
+#include "dist/netmodel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace d500 {
+
+namespace {
+double log2ceil(int n) {
+  return std::ceil(std::log2(static_cast<double>(std::max(n, 1))));
+}
+}  // namespace
+
+double t_ring_allreduce(const NetParams& p, int nodes, double bytes) {
+  if (nodes <= 1) return 0.0;
+  const double n = nodes;
+  return 2.0 * (n - 1.0) * p.alpha +
+         2.0 * bytes * ((n - 1.0) / n) * p.beta +
+         bytes * ((n - 1.0) / n) * p.gamma;
+}
+
+double t_rd_allreduce(const NetParams& p, int nodes, double bytes) {
+  if (nodes <= 1) return 0.0;
+  const double rounds = log2ceil(nodes);
+  return rounds * (p.alpha + bytes * p.beta + bytes * p.gamma);
+}
+
+double t_bcast(const NetParams& p, int nodes, double bytes) {
+  if (nodes <= 1) return 0.0;
+  return log2ceil(nodes) * (p.alpha + bytes * p.beta);
+}
+
+double t_reduce(const NetParams& p, int nodes, double bytes) {
+  if (nodes <= 1) return 0.0;
+  return log2ceil(nodes) * (p.alpha + bytes * p.beta + bytes * p.gamma);
+}
+
+double t_central_ps(const NetParams& p, int nodes, double bytes) {
+  if (nodes <= 1) return 0.0;
+  // Incast: the server's NIC serializes (n-1) incoming gradient pushes,
+  // then (n-1) outgoing parameter sends.
+  const double n = nodes;
+  return 2.0 * (n - 1.0) * (p.alpha + bytes * p.server_beta) +
+         bytes * p.gamma * (n - 1.0);
+}
+
+double t_sharded_ps(const NetParams& p, int nodes, double bytes) {
+  if (nodes <= 1) return 0.0;
+  // Each node owns a B/n shard: a reduce + a broadcast per shard, all
+  // shards concurrent; but every node participates in all 2n collectives,
+  // so per-node wire volume is ~2B and the critical path is the tree depth
+  // times the shard transfer, plus per-shard message latencies (the
+  // many-small-messages overhead of PS sharding).
+  const double n = nodes;
+  const double shard = bytes / n;
+  return 2.0 * n * p.alpha +
+         2.0 * log2ceil(nodes) * (shard * p.beta) * n / 2.0 +
+         bytes * p.gamma;
+}
+
+double t_async_ps_iteration(const NetParams& p, int nodes, double bytes,
+                            double worker_compute_seconds) {
+  // Server service time per worker iteration: receive push + send pull.
+  const double service = 2.0 * (p.alpha + bytes * p.server_beta) +
+                         bytes * p.gamma;
+  // n workers contend for one server: stable only while n*service fits in
+  // one compute period; beyond that the queue grows and the server paces
+  // the system (the "workers queue up to communicate" effect, §V-E ¶).
+  return std::max(worker_compute_seconds + service,
+                  static_cast<double>(nodes) * service);
+}
+
+double t_neighbor_exchange(const NetParams& p, double bytes) {
+  return 2.0 * (p.alpha + bytes * p.beta) + 2.0 * bytes * p.gamma;
+}
+
+SparseAllreduceTime t_sparse_allreduce(const NetParams& p, int nodes,
+                                       double dense_bytes, double density,
+                                       double switch_threshold,
+                                       double filter_rate) {
+  SparseAllreduceTime out;
+  // Dense->sparse filtering (top-k selection pass over the gradient).
+  out.seconds += dense_bytes * filter_rate;
+  if (nodes <= 1) return out;
+  const int rounds = static_cast<int>(log2ceil(nodes));
+  double current_density = density;
+  for (int r = 0; r < rounds; ++r) {
+    if (current_density > switch_threshold) {
+      // Dense exchange for the remaining rounds.
+      const int remaining = rounds - r;
+      out.seconds += remaining * (p.alpha + dense_bytes * p.beta +
+                                  dense_bytes * p.gamma);
+      out.bytes_per_node += remaining * dense_bytes;
+      return out;
+    }
+    // Sparse exchange: index+value pairs double the per-entry payload.
+    const double sparse_bytes = 2.0 * current_density * dense_bytes;
+    out.seconds += p.alpha + sparse_bytes * p.beta +
+                   sparse_bytes * p.gamma * 2.0;  // sparse merge is slower
+    out.bytes_per_node += sparse_bytes;
+    current_density = std::min(1.0, current_density * 2.0);  // index union
+  }
+  return out;
+}
+
+}  // namespace d500

@@ -1,0 +1,70 @@
+// Analytic network cost model (alpha-beta) for the scaling experiments
+// (paper Fig. 12). See DESIGN.md substitutions: the distributed *timing*
+// on 8-256 nodes cannot come from one CPU core's wall clock, so iteration
+// times combine measured per-node compute with these standard collective
+// cost formulas; communication *volume* is measured exactly by SimMPI.
+//
+// Defaults approximate Piz Daint's Aries interconnect and a P100-class
+// compute rate for ResNet-50, calibrated so absolute throughputs land in
+// the paper's range; the claims under test are the *shapes* (ranking,
+// crossover, scaling behaviour), which are robust to the constants.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace d500 {
+
+struct NetParams {
+  double alpha = 1.8e-6;        // per-message latency (s)
+  /// Effective per-byte time for DL gradient traffic. Far below the Aries
+  /// link rate: this is end-to-end gradient bandwidth including GPU->host
+  /// staging, matching the paper's observed allreduce times (~0.8 GB/s
+  /// effective for 100 MB gradients).
+  double beta = 1.2e-9;
+  double gamma = 1.0 / 8.0e9;   // per-byte local reduction time (s/B)
+  double server_beta = 1.2e-9;  // parameter-server NIC (s/B)
+};
+
+/// Ring allreduce: 2(n-1) messages, 2B(n-1)/n bytes on the wire per node.
+double t_ring_allreduce(const NetParams& p, int nodes, double bytes);
+
+/// Recursive-doubling allreduce: log2(n) rounds of full-vector exchange.
+double t_rd_allreduce(const NetParams& p, int nodes, double bytes);
+
+/// Binomial-tree broadcast / reduce.
+double t_bcast(const NetParams& p, int nodes, double bytes);
+double t_reduce(const NetParams& p, int nodes, double bytes);
+
+/// Central parameter server round: n workers push B bytes (serialized at
+/// the server's NIC — incast) and receive B bytes back.
+double t_central_ps(const NetParams& p, int nodes, double bytes);
+
+/// Sharded parameter server (one shard per node): reduce+broadcast of
+/// B/n-byte shards, n concurrent roots.
+double t_sharded_ps(const NetParams& p, int nodes, double bytes);
+
+/// Asynchronous PS: the server applies pushes serially; with n workers
+/// issuing a push of B bytes per iteration the server becomes the
+/// bottleneck once n * service_time exceeds the worker compute time.
+/// Returns the effective per-iteration time given worker compute time.
+double t_async_ps_iteration(const NetParams& p, int nodes, double bytes,
+                            double worker_compute_seconds);
+
+/// Neighbor exchange (DPSGD): two point-to-point messages of B bytes.
+double t_neighbor_exchange(const NetParams& p, double bytes);
+
+/// SparCML sparse allreduce: log2(n) rounds; round k carries
+/// min(1, density * 2^k) of the dense bytes (indices double the payload),
+/// plus the dense->sparse filtering pass, plus dense rounds after the
+/// switch threshold. Mirrors dist/sparcml.cpp's algorithm.
+struct SparseAllreduceTime {
+  double seconds = 0.0;
+  double bytes_per_node = 0.0;  // app-level bytes this node sends
+};
+SparseAllreduceTime t_sparse_allreduce(const NetParams& p, int nodes,
+                                       double dense_bytes, double density,
+                                       double switch_threshold = 0.35,
+                                       double filter_rate = 1.0 / 2.5e9);
+
+}  // namespace d500

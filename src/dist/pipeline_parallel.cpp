@@ -1,0 +1,176 @@
+#include "dist/pipeline_parallel.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <set>
+
+#include "graph/shape_inference.hpp"
+
+namespace d500 {
+
+std::vector<PipelineStage> split_model_stages(const Model& model,
+                                              int stages) {
+  model.validate();
+  D500_CHECK_MSG(stages >= 1 &&
+                 stages <= static_cast<int>(model.nodes.size()),
+                 "split_model_stages: need 1 <= stages <= node count");
+  const auto shapes = infer_shapes(model);
+
+  // Contiguous balanced partition of the (topologically ordered) nodes.
+  const std::size_t n = model.nodes.size();
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;  // [begin, end)
+  for (int s = 0; s < stages; ++s)
+    ranges.emplace_back(n * static_cast<std::size_t>(s) / stages,
+                        n * (static_cast<std::size_t>(s) + 1) / stages);
+
+  // Stage index of each produced value (-1 driver input, -2 initializer).
+  std::map<std::string, int> producer_stage;
+  for (const auto& in : model.graph_inputs) producer_stage[in] = -1;
+  for (const auto& [name, _] : model.initializers) producer_stage[name] = -2;
+  for (int s = 0; s < stages; ++s)
+    for (std::size_t i = ranges[s].first; i < ranges[s].second; ++i)
+      for (const auto& out : model.nodes[i].outputs)
+        producer_stage[out] = s;
+
+  // Last stage that consumes each activation (for relay extent), and
+  // whether a value is an original graph output (must reach the last
+  // stage, which publishes results).
+  std::map<std::string, int> last_consumer;
+  for (int s = 0; s < stages; ++s)
+    for (std::size_t i = ranges[s].first; i < ranges[s].second; ++i)
+      for (const auto& in : model.nodes[i].inputs)
+        last_consumer[in] = std::max(last_consumer.count(in)
+                                         ? last_consumer[in]
+                                         : -1,
+                                     s);
+  const std::set<std::string> graph_outputs(model.graph_outputs.begin(),
+                                            model.graph_outputs.end());
+
+  // cross[b] = activations flowing over the boundary between stage b and
+  // b+1: produced at stage <= b and either consumed after b or an original
+  // graph output (relayed to the end). Values skipping stages are relayed
+  // hop by hop, so every stage only talks to its neighbors.
+  std::vector<std::vector<std::string>> cross(
+      static_cast<std::size_t>(std::max(stages - 1, 0)));
+  for (const auto& [value, p] : producer_stage) {
+    if (p < 0) continue;  // driver inputs / initializers don't relay
+    const int consumed_until =
+        last_consumer.count(value) ? last_consumer[value] : -1;
+    const int until = graph_outputs.count(value)
+                          ? stages - 1
+                          : consumed_until;
+    for (int b = p; b < until && b < stages - 1; ++b)
+      cross[static_cast<std::size_t>(b)].push_back(value);
+  }
+  for (auto& c : cross) std::sort(c.begin(), c.end());
+
+  std::vector<PipelineStage> out(static_cast<std::size_t>(stages));
+  for (int s = 0; s < stages; ++s) {
+    PipelineStage& stage = out[static_cast<std::size_t>(s)];
+    ModelBuilder b(model.name + ".stage" + std::to_string(s));
+    std::set<std::string> declared_inputs, declared_inits;
+
+    // Received boundary values become inputs (including pass-throughs).
+    if (s > 0) {
+      for (const auto& value : cross[static_cast<std::size_t>(s - 1)]) {
+        b.input(value, shapes.at(value));
+        declared_inputs.insert(value);
+        stage.recv_values.push_back(value);
+      }
+    }
+
+    for (std::size_t i = ranges[s].first; i < ranges[s].second; ++i) {
+      const ModelNode& node = model.nodes[i];
+      for (const auto& in : node.inputs) {
+        const int p = producer_stage.at(in);
+        if (p == -2) {
+          if (declared_inits.insert(in).second)
+            b.initializer(in, model.initializers.at(in),
+                          model.trainable.count(in) > 0);
+        } else if (p == -1) {
+          if (declared_inputs.insert(in).second) {
+            b.input(in, shapes.at(in));
+            stage.driver_inputs.push_back(in);
+          }
+        }
+        // p >= 0 and p < s: already declared via recv_values above.
+      }
+      b.node(node.op_type, node.inputs, node.outputs, node.attrs, node.name);
+    }
+
+    // Outputs: the next boundary's values (produced locally or passed
+    // through from an input), plus — on the last stage — every original
+    // graph output.
+    std::set<std::string> declared_outputs;
+    if (s < stages - 1) {
+      for (const auto& value : cross[static_cast<std::size_t>(s)]) {
+        if (declared_outputs.insert(value).second) b.output(value);
+        stage.send_values.push_back(value);
+      }
+    } else {
+      for (const auto& value : model.graph_outputs)
+        if (declared_outputs.insert(value).second) b.output(value);
+    }
+    stage.model = b.build();
+  }
+  return out;
+}
+
+std::vector<TensorMap> run_pipeline(
+    SimMpi& world, const std::vector<PipelineStage>& stages,
+    const std::vector<TensorMap>& microbatch_feeds,
+    const std::function<std::unique_ptr<GraphExecutor>(const Model&)>&
+        make_executor) {
+  D500_CHECK_MSG(world.size() == static_cast<int>(stages.size()),
+                 "run_pipeline: world size must equal stage count");
+  const auto nmb = static_cast<int>(microbatch_feeds.size());
+  std::vector<TensorMap> results(static_cast<std::size_t>(nmb));
+  std::mutex results_mu;
+
+  world.run([&](Communicator& comm) {
+    const int s = comm.rank();
+    const PipelineStage& stage = stages[static_cast<std::size_t>(s)];
+    auto exec = make_executor(stage.model);
+    const auto stage_shapes = infer_shapes(stage.model);
+
+    // Fill/drain schedule: each rank processes micro-batches in order;
+    // SimMPI's buffered sends let stage k start micro-batch t+1 while
+    // stage k+1 is still on t.
+    for (int t = 0; t < nmb; ++t) {
+      TensorMap feeds;
+      for (const auto& name : stage.driver_inputs) {
+        auto it = microbatch_feeds[static_cast<std::size_t>(t)].find(name);
+        D500_CHECK_MSG(it != microbatch_feeds[static_cast<std::size_t>(t)].end(),
+                       "run_pipeline: micro-batch " << t
+                       << " misses driver input '" << name << "'");
+        feeds[name] = it->second;
+      }
+      for (std::size_t k = 0; k < stage.recv_values.size(); ++k) {
+        const std::string& value = stage.recv_values[k];
+        Tensor buf(stage_shapes.at(value));
+        comm.recv(s - 1, buf.span(), /*tag=*/1000 + static_cast<int>(k));
+        feeds[value] = std::move(buf);
+      }
+
+      // Pass-through values the stage only relays are part of both feeds
+      // and outputs; the executor resolves them without recomputation.
+      TensorMap out = exec->inference(feeds);
+      // Pass-through of received values the stage model does not expose as
+      // computed outputs (pure relays that are graph inputs of the stage):
+      for (const auto& value : stage.send_values)
+        if (!out.count(value) && feeds.count(value)) out[value] = feeds[value];
+
+      for (std::size_t k = 0; k < stage.send_values.size(); ++k) {
+        const Tensor& v = out.at(stage.send_values[k]);
+        comm.send(s + 1, v.span(), /*tag=*/1000 + static_cast<int>(k));
+      }
+      if (s == static_cast<int>(stages.size()) - 1) {
+        std::lock_guard<std::mutex> lock(results_mu);
+        results[static_cast<std::size_t>(t)] = std::move(out);
+      }
+    }
+  });
+  return results;
+}
+
+}  // namespace d500

@@ -1,0 +1,51 @@
+// Pipeline parallelism (paper §IV-F Interoperability: "modifying a DNN
+// graph to create pipeline parallelism across processes is impossible
+// automatically in any of the frameworks, but can straightforwardly be
+// done in Deep500").
+//
+// split_model_stages partitions a stored Model into contiguous stages at
+// the graph level: each stage becomes a self-contained Model whose inputs
+// are the cross-stage activations (with inferred shapes) and whose
+// initializers are the parameters its nodes consume. PipelineRunner then
+// executes the stages on consecutive SimMPI ranks, streaming micro-batches
+// through the pipeline (fill/drain schedule) — activations travel as
+// messages, and the final outputs are bit-identical to single-process
+// execution.
+#pragma once
+
+#include "dist/simmpi.hpp"
+#include "graph/executor.hpp"
+#include "graph/model.hpp"
+
+namespace d500 {
+
+/// One pipeline stage: a runnable model plus its cross-stage wiring.
+struct PipelineStage {
+  Model model;
+  /// Values received from the previous stage (in model.graph_inputs order,
+  /// excluding original graph inputs, which are fed by the driver).
+  std::vector<std::string> recv_values;
+  /// Values sent to the next stage (subset of model.graph_outputs).
+  std::vector<std::string> send_values;
+  /// Original graph inputs this stage still needs from the driver (e.g.
+  /// "data" for stage 0, "labels" for the loss-carrying last stage).
+  std::vector<std::string> driver_inputs;
+};
+
+/// Splits `model` into `stages` contiguous stages with balanced node
+/// counts. Throws when stages exceeds the node count. The concatenation of
+/// stages is semantically identical to the original model.
+std::vector<PipelineStage> split_model_stages(const Model& model, int stages);
+
+/// Executes the staged pipeline on `stages.size()` SimMPI ranks. Feeds are
+/// per-micro-batch driver inputs (each TensorMap holds every original
+/// graph input for one micro-batch). Returns the final stage's outputs per
+/// micro-batch, in order. `make_executor` builds each stage's executor
+/// (reference or any framework engine).
+std::vector<TensorMap> run_pipeline(
+    SimMpi& world, const std::vector<PipelineStage>& stages,
+    const std::vector<TensorMap>& microbatch_feeds,
+    const std::function<std::unique_ptr<GraphExecutor>(const Model&)>&
+        make_executor);
+
+}  // namespace d500

@@ -1,0 +1,258 @@
+#include "dist/simmpi.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace d500 {
+
+SimMpi::SimMpi(int size)
+    : size_(size),
+      mailboxes_(static_cast<std::size_t>(size)),
+      bytes_sent_(static_cast<std::size_t>(size), 0),
+      msgs_sent_(static_cast<std::size_t>(size), 0) {
+  D500_CHECK_MSG(size >= 1, "SimMpi world must have >= 1 rank");
+}
+
+void SimMpi::run(const std::function<void(Communicator&)>& fn) {
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size_));
+  threads.reserve(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([this, &fn, &errors, r] {
+      Communicator comm(this, r);
+      try {
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+std::uint64_t SimMpi::bytes_sent(int rank) const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return bytes_sent_[static_cast<std::size_t>(rank)];
+}
+
+std::uint64_t SimMpi::total_bytes_sent() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  std::uint64_t total = 0;
+  for (auto b : bytes_sent_) total += b;
+  return total;
+}
+
+std::uint64_t SimMpi::messages_sent(int rank) const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return msgs_sent_[static_cast<std::size_t>(rank)];
+}
+
+void SimMpi::reset_counters() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  std::fill(bytes_sent_.begin(), bytes_sent_.end(), 0);
+  std::fill(msgs_sent_.begin(), msgs_sent_.end(), 0);
+}
+
+void SimMpi::post(int src, int dst, int tag, std::vector<float> data) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    bytes_sent_[static_cast<std::size_t>(src)] += data.size() * sizeof(float);
+    ++msgs_sent_[static_cast<std::size_t>(src)];
+  }
+  Mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.queues[{src, tag}].push_back(Message{std::move(data)});
+  }
+  box.cv.notify_all();
+}
+
+SimMpi::Message SimMpi::take(int src, int dst, int tag) {
+  Mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  auto key = std::make_pair(src, tag);
+  box.cv.wait(lock, [&] {
+    auto it = box.queues.find(key);
+    return it != box.queues.end() && !it->second.empty();
+  });
+  auto& q = box.queues[key];
+  Message m = std::move(q.front());
+  q.pop_front();
+  return m;
+}
+
+void Communicator::send(int dst, std::span<const float> data, int tag) {
+  D500_CHECK_MSG(dst >= 0 && dst < size() && dst != rank_,
+                 "send: bad destination " << dst);
+  world_->post(rank_, dst, tag, std::vector<float>(data.begin(), data.end()));
+}
+
+void Communicator::recv(int src, std::span<float> out, int tag) {
+  D500_CHECK_MSG(src >= 0 && src < size() && src != rank_,
+                 "recv: bad source " << src);
+  const SimMpi::Message m = world_->take(src, rank_, tag);
+  D500_CHECK_MSG(m.data.size() == out.size(),
+                 "recv: size mismatch (got " << m.data.size() << ", want "
+                 << out.size() << ")");
+  std::copy(m.data.begin(), m.data.end(), out.begin());
+}
+
+void Communicator::barrier() {
+  std::unique_lock<std::mutex> lock(world_->barrier_mu_);
+  const std::uint64_t gen = world_->barrier_generation_;
+  if (++world_->barrier_count_ == world_->size_) {
+    world_->barrier_count_ = 0;
+    ++world_->barrier_generation_;
+    world_->barrier_cv_.notify_all();
+  } else {
+    world_->barrier_cv_.wait(
+        lock, [&] { return world_->barrier_generation_ != gen; });
+  }
+}
+
+void Communicator::bcast(std::span<float> data, int root) {
+  // Binomial tree rooted at `root`: virtual rank v = (rank - root) mod n.
+  // v receives from v - lsb(v), then forwards to v + m for each mask m
+  // below its own lowest set bit (the whole range below n for the root).
+  const int n = size();
+  if (n == 1) return;
+  const int v = (rank_ - root + n) % n;
+  int start_mask;
+  if (v != 0) {
+    const int lsb = v & -v;
+    recv((v - lsb + root) % n, data, /*tag=*/100);
+    start_mask = lsb >> 1;
+  } else {
+    start_mask = 1;
+    while (start_mask * 2 < n) start_mask <<= 1;
+  }
+  for (int m = start_mask; m >= 1; m >>= 1)
+    if (v + m < n) send((v + m + root) % n, data, /*tag=*/100);
+}
+
+void Communicator::reduce_sum(std::span<float> data, int root) {
+  // Binomial-tree reduce: virtual rank v = (rank - root) mod n.
+  const int n = size();
+  if (n == 1) return;
+  const int v = (rank_ - root + n) % n;
+  std::vector<float> incoming(data.size());
+  for (int m = 1; m < n; m <<= 1) {
+    if (v & m) {
+      send(((v & ~m) + root) % n, data, /*tag=*/101);
+      return;  // sent up; done
+    }
+    if (v + m < n) {
+      recv((v + m + root) % n, incoming, /*tag=*/101);
+      for (std::size_t i = 0; i < data.size(); ++i) data[i] += incoming[i];
+    }
+  }
+}
+
+void Communicator::allreduce_sum_ring(std::span<float> data) {
+  const int n = size();
+  if (n == 1) return;
+  const std::size_t len = data.size();
+  // Chunk boundaries (n chunks, nearly equal).
+  auto chunk_begin = [&](int c) { return len * static_cast<std::size_t>(c) / n; };
+  auto chunk_size = [&](int c) {
+    return chunk_begin(c + 1) - chunk_begin(c);
+  };
+  const int right = (rank_ + 1) % n;
+  const int left = (rank_ - 1 + n) % n;
+  std::vector<float> buf(len);  // staging
+
+  // Reduce-scatter: n-1 steps; in step s, send chunk (rank - s) and
+  // receive+accumulate chunk (rank - s - 1).
+  for (int s = 0; s < n - 1; ++s) {
+    const int send_c = ((rank_ - s) % n + n) % n;
+    const int recv_c = ((rank_ - s - 1) % n + n) % n;
+    send(right, data.subspan(chunk_begin(send_c), chunk_size(send_c)),
+         /*tag=*/200 + s);
+    std::span<float> stage(buf.data(), chunk_size(recv_c));
+    recv(left, stage, /*tag=*/200 + s);
+    float* dst = data.data() + chunk_begin(recv_c);
+    for (std::size_t i = 0; i < stage.size(); ++i) dst[i] += stage[i];
+  }
+  // Allgather: n-1 steps circulating the reduced chunks.
+  for (int s = 0; s < n - 1; ++s) {
+    const int send_c = ((rank_ + 1 - s) % n + n) % n;
+    const int recv_c = ((rank_ - s) % n + n) % n;
+    send(right, data.subspan(chunk_begin(send_c), chunk_size(send_c)),
+         /*tag=*/300 + s);
+    std::span<float> stage(data.data() + chunk_begin(recv_c),
+                           chunk_size(recv_c));
+    recv(left, stage, /*tag=*/300 + s);
+  }
+}
+
+void Communicator::allreduce_sum_rd(std::span<float> data) {
+  const int n = size();
+  if (n == 1) return;
+  // Largest power of two <= n.
+  int pof2 = 1;
+  while (pof2 * 2 <= n) pof2 *= 2;
+  const int rem = n - pof2;
+  std::vector<float> incoming(data.size());
+
+  // Fold excess ranks into the power-of-two set.
+  int newrank;
+  if (rank_ < 2 * rem) {
+    if (rank_ % 2 == 0) {  // even: send to odd neighbor, then idle
+      send(rank_ + 1, data, /*tag=*/400);
+      newrank = -1;
+    } else {
+      recv(rank_ - 1, incoming, /*tag=*/400);
+      for (std::size_t i = 0; i < data.size(); ++i) data[i] += incoming[i];
+      newrank = rank_ / 2;
+    }
+  } else {
+    newrank = rank_ - rem;
+  }
+
+  if (newrank >= 0) {
+    for (int mask = 1; mask < pof2; mask <<= 1) {
+      const int peer_new = newrank ^ mask;
+      const int peer =
+          peer_new < rem ? peer_new * 2 + 1 : peer_new + rem;
+      // Exchange full vectors (send first from the lower rank to avoid
+      // deadlock is unnecessary: queues are buffered/nonblocking sends).
+      send(peer, data, /*tag=*/401 + mask);
+      recv(peer, incoming, /*tag=*/401 + mask);
+      for (std::size_t i = 0; i < data.size(); ++i) data[i] += incoming[i];
+    }
+  }
+
+  // Unfold: odd ranks of the folded pairs send results back to evens.
+  if (rank_ < 2 * rem) {
+    if (rank_ % 2 == 1) {
+      send(rank_ - 1, data, /*tag=*/402);
+    } else {
+      recv(rank_ + 1, data, /*tag=*/402);
+    }
+  }
+}
+
+void Communicator::allgather(std::span<const float> chunk,
+                             std::span<float> out) {
+  const int n = size();
+  const std::size_t csize = chunk.size();
+  D500_CHECK_MSG(out.size() == csize * static_cast<std::size_t>(n),
+                 "allgather: output size mismatch");
+  std::copy(chunk.begin(), chunk.end(),
+            out.begin() + static_cast<std::ptrdiff_t>(csize * rank_));
+  if (n == 1) return;
+  const int right = (rank_ + 1) % n;
+  const int left = (rank_ - 1 + n) % n;
+  for (int s = 0; s < n - 1; ++s) {
+    const int send_c = ((rank_ - s) % n + n) % n;
+    const int recv_c = ((rank_ - s - 1) % n + n) % n;
+    send(right, out.subspan(csize * static_cast<std::size_t>(send_c), csize),
+         /*tag=*/500 + s);
+    recv(left, out.subspan(csize * static_cast<std::size_t>(recv_c), csize),
+         /*tag=*/500 + s);
+  }
+}
+
+}  // namespace d500

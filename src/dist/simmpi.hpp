@@ -1,0 +1,115 @@
+// SimMPI: an in-process message-passing substrate standing in for MPI
+// (see DESIGN.md substitutions — the container has no MPI and one core).
+//
+// Ranks execute as threads; point-to-point messages travel through
+// per-(src,dst,tag) queues with real data movement, and the collectives
+// are implemented with the standard algorithms (binomial-tree broadcast
+// and reduce, ring and recursive-doubling allreduce, ring allgather) on
+// top of send/recv, so communication VOLUME is exact — the quantity the
+// paper's CommunicationVolume metric reports (Fig. 12 caption) — even
+// though wall-clock time on one core is not meaningful (timing comes from
+// dist/netmodel.hpp instead).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace d500 {
+
+class Communicator;
+
+/// A world of `size` ranks. run() launches one thread per rank and joins.
+class SimMpi {
+ public:
+  explicit SimMpi(int size);
+
+  int size() const { return size_; }
+
+  /// Runs `fn(comm)` on every rank concurrently. Exceptions thrown by any
+  /// rank are captured and rethrown (first by rank order) after join.
+  void run(const std::function<void(Communicator&)>& fn);
+
+  /// Total bytes sent by each rank across all run() calls.
+  std::uint64_t bytes_sent(int rank) const;
+  std::uint64_t total_bytes_sent() const;
+  /// Messages sent per rank.
+  std::uint64_t messages_sent(int rank) const;
+  void reset_counters();
+
+ private:
+  friend class Communicator;
+
+  struct Message {
+    std::vector<float> data;
+  };
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::map<std::pair<int, int>, std::deque<Message>> queues;  // (src, tag)
+  };
+
+  void post(int src, int dst, int tag, std::vector<float> data);
+  Message take(int src, int dst, int tag);
+
+  int size_;
+  std::vector<Mailbox> mailboxes_;  // one per destination rank
+
+  // Barrier state (central counter, generation-based).
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+
+  mutable std::mutex stats_mu_;
+  std::vector<std::uint64_t> bytes_sent_;
+  std::vector<std::uint64_t> msgs_sent_;
+};
+
+/// Per-rank handle (only valid inside SimMpi::run).
+class Communicator {
+ public:
+  int rank() const { return rank_; }
+  int size() const { return world_->size(); }
+
+  /// Point-to-point. Data is copied (value semantics, like MPI buffers).
+  void send(int dst, std::span<const float> data, int tag = 0);
+  void recv(int src, std::span<float> out, int tag = 0);
+
+  void barrier();
+
+  /// Binomial-tree broadcast from root.
+  void bcast(std::span<float> data, int root = 0);
+
+  /// Binomial-tree reduction (sum) to root.
+  void reduce_sum(std::span<float> data, int root = 0);
+
+  /// Ring allreduce (reduce-scatter + allgather): the bandwidth-optimal
+  /// algorithm, 2*(n-1)/n * bytes per rank.
+  void allreduce_sum_ring(std::span<float> data);
+
+  /// Recursive-doubling allreduce: log2(n) rounds of full-vector exchange
+  /// (latency-optimal for small vectors). Non-power-of-two worlds fold the
+  /// excess ranks first.
+  void allreduce_sum_rd(std::span<float> data);
+
+  /// Ring allgather: each rank contributes `chunk` elements; `out` is
+  /// size*chunk, rank r's contribution at offset r*chunk.
+  void allgather(std::span<const float> chunk, std::span<float> out);
+
+ private:
+  friend class SimMpi;
+  Communicator(SimMpi* world, int rank) : world_(world), rank_(rank) {}
+
+  SimMpi* world_;
+  int rank_;
+};
+
+}  // namespace d500

@@ -1,0 +1,76 @@
+// SparCML-style sparse allreduce (Renggli, Alistarh & Hoefler 2018),
+// reimplemented over SimMPI as the paper's §V-E uses it: a custom Deep500
+// operator implementing sparse gradient aggregation.
+//
+// Pipeline per step: top-k sparsification with residual feedback (the
+// dropped mass is accumulated locally and re-added next step, preserving
+// convergence), then a recursive-doubling exchange of index/value lists
+// that switches to the dense representation once the merged vector's
+// density crosses a threshold — the dynamic sparse->dense switch of the
+// original system. The density growth with node count is exactly the
+// effect the paper cites for SparCML's runtime increasing with nodes.
+#pragma once
+
+#include "dist/dist_optimizer.hpp"
+
+namespace d500 {
+
+/// Sparse vector: sorted unique indices + values over a dense domain.
+struct SparseVector {
+  std::vector<std::uint32_t> indices;
+  std::vector<float> values;
+  std::int64_t dense_size = 0;
+
+  double density() const {
+    return dense_size == 0
+               ? 0.0
+               : static_cast<double>(indices.size()) /
+                     static_cast<double>(dense_size);
+  }
+  std::size_t wire_bytes() const {
+    return indices.size() * (sizeof(std::uint32_t) + sizeof(float)) + 16;
+  }
+};
+
+/// Keeps the k largest-magnitude entries.
+SparseVector sparsify_topk(std::span<const float> dense, std::int64_t k);
+
+/// Sums two sparse vectors (union of indices).
+SparseVector sparse_add(const SparseVector& a, const SparseVector& b);
+
+void densify(const SparseVector& v, std::span<float> out);
+
+struct SparseAllreduceStats {
+  std::uint64_t bytes_sent = 0;  // this rank, app-level
+  double final_density = 0.0;
+  bool switched_to_dense = false;
+};
+
+/// Recursive-doubling sparse allreduce with dense switching. `data` holds
+/// this rank's sparsified contribution on entry and the full (dense) sum
+/// on exit. Requires power-of-two world sizes 1,2,4,... (the benchmarked
+/// node counts); throws otherwise.
+SparseAllreduceStats sparse_allreduce(Communicator& comm,
+                                      const SparseVector& contribution,
+                                      std::span<float> dense_out,
+                                      double dense_switch_threshold = 0.35);
+
+/// DSGD with SparCML sparse gradient aggregation (+ residual feedback).
+class SparCMLOptimizer : public DistributedOptimizer {
+ public:
+  SparCMLOptimizer(std::unique_ptr<ThreeStepOptimizer> base,
+                   Communicator& comm, double density = 0.1,
+                   double dense_switch_threshold = 0.35);
+  std::string name() const override { return "SparCML"; }
+  TensorMap train(const TensorMap& feeds) override;
+
+  double last_density() const { return last_density_; }
+
+ private:
+  double density_;
+  double switch_threshold_;
+  double last_density_ = 0.0;
+  std::vector<float> residual_;
+};
+
+}  // namespace d500

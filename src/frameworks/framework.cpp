@@ -1,0 +1,238 @@
+#include "frameworks/framework.hpp"
+
+#include "frameworks/native_optimizers.hpp"
+#include "graph/transforms.hpp"
+#include "ops/cabi.hpp"
+
+namespace d500 {
+
+namespace {
+
+/// Resolves the "auto_winograd" pseudo-backend: Winograd for eligible
+/// geometries (3x3, stride 1, dilation 1 — as vendor libraries select
+/// their fast algorithms), im2col otherwise.
+std::string resolve_conv_backend(const std::string& backend, const Attrs& a) {
+  if (backend != "auto_winograd") return backend;
+  const std::int64_t k = a.get_int("kernel_h", a.get_int("kernel", 3));
+  const std::int64_t kw = a.get_int("kernel_w", a.get_int("kernel", 3));
+  const bool eligible = k == 3 && kw == 3 && a.get_int("stride", 1) == 1 &&
+                        a.get_int("dilation", 1) == 1;
+  return eligible ? "winograd" : "im2col";
+}
+
+/// Lowering visitor that forces the framework's kernel backends.
+class BackendVisitor : public ModelVisitor {
+ public:
+  BackendVisitor(std::string conv_backend, std::string gemm_backend)
+      : conv_backend_(std::move(conv_backend)),
+        gemm_backend_(std::move(gemm_backend)) {}
+
+ protected:
+  void visit_conv2d(const ModelNode& node, Network& net) override {
+    Attrs a = node.attrs;
+    a.set("backend", resolve_conv_backend(conv_backend_, node.attrs));
+    emit(node, net, OperatorRegistry::instance().create("Conv2D", a));
+  }
+  void visit_linear(const ModelNode& node, Network& net) override {
+    Attrs a = node.attrs;
+    a.set("backend", gemm_backend_);
+    emit(node, net, OperatorRegistry::instance().create("Linear", a));
+  }
+  void visit_matmul(const ModelNode& node, Network& net) override {
+    Attrs a = node.attrs;
+    a.set("backend", gemm_backend_);
+    emit(node, net, OperatorRegistry::instance().create("MatMul", a));
+  }
+
+ private:
+  std::string conv_backend_;
+  std::string gemm_backend_;
+};
+
+Attrs with_backends(const Attrs& attrs, const std::string& op_type,
+                    const std::string& conv_backend,
+                    const std::string& gemm_backend) {
+  Attrs a = attrs;
+  if (op_type == "Conv2D")
+    a.set("backend", resolve_conv_backend(conv_backend, attrs));
+  if (op_type == "Linear" || op_type == "MatMul")
+    a.set("backend", gemm_backend);
+  return a;
+}
+
+// ---- TFSim -----------------------------------------------------------------
+
+class TFSim : public Framework {
+ public:
+  std::string name() const override { return "tfsim"; }
+
+  std::unique_ptr<GraphExecutor> compile(const Model& model) const override {
+    BackendVisitor visitor("direct", "blocked");
+    ExecOptions opt;
+    opt.reuse_activations = true;
+    opt.string_dispatch = true;
+    opt.defensive_copy_shape_ops = true;
+    return std::make_unique<PlanExecutor>(visitor.build(model), name(), opt);
+  }
+
+  OperatorPtr native_operator(const std::string& op_type,
+                              const Attrs& attrs) const override {
+    return OperatorRegistry::instance().create(
+        op_type, with_backends(attrs, op_type, "direct", "blocked"));
+  }
+
+  std::unique_ptr<Optimizer> native_adam(GraphExecutor& exec,
+                                         double lr) const override {
+    // TensorFlow composes Adam from generic tensor operators (Use Case 1).
+    return std::make_unique<ComposedAdamOptimizer>(exec, name(), lr);
+  }
+  std::unique_ptr<Optimizer> native_sgd(GraphExecutor& exec,
+                                        double lr) const override {
+    return std::make_unique<FusedSgdOptimizer>(exec, name(),
+                                               FusedSgdOptimizer::Rule::kSgd, lr);
+  }
+  std::unique_ptr<Optimizer> native_momentum(GraphExecutor& exec, double lr,
+                                             double mu) const override {
+    return std::make_unique<FusedSgdOptimizer>(
+        exec, name(), FusedSgdOptimizer::Rule::kMomentum, lr, mu);
+  }
+  std::unique_ptr<Optimizer> native_rmsprop(GraphExecutor& exec,
+                                            double lr) const override {
+    return std::make_unique<FusedSgdOptimizer>(
+        exec, name(), FusedSgdOptimizer::Rule::kRmsProp, lr);
+  }
+  std::unique_ptr<Optimizer> native_adagrad(GraphExecutor& exec,
+                                            double lr) const override {
+    return std::make_unique<FusedSgdOptimizer>(
+        exec, name(), FusedSgdOptimizer::Rule::kAdaGrad, lr);
+  }
+};
+
+// ---- CF2Sim ----------------------------------------------------------------
+
+class CF2Sim : public Framework {
+ public:
+  std::string name() const override { return "cf2sim"; }
+
+  std::unique_ptr<GraphExecutor> compile(const Model& model) const override {
+    // Deferred engine with a fusion pass (the Caffe2 kernel-fusion profile).
+    const Model fused = FuseBiasReluTransform().apply(model);
+    BackendVisitor visitor("im2col", "packed");
+    ExecOptions opt;
+    opt.reuse_activations = true;
+    return std::make_unique<PlanExecutor>(visitor.build(fused), name(), opt);
+  }
+
+  OperatorPtr native_operator(const std::string& op_type,
+                              const Attrs& attrs) const override {
+    return OperatorRegistry::instance().create(
+        op_type, with_backends(attrs, op_type, "im2col", "packed"));
+  }
+
+  std::unique_ptr<Optimizer> native_adam(GraphExecutor& exec,
+                                         double lr) const override {
+    // Caffe2's fused single-kernel Adam (Use Case 1).
+    return std::make_unique<FusedAdamOptimizer>(exec, name(), lr);
+  }
+  std::unique_ptr<Optimizer> native_sgd(GraphExecutor& exec,
+                                        double lr) const override {
+    return std::make_unique<FusedSgdOptimizer>(exec, name(),
+                                               FusedSgdOptimizer::Rule::kSgd, lr);
+  }
+  std::unique_ptr<Optimizer> native_momentum(GraphExecutor& exec, double lr,
+                                             double mu) const override {
+    return std::make_unique<FusedSgdOptimizer>(
+        exec, name(), FusedSgdOptimizer::Rule::kMomentum, lr, mu);
+  }
+  std::unique_ptr<Optimizer> native_rmsprop(GraphExecutor& exec,
+                                            double lr) const override {
+    return std::make_unique<FusedSgdOptimizer>(
+        exec, name(), FusedSgdOptimizer::Rule::kRmsProp, lr);
+  }
+  std::unique_ptr<Optimizer> native_adagrad(GraphExecutor& exec,
+                                            double lr) const override {
+    return std::make_unique<FusedSgdOptimizer>(
+        exec, name(), FusedSgdOptimizer::Rule::kAdaGrad, lr);
+  }
+};
+
+// ---- PTSim -----------------------------------------------------------------
+
+class PTSim : public Framework {
+ public:
+  std::string name() const override { return "ptsim"; }
+
+  std::unique_ptr<GraphExecutor> compile(const Model& model) const override {
+    BackendVisitor visitor("auto_winograd", "packed");
+    ExecOptions opt;
+    opt.reuse_activations = false;  // eager: allocate per run
+    return std::make_unique<PlanExecutor>(visitor.build(model), name(), opt);
+  }
+
+  OperatorPtr native_operator(const std::string& op_type,
+                              const Attrs& attrs) const override {
+    return OperatorRegistry::instance().create(
+        op_type, with_backends(attrs, op_type, "auto_winograd", "packed"));
+  }
+
+  std::unique_ptr<Optimizer> native_adam(GraphExecutor& exec,
+                                         double lr) const override {
+    return std::make_unique<FusedAdamOptimizer>(exec, name(), lr);
+  }
+  std::unique_ptr<Optimizer> native_sgd(GraphExecutor& exec,
+                                        double lr) const override {
+    return std::make_unique<FusedSgdOptimizer>(exec, name(),
+                                               FusedSgdOptimizer::Rule::kSgd, lr);
+  }
+  std::unique_ptr<Optimizer> native_momentum(GraphExecutor& exec, double lr,
+                                             double mu) const override {
+    return std::make_unique<FusedSgdOptimizer>(
+        exec, name(), FusedSgdOptimizer::Rule::kMomentum, lr, mu);
+  }
+  std::unique_ptr<Optimizer> native_rmsprop(GraphExecutor& exec,
+                                            double lr) const override {
+    return std::make_unique<FusedSgdOptimizer>(
+        exec, name(), FusedSgdOptimizer::Rule::kRmsProp, lr);
+  }
+  std::unique_ptr<Optimizer> native_adagrad(GraphExecutor& exec,
+                                            double lr) const override {
+    return std::make_unique<FusedSgdOptimizer>(
+        exec, name(), FusedSgdOptimizer::Rule::kAdaGrad, lr);
+  }
+};
+
+}  // namespace
+
+const Framework& tfsim() {
+  static const TFSim fw;
+  return fw;
+}
+
+const Framework& cf2sim() {
+  static const CF2Sim fw;
+  return fw;
+}
+
+const Framework& ptsim() {
+  static const PTSim fw;
+  return fw;
+}
+
+std::vector<const Framework*> all_frameworks() {
+  return {&tfsim(), &cf2sim(), &ptsim()};
+}
+
+OperatorPtr custom_op_from_native(const Framework& fw,
+                                  const std::string& op_type,
+                                  const Attrs& attrs) {
+  return wrap_via_cabi(fw.native_operator(op_type, attrs));
+}
+
+OperatorPtr deepbench_kernel(const std::string& op_type, const Attrs& attrs) {
+  // The DeepBench baseline calls the fastest kernels with zero framework
+  // management; backend selection mirrors the vendor-library role.
+  return OperatorRegistry::instance().create(
+      op_type, with_backends(attrs, op_type, "im2col", "packed"));
+}
+
+}  // namespace d500

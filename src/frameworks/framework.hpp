@@ -1,0 +1,75 @@
+// The simulated DL frameworks Deep500++ benchmarks against (see DESIGN.md
+// substitutions). Each framework bundles:
+//   * a ModelVisitor lowering (kernel/backend selection, fusion),
+//   * a configured PlanExecutor (execution mode + overhead profile),
+//   * native optimizer factories (fused vs. op-composed updates),
+//   * native single-operator instantiation for Level 0 benchmarking.
+//
+// TFSim  — deferred execution, generic unfused kernels, session-style
+//          string-keyed dispatch, defensive copies around shape ops, and an
+//          Adam built from generic tensor ops (paper Use Case 1's
+//          TensorFlow profile).
+// CF2Sim — deferred execution with an operator-fusion pass and fused
+//          update kernels (the Caffe2 profile).
+// PTSim  — eager execution: no plan reuse, fresh allocations per run,
+//          but fast kernels and a fused update loop (the PyTorch profile).
+//
+// Deep500 adapters: custom_op_from_native wraps a framework's operator as
+// a Deep500 CustomOperator across the C ABI (paper Listing 5) — the
+// wrapping whose overhead Fig. 6 shows to be negligible.
+#pragma once
+
+#include <memory>
+
+#include "frameworks/plan_executor.hpp"
+#include "graph/visitor.hpp"
+#include "train/optimizer.hpp"
+
+namespace d500 {
+
+class Framework {
+ public:
+  virtual ~Framework() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Compiles a stored model into this framework's executor (applies the
+  /// framework's lowering and graph passes).
+  virtual std::unique_ptr<GraphExecutor> compile(const Model& model) const = 0;
+
+  /// Instantiates this framework's native kernel for a single operator.
+  virtual OperatorPtr native_operator(const std::string& op_type,
+                                      const Attrs& attrs) const = 0;
+
+  /// Native optimizers (each framework at least provides Adam and SGD).
+  virtual std::unique_ptr<Optimizer> native_adam(GraphExecutor& exec,
+                                                 double lr) const = 0;
+  virtual std::unique_ptr<Optimizer> native_sgd(GraphExecutor& exec,
+                                                double lr) const = 0;
+  virtual std::unique_ptr<Optimizer> native_momentum(GraphExecutor& exec,
+                                                     double lr,
+                                                     double mu) const = 0;
+  virtual std::unique_ptr<Optimizer> native_rmsprop(GraphExecutor& exec,
+                                                    double lr) const = 0;
+  virtual std::unique_ptr<Optimizer> native_adagrad(GraphExecutor& exec,
+                                                    double lr) const = 0;
+};
+
+/// The three engines (singletons).
+const Framework& tfsim();
+const Framework& cf2sim();
+const Framework& ptsim();
+std::vector<const Framework*> all_frameworks();
+
+/// Wraps a framework-native operator as a Deep500 CustomOperator routed
+/// through the C ABI (paper Listing 5: custom_op_from_native). The result
+/// is what "Deep500 over framework X" means in the Fig. 6 benchmarks.
+OperatorPtr custom_op_from_native(const Framework& fw,
+                                  const std::string& op_type,
+                                  const Attrs& attrs);
+
+/// The DeepBench role (paper §V-B): bare kernel invocation with no graph,
+/// no framework management — a direct call into the fastest kernel.
+OperatorPtr deepbench_kernel(const std::string& op_type, const Attrs& attrs);
+
+}  // namespace d500

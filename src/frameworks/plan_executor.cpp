@@ -1,0 +1,290 @@
+#include "frameworks/plan_executor.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/timer.hpp"
+#include "ops/conv2d.hpp"
+
+namespace d500 {
+
+namespace {
+
+std::string feeds_signature(const TensorMap& feeds) {
+  std::ostringstream os;
+  for (const auto& [name, t] : feeds)
+    os << name << shape_to_string(t.shape()) << ";";
+  return os.str();
+}
+
+bool is_shape_op_type(const std::string& t) {
+  return t == "Split" || t == "Concat" || t == "Flatten";
+}
+
+}  // namespace
+
+int PlanExecutor::slot_of(const std::string& value) const {
+  auto it = slot_index_.find(value);
+  D500_CHECK_MSG(it != slot_index_.end(),
+                 name_ << ": no slot for value '" << value << "'");
+  return it->second;
+}
+
+void PlanExecutor::compile(const TensorMap& feeds) {
+  const std::string sig = feeds_signature(feeds);
+  if (compiled_ && sig == feed_signature_) return;
+  feed_signature_ = sig;
+
+  steps_.clear();
+  slot_index_.clear();
+  slot_names_.clear();
+  values_.clear();
+  grads_.clear();
+  value_is_feed_.clear();
+  value_is_stored_.clear();
+  grad_needed_.clear();
+
+  auto add_slot = [&](const std::string& name, bool is_feed, bool is_stored) {
+    const int slot = static_cast<int>(slot_names_.size());
+    slot_index_[name] = slot;
+    slot_names_.push_back(name);
+    value_is_feed_.push_back(is_feed);
+    value_is_stored_.push_back(is_stored);
+    grad_needed_.push_back(false);
+    values_.emplace_back();
+    grads_.emplace_back();
+    return slot;
+  };
+
+  // Slots for feeds and stored tensors referenced by the graph.
+  std::map<std::string, Shape> shapes;
+  for (const auto& [fname, t] : feeds) {
+    add_slot(fname, true, false);
+    shapes[fname] = t.shape();
+  }
+
+  const auto order = net_.topological_order();
+  const auto& params = net_.parameters();
+  std::size_t live_bytes = 0;
+  std::size_t peak = 0;
+  for (const Network::Node* node : order) {
+    Step step;
+    step.node = node;
+    step.is_shape_op = is_shape_op_type(node->op_type);
+    for (const auto& in : node->inputs) {
+      if (!slot_index_.count(in)) {
+        // Must be a stored tensor (parameters/constants).
+        D500_CHECK_MSG(net_.has_tensor(in),
+                       name_ << ": unresolved value '" << in << "'");
+        add_slot(in, false, true);
+        shapes[in] = net_.fetch_tensor(in).shape();
+      }
+      const int s = slot_of(in);
+      step.in_slots.push_back(s);
+      step.in_shapes.push_back(shapes.at(in));
+      if (value_is_stored_[static_cast<std::size_t>(s)] &&
+          std::find(params.begin(), params.end(), in) != params.end())
+        grad_needed_[static_cast<std::size_t>(s)] = true;
+    }
+    step.out_shapes = node->op->output_shapes(step.in_shapes);
+    for (std::size_t k = 0; k < node->outputs.size(); ++k) {
+      const int s = add_slot(node->outputs[k], false, false);
+      step.out_slots.push_back(s);
+      shapes[node->outputs[k]] = step.out_shapes[k];
+      grad_needed_[static_cast<std::size_t>(s)] = true;  // chain continues
+      live_bytes +=
+          static_cast<std::size_t>(shape_elements(step.out_shapes[k])) * 4;
+    }
+    if (const auto* conv = dynamic_cast<const Conv2DOp*>(node->op.get()))
+      step.workspace_bytes = conv->workspace_bytes(step.in_shapes);
+    peak = std::max(peak, live_bytes + step.workspace_bytes);
+    steps_.push_back(std::move(step));
+  }
+  last_peak_memory_ = peak;
+  if (memory_limit_ != 0 && peak > memory_limit_)
+    throw OutOfMemoryError(name_ + ": plan peak memory " +
+                           std::to_string(peak) + " exceeds limit " +
+                           std::to_string(memory_limit_));
+
+  // Preallocate activation buffers (deferred-engine behaviour).
+  if (options_.reuse_activations) {
+    for (const auto& step : steps_)
+      for (std::size_t k = 0; k < step.out_slots.size(); ++k)
+        values_[static_cast<std::size_t>(step.out_slots[k])] =
+            Tensor(step.out_shapes[k]);
+  }
+  compiled_ = true;
+}
+
+void PlanExecutor::run_forward(const TensorMap& feeds) {
+  // Stage feeds into their slots (framework feed/conversion boundary).
+  for (const auto& [fname, t] : feeds) {
+    auto it = slot_index_.find(fname);
+    if (it == slot_index_.end()) continue;  // unused feed
+    values_[static_cast<std::size_t>(it->second)] = t;  // copy
+  }
+
+  std::int64_t op_index = 0;
+  for (auto& step : steps_) {
+    fire({EventPoint::kBeforeOperator, op_index, -1, step.node->name, 0.0});
+    Timer launch_timer;
+
+    if (!options_.reuse_activations) {
+      for (std::size_t k = 0; k < step.out_slots.size(); ++k)
+        values_[static_cast<std::size_t>(step.out_slots[k])] =
+            Tensor(step.out_shapes[k]);
+    }
+
+    ConstTensors in;
+    in.reserve(step.in_slots.size());
+    for (std::size_t k = 0; k < step.in_slots.size(); ++k) {
+      const auto s = static_cast<std::size_t>(step.in_slots[k]);
+      if (value_is_stored_[s]) {
+        in.push_back(&net_.fetch_tensor(slot_names_[s]));
+      } else {
+        in.push_back(&values_[s]);
+      }
+    }
+    MutTensors out;
+    out.reserve(step.out_slots.size());
+    for (int s : step.out_slots)
+      out.push_back(&values_[static_cast<std::size_t>(s)]);
+
+    if (options_.string_dispatch) {
+      // Session-style launch path: per-launch shape validation plus
+      // string-keyed stats bookkeeping (the management overhead the
+      // paper's FrameworkOverhead metric quantifies).
+      for (std::size_t k = 0; k < in.size(); ++k)
+        D500_CHECK_MSG(in[k]->shape() == step.in_shapes[k],
+                       name_ << ": launch-time shape mismatch at '"
+                       << step.node->name << "'");
+      if (options_.defensive_copy_shape_ops && step.is_shape_op) {
+        std::vector<Tensor> staged;
+        staged.reserve(out.size());
+        for (std::size_t k = 0; k < out.size(); ++k)
+          staged.emplace_back(step.out_shapes[k]);
+        MutTensors staged_ptrs;
+        for (auto& t : staged) staged_ptrs.push_back(&t);
+        step.node->op->forward(in, staged_ptrs);
+        for (std::size_t k = 0; k < out.size(); ++k) *out[k] = staged[k];
+      } else {
+        step.node->op->forward(in, out);
+      }
+      auto& st = launch_stats_[step.node->op_type + ":" + step.node->name];
+      ++st.launches;
+      st.seconds += launch_timer.seconds();
+    } else {
+      step.node->op->forward(in, out);
+    }
+
+    fire({EventPoint::kAfterOperator, op_index, -1, step.node->name, 0.0});
+    ++op_index;
+  }
+}
+
+TensorMap PlanExecutor::inference(const TensorMap& feeds) {
+  fire({EventPoint::kBeforeInference, -1, -1, net_.name(), 0.0});
+  compile(feeds);
+  run_forward(feeds);
+  TensorMap out;
+  for (const auto& oname : net_.outputs()) {
+    auto it = slot_index_.find(oname);
+    D500_CHECK_MSG(it != slot_index_.end(),
+                   name_ << ": output '" << oname << "' not produced");
+    out[oname] = values_[static_cast<std::size_t>(it->second)];
+  }
+  fire({EventPoint::kAfterInference, -1, -1, net_.name(), 0.0});
+  return out;
+}
+
+TensorMap PlanExecutor::inference_and_backprop(const TensorMap& feeds,
+                                               const std::string& loss_value) {
+  fire({EventPoint::kBeforeInference, -1, -1, net_.name(), 0.0});
+  compile(feeds);
+  run_forward(feeds);
+  fire({EventPoint::kAfterInference, -1, -1, net_.name(), 0.0});
+
+  std::string loss = loss_value;
+  if (loss.empty()) {
+    D500_CHECK_MSG(!net_.outputs().empty(), "backprop without outputs");
+    loss = net_.outputs().back();
+  }
+  const int loss_slot = slot_of(loss);
+  D500_CHECK_MSG(values_[static_cast<std::size_t>(loss_slot)].elements() == 1,
+                 name_ << ": loss '" << loss << "' is not scalar");
+
+  fire({EventPoint::kBeforeBackprop, -1, -1, net_.name(), 0.0});
+
+  // (Re)shape + zero gradient slots.
+  std::vector<bool> grad_live(grads_.size(), false);
+  for (std::size_t s = 0; s < grads_.size(); ++s) {
+    if (!grad_needed_[s]) continue;
+    const Tensor& v = value_is_stored_[s] ? net_.fetch_tensor(slot_names_[s])
+                                          : values_[s];
+    if (grads_[s].shape() != v.shape()) grads_[s] = Tensor(v.shape());
+    else grads_[s].fill(0.0f);
+  }
+  grads_[static_cast<std::size_t>(loss_slot)].fill(1.0f);
+  grad_live[static_cast<std::size_t>(loss_slot)] = true;
+
+  for (auto it = steps_.rbegin(); it != steps_.rend(); ++it) {
+    Step& step = *it;
+    bool any = false;
+    for (int s : step.out_slots)
+      if (grad_live[static_cast<std::size_t>(s)]) any = true;
+    if (!any) continue;
+
+    ConstTensors grad_out, fwd_in, fwd_out;
+    for (int s : step.out_slots) {
+      grad_out.push_back(&grads_[static_cast<std::size_t>(s)]);
+      fwd_out.push_back(&values_[static_cast<std::size_t>(s)]);
+    }
+    for (std::size_t k = 0; k < step.in_slots.size(); ++k) {
+      const auto s = static_cast<std::size_t>(step.in_slots[k]);
+      fwd_in.push_back(value_is_stored_[s] ? &net_.fetch_tensor(slot_names_[s])
+                                           : &values_[s]);
+    }
+
+    std::vector<Tensor> scratch(step.in_slots.size());
+    MutTensors grad_in(step.in_slots.size(), nullptr);
+    for (std::size_t k = 0; k < step.in_slots.size(); ++k) {
+      const auto s = static_cast<std::size_t>(step.in_slots[k]);
+      if (!grad_needed_[s]) continue;
+      scratch[k] = Tensor(fwd_in[k]->shape());
+      grad_in[k] = &scratch[k];
+    }
+
+    step.node->op->backward(grad_out, fwd_in, fwd_out, grad_in);
+
+    for (std::size_t k = 0; k < step.in_slots.size(); ++k) {
+      if (!grad_in[k]) continue;
+      const auto s = static_cast<std::size_t>(step.in_slots[k]);
+      axpy(1.0f, scratch[k], grads_[s]);
+      grad_live[s] = true;
+    }
+  }
+
+  // Publish parameter gradients (zero for parameters the compiled graph
+  // never consumes).
+  for (const auto& [pname, gname] : net_.gradients()) {
+    auto sit = slot_index_.find(pname);
+    if (sit == slot_index_.end()) {
+      net_.feed_tensor(gname, Tensor(net_.fetch_tensor(pname).shape()));
+      continue;
+    }
+    net_.feed_tensor(gname, grads_[static_cast<std::size_t>(sit->second)]);
+  }
+
+  fire({EventPoint::kAfterBackprop, -1, -1, net_.name(),
+        static_cast<double>(values_[static_cast<std::size_t>(loss_slot)].at(0))});
+
+  TensorMap out;
+  for (const auto& oname : net_.outputs()) {
+    auto sit = slot_index_.find(oname);
+    if (sit != slot_index_.end())
+      out[oname] = values_[static_cast<std::size_t>(sit->second)];
+  }
+  return out;
+}
+
+}  // namespace d500

@@ -1,0 +1,108 @@
+// GraphExecutor interface (paper §IV-D): controls DNN execution with two
+// entry points — inference, and inference_and_backprop — and fires Event
+// hooks at operator and pass boundaries so metrics can attach without
+// touching executor internals.
+#pragma once
+
+#include <memory>
+
+#include "core/event.hpp"
+#include "graph/network.hpp"
+
+namespace d500 {
+
+class GraphExecutor {
+ public:
+  explicit GraphExecutor(Network net) : net_(std::move(net)) {}
+  virtual ~GraphExecutor() = default;
+
+  GraphExecutor(const GraphExecutor&) = delete;
+  GraphExecutor& operator=(const GraphExecutor&) = delete;
+
+  virtual std::string name() const = 0;
+
+  Network& network() { return net_; }
+  const Network& network() const { return net_; }
+
+  /// Runs the graph on `feeds` and returns the declared graph outputs.
+  virtual TensorMap inference(const TensorMap& feeds) = 0;
+
+  /// Runs forward then backward from `loss_value` (a graph value holding a
+  /// scalar; empty = the last declared output). Parameter gradients are
+  /// stored into the network under Network::gradient_name(param).
+  /// Returns the graph outputs of the forward pass.
+  virtual TensorMap inference_and_backprop(const TensorMap& feeds,
+                                           const std::string& loss_value = "") = 0;
+
+  /// Event hooks (paper: user-specified hooks invoked during complex
+  /// actions). Returning false from an after-hook requests early exit of
+  /// the enclosing loop; executors only propagate the flag.
+  void add_event(std::shared_ptr<Event> ev) { events_.push_back(std::move(ev)); }
+  const std::vector<std::shared_ptr<Event>>& events() const { return events_; }
+
+  /// Optional simulated device-memory budget in bytes for activations and
+  /// operator workspace; 0 = unlimited. Executors throw OutOfMemoryError
+  /// when a forward pass would exceed it (used by the micro-batching
+  /// experiment, paper §V-C).
+  void set_memory_limit(std::size_t bytes) { memory_limit_ = bytes; }
+  std::size_t memory_limit() const { return memory_limit_; }
+
+  /// Peak activation+workspace bytes observed in the last forward pass.
+  std::size_t last_peak_memory() const { return last_peak_memory_; }
+
+ protected:
+  bool fire(const EventInfo& info) {
+    bool keep_going = true;
+    for (auto& ev : events_) keep_going = ev->on_event(info) && keep_going;
+    return keep_going;
+  }
+
+  Network net_;
+  std::vector<std::shared_ptr<Event>> events_;
+  std::size_t memory_limit_ = 0;
+  std::size_t last_peak_memory_ = 0;
+};
+
+/// Reference executor: topological interpretation of the graph, exact but
+/// unoptimized (paper: "reference implementations ... verified yet slow").
+/// Optionally records per-operator wall time, which the FrameworkOverhead
+/// metric compares against whole-graph time.
+class ReferenceExecutor : public GraphExecutor {
+ public:
+  explicit ReferenceExecutor(Network net) : GraphExecutor(std::move(net)) {}
+
+  std::string name() const override { return "reference"; }
+
+  TensorMap inference(const TensorMap& feeds) override;
+  TensorMap inference_and_backprop(const TensorMap& feeds,
+                                   const std::string& loss_value = "") override;
+
+  void set_collect_op_times(bool on) { collect_op_times_ = on; }
+  /// node name -> per-call forward seconds (appended across runs).
+  const std::map<std::string, std::vector<double>>& op_times() const {
+    return op_times_;
+  }
+  void clear_op_times() { op_times_.clear(); }
+
+ private:
+  /// Shared forward pass; fills `values` with all computed activations.
+  void forward_pass(const TensorMap& feeds, TensorMap& values);
+
+  bool collect_op_times_ = false;
+  std::map<std::string, std::vector<double>> op_times_;
+};
+
+/// FrameworkOverhead metric (paper §IV-D): ratio of whole-graph time to the
+/// sum of individual operator times, estimating management overhead
+/// (scheduling, bookkeeping, kernel invocation).
+struct FrameworkOverheadResult {
+  double whole_graph_seconds = 0.0;   // median
+  double sum_of_ops_seconds = 0.0;    // median per-op sums
+  double overhead_fraction = 0.0;     // (whole - sum) / whole
+};
+
+FrameworkOverheadResult measure_framework_overhead(ReferenceExecutor& exec,
+                                                   const TensorMap& feeds,
+                                                   int reruns = 10);
+
+}  // namespace d500

@@ -1,0 +1,161 @@
+#include "graph/microbatch.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/shape_inference.hpp"
+
+namespace d500 {
+
+std::size_t conv_workspace_bytes(const Shape& x_shape, std::int64_t filters,
+                                 const Conv2DParams& p) {
+  Conv2DOp op(p, ConvBackend::kIm2col);
+  const Shape w{filters, x_shape[1], p.kernel_h, p.kernel_w};
+  const Shape b{filters};
+  return op.workspace_bytes({x_shape, w, b});
+}
+
+MicrobatchPlan solve_microbatch(std::int64_t batch, std::size_t memory_budget,
+                                const std::vector<std::int64_t>& candidate_sizes,
+                                const MicrobatchCostFn& cost) {
+  MicrobatchPlan plan;
+  D500_CHECK(batch > 0);
+
+  // Feasible options only.
+  std::vector<MicrobatchOption> options;
+  for (std::int64_t s : candidate_sizes) {
+    if (s <= 0 || s > batch) continue;
+    MicrobatchOption opt = cost(s);
+    opt.size = s;
+    if (memory_budget == 0 || opt.memory_bytes <= memory_budget)
+      options.push_back(opt);
+  }
+  if (options.empty()) return plan;  // infeasible
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dp(static_cast<std::size_t>(batch) + 1, kInf);
+  std::vector<int> choice(static_cast<std::size_t>(batch) + 1, -1);
+  dp[0] = 0.0;
+  for (std::int64_t b = 1; b <= batch; ++b) {
+    for (std::size_t k = 0; k < options.size(); ++k) {
+      const std::int64_t s = options[k].size;
+      if (s > b) continue;
+      const double c = dp[static_cast<std::size_t>(b - s)] +
+                       options[k].cost_seconds;
+      if (c < dp[static_cast<std::size_t>(b)]) {
+        dp[static_cast<std::size_t>(b)] = c;
+        choice[static_cast<std::size_t>(b)] = static_cast<int>(k);
+      }
+    }
+  }
+  if (choice[static_cast<std::size_t>(batch)] < 0) return plan;  // no cover
+
+  plan.feasible = true;
+  plan.predicted_cost = dp[static_cast<std::size_t>(batch)];
+  for (std::int64_t b = batch; b > 0;) {
+    const auto& opt = options[static_cast<std::size_t>(
+        choice[static_cast<std::size_t>(b)])];
+    plan.sizes.push_back(opt.size);
+    plan.backends.push_back(opt.backend);
+    b -= opt.size;
+  }
+  // Deterministic order (largest chunks first, as produced it is already
+  // grouped; sort for stable output).
+  return plan;
+}
+
+Model MicrobatchTransform::apply(const Model& model) const {
+  const auto shapes = infer_shapes(model);
+  Model out = model;
+  std::vector<ModelNode> rewritten;
+  rewritten.reserve(out.nodes.size());
+  int counter = 0;
+
+  for (const ModelNode& node : out.nodes) {
+    if (node.op_type != "Conv2D") {
+      rewritten.push_back(node);
+      continue;
+    }
+    const Shape& x = shapes.at(node.inputs[0]);
+    const Shape& w = shapes.at(node.inputs[1]);
+    Conv2DParams p;
+    p.kernel_h = node.attrs.get_int("kernel_h", node.attrs.get_int("kernel", 3));
+    p.kernel_w = node.attrs.get_int("kernel_w", node.attrs.get_int("kernel", 3));
+    p.stride = node.attrs.get_int("stride", 1);
+    p.pad = node.attrs.get_int("pad", 0);
+    p.dilation = node.attrs.get_int("dilation", 1);
+
+    const std::size_t ws = conv_workspace_bytes(x, w[0], p);
+    if (budget_ == 0 || ws <= budget_) {
+      rewritten.push_back(node);
+      continue;
+    }
+
+    // Cost model: default is proportional (workspace bytes as proxy for
+    // time), which makes the DP prefer the largest feasible chunk.
+    MicrobatchCostFn cost = cost_;
+    if (!cost) {
+      const Shape base = x;
+      const std::int64_t filters = w[0];
+      const Conv2DParams params = p;
+      cost = [base, filters, params](std::int64_t s) {
+        Shape xs = base;
+        xs[0] = s;
+        MicrobatchOption opt;
+        opt.size = s;
+        opt.memory_bytes = conv_workspace_bytes(xs, filters, params);
+        opt.cost_seconds = static_cast<double>(s);  // linear in samples
+        opt.backend = ConvBackend::kIm2col;
+        return opt;
+      };
+    }
+
+    MicrobatchPlan plan = solve_microbatch(x[0], budget_, candidates_, cost);
+    if (!plan.feasible)
+      throw OutOfMemoryError("microbatch: no feasible split for node '" +
+                             node.name + "' under budget " +
+                             std::to_string(budget_));
+
+    const std::string tag = "_mb" + std::to_string(counter++);
+    // Split node.
+    ModelNode split;
+    split.name = node.name + tag + "_split";
+    split.op_type = "Split";
+    split.inputs = {node.inputs[0]};
+    std::vector<std::int64_t> sizes = plan.sizes;
+    split.attrs.set("sizes", sizes);
+    for (std::size_t k = 0; k < plan.sizes.size(); ++k)
+      split.outputs.push_back(node.outputs[0] + tag + "_in" +
+                              std::to_string(k));
+    rewritten.push_back(split);
+
+    // Micro-convolutions (weights/bias shared).
+    std::vector<std::string> conv_outs;
+    for (std::size_t k = 0; k < plan.sizes.size(); ++k) {
+      ModelNode conv;
+      conv.name = node.name + tag + "_conv" + std::to_string(k);
+      conv.op_type = "Conv2D";
+      conv.inputs = {split.outputs[k], node.inputs[1], node.inputs[2]};
+      conv.outputs = {node.outputs[0] + tag + "_out" + std::to_string(k)};
+      conv.attrs = node.attrs;
+      conv.attrs.set("backend", std::string(conv_backend_name(plan.backends[k])));
+      conv_outs.push_back(conv.outputs[0]);
+      rewritten.push_back(std::move(conv));
+    }
+
+    // Concat node restoring the original output edge.
+    ModelNode concat;
+    concat.name = node.name + tag + "_concat";
+    concat.op_type = "Concat";
+    concat.inputs = conv_outs;
+    concat.outputs = {node.outputs[0]};
+    concat.attrs.set("num_inputs", static_cast<std::int64_t>(conv_outs.size()));
+    rewritten.push_back(std::move(concat));
+  }
+
+  out.nodes = std::move(rewritten);
+  out.validate();
+  return out;
+}
+
+}  // namespace d500

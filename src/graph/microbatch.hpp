@@ -1,0 +1,73 @@
+// Micro-batching transformation (paper §V-C, Fig. 7; after Oyama et al.,
+// "Accelerating deep learning frameworks with micro-batches").
+//
+// Each Conv2D whose workspace exceeds the memory budget is rewritten to
+//   Split(axis 0) -> k micro-batch Conv2Ds -> Concat(axis 0),
+// with the micro-batch sizes (and per-size convolution algorithm) chosen by
+// an exact solver. The paper formulates the choice as an ILP maximizing
+// performance under a memory-utilization constraint; for this split
+// structure the optimum is computed exactly by dynamic programming over the
+// remaining batch, which solves the same optimization problem.
+#pragma once
+
+#include <functional>
+
+#include "graph/transforms.hpp"
+#include "ops/conv2d.hpp"
+
+namespace d500 {
+
+/// Cost/feasibility of running one micro-batch of a given size.
+struct MicrobatchOption {
+  std::int64_t size = 0;
+  double cost_seconds = 0.0;   // measured or modeled runtime of this size
+  std::size_t memory_bytes = 0;  // workspace at this size
+  ConvBackend backend = ConvBackend::kIm2col;  // best algorithm at this size
+};
+
+/// cost model: size -> option. Callers measure (bench) or model (tests).
+using MicrobatchCostFn = std::function<MicrobatchOption(std::int64_t size)>;
+
+struct MicrobatchPlan {
+  std::vector<std::int64_t> sizes;   // split sizes, sum == batch
+  std::vector<ConvBackend> backends; // per chunk
+  double predicted_cost = 0.0;
+  bool feasible = false;
+};
+
+/// Exact DP: minimize sum of chunk costs subject to every chunk's workspace
+/// fitting in `memory_budget`. `candidate_sizes` bounds the search (pass
+/// the divisors/powers you are willing to run). Infeasible when no
+/// candidate size fits the budget.
+MicrobatchPlan solve_microbatch(std::int64_t batch,
+                                std::size_t memory_budget,
+                                const std::vector<std::int64_t>& candidate_sizes,
+                                const MicrobatchCostFn& cost);
+
+/// The graph rewrite. Applies to every Conv2D node whose im2col workspace
+/// (at the inferred input shape) exceeds `memory_budget`; other nodes are
+/// untouched. Chunk sizes come from solve_microbatch with the given cost
+/// function (default: proportional-cost model using workspace bytes).
+class MicrobatchTransform : public GraphTransform {
+ public:
+  MicrobatchTransform(std::size_t memory_budget,
+                      std::vector<std::int64_t> candidate_sizes,
+                      MicrobatchCostFn cost = nullptr)
+      : budget_(memory_budget),
+        candidates_(std::move(candidate_sizes)),
+        cost_(std::move(cost)) {}
+
+  std::string name() const override { return "microbatch"; }
+  Model apply(const Model& model) const override;
+
+ private:
+  std::size_t budget_;
+  std::vector<std::int64_t> candidates_;
+  MicrobatchCostFn cost_;
+};
+
+/// Workspace bytes of a Conv2D over an input of shape x with F filters.
+std::size_t conv_workspace_bytes(const Shape& x_shape, std::int64_t filters,
+                                 const Conv2DParams& p);
+
+}  // namespace d500

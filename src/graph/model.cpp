@@ -1,0 +1,292 @@
+#include "graph/model.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/serialize.hpp"
+
+namespace d500 {
+
+const ModelNode* Model::producer(const std::string& value) const {
+  for (const auto& n : nodes)
+    for (const auto& out : n.outputs)
+      if (out == value) return &n;
+  return nullptr;
+}
+
+std::vector<const ModelNode*> Model::consumers(const std::string& value) const {
+  std::vector<const ModelNode*> out;
+  for (const auto& n : nodes)
+    for (const auto& in : n.inputs)
+      if (in == value) {
+        out.push_back(&n);
+        break;
+      }
+  return out;
+}
+
+void Model::validate() const {
+  std::set<std::string> produced;
+  for (const auto& name : graph_inputs) {
+    if (!produced.insert(name).second)
+      throw FormatError("model: duplicate input '" + name + "'");
+    if (!input_shapes.count(name))
+      throw FormatError("model: input '" + name + "' has no shape");
+  }
+  for (const auto& [name, _] : initializers) {
+    if (!produced.insert(name).second)
+      throw FormatError("model: initializer '" + name +
+                        "' collides with another value");
+  }
+  for (const auto& t : trainable)
+    if (!initializers.count(t))
+      throw FormatError("model: trainable '" + t + "' is not an initializer");
+
+  std::set<std::string> node_names;
+  // Nodes must be stored in a valid topological order (producers before
+  // consumers) — this both checks acyclicity and matches the on-disk
+  // contract.
+  for (const auto& n : nodes) {
+    if (n.name.empty() || !node_names.insert(n.name).second)
+      throw FormatError("model: missing or duplicate node name '" + n.name +
+                        "'");
+    for (const auto& in : n.inputs)
+      if (!produced.count(in))
+        throw FormatError("model: node '" + n.name + "' input '" + in +
+                          "' is not produced before it");
+    for (const auto& out : n.outputs)
+      if (!produced.insert(out).second)
+        throw FormatError("model: value '" + out + "' produced twice");
+  }
+  for (const auto& out : graph_outputs)
+    if (!produced.count(out))
+      throw FormatError("model: graph output '" + out + "' never produced");
+}
+
+std::int64_t Model::parameter_count() const {
+  std::int64_t n = 0;
+  for (const auto& name : trainable) {
+    auto it = initializers.find(name);
+    if (it != initializers.end()) n += it->second.elements();
+  }
+  return n;
+}
+
+namespace {
+
+constexpr std::uint32_t kModelMagic = 0x44354D31;  // "D5M1"
+
+void write_attrs(BinaryWriter& w, const Attrs& attrs) {
+  w.varint(attrs.values().size());
+  for (const auto& [key, value] : attrs.values()) {
+    w.str(key);
+    w.u8(static_cast<std::uint8_t>(value.index()));
+    switch (value.index()) {
+      case 0: w.i64(std::get<std::int64_t>(value)); break;
+      case 1: w.f64(std::get<double>(value)); break;
+      case 2: w.str(std::get<std::string>(value)); break;
+      case 3: {
+        const auto& v = std::get<std::vector<std::int64_t>>(value);
+        w.varint(v.size());
+        for (auto x : v) w.i64(x);
+        break;
+      }
+    }
+  }
+}
+
+Attrs read_attrs(BinaryReader& r) {
+  Attrs attrs;
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::string key = r.str();
+    const std::uint8_t kind = r.u8();
+    switch (kind) {
+      case 0: attrs.set(key, r.i64()); break;
+      case 1: attrs.set(key, r.f64()); break;
+      case 2: attrs.set(key, r.str()); break;
+      case 3: {
+        std::vector<std::int64_t> v(r.varint());
+        for (auto& x : v) x = r.i64();
+        attrs.set(key, std::move(v));
+        break;
+      }
+      default:
+        throw FormatError("model: unknown attribute kind " +
+                          std::to_string(kind));
+    }
+  }
+  return attrs;
+}
+
+void write_tensor(BinaryWriter& w, const Tensor& t) {
+  w.varint(t.shape().size());
+  for (auto d : t.shape()) w.i64(d);
+  w.u8(static_cast<std::uint8_t>(t.layout()));
+  w.raw(t.data(), t.bytes());
+}
+
+Tensor read_tensor(BinaryReader& r) {
+  Shape shape(r.varint());
+  for (auto& d : shape) d = r.i64();
+  const auto layout = static_cast<Layout>(r.u8());
+  Tensor t(shape, layout);
+  r.raw(t.data(), t.bytes());
+  return t;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_model(const Model& model) {
+  BinaryWriter w;
+  w.u32(kModelMagic);
+  w.str(model.name);
+
+  w.varint(model.graph_inputs.size());
+  for (const auto& in : model.graph_inputs) {
+    w.str(in);
+    const Shape& s = model.input_shapes.at(in);
+    w.varint(s.size());
+    for (auto d : s) w.i64(d);
+  }
+
+  w.varint(model.initializers.size());
+  for (const auto& [name, tensor] : model.initializers) {
+    w.str(name);
+    w.u8(model.trainable.count(name) ? 1 : 0);
+    write_tensor(w, tensor);
+  }
+
+  w.varint(model.nodes.size());
+  for (const auto& n : model.nodes) {
+    w.str(n.name);
+    w.str(n.op_type);
+    w.varint(n.inputs.size());
+    for (const auto& in : n.inputs) w.str(in);
+    w.varint(n.outputs.size());
+    for (const auto& out : n.outputs) w.str(out);
+    write_attrs(w, n.attrs);
+  }
+
+  w.varint(model.graph_outputs.size());
+  for (const auto& out : model.graph_outputs) w.str(out);
+  return w.take();
+}
+
+Model deserialize_model(std::span<const std::uint8_t> data) {
+  BinaryReader r(data);
+  if (r.u32() != kModelMagic)
+    throw FormatError("model: bad magic (not a d5m file)");
+  Model m;
+  m.name = r.str();
+
+  const std::uint64_t nin = r.varint();
+  for (std::uint64_t i = 0; i < nin; ++i) {
+    const std::string name = r.str();
+    Shape s(r.varint());
+    for (auto& d : s) d = r.i64();
+    m.graph_inputs.push_back(name);
+    m.input_shapes[name] = std::move(s);
+  }
+
+  const std::uint64_t ninit = r.varint();
+  for (std::uint64_t i = 0; i < ninit; ++i) {
+    const std::string name = r.str();
+    const bool trainable = r.u8() != 0;
+    m.initializers.emplace(name, read_tensor(r));
+    if (trainable) m.trainable.insert(name);
+  }
+
+  const std::uint64_t nnodes = r.varint();
+  for (std::uint64_t i = 0; i < nnodes; ++i) {
+    ModelNode n;
+    n.name = r.str();
+    n.op_type = r.str();
+    n.inputs.resize(r.varint());
+    for (auto& in : n.inputs) in = r.str();
+    n.outputs.resize(r.varint());
+    for (auto& out : n.outputs) out = r.str();
+    n.attrs = read_attrs(r);
+    m.nodes.push_back(std::move(n));
+  }
+
+  const std::uint64_t nout = r.varint();
+  for (std::uint64_t i = 0; i < nout; ++i) m.graph_outputs.push_back(r.str());
+
+  m.validate();
+  return m;
+}
+
+void save_model(const Model& model, const std::string& path) {
+  const auto bytes = serialize_model(model);
+  write_file(path, bytes);
+}
+
+Model load_model(const std::string& path) {
+  const auto bytes = read_file(path);
+  return deserialize_model(bytes);
+}
+
+std::string model_to_text(const Model& model) {
+  std::ostringstream os;
+  os << "Model \"" << model.name << "\"\n";
+  os << "  inputs:";
+  for (const auto& in : model.graph_inputs)
+    os << " " << in << shape_to_string(model.input_shapes.at(in));
+  os << "\n  initializers: " << model.initializers.size() << " ("
+     << model.parameter_count() << " trainable elements)\n";
+  for (const auto& n : model.nodes) {
+    os << "  " << n.name << " = " << n.op_type << "(";
+    for (std::size_t i = 0; i < n.inputs.size(); ++i)
+      os << (i ? ", " : "") << n.inputs[i];
+    os << ") -> ";
+    for (std::size_t i = 0; i < n.outputs.size(); ++i)
+      os << (i ? ", " : "") << n.outputs[i];
+    os << "\n";
+  }
+  os << "  outputs:";
+  for (const auto& out : model.graph_outputs) os << " " << out;
+  os << "\n";
+  return os.str();
+}
+
+ModelBuilder& ModelBuilder::input(const std::string& name, Shape shape) {
+  model_.graph_inputs.push_back(name);
+  model_.input_shapes[name] = std::move(shape);
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::initializer(const std::string& name, Tensor value,
+                                        bool trainable) {
+  model_.initializers.emplace(name, std::move(value));
+  if (trainable) model_.trainable.insert(name);
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::node(const std::string& op_type,
+                                 std::vector<std::string> inputs,
+                                 std::vector<std::string> outputs, Attrs attrs,
+                                 const std::string& node_name) {
+  ModelNode n;
+  n.name = node_name.empty()
+               ? op_type + "_" + std::to_string(model_.nodes.size())
+               : node_name;
+  n.op_type = op_type;
+  n.inputs = std::move(inputs);
+  n.outputs = std::move(outputs);
+  n.attrs = std::move(attrs);
+  model_.nodes.push_back(std::move(n));
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::output(const std::string& name) {
+  model_.graph_outputs.push_back(name);
+  return *this;
+}
+
+Model ModelBuilder::build() {
+  model_.validate();
+  return std::move(model_);
+}
+
+}  // namespace d500

@@ -1,0 +1,93 @@
+// The serializable DNN model format (paper §II-D and Fig. 4).
+//
+// Deep500 stores DNNs in ONNX; this reproduction defines an ONNX-shaped
+// format ("d5m") with the same structure — a named DAG of nodes carrying
+// op_type / named inputs / named outputs / attributes, plus initializer
+// tensors — serialized through core/serialize.hpp instead of protobuf.
+// Like the paper's extension of ONNX, the op set includes loss and
+// optimizer-support operators that stock ONNX lacks.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ops/registry.hpp"
+#include "tensor/tensor.hpp"
+
+namespace d500 {
+
+/// One node of the model DAG. Edges are named values: a node input names
+/// either another node's output, an initializer, or a graph input.
+struct ModelNode {
+  std::string name;
+  std::string op_type;
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  Attrs attrs;
+};
+
+/// A stored DNN.
+struct Model {
+  std::string name;
+
+  std::vector<ModelNode> nodes;
+
+  /// Tensors stored with the model: trainable parameters and constants.
+  std::map<std::string, Tensor> initializers;
+  /// Which initializers are trainable (gradients are produced for these).
+  std::set<std::string> trainable;
+
+  /// Runtime-fed values (e.g. "data", "labels") with their shapes.
+  std::vector<std::string> graph_inputs;
+  std::map<std::string, Shape> input_shapes;
+
+  /// Values exposed as results (e.g. "logits", "loss").
+  std::vector<std::string> graph_outputs;
+
+  /// Returns the node producing `value`, or nullptr for inputs/initializers.
+  const ModelNode* producer(const std::string& value) const;
+
+  /// Consumers of `value` in graph order.
+  std::vector<const ModelNode*> consumers(const std::string& value) const;
+
+  /// Structural validation: unique node/edge names, all inputs resolvable,
+  /// no cycles. Throws FormatError on violation.
+  void validate() const;
+
+  /// Total parameter elements over trainable initializers.
+  std::int64_t parameter_count() const;
+};
+
+/// Binary serialization (magic "D5M1").
+std::vector<std::uint8_t> serialize_model(const Model& model);
+Model deserialize_model(std::span<const std::uint8_t> data);
+void save_model(const Model& model, const std::string& path);
+Model load_model(const std::string& path);
+
+/// Human-readable dump of the graph structure (no initializer data).
+std::string model_to_text(const Model& model);
+
+/// Convenience builder used by src/models and tests.
+class ModelBuilder {
+ public:
+  explicit ModelBuilder(std::string name) { model_.name = std::move(name); }
+
+  ModelBuilder& input(const std::string& name, Shape shape);
+  ModelBuilder& initializer(const std::string& name, Tensor value,
+                            bool trainable = true);
+  /// Appends a node; node name defaults to "<op_type>_<index>".
+  ModelBuilder& node(const std::string& op_type,
+                     std::vector<std::string> inputs,
+                     std::vector<std::string> outputs, Attrs attrs = {},
+                     const std::string& node_name = "");
+  ModelBuilder& output(const std::string& name);
+
+  Model build();
+
+ private:
+  Model model_;
+};
+
+}  // namespace d500

@@ -1,0 +1,142 @@
+#include "graph/network.hpp"
+
+#include <algorithm>
+
+#include "ops/batchnorm.hpp"
+#include "ops/dropout.hpp"
+
+namespace d500 {
+
+void Network::add_node(std::string node_name, OperatorPtr op,
+                       std::vector<std::string> inputs,
+                       std::vector<std::string> outputs,
+                       const std::string& op_type) {
+  D500_CHECK_MSG(op != nullptr, "add_node: null operator");
+  D500_CHECK_MSG(!node_index_.count(node_name),
+                 "add_node: duplicate node '" << node_name << "'");
+  D500_CHECK_MSG(inputs.size() == op->num_inputs(),
+                 "add_node: '" << node_name << "' input arity mismatch");
+  D500_CHECK_MSG(outputs.size() == op->num_outputs(),
+                 "add_node: '" << node_name << "' output arity mismatch");
+  Node n;
+  n.name = std::move(node_name);
+  n.op_type = op_type.empty() ? op->name() : op_type;
+  n.op = std::move(op);
+  n.inputs = std::move(inputs);
+  n.outputs = std::move(outputs);
+  node_index_[n.name] = nodes_.size();
+  nodes_.push_back(std::move(n));
+}
+
+void Network::remove_node(const std::string& node_name) {
+  auto it = node_index_.find(node_name);
+  D500_CHECK_MSG(it != node_index_.end(),
+                 "remove_node: no node '" << node_name << "'");
+  nodes_.erase(nodes_.begin() + static_cast<std::ptrdiff_t>(it->second));
+  node_index_.clear();
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    node_index_[nodes_[i].name] = i;
+}
+
+bool Network::has_node(const std::string& node_name) const {
+  return node_index_.count(node_name) > 0;
+}
+
+Network::Node& Network::node(const std::string& node_name) {
+  auto it = node_index_.find(node_name);
+  D500_CHECK_MSG(it != node_index_.end(), "no node '" << node_name << "'");
+  return nodes_[it->second];
+}
+
+const Network::Node& Network::node(const std::string& node_name) const {
+  auto it = node_index_.find(node_name);
+  D500_CHECK_MSG(it != node_index_.end(), "no node '" << node_name << "'");
+  return nodes_[it->second];
+}
+
+std::vector<const Network::Node*> Network::topological_order() const {
+  // Stored order must already be topological; verify producers precede
+  // consumers relative to runtime-computed values.
+  std::set<std::string> available;
+  for (const auto& in : inputs_) available.insert(in);
+  for (const auto& [name, _] : tensors_) available.insert(name);
+  std::vector<const Node*> order;
+  order.reserve(nodes_.size());
+  for (const auto& n : nodes_) {
+    for (const auto& in : n.inputs)
+      D500_CHECK_MSG(available.count(in),
+                     "network '" << name_ << "': node '" << n.name
+                     << "' consumes '" << in << "' before it is produced");
+    for (const auto& out : n.outputs) available.insert(out);
+    order.push_back(&n);
+  }
+  return order;
+}
+
+void Network::feed_tensor(const std::string& name, Tensor value) {
+  tensors_[name] = std::move(value);
+}
+
+Tensor& Network::fetch_tensor(const std::string& name) {
+  auto it = tensors_.find(name);
+  D500_CHECK_MSG(it != tensors_.end(), "fetch_tensor: no tensor '" << name << "'");
+  return it->second;
+}
+
+const Tensor& Network::fetch_tensor(const std::string& name) const {
+  auto it = tensors_.find(name);
+  D500_CHECK_MSG(it != tensors_.end(), "fetch_tensor: no tensor '" << name << "'");
+  return it->second;
+}
+
+bool Network::has_tensor(const std::string& name) const {
+  return tensors_.count(name) > 0;
+}
+
+void Network::mark_parameter(const std::string& name) {
+  D500_CHECK_MSG(tensors_.count(name),
+                 "mark_parameter: '" << name << "' is not a stored tensor");
+  if (std::find(parameters_.begin(), parameters_.end(), name) ==
+      parameters_.end())
+    parameters_.push_back(name);
+}
+
+std::vector<std::pair<std::string, std::string>> Network::gradients() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(parameters_.size());
+  for (const auto& p : parameters_) out.emplace_back(p, gradient_name(p));
+  return out;
+}
+
+void Network::declare_input(const std::string& name, Shape shape) {
+  if (std::find(inputs_.begin(), inputs_.end(), name) == inputs_.end())
+    inputs_.push_back(name);
+  input_shapes_[name] = std::move(shape);
+}
+
+const Shape& Network::input_shape(const std::string& name) const {
+  auto it = input_shapes_.find(name);
+  D500_CHECK_MSG(it != input_shapes_.end(),
+                 "input_shape: no input '" << name << "'");
+  return it->second;
+}
+
+void Network::declare_output(const std::string& name) {
+  if (std::find(outputs_.begin(), outputs_.end(), name) == outputs_.end())
+    outputs_.push_back(name);
+}
+
+void Network::set_training(bool training) {
+  for (auto& n : nodes_) {
+    if (auto* d = dynamic_cast<DropoutOp*>(n.op.get())) d->set_training(training);
+    if (auto* b = dynamic_cast<BatchNormOp*>(n.op.get())) b->set_training(training);
+  }
+}
+
+std::int64_t Network::parameter_count() const {
+  std::int64_t n = 0;
+  for (const auto& p : parameters_) n += fetch_tensor(p).elements();
+  return n;
+}
+
+}  // namespace d500

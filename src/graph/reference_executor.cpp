@@ -1,0 +1,235 @@
+#include <algorithm>
+
+#include "core/stats.hpp"
+#include "core/timer.hpp"
+#include "graph/executor.hpp"
+#include "ops/conv2d.hpp"
+
+namespace d500 {
+
+namespace {
+
+/// Resolves a value name against feeds, computed activations, then network
+/// storage. Returns nullptr when absent.
+const Tensor* lookup(const std::string& name, const TensorMap& feeds,
+                     const TensorMap& values, const Network& net) {
+  if (auto it = values.find(name); it != values.end()) return &it->second;
+  if (auto it = feeds.find(name); it != feeds.end()) return &it->second;
+  if (net.has_tensor(name)) return &net.fetch_tensor(name);
+  return nullptr;
+}
+
+}  // namespace
+
+void ReferenceExecutor::forward_pass(const TensorMap& feeds,
+                                     TensorMap& values) {
+  std::size_t live_bytes = 0;
+  last_peak_memory_ = 0;
+  const auto order = net_.topological_order();
+  std::int64_t op_index = 0;
+  for (const Network::Node* node : order) {
+    fire({EventPoint::kBeforeOperator, op_index, -1, node->name, 0.0});
+
+    ConstTensors in;
+    std::vector<Shape> in_shapes;
+    in.reserve(node->inputs.size());
+    for (const auto& iname : node->inputs) {
+      const Tensor* t = lookup(iname, feeds, values, net_);
+      D500_CHECK_MSG(t != nullptr, "executor: missing value '"
+                     << iname << "' for node '" << node->name << "'");
+      in.push_back(t);
+      in_shapes.push_back(t->shape());
+    }
+
+    const auto out_shapes = node->op->output_shapes(in_shapes);
+    MutTensors out;
+    out.reserve(out_shapes.size());
+    for (std::size_t k = 0; k < out_shapes.size(); ++k) {
+      Tensor t(out_shapes[k]);
+      live_bytes += t.bytes();
+      values[node->outputs[k]] = std::move(t);
+      out.push_back(&values[node->outputs[k]]);
+    }
+
+    // Memory model: activations stay live for the whole pass (they are
+    // needed by backprop); workspace is transient per operator.
+    std::size_t workspace = 0;
+    if (const auto* conv = dynamic_cast<const Conv2DOp*>(node->op.get()))
+      workspace = conv->workspace_bytes(in_shapes);
+    last_peak_memory_ = std::max(last_peak_memory_, live_bytes + workspace);
+    if (memory_limit_ != 0 && live_bytes + workspace > memory_limit_)
+      throw OutOfMemoryError(
+          "executor '" + net_.name() + "': node '" + node->name +
+          "' exceeds memory limit (" + std::to_string(live_bytes + workspace) +
+          " > " + std::to_string(memory_limit_) + " bytes)");
+
+    if (collect_op_times_) {
+      Timer t;
+      node->op->forward(in, out);
+      op_times_[node->name].push_back(t.seconds());
+    } else {
+      node->op->forward(in, out);
+    }
+
+    fire({EventPoint::kAfterOperator, op_index, -1, node->name, 0.0});
+    ++op_index;
+  }
+}
+
+TensorMap ReferenceExecutor::inference(const TensorMap& feeds) {
+  fire({EventPoint::kBeforeInference, -1, -1, net_.name(), 0.0});
+  TensorMap values;
+  forward_pass(feeds, values);
+  TensorMap outputs;
+  for (const auto& out : net_.outputs()) {
+    const Tensor* t = lookup(out, feeds, values, net_);
+    D500_CHECK_MSG(t != nullptr, "executor: declared output '" << out
+                   << "' was never produced");
+    outputs[out] = *t;
+  }
+  fire({EventPoint::kAfterInference, -1, -1, net_.name(), 0.0});
+  return outputs;
+}
+
+TensorMap ReferenceExecutor::inference_and_backprop(
+    const TensorMap& feeds, const std::string& loss_value) {
+  fire({EventPoint::kBeforeInference, -1, -1, net_.name(), 0.0});
+  TensorMap values;
+  forward_pass(feeds, values);
+  fire({EventPoint::kAfterInference, -1, -1, net_.name(), 0.0});
+
+  std::string loss = loss_value;
+  if (loss.empty()) {
+    D500_CHECK_MSG(!net_.outputs().empty(),
+                   "backprop: network has no declared outputs");
+    loss = net_.outputs().back();
+  }
+  const Tensor* loss_t = lookup(loss, feeds, values, net_);
+  D500_CHECK_MSG(loss_t != nullptr, "backprop: loss value '" << loss
+                 << "' not produced");
+  D500_CHECK_MSG(loss_t->elements() == 1,
+                 "backprop: loss '" << loss << "' is not a scalar");
+
+  fire({EventPoint::kBeforeBackprop, -1, -1, net_.name(), 0.0});
+
+  // Which values need gradients: parameters, plus everything on a path from
+  // a parameter or a differentiable chain to the loss. We conservatively
+  // propagate to every node-produced value and every parameter.
+  TensorMap grads;
+  {
+    Tensor seed({1});
+    seed.at(0) = 1.0f;
+    grads[loss] = std::move(seed);
+  }
+
+  const auto order = net_.topological_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const Network::Node* node = *it;
+    // Gather output gradients; skip the node entirely when none of its
+    // outputs influence the loss.
+    bool any = false;
+    for (const auto& oname : node->outputs)
+      if (grads.count(oname)) any = true;
+    if (!any) continue;
+
+    ConstTensors grad_out;
+    std::vector<Tensor> zero_store;
+    zero_store.reserve(node->outputs.size());
+    for (const auto& oname : node->outputs) {
+      if (auto git = grads.find(oname); git != grads.end()) {
+        grad_out.push_back(&git->second);
+      } else {
+        zero_store.emplace_back(values.at(oname).shape());
+        grad_out.push_back(&zero_store.back());
+      }
+    }
+
+    ConstTensors fwd_in;
+    for (const auto& iname : node->inputs)
+      fwd_in.push_back(lookup(iname, feeds, values, net_));
+    ConstTensors fwd_out;
+    for (const auto& oname : node->outputs) fwd_out.push_back(&values.at(oname));
+
+    // An input needs a gradient if it is a parameter or is produced by a
+    // node (so the chain continues). Plain feeds (data, labels) do not.
+    std::vector<Tensor> grad_store(node->inputs.size());
+    MutTensors grad_in(node->inputs.size(), nullptr);
+    const auto& params = net_.parameters();
+    for (std::size_t k = 0; k < node->inputs.size(); ++k) {
+      const std::string& iname = node->inputs[k];
+      const bool is_param =
+          std::find(params.begin(), params.end(), iname) != params.end();
+      const bool is_activation = values.count(iname) > 0;
+      if (is_param || is_activation) {
+        grad_store[k] = Tensor(fwd_in[k]->shape());
+        grad_in[k] = &grad_store[k];
+      }
+    }
+
+    node->op->backward(grad_out, fwd_in, fwd_out, grad_in);
+
+    for (std::size_t k = 0; k < node->inputs.size(); ++k) {
+      if (!grad_in[k]) continue;
+      const std::string& iname = node->inputs[k];
+      if (auto git = grads.find(iname); git != grads.end()) {
+        // Value consumed by multiple nodes: accumulate.
+        axpy(1.0f, grad_store[k], git->second);
+      } else {
+        grads[iname] = std::move(grad_store[k]);
+      }
+    }
+  }
+
+  // Publish parameter gradients into the network.
+  for (const auto& [pname, gname] : net_.gradients()) {
+    auto git = grads.find(pname);
+    if (git != grads.end())
+      net_.feed_tensor(gname, std::move(git->second));
+    else
+      net_.feed_tensor(gname, Tensor(net_.fetch_tensor(pname).shape()));
+  }
+
+  fire({EventPoint::kAfterBackprop, -1, -1, net_.name(),
+        static_cast<double>(loss_t->at(0))});
+
+  TensorMap outputs;
+  for (const auto& out : net_.outputs()) {
+    const Tensor* t = lookup(out, feeds, values, net_);
+    if (t) outputs[out] = *t;
+  }
+  return outputs;
+}
+
+FrameworkOverheadResult measure_framework_overhead(ReferenceExecutor& exec,
+                                                   const TensorMap& feeds,
+                                                   int reruns) {
+  // Whole-graph timing without per-op instrumentation.
+  exec.set_collect_op_times(false);
+  std::vector<double> whole;
+  for (int r = 0; r < reruns; ++r) {
+    Timer t;
+    exec.inference(feeds);
+    whole.push_back(t.seconds());
+  }
+  // Per-op timing.
+  exec.clear_op_times();
+  exec.set_collect_op_times(true);
+  for (int r = 0; r < reruns; ++r) exec.inference(feeds);
+  exec.set_collect_op_times(false);
+
+  std::vector<double> sums(static_cast<std::size_t>(reruns), 0.0);
+  for (const auto& [_, times] : exec.op_times())
+    for (std::size_t r = 0; r < sums.size() && r < times.size(); ++r)
+      sums[r] += times[r];
+
+  FrameworkOverheadResult res;
+  res.whole_graph_seconds = median(whole);
+  res.sum_of_ops_seconds = median(sums);
+  if (res.whole_graph_seconds > 0.0)
+    res.overhead_fraction =
+        (res.whole_graph_seconds - res.sum_of_ops_seconds) /
+        res.whole_graph_seconds;
+  return res;
+}
+
+}  // namespace d500

@@ -1,0 +1,59 @@
+#include "graph/shape_inference.hpp"
+
+#include <algorithm>
+
+#include "ops/conv2d.hpp"
+
+namespace d500 {
+
+std::map<std::string, Shape> infer_shapes(const Model& model) {
+  std::map<std::string, Shape> shapes;
+  for (const auto& in : model.graph_inputs)
+    shapes[in] = model.input_shapes.at(in);
+  for (const auto& [name, tensor] : model.initializers)
+    shapes[name] = tensor.shape();
+
+  auto& registry = OperatorRegistry::instance();
+  for (const auto& node : model.nodes) {
+    std::vector<Shape> in_shapes;
+    in_shapes.reserve(node.inputs.size());
+    for (const auto& in : node.inputs) {
+      auto it = shapes.find(in);
+      if (it == shapes.end())
+        throw ShapeError("infer_shapes: node '" + node.name +
+                         "' input '" + in + "' has no shape");
+      in_shapes.push_back(it->second);
+    }
+    const OperatorPtr op = registry.create(node.op_type, node.attrs);
+    const auto out_shapes = op->output_shapes(in_shapes);
+    D500_CHECK_MSG(out_shapes.size() == node.outputs.size(),
+                   "infer_shapes: node '" << node.name
+                   << "' output arity mismatch");
+    for (std::size_t k = 0; k < out_shapes.size(); ++k)
+      shapes[node.outputs[k]] = out_shapes[k];
+  }
+  return shapes;
+}
+
+MemoryEstimate estimate_memory(const Model& model) {
+  const auto shapes = infer_shapes(model);
+  auto& registry = OperatorRegistry::instance();
+  MemoryEstimate est;
+  for (const auto& node : model.nodes) {
+    for (const auto& out : node.outputs)
+      est.activation_bytes +=
+          static_cast<std::size_t>(shape_elements(shapes.at(out))) *
+          sizeof(float);
+    const OperatorPtr op = registry.create(node.op_type, node.attrs);
+    if (const auto* conv = dynamic_cast<const Conv2DOp*>(op.get())) {
+      std::vector<Shape> in_shapes;
+      for (const auto& in : node.inputs) in_shapes.push_back(shapes.at(in));
+      est.max_workspace_bytes =
+          std::max(est.max_workspace_bytes, conv->workspace_bytes(in_shapes));
+    }
+  }
+  est.peak_bytes = est.activation_bytes + est.max_workspace_bytes;
+  return est;
+}
+
+}  // namespace d500

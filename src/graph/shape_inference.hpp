@@ -1,0 +1,26 @@
+// Whole-model shape inference and activation-memory estimation, built on
+// each operator's output_shapes contract. Used by transforms (to rewrite
+// shapes consistently) and by the micro-batching solver's memory model.
+#pragma once
+
+#include "graph/model.hpp"
+
+namespace d500 {
+
+/// Shape of every value in the model (inputs, initializers, and all node
+/// outputs). Throws ShapeError on inconsistency.
+std::map<std::string, Shape> infer_shapes(const Model& model);
+
+struct MemoryEstimate {
+  /// Sum of all node-output activation bytes for one forward pass.
+  std::size_t activation_bytes = 0;
+  /// Largest single operator workspace (conv lowering buffers).
+  std::size_t max_workspace_bytes = 0;
+  /// activation_bytes + max_workspace_bytes: what a forward pass needs when
+  /// activations are retained for backprop (the executor's model).
+  std::size_t peak_bytes = 0;
+};
+
+MemoryEstimate estimate_memory(const Model& model);
+
+}  // namespace d500

@@ -1,0 +1,70 @@
+#include "graph/transforms.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace d500 {
+
+Model FuseBiasReluTransform::apply(const Model& model) const {
+  Model out = model;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < out.nodes.size() && !changed; ++i) {
+      const ModelNode& bias = out.nodes[i];
+      if (bias.op_type != "BiasAdd") continue;
+      const std::string& mid = bias.outputs[0];
+      // The intermediate value must feed exactly one ReLU and nothing else,
+      // and must not be a graph output.
+      if (std::find(out.graph_outputs.begin(), out.graph_outputs.end(), mid) !=
+          out.graph_outputs.end())
+        continue;
+      auto consumers = out.consumers(mid);
+      if (consumers.size() != 1 || consumers[0]->op_type != "ReLU") continue;
+      const ModelNode* relu = consumers[0];
+
+      ModelNode fused;
+      fused.name = bias.name + "+" + relu->name;
+      fused.op_type = "FusedBiasRelu";
+      fused.inputs = bias.inputs;
+      fused.outputs = relu->outputs;
+
+      // Replace the BiasAdd node in place, then erase the ReLU node.
+      const std::string relu_name = relu->name;
+      out.nodes[i] = std::move(fused);
+      out.nodes.erase(
+          std::find_if(out.nodes.begin(), out.nodes.end(),
+                       [&](const ModelNode& n) { return n.name == relu_name; }));
+      changed = true;
+    }
+  }
+  out.validate();
+  return out;
+}
+
+Model DeadNodeElimination::apply(const Model& model) const {
+  Model out = model;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::set<std::string> used(out.graph_outputs.begin(),
+                               out.graph_outputs.end());
+    for (const auto& n : out.nodes)
+      for (const auto& in : n.inputs) used.insert(in);
+    for (std::size_t i = 0; i < out.nodes.size(); ++i) {
+      const ModelNode& n = out.nodes[i];
+      const bool live = std::any_of(
+          n.outputs.begin(), n.outputs.end(),
+          [&](const std::string& o) { return used.count(o) > 0; });
+      if (!live) {
+        out.nodes.erase(out.nodes.begin() + static_cast<std::ptrdiff_t>(i));
+        changed = true;
+        break;
+      }
+    }
+  }
+  out.validate();
+  return out;
+}
+
+}  // namespace d500

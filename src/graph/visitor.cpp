@@ -1,0 +1,62 @@
+#include "graph/visitor.hpp"
+
+namespace d500 {
+
+Network ModelVisitor::build(const Model& model) {
+  model.validate();
+  Network net(model.name);
+  for (const auto& in : model.graph_inputs)
+    net.declare_input(in, model.input_shapes.at(in));
+  for (const auto& [name, tensor] : model.initializers)
+    net.feed_tensor(name, tensor);
+  for (const auto& name : model.trainable) net.mark_parameter(name);
+  for (const auto& node : model.nodes) visit_node(node, net);
+  for (const auto& out : model.graph_outputs) net.declare_output(out);
+  return net;
+}
+
+void ModelVisitor::visit_node(const ModelNode& node, Network& net) {
+  const std::string& t = node.op_type;
+  if (t == "Conv2D") return visit_conv2d(node, net);
+  if (t == "Linear") return visit_linear(node, net);
+  if (t == "MatMul") return visit_matmul(node, net);
+  if (t == "MaxPool2D" || t == "AvgPool2D" || t == "MedianPool2D" ||
+      t == "GlobalAvgPool")
+    return visit_pool(node, net);
+  if (t == "ReLU" || t == "Sigmoid" || t == "Tanh")
+    return visit_activation(node, net);
+  if (t == "Add" || t == "Sub" || t == "Mul") return visit_binary(node, net);
+  if (t == "BatchNorm") return visit_batchnorm(node, net);
+  if (t == "Dropout") return visit_dropout(node, net);
+  if (t == "Softmax") return visit_softmax(node, net);
+  if (t == "SoftmaxCrossEntropy" || t == "MSELoss")
+    return visit_loss(node, net);
+  visit_default(node, net);
+}
+
+void ModelVisitor::visit_conv2d(const ModelNode& n, Network& net) { visit_default(n, net); }
+void ModelVisitor::visit_linear(const ModelNode& n, Network& net) { visit_default(n, net); }
+void ModelVisitor::visit_matmul(const ModelNode& n, Network& net) { visit_default(n, net); }
+void ModelVisitor::visit_pool(const ModelNode& n, Network& net) { visit_default(n, net); }
+void ModelVisitor::visit_activation(const ModelNode& n, Network& net) { visit_default(n, net); }
+void ModelVisitor::visit_binary(const ModelNode& n, Network& net) { visit_default(n, net); }
+void ModelVisitor::visit_batchnorm(const ModelNode& n, Network& net) { visit_default(n, net); }
+void ModelVisitor::visit_dropout(const ModelNode& n, Network& net) { visit_default(n, net); }
+void ModelVisitor::visit_softmax(const ModelNode& n, Network& net) { visit_default(n, net); }
+void ModelVisitor::visit_loss(const ModelNode& n, Network& net) { visit_default(n, net); }
+
+void ModelVisitor::visit_default(const ModelNode& node, Network& net) {
+  emit(node, net, OperatorRegistry::instance().create(node.op_type, node.attrs));
+}
+
+void ModelVisitor::emit(const ModelNode& node, Network& net, OperatorPtr op) {
+  net.add_node(node.name, std::move(op), node.inputs, node.outputs,
+               node.op_type);
+}
+
+Network build_network(const Model& model) {
+  ModelVisitor visitor;
+  return visitor.build(model);
+}
+
+}  // namespace d500

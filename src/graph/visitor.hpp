@@ -1,0 +1,51 @@
+// Model -> Network construction via the Visitor pattern (paper Fig. 4).
+//
+// A stored Model is walked node-by-node in topological order; for each node
+// the visitor's per-op_type hook fires (visit_conv2d, visit_dropout, ... —
+// mirroring the paper's OnnxBaseVisitor with visit_sub/visit_mul/etc.).
+// The base visitor instantiates operators from the OperatorRegistry;
+// framework integrations override hooks to substitute their own kernels —
+// exactly how the paper's TensorFlow visitor emits tf ops.
+#pragma once
+
+#include "graph/network.hpp"
+
+namespace d500 {
+
+class ModelVisitor {
+ public:
+  virtual ~ModelVisitor() = default;
+
+  /// Walks the model and constructs the network. Initializers are fed as
+  /// stored tensors, trainables are marked, graph inputs/outputs declared.
+  Network build(const Model& model);
+
+ protected:
+  /// Per-node hook: create and wire the operator(s) for `node` into `net`.
+  /// The default dispatches on op_type to the named hooks below; unknown
+  /// types fall through to visit_default.
+  virtual void visit_node(const ModelNode& node, Network& net);
+
+  // Named hooks, paper-style. Defaults call visit_default.
+  virtual void visit_conv2d(const ModelNode& node, Network& net);
+  virtual void visit_linear(const ModelNode& node, Network& net);
+  virtual void visit_matmul(const ModelNode& node, Network& net);
+  virtual void visit_pool(const ModelNode& node, Network& net);
+  virtual void visit_activation(const ModelNode& node, Network& net);
+  virtual void visit_binary(const ModelNode& node, Network& net);
+  virtual void visit_batchnorm(const ModelNode& node, Network& net);
+  virtual void visit_dropout(const ModelNode& node, Network& net);
+  virtual void visit_softmax(const ModelNode& node, Network& net);
+  virtual void visit_loss(const ModelNode& node, Network& net);
+
+  /// Instantiates node.op_type from the registry and wires it verbatim.
+  virtual void visit_default(const ModelNode& node, Network& net);
+
+  /// Helper for hooks: wire `op` with the node's own edges.
+  void emit(const ModelNode& node, Network& net, OperatorPtr op);
+};
+
+/// Builds a Network from a Model with the default (reference) visitor.
+Network build_network(const Model& model);
+
+}  // namespace d500

@@ -1,0 +1,239 @@
+#include "models/builders.hpp"
+
+#include "core/rng.hpp"
+
+namespace d500::models {
+
+namespace {
+
+/// Adds an initialized weight tensor to the builder.
+void add_weight(ModelBuilder& b, Rng& rng, const std::string& name,
+                Shape shape, std::int64_t fan_in) {
+  Tensor w(std::move(shape));
+  w.fill_kaiming(rng, fan_in);
+  b.initializer(name, std::move(w));
+}
+
+void add_zeros(ModelBuilder& b, const std::string& name, Shape shape,
+               bool trainable = true) {
+  b.initializer(name, Tensor(std::move(shape)), trainable);
+}
+
+void add_ones(ModelBuilder& b, const std::string& name, Shape shape) {
+  Tensor t(std::move(shape));
+  t.fill(1.0f);
+  b.initializer(name, std::move(t));
+}
+
+void append_loss(ModelBuilder& b, std::int64_t batch) {
+  b.input("labels", {batch});
+  b.node("SoftmaxCrossEntropy", {"logits", "labels"}, {"loss"});
+  b.output("loss");
+}
+
+/// Conv + BatchNorm + optional ReLU; returns the output edge name.
+std::string conv_bn(ModelBuilder& b, Rng& rng, const std::string& prefix,
+                    const std::string& in, std::int64_t in_ch,
+                    std::int64_t out_ch, std::int64_t stride, bool relu) {
+  add_weight(b, rng, prefix + ".w", {out_ch, in_ch, 3, 3}, in_ch * 9);
+  add_zeros(b, prefix + ".b", {out_ch});
+  add_ones(b, prefix + ".gamma", {out_ch});
+  add_zeros(b, prefix + ".beta", {out_ch});
+  b.node("Conv2D", {in, prefix + ".w", prefix + ".b"}, {prefix + ".conv"},
+         Attrs{{"kernel", std::int64_t{3}},
+               {"stride", stride},
+               {"pad", std::int64_t{1}}},
+         prefix + "_conv");
+  b.node("BatchNorm",
+         {prefix + ".conv", prefix + ".gamma", prefix + ".beta"},
+         {prefix + ".bn"}, Attrs{{"channels", out_ch}}, prefix + "_bn");
+  if (!relu) return prefix + ".bn";
+  b.node("ReLU", {prefix + ".bn"}, {prefix + ".out"}, {}, prefix + "_relu");
+  return prefix + ".out";
+}
+
+}  // namespace
+
+Model mlp(std::int64_t batch, std::int64_t in_dim,
+          const std::vector<std::int64_t>& hidden, std::int64_t classes,
+          std::uint64_t seed, bool with_loss) {
+  Rng rng(seed);
+  ModelBuilder b("mlp");
+  b.input("data", {batch, in_dim});
+  std::string cur = "data";
+  std::int64_t cur_dim = in_dim;
+  std::vector<std::int64_t> dims = hidden;
+  dims.push_back(classes);
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    const std::string p = "fc" + std::to_string(i + 1);
+    add_weight(b, rng, p + ".w", {dims[i], cur_dim}, cur_dim);
+    add_zeros(b, p + ".b", {dims[i]});
+    const bool last = (i + 1 == dims.size());
+    const std::string out = last ? "logits" : p + ".z";
+    b.node("Linear", {cur, p + ".w", p + ".b"}, {out}, {}, p);
+    if (!last) {
+      b.node("ReLU", {out}, {p + ".a"}, {}, p + "_relu");
+      cur = p + ".a";
+    }
+    cur_dim = dims[i];
+  }
+  b.output("logits");
+  if (with_loss) append_loss(b, batch);
+  return b.build();
+}
+
+Model lenet(std::int64_t batch, std::int64_t channels, std::int64_t height,
+            std::int64_t width, std::int64_t classes, std::uint64_t seed,
+            bool with_loss) {
+  Rng rng(seed);
+  ModelBuilder b("lenet");
+  b.input("data", {batch, channels, height, width});
+
+  add_weight(b, rng, "c1.w", {6, channels, 5, 5}, channels * 25);
+  add_zeros(b, "c1.b", {6});
+  b.node("Conv2D", {"data", "c1.w", "c1.b"}, {"c1"},
+         Attrs{{"kernel", std::int64_t{5}}, {"pad", std::int64_t{2}}}, "c1");
+  b.node("ReLU", {"c1"}, {"c1a"}, {}, "c1_relu");
+  b.node("MaxPool2D", {"c1a"}, {"p1"},
+         Attrs{{"kernel", std::int64_t{2}}, {"stride", std::int64_t{2}}}, "p1");
+
+  add_weight(b, rng, "c2.w", {16, 6, 5, 5}, 6 * 25);
+  add_zeros(b, "c2.b", {16});
+  b.node("Conv2D", {"p1", "c2.w", "c2.b"}, {"c2"},
+         Attrs{{"kernel", std::int64_t{5}}}, "c2");
+  b.node("ReLU", {"c2"}, {"c2a"}, {}, "c2_relu");
+  b.node("MaxPool2D", {"c2a"}, {"p2"},
+         Attrs{{"kernel", std::int64_t{2}}, {"stride", std::int64_t{2}}}, "p2");
+
+  // Spatial size after the stack: conv1 same-pad, pool/2, conv2 valid-5,
+  // pool/2.
+  const std::int64_t h2 = ((height / 2) - 4) / 2;
+  const std::int64_t w2 = ((width / 2) - 4) / 2;
+  const std::int64_t flat = 16 * h2 * w2;
+  b.node("Flatten", {"p2"}, {"flat"}, {}, "flatten");
+
+  add_weight(b, rng, "f1.w", {120, flat}, flat);
+  add_zeros(b, "f1.b", {120});
+  b.node("Linear", {"flat", "f1.w", "f1.b"}, {"f1"}, {}, "f1");
+  b.node("ReLU", {"f1"}, {"f1a"}, {}, "f1_relu");
+
+  add_weight(b, rng, "f2.w", {84, 120}, 120);
+  add_zeros(b, "f2.b", {84});
+  b.node("Linear", {"f1a", "f2.w", "f2.b"}, {"f2"}, {}, "f2");
+  b.node("ReLU", {"f2"}, {"f2a"}, {}, "f2_relu");
+
+  add_weight(b, rng, "f3.w", {classes, 84}, 84);
+  add_zeros(b, "f3.b", {classes});
+  b.node("Linear", {"f2a", "f3.w", "f3.b"}, {"logits"}, {}, "f3");
+  b.output("logits");
+  if (with_loss) append_loss(b, batch);
+  return b.build();
+}
+
+Model resnet(std::int64_t batch, std::int64_t channels, std::int64_t height,
+             std::int64_t width, std::int64_t classes,
+             std::int64_t base_width, std::int64_t blocks_per_stage,
+             std::uint64_t seed, bool with_loss) {
+  Rng rng(seed);
+  ModelBuilder b("resnet");
+  b.input("data", {batch, channels, height, width});
+
+  std::string cur = conv_bn(b, rng, "stem", "data", channels, base_width,
+                            /*stride=*/1, /*relu=*/true);
+  std::int64_t cur_ch = base_width;
+
+  for (int stage = 0; stage < 3; ++stage) {
+    const std::int64_t out_ch = base_width << stage;
+    for (std::int64_t blk = 0; blk < blocks_per_stage; ++blk) {
+      const std::string p =
+          "s" + std::to_string(stage) + "b" + std::to_string(blk);
+      const std::int64_t stride = (stage > 0 && blk == 0) ? 2 : 1;
+
+      const std::string branch =
+          conv_bn(b, rng, p + ".1", cur, cur_ch, out_ch, stride, true);
+      const std::string branch2 =
+          conv_bn(b, rng, p + ".2", branch, out_ch, out_ch, 1, false);
+
+      std::string skip = cur;
+      if (stride != 1 || cur_ch != out_ch) {
+        // Projection shortcut (1x1 conv equivalent via 3x3 here for op-set
+        // economy; preserves the residual topology).
+        skip = conv_bn(b, rng, p + ".proj", cur, cur_ch, out_ch, stride,
+                       false);
+      }
+      b.node("Add", {branch2, skip}, {p + ".sum"}, {}, p + "_add");
+      b.node("ReLU", {p + ".sum"}, {p + ".out"}, {}, p + "_relu");
+      cur = p + ".out";
+      cur_ch = out_ch;
+    }
+  }
+
+  b.node("GlobalAvgPool", {cur}, {"gap"}, {}, "gap");
+  add_weight(b, rng, "fc.w", {classes, cur_ch}, cur_ch);
+  add_zeros(b, "fc.b", {classes});
+  b.node("Linear", {"gap", "fc.w", "fc.b"}, {"logits"}, {}, "fc");
+  b.output("logits");
+  if (with_loss) append_loss(b, batch);
+  return b.build();
+}
+
+Model alexnet_like(std::int64_t batch, std::uint64_t seed, bool with_loss) {
+  Rng rng(seed);
+  ModelBuilder b("alexnet_like");
+  // One wide 5x5 convolution whose im2col workspace dominates memory —
+  // the layer class the paper's Fig. 7 splits (Conv2D 468x96x256x5x5,
+  // scaled down for CPU).
+  const std::int64_t C = 16, H = 16, W = 16, F = 32;
+  b.input("data", {batch, C, H, W});
+  add_weight(b, rng, "conv.w", {F, C, 5, 5}, C * 25);
+  add_zeros(b, "conv.b", {F});
+  b.node("Conv2D", {"data", "conv.w", "conv.b"}, {"conv"},
+         Attrs{{"kernel", std::int64_t{5}}, {"pad", std::int64_t{2}}}, "conv");
+  b.node("ReLU", {"conv"}, {"feat"}, {}, "relu");
+  b.node("GlobalAvgPool", {"feat"}, {"gap"}, {}, "gap");
+  add_weight(b, rng, "fc.w", {10, F}, F);
+  add_zeros(b, "fc.b", {10});
+  b.node("Linear", {"gap", "fc.w", "fc.b"}, {"logits"}, {}, "fc");
+  b.output("logits");
+  if (with_loss) append_loss(b, batch);
+  return b.build();
+}
+
+std::vector<Shape> resnet50_parameter_shapes() {
+  // Bottleneck ResNet-50 parameter inventory (conv + bn + fc), ~25.5M
+  // elements, 161 tensors: stem, 4 stages of {3,4,6,3} bottlenecks.
+  std::vector<Shape> shapes;
+  auto conv = [&](std::int64_t f, std::int64_t c, std::int64_t k) {
+    shapes.push_back({f, c, k, k});
+  };
+  auto bn = [&](std::int64_t c) {
+    shapes.push_back({c});
+    shapes.push_back({c});
+  };
+  conv(64, 3, 7);
+  bn(64);
+  const std::int64_t stage_blocks[4] = {3, 4, 6, 3};
+  std::int64_t in_ch = 64;
+  for (int s = 0; s < 4; ++s) {
+    const std::int64_t width = 64 << s;       // bottleneck width
+    const std::int64_t out_ch = width * 4;    // expansion 4
+    for (std::int64_t blk = 0; blk < stage_blocks[s]; ++blk) {
+      conv(width, in_ch, 1);
+      bn(width);
+      conv(width, width, 3);
+      bn(width);
+      conv(out_ch, width, 1);
+      bn(out_ch);
+      if (blk == 0) {
+        conv(out_ch, in_ch, 1);  // projection shortcut
+        bn(out_ch);
+      }
+      in_ch = out_ch;
+    }
+  }
+  shapes.push_back({1000, in_ch});  // fc weight
+  shapes.push_back({1000});         // fc bias
+  return shapes;
+}
+
+}  // namespace d500::models

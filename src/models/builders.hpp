@@ -1,0 +1,49 @@
+// DNN architecture builders (paper §IV-B "Interoperability: Datasets and
+// Networks" — Deep500 facilitates access to LeNet / ResNet architectures as
+// ONNX files). Each builder returns a Model with initialized weights that
+// can be serialized, transformed, and executed by any executor.
+//
+// Conventions: data input "data", labels input "labels", classifier output
+// "logits", training objective "loss" (SoftmaxCrossEntropy) when
+// `with_loss` is set. Channel counts are scaled for single-core CPU
+// execution; structure (depth, residual topology) follows the originals.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/model.hpp"
+
+namespace d500::models {
+
+/// Multi-layer perceptron: input [B, in_dim] -> hidden layers -> classes.
+Model mlp(std::int64_t batch, std::int64_t in_dim,
+          const std::vector<std::int64_t>& hidden, std::int64_t classes,
+          std::uint64_t seed, bool with_loss = true);
+
+/// LeNet-style convnet for [B, C, H, W] images (LeCun et al. 1998).
+Model lenet(std::int64_t batch, std::int64_t channels, std::int64_t height,
+            std::int64_t width, std::int64_t classes, std::uint64_t seed,
+            bool with_loss = true);
+
+/// ResNet-style residual network (He et al. 2016), scaled: a stem conv,
+/// `blocks_per_stage` basic blocks in each of 3 stages (widths w, 2w, 4w;
+/// stride-2 between stages), global average pooling, linear classifier.
+/// blocks_per_stage = 2 gives the ResNet-18-like layout the paper trains;
+/// larger values emulate deeper variants.
+Model resnet(std::int64_t batch, std::int64_t channels, std::int64_t height,
+             std::int64_t width, std::int64_t classes,
+             std::int64_t base_width, std::int64_t blocks_per_stage,
+             std::uint64_t seed, bool with_loss = true);
+
+/// AlexNet-like single big convolution stack used by the micro-batching
+/// experiment (paper §V-C runs AlexNet at minibatch 468); sized so the
+/// im2col workspace dominates memory.
+Model alexnet_like(std::int64_t batch, std::uint64_t seed,
+                   bool with_loss = false);
+
+/// Parameter layout of a ResNet-50-scale model (~25.5M parameters across
+/// 161 tensors) used by Level 3 experiments that only need realistic
+/// parameter/gradient sizes, not a runnable graph.
+std::vector<Shape> resnet50_parameter_shapes();
+
+}  // namespace d500::models

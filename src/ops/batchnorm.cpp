@@ -1,0 +1,132 @@
+#include "ops/batchnorm.hpp"
+
+#include <cmath>
+
+namespace d500 {
+
+BatchNormOp::BatchNormOp(std::int64_t channels, float momentum, float eps)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      running_mean_(static_cast<std::size_t>(channels), 0.0f),
+      running_var_(static_cast<std::size_t>(channels), 1.0f) {
+  D500_CHECK(channels > 0);
+}
+
+std::vector<Shape> BatchNormOp::output_shapes(
+    const std::vector<Shape>& inputs) const {
+  D500_CHECK_MSG(inputs.size() == 3, "BatchNorm expects {X, gamma, beta}");
+  const Shape& x = inputs[0];
+  if (x.size() != 4 || x[1] != channels_)
+    throw ShapeError("BatchNorm: X must be [N," + std::to_string(channels_) +
+                     ",H,W], got " + shape_to_string(x));
+  if (inputs[1] != Shape{channels_} || inputs[2] != Shape{channels_})
+    throw ShapeError("BatchNorm: gamma/beta must be [C]");
+  return {x};
+}
+
+void BatchNormOp::forward(const ConstTensors& inputs,
+                          const MutTensors& outputs) {
+  const Tensor& X = *inputs[0];
+  const Tensor& gamma = *inputs[1];
+  const Tensor& beta = *inputs[2];
+  Tensor& Y = *outputs[0];
+  const std::int64_t N = X.dim(0), C = X.dim(1), S = X.dim(2) * X.dim(3);
+  const float* x = X.data();
+  float* y = Y.data();
+  const auto count = static_cast<float>(N * S);
+
+  saved_mean_.assign(static_cast<std::size_t>(C), 0.0f);
+  saved_inv_std_.assign(static_cast<std::size_t>(C), 0.0f);
+
+  for (std::int64_t c = 0; c < C; ++c) {
+    float mean, var;
+    if (training_) {
+      double sum = 0.0, sq = 0.0;
+      for (std::int64_t n = 0; n < N; ++n) {
+        const float* xs = x + (n * C + c) * S;
+        for (std::int64_t s = 0; s < S; ++s) {
+          sum += xs[s];
+          sq += static_cast<double>(xs[s]) * xs[s];
+        }
+      }
+      mean = static_cast<float>(sum / count);
+      var = static_cast<float>(sq / count) - mean * mean;
+      if (var < 0.0f) var = 0.0f;
+      running_mean_[static_cast<std::size_t>(c)] =
+          momentum_ * running_mean_[static_cast<std::size_t>(c)] +
+          (1.0f - momentum_) * mean;
+      running_var_[static_cast<std::size_t>(c)] =
+          momentum_ * running_var_[static_cast<std::size_t>(c)] +
+          (1.0f - momentum_) * var;
+    } else {
+      mean = running_mean_[static_cast<std::size_t>(c)];
+      var = running_var_[static_cast<std::size_t>(c)];
+    }
+    const float inv_std = 1.0f / std::sqrt(var + eps_);
+    saved_mean_[static_cast<std::size_t>(c)] = mean;
+    saved_inv_std_[static_cast<std::size_t>(c)] = inv_std;
+    const float g = gamma.at(c), b = beta.at(c);
+    for (std::int64_t n = 0; n < N; ++n) {
+      const float* xs = x + (n * C + c) * S;
+      float* ys = y + (n * C + c) * S;
+      for (std::int64_t s = 0; s < S; ++s)
+        ys[s] = g * (xs[s] - mean) * inv_std + b;
+    }
+  }
+}
+
+void BatchNormOp::backward(const ConstTensors& grad_outputs,
+                           const ConstTensors& fwd_inputs, const ConstTensors&,
+                           const MutTensors& grad_inputs) {
+  const Tensor& dY = *grad_outputs[0];
+  const Tensor& X = *fwd_inputs[0];
+  const Tensor& gamma = *fwd_inputs[1];
+  const std::int64_t N = X.dim(0), C = X.dim(1), S = X.dim(2) * X.dim(3);
+  const auto count = static_cast<float>(N * S);
+  const float* x = X.data();
+  const float* dy = dY.data();
+  D500_CHECK_MSG(!saved_mean_.empty(),
+                 "BatchNorm backward requires a prior training forward");
+
+  for (std::int64_t c = 0; c < C; ++c) {
+    const float mean = saved_mean_[static_cast<std::size_t>(c)];
+    const float inv_std = saved_inv_std_[static_cast<std::size_t>(c)];
+    const float g = gamma.at(c);
+
+    // Accumulate sum(dy) and sum(dy * xhat) for this channel.
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (std::int64_t n = 0; n < N; ++n) {
+      const float* xs = x + (n * C + c) * S;
+      const float* dys = dy + (n * C + c) * S;
+      for (std::int64_t s = 0; s < S; ++s) {
+        const float xhat = (xs[s] - mean) * inv_std;
+        sum_dy += dys[s];
+        sum_dy_xhat += static_cast<double>(dys[s]) * xhat;
+      }
+    }
+    if (grad_inputs[1]) grad_inputs[1]->at(c) = static_cast<float>(sum_dy_xhat);
+    if (grad_inputs[2]) grad_inputs[2]->at(c) = static_cast<float>(sum_dy);
+    if (grad_inputs[0]) {
+      float* dxp = grad_inputs[0]->data();
+      const float mean_dy = static_cast<float>(sum_dy) / count;
+      const float mean_dy_xhat = static_cast<float>(sum_dy_xhat) / count;
+      for (std::int64_t n = 0; n < N; ++n) {
+        const float* xs = x + (n * C + c) * S;
+        const float* dys = dy + (n * C + c) * S;
+        float* dxs = dxp + (n * C + c) * S;
+        for (std::int64_t s = 0; s < S; ++s) {
+          const float xhat = (xs[s] - mean) * inv_std;
+          dxs[s] = g * inv_std * (dys[s] - mean_dy - xhat * mean_dy_xhat);
+        }
+      }
+    }
+  }
+}
+
+std::uint64_t BatchNormOp::forward_flops(
+    const std::vector<Shape>& inputs) const {
+  return 5ULL * static_cast<std::uint64_t>(shape_elements(inputs[0]));
+}
+
+}  // namespace d500

@@ -1,0 +1,45 @@
+// Batch normalization over the channel axis of an NCHW tensor, with
+// trainable scale/shift and running statistics for inference mode.
+// Needed by the ResNet-style models used in the convergence experiments.
+#pragma once
+
+#include "ops/operator.hpp"
+
+namespace d500 {
+
+/// BatchNorm: inputs {X [N,C,H,W], gamma [C], beta [C]}, output {Y}.
+/// Running mean/var are operator state updated in training mode.
+class BatchNormOp : public CustomOperator {
+ public:
+  explicit BatchNormOp(std::int64_t channels, float momentum = 0.9f,
+                       float eps = 1e-5f);
+
+  std::string name() const override { return "BatchNorm"; }
+  std::size_t num_inputs() const override { return 3; }
+  std::size_t num_outputs() const override { return 1; }
+  std::vector<Shape> output_shapes(
+      const std::vector<Shape>& inputs) const override;
+  void forward(const ConstTensors& inputs, const MutTensors& outputs) override;
+  void backward(const ConstTensors& grad_outputs, const ConstTensors& fwd_inputs,
+                const ConstTensors& fwd_outputs,
+                const MutTensors& grad_inputs) override;
+  std::uint64_t forward_flops(const std::vector<Shape>& inputs) const override;
+
+  void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+  std::int64_t channels() const { return channels_; }
+
+ private:
+  std::int64_t channels_;
+  float momentum_;
+  float eps_;
+  bool training_ = true;
+  std::vector<float> running_mean_;
+  std::vector<float> running_var_;
+  // Saved batch statistics from the last training-mode forward, used by
+  // backward.
+  std::vector<float> saved_mean_;
+  std::vector<float> saved_inv_std_;
+};
+
+}  // namespace d500

@@ -1,0 +1,252 @@
+#include "ops/cabi.hpp"
+
+namespace d500 {
+
+namespace {
+
+// ---- In-process ABI over RawCustomOperator* handles -----------------------
+// These have C-compatible signatures and are what wrap_via_cabi and the JIT
+// shim route through; the handle is a RawCustomOperator*.
+
+void raw_forward(void* handle, const tensor_t* inputs, int nin,
+                 tensor_t* outputs, int nout) {
+  static_cast<RawCustomOperator*>(handle)->forward(inputs, nin, outputs, nout);
+}
+
+void raw_backward(void* handle, const tensor_t* grad_outputs, int ngo,
+                  const tensor_t* fwd_inputs, int nfi,
+                  const tensor_t* fwd_outputs, int nfo, tensor_t* grad_inputs,
+                  int ngi) {
+  static_cast<RawCustomOperator*>(handle)->backward(
+      grad_outputs, ngo, fwd_inputs, nfi, fwd_outputs, nfo, grad_inputs, ngi);
+}
+
+void raw_delete(void* handle) {
+  delete static_cast<RawCustomOperator*>(handle);
+}
+
+// RawCustomOperator adapter over a host CustomOperator: borrows the
+// descriptor buffers as Tensors (zero-copy) and forwards the call.
+class RawFromCustom : public RawCustomOperator {
+ public:
+  explicit RawFromCustom(OperatorPtr op) : op_(std::move(op)) {}
+
+  void forward(const tensor_t* inputs, int nin, tensor_t* outputs,
+               int nout) override {
+    std::vector<Tensor> in_store, out_store;
+    ConstTensors in;
+    MutTensors out;
+    borrow_all(inputs, nin, in_store, &in, nullptr);
+    borrow_all(outputs, nout, out_store, nullptr, &out);
+    op_->forward(in, out);
+  }
+
+  void backward(const tensor_t* grad_outputs, int ngo,
+                const tensor_t* fwd_inputs, int nfi,
+                const tensor_t* fwd_outputs, int nfo, tensor_t* grad_inputs,
+                int ngi) override {
+    std::vector<Tensor> go_store, fi_store, fo_store, gi_store;
+    ConstTensors go, fi, fo;
+    MutTensors gi;
+    borrow_all(grad_outputs, ngo, go_store, &go, nullptr);
+    borrow_all(fwd_inputs, nfi, fi_store, &fi, nullptr);
+    borrow_all(fwd_outputs, nfo, fo_store, &fo, nullptr);
+    // Null data pointers mean "no gradient requested".
+    gi_store.reserve(static_cast<std::size_t>(ngi));
+    gi.reserve(static_cast<std::size_t>(ngi));
+    for (int i = 0; i < ngi; ++i) {
+      if (grad_inputs[i].data == nullptr) {
+        gi.push_back(nullptr);
+        gi_store.emplace_back();
+      } else {
+        gi_store.push_back(Tensor::borrow(grad_inputs[i]));
+        gi.push_back(&gi_store.back());
+      }
+    }
+    // Re-point after the vector finished growing (reserve avoids realloc,
+    // but be explicit for safety).
+    for (int i = 0; i < ngi; ++i)
+      if (grad_inputs[i].data != nullptr) gi[static_cast<std::size_t>(i)] = &gi_store[static_cast<std::size_t>(i)];
+    op_->backward(go, fi, fo, gi);
+  }
+
+ private:
+  static void borrow_all(const tensor_t* descs, int n,
+                         std::vector<Tensor>& store, ConstTensors* as_const,
+                         MutTensors* as_mut) {
+    store.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) store.push_back(Tensor::borrow(descs[i]));
+    if (as_const) {
+      as_const->reserve(static_cast<std::size_t>(n));
+      for (auto& t : store) as_const->push_back(&t);
+    }
+    if (as_mut) {
+      as_mut->reserve(static_cast<std::size_t>(n));
+      for (auto& t : store) as_mut->push_back(&t);
+    }
+  }
+  static void borrow_all(tensor_t* descs, int n, std::vector<Tensor>& store,
+                         ConstTensors* as_const, MutTensors* as_mut) {
+    borrow_all(const_cast<const tensor_t*>(descs), n, store, as_const, as_mut);
+  }
+
+  OperatorPtr op_;
+};
+
+}  // namespace
+
+OpAbiTable raw_operator_abi() {
+  OpAbiTable abi;
+  abi.create = nullptr;  // in-process handles are constructed directly
+  abi.forward = &raw_forward;
+  abi.backward = &raw_backward;
+  abi.destroy = &raw_delete;
+  return abi;
+}
+
+// ---- CAbiOperator ----------------------------------------------------------
+
+CAbiOperator::CAbiOperator(std::string name, OpAbiTable abi,
+                           std::vector<tensor_t> in_descs,
+                           std::vector<tensor_t> out_descs, bool has_backward)
+    : name_(std::move(name)),
+      abi_(abi),
+      in_descs_(std::move(in_descs)),
+      out_descs_(std::move(out_descs)),
+      has_backward_(has_backward) {
+  D500_CHECK_MSG(abi_.forward != nullptr, "CAbiOperator: missing forward");
+  if (abi_.create != nullptr)
+    handle_ = abi_.create(in_descs_.data(), static_cast<int>(in_descs_.size()),
+                          out_descs_.data(),
+                          static_cast<int>(out_descs_.size()));
+}
+
+CAbiOperator::~CAbiOperator() {
+  if (handle_ && abi_.destroy) abi_.destroy(handle_);
+}
+
+std::vector<Shape> CAbiOperator::output_shapes(
+    const std::vector<Shape>& inputs) const {
+  D500_CHECK_MSG(inputs.size() == in_descs_.size(),
+                 name_ << ": arity mismatch at ABI boundary");
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (inputs[i] != desc_shape(in_descs_[i]))
+      throw ShapeError(name_ + ": input " + std::to_string(i) + " shape " +
+                       shape_to_string(inputs[i]) +
+                       " differs from compiled descriptor " +
+                       shape_to_string(desc_shape(in_descs_[i])));
+  }
+  std::vector<Shape> out;
+  out.reserve(out_descs_.size());
+  for (const auto& d : out_descs_) out.push_back(desc_shape(d));
+  return out;
+}
+
+namespace {
+std::vector<tensor_t> make_descs(const ConstTensors& ts) {
+  std::vector<tensor_t> descs;
+  descs.reserve(ts.size());
+  for (const Tensor* t : ts) descs.push_back(t->desc());
+  return descs;
+}
+std::vector<tensor_t> make_descs(const MutTensors& ts) {
+  std::vector<tensor_t> descs;
+  descs.reserve(ts.size());
+  for (Tensor* t : ts) {
+    if (t) {
+      descs.push_back(t->desc());
+    } else {
+      descs.push_back(tensor_t{});  // null data = no gradient requested
+    }
+  }
+  return descs;
+}
+}  // namespace
+
+void CAbiOperator::forward(const ConstTensors& inputs,
+                           const MutTensors& outputs) {
+  auto in = make_descs(inputs);
+  auto out = make_descs(outputs);
+  abi_.forward(handle_, in.data(), static_cast<int>(in.size()), out.data(),
+               static_cast<int>(out.size()));
+}
+
+void CAbiOperator::backward(const ConstTensors& grad_outputs,
+                            const ConstTensors& fwd_inputs,
+                            const ConstTensors& fwd_outputs,
+                            const MutTensors& grad_inputs) {
+  D500_CHECK_MSG(has_backward_ && abi_.backward,
+                 name_ << ": no backward across ABI");
+  auto go = make_descs(grad_outputs);
+  auto fi = make_descs(fwd_inputs);
+  auto fo = make_descs(fwd_outputs);
+  auto gi = make_descs(grad_inputs);
+  abi_.backward(handle_, go.data(), static_cast<int>(go.size()), fi.data(),
+                static_cast<int>(fi.size()), fo.data(),
+                static_cast<int>(fo.size()), gi.data(),
+                static_cast<int>(gi.size()));
+}
+
+// ---- wrap_via_cabi ---------------------------------------------------------
+
+namespace {
+
+/// CustomOperator that routes every call through the C-compatible
+/// raw_forward/raw_backward functions with descriptor arrays — the same
+/// path a ctypes call would take — then back into the wrapped operator.
+class CAbiRoundTripOperator : public CustomOperator {
+ public:
+  explicit CAbiRoundTripOperator(OperatorPtr op)
+      : inner_(op.get()), raw_(new RawFromCustom(std::move(op))),
+        abi_(raw_operator_abi()) {}
+
+  ~CAbiRoundTripOperator() override { abi_.destroy(raw_); }
+
+  CAbiRoundTripOperator(const CAbiRoundTripOperator&) = delete;
+  CAbiRoundTripOperator& operator=(const CAbiRoundTripOperator&) = delete;
+
+  std::string name() const override { return inner_->name() + "@cabi"; }
+  std::size_t num_inputs() const override { return inner_->num_inputs(); }
+  std::size_t num_outputs() const override { return inner_->num_outputs(); }
+  std::vector<Shape> output_shapes(
+      const std::vector<Shape>& inputs) const override {
+    return inner_->output_shapes(inputs);
+  }
+  bool differentiable() const override { return inner_->differentiable(); }
+  std::uint64_t forward_flops(const std::vector<Shape>& in) const override {
+    return inner_->forward_flops(in);
+  }
+
+  void forward(const ConstTensors& inputs, const MutTensors& outputs) override {
+    auto in = make_descs(inputs);
+    auto out = make_descs(outputs);
+    abi_.forward(raw_, in.data(), static_cast<int>(in.size()), out.data(),
+                 static_cast<int>(out.size()));
+  }
+
+  void backward(const ConstTensors& grad_outputs, const ConstTensors& fwd_inputs,
+                const ConstTensors& fwd_outputs,
+                const MutTensors& grad_inputs) override {
+    auto go = make_descs(grad_outputs);
+    auto fi = make_descs(fwd_inputs);
+    auto fo = make_descs(fwd_outputs);
+    auto gi = make_descs(grad_inputs);
+    abi_.backward(raw_, go.data(), static_cast<int>(go.size()), fi.data(),
+                  static_cast<int>(fi.size()), fo.data(),
+                  static_cast<int>(fo.size()), gi.data(),
+                  static_cast<int>(gi.size()));
+  }
+
+ private:
+  CustomOperator* inner_;  // owned by raw_
+  RawCustomOperator* raw_;
+  OpAbiTable abi_;
+};
+
+}  // namespace
+
+OperatorPtr wrap_via_cabi(OperatorPtr op) {
+  return std::make_unique<CAbiRoundTripOperator>(std::move(op));
+}
+
+}  // namespace d500

@@ -1,0 +1,102 @@
+// The C ABI boundary (paper §IV-C "Interoperability").
+//
+// The paper integrates high-performance C++ operators into Python frameworks
+// by exporting `extern "C"` functions and calling them through ctypes with
+// tensor descriptors. This reproduction keeps that boundary real: custom
+// operators cross it as opaque handles plus `tensor_t` descriptor arrays —
+// no C++ types in the signature — whether the operator lives in this binary
+// or in a JIT-compiled shared object (ops/jit.hpp).
+//
+// Two pieces:
+//  * RawCustomOperator — the descriptor-level operator base that user C++
+//    code implements (the paper's `deep500::CustomOperator` from Listing 3).
+//  * The shim symbols (d500_op_create signature etc.) that a compiled
+//    operator library exports, and CAbiOperator, which adapts such a
+//    library back into the host CustomOperator interface.
+#pragma once
+
+#include <string>
+
+#include "core/types.hpp"
+#include "ops/operator.hpp"
+#include "ops/raw_operator.hpp"
+
+namespace d500 {
+
+/// Function-pointer types of the C ABI a compiled operator library exports.
+/// `create` receives the input/output descriptors fixed at compile time
+/// (paper Listing 3's create_new_op) and returns an opaque handle.
+extern "C" {
+typedef void* (*d500_op_create_fn)(const tensor_t* input_descs, int ninputs,
+                                   const tensor_t* output_descs, int noutputs);
+typedef void (*d500_op_forward_fn)(void* handle, const tensor_t* inputs,
+                                   int ninputs, tensor_t* outputs,
+                                   int noutputs);
+typedef void (*d500_op_backward_fn)(void* handle, const tensor_t* grad_outputs,
+                                    int ngrad_outputs,
+                                    const tensor_t* fwd_inputs, int nfwd_inputs,
+                                    const tensor_t* fwd_outputs,
+                                    int nfwd_outputs, tensor_t* grad_inputs,
+                                    int ngrad_inputs);
+typedef void (*d500_op_delete_fn)(void* handle);
+}
+
+/// Names of the symbols the shim exports.
+inline constexpr const char* kAbiCreateSymbol = "d500_create_new_op";
+inline constexpr const char* kAbiForwardSymbol = "d500_op_forward";
+inline constexpr const char* kAbiBackwardSymbol = "d500_op_backward";
+inline constexpr const char* kAbiDeleteSymbol = "d500_op_delete";
+
+/// Resolved C-ABI entry points of one operator library.
+struct OpAbiTable {
+  d500_op_create_fn create = nullptr;
+  d500_op_forward_fn forward = nullptr;
+  d500_op_backward_fn backward = nullptr;
+  d500_op_delete_fn destroy = nullptr;
+};
+
+/// Adapts a C-ABI operator back into the host CustomOperator interface.
+/// Input/output shapes are fixed at construction (as in the paper's
+/// compile_custom_cppop, which takes explicit tensor descriptors).
+/// Descriptor passing is zero-copy: tensor_t entries point straight at the
+/// caller's Tensor buffers.
+class CAbiOperator : public CustomOperator {
+ public:
+  CAbiOperator(std::string name, OpAbiTable abi, std::vector<tensor_t> in_descs,
+               std::vector<tensor_t> out_descs, bool has_backward);
+  ~CAbiOperator() override;
+
+  CAbiOperator(const CAbiOperator&) = delete;
+  CAbiOperator& operator=(const CAbiOperator&) = delete;
+
+  std::string name() const override { return name_; }
+  std::size_t num_inputs() const override { return in_descs_.size(); }
+  std::size_t num_outputs() const override { return out_descs_.size(); }
+  std::vector<Shape> output_shapes(
+      const std::vector<Shape>& inputs) const override;
+  void forward(const ConstTensors& inputs, const MutTensors& outputs) override;
+  void backward(const ConstTensors& grad_outputs, const ConstTensors& fwd_inputs,
+                const ConstTensors& fwd_outputs,
+                const MutTensors& grad_inputs) override;
+  bool differentiable() const override { return has_backward_; }
+
+ private:
+  std::string name_;
+  OpAbiTable abi_;
+  std::vector<tensor_t> in_descs_;
+  std::vector<tensor_t> out_descs_;
+  bool has_backward_;
+  void* handle_ = nullptr;
+};
+
+/// Wraps any host CustomOperator behind the same C ABI calling convention
+/// (descriptor arrays in, descriptor arrays out) and adapts it back. The
+/// round trip host -> C ABI -> host is what the Level 0 overhead benchmark
+/// measures for in-process frameworks.
+OperatorPtr wrap_via_cabi(OperatorPtr op);
+
+/// In-process ABI table whose handle is a RawCustomOperator*. Used both by
+/// wrap_via_cabi and by the JIT shim template.
+OpAbiTable raw_operator_abi();
+
+}  // namespace d500

@@ -1,0 +1,384 @@
+#include "ops/conv2d.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace d500 {
+
+const char* conv_backend_name(ConvBackend b) {
+  switch (b) {
+    case ConvBackend::kDirect: return "direct";
+    case ConvBackend::kIm2col: return "im2col";
+    case ConvBackend::kWinograd: return "winograd";
+  }
+  return "?";
+}
+
+void im2col(const float* x, std::int64_t C, std::int64_t H, std::int64_t W,
+            const Conv2DParams& p, float* col) {
+  const std::int64_t Ho = p.out_dim(H, p.kernel_h);
+  const std::int64_t Wo = p.out_dim(W, p.kernel_w);
+  const std::int64_t spatial = Ho * Wo;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < C; ++c) {
+    for (std::int64_t kh = 0; kh < p.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < p.kernel_w; ++kw, ++row) {
+        float* dst = col + row * spatial;
+        for (std::int64_t oh = 0; oh < Ho; ++oh) {
+          const std::int64_t ih = oh * p.stride - p.pad + kh * p.dilation;
+          if (ih < 0 || ih >= H) {
+            std::memset(dst + oh * Wo, 0, static_cast<std::size_t>(Wo) * 4);
+            continue;
+          }
+          const float* src = x + (c * H + ih) * W;
+          for (std::int64_t ow = 0; ow < Wo; ++ow) {
+            const std::int64_t iw = ow * p.stride - p.pad + kw * p.dilation;
+            dst[oh * Wo + ow] = (iw >= 0 && iw < W) ? src[iw] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* col, std::int64_t C, std::int64_t H, std::int64_t W,
+            const Conv2DParams& p, float* x_grad) {
+  const std::int64_t Ho = p.out_dim(H, p.kernel_h);
+  const std::int64_t Wo = p.out_dim(W, p.kernel_w);
+  const std::int64_t spatial = Ho * Wo;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < C; ++c) {
+    for (std::int64_t kh = 0; kh < p.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < p.kernel_w; ++kw, ++row) {
+        const float* src = col + row * spatial;
+        for (std::int64_t oh = 0; oh < Ho; ++oh) {
+          const std::int64_t ih = oh * p.stride - p.pad + kh * p.dilation;
+          if (ih < 0 || ih >= H) continue;
+          float* dst = x_grad + (c * H + ih) * W;
+          for (std::int64_t ow = 0; ow < Wo; ++ow) {
+            const std::int64_t iw = ow * p.stride - p.pad + kw * p.dilation;
+            if (iw >= 0 && iw < W) dst[iw] += src[oh * Wo + ow];
+          }
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+void conv_direct(const Tensor& X, const Tensor& Wt, const Tensor& bias,
+                 Tensor& Y, const Conv2DParams& p) {
+  const std::int64_t N = X.dim(0), C = X.dim(1), H = X.dim(2), W = X.dim(3);
+  const std::int64_t F = Wt.dim(0);
+  const std::int64_t Ho = p.out_dim(H, p.kernel_h);
+  const std::int64_t Wo = p.out_dim(W, p.kernel_w);
+  const float* x = X.data();
+  const float* w = Wt.data();
+  float* y = Y.data();
+#pragma omp parallel for collapse(2) schedule(static)
+  for (std::int64_t n = 0; n < N; ++n) {
+    for (std::int64_t f = 0; f < F; ++f) {
+      const float b = bias.at(f);
+      for (std::int64_t oh = 0; oh < Ho; ++oh) {
+        for (std::int64_t ow = 0; ow < Wo; ++ow) {
+          float acc = b;
+          for (std::int64_t c = 0; c < C; ++c) {
+            for (std::int64_t kh = 0; kh < p.kernel_h; ++kh) {
+              const std::int64_t ih = oh * p.stride - p.pad + kh * p.dilation;
+              if (ih < 0 || ih >= H) continue;
+              for (std::int64_t kw = 0; kw < p.kernel_w; ++kw) {
+                const std::int64_t iw = ow * p.stride - p.pad + kw * p.dilation;
+                if (iw < 0 || iw >= W) continue;
+                acc += x[((n * C + c) * H + ih) * W + iw] *
+                       w[((f * C + c) * p.kernel_h + kh) * p.kernel_w + kw];
+              }
+            }
+          }
+          y[((n * F + f) * Ho + oh) * Wo + ow] = acc;
+        }
+      }
+    }
+  }
+}
+
+// Whole-minibatch lowering: the column buffer covers all N samples at once
+// (col is [K, N*spatial]), enabling a single large GEMM per minibatch —
+// fast, but with workspace proportional to the minibatch size. This is the
+// batch-scaling workspace behaviour (as in cuDNN's non-fused algorithms)
+// that the paper's micro-batching transformation (§V-C) exploits: splitting
+// the minibatch shrinks this buffer and removes OOMs.
+void conv_im2col(const Tensor& X, const Tensor& Wt, const Tensor& bias,
+                 Tensor& Y, const Conv2DParams& p) {
+  const std::int64_t N = X.dim(0), C = X.dim(1), H = X.dim(2), W = X.dim(3);
+  const std::int64_t F = Wt.dim(0);
+  const std::int64_t Ho = p.out_dim(H, p.kernel_h);
+  const std::int64_t Wo = p.out_dim(W, p.kernel_w);
+  const std::int64_t K = C * p.kernel_h * p.kernel_w;
+  const std::int64_t spatial = Ho * Wo;
+  std::vector<float> col(static_cast<std::size_t>(K) * N * spatial);
+  // col layout: row r holds sample-major columns [n*spatial + s].
+#pragma omp parallel for schedule(static)
+  for (std::int64_t n = 0; n < N; ++n) {
+    // Lower sample n into a strided slice of the shared buffer via a
+    // per-sample contiguous scratch, then scatter rows.
+    std::vector<float> sample_col(static_cast<std::size_t>(K) * spatial);
+    im2col(X.data() + n * C * H * W, C, H, W, p, sample_col.data());
+    for (std::int64_t r = 0; r < K; ++r)
+      std::memcpy(col.data() + (r * N + n) * spatial,
+                  sample_col.data() + r * spatial,
+                  static_cast<std::size_t>(spatial) * sizeof(float));
+  }
+  // One GEMM: [F, K] x [K, N*spatial] -> [F, N*spatial] (filter-major), then
+  // scatter into NCHW output with the bias added.
+  std::vector<float> ybuf(static_cast<std::size_t>(F) * N * spatial);
+  gemm(GemmBackend::kPacked, F, N * spatial, K, 1.0f, Wt.data(), col.data(),
+       0.0f, ybuf.data());
+  float* y = Y.data();
+  for (std::int64_t n = 0; n < N; ++n)
+    for (std::int64_t f = 0; f < F; ++f) {
+      const float b = bias.at(f);
+      const float* src = ybuf.data() + (f * N + n) * spatial;
+      float* dst = y + (n * F + f) * spatial;
+      for (std::int64_t s = 0; s < spatial; ++s) dst[s] = src[s] + b;
+    }
+}
+
+// Winograd F(2x2, 3x3): 4x4 input tiles, 2x2 output tiles.
+//   Y = A^T [ (G g G^T) .* (B^T d B) ] A
+void wino_transform_filter(const float* g, float* u) {
+  // G (4x3) x g (3x3) x G^T (3x4) => u (4x4)
+  static const float G[4][3] = {
+      {1.0f, 0.0f, 0.0f},
+      {0.5f, 0.5f, 0.5f},
+      {0.5f, -0.5f, 0.5f},
+      {0.0f, 0.0f, 1.0f},
+  };
+  float tmp[4][3];
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 3; ++j)
+      tmp[i][j] = G[i][0] * g[0 * 3 + j] + G[i][1] * g[1 * 3 + j] +
+                  G[i][2] * g[2 * 3 + j];
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j)
+      u[i * 4 + j] = tmp[i][0] * G[j][0] + tmp[i][1] * G[j][1] +
+                     tmp[i][2] * G[j][2];
+}
+
+void wino_transform_input(const float d[4][4], float v[4][4]) {
+  // B^T d B with B^T = [[1,0,-1,0],[0,1,1,0],[0,-1,1,0],[0,1,0,-1]]
+  float t[4][4];
+  for (int j = 0; j < 4; ++j) {
+    t[0][j] = d[0][j] - d[2][j];
+    t[1][j] = d[1][j] + d[2][j];
+    t[2][j] = -d[1][j] + d[2][j];
+    t[3][j] = d[1][j] - d[3][j];
+  }
+  for (int i = 0; i < 4; ++i) {
+    v[i][0] = t[i][0] - t[i][2];
+    v[i][1] = t[i][1] + t[i][2];
+    v[i][2] = -t[i][1] + t[i][2];
+    v[i][3] = t[i][1] - t[i][3];
+  }
+}
+
+void wino_transform_output(const float m[4][4], float y[2][2]) {
+  // A^T m A with A^T = [[1,1,1,0],[0,1,-1,-1]]
+  float t[2][4];
+  for (int j = 0; j < 4; ++j) {
+    t[0][j] = m[0][j] + m[1][j] + m[2][j];
+    t[1][j] = m[1][j] - m[2][j] - m[3][j];
+  }
+  for (int i = 0; i < 2; ++i) {
+    y[i][0] = t[i][0] + t[i][1] + t[i][2];
+    y[i][1] = t[i][1] - t[i][2] - t[i][3];
+  }
+}
+
+void conv_winograd(const Tensor& X, const Tensor& Wt, const Tensor& bias,
+                   Tensor& Y, const Conv2DParams& p) {
+  D500_CHECK_MSG(p.kernel_h == 3 && p.kernel_w == 3 && p.stride == 1 &&
+                 p.dilation == 1,
+                 "winograd backend requires 3x3/stride1/dilation1");
+  const std::int64_t N = X.dim(0), C = X.dim(1), H = X.dim(2), W = X.dim(3);
+  const std::int64_t F = Wt.dim(0);
+  const std::int64_t Ho = p.out_dim(H, 3);
+  const std::int64_t Wo = p.out_dim(W, 3);
+  // Pre-transform all filters: U[f][c] is a 4x4 tile.
+  std::vector<float> U(static_cast<std::size_t>(F) * C * 16);
+  for (std::int64_t f = 0; f < F; ++f)
+    for (std::int64_t c = 0; c < C; ++c)
+      wino_transform_filter(Wt.data() + (f * C + c) * 9,
+                            U.data() + (f * C + c) * 16);
+
+  const std::int64_t tiles_h = (Ho + 1) / 2;
+  const std::int64_t tiles_w = (Wo + 1) / 2;
+  const float* x = X.data();
+  float* yout = Y.data();
+
+#pragma omp parallel for collapse(2) schedule(static)
+  for (std::int64_t n = 0; n < N; ++n) {
+    for (std::int64_t th = 0; th < tiles_h; ++th) {
+      std::vector<float> V(static_cast<std::size_t>(C) * 16);
+      for (std::int64_t tw = 0; tw < tiles_w; ++tw) {
+        const std::int64_t oh0 = th * 2, ow0 = tw * 2;
+        // Gather and transform the 4x4 input tile for each channel.
+        for (std::int64_t c = 0; c < C; ++c) {
+          float d[4][4];
+          for (int i = 0; i < 4; ++i) {
+            const std::int64_t ih = oh0 + i - p.pad;
+            for (int j = 0; j < 4; ++j) {
+              const std::int64_t iw = ow0 + j - p.pad;
+              d[i][j] = (ih >= 0 && ih < H && iw >= 0 && iw < W)
+                            ? x[((n * C + c) * H + ih) * W + iw]
+                            : 0.0f;
+            }
+          }
+          float v[4][4];
+          wino_transform_input(d, v);
+          std::memcpy(V.data() + c * 16, v, 16 * sizeof(float));
+        }
+        // Elementwise multiply-accumulate over channels, then inverse
+        // transform per filter.
+        for (std::int64_t f = 0; f < F; ++f) {
+          float m[4][4] = {};
+          const float* Uf = U.data() + f * C * 16;
+          for (std::int64_t c = 0; c < C; ++c) {
+            const float* u = Uf + c * 16;
+            const float* v = V.data() + c * 16;
+            for (int i = 0; i < 16; ++i)
+              m[i / 4][i % 4] += u[i] * v[i];
+          }
+          float ytile[2][2];
+          wino_transform_output(m, ytile);
+          const float b = bias.at(f);
+          for (int i = 0; i < 2; ++i) {
+            const std::int64_t oh = oh0 + i;
+            if (oh >= Ho) continue;
+            for (int j = 0; j < 2; ++j) {
+              const std::int64_t ow = ow0 + j;
+              if (ow >= Wo) continue;
+              yout[((n * F + f) * Ho + oh) * Wo + ow] = ytile[i][j] + b;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Shape> Conv2DOp::output_shapes(
+    const std::vector<Shape>& inputs) const {
+  D500_CHECK_MSG(inputs.size() == 3, "Conv2D expects inputs {X, W, bias}");
+  const Shape& x = inputs[0];
+  const Shape& w = inputs[1];
+  const Shape& b = inputs[2];
+  if (x.size() != 4 || w.size() != 4 || b.size() != 1)
+    throw ShapeError("Conv2D: rank mismatch");
+  if (x[1] != w[1] || w[2] != params_.kernel_h || w[3] != params_.kernel_w ||
+      b[0] != w[0])
+    throw ShapeError("Conv2D: incompatible shapes X=" + shape_to_string(x) +
+                     " W=" + shape_to_string(w));
+  const std::int64_t Ho = params_.out_dim(x[2], params_.kernel_h);
+  const std::int64_t Wo = params_.out_dim(x[3], params_.kernel_w);
+  if (Ho <= 0 || Wo <= 0)
+    throw ShapeError("Conv2D: output would be empty for input " +
+                     shape_to_string(x));
+  return {{x[0], w[0], Ho, Wo}};
+}
+
+void Conv2DOp::forward(const ConstTensors& inputs, const MutTensors& outputs) {
+  const Tensor& X = *inputs[0];
+  const Tensor& W = *inputs[1];
+  const Tensor& bias = *inputs[2];
+  Tensor& Y = *outputs[0];
+  switch (backend_) {
+    case ConvBackend::kDirect: conv_direct(X, W, bias, Y, params_); break;
+    case ConvBackend::kIm2col: conv_im2col(X, W, bias, Y, params_); break;
+    case ConvBackend::kWinograd: conv_winograd(X, W, bias, Y, params_); break;
+  }
+}
+
+void Conv2DOp::backward(const ConstTensors& grad_outputs,
+                        const ConstTensors& fwd_inputs, const ConstTensors&,
+                        const MutTensors& grad_inputs) {
+  const Tensor& dY = *grad_outputs[0];
+  const Tensor& X = *fwd_inputs[0];
+  const Tensor& Wt = *fwd_inputs[1];
+  const std::int64_t N = X.dim(0), C = X.dim(1), H = X.dim(2), W = X.dim(3);
+  const std::int64_t F = Wt.dim(0);
+  const std::int64_t Ho = params_.out_dim(H, params_.kernel_h);
+  const std::int64_t Wo = params_.out_dim(W, params_.kernel_w);
+  const std::int64_t K = C * params_.kernel_h * params_.kernel_w;
+  const std::int64_t spatial = Ho * Wo;
+
+  if (grad_inputs[0]) grad_inputs[0]->fill(0.0f);
+  if (grad_inputs[1]) grad_inputs[1]->fill(0.0f);
+  if (grad_inputs[2]) grad_inputs[2]->fill(0.0f);
+
+  std::vector<float> col(static_cast<std::size_t>(K) * spatial);
+  std::vector<float> col_grad;
+  if (grad_inputs[0]) col_grad.resize(static_cast<std::size_t>(K) * spatial);
+
+  for (std::int64_t n = 0; n < N; ++n) {
+    const float* dy = dY.data() + n * F * spatial;
+    if (grad_inputs[1]) {
+      // dW[F,K] += dY[n] (F x spatial) x col^T (spatial x K)
+      im2col(X.data() + n * C * H * W, C, H, W, params_, col.data());
+      gemm_a_bt(F, K, spatial, dy, col.data(), grad_inputs[1]->data());
+    }
+    if (grad_inputs[0]) {
+      // col_grad (K x spatial) = W^T (K x F) x dY[n] (F x spatial)
+      std::memset(col_grad.data(), 0, col_grad.size() * sizeof(float));
+      gemm_at_b(K, spatial, F, Wt.data(), dy, col_grad.data());
+      col2im(col_grad.data(), C, H, W, params_,
+             grad_inputs[0]->data() + n * C * H * W);
+    }
+    if (grad_inputs[2]) {
+      float* db = grad_inputs[2]->data();
+      for (std::int64_t f = 0; f < F; ++f) {
+        const float* dyf = dy + f * spatial;
+        float acc = 0.0f;
+        for (std::int64_t s = 0; s < spatial; ++s) acc += dyf[s];
+        db[f] += acc;
+      }
+    }
+  }
+}
+
+std::uint64_t Conv2DOp::forward_flops(const std::vector<Shape>& inputs) const {
+  const Shape& x = inputs[0];
+  const Shape& w = inputs[1];
+  const std::int64_t Ho = params_.out_dim(x[2], params_.kernel_h);
+  const std::int64_t Wo = params_.out_dim(x[3], params_.kernel_w);
+  // 2 * N * F * Ho * Wo * C * kh * kw (direct-algorithm count, the standard
+  // figure DeepBench reports regardless of backend).
+  return 2ULL * static_cast<std::uint64_t>(x[0]) * w[0] * Ho * Wo * x[1] *
+         params_.kernel_h * params_.kernel_w;
+}
+
+std::size_t Conv2DOp::workspace_bytes(const std::vector<Shape>& inputs) const {
+  const Shape& x = inputs[0];
+  const std::int64_t Ho = params_.out_dim(x[2], params_.kernel_h);
+  const std::int64_t Wo = params_.out_dim(x[3], params_.kernel_w);
+  const std::int64_t K = x[1] * params_.kernel_h * params_.kernel_w;
+  switch (backend_) {
+    case ConvBackend::kDirect:
+      return 0;
+    case ConvBackend::kIm2col:
+      // Whole-minibatch column buffer + filter-major output staging
+      // (see conv_im2col): scales with the minibatch size.
+      return static_cast<std::size_t>(x[0]) * (K + inputs[1][0]) * Ho * Wo *
+             sizeof(float);
+    case ConvBackend::kWinograd:
+      // filter transforms + per-thread input tile buffers
+      return static_cast<std::size_t>(inputs[1][0]) * x[1] * 16 * sizeof(float) +
+             static_cast<std::size_t>(x[1]) * 16 * sizeof(float);
+  }
+  return 0;
+}
+
+}  // namespace d500

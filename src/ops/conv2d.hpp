@@ -1,0 +1,76 @@
+// 2-D convolution, the paper's flagship Level 0 operator (Fig. 6a).
+//
+// Three forward backends exercise the algorithmic diversity the paper calls
+// out in the introduction ("operators can be computed using different
+// methods, e.g., im2col or Winograd"):
+//   kDirect   — 7-loop direct convolution
+//   kIm2col   — im2col lowering + packed GEMM (Chellapilla et al.)
+//   kWinograd — Winograd F(2x2, 3x3) minimal filtering (Lavin & Gray);
+//               requires 3x3 kernel, stride 1, dilation 1
+// Backward always uses the im2col formulation (col2im for input gradients).
+#pragma once
+
+#include "ops/gemm.hpp"
+#include "ops/operator.hpp"
+
+namespace d500 {
+
+enum class ConvBackend { kDirect, kIm2col, kWinograd };
+
+const char* conv_backend_name(ConvBackend b);
+
+/// Convolution geometry. Square kernels/strides/pads keep the DeepBench
+/// subset expressible; the implementation is general in H/W.
+struct Conv2DParams {
+  std::int64_t kernel_h = 3;
+  std::int64_t kernel_w = 3;
+  std::int64_t stride = 1;
+  std::int64_t pad = 0;
+  std::int64_t dilation = 1;
+
+  std::int64_t out_dim(std::int64_t in, std::int64_t k) const {
+    const std::int64_t eff = (k - 1) * dilation + 1;
+    return (in + 2 * pad - eff) / stride + 1;
+  }
+};
+
+/// Conv2D operator: inputs {X [N,C,H,W], W [F,C,kh,kw], bias [F]},
+/// output {Y [N,F,Ho,Wo]}. NCHW layout.
+class Conv2DOp : public CustomOperator {
+ public:
+  Conv2DOp(Conv2DParams params, ConvBackend backend = ConvBackend::kIm2col)
+      : params_(params), backend_(backend) {}
+
+  std::string name() const override { return "Conv2D"; }
+  std::size_t num_inputs() const override { return 3; }
+  std::size_t num_outputs() const override { return 1; }
+  std::vector<Shape> output_shapes(
+      const std::vector<Shape>& inputs) const override;
+  void forward(const ConstTensors& inputs, const MutTensors& outputs) override;
+  void backward(const ConstTensors& grad_outputs, const ConstTensors& fwd_inputs,
+                const ConstTensors& fwd_outputs,
+                const MutTensors& grad_inputs) override;
+  std::uint64_t forward_flops(const std::vector<Shape>& inputs) const override;
+
+  const Conv2DParams& params() const { return params_; }
+  ConvBackend backend() const { return backend_; }
+
+  /// Bytes of scratch the backend allocates for the given input shapes;
+  /// used by the micro-batching memory model (Level 1).
+  std::size_t workspace_bytes(const std::vector<Shape>& inputs) const;
+
+ private:
+  Conv2DParams params_;
+  ConvBackend backend_;
+};
+
+/// im2col lowering: writes the [C*kh*kw, Ho*Wo] column matrix for one
+/// sample. Exposed for tests.
+void im2col(const float* x, std::int64_t C, std::int64_t H, std::int64_t W,
+            const Conv2DParams& p, float* col);
+
+/// Transposed scatter of im2col (accumulates into x_grad).
+void col2im(const float* col, std::int64_t C, std::int64_t H, std::int64_t W,
+            const Conv2DParams& p, float* x_grad);
+
+}  // namespace d500

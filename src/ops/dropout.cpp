@@ -1,0 +1,42 @@
+#include "ops/dropout.hpp"
+
+#include <algorithm>
+
+namespace d500 {
+
+void DropoutOp::forward(const ConstTensors& inputs, const MutTensors& outputs) {
+  const Tensor& X = *inputs[0];
+  Tensor& Y = *outputs[0];
+  const std::int64_t n = X.elements();
+  if (!training_ || ratio_ == 0.0f) {
+    std::copy(X.data(), X.data() + n, Y.data());
+    mask_.clear();
+    return;
+  }
+  mask_.resize(static_cast<std::size_t>(n));
+  const float keep = 1.0f - ratio_;
+  const float scl = 1.0f / keep;
+  for (std::int64_t i = 0; i < n; ++i) {
+    mask_[static_cast<std::size_t>(i)] =
+        rng_.uniform() < keep ? scl : 0.0f;
+    Y.at(i) = X.at(i) * mask_[static_cast<std::size_t>(i)];
+  }
+}
+
+void DropoutOp::backward(const ConstTensors& grad_outputs, const ConstTensors&,
+                         const ConstTensors&, const MutTensors& grad_inputs) {
+  if (!grad_inputs[0]) return;
+  const Tensor& dY = *grad_outputs[0];
+  Tensor& dX = *grad_inputs[0];
+  const std::int64_t n = dY.elements();
+  if (mask_.empty()) {
+    std::copy(dY.data(), dY.data() + n, dX.data());
+    return;
+  }
+  D500_CHECK_MSG(static_cast<std::int64_t>(mask_.size()) == n,
+                 "Dropout backward without matching forward");
+  for (std::int64_t i = 0; i < n; ++i)
+    dX.at(i) = dY.at(i) * mask_[static_cast<std::size_t>(i)];
+}
+
+}  // namespace d500

@@ -1,0 +1,43 @@
+// Inverted dropout with a deterministic per-instance RNG stream; training /
+// inference mode is a runtime switch so graph executors can flip it without
+// rebuilding the network (the paper's TensorFlow visitor example constructs
+// Dropout nodes from ONNX).
+#pragma once
+
+#include "core/rng.hpp"
+#include "ops/operator.hpp"
+
+namespace d500 {
+
+class DropoutOp : public CustomOperator {
+ public:
+  DropoutOp(float ratio, std::uint64_t seed)
+      : ratio_(ratio), rng_(seed) {
+    D500_CHECK_MSG(ratio >= 0.0f && ratio < 1.0f, "dropout ratio in [0,1)");
+  }
+
+  std::string name() const override { return "Dropout"; }
+  std::size_t num_inputs() const override { return 1; }
+  std::size_t num_outputs() const override { return 1; }
+  std::vector<Shape> output_shapes(
+      const std::vector<Shape>& inputs) const override {
+    D500_CHECK_MSG(inputs.size() == 1, "Dropout expects 1 input");
+    return {inputs[0]};
+  }
+  void forward(const ConstTensors& inputs, const MutTensors& outputs) override;
+  void backward(const ConstTensors& grad_outputs, const ConstTensors& fwd_inputs,
+                const ConstTensors& fwd_outputs,
+                const MutTensors& grad_inputs) override;
+
+  void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+  float ratio() const { return ratio_; }
+
+ private:
+  float ratio_;
+  bool training_ = true;
+  Rng rng_;
+  std::vector<float> mask_;  // keep-scale per element from the last forward
+};
+
+}  // namespace d500

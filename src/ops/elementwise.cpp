@@ -1,0 +1,262 @@
+#include "ops/elementwise.hpp"
+
+#include <cmath>
+
+namespace d500 {
+
+const char* activation_name(Activation a) {
+  switch (a) {
+    case Activation::kReLU: return "relu";
+    case Activation::kSigmoid: return "sigmoid";
+    case Activation::kTanh: return "tanh";
+  }
+  return "?";
+}
+
+std::string ActivationOp::name() const {
+  switch (kind_) {
+    case Activation::kReLU: return "ReLU";
+    case Activation::kSigmoid: return "Sigmoid";
+    case Activation::kTanh: return "Tanh";
+  }
+  return "Activation";
+}
+
+std::vector<Shape> ActivationOp::output_shapes(
+    const std::vector<Shape>& inputs) const {
+  D500_CHECK_MSG(inputs.size() == 1, name() << " expects 1 input");
+  return {inputs[0]};
+}
+
+void ActivationOp::forward(const ConstTensors& inputs,
+                           const MutTensors& outputs) {
+  const float* x = inputs[0]->data();
+  float* y = outputs[0]->data();
+  const std::int64_t n = inputs[0]->elements();
+  switch (kind_) {
+    case Activation::kReLU:
+      for (std::int64_t i = 0; i < n; ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+      break;
+    case Activation::kSigmoid:
+      for (std::int64_t i = 0; i < n; ++i)
+        y[i] = 1.0f / (1.0f + std::exp(-x[i]));
+      break;
+    case Activation::kTanh:
+      for (std::int64_t i = 0; i < n; ++i) y[i] = std::tanh(x[i]);
+      break;
+  }
+}
+
+void ActivationOp::backward(const ConstTensors& grad_outputs,
+                            const ConstTensors& fwd_inputs,
+                            const ConstTensors& fwd_outputs,
+                            const MutTensors& grad_inputs) {
+  if (!grad_inputs[0]) return;
+  const float* dy = grad_outputs[0]->data();
+  const float* x = fwd_inputs[0]->data();
+  const float* y = fwd_outputs[0]->data();
+  float* dx = grad_inputs[0]->data();
+  const std::int64_t n = fwd_inputs[0]->elements();
+  switch (kind_) {
+    case Activation::kReLU:
+      for (std::int64_t i = 0; i < n; ++i) dx[i] = x[i] > 0.0f ? dy[i] : 0.0f;
+      break;
+    case Activation::kSigmoid:
+      for (std::int64_t i = 0; i < n; ++i) dx[i] = dy[i] * y[i] * (1.0f - y[i]);
+      break;
+    case Activation::kTanh:
+      for (std::int64_t i = 0; i < n; ++i) dx[i] = dy[i] * (1.0f - y[i] * y[i]);
+      break;
+  }
+}
+
+std::uint64_t ActivationOp::forward_flops(
+    const std::vector<Shape>& inputs) const {
+  return static_cast<std::uint64_t>(shape_elements(inputs[0]));
+}
+
+std::string BinaryOp::name() const {
+  switch (kind_) {
+    case BinaryKind::kAdd: return "Add";
+    case BinaryKind::kSub: return "Sub";
+    case BinaryKind::kMul: return "Mul";
+  }
+  return "Binary";
+}
+
+std::vector<Shape> BinaryOp::output_shapes(
+    const std::vector<Shape>& inputs) const {
+  D500_CHECK_MSG(inputs.size() == 2, name() << " expects 2 inputs");
+  if (inputs[0] != inputs[1])
+    throw ShapeError(name() + ": shape mismatch " + shape_to_string(inputs[0]) +
+                     " vs " + shape_to_string(inputs[1]));
+  return {inputs[0]};
+}
+
+void BinaryOp::forward(const ConstTensors& inputs, const MutTensors& outputs) {
+  const float* a = inputs[0]->data();
+  const float* b = inputs[1]->data();
+  float* c = outputs[0]->data();
+  const std::int64_t n = inputs[0]->elements();
+  switch (kind_) {
+    case BinaryKind::kAdd:
+      for (std::int64_t i = 0; i < n; ++i) c[i] = a[i] + b[i];
+      break;
+    case BinaryKind::kSub:
+      for (std::int64_t i = 0; i < n; ++i) c[i] = a[i] - b[i];
+      break;
+    case BinaryKind::kMul:
+      for (std::int64_t i = 0; i < n; ++i) c[i] = a[i] * b[i];
+      break;
+  }
+}
+
+void BinaryOp::backward(const ConstTensors& grad_outputs,
+                        const ConstTensors& fwd_inputs, const ConstTensors&,
+                        const MutTensors& grad_inputs) {
+  const float* dc = grad_outputs[0]->data();
+  const std::int64_t n = grad_outputs[0]->elements();
+  switch (kind_) {
+    case BinaryKind::kAdd:
+      for (int k = 0; k < 2; ++k)
+        if (grad_inputs[k]) {
+          float* d = grad_inputs[k]->data();
+          for (std::int64_t i = 0; i < n; ++i) d[i] = dc[i];
+        }
+      break;
+    case BinaryKind::kSub:
+      if (grad_inputs[0]) {
+        float* d = grad_inputs[0]->data();
+        for (std::int64_t i = 0; i < n; ++i) d[i] = dc[i];
+      }
+      if (grad_inputs[1]) {
+        float* d = grad_inputs[1]->data();
+        for (std::int64_t i = 0; i < n; ++i) d[i] = -dc[i];
+      }
+      break;
+    case BinaryKind::kMul:
+      if (grad_inputs[0]) {
+        const float* b = fwd_inputs[1]->data();
+        float* d = grad_inputs[0]->data();
+        for (std::int64_t i = 0; i < n; ++i) d[i] = dc[i] * b[i];
+      }
+      if (grad_inputs[1]) {
+        const float* a = fwd_inputs[0]->data();
+        float* d = grad_inputs[1]->data();
+        for (std::int64_t i = 0; i < n; ++i) d[i] = dc[i] * a[i];
+      }
+      break;
+  }
+}
+
+std::uint64_t BinaryOp::forward_flops(const std::vector<Shape>& inputs) const {
+  return static_cast<std::uint64_t>(shape_elements(inputs[0]));
+}
+
+std::vector<Shape> BiasAddOp::output_shapes(
+    const std::vector<Shape>& inputs) const {
+  D500_CHECK_MSG(inputs.size() == 2, "BiasAdd expects {X, bias}");
+  const Shape& x = inputs[0];
+  const Shape& b = inputs[1];
+  if (x.size() != 4 || b.size() != 1 || b[0] != x[1])
+    throw ShapeError("BiasAdd: X must be NCHW with bias [C]");
+  return {x};
+}
+
+void BiasAddOp::forward(const ConstTensors& inputs, const MutTensors& outputs) {
+  const Tensor& X = *inputs[0];
+  const Tensor& bias = *inputs[1];
+  Tensor& Y = *outputs[0];
+  const std::int64_t N = X.dim(0), C = X.dim(1), S = X.dim(2) * X.dim(3);
+  const float* x = X.data();
+  float* y = Y.data();
+  for (std::int64_t n = 0; n < N; ++n)
+    for (std::int64_t c = 0; c < C; ++c) {
+      const float b = bias.at(c);
+      const float* xs = x + (n * C + c) * S;
+      float* ys = y + (n * C + c) * S;
+      for (std::int64_t s = 0; s < S; ++s) ys[s] = xs[s] + b;
+    }
+}
+
+void BiasAddOp::backward(const ConstTensors& grad_outputs, const ConstTensors& fwd_inputs,
+                         const ConstTensors&, const MutTensors& grad_inputs) {
+  const Tensor& dY = *grad_outputs[0];
+  const std::int64_t N = dY.dim(0), C = dY.dim(1), S = dY.dim(2) * dY.dim(3);
+  const float* dy = dY.data();
+  if (grad_inputs[0]) {
+    std::copy(dy, dy + dY.elements(), grad_inputs[0]->data());
+  }
+  if (grad_inputs[1]) {
+    Tensor& db = *grad_inputs[1];
+    db.fill(0.0f);
+    for (std::int64_t n = 0; n < N; ++n)
+      for (std::int64_t c = 0; c < C; ++c) {
+        const float* dys = dy + (n * C + c) * S;
+        float acc = 0.0f;
+        for (std::int64_t s = 0; s < S; ++s) acc += dys[s];
+        db.at(c) += acc;
+      }
+  }
+}
+
+std::vector<Shape> FusedBiasReluOp::output_shapes(
+    const std::vector<Shape>& inputs) const {
+  D500_CHECK_MSG(inputs.size() == 2, "FusedBiasRelu expects {X, bias}");
+  const Shape& x = inputs[0];
+  const Shape& b = inputs[1];
+  if (x.size() != 4 || b.size() != 1 || b[0] != x[1])
+    throw ShapeError("FusedBiasRelu: X must be NCHW with bias [C]");
+  return {x};
+}
+
+void FusedBiasReluOp::forward(const ConstTensors& inputs,
+                              const MutTensors& outputs) {
+  const Tensor& X = *inputs[0];
+  const Tensor& bias = *inputs[1];
+  Tensor& Y = *outputs[0];
+  const std::int64_t N = X.dim(0), C = X.dim(1), S = X.dim(2) * X.dim(3);
+  const float* x = X.data();
+  float* y = Y.data();
+  for (std::int64_t n = 0; n < N; ++n)
+    for (std::int64_t c = 0; c < C; ++c) {
+      const float b = bias.at(c);
+      const float* xs = x + (n * C + c) * S;
+      float* ys = y + (n * C + c) * S;
+      for (std::int64_t s = 0; s < S; ++s) {
+        const float v = xs[s] + b;
+        ys[s] = v > 0.0f ? v : 0.0f;
+      }
+    }
+}
+
+void FusedBiasReluOp::backward(const ConstTensors& grad_outputs,
+                               const ConstTensors& fwd_inputs,
+                               const ConstTensors& fwd_outputs,
+                               const MutTensors& grad_inputs) {
+  const Tensor& dY = *grad_outputs[0];
+  const Tensor& Y = *fwd_outputs[0];
+  const std::int64_t N = dY.dim(0), C = dY.dim(1), S = dY.dim(2) * dY.dim(3);
+  const float* dy = dY.data();
+  const float* y = Y.data();
+  if (grad_inputs[0]) {
+    float* dx = grad_inputs[0]->data();
+    for (std::int64_t i = 0; i < dY.elements(); ++i)
+      dx[i] = y[i] > 0.0f ? dy[i] : 0.0f;
+  }
+  if (grad_inputs[1]) {
+    Tensor& db = *grad_inputs[1];
+    db.fill(0.0f);
+    for (std::int64_t n = 0; n < N; ++n)
+      for (std::int64_t c = 0; c < C; ++c) {
+        const float* dys = dy + (n * C + c) * S;
+        const float* ys = y + (n * C + c) * S;
+        float acc = 0.0f;
+        for (std::int64_t s = 0; s < S; ++s)
+          if (ys[s] > 0.0f) acc += dys[s];
+        db.at(c) += acc;
+      }
+  }
+}
+
+}  // namespace d500

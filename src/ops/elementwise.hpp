@@ -1,0 +1,86 @@
+// Elementwise and broadcasting operators: activations, binary arithmetic,
+// bias-add, and the fused Bias+ReLU used by the operator-fusion transform
+// (the paper's Use Case 1 discusses exactly this fusion in Caffe2).
+#pragma once
+
+#include "ops/operator.hpp"
+
+namespace d500 {
+
+enum class Activation { kReLU, kSigmoid, kTanh };
+
+const char* activation_name(Activation a);
+
+/// Unary activation: {X} -> {Y}, any rank.
+class ActivationOp : public CustomOperator {
+ public:
+  explicit ActivationOp(Activation kind) : kind_(kind) {}
+  std::string name() const override;
+  std::size_t num_inputs() const override { return 1; }
+  std::size_t num_outputs() const override { return 1; }
+  std::vector<Shape> output_shapes(
+      const std::vector<Shape>& inputs) const override;
+  void forward(const ConstTensors& inputs, const MutTensors& outputs) override;
+  void backward(const ConstTensors& grad_outputs, const ConstTensors& fwd_inputs,
+                const ConstTensors& fwd_outputs,
+                const MutTensors& grad_inputs) override;
+  std::uint64_t forward_flops(const std::vector<Shape>& inputs) const override;
+  Activation kind() const { return kind_; }
+
+ private:
+  Activation kind_;
+};
+
+enum class BinaryKind { kAdd, kSub, kMul };
+
+/// Binary elementwise op on same-shape tensors: {A, B} -> {C}.
+class BinaryOp : public CustomOperator {
+ public:
+  explicit BinaryOp(BinaryKind kind) : kind_(kind) {}
+  std::string name() const override;
+  std::size_t num_inputs() const override { return 2; }
+  std::size_t num_outputs() const override { return 1; }
+  std::vector<Shape> output_shapes(
+      const std::vector<Shape>& inputs) const override;
+  void forward(const ConstTensors& inputs, const MutTensors& outputs) override;
+  void backward(const ConstTensors& grad_outputs, const ConstTensors& fwd_inputs,
+                const ConstTensors& fwd_outputs,
+                const MutTensors& grad_inputs) override;
+  std::uint64_t forward_flops(const std::vector<Shape>& inputs) const override;
+  BinaryKind kind() const { return kind_; }
+
+ private:
+  BinaryKind kind_;
+};
+
+/// Channel bias-add on NCHW: {X [N,C,H,W], bias [C]} -> {Y}.
+class BiasAddOp : public CustomOperator {
+ public:
+  std::string name() const override { return "BiasAdd"; }
+  std::size_t num_inputs() const override { return 2; }
+  std::size_t num_outputs() const override { return 1; }
+  std::vector<Shape> output_shapes(
+      const std::vector<Shape>& inputs) const override;
+  void forward(const ConstTensors& inputs, const MutTensors& outputs) override;
+  void backward(const ConstTensors& grad_outputs, const ConstTensors& fwd_inputs,
+                const ConstTensors& fwd_outputs,
+                const MutTensors& grad_inputs) override;
+};
+
+/// Fused BiasAdd+ReLU: produced by the Level 1 fusion transform; a single
+/// pass over memory instead of two (the fusion the paper attributes to
+/// Caffe2-style kernels).
+class FusedBiasReluOp : public CustomOperator {
+ public:
+  std::string name() const override { return "FusedBiasRelu"; }
+  std::size_t num_inputs() const override { return 2; }
+  std::size_t num_outputs() const override { return 1; }
+  std::vector<Shape> output_shapes(
+      const std::vector<Shape>& inputs) const override;
+  void forward(const ConstTensors& inputs, const MutTensors& outputs) override;
+  void backward(const ConstTensors& grad_outputs, const ConstTensors& fwd_inputs,
+                const ConstTensors& fwd_outputs,
+                const MutTensors& grad_inputs) override;
+};
+
+}  // namespace d500

@@ -1,0 +1,266 @@
+#include "ops/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace d500 {
+
+const char* gemm_backend_name(GemmBackend b) {
+  switch (b) {
+    case GemmBackend::kNaive: return "naive";
+    case GemmBackend::kBlocked: return "blocked";
+    case GemmBackend::kPacked: return "packed";
+  }
+  return "?";
+}
+
+namespace {
+
+void gemm_naive(std::int64_t M, std::int64_t N, std::int64_t K, float alpha,
+                const float* A, const float* B, float beta, float* C) {
+  for (std::int64_t i = 0; i < M; ++i) {
+    for (std::int64_t j = 0; j < N; ++j) {
+      float acc = 0.0f;
+      for (std::int64_t k = 0; k < K; ++k) acc += A[i * K + k] * B[k * N + j];
+      C[i * N + j] = alpha * acc + beta * C[i * N + j];
+    }
+  }
+}
+
+void gemm_blocked(std::int64_t M, std::int64_t N, std::int64_t K, float alpha,
+                  float const* A, const float* B, float beta, float* C) {
+  // Scale/zero C up front, then accumulate with ikj ordering inside cache
+  // blocks; the j loop is contiguous in both B and C and auto-vectorizes.
+  if (beta == 0.0f) {
+    std::memset(C, 0, static_cast<std::size_t>(M) * N * sizeof(float));
+  } else if (beta != 1.0f) {
+    for (std::int64_t i = 0; i < M * N; ++i) C[i] *= beta;
+  }
+  constexpr std::int64_t MB = 64, NB = 256, KB = 64;
+  for (std::int64_t i0 = 0; i0 < M; i0 += MB) {
+    const std::int64_t i1 = std::min(i0 + MB, M);
+    for (std::int64_t k0 = 0; k0 < K; k0 += KB) {
+      const std::int64_t k1 = std::min(k0 + KB, K);
+      for (std::int64_t j0 = 0; j0 < N; j0 += NB) {
+        const std::int64_t j1 = std::min(j0 + NB, N);
+        for (std::int64_t i = i0; i < i1; ++i) {
+          float* Ci = C + i * N;
+          for (std::int64_t k = k0; k < k1; ++k) {
+            const float a = alpha * A[i * K + k];
+            const float* Bk = B + k * N;
+            for (std::int64_t j = j0; j < j1; ++j) Ci[j] += a * Bk[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+// Packed backend: packs B into K-major panels of width NR and runs a 4xNR
+// register-tiled microkernel. OpenMP parallelizes over row blocks.
+constexpr std::int64_t kNR = 16;
+
+void pack_b_panel(std::int64_t K, std::int64_t N, const float* B,
+                  std::int64_t j0, std::int64_t jw, float* packed) {
+  // packed[k*kNR + jj] = B[k*N + j0+jj], zero-padded to kNR columns.
+  for (std::int64_t k = 0; k < K; ++k) {
+    const float* src = B + k * N + j0;
+    float* dst = packed + k * kNR;
+    std::int64_t jj = 0;
+    for (; jj < jw; ++jj) dst[jj] = src[jj];
+    for (; jj < kNR; ++jj) dst[jj] = 0.0f;
+  }
+}
+
+void micro_4xNR(std::int64_t K, const float* A, std::int64_t lda,
+                const float* packedB, float* C, std::int64_t ldc,
+                std::int64_t rows, std::int64_t cols, float alpha) {
+  float acc[4][kNR];
+  for (int r = 0; r < 4; ++r)
+    for (std::int64_t j = 0; j < kNR; ++j) acc[r][j] = 0.0f;
+
+  for (std::int64_t k = 0; k < K; ++k) {
+    const float* b = packedB + k * kNR;
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const float a = A[r * lda + k];
+      for (std::int64_t j = 0; j < kNR; ++j) acc[r][j] += a * b[j];
+    }
+  }
+  for (std::int64_t r = 0; r < rows; ++r)
+    for (std::int64_t j = 0; j < cols; ++j)
+      C[r * ldc + j] += alpha * acc[r][j];
+}
+
+void gemm_packed(std::int64_t M, std::int64_t N, std::int64_t K, float alpha,
+                 const float* A, const float* B, float beta, float* C) {
+  if (beta == 0.0f) {
+    std::memset(C, 0, static_cast<std::size_t>(M) * N * sizeof(float));
+  } else if (beta != 1.0f) {
+    for (std::int64_t i = 0; i < M * N; ++i) C[i] *= beta;
+  }
+  const std::int64_t npanels = (N + kNR - 1) / kNR;
+  std::vector<float> packed(static_cast<std::size_t>(K) * kNR);
+  for (std::int64_t p = 0; p < npanels; ++p) {
+    const std::int64_t j0 = p * kNR;
+    const std::int64_t jw = std::min<std::int64_t>(kNR, N - j0);
+    pack_b_panel(K, N, B, j0, jw, packed.data());
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i0 = 0; i0 < M; i0 += 4) {
+      const std::int64_t rows = std::min<std::int64_t>(4, M - i0);
+      micro_4xNR(K, A + i0 * K, K, packed.data(), C + i0 * N + j0, N, rows,
+                 jw, alpha);
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(GemmBackend backend, std::int64_t M, std::int64_t N, std::int64_t K,
+          float alpha, const float* A, const float* B, float beta, float* C) {
+  D500_CHECK(M >= 0 && N >= 0 && K >= 0);
+  if (M == 0 || N == 0) return;
+  if (K == 0) {
+    if (beta == 0.0f)
+      std::memset(C, 0, static_cast<std::size_t>(M) * N * sizeof(float));
+    else if (beta != 1.0f)
+      for (std::int64_t i = 0; i < M * N; ++i) C[i] *= beta;
+    return;
+  }
+  switch (backend) {
+    case GemmBackend::kNaive: gemm_naive(M, N, K, alpha, A, B, beta, C); break;
+    case GemmBackend::kBlocked: gemm_blocked(M, N, K, alpha, A, B, beta, C); break;
+    case GemmBackend::kPacked: gemm_packed(M, N, K, alpha, A, B, beta, C); break;
+  }
+}
+
+void gemm_at_b(std::int64_t M, std::int64_t N, std::int64_t K, const float* A,
+               const float* B, float* C) {
+  // C(MxN) += A^T(MxK as KxM input) x B(KxN): A is stored (K rows, M cols).
+  for (std::int64_t k = 0; k < K; ++k) {
+    const float* Ak = A + k * M;
+    const float* Bk = B + k * N;
+    for (std::int64_t i = 0; i < M; ++i) {
+      const float a = Ak[i];
+      if (a == 0.0f) continue;
+      float* Ci = C + i * N;
+      for (std::int64_t j = 0; j < N; ++j) Ci[j] += a * Bk[j];
+    }
+  }
+}
+
+void gemm_a_bt(std::int64_t M, std::int64_t N, std::int64_t K, const float* A,
+               const float* B, float* C) {
+  // C(MxN) += A(MxK) x B^T where B is stored (N rows, K cols).
+  for (std::int64_t i = 0; i < M; ++i) {
+    const float* Ai = A + i * K;
+    float* Ci = C + i * N;
+    for (std::int64_t j = 0; j < N; ++j) {
+      const float* Bj = B + j * K;
+      float acc = 0.0f;
+      for (std::int64_t k = 0; k < K; ++k) acc += Ai[k] * Bj[k];
+      Ci[j] += acc;
+    }
+  }
+}
+
+std::vector<Shape> MatMulOp::output_shapes(
+    const std::vector<Shape>& inputs) const {
+  D500_CHECK_MSG(inputs.size() == 2, "MatMul expects 2 inputs");
+  const Shape& a = inputs[0];
+  const Shape& b = inputs[1];
+  if (a.size() != 2 || b.size() != 2 || a[1] != b[0])
+    throw ShapeError("MatMul: incompatible shapes " + shape_to_string(a) +
+                     " x " + shape_to_string(b));
+  return {{a[0], b[1]}};
+}
+
+void MatMulOp::forward(const ConstTensors& inputs, const MutTensors& outputs) {
+  const Tensor& A = *inputs[0];
+  const Tensor& B = *inputs[1];
+  Tensor& C = *outputs[0];
+  gemm(backend_, A.dim(0), B.dim(1), A.dim(1), 1.0f, A.data(), B.data(), 0.0f,
+       C.data());
+}
+
+void MatMulOp::backward(const ConstTensors& grad_outputs,
+                        const ConstTensors& fwd_inputs, const ConstTensors&,
+                        const MutTensors& grad_inputs) {
+  const Tensor& dC = *grad_outputs[0];
+  const Tensor& A = *fwd_inputs[0];
+  const Tensor& B = *fwd_inputs[1];
+  const std::int64_t M = A.dim(0), K = A.dim(1), N = B.dim(1);
+  if (grad_inputs[0]) {  // dA = dC x B^T
+    grad_inputs[0]->fill(0.0f);
+    gemm_a_bt(M, K, N, dC.data(), B.data(), grad_inputs[0]->data());
+  }
+  if (grad_inputs[1]) {  // dB = A^T x dC
+    grad_inputs[1]->fill(0.0f);
+    gemm_at_b(K, N, M, A.data(), dC.data(), grad_inputs[1]->data());
+  }
+}
+
+std::uint64_t MatMulOp::forward_flops(const std::vector<Shape>& inputs) const {
+  return gemm_flops(inputs[0][0], inputs[1][1], inputs[0][1]);
+}
+
+std::vector<Shape> LinearOp::output_shapes(
+    const std::vector<Shape>& inputs) const {
+  D500_CHECK_MSG(inputs.size() == 3, "Linear expects inputs {X, W, bias}");
+  const Shape& x = inputs[0];
+  const Shape& w = inputs[1];
+  const Shape& b = inputs[2];
+  if (x.size() != 2 || w.size() != 2 || b.size() != 1 || x[1] != w[1] ||
+      b[0] != w[0])
+    throw ShapeError("Linear: incompatible shapes X=" + shape_to_string(x) +
+                     " W=" + shape_to_string(w) + " b=" + shape_to_string(b));
+  return {{x[0], w[0]}};
+}
+
+void LinearOp::forward(const ConstTensors& inputs, const MutTensors& outputs) {
+  const Tensor& X = *inputs[0];
+  const Tensor& W = *inputs[1];
+  const Tensor& bias = *inputs[2];
+  Tensor& Y = *outputs[0];
+  const std::int64_t B = X.dim(0), in = X.dim(1), out = W.dim(0);
+  // Y = X x W^T
+  Y.fill(0.0f);
+  gemm_a_bt(B, out, in, X.data(), W.data(), Y.data());
+  for (std::int64_t i = 0; i < B; ++i) {
+    float* y = Y.data() + i * out;
+    for (std::int64_t j = 0; j < out; ++j) y[j] += bias.at(j);
+  }
+}
+
+void LinearOp::backward(const ConstTensors& grad_outputs,
+                        const ConstTensors& fwd_inputs, const ConstTensors&,
+                        const MutTensors& grad_inputs) {
+  const Tensor& dY = *grad_outputs[0];
+  const Tensor& X = *fwd_inputs[0];
+  const Tensor& W = *fwd_inputs[1];
+  const std::int64_t B = X.dim(0), in = X.dim(1), out = W.dim(0);
+  if (grad_inputs[0]) {  // dX = dY x W
+    Tensor& dX = *grad_inputs[0];
+    gemm(backend_, B, in, out, 1.0f, dY.data(), W.data(), 0.0f, dX.data());
+  }
+  if (grad_inputs[1]) {  // dW = dY^T x X  (out x in)
+    grad_inputs[1]->fill(0.0f);
+    gemm_at_b(out, in, B, dY.data(), X.data(), grad_inputs[1]->data());
+  }
+  if (grad_inputs[2]) {  // dbias = column sum of dY
+    Tensor& db = *grad_inputs[2];
+    db.fill(0.0f);
+    for (std::int64_t i = 0; i < B; ++i) {
+      const float* dy = dY.data() + i * out;
+      for (std::int64_t j = 0; j < out; ++j) db.at(j) += dy[j];
+    }
+  }
+}
+
+std::uint64_t LinearOp::forward_flops(const std::vector<Shape>& inputs) const {
+  // X[B,in] x W^T[in,out] plus bias add.
+  return gemm_flops(inputs[0][0], inputs[1][0], inputs[0][1]) +
+         static_cast<std::uint64_t>(inputs[0][0]) * inputs[1][0];
+}
+
+}  // namespace d500

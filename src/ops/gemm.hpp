@@ -1,0 +1,86 @@
+// General matrix multiplication: the kernel at the heart of FC layers and
+// im2col convolution, and one of the two DeepBench operator families the
+// paper benchmarks at Level 0 (Fig. 6b).
+//
+// Three backends with genuinely different performance (used to play the
+// roles of "framework kernels" vs. the DeepBench bare-kernel baseline):
+//   kNaive   — textbook ijk triple loop
+//   kBlocked — ikj ordering + cache blocking (vectorizable inner loop)
+//   kPacked  — panel packing + register-tiled microkernel + OpenMP
+#pragma once
+
+#include <cstdint>
+
+#include "ops/operator.hpp"
+
+namespace d500 {
+
+enum class GemmBackend { kNaive, kBlocked, kPacked };
+
+const char* gemm_backend_name(GemmBackend b);
+
+/// C(MxN) = alpha * A(MxK) x B(KxN) + beta * C. Row-major, no transposes
+/// (transposition is handled a level up where needed).
+void gemm(GemmBackend backend, std::int64_t M, std::int64_t N, std::int64_t K,
+          float alpha, const float* A, const float* B, float beta, float* C);
+
+/// C += A^T x B where A is (KxM): used by weight-gradient computation.
+void gemm_at_b(std::int64_t M, std::int64_t N, std::int64_t K, const float* A,
+               const float* B, float* C);
+
+/// C += A x B^T where B is (NxK): used by input-gradient computation.
+void gemm_a_bt(std::int64_t M, std::int64_t N, std::int64_t K, const float* A,
+               const float* B, float* C);
+
+inline std::uint64_t gemm_flops(std::int64_t M, std::int64_t N,
+                                std::int64_t K) {
+  return 2ULL * static_cast<std::uint64_t>(M) * static_cast<std::uint64_t>(N) *
+         static_cast<std::uint64_t>(K);
+}
+
+/// MatMul operator: inputs {A [M,K], B [K,N]}, output {C [M,N]}.
+class MatMulOp : public CustomOperator {
+ public:
+  explicit MatMulOp(GemmBackend backend = GemmBackend::kPacked)
+      : backend_(backend) {}
+
+  std::string name() const override { return "MatMul"; }
+  std::size_t num_inputs() const override { return 2; }
+  std::size_t num_outputs() const override { return 1; }
+  std::vector<Shape> output_shapes(
+      const std::vector<Shape>& inputs) const override;
+  void forward(const ConstTensors& inputs, const MutTensors& outputs) override;
+  void backward(const ConstTensors& grad_outputs, const ConstTensors& fwd_inputs,
+                const ConstTensors& fwd_outputs,
+                const MutTensors& grad_inputs) override;
+  std::uint64_t forward_flops(const std::vector<Shape>& inputs) const override;
+
+  GemmBackend backend() const { return backend_; }
+
+ private:
+  GemmBackend backend_;
+};
+
+/// Fully-connected (linear) layer: inputs {X [B,in], W [out,in], bias [out]},
+/// output {Y [B,out]} with Y = X W^T + bias.
+class LinearOp : public CustomOperator {
+ public:
+  explicit LinearOp(GemmBackend backend = GemmBackend::kPacked)
+      : backend_(backend) {}
+
+  std::string name() const override { return "Linear"; }
+  std::size_t num_inputs() const override { return 3; }
+  std::size_t num_outputs() const override { return 1; }
+  std::vector<Shape> output_shapes(
+      const std::vector<Shape>& inputs) const override;
+  void forward(const ConstTensors& inputs, const MutTensors& outputs) override;
+  void backward(const ConstTensors& grad_outputs, const ConstTensors& fwd_inputs,
+                const ConstTensors& fwd_outputs,
+                const MutTensors& grad_inputs) override;
+  std::uint64_t forward_flops(const std::vector<Shape>& inputs) const override;
+
+ private:
+  GemmBackend backend_;
+};
+
+}  // namespace d500

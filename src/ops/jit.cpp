@@ -1,0 +1,140 @@
+#include "ops/jit.hpp"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "core/env.hpp"
+#include "core/serialize.hpp"
+
+#ifndef D500_SOURCE_INCLUDE_DIR
+#define D500_SOURCE_INCLUDE_DIR ""
+#endif
+
+namespace d500 {
+
+std::string jit_include_dir() {
+  if (const char* v = std::getenv("D500_INCLUDE_DIR")) return v;
+  return D500_SOURCE_INCLUDE_DIR;
+}
+
+namespace {
+
+std::string compiler_command() {
+  if (const char* v = std::getenv("D500_CXX")) return v;
+  return "g++";
+}
+
+// ABI shim appended to every generated translation unit: exports the
+// forward/backward/delete symbols over the user's RawCustomOperator.
+constexpr const char* kShimSource = R"SHIM(
+// ---- Deep500++ generated ABI shim ----
+D500_EXPORTED void d500_op_forward(void* handle, const d500::tensor_t* inputs,
+                                   int nin, d500::tensor_t* outputs, int nout) {
+  static_cast<d500::RawCustomOperator*>(handle)->forward(inputs, nin, outputs,
+                                                         nout);
+}
+D500_EXPORTED void d500_op_backward(void* handle,
+                                    const d500::tensor_t* grad_outputs, int ngo,
+                                    const d500::tensor_t* fwd_inputs, int nfi,
+                                    const d500::tensor_t* fwd_outputs, int nfo,
+                                    d500::tensor_t* grad_inputs, int ngi) {
+  static_cast<d500::RawCustomOperator*>(handle)->backward(
+      grad_outputs, ngo, fwd_inputs, nfi, fwd_outputs, nfo, grad_inputs, ngi);
+}
+D500_EXPORTED void d500_op_delete(void* handle) {
+  delete static_cast<d500::RawCustomOperator*>(handle);
+}
+)SHIM";
+
+std::atomic<int> g_jit_counter{0};
+
+}  // namespace
+
+JitOperator::~JitOperator() {
+  op_.reset();  // operator handle must be destroyed before the library
+  if (dl_handle_) dlclose(dl_handle_);
+}
+
+OperatorPtr compile_custom_op(const OpCompileDesc& desc) {
+  D500_CHECK_MSG(!desc.name.empty(), "compile_custom_op: name required");
+  D500_CHECK_MSG(desc.source_code.empty() != desc.source_path.empty(),
+                 "compile_custom_op: exactly one of source_code/source_path");
+
+  std::string user_code = desc.source_code;
+  if (!desc.source_path.empty()) {
+    auto bytes = read_file(desc.source_path);
+    user_code.assign(bytes.begin(), bytes.end());
+  }
+
+  // Emit the translation unit: definitions, raw-operator header, user code,
+  // shim.
+  std::ostringstream tu;
+  for (const auto& [key, value] : desc.definitions)
+    tu << "#define " << key << " " << value << "\n";
+  tu << "#include \"ops/raw_operator.hpp\"\n\n" << user_code << "\n"
+     << kShimSource;
+
+  const int id = g_jit_counter.fetch_add(1);
+  const std::string base = scratch_dir() + "/jit_" + desc.name + "_" +
+                           std::to_string(::getpid()) + "_" +
+                           std::to_string(id);
+  const std::string cpp_path = base + ".cpp";
+  const std::string so_path = base + ".so";
+  const std::string log_path = base + ".log";
+  {
+    std::ofstream f(cpp_path, std::ios::trunc);
+    if (!f) throw Error("compile_custom_op: cannot write " + cpp_path);
+    f << tu.str();
+  }
+
+  std::ostringstream cmd;
+  cmd << compiler_command() << " -std=c++20 -O2 -fPIC -shared"
+      << " -I'" << jit_include_dir() << "'";
+  for (const auto& flag : desc.extra_flags) cmd << " " << flag;
+  cmd << " '" << cpp_path << "' -o '" << so_path << "' > '" << log_path
+      << "' 2>&1";
+  const int rc = std::system(cmd.str().c_str());
+  if (rc != 0) {
+    std::string log;
+    try {
+      auto bytes = read_file(log_path);
+      log.assign(bytes.begin(), bytes.end());
+    } catch (const Error&) {
+    }
+    throw Error("compile_custom_op: compilation of '" + desc.name +
+                "' failed (rc=" + std::to_string(rc) + ")\n" + log);
+  }
+
+  void* handle = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!handle)
+    throw Error(std::string("compile_custom_op: dlopen failed: ") + dlerror());
+
+  OpAbiTable abi;
+  abi.create = reinterpret_cast<d500_op_create_fn>(
+      dlsym(handle, kAbiCreateSymbol));
+  abi.forward = reinterpret_cast<d500_op_forward_fn>(
+      dlsym(handle, kAbiForwardSymbol));
+  abi.backward = reinterpret_cast<d500_op_backward_fn>(
+      dlsym(handle, kAbiBackwardSymbol));
+  abi.destroy = reinterpret_cast<d500_op_delete_fn>(
+      dlsym(handle, kAbiDeleteSymbol));
+  if (!abi.create || !abi.forward || !abi.destroy) {
+    dlclose(handle);
+    throw Error("compile_custom_op: '" + desc.name +
+                "' does not export the required symbols (is "
+                "d500_create_new_op defined?)");
+  }
+
+  auto op = std::make_unique<CAbiOperator>(desc.name, abi, desc.input_descs,
+                                           desc.output_descs,
+                                           desc.has_backward);
+  return OperatorPtr(
+      new JitOperator(handle, so_path, std::move(op)));
+}
+
+}  // namespace d500

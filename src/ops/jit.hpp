@@ -1,0 +1,91 @@
+// Runtime compilation of custom operators (paper §IV-C).
+//
+// The paper wraps CMake in a cross-platform Python interface to JIT- or
+// AOT-compile C++ operators into framework-loadable shared objects. This
+// reproduction keeps the same pipeline — emit a translation unit combining
+// the user's operator code with an ABI shim, invoke the system toolchain,
+// dlopen the result, and bind the exported C symbols — driving the compiler
+// directly instead of through CMake so the path works in this offline
+// container. The artifact contract (symbol names, descriptor ABI) is in
+// ops/cabi.hpp.
+//
+// User sources derive from d500::RawCustomOperator (ops/raw_operator.hpp)
+// and export the creation entry point, exactly like paper Listing 3:
+//
+//   D500_EXPORTED void* d500_create_new_op(const d500::tensor_t* in, int nin,
+//                                          const d500::tensor_t* out, int nout)
+//   { return new MedianPooling<DTYPE>(/*...*/); }
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ops/cabi.hpp"
+
+namespace d500 {
+
+/// Compilation request (paper Listing 4: d5.compile_custom_cppop).
+struct OpCompileDesc {
+  std::string name;           // operator display name
+  std::string source_code;    // user C++ code (or empty when source_path set)
+  std::string source_path;    // alternatively, a path to a .cpp file
+  std::vector<tensor_t> input_descs;
+  std::vector<tensor_t> output_descs;
+  /// Preprocessor definitions, e.g. {"DTYPE", "float"} (paper:
+  /// additional_definitions).
+  std::map<std::string, std::string> definitions;
+  bool has_backward = true;
+  /// Extra compiler flags appended after the defaults.
+  std::vector<std::string> extra_flags;
+};
+
+/// A compiled, loaded custom operator. Owns the dlopen handle; the operator
+/// interface is served by an embedded CAbiOperator.
+class JitOperator : public CustomOperator {
+ public:
+  ~JitOperator() override;
+  JitOperator(const JitOperator&) = delete;
+  JitOperator& operator=(const JitOperator&) = delete;
+
+  std::string name() const override { return op_->name(); }
+  std::size_t num_inputs() const override { return op_->num_inputs(); }
+  std::size_t num_outputs() const override { return op_->num_outputs(); }
+  std::vector<Shape> output_shapes(
+      const std::vector<Shape>& inputs) const override {
+    return op_->output_shapes(inputs);
+  }
+  void forward(const ConstTensors& inputs, const MutTensors& outputs) override {
+    op_->forward(inputs, outputs);
+  }
+  void backward(const ConstTensors& grad_outputs, const ConstTensors& fwd_inputs,
+                const ConstTensors& fwd_outputs,
+                const MutTensors& grad_inputs) override {
+    op_->backward(grad_outputs, fwd_inputs, fwd_outputs, grad_inputs);
+  }
+  bool differentiable() const override { return op_->differentiable(); }
+
+  const std::string& library_path() const { return library_path_; }
+
+ private:
+  friend OperatorPtr compile_custom_op(const OpCompileDesc& desc);
+  JitOperator(void* dl_handle, std::string library_path,
+              std::unique_ptr<CAbiOperator> op)
+      : dl_handle_(dl_handle),
+        library_path_(std::move(library_path)),
+        op_(std::move(op)) {}
+
+  void* dl_handle_;
+  std::string library_path_;
+  std::unique_ptr<CAbiOperator> op_;
+};
+
+/// Compiles, loads and instantiates a custom operator. Throws d500::Error
+/// with the compiler's output on failure.
+OperatorPtr compile_custom_op(const OpCompileDesc& desc);
+
+/// The include directory containing the Deep500++ headers, baked in at
+/// build time and overridable with D500_INCLUDE_DIR.
+std::string jit_include_dir();
+
+}  // namespace d500

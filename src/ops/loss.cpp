@@ -1,0 +1,111 @@
+#include "ops/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "ops/softmax.hpp"
+
+namespace d500 {
+
+std::vector<Shape> SoftmaxCrossEntropyOp::output_shapes(
+    const std::vector<Shape>& inputs) const {
+  D500_CHECK_MSG(inputs.size() == 2, "SoftmaxCrossEntropy expects {logits, labels}");
+  const Shape& z = inputs[0];
+  const Shape& y = inputs[1];
+  if (z.size() != 2 || y.size() != 1 || y[0] != z[0])
+    throw ShapeError("SoftmaxCrossEntropy: logits [B,C], labels [B] required");
+  return {{1}};
+}
+
+void SoftmaxCrossEntropyOp::forward(const ConstTensors& inputs,
+                                    const MutTensors& outputs) {
+  const Tensor& Z = *inputs[0];
+  const Tensor& labels = *inputs[1];
+  const std::int64_t B = Z.dim(0), C = Z.dim(1);
+  std::vector<float> probs(static_cast<std::size_t>(B) * C);
+  softmax_rows(Z.data(), probs.data(), B, C);
+  double loss = 0.0;
+  for (std::int64_t b = 0; b < B; ++b) {
+    const auto label = static_cast<std::int64_t>(labels.at(b));
+    D500_CHECK_MSG(label >= 0 && label < C,
+                   "label " << label << " out of range [0," << C << ")");
+    loss -= std::log(
+        std::max(probs[static_cast<std::size_t>(b * C + label)], 1e-12f));
+  }
+  outputs[0]->at(0) = static_cast<float>(loss / static_cast<double>(B));
+}
+
+void SoftmaxCrossEntropyOp::backward(const ConstTensors& grad_outputs,
+                                     const ConstTensors& fwd_inputs,
+                                     const ConstTensors&,
+                                     const MutTensors& grad_inputs) {
+  if (!grad_inputs[0]) return;
+  const float upstream = grad_outputs[0]->at(0);
+  const Tensor& Z = *fwd_inputs[0];
+  const Tensor& labels = *fwd_inputs[1];
+  Tensor& dZ = *grad_inputs[0];
+  const std::int64_t B = Z.dim(0), C = Z.dim(1);
+  softmax_rows(Z.data(), dZ.data(), B, C);
+  const float invB = upstream / static_cast<float>(B);
+  for (std::int64_t b = 0; b < B; ++b) {
+    const auto label = static_cast<std::int64_t>(labels.at(b));
+    dZ.at(b * C + label) -= 1.0f;
+    for (std::int64_t c = 0; c < C; ++c) dZ.at(b * C + c) *= invB;
+  }
+}
+
+std::vector<Shape> MSELossOp::output_shapes(
+    const std::vector<Shape>& inputs) const {
+  D500_CHECK_MSG(inputs.size() == 2, "MSELoss expects {pred, target}");
+  if (inputs[0] != inputs[1])
+    throw ShapeError("MSELoss: pred/target shape mismatch");
+  return {{1}};
+}
+
+void MSELossOp::forward(const ConstTensors& inputs, const MutTensors& outputs) {
+  const Tensor& P = *inputs[0];
+  const Tensor& T = *inputs[1];
+  const std::int64_t n = P.elements();
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(P.at(i)) - T.at(i);
+    acc += d * d;
+  }
+  outputs[0]->at(0) = static_cast<float>(acc / static_cast<double>(n));
+}
+
+void MSELossOp::backward(const ConstTensors& grad_outputs,
+                         const ConstTensors& fwd_inputs, const ConstTensors&,
+                         const MutTensors& grad_inputs) {
+  const float upstream = grad_outputs[0]->at(0);
+  const Tensor& P = *fwd_inputs[0];
+  const Tensor& T = *fwd_inputs[1];
+  const std::int64_t n = P.elements();
+  const float k = 2.0f * upstream / static_cast<float>(n);
+  if (grad_inputs[0]) {
+    for (std::int64_t i = 0; i < n; ++i)
+      grad_inputs[0]->at(i) = k * (P.at(i) - T.at(i));
+  }
+  if (grad_inputs[1]) {
+    for (std::int64_t i = 0; i < n; ++i)
+      grad_inputs[1]->at(i) = -k * (P.at(i) - T.at(i));
+  }
+}
+
+std::int64_t count_correct(const Tensor& logits, const Tensor& labels) {
+  D500_CHECK(logits.rank() == 2 && labels.rank() == 1);
+  const std::int64_t B = logits.dim(0), C = logits.dim(1);
+  D500_CHECK(labels.dim(0) == B);
+  std::int64_t correct = 0;
+  for (std::int64_t b = 0; b < B; ++b) {
+    const float* row = logits.data() + b * C;
+    std::int64_t best = 0;
+    for (std::int64_t c = 1; c < C; ++c)
+      if (row[c] > row[best]) best = c;
+    if (best == static_cast<std::int64_t>(labels.at(b))) ++correct;
+  }
+  return correct;
+}
+
+}  // namespace d500

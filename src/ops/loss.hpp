@@ -1,0 +1,45 @@
+// Loss operators. The paper extends ONNX with loss-function operators so a
+// stored model can describe its training objective; these are those
+// built-ins. Labels travel as float tensors holding class indices (the
+// whole pipeline is float32, matching §V-A).
+#pragma once
+
+#include "ops/operator.hpp"
+
+namespace d500 {
+
+/// Softmax cross-entropy: inputs {logits [B,C], labels [B]},
+/// outputs {loss [1]} (mean over the batch). The gradient of the loss
+/// w.r.t. logits is (softmax(logits) - onehot(labels)) / B.
+class SoftmaxCrossEntropyOp : public CustomOperator {
+ public:
+  std::string name() const override { return "SoftmaxCrossEntropy"; }
+  std::size_t num_inputs() const override { return 2; }
+  std::size_t num_outputs() const override { return 1; }
+  std::vector<Shape> output_shapes(
+      const std::vector<Shape>& inputs) const override;
+  void forward(const ConstTensors& inputs, const MutTensors& outputs) override;
+  void backward(const ConstTensors& grad_outputs, const ConstTensors& fwd_inputs,
+                const ConstTensors& fwd_outputs,
+                const MutTensors& grad_inputs) override;
+};
+
+/// Mean squared error: inputs {pred, target} (same shape),
+/// outputs {loss [1]} (mean over all elements).
+class MSELossOp : public CustomOperator {
+ public:
+  std::string name() const override { return "MSELoss"; }
+  std::size_t num_inputs() const override { return 2; }
+  std::size_t num_outputs() const override { return 1; }
+  std::vector<Shape> output_shapes(
+      const std::vector<Shape>& inputs) const override;
+  void forward(const ConstTensors& inputs, const MutTensors& outputs) override;
+  void backward(const ConstTensors& grad_outputs, const ConstTensors& fwd_inputs,
+                const ConstTensors& fwd_outputs,
+                const MutTensors& grad_inputs) override;
+};
+
+/// Counts argmax(logits) == label over a batch; used by accuracy metrics.
+std::int64_t count_correct(const Tensor& logits, const Tensor& labels);
+
+}  // namespace d500

@@ -1,0 +1,69 @@
+// Level 0 operator interface (paper §IV-C).
+//
+// `CustomOperator` is the paper's central abstraction: a forward/backward
+// pair over tensors that can be implemented once and used by every
+// framework. Operators are stateless with respect to the minibatch (all
+// inter-call state, e.g. dropout masks, is owned by the operator instance
+// and reset per forward), and declare their output shapes so graph-level
+// shape inference needs no special cases.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace d500 {
+
+/// Pointer lists used by operator calls. Executors own the tensors; these
+/// views make the calling convention uniform across C++ and the C ABI.
+using ConstTensors = std::vector<const Tensor*>;
+using MutTensors = std::vector<Tensor*>;
+
+class CustomOperator {
+ public:
+  virtual ~CustomOperator() = default;
+
+  /// Operator type name, e.g. "Conv2D".
+  virtual std::string name() const = 0;
+
+  virtual std::size_t num_inputs() const = 0;
+  virtual std::size_t num_outputs() const = 0;
+
+  /// Shape inference: output shapes for the given input shapes. Throws
+  /// ShapeError when inputs are inconsistent with the operator's contract.
+  virtual std::vector<Shape> output_shapes(
+      const std::vector<Shape>& inputs) const = 0;
+
+  /// Inference. `outputs` are preallocated to the inferred shapes.
+  virtual void forward(const ConstTensors& inputs,
+                       const MutTensors& outputs) = 0;
+
+  /// Backpropagation: given dL/d(outputs) plus the forward inputs/outputs,
+  /// produce dL/d(inputs). `grad_inputs[i]` may be null when the i-th input
+  /// needs no gradient. Default: operator has no backward (inference only).
+  virtual void backward(const ConstTensors& grad_outputs,
+                        const ConstTensors& fwd_inputs,
+                        const ConstTensors& fwd_outputs,
+                        const MutTensors& grad_inputs);
+
+  /// True when backward() is implemented.
+  virtual bool differentiable() const { return true; }
+
+  /// Analytic FLOP count of one forward call on the given input shapes
+  /// (multiply-adds counted as 2). 0 when not meaningful.
+  virtual std::uint64_t forward_flops(const std::vector<Shape>& inputs) const {
+    return 0;
+  }
+};
+
+inline void CustomOperator::backward(const ConstTensors&, const ConstTensors&,
+                                     const ConstTensors&, const MutTensors&) {
+  throw Error("operator '" + name() + "' does not implement backward()");
+}
+
+using OperatorPtr = std::unique_ptr<CustomOperator>;
+
+}  // namespace d500

@@ -1,0 +1,63 @@
+// Spatial pooling operators. MedianPooling is the paper's running example
+// of a custom operator (Listings 3-4); it is a first-class op here and is
+// also re-implemented through the JIT path in examples/custom_operator.cpp.
+#pragma once
+
+#include "ops/operator.hpp"
+
+namespace d500 {
+
+enum class PoolKind { kMax, kAvg, kMedian };
+
+const char* pool_kind_name(PoolKind k);
+
+struct Pool2DParams {
+  std::int64_t kernel = 2;
+  std::int64_t stride = 2;
+  std::int64_t pad = 0;
+
+  std::int64_t out_dim(std::int64_t in) const {
+    return (in + 2 * pad - kernel) / stride + 1;
+  }
+};
+
+/// Pool2D: input {X [N,C,H,W]}, output {Y [N,C,Ho,Wo]}.
+class Pool2DOp : public CustomOperator {
+ public:
+  Pool2DOp(PoolKind kind, Pool2DParams params) : kind_(kind), params_(params) {}
+
+  std::string name() const override;
+  std::size_t num_inputs() const override { return 1; }
+  std::size_t num_outputs() const override { return 1; }
+  std::vector<Shape> output_shapes(
+      const std::vector<Shape>& inputs) const override;
+  void forward(const ConstTensors& inputs, const MutTensors& outputs) override;
+  void backward(const ConstTensors& grad_outputs, const ConstTensors& fwd_inputs,
+                const ConstTensors& fwd_outputs,
+                const MutTensors& grad_inputs) override;
+  std::uint64_t forward_flops(const std::vector<Shape>& inputs) const override;
+
+  PoolKind kind() const { return kind_; }
+  const Pool2DParams& params() const { return params_; }
+
+ private:
+  PoolKind kind_;
+  Pool2DParams params_;
+};
+
+/// Global average pooling: {X [N,C,H,W]} -> {Y [N,C]}. Used by the
+/// ResNet-style model heads.
+class GlobalAvgPoolOp : public CustomOperator {
+ public:
+  std::string name() const override { return "GlobalAvgPool"; }
+  std::size_t num_inputs() const override { return 1; }
+  std::size_t num_outputs() const override { return 1; }
+  std::vector<Shape> output_shapes(
+      const std::vector<Shape>& inputs) const override;
+  void forward(const ConstTensors& inputs, const MutTensors& outputs) override;
+  void backward(const ConstTensors& grad_outputs, const ConstTensors& fwd_inputs,
+                const ConstTensors& fwd_outputs,
+                const MutTensors& grad_inputs) override;
+};
+
+}  // namespace d500

@@ -1,0 +1,32 @@
+// Self-contained header for JIT-compiled custom operators.
+//
+// User operator sources compiled through ops/jit.hpp include only this
+// header (it has no link-time dependencies on the Deep500++ libraries):
+// it provides tensor_t descriptors, the RawCustomOperator base class the
+// user derives from (the paper's `deep500::CustomOperator`, Listing 3),
+// and the D500_EXPORTED annotation for the create function.
+#pragma once
+
+#include "core/types.hpp"
+
+#define D500_EXPORTED extern "C" __attribute__((visibility("default")))
+
+namespace d500 {
+
+/// Descriptor-level operator interface implemented by user C++ code.
+/// Data pointers inside the descriptors are owned by the caller.
+class RawCustomOperator {
+ public:
+  virtual ~RawCustomOperator() = default;
+
+  virtual void forward(const tensor_t* inputs, int num_inputs,
+                       tensor_t* outputs, int num_outputs) = 0;
+
+  /// grad_inputs entries may have null data pointers (no gradient needed).
+  virtual void backward(const tensor_t* grad_outputs, int num_grad_outputs,
+                        const tensor_t* fwd_inputs, int num_fwd_inputs,
+                        const tensor_t* fwd_outputs, int num_fwd_outputs,
+                        tensor_t* grad_inputs, int num_grad_inputs) = 0;
+};
+
+}  // namespace d500

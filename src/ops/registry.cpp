@@ -1,0 +1,196 @@
+#include "ops/registry.hpp"
+
+#include "ops/batchnorm.hpp"
+#include "ops/conv2d.hpp"
+#include "ops/dropout.hpp"
+#include "ops/elementwise.hpp"
+#include "ops/gemm.hpp"
+#include "ops/loss.hpp"
+#include "ops/pool.hpp"
+#include "ops/shape_ops.hpp"
+#include "ops/softmax.hpp"
+
+namespace d500 {
+
+std::int64_t Attrs::get_int(const std::string& key, std::int64_t def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  if (const auto* v = std::get_if<std::int64_t>(&it->second)) return *v;
+  throw Error("attribute '" + key + "' is not an int");
+}
+
+double Attrs::get_float(const std::string& key, double def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  if (const auto* v = std::get_if<double>(&it->second)) return *v;
+  if (const auto* v = std::get_if<std::int64_t>(&it->second))
+    return static_cast<double>(*v);
+  throw Error("attribute '" + key + "' is not a float");
+}
+
+std::string Attrs::get_string(const std::string& key,
+                              const std::string& def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  if (const auto* v = std::get_if<std::string>(&it->second)) return *v;
+  throw Error("attribute '" + key + "' is not a string");
+}
+
+std::vector<std::int64_t> Attrs::get_ints(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return {};
+  if (const auto* v = std::get_if<std::vector<std::int64_t>>(&it->second))
+    return *v;
+  throw Error("attribute '" + key + "' is not an int list");
+}
+
+OperatorRegistry& OperatorRegistry::instance() {
+  static OperatorRegistry* reg = [] {
+    auto* r = new OperatorRegistry();
+    register_builtin_operators(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+void OperatorRegistry::register_op(const std::string& op_type,
+                                   OperatorFactory factory) {
+  factories_[op_type] = std::move(factory);
+}
+
+bool OperatorRegistry::contains(const std::string& op_type) const {
+  return factories_.count(op_type) > 0;
+}
+
+OperatorPtr OperatorRegistry::create(const std::string& op_type,
+                                     const Attrs& attrs) const {
+  auto it = factories_.find(op_type);
+  if (it == factories_.end())
+    throw Error("no operator registered for op_type '" + op_type + "'");
+  return it->second(attrs);
+}
+
+std::vector<std::string> OperatorRegistry::registered_ops() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, _] : factories_) names.push_back(name);
+  return names;
+}
+
+namespace {
+
+Conv2DParams conv_params_from(const Attrs& a) {
+  Conv2DParams p;
+  p.kernel_h = a.get_int("kernel_h", a.get_int("kernel", 3));
+  p.kernel_w = a.get_int("kernel_w", a.get_int("kernel", 3));
+  p.stride = a.get_int("stride", 1);
+  p.pad = a.get_int("pad", 0);
+  p.dilation = a.get_int("dilation", 1);
+  return p;
+}
+
+ConvBackend conv_backend_from(const Attrs& a) {
+  const std::string b = a.get_string("backend", "im2col");
+  if (b == "direct") return ConvBackend::kDirect;
+  if (b == "im2col") return ConvBackend::kIm2col;
+  if (b == "winograd") return ConvBackend::kWinograd;
+  throw Error("unknown conv backend '" + b + "'");
+}
+
+GemmBackend gemm_backend_from(const Attrs& a) {
+  const std::string b = a.get_string("backend", "packed");
+  if (b == "naive") return GemmBackend::kNaive;
+  if (b == "blocked") return GemmBackend::kBlocked;
+  if (b == "packed") return GemmBackend::kPacked;
+  throw Error("unknown gemm backend '" + b + "'");
+}
+
+Pool2DParams pool_params_from(const Attrs& a) {
+  Pool2DParams p;
+  p.kernel = a.get_int("kernel", 2);
+  p.stride = a.get_int("stride", p.kernel);
+  p.pad = a.get_int("pad", 0);
+  return p;
+}
+
+}  // namespace
+
+void register_builtin_operators(OperatorRegistry& reg) {
+  reg.register_op("Conv2D", [](const Attrs& a) -> OperatorPtr {
+    return std::make_unique<Conv2DOp>(conv_params_from(a), conv_backend_from(a));
+  });
+  reg.register_op("MatMul", [](const Attrs& a) -> OperatorPtr {
+    return std::make_unique<MatMulOp>(gemm_backend_from(a));
+  });
+  reg.register_op("Linear", [](const Attrs& a) -> OperatorPtr {
+    return std::make_unique<LinearOp>(gemm_backend_from(a));
+  });
+  reg.register_op("MaxPool2D", [](const Attrs& a) -> OperatorPtr {
+    return std::make_unique<Pool2DOp>(PoolKind::kMax, pool_params_from(a));
+  });
+  reg.register_op("AvgPool2D", [](const Attrs& a) -> OperatorPtr {
+    return std::make_unique<Pool2DOp>(PoolKind::kAvg, pool_params_from(a));
+  });
+  reg.register_op("MedianPool2D", [](const Attrs& a) -> OperatorPtr {
+    return std::make_unique<Pool2DOp>(PoolKind::kMedian, pool_params_from(a));
+  });
+  reg.register_op("GlobalAvgPool", [](const Attrs&) -> OperatorPtr {
+    return std::make_unique<GlobalAvgPoolOp>();
+  });
+  reg.register_op("ReLU", [](const Attrs&) -> OperatorPtr {
+    return std::make_unique<ActivationOp>(Activation::kReLU);
+  });
+  reg.register_op("Sigmoid", [](const Attrs&) -> OperatorPtr {
+    return std::make_unique<ActivationOp>(Activation::kSigmoid);
+  });
+  reg.register_op("Tanh", [](const Attrs&) -> OperatorPtr {
+    return std::make_unique<ActivationOp>(Activation::kTanh);
+  });
+  reg.register_op("Add", [](const Attrs&) -> OperatorPtr {
+    return std::make_unique<BinaryOp>(BinaryKind::kAdd);
+  });
+  reg.register_op("Sub", [](const Attrs&) -> OperatorPtr {
+    return std::make_unique<BinaryOp>(BinaryKind::kSub);
+  });
+  reg.register_op("Mul", [](const Attrs&) -> OperatorPtr {
+    return std::make_unique<BinaryOp>(BinaryKind::kMul);
+  });
+  reg.register_op("BiasAdd", [](const Attrs&) -> OperatorPtr {
+    return std::make_unique<BiasAddOp>();
+  });
+  reg.register_op("FusedBiasRelu", [](const Attrs&) -> OperatorPtr {
+    return std::make_unique<FusedBiasReluOp>();
+  });
+  reg.register_op("Softmax", [](const Attrs&) -> OperatorPtr {
+    return std::make_unique<SoftmaxOp>();
+  });
+  reg.register_op("Dropout", [](const Attrs& a) -> OperatorPtr {
+    return std::make_unique<DropoutOp>(
+        static_cast<float>(a.get_float("ratio", 0.5)),
+        static_cast<std::uint64_t>(a.get_int("seed", 1)));
+  });
+  reg.register_op("BatchNorm", [](const Attrs& a) -> OperatorPtr {
+    return std::make_unique<BatchNormOp>(
+        a.get_int("channels", 0),
+        static_cast<float>(a.get_float("momentum", 0.9)),
+        static_cast<float>(a.get_float("eps", 1e-5)));
+  });
+  reg.register_op("Split", [](const Attrs& a) -> OperatorPtr {
+    return std::make_unique<SplitOp>(a.get_ints("sizes"));
+  });
+  reg.register_op("Concat", [](const Attrs& a) -> OperatorPtr {
+    return std::make_unique<ConcatOp>(
+        static_cast<std::size_t>(a.get_int("num_inputs", 2)));
+  });
+  reg.register_op("Flatten", [](const Attrs&) -> OperatorPtr {
+    return std::make_unique<FlattenOp>();
+  });
+  reg.register_op("SoftmaxCrossEntropy", [](const Attrs&) -> OperatorPtr {
+    return std::make_unique<SoftmaxCrossEntropyOp>();
+  });
+  reg.register_op("MSELoss", [](const Attrs&) -> OperatorPtr {
+    return std::make_unique<MSELossOp>();
+  });
+}
+
+}  // namespace d500

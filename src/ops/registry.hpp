@@ -1,0 +1,79 @@
+// Operator registry: maps ONNX-like op_type names plus attribute maps to
+// CustomOperator instances. This is the glue between the Level 1 model
+// format and Level 0 implementations, and the `D500_REGISTER_OP` macro from
+// the paper's Listing 3 for user-defined operators.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ops/operator.hpp"
+
+namespace d500 {
+
+/// Attribute value in a model node (subset of ONNX attribute kinds).
+using AttrValue =
+    std::variant<std::int64_t, double, std::string, std::vector<std::int64_t>>;
+
+class Attrs {
+ public:
+  Attrs() = default;
+  Attrs(std::initializer_list<std::pair<const std::string, AttrValue>> init)
+      : values_(init) {}
+
+  void set(const std::string& key, AttrValue v) { values_[key] = std::move(v); }
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  double get_float(const std::string& key, double def) const;
+  std::string get_string(const std::string& key, const std::string& def) const;
+  std::vector<std::int64_t> get_ints(const std::string& key) const;
+
+  const std::map<std::string, AttrValue>& values() const { return values_; }
+
+ private:
+  std::map<std::string, AttrValue> values_;
+};
+
+using OperatorFactory = std::function<OperatorPtr(const Attrs&)>;
+
+/// Process-wide registry. Registration is idempotent by name (later
+/// registrations replace earlier ones, enabling framework-specific
+/// overrides in tests).
+class OperatorRegistry {
+ public:
+  static OperatorRegistry& instance();
+
+  void register_op(const std::string& op_type, OperatorFactory factory);
+  bool contains(const std::string& op_type) const;
+  OperatorPtr create(const std::string& op_type, const Attrs& attrs) const;
+  std::vector<std::string> registered_ops() const;
+
+ private:
+  std::map<std::string, OperatorFactory> factories_;
+};
+
+/// Registers all built-in operators (idempotent). Called lazily by
+/// OperatorRegistry::instance(), exposed for tests.
+void register_builtin_operators(OperatorRegistry& reg);
+
+namespace detail {
+struct OpRegistrar {
+  OpRegistrar(const char* op_type, OperatorFactory factory) {
+    OperatorRegistry::instance().register_op(op_type, std::move(factory));
+  }
+};
+}  // namespace detail
+
+/// Registers a custom operator type with a default-constructing factory
+/// (paper Listing 3: D500_REGISTER_OP(MedianPooling<DTYPE>)).
+#define D500_REGISTER_OP(NAME, TYPE)                                      \
+  static ::d500::detail::OpRegistrar d500_registrar_##TYPE(               \
+      NAME, [](const ::d500::Attrs&) -> ::d500::OperatorPtr {             \
+        return std::make_unique<TYPE>();                                  \
+      })
+
+}  // namespace d500

@@ -1,0 +1,113 @@
+#include "ops/shape_ops.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace d500 {
+
+std::vector<Shape> SplitOp::output_shapes(
+    const std::vector<Shape>& inputs) const {
+  D500_CHECK_MSG(inputs.size() == 1, "Split expects 1 input");
+  const Shape& x = inputs[0];
+  if (x.empty()) throw ShapeError("Split: input must have rank >= 1");
+  const std::int64_t total =
+      std::accumulate(sizes_.begin(), sizes_.end(), std::int64_t{0});
+  if (total != x[0])
+    throw ShapeError("Split: part sizes sum to " + std::to_string(total) +
+                     " but axis 0 is " + std::to_string(x[0]));
+  std::vector<Shape> out;
+  out.reserve(sizes_.size());
+  for (std::int64_t s : sizes_) {
+    Shape part = x;
+    part[0] = s;
+    out.push_back(std::move(part));
+  }
+  return out;
+}
+
+void SplitOp::forward(const ConstTensors& inputs, const MutTensors& outputs) {
+  const Tensor& X = *inputs[0];
+  const std::int64_t inner =
+      X.dim(0) == 0 ? 0 : X.elements() / X.dim(0);
+  const float* src = X.data();
+  for (std::size_t k = 0; k < sizes_.size(); ++k) {
+    Tensor& Y = *outputs[k];
+    const std::int64_t n = sizes_[k] * inner;
+    std::copy(src, src + n, Y.data());
+    src += n;
+  }
+}
+
+void SplitOp::backward(const ConstTensors& grad_outputs, const ConstTensors&,
+                       const ConstTensors&, const MutTensors& grad_inputs) {
+  if (!grad_inputs[0]) return;
+  Tensor& dX = *grad_inputs[0];
+  float* dst = dX.data();
+  for (std::size_t k = 0; k < sizes_.size(); ++k) {
+    const Tensor& dY = *grad_outputs[k];
+    std::copy(dY.data(), dY.data() + dY.elements(), dst);
+    dst += dY.elements();
+  }
+}
+
+std::vector<Shape> ConcatOp::output_shapes(
+    const std::vector<Shape>& inputs) const {
+  D500_CHECK_MSG(inputs.size() == n_, "Concat arity mismatch");
+  Shape out = inputs[0];
+  if (out.empty()) throw ShapeError("Concat: inputs must have rank >= 1");
+  for (std::size_t i = 1; i < inputs.size(); ++i) {
+    const Shape& s = inputs[i];
+    if (s.size() != out.size())
+      throw ShapeError("Concat: rank mismatch");
+    for (std::size_t d = 1; d < s.size(); ++d)
+      if (s[d] != out[d])
+        throw ShapeError("Concat: non-axis-0 dims differ");
+    out[0] += s[0];
+  }
+  return {out};
+}
+
+void ConcatOp::forward(const ConstTensors& inputs, const MutTensors& outputs) {
+  Tensor& Y = *outputs[0];
+  float* dst = Y.data();
+  for (const Tensor* X : inputs) {
+    std::copy(X->data(), X->data() + X->elements(), dst);
+    dst += X->elements();
+  }
+}
+
+void ConcatOp::backward(const ConstTensors& grad_outputs,
+                        const ConstTensors& fwd_inputs, const ConstTensors&,
+                        const MutTensors& grad_inputs) {
+  const Tensor& dY = *grad_outputs[0];
+  const float* src = dY.data();
+  for (std::size_t k = 0; k < fwd_inputs.size(); ++k) {
+    const std::int64_t n = fwd_inputs[k]->elements();
+    if (grad_inputs[k]) std::copy(src, src + n, grad_inputs[k]->data());
+    src += n;
+  }
+}
+
+std::vector<Shape> FlattenOp::output_shapes(
+    const std::vector<Shape>& inputs) const {
+  D500_CHECK_MSG(inputs.size() == 1, "Flatten expects 1 input");
+  const Shape& x = inputs[0];
+  if (x.empty()) throw ShapeError("Flatten: input must have rank >= 1");
+  std::int64_t inner = 1;
+  for (std::size_t d = 1; d < x.size(); ++d) inner *= x[d];
+  return {{x[0], inner}};
+}
+
+void FlattenOp::forward(const ConstTensors& inputs, const MutTensors& outputs) {
+  const Tensor& X = *inputs[0];
+  std::copy(X.data(), X.data() + X.elements(), outputs[0]->data());
+}
+
+void FlattenOp::backward(const ConstTensors& grad_outputs, const ConstTensors&,
+                         const ConstTensors&, const MutTensors& grad_inputs) {
+  if (!grad_inputs[0]) return;
+  const Tensor& dY = *grad_outputs[0];
+  std::copy(dY.data(), dY.data() + dY.elements(), grad_inputs[0]->data());
+}
+
+}  // namespace d500

@@ -1,0 +1,70 @@
+// Shape-manipulation operators. SplitOp/ConcatOp implement the axis-0
+// split/concat pair the micro-batching transform inserts around
+// convolutions (paper Fig. 7); both optionally charge a configurable
+// per-byte copy cost so framework sims can model the extra memory copies
+// that slowed TensorFlow down in the paper's §V-C.
+#pragma once
+
+#include "ops/operator.hpp"
+
+namespace d500 {
+
+/// Split along axis 0 into parts of the given sizes: {X} -> {Y_0..Y_{k-1}}.
+class SplitOp : public CustomOperator {
+ public:
+  explicit SplitOp(std::vector<std::int64_t> sizes) : sizes_(std::move(sizes)) {
+    D500_CHECK_MSG(!sizes_.empty(), "Split needs at least one part");
+  }
+
+  std::string name() const override { return "Split"; }
+  std::size_t num_inputs() const override { return 1; }
+  std::size_t num_outputs() const override { return sizes_.size(); }
+  std::vector<Shape> output_shapes(
+      const std::vector<Shape>& inputs) const override;
+  void forward(const ConstTensors& inputs, const MutTensors& outputs) override;
+  void backward(const ConstTensors& grad_outputs, const ConstTensors& fwd_inputs,
+                const ConstTensors& fwd_outputs,
+                const MutTensors& grad_inputs) override;
+
+  const std::vector<std::int64_t>& sizes() const { return sizes_; }
+
+ private:
+  std::vector<std::int64_t> sizes_;
+};
+
+/// Concatenate along axis 0: {X_0..X_{k-1}} -> {Y}.
+class ConcatOp : public CustomOperator {
+ public:
+  explicit ConcatOp(std::size_t num_inputs) : n_(num_inputs) {
+    D500_CHECK(num_inputs >= 1);
+  }
+
+  std::string name() const override { return "Concat"; }
+  std::size_t num_inputs() const override { return n_; }
+  std::size_t num_outputs() const override { return 1; }
+  std::vector<Shape> output_shapes(
+      const std::vector<Shape>& inputs) const override;
+  void forward(const ConstTensors& inputs, const MutTensors& outputs) override;
+  void backward(const ConstTensors& grad_outputs, const ConstTensors& fwd_inputs,
+                const ConstTensors& fwd_outputs,
+                const MutTensors& grad_inputs) override;
+
+ private:
+  std::size_t n_;
+};
+
+/// Flatten [N, ...] -> [N, prod(...)]: connects conv stacks to FC heads.
+class FlattenOp : public CustomOperator {
+ public:
+  std::string name() const override { return "Flatten"; }
+  std::size_t num_inputs() const override { return 1; }
+  std::size_t num_outputs() const override { return 1; }
+  std::vector<Shape> output_shapes(
+      const std::vector<Shape>& inputs) const override;
+  void forward(const ConstTensors& inputs, const MutTensors& outputs) override;
+  void backward(const ConstTensors& grad_outputs, const ConstTensors& fwd_inputs,
+                const ConstTensors& fwd_outputs,
+                const MutTensors& grad_inputs) override;
+};
+
+}  // namespace d500

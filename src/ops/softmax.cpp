@@ -1,0 +1,62 @@
+#include "ops/softmax.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace d500 {
+
+void softmax_rows(const float* x, float* y, std::int64_t B, std::int64_t C) {
+  for (std::int64_t b = 0; b < B; ++b) {
+    const float* xr = x + b * C;
+    float* yr = y + b * C;
+    float mx = xr[0];
+    for (std::int64_t c = 1; c < C; ++c) mx = std::max(mx, xr[c]);
+    float sum = 0.0f;
+    for (std::int64_t c = 0; c < C; ++c) {
+      yr[c] = std::exp(xr[c] - mx);
+      sum += yr[c];
+    }
+    const float inv = 1.0f / sum;
+    for (std::int64_t c = 0; c < C; ++c) yr[c] *= inv;
+  }
+}
+
+std::vector<Shape> SoftmaxOp::output_shapes(
+    const std::vector<Shape>& inputs) const {
+  D500_CHECK_MSG(inputs.size() == 1, "Softmax expects 1 input");
+  if (inputs[0].size() != 2)
+    throw ShapeError("Softmax: input must be rank 2 [B, C]");
+  return {inputs[0]};
+}
+
+void SoftmaxOp::forward(const ConstTensors& inputs, const MutTensors& outputs) {
+  const Tensor& X = *inputs[0];
+  softmax_rows(X.data(), outputs[0]->data(), X.dim(0), X.dim(1));
+}
+
+void SoftmaxOp::backward(const ConstTensors& grad_outputs, const ConstTensors&,
+                         const ConstTensors& fwd_outputs,
+                         const MutTensors& grad_inputs) {
+  if (!grad_inputs[0]) return;
+  const Tensor& dY = *grad_outputs[0];
+  const Tensor& Y = *fwd_outputs[0];
+  const std::int64_t B = Y.dim(0), C = Y.dim(1);
+  const float* dy = dY.data();
+  const float* y = Y.data();
+  float* dx = grad_inputs[0]->data();
+  // dx = y * (dy - sum(dy*y))
+  for (std::int64_t b = 0; b < B; ++b) {
+    const float* dyr = dy + b * C;
+    const float* yr = y + b * C;
+    float* dxr = dx + b * C;
+    float s = 0.0f;
+    for (std::int64_t c = 0; c < C; ++c) s += dyr[c] * yr[c];
+    for (std::int64_t c = 0; c < C; ++c) dxr[c] = yr[c] * (dyr[c] - s);
+  }
+}
+
+std::uint64_t SoftmaxOp::forward_flops(const std::vector<Shape>& inputs) const {
+  return 4ULL * static_cast<std::uint64_t>(shape_elements(inputs[0]));
+}
+
+}  // namespace d500

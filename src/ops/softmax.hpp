@@ -1,0 +1,25 @@
+// Softmax over the last axis of a rank-2 tensor [B, C].
+#pragma once
+
+#include "ops/operator.hpp"
+
+namespace d500 {
+
+class SoftmaxOp : public CustomOperator {
+ public:
+  std::string name() const override { return "Softmax"; }
+  std::size_t num_inputs() const override { return 1; }
+  std::size_t num_outputs() const override { return 1; }
+  std::vector<Shape> output_shapes(
+      const std::vector<Shape>& inputs) const override;
+  void forward(const ConstTensors& inputs, const MutTensors& outputs) override;
+  void backward(const ConstTensors& grad_outputs, const ConstTensors& fwd_inputs,
+                const ConstTensors& fwd_outputs,
+                const MutTensors& grad_inputs) override;
+  std::uint64_t forward_flops(const std::vector<Shape>& inputs) const override;
+};
+
+/// Numerically-stable row softmax into `y`; rows of length C, B rows.
+void softmax_rows(const float* x, float* y, std::int64_t B, std::int64_t C);
+
+}  // namespace d500

@@ -1,0 +1,170 @@
+#include "ops/validation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "core/timer.hpp"
+
+namespace d500 {
+
+namespace {
+
+std::vector<Tensor> allocate_outputs(CustomOperator& op,
+                                     const ConstTensors& inputs) {
+  std::vector<Shape> in_shapes;
+  in_shapes.reserve(inputs.size());
+  for (const Tensor* t : inputs) in_shapes.push_back(t->shape());
+  std::vector<Tensor> outputs;
+  for (const Shape& s : op.output_shapes(in_shapes)) outputs.emplace_back(s);
+  return outputs;
+}
+
+MutTensors mut_ptrs(std::vector<Tensor>& ts) {
+  MutTensors out;
+  out.reserve(ts.size());
+  for (auto& t : ts) out.push_back(&t);
+  return out;
+}
+
+ConstTensors const_ptrs(const std::vector<Tensor>& ts) {
+  ConstTensors out;
+  out.reserve(ts.size());
+  for (const auto& t : ts) out.push_back(&t);
+  return out;
+}
+
+}  // namespace
+
+ForwardTestResult run_forward(CustomOperator& op, const ConstTensors& inputs,
+                              int reruns) {
+  ForwardTestResult result;
+  result.outputs = allocate_outputs(op, inputs);
+  auto out_ptrs = mut_ptrs(result.outputs);
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reruns));
+  for (int r = 0; r < reruns; ++r) {
+    Timer t;
+    op.forward(inputs, out_ptrs);
+    times.push_back(t.seconds());
+  }
+  result.time = summarize(times);
+  result.passed = true;
+  return result;
+}
+
+ForwardTestResult test_forward(CustomOperator& op, const ConstTensors& inputs,
+                               const std::vector<Tensor>& expected, double tol,
+                               int reruns) {
+  ForwardTestResult result = run_forward(op, inputs, reruns);
+  D500_CHECK_MSG(expected.size() == result.outputs.size(),
+                 "test_forward: expected output arity mismatch");
+  double max_err = 0.0, l2 = 0.0;
+  for (std::size_t k = 0; k < expected.size(); ++k) {
+    const Tensor& got = result.outputs[k];
+    const Tensor& want = expected[k];
+    D500_CHECK_MSG(got.elements() == want.elements(),
+                   "test_forward: output " << k << " size mismatch");
+    for (std::int64_t i = 0; i < got.elements(); ++i) {
+      const double d = std::abs(static_cast<double>(got.at(i)) - want.at(i));
+      max_err = std::max(max_err, d);
+      l2 += d * d;
+    }
+  }
+  result.max_error = max_err;
+  result.l2_error = std::sqrt(l2);
+  result.passed = max_err <= tol;
+  return result;
+}
+
+GradientTestResult test_gradient(CustomOperator& op,
+                                 const std::vector<Tensor>& inputs,
+                                 std::uint64_t seed, double eps, double tol,
+                                 std::int64_t max_probe_elements) {
+  GradientTestResult result;
+  Rng rng(seed);
+
+  // Forward pass on pristine inputs.
+  auto in_ptrs = const_ptrs(inputs);
+  std::vector<Tensor> outputs = allocate_outputs(op, in_ptrs);
+  auto out_ptrs = mut_ptrs(outputs);
+  op.forward(in_ptrs, out_ptrs);
+
+  // Random linear functional L = sum_k sum_i w_k[i] * out_k[i].
+  std::vector<Tensor> weights;
+  weights.reserve(outputs.size());
+  for (const Tensor& o : outputs) {
+    Tensor w(o.shape());
+    w.fill_uniform(rng, -1.0f, 1.0f);
+    weights.push_back(std::move(w));
+  }
+
+  // Analytic gradients via backward, timing it as the paper's
+  // test_gradient also measures backward performance.
+  std::vector<Tensor> grads;
+  grads.reserve(inputs.size());
+  for (const Tensor& t : inputs) grads.emplace_back(t.shape());
+  auto grad_ptrs = mut_ptrs(grads);
+  ConstTensors weight_ptrs = const_ptrs(weights);
+  ConstTensors output_ptrs;
+  for (const auto& o : outputs) output_ptrs.push_back(&o);
+
+  std::vector<double> btimes;
+  for (int r = 0; r < 3; ++r) {
+    Timer t;
+    op.backward(weight_ptrs, in_ptrs, output_ptrs, grad_ptrs);
+    btimes.push_back(t.seconds());
+  }
+  result.backward_time = summarize(btimes);
+
+  // Numerical probe: central differences on a subset of coordinates.
+  auto eval_L = [&](const std::vector<Tensor>& probe_inputs) {
+    auto pin = const_ptrs(probe_inputs);
+    std::vector<Tensor> pout = allocate_outputs(op, pin);
+    auto pout_ptrs = mut_ptrs(pout);
+    op.forward(pin, pout_ptrs);
+    double L = 0.0;
+    for (std::size_t k = 0; k < pout.size(); ++k)
+      for (std::int64_t i = 0; i < pout[k].elements(); ++i)
+        L += static_cast<double>(weights[k].at(i)) * pout[k].at(i);
+    return L;
+  };
+
+  std::vector<Tensor> probe;
+  probe.reserve(inputs.size());
+  for (const Tensor& t : inputs) probe.push_back(t.clone());
+
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    const std::int64_t n = inputs[k].elements();
+    std::vector<std::int64_t> coords;
+    if (n <= max_probe_elements) {
+      coords.resize(static_cast<std::size_t>(n));
+      for (std::int64_t i = 0; i < n; ++i) coords[static_cast<std::size_t>(i)] = i;
+    } else {
+      for (std::int64_t i = 0; i < max_probe_elements; ++i)
+        coords.push_back(static_cast<std::int64_t>(
+            rng.below(static_cast<std::uint64_t>(n))));
+    }
+    for (std::int64_t idx : coords) {
+      const float orig = probe[k].at(idx);
+      probe[k].at(idx) = orig + static_cast<float>(eps);
+      const double Lp = eval_L(probe);
+      probe[k].at(idx) = orig - static_cast<float>(eps);
+      const double Lm = eval_L(probe);
+      probe[k].at(idx) = orig;
+      const double numeric = (Lp - Lm) / (2.0 * eps);
+      const double analytic = grads[k].at(idx);
+      const double abs_err = std::abs(numeric - analytic);
+      const double denom = std::max(std::abs(numeric), std::abs(analytic));
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      if (denom > 0.1)  // relative error only meaningful away from zero
+        result.max_rel_error = std::max(result.max_rel_error, abs_err / denom);
+      ++result.checked_elements;
+    }
+  }
+  result.passed =
+      result.max_rel_error <= tol && result.max_abs_error <= tol * 10.0 + 0.5;
+  return result;
+}
+
+}  // namespace d500

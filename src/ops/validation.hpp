@@ -1,0 +1,51 @@
+// Level 0 validation (paper §IV-C): test_forward checks operator
+// correctness and performance against expected outputs; test_gradient
+// checks the backward implementation against numerical differentiation
+// (central finite differences of a random linear functional of the
+// outputs — equivalent to probing the Jacobian along a random direction).
+#pragma once
+
+#include <functional>
+
+#include "core/stats.hpp"
+#include "ops/operator.hpp"
+
+namespace d500 {
+
+struct ForwardTestResult {
+  bool passed = false;
+  double max_error = 0.0;     // L-inf vs expected
+  double l2_error = 0.0;
+  SampleSummary time;         // per-run wall time, seconds
+  std::vector<Tensor> outputs;
+};
+
+/// Runs `op` on `inputs` `reruns` times, measures time, and compares the
+/// outputs elementwise against `expected` with tolerance `tol` (L-inf).
+ForwardTestResult test_forward(CustomOperator& op, const ConstTensors& inputs,
+                               const std::vector<Tensor>& expected,
+                               double tol = 1e-4, int reruns = 30);
+
+/// Variant without an expectation: just run and time.
+ForwardTestResult run_forward(CustomOperator& op, const ConstTensors& inputs,
+                              int reruns = 30);
+
+struct GradientTestResult {
+  bool passed = false;
+  double max_abs_error = 0.0;  // worst |analytic - numeric|
+  double max_rel_error = 0.0;  // worst relative error among large entries
+  std::size_t checked_elements = 0;
+  SampleSummary backward_time;  // seconds per backward call
+};
+
+/// Numerical gradient check. Perturbs each element of each (non-null-
+/// gradient) input by +-eps, evaluates L = sum(w .* outputs) for a fixed
+/// random weighting w, and compares against the analytic backward. For
+/// large inputs, set `max_probe_elements` to subsample coordinates.
+GradientTestResult test_gradient(CustomOperator& op,
+                                 const std::vector<Tensor>& inputs,
+                                 std::uint64_t seed = 7,
+                                 double eps = 1e-3, double tol = 5e-2,
+                                 std::int64_t max_probe_elements = 200);
+
+}  // namespace d500

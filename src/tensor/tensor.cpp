@@ -1,0 +1,226 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+namespace d500 {
+
+namespace {
+float* alloc_zeroed(std::int64_t n) {
+  if (n == 0) return nullptr;
+  // value-initialized => zero-filled
+  return new float[static_cast<std::size_t>(n)]();
+}
+}  // namespace
+
+Tensor::Tensor(Shape shape, Layout layout)
+    : shape_(std::move(shape)),
+      layout_(layout),
+      elements_(shape_elements(shape_)),
+      data_(alloc_zeroed(elements_), array_deleter) {}
+
+Tensor::Tensor(Shape shape, std::span<const float> values, Layout layout)
+    : Tensor(std::move(shape), layout) {
+  D500_CHECK_MSG(static_cast<std::int64_t>(values.size()) == elements_,
+                 "Tensor init size mismatch: " << values.size() << " vs "
+                 << elements_);
+  std::memcpy(data_.get(), values.data(), values.size() * sizeof(float));
+}
+
+Tensor::Tensor(const Tensor& other)
+    : shape_(other.shape_),
+      layout_(other.layout_),
+      elements_(other.elements_),
+      data_(alloc_zeroed(other.elements_), array_deleter) {
+  // Copies always own their storage, even when copying a borrowed view.
+  if (elements_ > 0)
+    std::memcpy(data_.get(), other.data_.get(),
+                static_cast<std::size_t>(elements_) * sizeof(float));
+}
+
+Tensor Tensor::borrow(const tensor_t& desc) {
+  D500_CHECK_MSG(desc.dtype == static_cast<std::int32_t>(DType::kFloat32),
+                 "Tensor::borrow: only float32 descriptors supported");
+  return borrow(static_cast<float*>(desc.data), desc_shape(desc),
+                static_cast<Layout>(desc.layout));
+}
+
+Tensor Tensor::borrow(float* data, Shape shape, Layout layout) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.layout_ = layout;
+  t.elements_ = shape_elements(t.shape_);
+  t.owned_ = false;
+  D500_CHECK_MSG(data != nullptr || t.elements_ == 0,
+                 "Tensor::borrow: null data with nonzero elements");
+  t.data_ = Buffer(data, noop_deleter);
+  return t;
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  Tensor tmp(other);
+  *this = std::move(tmp);
+  return *this;
+}
+
+std::int64_t Tensor::dim(std::size_t i) const {
+  D500_CHECK_MSG(i < shape_.size(), "Tensor::dim index out of range");
+  return shape_[i];
+}
+
+void Tensor::fill(float v) {
+  std::fill_n(data_.get(), elements_, v);
+}
+
+void Tensor::fill_uniform(Rng& rng, float lo, float hi) {
+  for (std::int64_t i = 0; i < elements_; ++i) data_[i] = rng.uniform(lo, hi);
+}
+
+void Tensor::fill_normal(Rng& rng, float mean, float stddev) {
+  for (std::int64_t i = 0; i < elements_; ++i)
+    data_[i] = rng.normal(mean, stddev);
+}
+
+void Tensor::fill_kaiming(Rng& rng, std::int64_t fan_in) {
+  D500_CHECK(fan_in > 0);
+  const float stddev =
+      std::sqrt(2.0f / static_cast<float>(fan_in));
+  fill_normal(rng, 0.0f, stddev);
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  D500_CHECK_MSG(shape_elements(new_shape) == elements_,
+                 "reshaped: element count mismatch");
+  Tensor out(std::move(new_shape), layout_);
+  if (elements_ > 0)
+    std::memcpy(out.data(), data_.get(),
+                static_cast<std::size_t>(elements_) * sizeof(float));
+  return out;
+}
+
+tensor_t Tensor::desc() {
+  tensor_t t = tensordesc(DType::kFloat32, shape_, layout_);
+  t.data = data_.get();
+  return t;
+}
+
+tensor_t Tensor::desc() const {
+  tensor_t t = tensordesc(DType::kFloat32, shape_, layout_);
+  t.data = const_cast<float*>(data_.get());
+  return t;
+}
+
+std::int64_t Tensor::index4(std::int64_t n, std::int64_t c, std::int64_t h,
+                            std::int64_t w) const {
+  D500_CHECK_MSG(shape_.size() == 4, "at4 requires rank-4 tensor");
+  const std::int64_t N = shape_[0], C = shape_[1], H = shape_[2], W = shape_[3];
+  D500_CHECK_MSG(n >= 0 && n < N && c >= 0 && c < C && h >= 0 && h < H &&
+                 w >= 0 && w < W, "at4 index out of range");
+  if (layout_ == Layout::kNCHW) return ((n * C + c) * H + h) * W + w;
+  return ((n * H + h) * W + w) * C + c;  // NHWC
+}
+
+Tensor Tensor::to_layout(Layout target) const {
+  if (target == layout_) return *this;
+  D500_CHECK_MSG(shape_.size() == 4, "to_layout requires rank-4 tensor");
+  Tensor out(shape_, target);
+  const std::int64_t N = shape_[0], C = shape_[1], H = shape_[2], W = shape_[3];
+  for (std::int64_t n = 0; n < N; ++n)
+    for (std::int64_t c = 0; c < C; ++c)
+      for (std::int64_t h = 0; h < H; ++h)
+        for (std::int64_t w = 0; w < W; ++w)
+          out.at4(n, c, h, w) = at4(n, c, h, w);
+  return out;
+}
+
+std::string Tensor::to_string(std::int64_t max_elems) const {
+  std::ostringstream os;
+  os << "Tensor" << shape_to_string(shape_) << " {";
+  const std::int64_t n = std::min<std::int64_t>(elements_, max_elems);
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (i) os << ", ";
+    os << data_[i];
+  }
+  if (elements_ > n) os << ", ...";
+  os << "}";
+  return os.str();
+}
+
+namespace {
+void check_same_size(const Tensor& a, const Tensor& b, const char* op) {
+  D500_CHECK_MSG(a.elements() == b.elements(),
+                 op << ": element count mismatch " << a.elements() << " vs "
+                    << b.elements());
+}
+}  // namespace
+
+void axpy(float alpha, const Tensor& x, Tensor& y) {
+  check_same_size(x, y, "axpy");
+  const float* xp = x.data();
+  float* yp = y.data();
+  const std::int64_t n = x.elements();
+  for (std::int64_t i = 0; i < n; ++i) yp[i] += alpha * xp[i];
+}
+
+void scale(Tensor& x, float alpha) {
+  float* p = x.data();
+  const std::int64_t n = x.elements();
+  for (std::int64_t i = 0; i < n; ++i) p[i] *= alpha;
+}
+
+void add(const Tensor& a, const Tensor& b, Tensor& out) {
+  check_same_size(a, b, "add");
+  check_same_size(a, out, "add");
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* op = out.data();
+  const std::int64_t n = a.elements();
+  for (std::int64_t i = 0; i < n; ++i) op[i] = ap[i] + bp[i];
+}
+
+void sub(const Tensor& a, const Tensor& b, Tensor& out) {
+  check_same_size(a, b, "sub");
+  check_same_size(a, out, "sub");
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* op = out.data();
+  const std::int64_t n = a.elements();
+  for (std::int64_t i = 0; i < n; ++i) op[i] = ap[i] - bp[i];
+}
+
+void mul(const Tensor& a, const Tensor& b, Tensor& out) {
+  check_same_size(a, b, "mul");
+  check_same_size(a, out, "mul");
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* op = out.data();
+  const std::int64_t n = a.elements();
+  for (std::int64_t i = 0; i < n; ++i) op[i] = ap[i] * bp[i];
+}
+
+double dot(const Tensor& a, const Tensor& b) {
+  check_same_size(a, b, "dot");
+  const float* ap = a.data();
+  const float* bp = b.data();
+  double acc = 0.0;
+  const std::int64_t n = a.elements();
+  for (std::int64_t i = 0; i < n; ++i)
+    acc += static_cast<double>(ap[i]) * bp[i];
+  return acc;
+}
+
+double l2_norm(const Tensor& a) { return std::sqrt(dot(a, a)); }
+
+double linf_norm(const Tensor& a) {
+  const float* p = a.data();
+  double m = 0.0;
+  const std::int64_t n = a.elements();
+  for (std::int64_t i = 0; i < n; ++i)
+    m = std::max(m, std::abs(static_cast<double>(p[i])));
+  return m;
+}
+
+}  // namespace d500

@@ -1,0 +1,119 @@
+// Dense float32 tensor used by all Deep500++ kernels and executors.
+//
+// Deep500 itself is a meta-framework; its tensors are thin owned buffers
+// with shape metadata that can be handed across the C ABI via tensor_t
+// descriptors (core/types.hpp). Row-major (C order), 64-byte aligned for
+// vectorized kernels.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "core/rng.hpp"
+#include "core/types.hpp"
+
+namespace d500 {
+
+class Tensor {
+ public:
+  /// Empty tensor (rank 0, no storage).
+  Tensor() : data_(nullptr, noop_deleter) {}
+
+  /// Allocates a zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape, Layout layout = Layout::kNCHW);
+
+  /// Allocates and fills from a flat initializer.
+  Tensor(Shape shape, std::span<const float> values,
+         Layout layout = Layout::kNCHW);
+
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&&) noexcept = default;
+  Tensor& operator=(Tensor&&) noexcept = default;
+
+  const Shape& shape() const { return shape_; }
+  Layout layout() const { return layout_; }
+  std::int64_t elements() const { return elements_; }
+  std::size_t bytes() const { return static_cast<std::size_t>(elements_) * 4; }
+  bool empty() const { return elements_ == 0; }
+  std::int64_t dim(std::size_t i) const;
+  std::size_t rank() const { return shape_.size(); }
+
+  float* data() { return data_.get(); }
+  const float* data() const { return data_.get(); }
+  std::span<float> span() { return {data_.get(), static_cast<std::size_t>(elements_)}; }
+  std::span<const float> span() const {
+    return {data_.get(), static_cast<std::size_t>(elements_)};
+  }
+
+  float& at(std::int64_t i) { return data_[i]; }
+  float at(std::int64_t i) const { return data_[i]; }
+
+  /// 4-D indexed access in the tensor's logical NCHW coordinates regardless
+  /// of physical layout. Only valid for rank-4 tensors.
+  float& at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) {
+    return data_[index4(n, c, h, w)];
+  }
+  float at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const {
+    return data_[index4(n, c, h, w)];
+  }
+
+  void fill(float v);
+  void fill_uniform(Rng& rng, float lo, float hi);
+  void fill_normal(Rng& rng, float mean, float stddev);
+  /// Kaiming-style init for layer weights: N(0, sqrt(2/fan_in)).
+  void fill_kaiming(Rng& rng, std::int64_t fan_in);
+
+  /// Deep copy with identical shape/layout.
+  Tensor clone() const { return *this; }
+
+  /// Reshape view-copy: same data, new shape (element counts must match).
+  Tensor reshaped(Shape new_shape) const;
+
+  /// Returns a C-ABI descriptor pointing at this tensor's storage. The
+  /// descriptor does not own the data; it is valid while the tensor lives.
+  tensor_t desc();
+  tensor_t desc() const;  // data pointer is const-cast; callee must not write
+
+  /// Converts between NCHW and NHWC physical layouts (rank-4 only).
+  Tensor to_layout(Layout target) const;
+
+  std::string to_string(std::int64_t max_elems = 16) const;
+
+  /// Non-owning alias over external float32 storage; the caller guarantees
+  /// the buffer outlives the returned Tensor. Enables zero-copy crossing of
+  /// the C ABI (ops/cabi.hpp).
+  static Tensor borrow(const tensor_t& desc);
+  static Tensor borrow(float* data, Shape shape, Layout layout = Layout::kNCHW);
+
+  bool owns_data() const { return owned_; }
+
+ private:
+  using Buffer = std::unique_ptr<float[], void (*)(float*)>;
+  static void noop_deleter(float*) {}
+  static void array_deleter(float* p) { delete[] p; }
+
+  std::int64_t index4(std::int64_t n, std::int64_t c, std::int64_t h,
+                      std::int64_t w) const;
+
+  Shape shape_;
+  Layout layout_ = Layout::kNCHW;
+  std::int64_t elements_ = 0;
+  bool owned_ = true;
+  Buffer data_{nullptr, noop_deleter};
+};
+
+/// Elementwise helpers shared by optimizers and reference kernels. All
+/// require matching element counts.
+void axpy(float alpha, const Tensor& x, Tensor& y);       // y += alpha*x
+void scale(Tensor& x, float alpha);                        // x *= alpha
+void add(const Tensor& a, const Tensor& b, Tensor& out);   // out = a+b
+void sub(const Tensor& a, const Tensor& b, Tensor& out);   // out = a-b
+void mul(const Tensor& a, const Tensor& b, Tensor& out);   // out = a*b (Hadamard)
+double dot(const Tensor& a, const Tensor& b);
+double l2_norm(const Tensor& a);
+double linf_norm(const Tensor& a);
+
+}  // namespace d500

@@ -1,0 +1,156 @@
+#include "train/lbfgs.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace d500 {
+
+LbfgsOptimizer::LbfgsOptimizer(GraphExecutor& exec, double lr, int history,
+                               int max_line_search_steps, double armijo_c)
+    : Optimizer(exec), lr_(lr), m_(history), max_ls_(max_line_search_steps),
+      armijo_c_(armijo_c) {
+  D500_CHECK(history >= 1 && max_line_search_steps >= 1);
+}
+
+std::vector<float> LbfgsOptimizer::flat_params() const {
+  std::vector<float> out;
+  const Network& net = executor_->network();
+  for (const auto& pname : net.parameters()) {
+    const Tensor& p = net.fetch_tensor(pname);
+    out.insert(out.end(), p.data(), p.data() + p.elements());
+  }
+  return out;
+}
+
+void LbfgsOptimizer::set_flat_params(std::span<const float> w) {
+  std::size_t off = 0;
+  for (const auto& pname : network().parameters()) {
+    Tensor& p = network().fetch_tensor(pname);
+    const auto n = static_cast<std::size_t>(p.elements());
+    std::memcpy(p.data(), w.data() + off, n * sizeof(float));
+    off += n;
+  }
+  D500_CHECK(off == w.size());
+}
+
+std::vector<float> LbfgsOptimizer::flat_grads() const {
+  std::vector<float> out;
+  const Network& net = executor_->network();
+  for (const auto& [pname, gname] : net.gradients()) {
+    const Tensor& g = net.fetch_tensor(gname);
+    out.insert(out.end(), g.data(), g.data() + g.elements());
+  }
+  return out;
+}
+
+double LbfgsOptimizer::eval_loss(const TensorMap& feeds) {
+  ++ls_evals_;
+  const TensorMap out = executor().inference(feeds);
+  auto it = out.find(loss_value_.empty() ? "loss" : loss_value_);
+  D500_CHECK_MSG(it != out.end(), "L-BFGS needs a 'loss' output");
+  return it->second.at(0);
+}
+
+TensorMap LbfgsOptimizer::train(const TensorMap& feeds) {
+  // Gradient at the current point.
+  TensorMap out = executor().inference_and_backprop(feeds, loss_value_);
+  const double f0 = out.at(loss_value_.empty() ? "loss" : loss_value_).at(0);
+  std::vector<float> w = flat_params();
+  std::vector<float> g = flat_grads();
+  const std::size_t n = w.size();
+
+  // Update curvature history with the previous step.
+  if (have_prev_) {
+    Pair pair;
+    pair.s.resize(n);
+    pair.y.resize(n);
+    double sy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      pair.s[i] = w[i] - prev_w_[i];
+      pair.y[i] = g[i] - prev_g_[i];
+      sy += static_cast<double>(pair.s[i]) * pair.y[i];
+    }
+    if (sy > 1e-10) {  // skip non-positive curvature (stochastic damping)
+      pair.rho = 1.0 / sy;
+      history_.push_back(std::move(pair));
+      if (static_cast<int>(history_.size()) > m_) history_.pop_front();
+    }
+  }
+
+  // Two-loop recursion: d = -H*g.
+  std::vector<float> q = g;
+  std::vector<double> alpha(history_.size());
+  for (std::size_t k = history_.size(); k-- > 0;) {
+    const Pair& p = history_[k];
+    double a = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      a += static_cast<double>(p.s[i]) * q[i];
+    a *= p.rho;
+    alpha[k] = a;
+    for (std::size_t i = 0; i < n; ++i)
+      q[i] -= static_cast<float>(a) * p.y[i];
+  }
+  // Initial Hessian scaling gamma = s'y / y'y of the newest pair.
+  double gamma = 1.0;
+  if (!history_.empty()) {
+    const Pair& p = history_.back();
+    double yy = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      yy += static_cast<double>(p.y[i]) * p.y[i];
+    if (yy > 1e-12) gamma = 1.0 / (p.rho * yy);
+  }
+  for (auto& x : q) x = static_cast<float>(gamma) * x;
+  for (std::size_t k = 0; k < history_.size(); ++k) {
+    const Pair& p = history_[k];
+    double b = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      b += static_cast<double>(p.y[i]) * q[i];
+    b *= p.rho;
+    for (std::size_t i = 0; i < n; ++i)
+      q[i] += static_cast<float>(alpha[k] - b) * p.s[i];
+  }
+  // q now approximates H*g; the step direction is -q.
+  double gTd = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    gTd -= static_cast<double>(g[i]) * q[i];
+  if (gTd >= 0.0) {
+    // Not a descent direction (stale stochastic curvature): fall back to
+    // steepest descent for this step.
+    q = g;
+    gTd = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      gTd -= static_cast<double>(g[i]) * g[i];
+    history_.clear();
+  }
+
+  // Backtracking Armijo line search — the extra forward evaluations that
+  // make this loop different from Algorithm 1.
+  double step = lr_;
+  std::vector<float> trial(n);
+  bool accepted = false;
+  for (int ls = 0; ls < max_ls_; ++ls) {
+    for (std::size_t i = 0; i < n; ++i)
+      trial[i] = w[i] - static_cast<float>(step) * q[i];
+    set_flat_params(trial);
+    const double f = eval_loss(feeds);
+    if (f <= f0 + armijo_c_ * step * gTd) {
+      accepted = true;
+      break;
+    }
+    step *= 0.5;
+  }
+  if (!accepted) {
+    // Keep the smallest trial step anyway (standard stochastic practice:
+    // the minibatch loss is noisy, refusing to move stalls training).
+    for (std::size_t i = 0; i < n; ++i)
+      trial[i] = w[i] - static_cast<float>(step) * q[i];
+    set_flat_params(trial);
+  }
+
+  prev_w_ = std::move(w);
+  prev_g_ = std::move(g);
+  have_prev_ = true;
+  return out;
+}
+
+}  // namespace d500

@@ -1,0 +1,54 @@
+// Stochastic L-BFGS optimizer — the paper's Use Case 3: a second-order
+// method whose training loop is "vastly different than Algorithm 1"
+// (multiple function evaluations per step, curvature-pair history, line
+// search), which rigid framework Learner interfaces cannot express but the
+// Deep500 Optimizer abstraction runs as arbitrary code.
+//
+// Implementation: classic two-loop recursion over the m most recent
+// (s, y) curvature pairs on the flattened parameter vector, with a
+// backtracking Armijo line search that re-evaluates the minibatch loss
+// through the executor (the "custom training loop" the use case is
+// about). Curvature pairs with non-positive s'y are skipped (standard
+// damping for the stochastic setting).
+#pragma once
+
+#include <deque>
+
+#include "train/optimizer.hpp"
+
+namespace d500 {
+
+class LbfgsOptimizer : public Optimizer {
+ public:
+  LbfgsOptimizer(GraphExecutor& exec, double lr = 1.0, int history = 5,
+                 int max_line_search_steps = 4, double armijo_c = 1e-4);
+
+  std::string name() const override { return "Stochastic L-BFGS"; }
+  TensorMap train(const TensorMap& feeds) override;
+
+  /// Forward evaluations spent on line searches so far (shows the
+  /// different loop structure; plain SGD would report 0).
+  std::int64_t line_search_evals() const { return ls_evals_; }
+  std::size_t history_size() const { return history_.size(); }
+
+ private:
+  std::vector<float> flat_params() const;
+  void set_flat_params(std::span<const float> w);
+  std::vector<float> flat_grads() const;
+  double eval_loss(const TensorMap& feeds);
+
+  double lr_;
+  int m_;
+  int max_ls_;
+  double armijo_c_;
+  struct Pair {
+    std::vector<float> s, y;
+    double rho;
+  };
+  std::deque<Pair> history_;
+  std::vector<float> prev_w_, prev_g_;
+  bool have_prev_ = false;
+  std::int64_t ls_evals_ = 0;
+};
+
+}  // namespace d500

@@ -1,0 +1,187 @@
+#include "train/optimizers.hpp"
+
+#include <cmath>
+
+namespace d500 {
+
+TensorMap ThreeStepOptimizer::train(const TensorMap& feeds) {
+  ++step_;
+  new_input();
+  for (const auto& pname : network().parameters()) prepare_param(pname);
+  TensorMap out = executor().inference_and_backprop(feeds, loss_value_);
+  for (const auto& [pname, gname] : network().gradients()) {
+    const Tensor& grad = network().fetch_tensor(gname);
+    const Tensor& param = network().fetch_tensor(pname);
+    Tensor updated = update_rule(grad, param, pname);
+    network().feed_tensor(pname, std::move(updated));
+  }
+  return out;
+}
+
+double StepDecayLr::lr(std::int64_t step) const {
+  return lr_ * std::pow(gamma_, static_cast<double>(step / period_));
+}
+
+GradientDescentOptimizer::GradientDescentOptimizer(
+    GraphExecutor& exec, double lr, std::unique_ptr<LrSchedule> schedule)
+    : UpdateRuleOptimizer(exec), lr_(lr), schedule_(std::move(schedule)) {}
+
+Tensor GradientDescentOptimizer::update_rule(const Tensor& grad,
+                                             const Tensor& old_param,
+                                             const std::string&) {
+  const double lr = schedule_ ? schedule_->lr(step()) : lr_;
+  Tensor out = old_param.clone();
+  axpy(static_cast<float>(-lr), grad, out);
+  return out;
+}
+
+MomentumOptimizer::MomentumOptimizer(GraphExecutor& exec, double lr,
+                                     double momentum, bool nesterov)
+    : UpdateRuleOptimizer(exec), lr_(lr), mu_(momentum), nesterov_(nesterov) {}
+
+Tensor MomentumOptimizer::update_rule(const Tensor& grad,
+                                      const Tensor& old_param,
+                                      const std::string& pname) {
+  auto [it, inserted] = velocity_.try_emplace(pname, grad.shape());
+  Tensor& v = it->second;
+  // v = mu*v - lr*g
+  scale(v, static_cast<float>(mu_));
+  axpy(static_cast<float>(-lr_), grad, v);
+  Tensor out = old_param.clone();
+  if (nesterov_) {
+    // w += mu*v - lr*g
+    axpy(static_cast<float>(mu_), v, out);
+    axpy(static_cast<float>(-lr_), grad, out);
+  } else {
+    axpy(1.0f, v, out);
+  }
+  return out;
+}
+
+AdaGradOptimizer::AdaGradOptimizer(GraphExecutor& exec, double lr, double eps)
+    : UpdateRuleOptimizer(exec), lr_(lr), eps_(eps) {}
+
+Tensor AdaGradOptimizer::update_rule(const Tensor& grad,
+                                     const Tensor& old_param,
+                                     const std::string& pname) {
+  auto [it, inserted] = accum_.try_emplace(pname, grad.shape());
+  Tensor& acc = it->second;
+  Tensor out = old_param.clone();
+  const std::int64_t n = grad.elements();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float g = grad.at(i);
+    acc.at(i) += g * g;
+    out.at(i) -= static_cast<float>(lr_) * g /
+                 (std::sqrt(acc.at(i)) + static_cast<float>(eps_));
+  }
+  return out;
+}
+
+RMSPropOptimizer::RMSPropOptimizer(GraphExecutor& exec, double lr,
+                                   double decay, double eps)
+    : UpdateRuleOptimizer(exec), lr_(lr), decay_(decay), eps_(eps) {}
+
+Tensor RMSPropOptimizer::update_rule(const Tensor& grad,
+                                     const Tensor& old_param,
+                                     const std::string& pname) {
+  auto [it, inserted] = mean_sq_.try_emplace(pname, grad.shape());
+  Tensor& ms = it->second;
+  Tensor out = old_param.clone();
+  const std::int64_t n = grad.elements();
+  const auto d = static_cast<float>(decay_);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float g = grad.at(i);
+    ms.at(i) = d * ms.at(i) + (1.0f - d) * g * g;
+    out.at(i) -= static_cast<float>(lr_) * g /
+                 (std::sqrt(ms.at(i)) + static_cast<float>(eps_));
+  }
+  return out;
+}
+
+AdamOptimizer::AdamOptimizer(GraphExecutor& exec, double lr, double beta1,
+                             double beta2, double eps)
+    : UpdateRuleOptimizer(exec), lr_(lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps) {}
+
+Tensor AdamOptimizer::update_rule(const Tensor& grad, const Tensor& old_param,
+                                  const std::string& pname) {
+  auto [mit, minserted] = m_.try_emplace(pname, grad.shape());
+  auto [vit, vinserted] = v_.try_emplace(pname, grad.shape());
+  Tensor& m = mit->second;
+  Tensor& v = vit->second;
+  const std::int64_t t = ++t_[pname];
+
+  // Direct translation of Kingma & Ba, Algorithm 1.
+  const auto b1 = static_cast<float>(beta1_);
+  const auto b2 = static_cast<float>(beta2_);
+  const float bc1 = 1.0f - std::pow(b1, static_cast<float>(t));
+  const float bc2 = 1.0f - std::pow(b2, static_cast<float>(t));
+  Tensor out = old_param.clone();
+  const std::int64_t n = grad.elements();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float g = grad.at(i);
+    m.at(i) = b1 * m.at(i) + (1.0f - b1) * g;
+    v.at(i) = b2 * v.at(i) + (1.0f - b2) * g * g;
+    const float mhat = m.at(i) / bc1;
+    const float vhat = v.at(i) / bc2;
+    out.at(i) -= static_cast<float>(lr_) * mhat /
+                 (std::sqrt(vhat) + static_cast<float>(eps_));
+  }
+  return out;
+}
+
+AcceleGradOptimizer::AcceleGradOptimizer(GraphExecutor& exec, double lr,
+                                         double D, double G, double eps)
+    : ThreeStepOptimizer(exec), lr_(lr), D_(D), G_(G), eps_(eps) {}
+
+void AcceleGradOptimizer::new_input() {
+  // Listing 7, new_input: alpha_t = 1 for t <= 2, else (t+1)/4.
+  ++t_;
+  alpha_t_ = (t_ <= 2) ? 1.0 : 0.25 * static_cast<double>(t_ + 1);
+  tau_t_ = 1.0 / alpha_t_;
+}
+
+void AcceleGradOptimizer::prepare_param(const std::string& pname) {
+  // Listing 7, prepare_param: w = tau*z + (1-tau)*y.
+  const Tensor& param = network().fetch_tensor(pname);
+  if (!init_) {
+    y_.emplace(pname, param.clone());
+    z_.emplace(pname, param.clone());
+    squares_[pname] = 0.0;
+  }
+  const Tensor& y = y_.at(pname);
+  const Tensor& z = z_.at(pname);
+  Tensor new_param(param.shape());
+  const std::int64_t n = param.elements();
+  const auto tau = static_cast<float>(tau_t_);
+  for (std::int64_t i = 0; i < n; ++i)
+    new_param.at(i) = tau * z.at(i) + (1.0f - tau) * y.at(i);
+  network().feed_tensor(pname, std::move(new_param));
+}
+
+Tensor AcceleGradOptimizer::update_rule(const Tensor& grad,
+                                        const Tensor& old_param,
+                                        const std::string& pname) {
+  // Listing 7, update_rule.
+  double squared = squares_.at(pname);
+  const double gnorm = l2_norm(grad);
+  squared += alpha_t_ * alpha_t_ * gnorm * gnorm;
+  const double eta_t = 2.0 * D_ / std::sqrt(G_ * G_ + squared);
+
+  Tensor& z = z_.at(pname);
+  Tensor& y = y_.at(pname);
+  // z_{t+1} = z_t - alpha_t * eta_t * grad
+  axpy(static_cast<float>(-alpha_t_ * eta_t), grad, z);
+  // y_{t+1} = w_t - eta_t * grad
+  y = old_param.clone();
+  axpy(static_cast<float>(-eta_t), grad, y);
+  squares_[pname] = squared;
+  init_ = true;
+
+  const double adjusted_lr = lr_ / (eps_ + std::sqrt(squared));
+  Tensor out = old_param.clone();
+  axpy(static_cast<float>(-adjusted_lr), grad, out);
+  return out;
+}
+
+}  // namespace d500

@@ -1,0 +1,123 @@
+#include "train/trainer.hpp"
+
+#include "core/timer.hpp"
+#include "ops/loss.hpp"
+
+namespace d500 {
+
+double RunStats::time_to_accuracy(double threshold) const {
+  for (const auto& e : epochs)
+    if (e.test_accuracy >= threshold) return e.cumulative_seconds;
+  return -1.0;
+}
+
+double RunStats::final_test_accuracy() const {
+  return epochs.empty() ? 0.0 : epochs.back().test_accuracy;
+}
+
+Runner::Runner(Optimizer& optimizer, Dataset& train_set, Dataset& test_set,
+               Sampler& sampler, std::int64_t batch_size)
+    : opt_(optimizer),
+      train_(train_set),
+      test_(test_set),
+      sampler_(sampler),
+      batch_(batch_size) {
+  D500_CHECK(batch_size > 0);
+}
+
+bool Runner::fire(const EventInfo& info) {
+  bool keep_going = true;
+  for (auto& ev : events_) keep_going = ev->on_event(info) && keep_going;
+  return keep_going;
+}
+
+RunStats Runner::run(std::int64_t epochs) {
+  RunStats stats;
+  double cumulative = 0.0;
+  Shape data_shape = train_.sample_shape();
+  data_shape.insert(data_shape.begin(), batch_);
+
+  for (std::int64_t e = 0; e < epochs; ++e) {
+    fire({EventPoint::kBeforeEpoch, -1, e, "", 0.0});
+    opt_.network().set_training(true);
+    EpochStats es;
+    es.epoch = e;
+
+    Timer epoch_timer;
+    double loss_sum = 0.0;
+    std::int64_t correct = 0, seen = 0, steps = 0;
+    const std::int64_t batches = sampler_.batches_per_epoch();
+    bool early_exit = false;
+
+    for (std::int64_t b = 0; b < batches && !early_exit; ++b) {
+      const auto indices = sampler_.next_batch();
+      TensorMap feeds;
+      feeds["data"] = Tensor(data_shape);
+      feeds["labels"] = Tensor({static_cast<std::int64_t>(indices.size())});
+      train_.fill_batch(indices, feeds["data"], feeds["labels"]);
+
+      fire({EventPoint::kBeforeTrainingStep, b, e, "", 0.0});
+      const TensorMap out = opt_.train(feeds);
+      double loss = 0.0;
+      if (auto it = out.find("loss"); it != out.end()) loss = it->second.at(0);
+      loss_sum += loss;
+      ++steps;
+      if (auto it = out.find("logits"); it != out.end()) {
+        const bool record = train_acc_every_ <= 0 ||
+                            (b % train_acc_every_) == 0;
+        if (record) {
+          correct += count_correct(it->second, feeds["labels"]);
+          seen += static_cast<std::int64_t>(indices.size());
+        }
+      }
+      if (!fire({EventPoint::kAfterTrainingStep, b, e, "", loss}))
+        early_exit = true;  // paper: events support early stopping
+    }
+    es.epoch_seconds = epoch_timer.seconds();
+    cumulative += es.epoch_seconds;
+    es.cumulative_seconds = cumulative;
+    es.train_loss = steps > 0 ? loss_sum / static_cast<double>(steps) : 0.0;
+    es.train_accuracy =
+        seen > 0 ? static_cast<double>(correct) / static_cast<double>(seen)
+                 : 0.0;
+
+    fire({EventPoint::kBeforeTestSet, -1, e, "", 0.0});
+    Timer test_timer;
+    es.test_accuracy = evaluate();
+    es.test_seconds = test_timer.seconds();
+    fire({EventPoint::kAfterTestSet, -1, e, "", es.test_accuracy});
+
+    stats.epochs.push_back(es);
+    if (!fire({EventPoint::kAfterEpoch, -1, e, "", es.test_accuracy})) break;
+    if (early_exit) break;
+  }
+  return stats;
+}
+
+double Runner::evaluate() {
+  opt_.network().set_training(false);
+  Shape data_shape = test_.sample_shape();
+  data_shape.insert(data_shape.begin(), batch_);
+
+  std::int64_t correct = 0, seen = 0;
+  const std::int64_t batches = test_.size() / batch_;
+  std::vector<std::int64_t> indices(static_cast<std::size_t>(batch_));
+  for (std::int64_t b = 0; b < batches; ++b) {
+    for (std::int64_t k = 0; k < batch_; ++k)
+      indices[static_cast<std::size_t>(k)] = b * batch_ + k;
+    TensorMap feeds;
+    feeds["data"] = Tensor(data_shape);
+    feeds["labels"] = Tensor({batch_});
+    test_.fill_batch(indices, feeds["data"], feeds["labels"]);
+    const TensorMap out = opt_.executor().inference(feeds);
+    auto it = out.find("logits");
+    D500_CHECK_MSG(it != out.end(), "evaluate: model does not expose 'logits'");
+    correct += count_correct(it->second, feeds["labels"]);
+    seen += batch_;
+  }
+  opt_.network().set_training(true);
+  return seen > 0 ? static_cast<double>(correct) / static_cast<double>(seen)
+                  : 0.0;
+}
+
+}  // namespace d500

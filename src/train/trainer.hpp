@@ -1,0 +1,65 @@
+// The training/testing loop manager (paper Fig. 3 "Runner") and the
+// Level 2 metrics TrainingAccuracy and TestAccuracy (paper §IV-E).
+#pragma once
+
+#include <functional>
+
+#include "core/event.hpp"
+#include "data/dataset.hpp"
+#include "data/sampler.hpp"
+#include "train/optimizer.hpp"
+
+namespace d500 {
+
+/// Per-epoch record combining the paper's accuracy and timing metrics.
+struct EpochStats {
+  std::int64_t epoch = 0;
+  double train_loss = 0.0;      // mean minibatch loss
+  double train_accuracy = 0.0;  // fraction over the epoch's minibatches
+  double test_accuracy = 0.0;   // fraction over the test set
+  double epoch_seconds = 0.0;   // training wall time
+  double test_seconds = 0.0;    // evaluation wall time
+  double cumulative_seconds = 0.0;  // training time since run start
+};
+
+struct RunStats {
+  std::vector<EpochStats> epochs;
+  /// Time-to-accuracy (paper metric ¸): first cumulative training second at
+  /// which test accuracy reached the threshold; <0 if never.
+  double time_to_accuracy(double threshold) const;
+  double final_test_accuracy() const;
+};
+
+/// Training and testing loop manager. Feeds come from a Dataset through a
+/// Sampler; "data"/"labels"/"logits"/"loss" follow the model conventions.
+class Runner {
+ public:
+  Runner(Optimizer& optimizer, Dataset& train_set, Dataset& test_set,
+         Sampler& sampler, std::int64_t batch_size);
+
+  /// TrainingAccuracy is recorded every `k` steps (paper: every kth step);
+  /// 0 disables intra-epoch recording.
+  void set_training_accuracy_interval(std::int64_t k) { train_acc_every_ = k; }
+
+  /// Event hooks fired at epoch/step boundaries (shared Event interface).
+  void add_event(std::shared_ptr<Event> ev) { events_.push_back(std::move(ev)); }
+
+  /// Runs `epochs` epochs; evaluates on the test set after each.
+  RunStats run(std::int64_t epochs);
+
+  /// Evaluates test accuracy without training.
+  double evaluate();
+
+ private:
+  bool fire(const EventInfo& info);
+
+  Optimizer& opt_;
+  Dataset& train_;
+  Dataset& test_;
+  Sampler& sampler_;
+  std::int64_t batch_;
+  std::int64_t train_acc_every_ = 0;
+  std::vector<std::shared_ptr<Event>> events_;
+};
+
+}  // namespace d500

@@ -1,0 +1,98 @@
+#include "train/validation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/stats.hpp"
+#include "core/timer.hpp"
+
+namespace d500 {
+
+namespace {
+
+double param_linf_distance(Network& a, Network& b, const std::string& pname) {
+  const Tensor& pa = a.fetch_tensor(pname);
+  const Tensor& pb = b.fetch_tensor(pname);
+  double mx = 0.0;
+  for (std::int64_t i = 0; i < pa.elements(); ++i)
+    mx = std::max(mx, std::abs(static_cast<double>(pa.at(i)) - pb.at(i)));
+  return mx;
+}
+
+}  // namespace
+
+OptimizerStepResult test_optimizer(Optimizer& tested, Optimizer& reference,
+                                   const std::vector<TensorMap>& minibatches,
+                                   double tol) {
+  OptimizerStepResult res;
+  std::vector<double> times;
+  for (const auto& feeds : minibatches) {
+    Timer t;
+    tested.train(feeds);
+    times.push_back(t.seconds());
+    reference.train(feeds);
+    for (const auto& pname : tested.network().parameters())
+      res.max_divergence =
+          std::max(res.max_divergence,
+                   param_linf_distance(tested.network(), reference.network(),
+                                       pname));
+  }
+  res.step_seconds = times.empty() ? 0.0 : median(times);
+  res.passed = res.max_divergence <= tol;
+  return res;
+}
+
+TrainingTestResult test_training(Optimizer& opt, Dataset& train_set,
+                                 Dataset& test_set, Sampler& sampler,
+                                 std::int64_t batch, std::int64_t epochs,
+                                 double min_accuracy) {
+  TrainingTestResult res;
+  Runner runner(opt, train_set, test_set, sampler, batch);
+  res.stats = runner.run(epochs);
+  res.final_accuracy = res.stats.final_test_accuracy();
+  res.final_loss =
+      res.stats.epochs.empty() ? 0.0 : res.stats.epochs.back().train_loss;
+  const bool loss_decreased =
+      res.stats.epochs.size() < 2 ||
+      res.stats.epochs.back().train_loss < res.stats.epochs.front().train_loss;
+  res.passed = res.final_accuracy >= min_accuracy && loss_decreased &&
+               std::isfinite(res.final_loss);
+  return res;
+}
+
+DivergenceSeries trajectory_divergence(
+    Optimizer& a, Optimizer& b,
+    const std::function<TensorMap(std::int64_t step)>& feed_stream,
+    std::int64_t iterations, std::int64_t record_every) {
+  DivergenceSeries out;
+  out.params = a.network().parameters();
+  out.l2.resize(out.params.size());
+  out.linf.resize(out.params.size());
+
+  for (std::int64_t it = 0; it < iterations; ++it) {
+    const TensorMap feeds = feed_stream(it);
+    a.train(feeds);
+    b.train(feeds);
+    if (it % record_every != 0) continue;
+    double tot_l2 = 0.0, tot_linf = 0.0;
+    for (std::size_t p = 0; p < out.params.size(); ++p) {
+      const Tensor& pa = a.network().fetch_tensor(out.params[p]);
+      const Tensor& pb = b.network().fetch_tensor(out.params[p]);
+      double sq = 0.0, mx = 0.0;
+      for (std::int64_t i = 0; i < pa.elements(); ++i) {
+        const double d = static_cast<double>(pa.at(i)) - pb.at(i);
+        sq += d * d;
+        mx = std::max(mx, std::abs(d));
+      }
+      out.l2[p].push_back(std::sqrt(sq));
+      out.linf[p].push_back(mx);
+      tot_l2 += std::sqrt(sq);
+      tot_linf += mx;
+    }
+    out.total_l2.push_back(tot_l2);
+    out.total_linf.push_back(tot_linf);
+  }
+  return out;
+}
+
+}  // namespace d500

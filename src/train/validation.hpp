@@ -1,0 +1,63 @@
+// Level 2 validation (paper §IV-E): test_optimizer verifies one optimizer
+// step against a reference trajectory; test_training checks end-to-end
+// convergence. trajectory_divergence records per-layer parameter
+// divergence between two optimizers over many steps — the analysis behind
+// the paper's Fig. 11.
+#pragma once
+
+#include <functional>
+
+#include "train/trainer.hpp"
+
+namespace d500 {
+
+struct OptimizerStepResult {
+  bool passed = false;
+  /// Worst per-parameter L-inf distance between the two optimizers'
+  /// parameters after the same steps on the same inputs.
+  double max_divergence = 0.0;
+  double step_seconds = 0.0;  // median time per step of the tested optimizer
+};
+
+/// Runs `steps` identical minibatches through both optimizers (which must
+/// wrap networks with identical parameter sets and initial values) and
+/// checks the trajectories stay within `tol` (paper: "ensuring that an
+/// optimizer trajectory does not diverge from the Deep500 one").
+OptimizerStepResult test_optimizer(Optimizer& tested, Optimizer& reference,
+                                   const std::vector<TensorMap>& minibatches,
+                                   double tol = 1e-4);
+
+struct TrainingTestResult {
+  bool passed = false;
+  RunStats stats;
+  double final_accuracy = 0.0;
+  double final_loss = 0.0;
+};
+
+/// Trains via the runner and validates convergence, performance, and the
+/// tradeoff (paper: test_training): final test accuracy must reach
+/// `min_accuracy` and the loss must have decreased from epoch 0.
+TrainingTestResult test_training(Optimizer& opt, Dataset& train_set,
+                                 Dataset& test_set, Sampler& sampler,
+                                 std::int64_t batch, std::int64_t epochs,
+                                 double min_accuracy);
+
+/// Per-layer divergence series between two optimizers fed identical
+/// minibatch streams (Fig. 11): result[param][iteration] = distance
+/// between the two parameter tensors at that iteration.
+struct DivergenceSeries {
+  std::vector<std::string> params;
+  // [param][iteration]
+  std::vector<std::vector<double>> l2;
+  std::vector<std::vector<double>> linf;
+  // total (sum over layers) per iteration
+  std::vector<double> total_l2;
+  std::vector<double> total_linf;
+};
+
+DivergenceSeries trajectory_divergence(
+    Optimizer& a, Optimizer& b,
+    const std::function<TensorMap(std::int64_t step)>& feed_stream,
+    std::int64_t iterations, std::int64_t record_every = 1);
+
+}  // namespace d500

@@ -1,0 +1,123 @@
+// Codec tests: round trips at multiple qualities, decoder equivalence
+// (pil_sim vs turbo_sim), compression effectiveness, malformed input.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "data/codec.hpp"
+
+namespace d500 {
+namespace {
+
+RawImage smooth_image(int channels, int h, int w, std::uint64_t seed) {
+  Rng rng(seed);
+  RawImage img;
+  img.channels = channels;
+  img.height = h;
+  img.width = w;
+  img.pixels.resize(img.size());
+  // Smooth gradient + low-frequency wave: compresses well, like photos.
+  for (int c = 0; c < channels; ++c)
+    for (int x = 0; x < h; ++x)
+      for (int y = 0; y < w; ++y) {
+        const double v = 128.0 + 60.0 * std::sin(x * 0.2 + c) *
+                                      std::cos(y * 0.15) +
+                         rng.uniform(-4.0f, 4.0f);
+        img.pixels[static_cast<std::size_t>((c * h + x) * w + y)] =
+            static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+      }
+  return img;
+}
+
+class CodecQuality : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodecQuality, RoundTripWithinBound) {
+  const int quality = GetParam();
+  const RawImage img = smooth_image(3, 32, 32, 11);
+  const auto encoded = encode_image(img, quality);
+  const RawImage back = decode_image(encoded, DecoderKind::kTurboSim);
+  ASSERT_EQ(back.channels, img.channels);
+  ASSERT_EQ(back.height, img.height);
+  ASSERT_EQ(back.width, img.width);
+  const int bound = codec_error_bound(quality);
+  int max_err = 0;
+  for (std::size_t i = 0; i < img.size(); ++i)
+    max_err = std::max(max_err, std::abs(static_cast<int>(img.pixels[i]) -
+                                         static_cast<int>(back.pixels[i])));
+  EXPECT_LE(max_err, bound) << "quality=" << quality;
+}
+
+INSTANTIATE_TEST_SUITE_P(Qualities, CodecQuality,
+                         ::testing::Values(30, 50, 75, 90, 100),
+                         [](const auto& info) {
+                           return "q" + std::to_string(info.param);
+                         });
+
+TEST(Codec, DecodersAgree) {
+  const RawImage img = smooth_image(1, 24, 40, 5);
+  const auto encoded = encode_image(img, 75);
+  const RawImage a = decode_image(encoded, DecoderKind::kPilSim);
+  const RawImage b = decode_image(encoded, DecoderKind::kTurboSim);
+  ASSERT_EQ(a.pixels.size(), b.pixels.size());
+  for (std::size_t i = 0; i < a.pixels.size(); ++i)
+    ASSERT_NEAR(static_cast<int>(a.pixels[i]), static_cast<int>(b.pixels[i]),
+                1)
+        << "i=" << i;
+}
+
+TEST(Codec, CompressesSmoothContent) {
+  const RawImage img = smooth_image(3, 64, 64, 7);
+  const auto encoded = encode_image(img, 75);
+  EXPECT_LT(encoded.size(), img.size() / 2)
+      << "smooth content must compress at least 2x";
+}
+
+TEST(Codec, HigherQualityIsLargerAndCloser) {
+  const RawImage img = smooth_image(1, 32, 32, 9);
+  const auto lo = encode_image(img, 30);
+  const auto hi = encode_image(img, 95);
+  EXPECT_LT(lo.size(), hi.size());
+
+  auto err = [&](const std::vector<std::uint8_t>& enc) {
+    const RawImage back = decode_image(enc, DecoderKind::kTurboSim);
+    long acc = 0;
+    for (std::size_t i = 0; i < img.size(); ++i)
+      acc += std::abs(static_cast<int>(img.pixels[i]) -
+                      static_cast<int>(back.pixels[i]));
+    return acc;
+  };
+  EXPECT_LE(err(hi), err(lo));
+}
+
+TEST(Codec, NonMultipleOf8Dimensions) {
+  const RawImage img = smooth_image(2, 13, 19, 3);
+  const auto encoded = encode_image(img, 85);
+  const RawImage back = decode_image(encoded, DecoderKind::kPilSim);
+  EXPECT_EQ(back.height, 13);
+  EXPECT_EQ(back.width, 19);
+  // Edge pixels are still within bound (edge replication in encode).
+  const int bound = codec_error_bound(85);
+  for (std::size_t i = 0; i < img.size(); ++i)
+    ASSERT_LE(std::abs(static_cast<int>(img.pixels[i]) -
+                       static_cast<int>(back.pixels[i])),
+              bound);
+}
+
+TEST(Codec, MalformedInputThrows) {
+  std::vector<std::uint8_t> junk{0, 1, 2, 3, 4, 5};
+  EXPECT_THROW(decode_image(junk, DecoderKind::kTurboSim), FormatError);
+  // Valid header, truncated body.
+  const RawImage img = smooth_image(1, 16, 16, 1);
+  auto encoded = encode_image(img, 75);
+  encoded.resize(encoded.size() / 2);
+  EXPECT_THROW(decode_image(encoded, DecoderKind::kTurboSim), FormatError);
+}
+
+TEST(Codec, DecoderNames) {
+  EXPECT_STREQ(decoder_name(DecoderKind::kPilSim), "pil_sim");
+  EXPECT_STREQ(decoder_name(DecoderKind::kTurboSim), "turbo_sim");
+}
+
+}  // namespace
+}  // namespace d500

@@ -1,0 +1,196 @@
+// Conv2D tests: backend cross-validation (direct vs im2col vs Winograd),
+// im2col/col2im adjointness, shape inference, gradients.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/rng.hpp"
+#include "ops/conv2d.hpp"
+#include "ops/validation.hpp"
+
+namespace d500 {
+namespace {
+
+struct ConvCase {
+  std::int64_t N, C, H, W, F, k, stride, pad;
+};
+
+Tensor run_conv(ConvBackend backend, const ConvCase& cc, const Tensor& X,
+                const Tensor& Wt, const Tensor& b) {
+  Conv2DParams p;
+  p.kernel_h = p.kernel_w = cc.k;
+  p.stride = cc.stride;
+  p.pad = cc.pad;
+  Conv2DOp op(p, backend);
+  const auto shapes = op.output_shapes({X.shape(), Wt.shape(), b.shape()});
+  Tensor Y(shapes[0]);
+  op.forward({&X, &Wt, &b}, {&Y});
+  return Y;
+}
+
+class ConvBackendCases : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvBackendCases, Im2colMatchesDirect) {
+  const ConvCase cc = GetParam();
+  Rng rng(11);
+  Tensor X({cc.N, cc.C, cc.H, cc.W});
+  Tensor Wt({cc.F, cc.C, cc.k, cc.k});
+  Tensor b({cc.F});
+  X.fill_uniform(rng, -1, 1);
+  Wt.fill_uniform(rng, -1, 1);
+  b.fill_uniform(rng, -1, 1);
+
+  Tensor ref = run_conv(ConvBackend::kDirect, cc, X, Wt, b);
+  Tensor got = run_conv(ConvBackend::kIm2col, cc, X, Wt, b);
+  ASSERT_EQ(got.elements(), ref.elements());
+  for (std::int64_t i = 0; i < ref.elements(); ++i)
+    ASSERT_NEAR(got.at(i), ref.at(i), 1e-3f) << "i=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvBackendCases,
+    ::testing::Values(ConvCase{1, 1, 5, 5, 1, 3, 1, 0},
+                      ConvCase{2, 3, 8, 8, 4, 3, 1, 1},
+                      ConvCase{1, 2, 9, 7, 3, 5, 2, 2},
+                      ConvCase{3, 4, 6, 6, 2, 1, 1, 0},
+                      ConvCase{2, 1, 12, 12, 5, 3, 3, 1},
+                      ConvCase{1, 8, 4, 4, 8, 3, 1, 1}),
+    [](const auto& info) {
+      const ConvCase& c = info.param;
+      return "N" + std::to_string(c.N) + "C" + std::to_string(c.C) + "H" +
+             std::to_string(c.H) + "F" + std::to_string(c.F) + "k" +
+             std::to_string(c.k) + "s" + std::to_string(c.stride) + "p" +
+             std::to_string(c.pad);
+    });
+
+TEST(ConvWinograd, MatchesDirectOn3x3Stride1) {
+  for (const ConvCase cc : {ConvCase{2, 3, 8, 8, 4, 3, 1, 1},
+                            ConvCase{1, 2, 7, 9, 3, 3, 1, 0},
+                            ConvCase{1, 1, 6, 6, 1, 3, 1, 1}}) {
+    Rng rng(12);
+    Tensor X({cc.N, cc.C, cc.H, cc.W});
+    Tensor Wt({cc.F, cc.C, 3, 3});
+    Tensor b({cc.F});
+    X.fill_uniform(rng, -1, 1);
+    Wt.fill_uniform(rng, -1, 1);
+    b.fill_uniform(rng, -1, 1);
+    Tensor ref = run_conv(ConvBackend::kDirect, cc, X, Wt, b);
+    Tensor got = run_conv(ConvBackend::kWinograd, cc, X, Wt, b);
+    for (std::int64_t i = 0; i < ref.elements(); ++i)
+      ASSERT_NEAR(got.at(i), ref.at(i), 5e-3f) << "i=" << i;
+  }
+}
+
+TEST(ConvWinograd, RejectsUnsupportedGeometry) {
+  Conv2DParams p;
+  p.kernel_h = p.kernel_w = 5;
+  Conv2DOp op(p, ConvBackend::kWinograd);
+  Rng rng(1);
+  Tensor X({1, 1, 8, 8}), Wt({1, 1, 5, 5}), b({1});
+  Tensor Y(op.output_shapes({X.shape(), Wt.shape(), b.shape()})[0]);
+  EXPECT_THROW(op.forward({&X, &Wt, &b}, {&Y}), Error);
+}
+
+TEST(Conv, ShapeInference) {
+  Conv2DParams p;
+  p.kernel_h = p.kernel_w = 3;
+  p.stride = 2;
+  p.pad = 1;
+  Conv2DOp op(p);
+  const auto out = op.output_shapes({{4, 3, 32, 32}, {8, 3, 3, 3}, {8}});
+  EXPECT_EQ(out[0], (Shape{4, 8, 16, 16}));
+  EXPECT_THROW(op.output_shapes({{4, 5, 32, 32}, {8, 3, 3, 3}, {8}}),
+               ShapeError);
+  Conv2DParams unpadded;
+  unpadded.kernel_h = unpadded.kernel_w = 3;
+  Conv2DOp op2(unpadded);
+  EXPECT_THROW(op2.output_shapes({{4, 3, 2, 2}, {8, 3, 3, 3}, {8}}),
+               ShapeError);  // 2x2 input, 3x3 valid conv -> empty output
+}
+
+TEST(Conv, Im2colCol2imAdjoint) {
+  // <im2col(x), c> == <x, col2im(c)> — adjointness property used by the
+  // backward pass.
+  const std::int64_t C = 2, H = 5, W = 6;
+  Conv2DParams p;
+  p.kernel_h = p.kernel_w = 3;
+  p.stride = 2;
+  p.pad = 1;
+  const std::int64_t Ho = p.out_dim(H, 3), Wo = p.out_dim(W, 3);
+  const std::int64_t K = C * 9;
+  Rng rng(4);
+  std::vector<float> x(static_cast<std::size_t>(C * H * W));
+  std::vector<float> c(static_cast<std::size_t>(K * Ho * Wo));
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  for (auto& v : c) v = rng.uniform(-1, 1);
+
+  std::vector<float> col(c.size());
+  im2col(x.data(), C, H, W, p, col.data());
+  double lhs = 0;
+  for (std::size_t i = 0; i < c.size(); ++i)
+    lhs += static_cast<double>(col[i]) * c[i];
+
+  std::vector<float> xg(x.size(), 0.0f);
+  col2im(c.data(), C, H, W, p, xg.data());
+  double rhs = 0;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    rhs += static_cast<double>(x[i]) * xg[i];
+
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Conv, GradientCheckIm2col) {
+  Conv2DParams p;
+  p.kernel_h = p.kernel_w = 3;
+  p.pad = 1;
+  Conv2DOp op(p, ConvBackend::kIm2col);
+  Rng rng(7);
+  Tensor X({2, 2, 5, 5}), Wt({3, 2, 3, 3}), b({3});
+  X.fill_uniform(rng, -1, 1);
+  Wt.fill_uniform(rng, -1, 1);
+  b.fill_uniform(rng, -1, 1);
+  const auto res = test_gradient(op, {X, Wt, b}, 7, 1e-2, 5e-2, 120);
+  EXPECT_TRUE(res.passed) << "max_rel=" << res.max_rel_error
+                          << " max_abs=" << res.max_abs_error;
+}
+
+TEST(Conv, GradientCheckStrided) {
+  Conv2DParams p;
+  p.kernel_h = p.kernel_w = 3;
+  p.stride = 2;
+  p.pad = 1;
+  Conv2DOp op(p, ConvBackend::kDirect);
+  Rng rng(8);
+  Tensor X({1, 2, 6, 6}), Wt({2, 2, 3, 3}), b({2});
+  X.fill_uniform(rng, -1, 1);
+  Wt.fill_uniform(rng, -1, 1);
+  b.fill_uniform(rng, -1, 1);
+  const auto res = test_gradient(op, {X, Wt, b}, 8, 1e-2, 5e-2, 120);
+  EXPECT_TRUE(res.passed) << "max_rel=" << res.max_rel_error;
+}
+
+TEST(Conv, WorkspaceScalesWithBatch) {
+  Conv2DParams p;
+  p.kernel_h = p.kernel_w = 5;
+  p.pad = 2;
+  Conv2DOp op(p, ConvBackend::kIm2col);
+  const Shape w{32, 16, 5, 5}, b{32};
+  const std::size_t ws1 = op.workspace_bytes({{1, 16, 16, 16}, w, b});
+  const std::size_t ws64 = op.workspace_bytes({{64, 16, 16, 16}, w, b});
+  EXPECT_EQ(ws64, 64 * ws1);
+  Conv2DOp direct(p, ConvBackend::kDirect);
+  EXPECT_EQ(direct.workspace_bytes({{64, 16, 16, 16}, w, b}), 0u);
+}
+
+TEST(Conv, FlopCount) {
+  Conv2DParams p;
+  p.kernel_h = p.kernel_w = 3;
+  p.pad = 1;
+  Conv2DOp op(p);
+  // 2 * N*F*Ho*Wo*C*k*k
+  EXPECT_EQ(op.forward_flops({{2, 3, 8, 8}, {4, 3, 3, 3}, {4}}),
+            2ull * 2 * 4 * 8 * 8 * 3 * 9);
+}
+
+}  // namespace
+}  // namespace d500

@@ -1,0 +1,230 @@
+// Unit tests for src/core: statistics, RNG determinism, metrics,
+// serialization, tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/metrics.hpp"
+#include "core/rng.hpp"
+#include "core/serialize.hpp"
+#include "core/stats.hpp"
+#include "core/table.hpp"
+#include "core/types.hpp"
+
+namespace d500 {
+namespace {
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({7.0}), 7.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+}
+
+TEST(Stats, QuantileRejectsBadInput) {
+  EXPECT_THROW(quantile({}, 0.5), Error);
+  EXPECT_THROW(quantile({1.0}, 1.5), Error);
+}
+
+TEST(Stats, SummaryOf30RunsHasSaneCI) {
+  // The paper's methodology: 30 runs, median + nonparametric 95% CI.
+  std::vector<double> xs;
+  for (int i = 1; i <= 30; ++i) xs.push_back(static_cast<double>(i));
+  const SampleSummary s = summarize(xs);
+  EXPECT_EQ(s.n, 30u);
+  EXPECT_DOUBLE_EQ(s.median, 15.5);
+  EXPECT_LE(s.ci95_lo, s.median);
+  EXPECT_GE(s.ci95_hi, s.median);
+  EXPECT_GT(s.ci95_lo, s.min - 1e-9);
+  EXPECT_LT(s.ci95_hi, s.max + 1e-9);
+  EXPECT_NEAR(s.mean, 15.5, 1e-9);
+}
+
+TEST(Stats, CIOverlapDetection) {
+  auto a = summarize({1, 2, 3, 4, 5});
+  auto b = summarize({4, 5, 6, 7, 8});
+  auto c = summarize({100, 101, 102, 103, 104});
+  EXPECT_TRUE(ci_overlap(a, b));
+  EXPECT_FALSE(ci_overlap(a, c));
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BelowIsUnbiasedEnough) {
+  Rng r(13);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[r.below(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, n / 10 - n / 50);
+    EXPECT_LT(c, n / 10 + n / 50);
+  }
+}
+
+TEST(Rng, NormalHasExpectedMoments) {
+  Rng r(99);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ForkGivesIndependentStream) {
+  Rng a(42);
+  Rng child = a.fork(1);
+  Rng child2 = a.fork(2);
+  EXPECT_NE(child(), child2());
+}
+
+TEST(Metrics, NormMetricComputesAllNorms) {
+  std::vector<float> ref{1.0f, 2.0f, 3.0f};
+  std::vector<float> got{1.5f, 2.0f, 1.0f};
+  NormMetric l1(ref, NormKind::kL1);
+  NormMetric l2(ref, NormKind::kL2);
+  NormMetric linf(ref, NormKind::kLInf);
+  l1.observe(got);
+  l2.observe(got);
+  linf.observe(got);
+  EXPECT_NEAR(l1.summary(), 2.5, 1e-6);
+  EXPECT_NEAR(l2.summary(), std::sqrt(0.25 + 4.0), 1e-6);
+  EXPECT_NEAR(linf.summary(), 2.0, 1e-6);
+}
+
+TEST(Metrics, MaxErrorTracksWorstAcrossObservations) {
+  MaxErrorMetric m({0.0f, 0.0f});
+  m.observe(std::vector<float>{0.1f, -0.2f});
+  m.observe(std::vector<float>{0.05f, 0.0f});
+  EXPECT_NEAR(m.summary(), 0.2, 1e-6);
+}
+
+TEST(Metrics, VarianceMetricWelford) {
+  VarianceMetric v;
+  v.observe(std::vector<float>{1.0f, 10.0f});
+  v.observe(std::vector<float>{3.0f, 10.0f});
+  // element 0: var({1,3}) = 2; element 1: 0 -> mean variance 1.0
+  EXPECT_NEAR(v.summary(), 1.0, 1e-9);
+  const auto map = v.variance_map();
+  EXPECT_NEAR(map[0], 2.0, 1e-9);
+  EXPECT_NEAR(map[1], 0.0, 1e-9);
+}
+
+TEST(Metrics, HeatmapHighlightsHotRegion) {
+  std::vector<float> ref(100, 0.0f);
+  std::vector<float> got(100, 0.0f);
+  got[87] = 5.0f;  // error in the last row of a 10x10 grid
+  HeatmapMetric h(ref, 10, 10);
+  h.observe(got);
+  EXPECT_NEAR(h.summary(), 5.0, 1e-6);
+  const auto& cells = h.cells();
+  EXPECT_NEAR(cells[87], 5.0, 1e-6);
+  const std::string art = h.render();
+  EXPECT_NE(art.find('@'), std::string::npos);
+}
+
+TEST(Metrics, WallclockCollectsSamples) {
+  WallclockMetric w(5);
+  measure(w, [] {
+    volatile double x = 0;
+    for (int i = 0; i < 1000; ++i) x += i;
+  });
+  EXPECT_EQ(w.samples().size(), 5u);
+  EXPECT_GT(w.summary(), 0.0);
+}
+
+TEST(Serialize, RoundTripPrimitives) {
+  BinaryWriter w;
+  w.u8(7);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.f32(3.25f);
+  w.f64(-1.5e300);
+  w.varint(0);
+  w.varint(300);
+  w.varint(0xFFFFFFFFFFFFULL);
+  w.str("hello");
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_FLOAT_EQ(r.f32(), 3.25f);
+  EXPECT_DOUBLE_EQ(r.f64(), -1.5e300);
+  EXPECT_EQ(r.varint(), 0u);
+  EXPECT_EQ(r.varint(), 300u);
+  EXPECT_EQ(r.varint(), 0xFFFFFFFFFFFFULL);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, TruncationThrows) {
+  BinaryWriter w;
+  w.u32(1);
+  BinaryReader r(w.buffer());
+  r.u32();
+  EXPECT_THROW(r.u32(), FormatError);
+}
+
+TEST(Serialize, VarintOverflowThrows) {
+  std::vector<std::uint8_t> bad(11, 0xFF);
+  BinaryReader r(bad);
+  EXPECT_THROW(r.varint(), FormatError);
+}
+
+TEST(Types, TensorDescRoundTrip) {
+  const tensor_t t = tensordesc(DType::kFloat32, {2, 3, 4});
+  EXPECT_EQ(t.rank, 3);
+  EXPECT_EQ(t.elements(), 24);
+  EXPECT_EQ(desc_shape(t), (Shape{2, 3, 4}));
+}
+
+TEST(Types, ShapeHelpers) {
+  EXPECT_EQ(shape_elements({2, 3, 4}), 24);
+  EXPECT_EQ(shape_elements({}), 1);
+  EXPECT_EQ(shape_to_string({1, 2}), "[1,2]");
+  EXPECT_THROW(shape_elements({2, -1}), Error);
+}
+
+TEST(Table, TextAndCsv) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"b,c", "2"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("b,c"), std::string::npos);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"b,c\""), std::string::npos);
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+}  // namespace
+}  // namespace d500

@@ -1,0 +1,186 @@
+// Dataset tests: procedural generator determinism and learnability
+// structure, synthetic generator, on-disk dataset equivalence through all
+// three containers, batch filling, and the PFS model's qualitative shape.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/env.hpp"
+#include "data/dataset.hpp"
+#include "data/pfs_model.hpp"
+#include "data/pipeline.hpp"
+
+namespace d500 {
+namespace {
+
+DatasetSpec tiny_spec() { return {"tiny", 1, 16, 16, 4, 64}; }
+
+TEST(ProceduralDataset, DeterministicAcrossInstances) {
+  ProceduralImageDataset a(tiny_spec(), 42);
+  ProceduralImageDataset b(tiny_spec(), 42);
+  Tensor sa({1, 16, 16}), sb({1, 16, 16});
+  std::int64_t la = 0, lb = 0;
+  for (std::int64_t i : {0, 5, 63}) {
+    a.get(i, sa, la);
+    b.get(i, sb, lb);
+    EXPECT_EQ(la, lb);
+    for (std::int64_t k = 0; k < sa.elements(); ++k)
+      ASSERT_EQ(sa.at(k), sb.at(k));
+  }
+}
+
+TEST(ProceduralDataset, SameClassSamplesCorrelateAcrossSamples) {
+  // Samples of one class share a template: intra-class distance must be
+  // clearly below inter-class distance (this is what makes it learnable).
+  ProceduralImageDataset ds(tiny_spec(), 7);
+  Tensor s0({1, 16, 16}), s4({1, 16, 16}), s1({1, 16, 16});
+  std::int64_t l;
+  ds.get(0, s0, l);  // class 0
+  ds.get(4, s4, l);  // class 0 again (i % 4)
+  ds.get(1, s1, l);  // class 1
+  Tensor d_intra({1, 16, 16}), d_inter({1, 16, 16});
+  sub(s0, s4, d_intra);
+  sub(s0, s1, d_inter);
+  EXPECT_LT(l2_norm(d_intra), l2_norm(d_inter));
+}
+
+TEST(ProceduralDataset, LabelsCycleThroughClasses) {
+  ProceduralImageDataset ds(tiny_spec(), 1);
+  Tensor s({1, 16, 16});
+  std::int64_t label;
+  ds.get(6, s, label);
+  EXPECT_EQ(label, 2);
+}
+
+TEST(SyntheticDataset, GeneratesFreshData) {
+  SyntheticDataset ds(tiny_spec(), 3);
+  Tensor a({1, 16, 16}), b({1, 16, 16});
+  std::int64_t la, lb;
+  ds.get(0, a, la);
+  ds.get(0, b, lb);  // same index, different draw (synthetic semantics)
+  Tensor d({1, 16, 16});
+  sub(a, b, d);
+  EXPECT_GT(l2_norm(d), 0.0);
+}
+
+class MaterializedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = scratch_dir() + "/dataset_test";
+    std::filesystem::create_directories(dir_);
+    ds_ = std::make_unique<ProceduralImageDataset>(tiny_spec(), 21);
+    mat_ = materialize_dataset(*ds_, dir_, "tiny", /*shards=*/4,
+                               /*quality=*/90);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+  std::unique_ptr<ProceduralImageDataset> ds_;
+  MaterializedDataset mat_;
+};
+
+TEST_F(MaterializedTest, BinaryDatasetMatchesSource) {
+  BinaryFileDataset bin(mat_.binary_path, tiny_spec());
+  ASSERT_EQ(bin.size(), ds_->size());
+  Tensor loaded({1, 16, 16});
+  std::int64_t label;
+  bin.get(3, loaded, label);
+  std::int64_t src_label;
+  const RawImage raw = ds_->raw(3, src_label);
+  EXPECT_EQ(label, src_label);
+  // Binary container stores the exact uint8 pixels.
+  for (std::size_t k = 0; k < raw.size(); ++k)
+    ASSERT_FLOAT_EQ(loaded.at(static_cast<std::int64_t>(k)),
+                    static_cast<float>(raw.pixels[k]) / 255.0f);
+}
+
+TEST_F(MaterializedTest, TarDatasetDecodesWithinCodecBound) {
+  IndexedTarDataset tar(mat_.tar_path, tiny_spec(), DecoderKind::kTurboSim);
+  ASSERT_EQ(tar.size(), ds_->size());
+  Tensor loaded({1, 16, 16});
+  std::int64_t label, src_label;
+  tar.get(5, loaded, label);
+  const RawImage raw = ds_->raw(5, src_label);
+  EXPECT_EQ(label, src_label);
+  const float bound =
+      static_cast<float>(codec_error_bound(90)) / 255.0f;
+  for (std::size_t k = 0; k < raw.size(); ++k)
+    ASSERT_NEAR(loaded.at(static_cast<std::int64_t>(k)),
+                static_cast<float>(raw.pixels[k]) / 255.0f, bound);
+}
+
+TEST_F(MaterializedTest, RecordPipelineProducesFullBatches) {
+  RecordPipeline pipe(mat_.shard_paths, tiny_spec(), /*shuffle_buffer=*/16,
+                      DecoderKind::kTurboSim, /*seed=*/2);
+  EXPECT_EQ(pipe.size(), ds_->size());
+  const Batch b = pipe.next_batch(8);
+  EXPECT_EQ(b.data.shape(), (Shape{8, 1, 16, 16}));
+  EXPECT_EQ(b.labels.shape(), (Shape{8}));
+  // Pixels in [0,1].
+  for (std::int64_t i = 0; i < b.data.elements(); ++i) {
+    ASSERT_GE(b.data.at(i), 0.0f);
+    ASSERT_LE(b.data.at(i), 1.0f);
+  }
+}
+
+TEST_F(MaterializedTest, PrefetchLoaderDeliversSameBatchesAsProducer) {
+  int produced = 0;
+  PrefetchLoader loader(
+      [&]() {
+        Batch b;
+        b.data = Tensor({1});
+        b.data.at(0) = static_cast<float>(produced++);
+        b.labels = Tensor({1});
+        return b;
+      },
+      /*depth=*/2);
+  for (int i = 0; i < 5; ++i) {
+    const Batch b = loader.next();
+    EXPECT_EQ(b.data.at(0), static_cast<float>(i));
+  }
+  loader.stop();
+}
+
+TEST(DatasetBatch, FillBatchShapes) {
+  ProceduralImageDataset ds(tiny_spec(), 5);
+  const std::vector<std::int64_t> idx{0, 1, 2};
+  const Batch b = load_batch(ds, idx);
+  EXPECT_EQ(b.data.shape(), (Shape{3, 1, 16, 16}));
+  EXPECT_EQ(b.labels.at(2), 2.0f);
+}
+
+TEST(DatasetSpecs, PaperShapes) {
+  EXPECT_EQ(mnist_like_spec().height, 28);
+  EXPECT_EQ(cifar10_like_spec().channels, 3);
+  EXPECT_EQ(cifar100_like_spec().classes, 100);
+  EXPECT_EQ(imagenet_like_spec().classes, 1000);
+}
+
+TEST(PfsModel, SingleFileWinsOnOneNode) {
+  // Fig. 8 right, 1 node: 1 segmented file beats 1024 files (metadata).
+  PFSParams p;
+  const std::uint64_t bytes = 128ull * 3 * 64 * 64;  // one batch
+  const auto one = pfs_batch_latency(p, 1, 1, 1, bytes);
+  const auto many = pfs_batch_latency(p, 1, 1024, 128, bytes);
+  EXPECT_LT(one.seconds, many.seconds);
+}
+
+TEST(PfsModel, ShardingWinsOnManyNodes) {
+  // Fig. 8 right, 64 nodes: 1024 files ~10% faster than one shared file.
+  PFSParams p;
+  const std::uint64_t bytes = 128ull * 3 * 64 * 64;
+  const auto shared = pfs_batch_latency(p, 64, 1, 1, bytes);
+  const auto sharded = pfs_batch_latency(p, 64, 1024, 2, bytes);
+  EXPECT_LT(sharded.seconds, shared.seconds);
+}
+
+TEST(PfsModel, BandwidthContentionGrowsWithNodes) {
+  PFSParams p;
+  const std::uint64_t bytes = 1u << 24;
+  const auto n1 = pfs_batch_latency(p, 1, 64, 1, bytes);
+  const auto n64 = pfs_batch_latency(p, 64, 64, 1, bytes);
+  EXPECT_GT(n64.transfer_seconds, n1.transfer_seconds);
+}
+
+}  // namespace
+}  // namespace d500

@@ -1,0 +1,212 @@
+// Framework-sim tests: all three engines compute identical results (up to
+// backend arithmetic), expose their profiles (fusion, dispatch mode,
+// defensive copies), the PlanExecutor matches the reference executor for
+// forward and backward, and Deep500 wrapping preserves native semantics.
+#include <gtest/gtest.h>
+
+#include "frameworks/framework.hpp"
+#include "graph/visitor.hpp"
+#include "models/builders.hpp"
+#include "ops/conv2d.hpp"
+
+namespace d500 {
+namespace {
+
+TensorMap lenet_feeds(std::int64_t batch, std::uint64_t seed) {
+  Rng rng(seed);
+  TensorMap feeds;
+  Tensor data({batch, 1, 12, 12});
+  data.fill_uniform(rng, -1, 1);
+  feeds["data"] = std::move(data);
+  Tensor labels({batch});
+  for (std::int64_t i = 0; i < batch; ++i)
+    labels.at(i) = static_cast<float>(i % 10);
+  feeds["labels"] = std::move(labels);
+  return feeds;
+}
+
+TEST(Frameworks, AllEnginesAgreeWithReference) {
+  const Model m = models::lenet(4, 1, 12, 12, 10, 31);
+  ReferenceExecutor ref(build_network(m));
+  const TensorMap feeds = lenet_feeds(4, 8);
+  const Tensor ref_logits = ref.inference(feeds).at("logits");
+
+  for (const Framework* fw : all_frameworks()) {
+    auto exec = fw->compile(m);
+    const Tensor logits = exec->inference(feeds).at("logits");
+    ASSERT_EQ(logits.elements(), ref_logits.elements());
+    for (std::int64_t i = 0; i < logits.elements(); ++i)
+      ASSERT_NEAR(logits.at(i), ref_logits.at(i), 2e-3f)
+          << fw->name() << " i=" << i;
+  }
+}
+
+TEST(Frameworks, BackpropMatchesReference) {
+  const Model m = models::lenet(4, 1, 12, 12, 10, 32);
+  ReferenceExecutor ref(build_network(m));
+  const TensorMap feeds = lenet_feeds(4, 9);
+  ref.inference_and_backprop(feeds, "loss");
+  const Tensor ref_grad = ref.network().fetch_tensor("grad::c1.w");
+
+  for (const Framework* fw : all_frameworks()) {
+    auto exec = fw->compile(m);
+    exec->inference_and_backprop(feeds, "loss");
+    const Tensor& g = exec->network().fetch_tensor("grad::c1.w");
+    for (std::int64_t i = 0; i < g.elements(); ++i)
+      ASSERT_NEAR(g.at(i), ref_grad.at(i), 5e-3f) << fw->name() << " i=" << i;
+  }
+}
+
+TEST(Frameworks, PlanExecutorRepeatedRunsAreConsistent) {
+  const Model m = models::lenet(2, 1, 12, 12, 10, 33);
+  auto exec = cf2sim().compile(m);
+  const TensorMap feeds = lenet_feeds(2, 10);
+  const Tensor first = exec->inference(feeds).at("logits");
+  const Tensor second = exec->inference(feeds).at("logits");
+  for (std::int64_t i = 0; i < first.elements(); ++i)
+    ASSERT_EQ(first.at(i), second.at(i));
+}
+
+TEST(Frameworks, PlanExecutorRecompilesOnBatchChange) {
+  // The graph is batch-polymorphic: feeding a different batch size must
+  // trigger recompilation and produce correctly-shaped outputs, never
+  // corrupt buffers.
+  const Model m2 = models::lenet(2, 1, 12, 12, 10, 34);
+  auto exec = ptsim().compile(m2);
+  const Tensor l2 = exec->inference(lenet_feeds(2, 1)).at("logits");
+  EXPECT_EQ(l2.shape(), (Shape{2, 10}));
+  const Tensor l4 = exec->inference(lenet_feeds(4, 1)).at("logits");
+  EXPECT_EQ(l4.shape(), (Shape{4, 10}));
+  // Same feeds -> identical results after the recompile round trip.
+  const Tensor l2b = exec->inference(lenet_feeds(2, 1)).at("logits");
+  for (std::int64_t i = 0; i < l2.elements(); ++i)
+    ASSERT_EQ(l2.at(i), l2b.at(i));
+}
+
+TEST(Frameworks, CF2AppliesFusion) {
+  // A model with an explicit BiasAdd->ReLU chain: CF2Sim fuses it.
+  Rng rng(1);
+  Tensor bias({3});
+  bias.fill_uniform(rng, -0.5f, 0.5f);
+  const Model m = ModelBuilder("f")
+                      .input("data", {1, 3, 4, 4})
+                      .initializer("bias", std::move(bias))
+                      .node("BiasAdd", {"data", "bias"}, {"b"})
+                      .node("ReLU", {"b"}, {"y"})
+                      .output("y")
+                      .build();
+  auto cf2 = cf2sim().compile(m);
+  EXPECT_EQ(cf2->network().nodes().size(), 1u);
+  EXPECT_EQ(cf2->network().nodes()[0].op_type, "FusedBiasRelu");
+  auto tf = tfsim().compile(m);
+  EXPECT_EQ(tf->network().nodes().size(), 2u);
+
+  TensorMap feeds;
+  Tensor d({1, 3, 4, 4});
+  d.fill_uniform(rng, -1, 1);
+  feeds["data"] = std::move(d);
+  const Tensor y1 = cf2->inference(feeds).at("y");
+  const Tensor y2 = tf->inference(feeds).at("y");
+  for (std::int64_t i = 0; i < y1.elements(); ++i)
+    ASSERT_FLOAT_EQ(y1.at(i), y2.at(i));
+}
+
+TEST(Frameworks, TfsimRecordsLaunchStats) {
+  const Model m = models::lenet(2, 1, 12, 12, 10, 35);
+  auto exec = tfsim().compile(m);
+  exec->inference(lenet_feeds(2, 2));
+  auto* plan = dynamic_cast<PlanExecutor*>(exec.get());
+  ASSERT_NE(plan, nullptr);
+  EXPECT_TRUE(plan->options().string_dispatch);
+  EXPECT_EQ(plan->launch_stats().size(), exec->network().nodes().size());
+  // Eager PTSim does not pay the bookkeeping path.
+  auto pt = ptsim().compile(m);
+  auto* pt_plan = dynamic_cast<PlanExecutor*>(pt.get());
+  EXPECT_FALSE(pt_plan->options().string_dispatch);
+  EXPECT_FALSE(pt_plan->options().reuse_activations);
+}
+
+TEST(Frameworks, NativeOperatorBackendsDiffer) {
+  Attrs a{{"kernel", std::int64_t{3}}, {"pad", std::int64_t{1}}};
+  auto tf_conv = tfsim().native_operator("Conv2D", a);
+  auto pt_conv = ptsim().native_operator("Conv2D", a);
+  const auto* tfc = dynamic_cast<const Conv2DOp*>(tf_conv.get());
+  const auto* ptc = dynamic_cast<const Conv2DOp*>(pt_conv.get());
+  ASSERT_NE(tfc, nullptr);
+  ASSERT_NE(ptc, nullptr);
+  EXPECT_EQ(tfc->backend(), ConvBackend::kDirect);
+  // PTSim picks Winograd for eligible 3x3/stride-1 geometries...
+  EXPECT_EQ(ptc->backend(), ConvBackend::kWinograd);
+  // ...and falls back to im2col otherwise.
+  Attrs strided = a;
+  strided.set("stride", std::int64_t{2});
+  auto pt_strided = ptsim().native_operator("Conv2D", strided);
+  EXPECT_EQ(dynamic_cast<const Conv2DOp*>(pt_strided.get())->backend(),
+            ConvBackend::kIm2col);
+}
+
+TEST(Frameworks, CustomOpFromNativeMatchesNative) {
+  // Paper Listing 5: a native operator used as a Deep500 custom operator —
+  // results must be identical through the ABI.
+  Attrs a{{"kernel", std::int64_t{3}}, {"pad", std::int64_t{1}}};
+  auto native = cf2sim().native_operator("Conv2D", a);
+  auto wrapped = custom_op_from_native(cf2sim(), "Conv2D", a);
+
+  Rng rng(4);
+  Tensor X({2, 3, 8, 8}), W({4, 3, 3, 3}), b({4});
+  X.fill_uniform(rng, -1, 1);
+  W.fill_uniform(rng, -1, 1);
+  b.fill_uniform(rng, -1, 1);
+  Tensor y1(native->output_shapes({X.shape(), W.shape(), b.shape()})[0]);
+  Tensor y2(y1.shape());
+  native->forward({&X, &W, &b}, {&y1});
+  wrapped->forward({&X, &W, &b}, {&y2});
+  for (std::int64_t i = 0; i < y1.elements(); ++i)
+    ASSERT_EQ(y1.at(i), y2.at(i));
+}
+
+TEST(Frameworks, DeepbenchKernelMatchesFrameworkResult) {
+  Attrs a;
+  auto db = deepbench_kernel("MatMul", a);
+  auto tf = tfsim().native_operator("MatMul", a);
+  Rng rng(5);
+  Tensor A({8, 16}), B({16, 4});
+  A.fill_uniform(rng, -1, 1);
+  B.fill_uniform(rng, -1, 1);
+  Tensor y1({8, 4}), y2({8, 4});
+  db->forward({&A, &B}, {&y1});
+  tf->forward({&A, &B}, {&y2});
+  for (std::int64_t i = 0; i < y1.elements(); ++i)
+    ASSERT_NEAR(y1.at(i), y2.at(i), 1e-4f);
+}
+
+TEST(Frameworks, MemoryLimitAppliesToPlans) {
+  // PTSim's im2col conv exceeds a tight cap; TFSim's direct conv fits —
+  // the §V-C OOM asymmetry at framework level.
+  const Model m = models::alexnet_like(32, 5, /*with_loss=*/false);
+  TensorMap feeds;
+  Rng rng(6);
+  Tensor d({32, 16, 16, 16});
+  d.fill_uniform(rng, -1, 1);
+  feeds["data"] = std::move(d);
+
+  auto pt = ptsim().compile(m);
+  pt->inference(feeds);
+  const std::size_t pt_peak = pt->last_peak_memory();
+
+  auto tf = tfsim().compile(m);
+  tf->inference(feeds);
+  const std::size_t tf_peak = tf->last_peak_memory();
+  EXPECT_LT(tf_peak, pt_peak) << "direct conv must use less memory";
+
+  const std::size_t cap = (tf_peak + pt_peak) / 2;
+  auto pt2 = ptsim().compile(m);
+  pt2->set_memory_limit(cap);
+  EXPECT_THROW(pt2->inference(feeds), OutOfMemoryError);
+  auto tf2 = tfsim().compile(m);
+  tf2->set_memory_limit(cap);
+  tf2->inference(feeds);  // fits
+}
+
+}  // namespace
+}  // namespace d500

@@ -1,0 +1,196 @@
+// Property-based graph fuzzing: randomly generated valid models (random
+// operator chains with residual branches over 4-D feature maps, then a
+// classifier head) must satisfy, for every seed:
+//   1. shape inference agrees with what executors actually produce;
+//   2. all three framework engines match the reference executor;
+//   3. parameter gradients match the reference across engines;
+//   4. serialize -> deserialize -> execute is bit-identical.
+// This is the white-box counterpart of the paper's ONNX correctness tests:
+// instead of a fixed operator conformance suite, the DAG space itself is
+// sampled.
+#include <gtest/gtest.h>
+
+#include "frameworks/framework.hpp"
+#include "graph/shape_inference.hpp"
+#include "graph/visitor.hpp"
+#include "models/builders.hpp"
+
+namespace d500 {
+namespace {
+
+/// Builds a random model: stem conv, then `depth` random layers (conv /
+/// activation / pool / batchnorm / residual add), then GAP + Linear +
+/// softmax-CE loss. All choices driven by the seed.
+Model random_model(std::uint64_t seed) {
+  Rng rng(seed);
+  const std::int64_t batch = 1 + static_cast<std::int64_t>(rng.below(3));
+  std::int64_t ch = 2 + static_cast<std::int64_t>(rng.below(3));
+  std::int64_t hw = 8 + static_cast<std::int64_t>(rng.below(3)) * 2;
+  const std::int64_t classes = 3;
+
+  ModelBuilder b("fuzz_" + std::to_string(seed));
+  b.input("data", {batch, ch, hw, hw});
+  std::string cur = "data";
+  // Value -> channel count for residual candidates at the current spatial
+  // size.
+  std::vector<std::pair<std::string, std::int64_t>> residual_pool{{cur, ch}};
+  int name_id = 0;
+  auto fresh = [&](const std::string& tag) {
+    return tag + std::to_string(name_id++);
+  };
+
+  const int depth = 2 + static_cast<int>(rng.below(4));
+  for (int d = 0; d < depth; ++d) {
+    switch (rng.below(5)) {
+      case 0: {  // conv (3x3 same-pad, random filter count)
+        const std::int64_t f = 2 + static_cast<std::int64_t>(rng.below(4));
+        const std::string w = fresh("w"), bias = fresh("b"), out = fresh("v");
+        Tensor wt({f, ch, 3, 3});
+        wt.fill_kaiming(rng, ch * 9);
+        b.initializer(w, std::move(wt));
+        b.initializer(bias, Tensor({f}));
+        b.node("Conv2D", {cur, w, bias}, {out},
+               Attrs{{"kernel", std::int64_t{3}}, {"pad", std::int64_t{1}}});
+        cur = out;
+        ch = f;
+        residual_pool.clear();
+        residual_pool.emplace_back(cur, ch);
+        break;
+      }
+      case 1: {  // activation
+        const char* kinds[] = {"ReLU", "Sigmoid", "Tanh"};
+        const std::string out = fresh("v");
+        b.node(kinds[rng.below(3)], {cur}, {out});
+        cur = out;
+        residual_pool.emplace_back(cur, ch);
+        break;
+      }
+      case 2: {  // pool (only while spatial size allows)
+        if (hw >= 4) {
+          const std::string out = fresh("v");
+          b.node(rng.below(2) ? "MaxPool2D" : "AvgPool2D", {cur}, {out},
+                 Attrs{{"kernel", std::int64_t{2}}, {"stride", std::int64_t{2}}});
+          cur = out;
+          hw /= 2;
+          residual_pool.clear();
+          residual_pool.emplace_back(cur, ch);
+        }
+        break;
+      }
+      case 3: {  // batchnorm
+        const std::string g = fresh("g"), beta = fresh("be"), out = fresh("v");
+        Tensor gamma({ch});
+        gamma.fill(1.0f);
+        b.initializer(g, std::move(gamma));
+        b.initializer(beta, Tensor({ch}));
+        b.node("BatchNorm", {cur, g, beta}, {out},
+               Attrs{{"channels", ch}});
+        cur = out;
+        residual_pool.emplace_back(cur, ch);
+        break;
+      }
+      case 4: {  // residual add with a shape-compatible earlier value
+        std::vector<std::string> candidates;
+        for (const auto& [name, c] : residual_pool)
+          if (c == ch && name != cur) candidates.push_back(name);
+        if (!candidates.empty()) {
+          const std::string other =
+              candidates[rng.below(candidates.size())];
+          const std::string out = fresh("v");
+          b.node("Add", {cur, other}, {out});
+          cur = out;
+          residual_pool.emplace_back(cur, ch);
+        }
+        break;
+      }
+    }
+  }
+
+  b.node("GlobalAvgPool", {cur}, {"gap"});
+  const std::string fw = fresh("w"), fb = fresh("b");
+  Tensor wt({classes, ch});
+  wt.fill_kaiming(rng, ch);
+  b.initializer(fw, std::move(wt));
+  b.initializer(fb, Tensor({classes}));
+  b.node("Linear", {"gap", fw, fb}, {"logits"});
+  b.output("logits");
+  b.input("labels", {batch});
+  b.node("SoftmaxCrossEntropy", {"logits", "labels"}, {"loss"});
+  b.output("loss");
+  return b.build();
+}
+
+TensorMap random_feeds(const Model& m, std::uint64_t seed) {
+  Rng rng(seed * 31 + 7);
+  TensorMap feeds;
+  for (const auto& in : m.graph_inputs) {
+    Tensor t(m.input_shapes.at(in));
+    if (in == "labels") {
+      for (std::int64_t i = 0; i < t.elements(); ++i)
+        t.at(i) = static_cast<float>(rng.below(3));
+    } else {
+      t.fill_uniform(rng, -1, 1);
+    }
+    feeds[in] = std::move(t);
+  }
+  return feeds;
+}
+
+class FuzzGraphs : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzGraphs, AllExecutorsAgreeForwardAndBackward) {
+  const std::uint64_t seed = GetParam();
+  const Model m = random_model(seed);
+  const TensorMap feeds = random_feeds(m, seed);
+
+  // Property 1: shape inference is truthful.
+  const auto shapes = infer_shapes(m);
+  ReferenceExecutor ref(build_network(m));
+  const TensorMap want = ref.inference(feeds);
+  for (const auto& out : m.graph_outputs)
+    ASSERT_EQ(want.at(out).shape(), shapes.at(out)) << out;
+
+  // Property 2+3: every engine reproduces forward outputs and gradients.
+  ref.inference_and_backprop(feeds, "loss");
+  for (const Framework* fw : all_frameworks()) {
+    auto exec = fw->compile(m);
+    const TensorMap got = exec->inference(feeds);
+    for (const auto& out : m.graph_outputs) {
+      const Tensor& a = got.at(out);
+      const Tensor& r = want.at(out);
+      ASSERT_EQ(a.elements(), r.elements());
+      for (std::int64_t i = 0; i < r.elements(); ++i)
+        ASSERT_NEAR(a.at(i), r.at(i), 5e-3f)
+            << fw->name() << " " << out << "[" << i << "] seed=" << seed;
+    }
+    exec->inference_and_backprop(feeds, "loss");
+    for (const auto& [pname, gname] : ref.network().gradients()) {
+      const Tensor& rg = ref.network().fetch_tensor(gname);
+      const Tensor& eg = exec->network().fetch_tensor(gname);
+      for (std::int64_t i = 0; i < rg.elements(); ++i)
+        ASSERT_NEAR(eg.at(i), rg.at(i),
+                    5e-3f + 0.01f * std::abs(rg.at(i)))
+            << fw->name() << " " << gname << "[" << i << "] seed=" << seed;
+    }
+  }
+
+  // Property 4: serialization round trip is execution-identical.
+  const Model reloaded = deserialize_model(serialize_model(m));
+  ReferenceExecutor ref2(build_network(reloaded));
+  const TensorMap again = ref2.inference(feeds);
+  for (const auto& out : m.graph_outputs) {
+    const Tensor& a = again.at(out);
+    const Tensor& r = want.at(out);
+    for (std::int64_t i = 0; i < r.elements(); ++i)
+      ASSERT_EQ(a.at(i), r.at(i)) << "serialization changed " << out;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzGraphs,
+                         ::testing::Range<std::uint64_t>(1, 21),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace d500

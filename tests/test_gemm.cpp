@@ -1,0 +1,161 @@
+// GEMM kernel tests: all backends vs. the naive reference, parameterized
+// over shapes (the property sweep style the paper's Level 0 validation
+// uses over DeepBench sizes).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/rng.hpp"
+#include "ops/gemm.hpp"
+#include "ops/validation.hpp"
+
+namespace d500 {
+namespace {
+
+void fill_random(std::vector<float>& v, Rng& rng) {
+  for (auto& x : v) x = rng.uniform(-1.0f, 1.0f);
+}
+
+class GemmBackendShapes
+    : public ::testing::TestWithParam<
+          std::tuple<GemmBackend, std::tuple<int, int, int>>> {};
+
+TEST_P(GemmBackendShapes, MatchesNaive) {
+  const auto [backend, dims] = GetParam();
+  const auto [M, N, K] = dims;
+  Rng rng(42);
+  std::vector<float> A(static_cast<std::size_t>(M) * K);
+  std::vector<float> B(static_cast<std::size_t>(K) * N);
+  std::vector<float> C_ref(static_cast<std::size_t>(M) * N);
+  std::vector<float> C(static_cast<std::size_t>(M) * N);
+  fill_random(A, rng);
+  fill_random(B, rng);
+
+  gemm(GemmBackend::kNaive, M, N, K, 1.0f, A.data(), B.data(), 0.0f,
+       C_ref.data());
+  gemm(backend, M, N, K, 1.0f, A.data(), B.data(), 0.0f, C.data());
+  for (std::size_t i = 0; i < C.size(); ++i)
+    ASSERT_NEAR(C[i], C_ref[i], 1e-3f) << "i=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, GemmBackendShapes,
+    ::testing::Combine(
+        ::testing::Values(GemmBackend::kNaive, GemmBackend::kBlocked,
+                          GemmBackend::kPacked),
+        ::testing::Values(std::tuple{1, 1, 1}, std::tuple{4, 4, 4},
+                          std::tuple{17, 33, 9}, std::tuple{64, 64, 64},
+                          std::tuple{5, 128, 7}, std::tuple{100, 1, 50},
+                          std::tuple{1, 200, 3}, std::tuple{37, 41, 43})),
+    [](const auto& info) {
+      const GemmBackend backend = std::get<0>(info.param);
+      const auto dims = std::get<1>(info.param);
+      return std::string(gemm_backend_name(backend)) + "_" +
+             std::to_string(std::get<0>(dims)) + "x" +
+             std::to_string(std::get<1>(dims)) + "x" +
+             std::to_string(std::get<2>(dims));
+    });
+
+TEST(Gemm, AlphaBetaSemantics) {
+  const int M = 3, N = 4, K = 5;
+  Rng rng(1);
+  std::vector<float> A(M * K), B(K * N), C(M * N, 2.0f), C2(M * N, 2.0f);
+  fill_random(A, rng);
+  fill_random(B, rng);
+  // C = 0.5*A*B + 3*C
+  gemm(GemmBackend::kBlocked, M, N, K, 0.5f, A.data(), B.data(), 3.0f,
+       C.data());
+  gemm(GemmBackend::kNaive, M, N, K, 0.5f, A.data(), B.data(), 3.0f,
+       C2.data());
+  for (int i = 0; i < M * N; ++i) ASSERT_NEAR(C[i], C2[i], 1e-4f);
+}
+
+TEST(Gemm, ZeroKDegenerate) {
+  std::vector<float> C(6, 5.0f);
+  gemm(GemmBackend::kPacked, 2, 3, 0, 1.0f, nullptr, nullptr, 0.0f, C.data());
+  for (float x : C) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(Gemm, TransposedHelpersMatchNaive) {
+  const int M = 6, N = 7, K = 8;
+  Rng rng(3);
+  // gemm_at_b: C(MxN) += A^T x B with A stored KxM.
+  std::vector<float> A(K * M), B(K * N), C(M * N, 0.0f), C_ref(M * N, 0.0f);
+  fill_random(A, rng);
+  fill_random(B, rng);
+  gemm_at_b(M, N, K, A.data(), B.data(), C.data());
+  for (int i = 0; i < M; ++i)
+    for (int j = 0; j < N; ++j)
+      for (int k = 0; k < K; ++k)
+        C_ref[i * N + j] += A[k * M + i] * B[k * N + j];
+  for (int i = 0; i < M * N; ++i) ASSERT_NEAR(C[i], C_ref[i], 1e-4f);
+
+  // gemm_a_bt: C(MxN) += A x B^T with B stored NxK.
+  std::vector<float> A2(M * K), B2(N * K), D(M * N, 0.0f), D_ref(M * N, 0.0f);
+  fill_random(A2, rng);
+  fill_random(B2, rng);
+  gemm_a_bt(M, N, K, A2.data(), B2.data(), D.data());
+  for (int i = 0; i < M; ++i)
+    for (int j = 0; j < N; ++j)
+      for (int k = 0; k < K; ++k)
+        D_ref[i * N + j] += A2[i * K + k] * B2[j * K + k];
+  for (int i = 0; i < M * N; ++i) ASSERT_NEAR(D[i], D_ref[i], 1e-4f);
+}
+
+TEST(MatMulOp, ShapeInferenceAndForward) {
+  MatMulOp op;
+  EXPECT_EQ(op.output_shapes({{2, 3}, {3, 4}}), (std::vector<Shape>{{2, 4}}));
+  EXPECT_THROW(op.output_shapes({{2, 3}, {4, 4}}), ShapeError);
+
+  Tensor A({2, 2}, std::vector<float>{1, 2, 3, 4});
+  Tensor B({2, 2}, std::vector<float>{5, 6, 7, 8});
+  Tensor C({2, 2});
+  op.forward({&A, &B}, {&C});
+  EXPECT_FLOAT_EQ(C.at(0), 19.0f);
+  EXPECT_FLOAT_EQ(C.at(3), 50.0f);
+}
+
+TEST(MatMulOp, FlopsCount) {
+  MatMulOp op;
+  EXPECT_EQ(op.forward_flops({{2, 3}, {3, 4}}), 2ull * 2 * 4 * 3);
+}
+
+TEST(LinearOp, MatchesManualComputation) {
+  LinearOp op;
+  Tensor X({1, 2}, std::vector<float>{1, 2});
+  Tensor W({3, 2}, std::vector<float>{1, 0, 0, 1, 1, 1});
+  Tensor b({3}, std::vector<float>{0.5f, -0.5f, 0.0f});
+  Tensor Y({1, 3});
+  op.forward({&X, &W, &b}, {&Y});
+  EXPECT_FLOAT_EQ(Y.at(0), 1.5f);
+  EXPECT_FLOAT_EQ(Y.at(1), 1.5f);
+  EXPECT_FLOAT_EQ(Y.at(2), 3.0f);
+}
+
+TEST(LinearOp, GradientCheck) {
+  LinearOp op;
+  Rng rng(5);
+  Tensor X({3, 4});
+  Tensor W({2, 4});
+  Tensor b({2});
+  X.fill_uniform(rng, -1, 1);
+  W.fill_uniform(rng, -1, 1);
+  b.fill_uniform(rng, -1, 1);
+  const auto res = test_gradient(op, {X, W, b});
+  EXPECT_TRUE(res.passed) << "max_rel=" << res.max_rel_error
+                          << " max_abs=" << res.max_abs_error;
+}
+
+TEST(MatMulOp, GradientCheck) {
+  MatMulOp op(GemmBackend::kBlocked);
+  Rng rng(6);
+  Tensor A({3, 5});
+  Tensor B({5, 2});
+  A.fill_uniform(rng, -1, 1);
+  B.fill_uniform(rng, -1, 1);
+  const auto res = test_gradient(op, {A, B});
+  EXPECT_TRUE(res.passed) << "max_rel=" << res.max_rel_error;
+}
+
+}  // namespace
+}  // namespace d500

@@ -1,0 +1,152 @@
+// Network-model and scaling-simulator tests: the analytic formulas must
+// exhibit the qualitative properties the Fig. 12 reproduction depends on
+// (ranking, crossovers, failure modes), independent of constants.
+#include <gtest/gtest.h>
+
+#include "dist/distsim.hpp"
+
+namespace d500 {
+namespace {
+
+const NetParams kNet{};
+const ScalingConfig kCfg{};
+
+TEST(NetModel, RingAllreduceBandwidthTermSaturates) {
+  // Ring allreduce per-node byte volume approaches 2B as n grows; the time
+  // for large vectors must therefore flatten, not grow linearly.
+  const double b = 100e6;
+  const double t8 = t_ring_allreduce(kNet, 8, b);
+  const double t64 = t_ring_allreduce(kNet, 64, b);
+  EXPECT_LT(t64, t8 * 1.5);
+  EXPECT_GT(t64, t8);  // latency term still grows
+}
+
+TEST(NetModel, RdBeatsRingForSmallMessages) {
+  const double small = 4096;
+  EXPECT_LT(t_rd_allreduce(kNet, 64, small), t_ring_allreduce(kNet, 64, small));
+}
+
+TEST(NetModel, RingBeatsRdForLargeMessages) {
+  const double big = 100e6;
+  EXPECT_LT(t_ring_allreduce(kNet, 64, big), t_rd_allreduce(kNet, 64, big));
+}
+
+TEST(NetModel, CentralPsIncastGrowsLinearly) {
+  const double b = 100e6;
+  const double t8 = t_central_ps(kNet, 8, b);
+  const double t16 = t_central_ps(kNet, 16, b);
+  EXPECT_GT(t16, t8 * 1.7);
+}
+
+TEST(NetModel, ShardedPsBeatsCentralPs) {
+  const double b = 100e6;
+  for (int n : {8, 16, 64})
+    EXPECT_LT(t_sharded_ps(kNet, n, b), t_central_ps(kNet, n, b)) << n;
+}
+
+TEST(NetModel, AsyncPsBecomesServerBound) {
+  const double b = 100e6;
+  const double compute = 0.5;
+  const double t2 = t_async_ps_iteration(kNet, 2, b, compute);
+  const double t64 = t_async_ps_iteration(kNet, 64, b, compute);
+  EXPECT_NEAR(t2, compute, compute);       // near compute-bound
+  EXPECT_GT(t64, 2.0 * t2);                // server-bound at scale
+}
+
+TEST(NetModel, SparseVolumeGrowsWithNodesAndSwitches) {
+  const double b = 100e6;
+  const auto t8 = t_sparse_allreduce(kNet, 8, b, 0.08);
+  const auto t64 = t_sparse_allreduce(kNet, 64, b, 0.08);
+  EXPECT_GT(t64.seconds, t8.seconds)
+      << "density growth must make SparCML slower at scale (paper §V-E)";
+  EXPECT_GT(t64.bytes_per_node, t8.bytes_per_node);
+}
+
+TEST(DistSim, StrongScalingRankingMatchesPaper) {
+  // Fig. 12 left at 8-64 nodes: CDSGD/Horovod on top, Python references
+  // an order of magnitude slower, ASGD degrading with node count.
+  for (int n : {8, 16, 32, 64}) {
+    const auto cdsgd = simulate_point(DistScheme::kCDSGD, kNet, kCfg, n, 1024, false);
+    const auto hvd = simulate_point(DistScheme::kHorovod, kNet, kCfg, n, 1024, false);
+    const auto ref = simulate_point(DistScheme::kRefDsgd, kNet, kCfg, n, 1024, false);
+    EXPECT_GT(cdsgd.throughput, ref.throughput * 2.0) << n;
+    EXPECT_NEAR(cdsgd.throughput / hvd.throughput, 1.0, 0.2) << n;
+  }
+  const auto asgd8 = simulate_point(DistScheme::kRefAsgd, kNet, kCfg, 8, 1024, false);
+  const auto asgd64 = simulate_point(DistScheme::kRefAsgd, kNet, kCfg, 64, 1024, false);
+  EXPECT_LT(asgd64.throughput, asgd8.throughput)
+      << "ASGD must deteriorate as workers queue at the server";
+}
+
+TEST(DistSim, DecentralizedBeatsCentralizedAtScale) {
+  // Paper §V-E ·: PSSGD, MAVG, DSGD start close; decentralized wins as
+  // nodes increase.
+  const auto pssgd8 = simulate_point(DistScheme::kRefPssgd, kNet, kCfg, 8, 1024, false);
+  const auto dsgd8 = simulate_point(DistScheme::kRefDsgd, kNet, kCfg, 8, 1024, false);
+  const auto pssgd64 = simulate_point(DistScheme::kRefPssgd, kNet, kCfg, 64, 1024, false);
+  const auto dsgd64 = simulate_point(DistScheme::kRefDsgd, kNet, kCfg, 64, 1024, false);
+  const double ratio8 = dsgd8.throughput / pssgd8.throughput;
+  const double ratio64 = dsgd64.throughput / pssgd64.throughput;
+  EXPECT_GT(ratio64, ratio8);
+  EXPECT_GT(ratio64, 1.0);
+}
+
+TEST(DistSim, WeakScalingFailureModes) {
+  // Fig. 12 right: TF-PS crashes and Horovod destabilizes at 256 nodes.
+  const auto tfps = simulate_point(DistScheme::kTFPS, kNet, kCfg, 256,
+                                   256 * 64, true);
+  EXPECT_TRUE(tfps.failed);
+  const auto hvd = simulate_point(DistScheme::kHorovod, kNet, kCfg, 256,
+                                  256 * 64, true);
+  EXPECT_TRUE(hvd.failed);
+  const auto cdsgd = simulate_point(DistScheme::kCDSGD, kNet, kCfg, 256,
+                                    256 * 64, true);
+  EXPECT_FALSE(cdsgd.failed);
+  EXPECT_GT(cdsgd.throughput, 0.0);
+}
+
+TEST(DistSim, WeakScalingCdsgdBeatsTfpsAndTracksHorovod) {
+  for (int n : {4, 16, 64}) {
+    const auto cdsgd = simulate_point(DistScheme::kCDSGD, kNet, kCfg, n,
+                                      n * 64, true);
+    const auto tfps = simulate_point(DistScheme::kTFPS, kNet, kCfg, n,
+                                     n * 64, true);
+    EXPECT_GT(cdsgd.throughput, tfps.throughput) << n;
+  }
+}
+
+TEST(DistSim, CommVolumeRatiosMatchCaption) {
+  // Fig. 12 caption structure: DSGD 1x, PSSGD/DPSGD 2x, ASGD linear in n,
+  // SparCML <= DSGD at low node counts.
+  const int n = 8;
+  auto vol = [&](DistScheme s) {
+    return simulate_point(s, kNet, kCfg, n, 1024, false).comm_gbytes_per_node;
+  };
+  const double dsgd = vol(DistScheme::kRefDsgd);
+  EXPECT_NEAR(vol(DistScheme::kRefPssgd) / dsgd, 2.0, 1e-9);
+  EXPECT_NEAR(vol(DistScheme::kRefDpsgd) / dsgd, 2.0, 1e-9);
+  EXPECT_GT(vol(DistScheme::kRefAsgd) / dsgd, 4.0);
+  EXPECT_LE(vol(DistScheme::kSparCML), dsgd * 1.05);
+  const double asgd8 = vol(DistScheme::kRefAsgd);
+  const double asgd32 =
+      simulate_point(DistScheme::kRefAsgd, kNet, kCfg, 32, 1024, false)
+          .comm_gbytes_per_node;
+  EXPECT_NEAR(asgd32 / asgd8, 4.0, 1e-6) << "ASGD volume linear in nodes";
+}
+
+TEST(DistSim, SweepHelperCoversNodeCounts) {
+  const auto pts = simulate_scaling(DistScheme::kCDSGD, kNet, kCfg,
+                                    {1, 4, 16, 64, 256}, 64, true);
+  ASSERT_EQ(pts.size(), 5u);
+  for (std::size_t i = 0; i < pts.size(); ++i) EXPECT_GT(pts[i].throughput, 0.0);
+  // Weak scaling: aggregate throughput grows with nodes.
+  EXPECT_GT(pts.back().throughput, pts.front().throughput * 50);
+}
+
+TEST(DistSim, SchemeNames) {
+  EXPECT_STREQ(scheme_name(DistScheme::kCDSGD), "CDSGD");
+  EXPECT_STREQ(scheme_name(DistScheme::kRefAsgd), "REF-asgd");
+}
+
+}  // namespace
+}  // namespace d500

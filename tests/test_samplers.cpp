@@ -1,0 +1,106 @@
+// Sampler tests: sequential / shuffle / distributed semantics, epoch
+// permutation properties, label-bias metric, and the paper's test_sampler
+// validation entry point.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/sampler.hpp"
+
+namespace d500 {
+namespace {
+
+TEST(SequentialSampler, InOrderWithWraparound) {
+  SequentialSampler s(10, 4);
+  EXPECT_EQ(s.next_batch(), (std::vector<std::int64_t>{0, 1, 2, 3}));
+  EXPECT_EQ(s.next_batch(), (std::vector<std::int64_t>{4, 5, 6, 7}));
+  EXPECT_EQ(s.next_batch(), (std::vector<std::int64_t>{8, 9, 0, 1}));
+}
+
+TEST(ShuffleSampler, EpochIsPermutation) {
+  ShuffleSampler s(32, 8, 3);
+  std::set<std::int64_t> seen;
+  for (int b = 0; b < 4; ++b)
+    for (auto i : s.next_batch()) seen.insert(i);
+  EXPECT_EQ(seen.size(), 32u);
+}
+
+TEST(ShuffleSampler, ReshufflesBetweenEpochs) {
+  ShuffleSampler s(64, 64, 4);
+  const auto e1 = s.next_batch();
+  const auto e2 = s.next_batch();
+  EXPECT_NE(e1, e2);
+  std::set<std::int64_t> s2(e2.begin(), e2.end());
+  EXPECT_EQ(s2.size(), 64u);
+}
+
+TEST(ShuffleSampler, DeterministicInSeed) {
+  ShuffleSampler a(16, 16, 9), b(16, 16, 9);
+  EXPECT_EQ(a.next_batch(), b.next_batch());
+}
+
+TEST(DistributedSampler, PartitionsAreDisjointAndComplete) {
+  const int world = 4;
+  std::set<std::int64_t> all;
+  for (int r = 0; r < world; ++r) {
+    DistributedSampler s(32, 16, r, world, 7);
+    // One epoch of this rank = 8 elements * (32/4 per rank / (16/4) batch)
+    for (int b = 0; b < 2; ++b)
+      for (auto i : s.next_batch()) {
+        EXPECT_TRUE(all.insert(i).second) << "overlap at " << i;
+        EXPECT_EQ(i % world, r) << "element outside rank partition";
+      }
+  }
+  EXPECT_EQ(all.size(), 32u);
+}
+
+TEST(DistributedSampler, PerRankBatchIsGlobalOverWorld) {
+  DistributedSampler s(64, 16, 1, 4, 1);
+  EXPECT_EQ(s.batch_size(), 4);
+  EXPECT_EQ(s.next_batch().size(), 4u);
+}
+
+TEST(DistributedSampler, RejectsBadConfig) {
+  EXPECT_THROW(DistributedSampler(10, 7, 0, 2, 1), Error);  // 7 % 2 != 0
+  EXPECT_THROW(DistributedSampler(10, 4, 5, 2, 1), Error);  // bad rank
+}
+
+TEST(DatasetBias, BalancedAndSkewedHistograms) {
+  DatasetBiasMetric m(3);
+  for (int i = 0; i < 30; ++i) m.observe_label(i % 3);
+  EXPECT_DOUBLE_EQ(m.bias(), 1.0);
+
+  DatasetBiasMetric skew(2);
+  for (int i = 0; i < 30; ++i) skew.observe_label(0);
+  skew.observe_label(1);
+  EXPECT_DOUBLE_EQ(skew.bias(), 30.0);
+  EXPECT_THROW(skew.observe_label(5), Error);
+}
+
+TEST(TestSampler, PassesOnGoodSampler) {
+  ShuffleSampler s(40, 8, 11);
+  const auto res = test_sampler(s, 4, [](std::int64_t i) { return i % 4; },
+                                /*epochs=*/2, /*max_bias=*/1.5);
+  EXPECT_TRUE(res.passed) << "bias=" << res.bias
+                          << " dup=" << res.duplicate_indices;
+  EXPECT_EQ(res.out_of_range, 0);
+  EXPECT_EQ(res.duplicate_indices, 0);
+}
+
+TEST(TestSampler, FlagsBiasedSampler) {
+  // A broken sampler that always returns the same indices.
+  class StuckSampler : public Sampler {
+   public:
+    StuckSampler() : Sampler(100, 10) {}
+    std::vector<std::int64_t> next_batch() override {
+      return std::vector<std::int64_t>(10, 0);
+    }
+  };
+  StuckSampler s;
+  const auto res = test_sampler(s, 10, [](std::int64_t i) { return i % 10; });
+  EXPECT_FALSE(res.passed);
+  EXPECT_GT(res.duplicate_indices, 0);
+}
+
+}  // namespace
+}  // namespace d500

@@ -1,0 +1,188 @@
+// SimMPI tests: point-to-point semantics, collectives vs. analytic
+// expectations across world sizes (incl. non-powers of two), byte
+// accounting, and exception propagation.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dist/simmpi.hpp"
+
+namespace d500 {
+namespace {
+
+TEST(SimMpi, SendRecvDeliversData) {
+  SimMpi world(2);
+  world.run([](Communicator& c) {
+    std::vector<float> buf{1.0f, 2.0f, 3.0f};
+    if (c.rank() == 0) {
+      c.send(1, buf, 7);
+    } else {
+      std::vector<float> out(3);
+      c.recv(0, out, 7);
+      EXPECT_EQ(out, (std::vector<float>{1.0f, 2.0f, 3.0f}));
+    }
+  });
+  EXPECT_EQ(world.bytes_sent(0), 12u);
+  EXPECT_EQ(world.bytes_sent(1), 0u);
+  EXPECT_EQ(world.messages_sent(0), 1u);
+}
+
+TEST(SimMpi, TagsKeepMessagesApart) {
+  SimMpi world(2);
+  world.run([](Communicator& c) {
+    if (c.rank() == 0) {
+      std::vector<float> a{1.0f}, b{2.0f};
+      c.send(1, a, 1);
+      c.send(1, b, 2);
+    } else {
+      std::vector<float> out(1);
+      c.recv(0, out, 2);  // request tag 2 first
+      EXPECT_EQ(out[0], 2.0f);
+      c.recv(0, out, 1);
+      EXPECT_EQ(out[0], 1.0f);
+    }
+  });
+}
+
+TEST(SimMpi, BarrierSynchronizes) {
+  SimMpi world(4);
+  std::atomic<int> before{0}, after{0};
+  world.run([&](Communicator& c) {
+    ++before;
+    c.barrier();
+    EXPECT_EQ(before.load(), 4);
+    ++after;
+  });
+  EXPECT_EQ(after.load(), 4);
+}
+
+class CollectiveWorlds : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveWorlds, BcastFromEveryRoot) {
+  const int n = GetParam();
+  SimMpi world(n);
+  for (int root = 0; root < n; ++root) {
+    world.run([&](Communicator& c) {
+      std::vector<float> data(5, c.rank() == root ? 42.0f : 0.0f);
+      c.bcast(data, root);
+      for (float v : data) EXPECT_EQ(v, 42.0f) << "rank " << c.rank();
+    });
+  }
+}
+
+TEST_P(CollectiveWorlds, ReduceSumsToRoot) {
+  const int n = GetParam();
+  SimMpi world(n);
+  world.run([&](Communicator& c) {
+    std::vector<float> data{static_cast<float>(c.rank() + 1)};
+    c.reduce_sum(data, 0);
+    if (c.rank() == 0)
+      EXPECT_FLOAT_EQ(data[0], static_cast<float>(n * (n + 1) / 2));
+  });
+}
+
+TEST_P(CollectiveWorlds, RingAllreduceMatchesExpectation) {
+  const int n = GetParam();
+  SimMpi world(n);
+  world.run([&](Communicator& c) {
+    // Vector longer than the world size so chunks are uneven.
+    std::vector<float> data(13);
+    for (std::size_t i = 0; i < data.size(); ++i)
+      data[i] = static_cast<float>(c.rank() * 100 + static_cast<int>(i));
+    c.allreduce_sum_ring(data);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const float expected =
+          static_cast<float>(100 * (n * (n - 1) / 2) + n * static_cast<int>(i));
+      ASSERT_FLOAT_EQ(data[i], expected) << "rank " << c.rank() << " i=" << i;
+    }
+  });
+}
+
+TEST_P(CollectiveWorlds, RecursiveDoublingAllreduceMatchesRing) {
+  const int n = GetParam();
+  SimMpi world(n);
+  world.run([&](Communicator& c) {
+    std::vector<float> a(7), b(7);
+    for (std::size_t i = 0; i < a.size(); ++i)
+      a[i] = b[i] = static_cast<float>((c.rank() + 1) * (i + 1));
+    c.allreduce_sum_ring(a);
+    c.allreduce_sum_rd(b);
+    for (std::size_t i = 0; i < a.size(); ++i)
+      ASSERT_NEAR(a[i], b[i], 1e-3f);
+  });
+}
+
+TEST_P(CollectiveWorlds, AllgatherAssemblesChunks) {
+  const int n = GetParam();
+  SimMpi world(n);
+  world.run([&](Communicator& c) {
+    std::vector<float> chunk{static_cast<float>(c.rank()),
+                             static_cast<float>(c.rank() * 10)};
+    std::vector<float> out(static_cast<std::size_t>(2 * n));
+    c.allgather(chunk, out);
+    for (int r = 0; r < n; ++r) {
+      ASSERT_FLOAT_EQ(out[static_cast<std::size_t>(2 * r)], r);
+      ASSERT_FLOAT_EQ(out[static_cast<std::size_t>(2 * r + 1)], r * 10);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Worlds, CollectiveWorlds,
+                         ::testing::Values(1, 2, 3, 4, 5, 8),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(SimMpi, RingAllreduceByteAccounting) {
+  // Ring allreduce wire volume per rank = 2 * (n-1)/n * bytes (within
+  // chunk-rounding of the uneven split).
+  const int n = 4;
+  const std::size_t elems = 1024;
+  SimMpi world(n);
+  world.run([&](Communicator& c) {
+    std::vector<float> data(elems, 1.0f);
+    c.allreduce_sum_ring(data);
+  });
+  const double expected = 2.0 * (n - 1) / n * elems * sizeof(float);
+  for (int r = 0; r < n; ++r) {
+    EXPECT_NEAR(static_cast<double>(world.bytes_sent(r)), expected,
+                expected * 0.05)
+        << "rank " << r;
+  }
+}
+
+TEST(SimMpi, RdAllreduceSendsLogRounds) {
+  const int n = 8;
+  const std::size_t elems = 256;
+  SimMpi world(n);
+  world.run([&](Communicator& c) {
+    std::vector<float> data(elems, 1.0f);
+    c.allreduce_sum_rd(data);
+  });
+  // Power-of-two world: log2(n)=3 full-vector sends per rank.
+  for (int r = 0; r < n; ++r)
+    EXPECT_EQ(world.bytes_sent(r), 3 * elems * sizeof(float));
+}
+
+TEST(SimMpi, ExceptionsPropagate) {
+  SimMpi world(2);
+  EXPECT_THROW(world.run([](Communicator& c) {
+                 if (c.rank() == 1) throw Error("rank 1 boom");
+               }),
+               Error);
+}
+
+TEST(SimMpi, ResetCounters) {
+  SimMpi world(2);
+  world.run([](Communicator& c) {
+    std::vector<float> v{1.0f};
+    if (c.rank() == 0) c.send(1, v);
+    else c.recv(0, v);
+  });
+  EXPECT_GT(world.total_bytes_sent(), 0u);
+  world.reset_counters();
+  EXPECT_EQ(world.total_bytes_sent(), 0u);
+}
+
+}  // namespace
+}  // namespace d500

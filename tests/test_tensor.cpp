@@ -1,0 +1,133 @@
+// Unit tests for the Tensor class and elementwise helpers.
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hpp"
+
+namespace d500 {
+namespace {
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.elements(), 6);
+  for (std::int64_t i = 0; i < 6; ++i) EXPECT_EQ(t.at(i), 0.0f);
+}
+
+TEST(Tensor, InitFromSpan) {
+  const float vals[] = {1, 2, 3, 4};
+  Tensor t({2, 2}, vals);
+  EXPECT_EQ(t.at(3), 4.0f);
+  EXPECT_THROW(Tensor({3}, vals), Error);
+}
+
+TEST(Tensor, CopyIsDeep) {
+  Tensor a({4});
+  a.fill(1.0f);
+  Tensor b = a;
+  b.at(0) = 9.0f;
+  EXPECT_EQ(a.at(0), 1.0f);
+  EXPECT_EQ(b.at(0), 9.0f);
+}
+
+TEST(Tensor, MovePreservesData) {
+  Tensor a({4});
+  a.fill(2.0f);
+  const float* p = a.data();
+  Tensor b = std::move(a);
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b.at(3), 2.0f);
+}
+
+TEST(Tensor, At4NCHWIndexing) {
+  Tensor t({2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 42.0f;
+  // flat NCHW index: ((1*3+2)*4+3)*5+4 = 119
+  EXPECT_EQ(t.at(119), 42.0f);
+  EXPECT_THROW(t.at4(2, 0, 0, 0), Error);
+}
+
+TEST(Tensor, LayoutConversionRoundTrip) {
+  Rng rng(3);
+  Tensor a({2, 3, 4, 5});
+  a.fill_uniform(rng, -1, 1);
+  Tensor nhwc = a.to_layout(Layout::kNHWC);
+  EXPECT_EQ(nhwc.layout(), Layout::kNHWC);
+  // Logical indexing must agree.
+  EXPECT_EQ(a.at4(1, 2, 3, 4), nhwc.at4(1, 2, 3, 4));
+  Tensor back = nhwc.to_layout(Layout::kNCHW);
+  for (std::int64_t i = 0; i < a.elements(); ++i)
+    EXPECT_EQ(a.at(i), back.at(i));
+}
+
+TEST(Tensor, Reshaped) {
+  Tensor a({2, 6});
+  a.at(7) = 5.0f;
+  Tensor b = a.reshaped({3, 4});
+  EXPECT_EQ(b.shape(), (Shape{3, 4}));
+  EXPECT_EQ(b.at(7), 5.0f);
+  EXPECT_THROW(a.reshaped({5}), Error);
+}
+
+TEST(Tensor, DescPointsAtData) {
+  Tensor a({3});
+  a.at(1) = 7.0f;
+  tensor_t d = a.desc();
+  EXPECT_EQ(d.data, a.data());
+  EXPECT_EQ(desc_shape(d), a.shape());
+}
+
+TEST(Tensor, BorrowAliasesStorage) {
+  Tensor a({4});
+  a.fill(1.0f);
+  Tensor view = Tensor::borrow(a.desc());
+  EXPECT_FALSE(view.owns_data());
+  view.at(2) = 99.0f;
+  EXPECT_EQ(a.at(2), 99.0f);
+  // Copying a borrowed view produces owning storage.
+  Tensor copy = view;
+  EXPECT_TRUE(copy.owns_data());
+  copy.at(2) = 1.0f;
+  EXPECT_EQ(a.at(2), 99.0f);
+}
+
+TEST(Tensor, KaimingInitVariance) {
+  Rng rng(1);
+  Tensor w({256, 128});
+  w.fill_kaiming(rng, 128);
+  double sq = 0;
+  for (std::int64_t i = 0; i < w.elements(); ++i)
+    sq += static_cast<double>(w.at(i)) * w.at(i);
+  const double var = sq / static_cast<double>(w.elements());
+  EXPECT_NEAR(var, 2.0 / 128.0, 2e-3);
+}
+
+TEST(TensorOps, AxpyScaleAddSubMul) {
+  Tensor x({3}, std::vector<float>{1, 2, 3});
+  Tensor y({3}, std::vector<float>{10, 20, 30});
+  axpy(2.0f, x, y);
+  EXPECT_EQ(y.at(2), 36.0f);
+  scale(y, 0.5f);
+  EXPECT_EQ(y.at(0), 6.0f);
+  Tensor out({3});
+  add(x, x, out);
+  EXPECT_EQ(out.at(1), 4.0f);
+  sub(x, x, out);
+  EXPECT_EQ(out.at(1), 0.0f);
+  mul(x, x, out);
+  EXPECT_EQ(out.at(2), 9.0f);
+}
+
+TEST(TensorOps, DotAndNorms) {
+  Tensor a({2}, std::vector<float>{3, 4});
+  EXPECT_DOUBLE_EQ(dot(a, a), 25.0);
+  EXPECT_DOUBLE_EQ(l2_norm(a), 5.0);
+  EXPECT_DOUBLE_EQ(linf_norm(a), 4.0);
+}
+
+TEST(TensorOps, SizeMismatchThrows) {
+  Tensor a({2}), b({3});
+  EXPECT_THROW(axpy(1.0f, a, b), Error);
+  EXPECT_THROW(dot(a, b), Error);
+}
+
+}  // namespace
+}  // namespace d500

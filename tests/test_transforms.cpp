@@ -1,0 +1,220 @@
+// Graph-transform tests: bias+ReLU fusion, dead-node elimination, the
+// micro-batch DP solver, and the full micro-batch rewrite (semantics
+// preserved, OOM eliminated — the paper's §V-C case study at unit scale).
+#include <gtest/gtest.h>
+
+#include "graph/executor.hpp"
+#include "graph/microbatch.hpp"
+#include "graph/shape_inference.hpp"
+#include "graph/transforms.hpp"
+#include "graph/visitor.hpp"
+#include "models/builders.hpp"
+
+namespace d500 {
+namespace {
+
+Model bias_relu_model() {
+  Rng rng(2);
+  Tensor bias({3});
+  bias.fill_uniform(rng, -1, 1);
+  return ModelBuilder("br")
+      .input("data", {2, 3, 4, 4})
+      .initializer("bias", std::move(bias))
+      .node("BiasAdd", {"data", "bias"}, {"b"})
+      .node("ReLU", {"b"}, {"y"})
+      .output("y")
+      .build();
+}
+
+TEST(Fusion, FusesBiasReluAndPreservesSemantics) {
+  const Model m = bias_relu_model();
+  const Model fused = FuseBiasReluTransform().apply(m);
+  ASSERT_EQ(fused.nodes.size(), 1u);
+  EXPECT_EQ(fused.nodes[0].op_type, "FusedBiasRelu");
+
+  Rng rng(7);
+  TensorMap feeds;
+  Tensor d({2, 3, 4, 4});
+  d.fill_uniform(rng, -1, 1);
+  feeds["data"] = d;
+
+  ReferenceExecutor e1(build_network(m));
+  ReferenceExecutor e2(build_network(fused));
+  const Tensor y1 = e1.inference(feeds).at("y");
+  const Tensor y2 = e2.inference(feeds).at("y");
+  for (std::int64_t i = 0; i < y1.elements(); ++i)
+    ASSERT_FLOAT_EQ(y1.at(i), y2.at(i));
+}
+
+TEST(Fusion, DoesNotFuseWhenIntermediateIsExported) {
+  Model m = bias_relu_model();
+  m.graph_outputs.push_back("b");
+  const Model fused = FuseBiasReluTransform().apply(m);
+  EXPECT_EQ(fused.nodes.size(), 2u);
+}
+
+TEST(Fusion, DoesNotFuseMultiConsumerIntermediate) {
+  Rng rng(2);
+  Tensor bias({3});
+  Model m = ModelBuilder("br2")
+                .input("data", {1, 3, 2, 2})
+                .initializer("bias", std::move(bias))
+                .node("BiasAdd", {"data", "bias"}, {"b"})
+                .node("ReLU", {"b"}, {"y1"})
+                .node("Sigmoid", {"b"}, {"y2"})
+                .output("y1")
+                .output("y2")
+                .build();
+  const Model fused = FuseBiasReluTransform().apply(m);
+  EXPECT_EQ(fused.nodes.size(), 3u);
+}
+
+TEST(DeadNodes, RemovesUnusedChains) {
+  Model m = ModelBuilder("dead")
+                .input("data", {1, 4})
+                .node("ReLU", {"data"}, {"live"})
+                .node("Sigmoid", {"data"}, {"dead1"})
+                .node("Tanh", {"dead1"}, {"dead2"})
+                .output("live")
+                .build();
+  const Model out = DeadNodeElimination().apply(m);
+  EXPECT_EQ(out.nodes.size(), 1u);
+  EXPECT_EQ(out.nodes[0].op_type, "ReLU");
+}
+
+TEST(MicrobatchSolver, PicksLargestFeasibleChunk) {
+  auto cost = [](std::int64_t s) {
+    MicrobatchOption o;
+    o.size = s;
+    o.memory_bytes = static_cast<std::size_t>(s) * 100;
+    o.cost_seconds = 1.0 + 0.1 * static_cast<double>(s);  // per-chunk overhead
+    return o;
+  };
+  // Budget allows chunks up to 16.
+  const auto plan =
+      solve_microbatch(64, 1600, {1, 2, 4, 8, 16, 32, 64}, cost);
+  ASSERT_TRUE(plan.feasible);
+  std::int64_t total = 0;
+  for (auto s : plan.sizes) {
+    EXPECT_LE(s, 16);
+    total += s;
+  }
+  EXPECT_EQ(total, 64);
+  // Per-chunk fixed overhead => optimum is 4 chunks of 16.
+  EXPECT_EQ(plan.sizes.size(), 4u);
+}
+
+TEST(MicrobatchSolver, InfeasibleWhenNothingFits) {
+  auto cost = [](std::int64_t s) {
+    MicrobatchOption o;
+    o.size = s;
+    o.memory_bytes = 1u << 30;
+    return o;
+  };
+  const auto plan = solve_microbatch(8, 1024, {1, 2, 4, 8}, cost);
+  EXPECT_FALSE(plan.feasible);
+}
+
+TEST(MicrobatchSolver, HandlesNonDivisibleBatch) {
+  auto cost = [](std::int64_t s) {
+    MicrobatchOption o;
+    o.size = s;
+    o.memory_bytes = static_cast<std::size_t>(s);
+    o.cost_seconds = static_cast<double>(s);
+    return o;
+  };
+  const auto plan = solve_microbatch(13, 4, {1, 2, 4}, cost);
+  ASSERT_TRUE(plan.feasible);
+  std::int64_t total = 0;
+  for (auto s : plan.sizes) total += s;
+  EXPECT_EQ(total, 13);
+}
+
+TEST(MicrobatchTransform, RewritePreservesOutputs) {
+  const Model m = models::alexnet_like(16, 5, /*with_loss=*/false);
+  const auto est = estimate_memory(m);
+  // Force splitting by budgeting half of the conv workspace.
+  MicrobatchTransform tr(est.max_workspace_bytes / 2, {1, 2, 4, 8, 16});
+  const Model split = tr.apply(m);
+
+  // Structure: a Split, several Conv2Ds, a Concat.
+  int splits = 0, convs = 0, concats = 0;
+  for (const auto& n : split.nodes) {
+    if (n.op_type == "Split") ++splits;
+    if (n.op_type == "Conv2D") ++convs;
+    if (n.op_type == "Concat") ++concats;
+  }
+  EXPECT_EQ(splits, 1);
+  EXPECT_EQ(concats, 1);
+  EXPECT_GT(convs, 1);
+
+  Rng rng(8);
+  TensorMap feeds;
+  Tensor d({16, 16, 16, 16});
+  d.fill_uniform(rng, -1, 1);
+  feeds["data"] = d;
+
+  ReferenceExecutor e1(build_network(m));
+  ReferenceExecutor e2(build_network(split));
+  const Tensor y1 = e1.inference(feeds).at("logits");
+  const Tensor y2 = e2.inference(feeds).at("logits");
+  for (std::int64_t i = 0; i < y1.elements(); ++i)
+    ASSERT_NEAR(y1.at(i), y2.at(i), 1e-4f);
+}
+
+TEST(MicrobatchTransform, EliminatesOOM) {
+  // The §V-C scenario: a memory cap that OOMs the whole-batch conv but
+  // admits the micro-batched rewrite.
+  const Model m = models::alexnet_like(32, 5, /*with_loss=*/false);
+  Rng rng(9);
+  TensorMap feeds;
+  Tensor d({32, 16, 16, 16});
+  d.fill_uniform(rng, -1, 1);
+  feeds["data"] = std::move(d);
+
+  ReferenceExecutor before(build_network(m));
+  before.inference(feeds);
+  const std::size_t peak = before.last_peak_memory();
+
+  // Cap below the whole-batch peak.
+  const std::size_t cap = peak - peak / 4;
+  ReferenceExecutor capped(build_network(m));
+  capped.set_memory_limit(cap);
+  EXPECT_THROW(capped.inference(feeds), OutOfMemoryError);
+
+  const auto est = estimate_memory(m);
+  MicrobatchTransform tr(est.max_workspace_bytes / 8, {1, 2, 4, 8});
+  const Model split = tr.apply(m);
+  ReferenceExecutor after(build_network(split));
+  after.set_memory_limit(cap);
+  const auto out = after.inference(feeds);  // must not throw
+  EXPECT_TRUE(out.count("logits"));
+}
+
+TEST(MicrobatchTransform, BackpropThroughSplitGraph) {
+  const Model m = models::alexnet_like(8, 5, /*with_loss=*/true);
+  const auto est = estimate_memory(m);
+  MicrobatchTransform tr(est.max_workspace_bytes / 4, {1, 2, 4});
+  const Model split = tr.apply(m);
+
+  Rng rng(10);
+  TensorMap feeds;
+  Tensor d({8, 16, 16, 16});
+  d.fill_uniform(rng, -1, 1);
+  feeds["data"] = std::move(d);
+  Tensor labels({8});
+  for (int i = 0; i < 8; ++i) labels.at(i) = static_cast<float>(i % 10);
+  feeds["labels"] = std::move(labels);
+
+  ReferenceExecutor e1(build_network(m));
+  ReferenceExecutor e2(build_network(split));
+  e1.inference_and_backprop(feeds, "loss");
+  e2.inference_and_backprop(feeds, "loss");
+  const Tensor& g1 = e1.network().fetch_tensor("grad::conv.w");
+  const Tensor& g2 = e2.network().fetch_tensor("grad::conv.w");
+  for (std::int64_t i = 0; i < g1.elements(); ++i)
+    ASSERT_NEAR(g1.at(i), g2.at(i), 1e-3f);
+}
+
+}  // namespace
+}  // namespace d500
