@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_l0_conv"
+  "../bench/bench_l0_conv.pdb"
+  "CMakeFiles/bench_l0_conv.dir/bench_l0_conv.cpp.o"
+  "CMakeFiles/bench_l0_conv.dir/bench_l0_conv.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_l0_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

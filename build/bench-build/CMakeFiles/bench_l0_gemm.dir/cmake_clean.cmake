@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_l0_gemm"
+  "../bench/bench_l0_gemm.pdb"
+  "CMakeFiles/bench_l0_gemm.dir/bench_l0_gemm.cpp.o"
+  "CMakeFiles/bench_l0_gemm.dir/bench_l0_gemm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_l0_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_l1_microbatch"
+  "../bench/bench_l1_microbatch.pdb"
+  "CMakeFiles/bench_l1_microbatch.dir/bench_l1_microbatch.cpp.o"
+  "CMakeFiles/bench_l1_microbatch.dir/bench_l1_microbatch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_l1_microbatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_l1_microbatch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_l2_adam_frameworks"
+  "../bench/bench_l2_adam_frameworks.pdb"
+  "CMakeFiles/bench_l2_adam_frameworks.dir/bench_l2_adam_frameworks.cpp.o"
+  "CMakeFiles/bench_l2_adam_frameworks.dir/bench_l2_adam_frameworks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_l2_adam_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_l2_dataset_latency"
+  "../bench/bench_l2_dataset_latency.pdb"
+  "CMakeFiles/bench_l2_dataset_latency.dir/bench_l2_dataset_latency.cpp.o"
+  "CMakeFiles/bench_l2_dataset_latency.dir/bench_l2_dataset_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_l2_dataset_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_l2_decode_breakdown"
+  "../bench/bench_l2_decode_breakdown.pdb"
+  "CMakeFiles/bench_l2_decode_breakdown.dir/bench_l2_decode_breakdown.cpp.o"
+  "CMakeFiles/bench_l2_decode_breakdown.dir/bench_l2_decode_breakdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_l2_decode_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

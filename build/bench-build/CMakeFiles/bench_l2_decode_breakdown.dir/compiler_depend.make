@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_l2_decode_breakdown.
+# This may be replaced when dependencies are built.

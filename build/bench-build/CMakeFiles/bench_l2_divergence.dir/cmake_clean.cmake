@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_l2_divergence"
+  "../bench/bench_l2_divergence.pdb"
+  "CMakeFiles/bench_l2_divergence.dir/bench_l2_divergence.cpp.o"
+  "CMakeFiles/bench_l2_divergence.dir/bench_l2_divergence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_l2_divergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

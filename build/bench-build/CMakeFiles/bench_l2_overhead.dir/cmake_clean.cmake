@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_l2_overhead"
+  "../bench/bench_l2_overhead.pdb"
+  "CMakeFiles/bench_l2_overhead.dir/bench_l2_overhead.cpp.o"
+  "CMakeFiles/bench_l2_overhead.dir/bench_l2_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_l2_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_l3_comm_volume"
+  "../bench/bench_l3_comm_volume.pdb"
+  "CMakeFiles/bench_l3_comm_volume.dir/bench_l3_comm_volume.cpp.o"
+  "CMakeFiles/bench_l3_comm_volume.dir/bench_l3_comm_volume.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_l3_comm_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

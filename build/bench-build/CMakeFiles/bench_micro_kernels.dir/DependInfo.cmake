@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_kernels.cpp" "bench-build/CMakeFiles/bench_micro_kernels.dir/bench_micro_kernels.cpp.o" "gcc" "bench-build/CMakeFiles/bench_micro_kernels.dir/bench_micro_kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/d500_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/d500_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/d500_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/d500_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

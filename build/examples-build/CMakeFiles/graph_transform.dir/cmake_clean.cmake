@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/graph_transform"
+  "../examples/graph_transform.pdb"
+  "CMakeFiles/graph_transform.dir/graph_transform.cpp.o"
+  "CMakeFiles/graph_transform.dir/graph_transform.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

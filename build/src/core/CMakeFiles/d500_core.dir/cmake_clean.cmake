@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d500_core.dir/env.cpp.o"
+  "CMakeFiles/d500_core.dir/env.cpp.o.d"
+  "CMakeFiles/d500_core.dir/metrics.cpp.o"
+  "CMakeFiles/d500_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/d500_core.dir/serialize.cpp.o"
+  "CMakeFiles/d500_core.dir/serialize.cpp.o.d"
+  "CMakeFiles/d500_core.dir/stats.cpp.o"
+  "CMakeFiles/d500_core.dir/stats.cpp.o.d"
+  "CMakeFiles/d500_core.dir/table.cpp.o"
+  "CMakeFiles/d500_core.dir/table.cpp.o.d"
+  "libd500_core.a"
+  "libd500_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d500_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

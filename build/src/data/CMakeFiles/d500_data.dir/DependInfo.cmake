@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/codec.cpp" "src/data/CMakeFiles/d500_data.dir/codec.cpp.o" "gcc" "src/data/CMakeFiles/d500_data.dir/codec.cpp.o.d"
+  "/root/repo/src/data/container.cpp" "src/data/CMakeFiles/d500_data.dir/container.cpp.o" "gcc" "src/data/CMakeFiles/d500_data.dir/container.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/d500_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/d500_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/pfs_model.cpp" "src/data/CMakeFiles/d500_data.dir/pfs_model.cpp.o" "gcc" "src/data/CMakeFiles/d500_data.dir/pfs_model.cpp.o.d"
+  "/root/repo/src/data/pipeline.cpp" "src/data/CMakeFiles/d500_data.dir/pipeline.cpp.o" "gcc" "src/data/CMakeFiles/d500_data.dir/pipeline.cpp.o.d"
+  "/root/repo/src/data/sampler.cpp" "src/data/CMakeFiles/d500_data.dir/sampler.cpp.o" "gcc" "src/data/CMakeFiles/d500_data.dir/sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/d500_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/d500_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d500_data.dir/codec.cpp.o"
+  "CMakeFiles/d500_data.dir/codec.cpp.o.d"
+  "CMakeFiles/d500_data.dir/container.cpp.o"
+  "CMakeFiles/d500_data.dir/container.cpp.o.d"
+  "CMakeFiles/d500_data.dir/dataset.cpp.o"
+  "CMakeFiles/d500_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/d500_data.dir/pfs_model.cpp.o"
+  "CMakeFiles/d500_data.dir/pfs_model.cpp.o.d"
+  "CMakeFiles/d500_data.dir/pipeline.cpp.o"
+  "CMakeFiles/d500_data.dir/pipeline.cpp.o.d"
+  "CMakeFiles/d500_data.dir/sampler.cpp.o"
+  "CMakeFiles/d500_data.dir/sampler.cpp.o.d"
+  "libd500_data.a"
+  "libd500_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d500_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d500_dist.dir/compression.cpp.o"
+  "CMakeFiles/d500_dist.dir/compression.cpp.o.d"
+  "CMakeFiles/d500_dist.dir/dist_optimizer.cpp.o"
+  "CMakeFiles/d500_dist.dir/dist_optimizer.cpp.o.d"
+  "CMakeFiles/d500_dist.dir/distsim.cpp.o"
+  "CMakeFiles/d500_dist.dir/distsim.cpp.o.d"
+  "CMakeFiles/d500_dist.dir/netmodel.cpp.o"
+  "CMakeFiles/d500_dist.dir/netmodel.cpp.o.d"
+  "CMakeFiles/d500_dist.dir/pipeline_parallel.cpp.o"
+  "CMakeFiles/d500_dist.dir/pipeline_parallel.cpp.o.d"
+  "CMakeFiles/d500_dist.dir/simmpi.cpp.o"
+  "CMakeFiles/d500_dist.dir/simmpi.cpp.o.d"
+  "CMakeFiles/d500_dist.dir/sparcml.cpp.o"
+  "CMakeFiles/d500_dist.dir/sparcml.cpp.o.d"
+  "libd500_dist.a"
+  "libd500_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d500_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d500_frameworks.dir/framework.cpp.o"
+  "CMakeFiles/d500_frameworks.dir/framework.cpp.o.d"
+  "CMakeFiles/d500_frameworks.dir/native_optimizers.cpp.o"
+  "CMakeFiles/d500_frameworks.dir/native_optimizers.cpp.o.d"
+  "CMakeFiles/d500_frameworks.dir/plan_executor.cpp.o"
+  "CMakeFiles/d500_frameworks.dir/plan_executor.cpp.o.d"
+  "libd500_frameworks.a"
+  "libd500_frameworks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d500_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/microbatch.cpp" "src/graph/CMakeFiles/d500_graph.dir/microbatch.cpp.o" "gcc" "src/graph/CMakeFiles/d500_graph.dir/microbatch.cpp.o.d"
+  "/root/repo/src/graph/model.cpp" "src/graph/CMakeFiles/d500_graph.dir/model.cpp.o" "gcc" "src/graph/CMakeFiles/d500_graph.dir/model.cpp.o.d"
+  "/root/repo/src/graph/network.cpp" "src/graph/CMakeFiles/d500_graph.dir/network.cpp.o" "gcc" "src/graph/CMakeFiles/d500_graph.dir/network.cpp.o.d"
+  "/root/repo/src/graph/reference_executor.cpp" "src/graph/CMakeFiles/d500_graph.dir/reference_executor.cpp.o" "gcc" "src/graph/CMakeFiles/d500_graph.dir/reference_executor.cpp.o.d"
+  "/root/repo/src/graph/shape_inference.cpp" "src/graph/CMakeFiles/d500_graph.dir/shape_inference.cpp.o" "gcc" "src/graph/CMakeFiles/d500_graph.dir/shape_inference.cpp.o.d"
+  "/root/repo/src/graph/transforms.cpp" "src/graph/CMakeFiles/d500_graph.dir/transforms.cpp.o" "gcc" "src/graph/CMakeFiles/d500_graph.dir/transforms.cpp.o.d"
+  "/root/repo/src/graph/visitor.cpp" "src/graph/CMakeFiles/d500_graph.dir/visitor.cpp.o" "gcc" "src/graph/CMakeFiles/d500_graph.dir/visitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ops/CMakeFiles/d500_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/d500_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/d500_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

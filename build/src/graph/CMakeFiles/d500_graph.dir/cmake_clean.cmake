@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d500_graph.dir/microbatch.cpp.o"
+  "CMakeFiles/d500_graph.dir/microbatch.cpp.o.d"
+  "CMakeFiles/d500_graph.dir/model.cpp.o"
+  "CMakeFiles/d500_graph.dir/model.cpp.o.d"
+  "CMakeFiles/d500_graph.dir/network.cpp.o"
+  "CMakeFiles/d500_graph.dir/network.cpp.o.d"
+  "CMakeFiles/d500_graph.dir/reference_executor.cpp.o"
+  "CMakeFiles/d500_graph.dir/reference_executor.cpp.o.d"
+  "CMakeFiles/d500_graph.dir/shape_inference.cpp.o"
+  "CMakeFiles/d500_graph.dir/shape_inference.cpp.o.d"
+  "CMakeFiles/d500_graph.dir/transforms.cpp.o"
+  "CMakeFiles/d500_graph.dir/transforms.cpp.o.d"
+  "CMakeFiles/d500_graph.dir/visitor.cpp.o"
+  "CMakeFiles/d500_graph.dir/visitor.cpp.o.d"
+  "libd500_graph.a"
+  "libd500_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d500_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libd500_graph.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d500_models.dir/builders.cpp.o"
+  "CMakeFiles/d500_models.dir/builders.cpp.o.d"
+  "libd500_models.a"
+  "libd500_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d500_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ops/batchnorm.cpp" "src/ops/CMakeFiles/d500_ops.dir/batchnorm.cpp.o" "gcc" "src/ops/CMakeFiles/d500_ops.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/ops/cabi.cpp" "src/ops/CMakeFiles/d500_ops.dir/cabi.cpp.o" "gcc" "src/ops/CMakeFiles/d500_ops.dir/cabi.cpp.o.d"
+  "/root/repo/src/ops/conv2d.cpp" "src/ops/CMakeFiles/d500_ops.dir/conv2d.cpp.o" "gcc" "src/ops/CMakeFiles/d500_ops.dir/conv2d.cpp.o.d"
+  "/root/repo/src/ops/dropout.cpp" "src/ops/CMakeFiles/d500_ops.dir/dropout.cpp.o" "gcc" "src/ops/CMakeFiles/d500_ops.dir/dropout.cpp.o.d"
+  "/root/repo/src/ops/elementwise.cpp" "src/ops/CMakeFiles/d500_ops.dir/elementwise.cpp.o" "gcc" "src/ops/CMakeFiles/d500_ops.dir/elementwise.cpp.o.d"
+  "/root/repo/src/ops/gemm.cpp" "src/ops/CMakeFiles/d500_ops.dir/gemm.cpp.o" "gcc" "src/ops/CMakeFiles/d500_ops.dir/gemm.cpp.o.d"
+  "/root/repo/src/ops/jit.cpp" "src/ops/CMakeFiles/d500_ops.dir/jit.cpp.o" "gcc" "src/ops/CMakeFiles/d500_ops.dir/jit.cpp.o.d"
+  "/root/repo/src/ops/loss.cpp" "src/ops/CMakeFiles/d500_ops.dir/loss.cpp.o" "gcc" "src/ops/CMakeFiles/d500_ops.dir/loss.cpp.o.d"
+  "/root/repo/src/ops/pool.cpp" "src/ops/CMakeFiles/d500_ops.dir/pool.cpp.o" "gcc" "src/ops/CMakeFiles/d500_ops.dir/pool.cpp.o.d"
+  "/root/repo/src/ops/registry.cpp" "src/ops/CMakeFiles/d500_ops.dir/registry.cpp.o" "gcc" "src/ops/CMakeFiles/d500_ops.dir/registry.cpp.o.d"
+  "/root/repo/src/ops/shape_ops.cpp" "src/ops/CMakeFiles/d500_ops.dir/shape_ops.cpp.o" "gcc" "src/ops/CMakeFiles/d500_ops.dir/shape_ops.cpp.o.d"
+  "/root/repo/src/ops/softmax.cpp" "src/ops/CMakeFiles/d500_ops.dir/softmax.cpp.o" "gcc" "src/ops/CMakeFiles/d500_ops.dir/softmax.cpp.o.d"
+  "/root/repo/src/ops/validation.cpp" "src/ops/CMakeFiles/d500_ops.dir/validation.cpp.o" "gcc" "src/ops/CMakeFiles/d500_ops.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/d500_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/d500_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d500_ops.dir/batchnorm.cpp.o"
+  "CMakeFiles/d500_ops.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/d500_ops.dir/cabi.cpp.o"
+  "CMakeFiles/d500_ops.dir/cabi.cpp.o.d"
+  "CMakeFiles/d500_ops.dir/conv2d.cpp.o"
+  "CMakeFiles/d500_ops.dir/conv2d.cpp.o.d"
+  "CMakeFiles/d500_ops.dir/dropout.cpp.o"
+  "CMakeFiles/d500_ops.dir/dropout.cpp.o.d"
+  "CMakeFiles/d500_ops.dir/elementwise.cpp.o"
+  "CMakeFiles/d500_ops.dir/elementwise.cpp.o.d"
+  "CMakeFiles/d500_ops.dir/gemm.cpp.o"
+  "CMakeFiles/d500_ops.dir/gemm.cpp.o.d"
+  "CMakeFiles/d500_ops.dir/jit.cpp.o"
+  "CMakeFiles/d500_ops.dir/jit.cpp.o.d"
+  "CMakeFiles/d500_ops.dir/loss.cpp.o"
+  "CMakeFiles/d500_ops.dir/loss.cpp.o.d"
+  "CMakeFiles/d500_ops.dir/pool.cpp.o"
+  "CMakeFiles/d500_ops.dir/pool.cpp.o.d"
+  "CMakeFiles/d500_ops.dir/registry.cpp.o"
+  "CMakeFiles/d500_ops.dir/registry.cpp.o.d"
+  "CMakeFiles/d500_ops.dir/shape_ops.cpp.o"
+  "CMakeFiles/d500_ops.dir/shape_ops.cpp.o.d"
+  "CMakeFiles/d500_ops.dir/softmax.cpp.o"
+  "CMakeFiles/d500_ops.dir/softmax.cpp.o.d"
+  "CMakeFiles/d500_ops.dir/validation.cpp.o"
+  "CMakeFiles/d500_ops.dir/validation.cpp.o.d"
+  "libd500_ops.a"
+  "libd500_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d500_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

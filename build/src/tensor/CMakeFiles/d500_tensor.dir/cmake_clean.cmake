@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d500_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/d500_tensor.dir/tensor.cpp.o.d"
+  "libd500_tensor.a"
+  "libd500_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d500_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d500_train.dir/lbfgs.cpp.o"
+  "CMakeFiles/d500_train.dir/lbfgs.cpp.o.d"
+  "CMakeFiles/d500_train.dir/optimizers.cpp.o"
+  "CMakeFiles/d500_train.dir/optimizers.cpp.o.d"
+  "CMakeFiles/d500_train.dir/trainer.cpp.o"
+  "CMakeFiles/d500_train.dir/trainer.cpp.o.d"
+  "CMakeFiles/d500_train.dir/validation.cpp.o"
+  "CMakeFiles/d500_train.dir/validation.cpp.o.d"
+  "libd500_train.a"
+  "libd500_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d500_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

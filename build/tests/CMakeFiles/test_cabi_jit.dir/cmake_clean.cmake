@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cabi_jit.dir/test_cabi_jit.cpp.o"
+  "CMakeFiles/test_cabi_jit.dir/test_cabi_jit.cpp.o.d"
+  "test_cabi_jit"
+  "test_cabi_jit.pdb"
+  "test_cabi_jit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cabi_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

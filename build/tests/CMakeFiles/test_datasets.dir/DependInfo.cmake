@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_datasets.cpp" "tests/CMakeFiles/test_datasets.dir/test_datasets.cpp.o" "gcc" "tests/CMakeFiles/test_datasets.dir/test_datasets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dist/CMakeFiles/d500_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/frameworks/CMakeFiles/d500_frameworks.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/d500_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/d500_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/d500_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/d500_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/d500_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/d500_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/d500_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_optimizers.dir/test_dist_optimizers.cpp.o"
+  "CMakeFiles/test_dist_optimizers.dir/test_dist_optimizers.cpp.o.d"
+  "test_dist_optimizers"
+  "test_dist_optimizers.pdb"
+  "test_dist_optimizers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_optimizers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

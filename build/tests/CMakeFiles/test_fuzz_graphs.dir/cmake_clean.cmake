@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_graphs.dir/test_fuzz_graphs.cpp.o"
+  "CMakeFiles/test_fuzz_graphs.dir/test_fuzz_graphs.cpp.o.d"
+  "test_fuzz_graphs"
+  "test_fuzz_graphs.pdb"
+  "test_fuzz_graphs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network_executor.dir/test_network_executor.cpp.o"
+  "CMakeFiles/test_network_executor.dir/test_network_executor.cpp.o.d"
+  "test_network_executor"
+  "test_network_executor.pdb"
+  "test_network_executor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

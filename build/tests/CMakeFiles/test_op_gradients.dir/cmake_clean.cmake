@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_op_gradients.dir/test_op_gradients.cpp.o"
+  "CMakeFiles/test_op_gradients.dir/test_op_gradients.cpp.o.d"
+  "test_op_gradients"
+  "test_op_gradients.pdb"
+  "test_op_gradients[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_op_gradients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparcml.dir/test_sparcml.cpp.o"
+  "CMakeFiles/test_sparcml.dir/test_sparcml.cpp.o.d"
+  "test_sparcml"
+  "test_sparcml.pdb"
+  "test_sparcml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparcml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build/tests/test_gemm[1]_include.cmake")
+include("/root/repo/build/tests/test_conv[1]_include.cmake")
+include("/root/repo/build/tests/test_ops[1]_include.cmake")
+include("/root/repo/build/tests/test_op_gradients[1]_include.cmake")
+include("/root/repo/build/tests/test_cabi_jit[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
+include("/root/repo/build/tests/test_network_executor[1]_include.cmake")
+include("/root/repo/build/tests/test_transforms[1]_include.cmake")
+include("/root/repo/build/tests/test_codec[1]_include.cmake")
+include("/root/repo/build/tests/test_containers[1]_include.cmake")
+include("/root/repo/build/tests/test_datasets[1]_include.cmake")
+include("/root/repo/build/tests/test_samplers[1]_include.cmake")
+include("/root/repo/build/tests/test_optimizers[1]_include.cmake")
+include("/root/repo/build/tests/test_trainer[1]_include.cmake")
+include("/root/repo/build/tests/test_frameworks[1]_include.cmake")
+include("/root/repo/build/tests/test_simmpi[1]_include.cmake")
+include("/root/repo/build/tests/test_dist_optimizers[1]_include.cmake")
+include("/root/repo/build/tests/test_sparcml[1]_include.cmake")
+include("/root/repo/build/tests/test_netmodel[1]_include.cmake")
+include("/root/repo/build/tests/test_lbfgs[1]_include.cmake")
+include("/root/repo/build/tests/test_compression[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz_graphs[1]_include.cmake")
