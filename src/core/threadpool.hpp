@@ -1,0 +1,97 @@
+// Shared thread-pool runtime: the single owner of all compute threads.
+//
+// The paper's executors (§IV-D) assume the host engine exploits hardware
+// parallelism; this subsystem provides it without sacrificing the
+// reproducibility pillar. One persistent pool serves every parallel site —
+// kernels (intra-op), graph executors (inter-op), and the data pipeline —
+// replacing the former ad-hoc OpenMP regions that forked a fresh team per
+// call and composed badly with the PrefetchLoader worker.
+//
+// Determinism contract: parallel work is decomposed as a pure function of
+// the *problem* (range and grain; dependency structure), never of the
+// thread count. Chunks write disjoint state and reductions combine chunk
+// partials in fixed chunk order, so results are bit-identical at any
+// D500_THREADS setting — including fully serial execution.
+//
+// Knob: D500_THREADS = total compute threads (workers + the calling
+// thread). Default: hardware concurrency. 1 = fully serial, no workers.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace d500 {
+
+class ThreadPool {
+ public:
+  /// The process-wide pool, created on first use with D500_THREADS threads.
+  static ThreadPool& instance();
+
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total compute threads: workers plus the calling thread.
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Tears down the workers and restarts the pool with `threads` total
+  /// compute threads (>= 1). Test hook backing the determinism contract
+  /// (results must not change with the thread count). Must not be called
+  /// while parallel work is in flight.
+  void reset(int threads);
+
+  /// Enqueues a job for a worker (or a help_while caller) to run. Jobs must
+  /// not block waiting for other jobs — schedulers built on the pool keep
+  /// the submitting thread working instead (see parallel_for).
+  void enqueue(std::function<void()> job);
+
+  /// Runs queued jobs on the calling thread until `done()` returns true,
+  /// sleeping while the queue is empty. `done` is evaluated under the pool
+  /// lock and must be cheap and lock-free (read atomics only). Wake a
+  /// blocked caller whose condition changed with notify().
+  void help_while(const std::function<bool()>& done);
+
+  /// Wakes help_while callers so they re-evaluate their condition.
+  void notify();
+
+ private:
+  explicit ThreadPool(int threads);
+  void start_workers(int threads);
+  void stop_workers();
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Deterministic parallel loop over [begin, end). The range is cut into
+/// ceil(range/grain) chunks of `grain` iterations (last chunk short) — a
+/// pure function of the range, never of the thread count — and
+/// fn(chunk_begin, chunk_end) runs exactly once per chunk, possibly
+/// concurrently, with the calling thread participating. The caller must
+/// ensure chunks touch disjoint state; combine any per-chunk partials in
+/// chunk order afterwards to stay deterministic. The first exception thrown
+/// by fn is rethrown on the calling thread after in-flight chunks drain.
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+/// Runs tasks 0..deps.size()-1 on the pool respecting a dependency DAG:
+/// deps[i] = number of prerequisites of task i; unblocks[i] lists the tasks
+/// whose dependency count drops when i completes (one entry per edge).
+/// Ready tasks are scheduled concurrently (inter-op parallelism); with a
+/// single-thread pool, tasks run inline in deterministic FIFO order. The
+/// first exception aborts scheduling of further tasks and is rethrown after
+/// in-flight tasks drain. Throws Error on a stalled (cyclic) graph.
+void run_task_graph(const std::vector<std::vector<int>>& unblocks,
+                    std::vector<int> deps,
+                    const std::function<void(int)>& fn);
+
+}  // namespace d500

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/threadpool.hpp"
+
 namespace d500 {
 
 RecordPipeline::RecordPipeline(std::vector<std::string> shard_paths,
@@ -17,21 +19,23 @@ Batch RecordPipeline::next_batch(std::int64_t batch) {
   records.reserve(static_cast<std::size_t>(batch));
   for (std::int64_t i = 0; i < batch; ++i) records.push_back(reader_.next());
 
-  // Stage 2: decode the whole batch (parallel across records when the
-  // machine has cores; the structure matches TensorFlow's parallel decode).
+  // Stage 2: decode the whole batch across the shared thread pool (the
+  // structure matches TensorFlow's parallel decode). Each record writes a
+  // disjoint output slice.
   Batch out;
   out.data = Tensor({batch, spec_.channels, spec_.height, spec_.width});
   out.labels = Tensor({batch});
   const std::int64_t sample_elems =
       spec_.channels * spec_.height * spec_.width;
-#pragma omp parallel for schedule(dynamic)
-  for (std::int64_t i = 0; i < batch; ++i) {
-    const RawImage img =
-        decode_image(records[static_cast<std::size_t>(i)].payload, decoder_);
-    float* dst = out.data.data() + i * sample_elems;
-    for (std::size_t k = 0; k < img.size(); ++k)
-      dst[k] = static_cast<float>(img.pixels[k]) / 255.0f;
-  }
+  parallel_for(0, batch, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const RawImage img =
+          decode_image(records[static_cast<std::size_t>(i)].payload, decoder_);
+      float* dst = out.data.data() + i * sample_elems;
+      for (std::size_t k = 0; k < img.size(); ++k)
+        dst[k] = static_cast<float>(img.pixels[k]) / 255.0f;
+    }
+  });
   for (std::int64_t i = 0; i < batch; ++i)
     out.labels.at(i) =
         static_cast<float>(records[static_cast<std::size_t>(i)].label);
@@ -53,7 +57,19 @@ void PrefetchLoader::worker_loop() {
                        [this] { return stopping_ || queue_.size() < depth_; });
       if (stopping_) return;
     }
-    Batch b = producer_();
+    Batch b;
+    try {
+      b = producer_();
+    } catch (...) {
+      // Park the exception for the consumer; without this, next() would
+      // block forever on a queue no one will ever refill.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        error_ = std::current_exception();
+      }
+      cv_consume_.notify_all();
+      return;
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (stopping_) return;
@@ -65,7 +81,9 @@ void PrefetchLoader::worker_loop() {
 
 Batch PrefetchLoader::next() {
   std::unique_lock<std::mutex> lock(mu_);
-  cv_consume_.wait(lock, [this] { return !queue_.empty(); });
+  cv_consume_.wait(lock, [this] { return !queue_.empty() || error_; });
+  // Staged batches are still good; hand them out before surfacing the error.
+  if (queue_.empty() && error_) std::rethrow_exception(error_);
   Batch b = std::move(queue_.front());
   queue_.pop_front();
   lock.unlock();

@@ -2,8 +2,8 @@
 //
 // Two pieces:
 //  * RecordPipeline — the "native decoder" path of Table III: sequential
-//    record reads through the pseudo-shuffle buffer, batch decode (OpenMP
-//    across the batch where cores exist), producing float minibatches.
+//    record reads through the pseudo-shuffle buffer, batch decode spread
+//    across the shared thread pool, producing float minibatches.
 //  * PrefetchLoader — a background worker thread that stages minibatches
 //    into a bounded queue, overlapping ingestion with DNN computation
 //    ("the latency of loading a batch can be hidden by pipelining loading
@@ -12,6 +12,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <optional>
@@ -59,7 +60,9 @@ class PrefetchLoader {
   PrefetchLoader(const PrefetchLoader&) = delete;
   PrefetchLoader& operator=(const PrefetchLoader&) = delete;
 
-  /// Blocks until a staged batch is available.
+  /// Blocks until a staged batch is available. If the producer threw, the
+  /// already-staged batches are delivered first and the producer's exception
+  /// is rethrown here once the queue drains (and on every later call).
   Batch next();
 
   void stop();
@@ -73,6 +76,7 @@ class PrefetchLoader {
   std::condition_variable cv_produce_;
   std::condition_variable cv_consume_;
   std::deque<Batch> queue_;
+  std::exception_ptr error_;  // first producer exception, rethrown by next()
   bool stopping_ = false;
   std::thread worker_;
 };

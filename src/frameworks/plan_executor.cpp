@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "core/threadpool.hpp"
 #include "core/timer.hpp"
 #include "ops/conv2d.hpp"
 
@@ -106,6 +107,21 @@ void PlanExecutor::compile(const TensorMap& feeds) {
                            std::to_string(peak) + " exceeds limit " +
                            std::to_string(memory_limit_));
 
+  // Step dependency table for the parallel schedule: step j waits on step i
+  // when it reads a slot i produces (one edge per consumed slot).
+  step_unblocks_.assign(steps_.size(), {});
+  step_deps_.assign(steps_.size(), 0);
+  std::map<int, std::size_t> producer_step;
+  for (std::size_t i = 0; i < steps_.size(); ++i)
+    for (int s : steps_[i].out_slots) producer_step[s] = i;
+  for (std::size_t j = 0; j < steps_.size(); ++j)
+    for (int s : steps_[j].in_slots)
+      if (auto it = producer_step.find(s);
+          it != producer_step.end() && it->second != j) {
+        step_unblocks_[it->second].push_back(static_cast<int>(j));
+        ++step_deps_[j];
+      }
+
   // Preallocate activation buffers (deferred-engine behaviour).
   if (options_.reuse_activations) {
     for (const auto& step : steps_)
@@ -116,6 +132,78 @@ void PlanExecutor::compile(const TensorMap& feeds) {
   compiled_ = true;
 }
 
+void PlanExecutor::exec_step(std::size_t idx, std::mutex* mu) {
+  Step& step = steps_[idx];
+  const auto op_index = static_cast<std::int64_t>(idx);
+  {
+    std::unique_lock<std::mutex> lock;
+    if (mu) lock = std::unique_lock<std::mutex>(*mu);
+    fire({EventPoint::kBeforeOperator, op_index, -1, step.node->name, 0.0});
+  }
+  Timer launch_timer;
+
+  if (!options_.reuse_activations) {
+    // Slots are distinct vector elements, so concurrent steps allocate
+    // into disjoint storage.
+    for (std::size_t k = 0; k < step.out_slots.size(); ++k)
+      values_[static_cast<std::size_t>(step.out_slots[k])] =
+          Tensor(step.out_shapes[k]);
+  }
+
+  ConstTensors in;
+  in.reserve(step.in_slots.size());
+  for (std::size_t k = 0; k < step.in_slots.size(); ++k) {
+    const auto s = static_cast<std::size_t>(step.in_slots[k]);
+    if (value_is_stored_[s]) {
+      in.push_back(&net_.fetch_tensor(slot_names_[s]));
+    } else {
+      in.push_back(&values_[s]);
+    }
+  }
+  MutTensors out;
+  out.reserve(step.out_slots.size());
+  for (int s : step.out_slots)
+    out.push_back(&values_[static_cast<std::size_t>(s)]);
+
+  if (options_.string_dispatch) {
+    // Session-style launch path: per-launch shape validation plus
+    // string-keyed stats bookkeeping (the management overhead the
+    // paper's FrameworkOverhead metric quantifies).
+    for (std::size_t k = 0; k < in.size(); ++k)
+      D500_CHECK_MSG(in[k]->shape() == step.in_shapes[k],
+                     name_ << ": launch-time shape mismatch at '"
+                     << step.node->name << "'");
+    if (options_.defensive_copy_shape_ops && step.is_shape_op) {
+      std::vector<Tensor> staged;
+      staged.reserve(out.size());
+      for (std::size_t k = 0; k < out.size(); ++k)
+        staged.emplace_back(step.out_shapes[k]);
+      MutTensors staged_ptrs;
+      for (auto& t : staged) staged_ptrs.push_back(&t);
+      step.node->op->forward(in, staged_ptrs);
+      for (std::size_t k = 0; k < out.size(); ++k) *out[k] = staged[k];
+    } else {
+      step.node->op->forward(in, out);
+    }
+    const double seconds = launch_timer.seconds();
+    {
+      std::unique_lock<std::mutex> lock;
+      if (mu) lock = std::unique_lock<std::mutex>(*mu);
+      auto& st = launch_stats_[step.node->op_type + ":" + step.node->name];
+      ++st.launches;
+      st.seconds += seconds;
+    }
+  } else {
+    step.node->op->forward(in, out);
+  }
+
+  {
+    std::unique_lock<std::mutex> lock;
+    if (mu) lock = std::unique_lock<std::mutex>(*mu);
+    fire({EventPoint::kAfterOperator, op_index, -1, step.node->name, 0.0});
+  }
+}
+
 void PlanExecutor::run_forward(const TensorMap& feeds) {
   // Stage feeds into their slots (framework feed/conversion boundary).
   for (const auto& [fname, t] : feeds) {
@@ -124,61 +212,13 @@ void PlanExecutor::run_forward(const TensorMap& feeds) {
     values_[static_cast<std::size_t>(it->second)] = t;  // copy
   }
 
-  std::int64_t op_index = 0;
-  for (auto& step : steps_) {
-    fire({EventPoint::kBeforeOperator, op_index, -1, step.node->name, 0.0});
-    Timer launch_timer;
-
-    if (!options_.reuse_activations) {
-      for (std::size_t k = 0; k < step.out_slots.size(); ++k)
-        values_[static_cast<std::size_t>(step.out_slots[k])] =
-            Tensor(step.out_shapes[k]);
-    }
-
-    ConstTensors in;
-    in.reserve(step.in_slots.size());
-    for (std::size_t k = 0; k < step.in_slots.size(); ++k) {
-      const auto s = static_cast<std::size_t>(step.in_slots[k]);
-      if (value_is_stored_[s]) {
-        in.push_back(&net_.fetch_tensor(slot_names_[s]));
-      } else {
-        in.push_back(&values_[s]);
-      }
-    }
-    MutTensors out;
-    out.reserve(step.out_slots.size());
-    for (int s : step.out_slots)
-      out.push_back(&values_[static_cast<std::size_t>(s)]);
-
-    if (options_.string_dispatch) {
-      // Session-style launch path: per-launch shape validation plus
-      // string-keyed stats bookkeeping (the management overhead the
-      // paper's FrameworkOverhead metric quantifies).
-      for (std::size_t k = 0; k < in.size(); ++k)
-        D500_CHECK_MSG(in[k]->shape() == step.in_shapes[k],
-                       name_ << ": launch-time shape mismatch at '"
-                       << step.node->name << "'");
-      if (options_.defensive_copy_shape_ops && step.is_shape_op) {
-        std::vector<Tensor> staged;
-        staged.reserve(out.size());
-        for (std::size_t k = 0; k < out.size(); ++k)
-          staged.emplace_back(step.out_shapes[k]);
-        MutTensors staged_ptrs;
-        for (auto& t : staged) staged_ptrs.push_back(&t);
-        step.node->op->forward(in, staged_ptrs);
-        for (std::size_t k = 0; k < out.size(); ++k) *out[k] = staged[k];
-      } else {
-        step.node->op->forward(in, out);
-      }
-      auto& st = launch_stats_[step.node->op_type + ":" + step.node->name];
-      ++st.launches;
-      st.seconds += launch_timer.seconds();
-    } else {
-      step.node->op->forward(in, out);
-    }
-
-    fire({EventPoint::kAfterOperator, op_index, -1, step.node->name, 0.0});
-    ++op_index;
+  if (options_.parallel && !steps_.empty()) {
+    std::mutex mu;
+    run_task_graph(step_unblocks_, step_deps_,
+                   [&](int idx) { exec_step(static_cast<std::size_t>(idx), &mu); });
+  } else {
+    for (std::size_t idx = 0; idx < steps_.size(); ++idx)
+      exec_step(idx, nullptr);
   }
 }
 

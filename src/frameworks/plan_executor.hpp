@@ -16,7 +16,14 @@
 //   * defensive_copy_shape_ops — Split/Concat stage through an extra
 //                            buffer (the memory-copy behaviour that slows
 //                            transformed graphs on TFSim, paper §V-C).
+//   * parallel             — forward steps are scheduled onto the shared
+//                            thread pool through the compiled dependency
+//                            table (inter-op parallelism); steps write
+//                            disjoint preallocated slots, so results match
+//                            the serial walk bit for bit.
 #pragma once
+
+#include <mutex>
 
 #include "graph/executor.hpp"
 
@@ -26,6 +33,7 @@ struct ExecOptions {
   bool reuse_activations = true;
   bool string_dispatch = false;
   bool defensive_copy_shape_ops = false;
+  bool parallel = false;
 };
 
 class PlanExecutor : public GraphExecutor {
@@ -66,6 +74,10 @@ class PlanExecutor : public GraphExecutor {
   /// (Re)compiles the plan if the feed signature changed.
   void compile(const TensorMap& feeds);
   void run_forward(const TensorMap& feeds);
+  /// Runs one compiled step. `mu` (non-null when steps run concurrently)
+  /// serializes event hooks and launch-stats bookkeeping; kernels run
+  /// outside it.
+  void exec_step(std::size_t idx, std::mutex* mu);
   int slot_of(const std::string& value) const;
 
   std::string name_;
@@ -75,6 +87,8 @@ class PlanExecutor : public GraphExecutor {
   bool compiled_ = false;
   std::string feed_signature_;
   std::vector<Step> steps_;
+  std::vector<std::vector<int>> step_unblocks_;  // step -> dependent steps
+  std::vector<int> step_deps_;                   // prerequisite counts
   std::map<std::string, int> slot_index_;
   std::vector<std::string> slot_names_;
   std::vector<Tensor> values_;       // activation slots

@@ -1,0 +1,325 @@
+#include "graph/parallel_executor.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "core/threadpool.hpp"
+#include "ops/conv2d.hpp"
+
+namespace d500 {
+
+namespace {
+
+/// Resolves a value name against feeds, computed activations, then network
+/// storage. Returns nullptr when absent.
+const Tensor* lookup(const std::string& name, const TensorMap& feeds,
+                     const TensorMap& values, const Network& net) {
+  if (auto it = values.find(name); it != values.end()) return &it->second;
+  if (auto it = feeds.find(name); it != feeds.end()) return &it->second;
+  if (net.has_tensor(name)) return &net.fetch_tensor(name);
+  return nullptr;
+}
+
+/// (consumer topo index, input slot) pairs for every value, in scan order
+/// (ascending node, ascending slot).
+using ConsumerMap = std::map<std::string, std::vector<std::pair<int, int>>>;
+
+ConsumerMap build_consumers(const std::vector<const Network::Node*>& order) {
+  ConsumerMap consumers;
+  for (std::size_t i = 0; i < order.size(); ++i)
+    for (std::size_t k = 0; k < order[i]->inputs.size(); ++k)
+      consumers[order[i]->inputs[k]].emplace_back(static_cast<int>(i),
+                                                  static_cast<int>(k));
+  return consumers;
+}
+
+/// The ReferenceExecutor accumulates gradient contributions while walking
+/// nodes in descending topological order, slots ascending within a node.
+/// Reproducing that exact order (including move-vs-axpy for the first
+/// contribution) is what makes the parallel backward bit-identical.
+std::vector<std::pair<int, int>> reference_accumulation_order(
+    std::vector<std::pair<int, int>> consumers) {
+  std::sort(consumers.begin(), consumers.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  return consumers;
+}
+
+}  // namespace
+
+void ParallelExecutor::forward_pass(const TensorMap& feeds, TensorMap& values) {
+  const auto order = net_.topological_order();
+  const std::size_t n = order.size();
+
+  // Compile the dependency-count table: one count per node, one unblock
+  // edge per consumed node-produced value.
+  std::map<std::string, int> producer;
+  for (std::size_t i = 0; i < n; ++i)
+    for (const auto& oname : order[i]->outputs)
+      producer[oname] = static_cast<int>(i);
+  std::vector<std::vector<int>> unblocks(n);
+  std::vector<int> deps(n, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (const auto& iname : order[i]->inputs)
+      if (auto it = producer.find(iname);
+          it != producer.end() && it->second != static_cast<int>(i)) {
+        unblocks[static_cast<std::size_t>(it->second)].push_back(
+            static_cast<int>(i));
+        ++deps[i];
+      }
+  if (n == 0) return;
+
+  // One mutex serializes the shared bookkeeping: the values map, the
+  // simulated memory accounting, and event hooks. Kernels run outside it.
+  std::mutex mu;
+  std::size_t live_bytes = 0;
+  last_peak_memory_ = 0;
+
+  run_task_graph(unblocks, deps, [&](int idx) {
+    const Network::Node* node = order[static_cast<std::size_t>(idx)];
+    ConstTensors in;
+    MutTensors out;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      fire({EventPoint::kBeforeOperator, idx, -1, node->name, 0.0});
+
+      std::vector<Shape> in_shapes;
+      in.reserve(node->inputs.size());
+      for (const auto& iname : node->inputs) {
+        const Tensor* t = lookup(iname, feeds, values, net_);
+        D500_CHECK_MSG(t != nullptr, "executor: missing value '"
+                       << iname << "' for node '" << node->name << "'");
+        in.push_back(t);
+        in_shapes.push_back(t->shape());
+      }
+
+      const auto out_shapes = node->op->output_shapes(in_shapes);
+      out.reserve(out_shapes.size());
+      for (std::size_t k = 0; k < out_shapes.size(); ++k) {
+        Tensor t(out_shapes[k]);
+        live_bytes += t.bytes();
+        values[node->outputs[k]] = std::move(t);
+        out.push_back(&values[node->outputs[k]]);
+      }
+
+      // Same memory model as the ReferenceExecutor: activations stay live
+      // for the whole pass, workspace is transient per operator. (The peak
+      // can differ from the serial walk when branches interleave.)
+      std::size_t workspace = 0;
+      if (const auto* conv = dynamic_cast<const Conv2DOp*>(node->op.get()))
+        workspace = conv->workspace_bytes(in_shapes);
+      last_peak_memory_ = std::max(last_peak_memory_, live_bytes + workspace);
+      if (memory_limit_ != 0 && live_bytes + workspace > memory_limit_)
+        throw OutOfMemoryError(
+            "executor '" + net_.name() + "': node '" + node->name +
+            "' exceeds memory limit (" +
+            std::to_string(live_bytes + workspace) + " > " +
+            std::to_string(memory_limit_) + " bytes)");
+    }
+
+    node->op->forward(in, out);
+
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      fire({EventPoint::kAfterOperator, idx, -1, node->name, 0.0});
+    }
+  });
+}
+
+TensorMap ParallelExecutor::inference(const TensorMap& feeds) {
+  fire({EventPoint::kBeforeInference, -1, -1, net_.name(), 0.0});
+  TensorMap values;
+  forward_pass(feeds, values);
+  TensorMap outputs;
+  for (const auto& out : net_.outputs()) {
+    const Tensor* t = lookup(out, feeds, values, net_);
+    D500_CHECK_MSG(t != nullptr, "executor: declared output '" << out
+                   << "' was never produced");
+    outputs[out] = *t;
+  }
+  fire({EventPoint::kAfterInference, -1, -1, net_.name(), 0.0});
+  return outputs;
+}
+
+TensorMap ParallelExecutor::inference_and_backprop(
+    const TensorMap& feeds, const std::string& loss_value) {
+  fire({EventPoint::kBeforeInference, -1, -1, net_.name(), 0.0});
+  TensorMap values;
+  forward_pass(feeds, values);
+  fire({EventPoint::kAfterInference, -1, -1, net_.name(), 0.0});
+
+  std::string loss = loss_value;
+  if (loss.empty()) {
+    D500_CHECK_MSG(!net_.outputs().empty(),
+                   "backprop: network has no declared outputs");
+    loss = net_.outputs().back();
+  }
+  const Tensor* loss_t = lookup(loss, feeds, values, net_);
+  D500_CHECK_MSG(loss_t != nullptr, "backprop: loss value '" << loss
+                 << "' not produced");
+  D500_CHECK_MSG(loss_t->elements() == 1,
+                 "backprop: loss '" << loss << "' is not a scalar");
+
+  fire({EventPoint::kBeforeBackprop, -1, -1, net_.name(), 0.0});
+
+  const auto order = net_.topological_order();
+  const int n = static_cast<int>(order.size());
+  const ConsumerMap consumers = build_consumers(order);
+  const auto& params = net_.parameters();
+  auto is_param = [&](const std::string& name) {
+    return std::find(params.begin(), params.end(), name) != params.end();
+  };
+
+  // Static participation analysis, mirroring the dynamic skip in the
+  // ReferenceExecutor: a node runs backward iff one of its outputs has a
+  // gradient, i.e. it is the loss or is consumed by a participating node
+  // (consumers sit later in topological order, so a reverse scan settles
+  // this in one pass).
+  std::vector<char> participates(static_cast<std::size_t>(n), 0);
+  for (int i = n - 1; i >= 0; --i) {
+    for (const auto& oname : order[static_cast<std::size_t>(i)]->outputs) {
+      if (oname == loss) participates[static_cast<std::size_t>(i)] = 1;
+      if (auto it = consumers.find(oname); it != consumers.end())
+        for (const auto& [c, slot] : it->second)
+          if (participates[static_cast<std::size_t>(c)])
+            participates[static_cast<std::size_t>(i)] = 1;
+    }
+  }
+
+  // Compact the participating nodes into a backward task graph: the
+  // backward of a producer needs the finished gradient of each output, so
+  // it depends on the backward of every participating consumer.
+  std::vector<int> task_of(static_cast<std::size_t>(n), -1);
+  std::vector<int> topo_of;
+  for (int i = 0; i < n; ++i)
+    if (participates[static_cast<std::size_t>(i)]) {
+      task_of[static_cast<std::size_t>(i)] = static_cast<int>(topo_of.size());
+      topo_of.push_back(i);
+    }
+  const std::size_t nt = topo_of.size();
+
+  // store[i][k]: node i's gradient contribution to its input slot k.
+  // Written by node i's backward task, read either by the producer task of
+  // that input (which depends on i) or by the serial parameter-gradient
+  // assembly after the graph drains — both ordered after the write.
+  std::vector<std::vector<Tensor>> store(static_cast<std::size_t>(n));
+  std::vector<std::vector<char>> stored(static_cast<std::size_t>(n));
+
+  if (nt > 0) {
+    std::vector<std::vector<int>> unblocks(nt);
+    std::vector<int> deps(nt, 0);
+    for (std::size_t t = 0; t < nt; ++t)
+      for (const auto& oname :
+           order[static_cast<std::size_t>(topo_of[t])]->outputs)
+        if (auto it = consumers.find(oname); it != consumers.end())
+          for (const auto& [c, slot] : it->second)
+            if (task_of[static_cast<std::size_t>(c)] >= 0) {
+              unblocks[static_cast<std::size_t>(
+                           task_of[static_cast<std::size_t>(c)])]
+                  .push_back(static_cast<int>(t));
+              ++deps[t];
+            }
+
+    run_task_graph(unblocks, deps, [&](int t) {
+      const int i = topo_of[static_cast<std::size_t>(t)];
+      const Network::Node* node = order[static_cast<std::size_t>(i)];
+
+      // Assemble each output gradient from the consumers' contributions in
+      // the reference accumulation order; seed the loss with 1.
+      std::vector<Tensor> grad_hold;
+      grad_hold.reserve(node->outputs.size());
+      for (const auto& oname : node->outputs) {
+        Tensor g;
+        bool have = false;
+        if (oname == loss) {
+          g = Tensor({1});
+          g.at(0) = 1.0f;
+          have = true;
+        }
+        if (auto it = consumers.find(oname); it != consumers.end())
+          for (const auto& [c, slot] : reference_accumulation_order(it->second)) {
+            const auto cu = static_cast<std::size_t>(c);
+            const auto su = static_cast<std::size_t>(slot);
+            if (!participates[cu] || !stored[cu][su]) continue;
+            if (have) {
+              axpy(1.0f, store[cu][su], g);
+            } else {
+              g = std::move(store[cu][su]);
+              have = true;
+            }
+          }
+        if (!have) g = Tensor(values.at(oname).shape());  // zero gradient
+        grad_hold.push_back(std::move(g));
+      }
+      ConstTensors grad_out;
+      grad_out.reserve(grad_hold.size());
+      for (const Tensor& g : grad_hold) grad_out.push_back(&g);
+
+      ConstTensors fwd_in;
+      fwd_in.reserve(node->inputs.size());
+      for (const auto& iname : node->inputs)
+        fwd_in.push_back(lookup(iname, feeds, values, net_));
+      ConstTensors fwd_out;
+      fwd_out.reserve(node->outputs.size());
+      for (const auto& oname : node->outputs)
+        fwd_out.push_back(&values.at(oname));
+
+      // An input needs a gradient if it is a parameter or is produced by a
+      // node (so the chain continues). Plain feeds (data, labels) do not.
+      const auto iu = static_cast<std::size_t>(i);
+      store[iu].resize(node->inputs.size());
+      stored[iu].assign(node->inputs.size(), 0);
+      MutTensors grad_in(node->inputs.size(), nullptr);
+      for (std::size_t k = 0; k < node->inputs.size(); ++k) {
+        const std::string& iname = node->inputs[k];
+        if (is_param(iname) || values.count(iname) > 0) {
+          store[iu][k] = Tensor(fwd_in[k]->shape());
+          stored[iu][k] = 1;
+          grad_in[k] = &store[iu][k];
+        }
+      }
+
+      node->op->backward(grad_out, fwd_in, fwd_out, grad_in);
+    });
+  }
+
+  // Publish parameter gradients into the network, combining contributions
+  // in the same order the reference walk would have.
+  for (const auto& [pname, gname] : net_.gradients()) {
+    Tensor g;
+    bool have = false;
+    if (auto it = consumers.find(pname); it != consumers.end())
+      for (const auto& [c, slot] : reference_accumulation_order(it->second)) {
+        const auto cu = static_cast<std::size_t>(c);
+        const auto su = static_cast<std::size_t>(slot);
+        if (!participates[cu] || su >= stored[cu].size() || !stored[cu][su])
+          continue;
+        if (have) {
+          axpy(1.0f, store[cu][su], g);
+        } else {
+          g = std::move(store[cu][su]);
+          have = true;
+        }
+      }
+    if (have)
+      net_.feed_tensor(gname, std::move(g));
+    else
+      net_.feed_tensor(gname, Tensor(net_.fetch_tensor(pname).shape()));
+  }
+
+  fire({EventPoint::kAfterBackprop, -1, -1, net_.name(),
+        static_cast<double>(loss_t->at(0))});
+
+  TensorMap outputs;
+  for (const auto& out : net_.outputs()) {
+    const Tensor* t = lookup(out, feeds, values, net_);
+    if (t) outputs[out] = *t;
+  }
+  return outputs;
+}
+
+}  // namespace d500

@@ -1,0 +1,40 @@
+// Inter-op parallel graph executor built on the shared thread pool.
+//
+// The network is compiled into a dependency-count table (one count per
+// node, one unblock edge per value consumed) and ready nodes are scheduled
+// onto the pool via run_task_graph — independent branches of the graph run
+// concurrently, on the same workers the kernels use for intra-op
+// parallelism (nested parallel_for calls compose; the pool never
+// oversubscribes).
+//
+// Determinism: scheduling order varies with the thread count, but every
+// value is produced exactly once, consumers only run after their producers,
+// and backward gradient contributions are combined in the fixed order the
+// ReferenceExecutor uses (descending consumer topo index, ascending input
+// slot). Outputs and gradients are therefore bit-identical to the
+// ReferenceExecutor at any D500_THREADS setting.
+#pragma once
+
+#include "graph/executor.hpp"
+
+namespace d500 {
+
+class ParallelExecutor : public GraphExecutor {
+ public:
+  explicit ParallelExecutor(Network net) : GraphExecutor(std::move(net)) {}
+
+  std::string name() const override { return "parallel"; }
+
+  TensorMap inference(const TensorMap& feeds) override;
+  TensorMap inference_and_backprop(const TensorMap& feeds,
+                                   const std::string& loss_value = "") override;
+
+ private:
+  /// Runs the forward pass over the pool; fills `values` with all computed
+  /// activations. Shared bookkeeping (values map, live-byte accounting,
+  /// event hooks) is serialized under one mutex; operator kernels run
+  /// outside it.
+  void forward_pass(const TensorMap& feeds, TensorMap& values);
+};
+
+}  // namespace d500

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <vector>
 
+#include "core/threadpool.hpp"
+
 namespace d500 {
 
 const char* conv_backend_name(ConvBackend b) {
@@ -77,9 +79,13 @@ void conv_direct(const Tensor& X, const Tensor& Wt, const Tensor& bias,
   const float* x = X.data();
   const float* w = Wt.data();
   float* y = Y.data();
-#pragma omp parallel for collapse(2) schedule(static)
-  for (std::int64_t n = 0; n < N; ++n) {
-    for (std::int64_t f = 0; f < F; ++f) {
+  // Each (n, f) plane is an independent output slice: flatten the two loops
+  // into one index space for the pool. The decomposition depends only on the
+  // problem size, so results are identical at any thread count.
+  parallel_for(0, N * F, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t nf = lo; nf < hi; ++nf) {
+      const std::int64_t n = nf / F;
+      const std::int64_t f = nf % F;
       const float b = bias.at(f);
       for (std::int64_t oh = 0; oh < Ho; ++oh) {
         for (std::int64_t ow = 0; ow < Wo; ++ow) {
@@ -100,7 +106,7 @@ void conv_direct(const Tensor& X, const Tensor& Wt, const Tensor& bias,
         }
       }
     }
-  }
+  });
 }
 
 // Whole-minibatch lowering: the column buffer covers all N samples at once
@@ -118,18 +124,20 @@ void conv_im2col(const Tensor& X, const Tensor& Wt, const Tensor& bias,
   const std::int64_t K = C * p.kernel_h * p.kernel_w;
   const std::int64_t spatial = Ho * Wo;
   std::vector<float> col(static_cast<std::size_t>(K) * N * spatial);
-  // col layout: row r holds sample-major columns [n*spatial + s].
-#pragma omp parallel for schedule(static)
-  for (std::int64_t n = 0; n < N; ++n) {
-    // Lower sample n into a strided slice of the shared buffer via a
+  // col layout: row r holds sample-major columns [n*spatial + s]. Samples
+  // lower into disjoint column slices, so they parallelise trivially.
+  parallel_for(0, N, 1, [&](std::int64_t lo, std::int64_t hi) {
+    // Lower each sample into a strided slice of the shared buffer via a
     // per-sample contiguous scratch, then scatter rows.
     std::vector<float> sample_col(static_cast<std::size_t>(K) * spatial);
-    im2col(X.data() + n * C * H * W, C, H, W, p, sample_col.data());
-    for (std::int64_t r = 0; r < K; ++r)
-      std::memcpy(col.data() + (r * N + n) * spatial,
-                  sample_col.data() + r * spatial,
-                  static_cast<std::size_t>(spatial) * sizeof(float));
-  }
+    for (std::int64_t n = lo; n < hi; ++n) {
+      im2col(X.data() + n * C * H * W, C, H, W, p, sample_col.data());
+      for (std::int64_t r = 0; r < K; ++r)
+        std::memcpy(col.data() + (r * N + n) * spatial,
+                    sample_col.data() + r * spatial,
+                    static_cast<std::size_t>(spatial) * sizeof(float));
+    }
+  });
   // One GEMM: [F, K] x [K, N*spatial] -> [F, N*spatial] (filter-major), then
   // scatter into NCHW output with the bias added.
   std::vector<float> ybuf(static_cast<std::size_t>(F) * N * spatial);
@@ -217,10 +225,13 @@ void conv_winograd(const Tensor& X, const Tensor& Wt, const Tensor& bias,
   const float* x = X.data();
   float* yout = Y.data();
 
-#pragma omp parallel for collapse(2) schedule(static)
-  for (std::int64_t n = 0; n < N; ++n) {
-    for (std::int64_t th = 0; th < tiles_h; ++th) {
-      std::vector<float> V(static_cast<std::size_t>(C) * 16);
+  // Tile rows of distinct samples write disjoint output tiles; flatten
+  // (n, th) into one index space for the pool.
+  parallel_for(0, N * tiles_h, 1, [&](std::int64_t lo, std::int64_t hi) {
+    std::vector<float> V(static_cast<std::size_t>(C) * 16);
+    for (std::int64_t nt = lo; nt < hi; ++nt) {
+      const std::int64_t n = nt / tiles_h;
+      const std::int64_t th = nt % tiles_h;
       for (std::int64_t tw = 0; tw < tiles_w; ++tw) {
         const std::int64_t oh0 = th * 2, ow0 = tw * 2;
         // Gather and transform the 4x4 input tile for each channel.
@@ -265,7 +276,7 @@ void conv_winograd(const Tensor& X, const Tensor& Wt, const Tensor& bias,
         }
       }
     }
-  }
+  });
 }
 
 }  // namespace
@@ -328,12 +339,14 @@ void Conv2DOp::backward(const ConstTensors& grad_outputs,
     if (grad_inputs[1]) {
       // dW[F,K] += dY[n] (F x spatial) x col^T (spatial x K)
       im2col(X.data() + n * C * H * W, C, H, W, params_, col.data());
-      gemm_a_bt(F, K, spatial, dy, col.data(), grad_inputs[1]->data());
+      gemm_a_bt(GemmBackend::kBlocked, F, K, spatial, dy, col.data(),
+                grad_inputs[1]->data());
     }
     if (grad_inputs[0]) {
       // col_grad (K x spatial) = W^T (K x F) x dY[n] (F x spatial)
       std::memset(col_grad.data(), 0, col_grad.size() * sizeof(float));
-      gemm_at_b(K, spatial, F, Wt.data(), dy, col_grad.data());
+      gemm_at_b(GemmBackend::kBlocked, K, spatial, F, Wt.data(), dy,
+                col_grad.data());
       col2im(col_grad.data(), C, H, W, params_,
              grad_inputs[0]->data() + n * C * H * W);
     }

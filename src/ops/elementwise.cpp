@@ -2,7 +2,15 @@
 
 #include <cmath>
 
+#include "core/threadpool.hpp"
+
 namespace d500 {
+
+namespace {
+// Chunk size for elementwise maps: large enough that chunk dispatch is noise,
+// small enough that mid-sized activations still spread across workers.
+constexpr std::int64_t kEwGrain = 16384;
+}  // namespace
 
 const char* activation_name(Activation a) {
   switch (a) {
@@ -33,18 +41,21 @@ void ActivationOp::forward(const ConstTensors& inputs,
   const float* x = inputs[0]->data();
   float* y = outputs[0]->data();
   const std::int64_t n = inputs[0]->elements();
-  switch (kind_) {
-    case Activation::kReLU:
-      for (std::int64_t i = 0; i < n; ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
-      break;
-    case Activation::kSigmoid:
-      for (std::int64_t i = 0; i < n; ++i)
-        y[i] = 1.0f / (1.0f + std::exp(-x[i]));
-      break;
-    case Activation::kTanh:
-      for (std::int64_t i = 0; i < n; ++i) y[i] = std::tanh(x[i]);
-      break;
-  }
+  parallel_for(0, n, kEwGrain, [&](std::int64_t lo, std::int64_t hi) {
+    switch (kind_) {
+      case Activation::kReLU:
+        for (std::int64_t i = lo; i < hi; ++i)
+          y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+        break;
+      case Activation::kSigmoid:
+        for (std::int64_t i = lo; i < hi; ++i)
+          y[i] = 1.0f / (1.0f + std::exp(-x[i]));
+        break;
+      case Activation::kTanh:
+        for (std::int64_t i = lo; i < hi; ++i) y[i] = std::tanh(x[i]);
+        break;
+    }
+  });
 }
 
 void ActivationOp::backward(const ConstTensors& grad_outputs,
@@ -57,17 +68,22 @@ void ActivationOp::backward(const ConstTensors& grad_outputs,
   const float* y = fwd_outputs[0]->data();
   float* dx = grad_inputs[0]->data();
   const std::int64_t n = fwd_inputs[0]->elements();
-  switch (kind_) {
-    case Activation::kReLU:
-      for (std::int64_t i = 0; i < n; ++i) dx[i] = x[i] > 0.0f ? dy[i] : 0.0f;
-      break;
-    case Activation::kSigmoid:
-      for (std::int64_t i = 0; i < n; ++i) dx[i] = dy[i] * y[i] * (1.0f - y[i]);
-      break;
-    case Activation::kTanh:
-      for (std::int64_t i = 0; i < n; ++i) dx[i] = dy[i] * (1.0f - y[i] * y[i]);
-      break;
-  }
+  parallel_for(0, n, kEwGrain, [&](std::int64_t lo, std::int64_t hi) {
+    switch (kind_) {
+      case Activation::kReLU:
+        for (std::int64_t i = lo; i < hi; ++i)
+          dx[i] = x[i] > 0.0f ? dy[i] : 0.0f;
+        break;
+      case Activation::kSigmoid:
+        for (std::int64_t i = lo; i < hi; ++i)
+          dx[i] = dy[i] * y[i] * (1.0f - y[i]);
+        break;
+      case Activation::kTanh:
+        for (std::int64_t i = lo; i < hi; ++i)
+          dx[i] = dy[i] * (1.0f - y[i] * y[i]);
+        break;
+    }
+  });
 }
 
 std::uint64_t ActivationOp::forward_flops(
@@ -98,17 +114,19 @@ void BinaryOp::forward(const ConstTensors& inputs, const MutTensors& outputs) {
   const float* b = inputs[1]->data();
   float* c = outputs[0]->data();
   const std::int64_t n = inputs[0]->elements();
-  switch (kind_) {
-    case BinaryKind::kAdd:
-      for (std::int64_t i = 0; i < n; ++i) c[i] = a[i] + b[i];
-      break;
-    case BinaryKind::kSub:
-      for (std::int64_t i = 0; i < n; ++i) c[i] = a[i] - b[i];
-      break;
-    case BinaryKind::kMul:
-      for (std::int64_t i = 0; i < n; ++i) c[i] = a[i] * b[i];
-      break;
-  }
+  parallel_for(0, n, kEwGrain, [&](std::int64_t lo, std::int64_t hi) {
+    switch (kind_) {
+      case BinaryKind::kAdd:
+        for (std::int64_t i = lo; i < hi; ++i) c[i] = a[i] + b[i];
+        break;
+      case BinaryKind::kSub:
+        for (std::int64_t i = lo; i < hi; ++i) c[i] = a[i] - b[i];
+        break;
+      case BinaryKind::kMul:
+        for (std::int64_t i = lo; i < hi; ++i) c[i] = a[i] * b[i];
+        break;
+    }
+  });
 }
 
 void BinaryOp::backward(const ConstTensors& grad_outputs,
@@ -121,29 +139,39 @@ void BinaryOp::backward(const ConstTensors& grad_outputs,
       for (int k = 0; k < 2; ++k)
         if (grad_inputs[k]) {
           float* d = grad_inputs[k]->data();
-          for (std::int64_t i = 0; i < n; ++i) d[i] = dc[i];
+          parallel_for(0, n, kEwGrain, [&](std::int64_t lo, std::int64_t hi) {
+            for (std::int64_t i = lo; i < hi; ++i) d[i] = dc[i];
+          });
         }
       break;
     case BinaryKind::kSub:
       if (grad_inputs[0]) {
         float* d = grad_inputs[0]->data();
-        for (std::int64_t i = 0; i < n; ++i) d[i] = dc[i];
+        parallel_for(0, n, kEwGrain, [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i) d[i] = dc[i];
+        });
       }
       if (grad_inputs[1]) {
         float* d = grad_inputs[1]->data();
-        for (std::int64_t i = 0; i < n; ++i) d[i] = -dc[i];
+        parallel_for(0, n, kEwGrain, [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i) d[i] = -dc[i];
+        });
       }
       break;
     case BinaryKind::kMul:
       if (grad_inputs[0]) {
         const float* b = fwd_inputs[1]->data();
         float* d = grad_inputs[0]->data();
-        for (std::int64_t i = 0; i < n; ++i) d[i] = dc[i] * b[i];
+        parallel_for(0, n, kEwGrain, [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i) d[i] = dc[i] * b[i];
+        });
       }
       if (grad_inputs[1]) {
         const float* a = fwd_inputs[0]->data();
         float* d = grad_inputs[1]->data();
-        for (std::int64_t i = 0; i < n; ++i) d[i] = dc[i] * a[i];
+        parallel_for(0, n, kEwGrain, [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i) d[i] = dc[i] * a[i];
+        });
       }
       break;
   }
@@ -170,13 +198,14 @@ void BiasAddOp::forward(const ConstTensors& inputs, const MutTensors& outputs) {
   const std::int64_t N = X.dim(0), C = X.dim(1), S = X.dim(2) * X.dim(3);
   const float* x = X.data();
   float* y = Y.data();
-  for (std::int64_t n = 0; n < N; ++n)
-    for (std::int64_t c = 0; c < C; ++c) {
-      const float b = bias.at(c);
-      const float* xs = x + (n * C + c) * S;
-      float* ys = y + (n * C + c) * S;
+  parallel_for(0, N * C, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t nc = lo; nc < hi; ++nc) {
+      const float b = bias.at(nc % C);
+      const float* xs = x + nc * S;
+      float* ys = y + nc * S;
       for (std::int64_t s = 0; s < S; ++s) ys[s] = xs[s] + b;
     }
+  });
 }
 
 void BiasAddOp::backward(const ConstTensors& grad_outputs, const ConstTensors& fwd_inputs,
@@ -185,7 +214,11 @@ void BiasAddOp::backward(const ConstTensors& grad_outputs, const ConstTensors& f
   const std::int64_t N = dY.dim(0), C = dY.dim(1), S = dY.dim(2) * dY.dim(3);
   const float* dy = dY.data();
   if (grad_inputs[0]) {
-    std::copy(dy, dy + dY.elements(), grad_inputs[0]->data());
+    float* dx = grad_inputs[0]->data();
+    parallel_for(0, dY.elements(), kEwGrain,
+                 [&](std::int64_t lo, std::int64_t hi) {
+                   std::copy(dy + lo, dy + hi, dx + lo);
+                 });
   }
   if (grad_inputs[1]) {
     Tensor& db = *grad_inputs[1];
@@ -218,16 +251,17 @@ void FusedBiasReluOp::forward(const ConstTensors& inputs,
   const std::int64_t N = X.dim(0), C = X.dim(1), S = X.dim(2) * X.dim(3);
   const float* x = X.data();
   float* y = Y.data();
-  for (std::int64_t n = 0; n < N; ++n)
-    for (std::int64_t c = 0; c < C; ++c) {
-      const float b = bias.at(c);
-      const float* xs = x + (n * C + c) * S;
-      float* ys = y + (n * C + c) * S;
+  parallel_for(0, N * C, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t nc = lo; nc < hi; ++nc) {
+      const float b = bias.at(nc % C);
+      const float* xs = x + nc * S;
+      float* ys = y + nc * S;
       for (std::int64_t s = 0; s < S; ++s) {
         const float v = xs[s] + b;
         ys[s] = v > 0.0f ? v : 0.0f;
       }
     }
+  });
 }
 
 void FusedBiasReluOp::backward(const ConstTensors& grad_outputs,
@@ -241,8 +275,11 @@ void FusedBiasReluOp::backward(const ConstTensors& grad_outputs,
   const float* y = Y.data();
   if (grad_inputs[0]) {
     float* dx = grad_inputs[0]->data();
-    for (std::int64_t i = 0; i < dY.elements(); ++i)
-      dx[i] = y[i] > 0.0f ? dy[i] : 0.0f;
+    parallel_for(0, dY.elements(), kEwGrain,
+                 [&](std::int64_t lo, std::int64_t hi) {
+                   for (std::int64_t i = lo; i < hi; ++i)
+                     dx[i] = y[i] > 0.0f ? dy[i] : 0.0f;
+                 });
   }
   if (grad_inputs[1]) {
     Tensor& db = *grad_inputs[1];

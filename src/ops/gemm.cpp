@@ -4,6 +4,8 @@
 #include <cstring>
 #include <vector>
 
+#include "core/threadpool.hpp"
+
 namespace d500 {
 
 const char* gemm_backend_name(GemmBackend b) {
@@ -30,35 +32,44 @@ void gemm_naive(std::int64_t M, std::int64_t N, std::int64_t K, float alpha,
 
 void gemm_blocked(std::int64_t M, std::int64_t N, std::int64_t K, float alpha,
                   float const* A, const float* B, float beta, float* C) {
-  // Scale/zero C up front, then accumulate with ikj ordering inside cache
-  // blocks; the j loop is contiguous in both B and C and auto-vectorizes.
-  if (beta == 0.0f) {
-    std::memset(C, 0, static_cast<std::size_t>(M) * N * sizeof(float));
-  } else if (beta != 1.0f) {
-    for (std::int64_t i = 0; i < M * N; ++i) C[i] *= beta;
-  }
+  // Row blocks of C are independent, so they run as parallel_for chunks on
+  // the shared pool (one chunk = one MB-row block, a pure function of M).
+  // Within a block: scale/zero the C rows, then accumulate with ikj
+  // ordering inside cache blocks; the j loop is contiguous in both B and C
+  // and auto-vectorizes.
   constexpr std::int64_t MB = 64, NB = 256, KB = 64;
-  for (std::int64_t i0 = 0; i0 < M; i0 += MB) {
-    const std::int64_t i1 = std::min(i0 + MB, M);
-    for (std::int64_t k0 = 0; k0 < K; k0 += KB) {
-      const std::int64_t k1 = std::min(k0 + KB, K);
-      for (std::int64_t j0 = 0; j0 < N; j0 += NB) {
-        const std::int64_t j1 = std::min(j0 + NB, N);
-        for (std::int64_t i = i0; i < i1; ++i) {
-          float* Ci = C + i * N;
-          for (std::int64_t k = k0; k < k1; ++k) {
-            const float a = alpha * A[i * K + k];
-            const float* Bk = B + k * N;
-            for (std::int64_t j = j0; j < j1; ++j) Ci[j] += a * Bk[j];
+  parallel_for(0, (M + MB - 1) / MB, 1, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t blk = b0; blk < b1; ++blk) {
+      const std::int64_t i0 = blk * MB;
+      const std::int64_t i1 = std::min(i0 + MB, M);
+      if (beta == 0.0f) {
+        std::memset(C + i0 * N, 0,
+                    static_cast<std::size_t>(i1 - i0) * N * sizeof(float));
+      } else if (beta != 1.0f) {
+        for (std::int64_t i = i0 * N; i < i1 * N; ++i) C[i] *= beta;
+      }
+      for (std::int64_t k0 = 0; k0 < K; k0 += KB) {
+        const std::int64_t k1 = std::min(k0 + KB, K);
+        for (std::int64_t j0 = 0; j0 < N; j0 += NB) {
+          const std::int64_t j1 = std::min(j0 + NB, N);
+          for (std::int64_t i = i0; i < i1; ++i) {
+            float* Ci = C + i * N;
+            for (std::int64_t k = k0; k < k1; ++k) {
+              const float a = alpha * A[i * K + k];
+              const float* Bk = B + k * N;
+              for (std::int64_t j = j0; j < j1; ++j) Ci[j] += a * Bk[j];
+            }
           }
         }
       }
     }
-  }
+  });
 }
 
 // Packed backend: packs B into K-major panels of width NR and runs a 4xNR
-// register-tiled microkernel. OpenMP parallelizes over row blocks.
+// register-tiled microkernel. Packing and row blocks are parallel_for
+// chunks on the shared pool; the old per-panel OpenMP fork is hoisted into
+// exactly two parallel regions per call.
 constexpr std::int64_t kNR = 16;
 
 void pack_b_panel(std::int64_t K, std::int64_t N, const float* B,
@@ -94,24 +105,36 @@ void micro_4xNR(std::int64_t K, const float* A, std::int64_t lda,
 
 void gemm_packed(std::int64_t M, std::int64_t N, std::int64_t K, float alpha,
                  const float* A, const float* B, float beta, float* C) {
-  if (beta == 0.0f) {
-    std::memset(C, 0, static_cast<std::size_t>(M) * N * sizeof(float));
-  } else if (beta != 1.0f) {
-    for (std::int64_t i = 0; i < M * N; ++i) C[i] *= beta;
-  }
   const std::int64_t npanels = (N + kNR - 1) / kNR;
-  std::vector<float> packed(static_cast<std::size_t>(K) * kNR);
-  for (std::int64_t p = 0; p < npanels; ++p) {
-    const std::int64_t j0 = p * kNR;
-    const std::int64_t jw = std::min<std::int64_t>(kNR, N - j0);
-    pack_b_panel(K, N, B, j0, jw, packed.data());
-#pragma omp parallel for schedule(static)
-    for (std::int64_t i0 = 0; i0 < M; i0 += 4) {
-      const std::int64_t rows = std::min<std::int64_t>(4, M - i0);
-      micro_4xNR(K, A + i0 * K, K, packed.data(), C + i0 * N + j0, N, rows,
-                 jw, alpha);
+  // Phase 1: pack all panels of B (disjoint destinations per panel).
+  std::vector<float> packed(static_cast<std::size_t>(K) * npanels * kNR);
+  parallel_for(0, npanels, 1, [&](std::int64_t p0, std::int64_t p1) {
+    for (std::int64_t p = p0; p < p1; ++p) {
+      const std::int64_t j0 = p * kNR;
+      const std::int64_t jw = std::min<std::int64_t>(kNR, N - j0);
+      pack_b_panel(K, N, B, j0, jw, packed.data() + p * K * kNR);
     }
-  }
+  });
+  // Phase 2: 4-row blocks of C sweep every panel; each block owns its C
+  // rows end to end (scaling included), so blocks are independent.
+  parallel_for(0, (M + 3) / 4, 8, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t blk = b0; blk < b1; ++blk) {
+      const std::int64_t i0 = blk * 4;
+      const std::int64_t rows = std::min<std::int64_t>(4, M - i0);
+      if (beta == 0.0f) {
+        std::memset(C + i0 * N, 0,
+                    static_cast<std::size_t>(rows) * N * sizeof(float));
+      } else if (beta != 1.0f) {
+        for (std::int64_t i = i0 * N; i < (i0 + rows) * N; ++i) C[i] *= beta;
+      }
+      for (std::int64_t p = 0; p < npanels; ++p) {
+        const std::int64_t j0 = p * kNR;
+        const std::int64_t jw = std::min<std::int64_t>(kNR, N - j0);
+        micro_4xNR(K, A + i0 * K, K, packed.data() + p * K * kNR,
+                   C + i0 * N + j0, N, rows, jw, alpha);
+      }
+    }
+  });
 }
 
 }  // namespace
@@ -134,34 +157,89 @@ void gemm(GemmBackend backend, std::int64_t M, std::int64_t N, std::int64_t K,
   }
 }
 
-void gemm_at_b(std::int64_t M, std::int64_t N, std::int64_t K, const float* A,
-               const float* B, float* C) {
+void gemm_at_b(GemmBackend backend, std::int64_t M, std::int64_t N,
+               std::int64_t K, const float* A, const float* B, float* C) {
   // C(MxN) += A^T(MxK as KxM input) x B(KxN): A is stored (K rows, M cols).
-  for (std::int64_t k = 0; k < K; ++k) {
-    const float* Ak = A + k * M;
-    const float* Bk = B + k * N;
-    for (std::int64_t i = 0; i < M; ++i) {
-      const float a = Ak[i];
-      if (a == 0.0f) continue;
-      float* Ci = C + i * N;
-      for (std::int64_t j = 0; j < N; ++j) Ci[j] += a * Bk[j];
+  if (M <= 0 || N <= 0 || K <= 0) return;
+  if (backend == GemmBackend::kNaive) {
+    for (std::int64_t k = 0; k < K; ++k) {
+      const float* Ak = A + k * M;
+      const float* Bk = B + k * N;
+      for (std::int64_t i = 0; i < M; ++i) {
+        const float a = Ak[i];
+        if (a == 0.0f) continue;
+        float* Ci = C + i * N;
+        for (std::int64_t j = 0; j < N; ++j) Ci[j] += a * Bk[j];
+      }
     }
+    return;
   }
+  // Blocked/packed: row blocks of C are independent parallel_for chunks;
+  // inside a block, k is tiled so the touched B panel stays in cache while
+  // the contiguous j loop vectorizes. Accumulation over k stays in
+  // ascending order per row, so the result is thread-count independent.
+  constexpr std::int64_t MB = 64, KB = 64;
+  parallel_for(0, (M + MB - 1) / MB, 1, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t blk = b0; blk < b1; ++blk) {
+      const std::int64_t i0 = blk * MB;
+      const std::int64_t i1 = std::min(i0 + MB, M);
+      for (std::int64_t k0 = 0; k0 < K; k0 += KB) {
+        const std::int64_t k1 = std::min(k0 + KB, K);
+        for (std::int64_t i = i0; i < i1; ++i) {
+          float* Ci = C + i * N;
+          for (std::int64_t k = k0; k < k1; ++k) {
+            const float a = A[k * M + i];
+            if (a == 0.0f) continue;
+            const float* Bk = B + k * N;
+            for (std::int64_t j = 0; j < N; ++j) Ci[j] += a * Bk[j];
+          }
+        }
+      }
+    }
+  });
 }
 
-void gemm_a_bt(std::int64_t M, std::int64_t N, std::int64_t K, const float* A,
-               const float* B, float* C) {
+void gemm_a_bt(GemmBackend backend, std::int64_t M, std::int64_t N,
+               std::int64_t K, const float* A, const float* B, float* C) {
   // C(MxN) += A(MxK) x B^T where B is stored (N rows, K cols).
-  for (std::int64_t i = 0; i < M; ++i) {
-    const float* Ai = A + i * K;
-    float* Ci = C + i * N;
-    for (std::int64_t j = 0; j < N; ++j) {
-      const float* Bj = B + j * K;
-      float acc = 0.0f;
-      for (std::int64_t k = 0; k < K; ++k) acc += Ai[k] * Bj[k];
-      Ci[j] += acc;
+  if (M <= 0 || N <= 0 || K <= 0) return;
+  if (backend == GemmBackend::kNaive) {
+    for (std::int64_t i = 0; i < M; ++i) {
+      const float* Ai = A + i * K;
+      float* Ci = C + i * N;
+      for (std::int64_t j = 0; j < N; ++j) {
+        const float* Bj = B + j * K;
+        float acc = 0.0f;
+        for (std::int64_t k = 0; k < K; ++k) acc += Ai[k] * Bj[k];
+        Ci[j] += acc;
+      }
     }
+    return;
   }
+  // Blocked/packed: i/j tiling reuses a block of B rows across the A rows
+  // of the tile; each (i,j) dot product runs over the full K contiguously
+  // (identical accumulation order to the naive loop), and C row blocks are
+  // independent parallel_for chunks.
+  constexpr std::int64_t MB = 32, NB = 64;
+  parallel_for(0, (M + MB - 1) / MB, 1, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t blk = b0; blk < b1; ++blk) {
+      const std::int64_t i0 = blk * MB;
+      const std::int64_t i1 = std::min(i0 + MB, M);
+      for (std::int64_t j0 = 0; j0 < N; j0 += NB) {
+        const std::int64_t j1 = std::min(j0 + NB, N);
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const float* Ai = A + i * K;
+          float* Ci = C + i * N;
+          for (std::int64_t j = j0; j < j1; ++j) {
+            const float* Bj = B + j * K;
+            float acc = 0.0f;
+            for (std::int64_t k = 0; k < K; ++k) acc += Ai[k] * Bj[k];
+            Ci[j] += acc;
+          }
+        }
+      }
+    }
+  });
 }
 
 std::vector<Shape> MatMulOp::output_shapes(
@@ -192,11 +270,11 @@ void MatMulOp::backward(const ConstTensors& grad_outputs,
   const std::int64_t M = A.dim(0), K = A.dim(1), N = B.dim(1);
   if (grad_inputs[0]) {  // dA = dC x B^T
     grad_inputs[0]->fill(0.0f);
-    gemm_a_bt(M, K, N, dC.data(), B.data(), grad_inputs[0]->data());
+    gemm_a_bt(backend_, M, K, N, dC.data(), B.data(), grad_inputs[0]->data());
   }
   if (grad_inputs[1]) {  // dB = A^T x dC
     grad_inputs[1]->fill(0.0f);
-    gemm_at_b(K, N, M, A.data(), dC.data(), grad_inputs[1]->data());
+    gemm_at_b(backend_, K, N, M, A.data(), dC.data(), grad_inputs[1]->data());
   }
 }
 
@@ -225,7 +303,7 @@ void LinearOp::forward(const ConstTensors& inputs, const MutTensors& outputs) {
   const std::int64_t B = X.dim(0), in = X.dim(1), out = W.dim(0);
   // Y = X x W^T
   Y.fill(0.0f);
-  gemm_a_bt(B, out, in, X.data(), W.data(), Y.data());
+  gemm_a_bt(backend_, B, out, in, X.data(), W.data(), Y.data());
   for (std::int64_t i = 0; i < B; ++i) {
     float* y = Y.data() + i * out;
     for (std::int64_t j = 0; j < out; ++j) y[j] += bias.at(j);
@@ -245,7 +323,8 @@ void LinearOp::backward(const ConstTensors& grad_outputs,
   }
   if (grad_inputs[1]) {  // dW = dY^T x X  (out x in)
     grad_inputs[1]->fill(0.0f);
-    gemm_at_b(out, in, B, dY.data(), X.data(), grad_inputs[1]->data());
+    gemm_at_b(backend_, out, in, B, dY.data(), X.data(),
+              grad_inputs[1]->data());
   }
   if (grad_inputs[2]) {  // dbias = column sum of dY
     Tensor& db = *grad_inputs[2];

@@ -4,9 +4,15 @@
 //
 // Three backends with genuinely different performance (used to play the
 // roles of "framework kernels" vs. the DeepBench bare-kernel baseline):
-//   kNaive   — textbook ijk triple loop
-//   kBlocked — ikj ordering + cache blocking (vectorizable inner loop)
-//   kPacked  — panel packing + register-tiled microkernel + OpenMP
+//   kNaive   — textbook ijk triple loop, strictly serial
+//   kBlocked — ikj ordering + cache blocking (vectorizable inner loop),
+//              row blocks spread over the shared thread pool
+//   kPacked  — panel packing + register-tiled microkernel; packing and row
+//              blocks run as parallel_for chunks on the shared pool
+//
+// All parallel decomposition is a pure function of the problem size (never
+// of the thread count), so every backend is bit-deterministic at any
+// D500_THREADS setting.
 #pragma once
 
 #include <cstdint>
@@ -25,12 +31,16 @@ void gemm(GemmBackend backend, std::int64_t M, std::int64_t N, std::int64_t K,
           float alpha, const float* A, const float* B, float beta, float* C);
 
 /// C += A^T x B where A is (KxM): used by weight-gradient computation.
-void gemm_at_b(std::int64_t M, std::int64_t N, std::int64_t K, const float* A,
-               const float* B, float* C);
+/// kNaive is the serial reference; kBlocked/kPacked run a k-blocked tiling
+/// with C row blocks spread over the shared thread pool.
+void gemm_at_b(GemmBackend backend, std::int64_t M, std::int64_t N,
+               std::int64_t K, const float* A, const float* B, float* C);
 
 /// C += A x B^T where B is (NxK): used by input-gradient computation.
-void gemm_a_bt(std::int64_t M, std::int64_t N, std::int64_t K, const float* A,
-               const float* B, float* C);
+/// kNaive is the serial reference; kBlocked/kPacked tile over rows/columns
+/// of C with row blocks spread over the shared thread pool.
+void gemm_a_bt(GemmBackend backend, std::int64_t M, std::int64_t N,
+               std::int64_t K, const float* A, const float* B, float* C);
 
 inline std::uint64_t gemm_flops(std::int64_t M, std::int64_t N,
                                 std::int64_t K) {

@@ -2,7 +2,15 @@
 
 #include <cmath>
 
+#include "core/threadpool.hpp"
+
 namespace d500 {
+
+namespace {
+// Chunk size for the dense per-element optimizer updates below. Every element
+// is independent, so chunking only affects scheduling, not results.
+constexpr std::int64_t kUpdateGrain = 16384;
+}  // namespace
 
 TensorMap ThreeStepOptimizer::train(const TensorMap& feeds) {
   ++step_;
@@ -68,12 +76,14 @@ Tensor AdaGradOptimizer::update_rule(const Tensor& grad,
   Tensor& acc = it->second;
   Tensor out = old_param.clone();
   const std::int64_t n = grad.elements();
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float g = grad.at(i);
-    acc.at(i) += g * g;
-    out.at(i) -= static_cast<float>(lr_) * g /
-                 (std::sqrt(acc.at(i)) + static_cast<float>(eps_));
-  }
+  parallel_for(0, n, kUpdateGrain, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const float g = grad.at(i);
+      acc.at(i) += g * g;
+      out.at(i) -= static_cast<float>(lr_) * g /
+                   (std::sqrt(acc.at(i)) + static_cast<float>(eps_));
+    }
+  });
   return out;
 }
 
@@ -89,12 +99,14 @@ Tensor RMSPropOptimizer::update_rule(const Tensor& grad,
   Tensor out = old_param.clone();
   const std::int64_t n = grad.elements();
   const auto d = static_cast<float>(decay_);
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float g = grad.at(i);
-    ms.at(i) = d * ms.at(i) + (1.0f - d) * g * g;
-    out.at(i) -= static_cast<float>(lr_) * g /
-                 (std::sqrt(ms.at(i)) + static_cast<float>(eps_));
-  }
+  parallel_for(0, n, kUpdateGrain, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const float g = grad.at(i);
+      ms.at(i) = d * ms.at(i) + (1.0f - d) * g * g;
+      out.at(i) -= static_cast<float>(lr_) * g /
+                   (std::sqrt(ms.at(i)) + static_cast<float>(eps_));
+    }
+  });
   return out;
 }
 
@@ -118,15 +130,17 @@ Tensor AdamOptimizer::update_rule(const Tensor& grad, const Tensor& old_param,
   const float bc2 = 1.0f - std::pow(b2, static_cast<float>(t));
   Tensor out = old_param.clone();
   const std::int64_t n = grad.elements();
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float g = grad.at(i);
-    m.at(i) = b1 * m.at(i) + (1.0f - b1) * g;
-    v.at(i) = b2 * v.at(i) + (1.0f - b2) * g * g;
-    const float mhat = m.at(i) / bc1;
-    const float vhat = v.at(i) / bc2;
-    out.at(i) -= static_cast<float>(lr_) * mhat /
-                 (std::sqrt(vhat) + static_cast<float>(eps_));
-  }
+  parallel_for(0, n, kUpdateGrain, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const float g = grad.at(i);
+      m.at(i) = b1 * m.at(i) + (1.0f - b1) * g;
+      v.at(i) = b2 * v.at(i) + (1.0f - b2) * g * g;
+      const float mhat = m.at(i) / bc1;
+      const float vhat = v.at(i) / bc2;
+      out.at(i) -= static_cast<float>(lr_) * mhat /
+                   (std::sqrt(vhat) + static_cast<float>(eps_));
+    }
+  });
   return out;
 }
 

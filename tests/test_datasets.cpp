@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <stdexcept>
 
 #include "core/env.hpp"
 #include "data/dataset.hpp"
@@ -66,7 +67,10 @@ TEST(SyntheticDataset, GeneratesFreshData) {
 class MaterializedTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = scratch_dir() + "/dataset_test";
+    // Suffix with the test name: ctest runs each case as its own process in
+    // parallel, so a shared directory would be torn down under a sibling.
+    dir_ = scratch_dir() + "/dataset_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::filesystem::create_directories(dir_);
     ds_ = std::make_unique<ProceduralImageDataset>(tiny_spec(), 21);
     mat_ = materialize_dataset(*ds_, dir_, "tiny", /*shards=*/4,
@@ -138,6 +142,30 @@ TEST_F(MaterializedTest, PrefetchLoaderDeliversSameBatchesAsProducer) {
     const Batch b = loader.next();
     EXPECT_EQ(b.data.at(0), static_cast<float>(i));
   }
+  loader.stop();
+}
+
+TEST(PrefetchLoader, ProducerExceptionReachesConsumer) {
+  // A throwing producer must surface on next() instead of deadlocking the
+  // consumer; batches staged before the failure are still delivered, and
+  // every call after the queue drains keeps rethrowing.
+  int produced = 0;
+  PrefetchLoader loader(
+      [&]() {
+        if (produced == 2) throw std::runtime_error("shard corrupt");
+        Batch b;
+        b.data = Tensor({1});
+        b.data.at(0) = static_cast<float>(produced++);
+        b.labels = Tensor({1});
+        return b;
+      },
+      /*depth=*/4);
+  for (int i = 0; i < 2; ++i) {
+    const Batch b = loader.next();
+    EXPECT_EQ(b.data.at(0), static_cast<float>(i));
+  }
+  EXPECT_THROW(loader.next(), std::runtime_error);
+  EXPECT_THROW(loader.next(), std::runtime_error);
   loader.stop();
 }
 

@@ -77,29 +77,43 @@ TEST(Gemm, ZeroKDegenerate) {
 }
 
 TEST(Gemm, TransposedHelpersMatchNaive) {
-  const int M = 6, N = 7, K = 8;
+  // Sizes larger than the tile constants so the blocked paths cross block
+  // boundaries; every backend must agree with the hand-rolled reference.
+  const int M = 70, N = 37, K = 130;
   Rng rng(3);
   // gemm_at_b: C(MxN) += A^T x B with A stored KxM.
-  std::vector<float> A(K * M), B(K * N), C(M * N, 0.0f), C_ref(M * N, 0.0f);
+  std::vector<float> A(K * M), B(K * N), C_ref(M * N, 0.0f);
   fill_random(A, rng);
   fill_random(B, rng);
-  gemm_at_b(M, N, K, A.data(), B.data(), C.data());
   for (int i = 0; i < M; ++i)
     for (int j = 0; j < N; ++j)
       for (int k = 0; k < K; ++k)
         C_ref[i * N + j] += A[k * M + i] * B[k * N + j];
-  for (int i = 0; i < M * N; ++i) ASSERT_NEAR(C[i], C_ref[i], 1e-4f);
+  for (GemmBackend backend :
+       {GemmBackend::kNaive, GemmBackend::kBlocked, GemmBackend::kPacked}) {
+    std::vector<float> C(M * N, 0.0f);
+    gemm_at_b(backend, M, N, K, A.data(), B.data(), C.data());
+    for (int i = 0; i < M * N; ++i)
+      ASSERT_NEAR(C[i], C_ref[i], 1e-3f)
+          << "backend=" << gemm_backend_name(backend);
+  }
 
   // gemm_a_bt: C(MxN) += A x B^T with B stored NxK.
-  std::vector<float> A2(M * K), B2(N * K), D(M * N, 0.0f), D_ref(M * N, 0.0f);
+  std::vector<float> A2(M * K), B2(N * K), D_ref(M * N, 0.0f);
   fill_random(A2, rng);
   fill_random(B2, rng);
-  gemm_a_bt(M, N, K, A2.data(), B2.data(), D.data());
   for (int i = 0; i < M; ++i)
     for (int j = 0; j < N; ++j)
       for (int k = 0; k < K; ++k)
         D_ref[i * N + j] += A2[i * K + k] * B2[j * K + k];
-  for (int i = 0; i < M * N; ++i) ASSERT_NEAR(D[i], D_ref[i], 1e-4f);
+  for (GemmBackend backend :
+       {GemmBackend::kNaive, GemmBackend::kBlocked, GemmBackend::kPacked}) {
+    std::vector<float> D(M * N, 0.0f);
+    gemm_a_bt(backend, M, N, K, A2.data(), B2.data(), D.data());
+    for (int i = 0; i < M * N; ++i)
+      ASSERT_NEAR(D[i], D_ref[i], 1e-3f)
+          << "backend=" << gemm_backend_name(backend);
+  }
 }
 
 TEST(MatMulOp, ShapeInferenceAndForward) {

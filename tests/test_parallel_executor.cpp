@@ -1,0 +1,293 @@
+// Shared thread pool + inter-op parallel execution tests: parallel_for
+// decomposition/exceptions, run_task_graph scheduling, and the determinism
+// contract — ParallelExecutor (and PlanExecutor's parallel mode) must be
+// bit-identical to the serial ReferenceExecutor at any D500_THREADS.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/threadpool.hpp"
+#include "frameworks/plan_executor.hpp"
+#include "graph/executor.hpp"
+#include "graph/parallel_executor.hpp"
+#include "graph/visitor.hpp"
+#include "models/builders.hpp"
+
+namespace d500 {
+namespace {
+
+TEST(ParallelFor, EmptyRangeNeverCallsBody) {
+  int calls = 0;
+  parallel_for(0, 0, 4, [&](std::int64_t, std::int64_t) { ++calls; });
+  parallel_for(5, 5, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  parallel_for(7, 3, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, GrainLargerThanRangeRunsOneChunk) {
+  std::mutex mu;
+  std::vector<std::pair<std::int64_t, std::int64_t>> chunks;
+  parallel_for(2, 7, 100, [&](std::int64_t lo, std::int64_t hi) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(lo, hi);
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], (std::pair<std::int64_t, std::int64_t>{2, 7}));
+}
+
+TEST(ParallelFor, ChunkingIsAPureFunctionOfTheRange) {
+  // The decomposition must not depend on the thread count: same chunk set
+  // at 1, 2 and 4 threads.
+  auto decompose = [](int threads) {
+    ThreadPool::instance().reset(threads);
+    std::mutex mu;
+    std::vector<std::pair<std::int64_t, std::int64_t>> chunks;
+    parallel_for(0, 103, 10, [&](std::int64_t lo, std::int64_t hi) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.emplace_back(lo, hi);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  const auto one = decompose(1);
+  ASSERT_EQ(one.size(), 11u);  // ceil(103/10)
+  EXPECT_EQ(one.back(), (std::pair<std::int64_t, std::int64_t>{100, 103}));
+  EXPECT_EQ(decompose(2), one);
+  EXPECT_EQ(decompose(4), one);
+}
+
+TEST(ParallelFor, EveryIterationRunsExactlyOnce) {
+  ThreadPool::instance().reset(4);
+  std::vector<int> hits(1000, 0);
+  parallel_for(0, 1000, 7, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) ++hits[static_cast<std::size_t>(i)];
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                          [](int h) { return h == 1; }));
+}
+
+TEST(ParallelFor, ExceptionPropagatesToCaller) {
+  ThreadPool::instance().reset(4);
+  EXPECT_THROW(
+      parallel_for(0, 100, 1,
+                   [&](std::int64_t lo, std::int64_t) {
+                     if (lo == 42) throw std::runtime_error("chunk failed");
+                   }),
+      std::runtime_error);
+  // The pool must stay usable after an exception drains.
+  int sum = 0;
+  std::mutex mu;
+  parallel_for(0, 10, 1, [&](std::int64_t lo, std::int64_t) {
+    std::lock_guard<std::mutex> lock(mu);
+    sum += static_cast<int>(lo);
+  });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ParallelFor, NestedLoopsDoNotDeadlock) {
+  ThreadPool::instance().reset(4);
+  std::vector<int> out(64, 0);
+  parallel_for(0, 8, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i)
+      parallel_for(0, 8, 1, [&](std::int64_t jlo, std::int64_t jhi) {
+        for (std::int64_t j = jlo; j < jhi; ++j)
+          out[static_cast<std::size_t>(i * 8 + j)] = static_cast<int>(i + j);
+      });
+  });
+  for (int i = 0; i < 8; ++i)
+    for (int j = 0; j < 8; ++j) EXPECT_EQ(out[i * 8 + j], i + j);
+}
+
+TEST(RunTaskGraph, RespectsDependencies) {
+  ThreadPool::instance().reset(4);
+  // Diamond: 0 -> {1, 2} -> 3.
+  std::vector<std::vector<int>> unblocks{{1, 2}, {3}, {3}, {}};
+  std::vector<int> deps{0, 1, 1, 2};
+  std::mutex mu;
+  std::vector<int> done;
+  run_task_graph(unblocks, deps, [&](int t) {
+    std::lock_guard<std::mutex> lock(mu);
+    done.push_back(t);
+  });
+  ASSERT_EQ(done.size(), 4u);
+  EXPECT_EQ(done.front(), 0);
+  EXPECT_EQ(done.back(), 3);
+}
+
+TEST(RunTaskGraph, CycleIsReportedNotDeadlocked) {
+  ThreadPool::instance().reset(2);
+  // 1 and 2 wait on each other; only 0 can run.
+  std::vector<std::vector<int>> unblocks{{1}, {2}, {1}};
+  std::vector<int> deps{0, 2, 1};
+  EXPECT_THROW(run_task_graph(unblocks, deps, [&](int) {}), Error);
+}
+
+TEST(RunTaskGraph, ExceptionPropagatesToCaller) {
+  ThreadPool::instance().reset(4);
+  std::vector<std::vector<int>> unblocks{{1}, {2}, {}};
+  std::vector<int> deps{0, 1, 1};
+  EXPECT_THROW(run_task_graph(unblocks, deps,
+                              [&](int t) {
+                                if (t == 1) throw std::runtime_error("task");
+                              }),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Executor determinism: bit-identical outputs and gradients vs. the
+// ReferenceExecutor for every model builder, at 1, 2 and 4 threads.
+
+void expect_bitwise_equal(const Tensor& a, const Tensor& b,
+                          const std::string& what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.bytes()), 0)
+      << what << ": payload differs";
+}
+
+TensorMap model_feeds(const Model& m, std::uint64_t seed) {
+  // Feed every declared input: image-like data uniform in [-1, 1], labels
+  // as small class ids.
+  Network net = build_network(m);
+  Rng rng(seed);
+  TensorMap feeds;
+  for (const auto& iname : net.inputs()) {
+    Tensor t(net.input_shape(iname));
+    if (iname == "labels") {
+      for (std::int64_t i = 0; i < t.elements(); ++i)
+        t.at(i) = static_cast<float>(rng.below(4));
+    } else {
+      t.fill_uniform(rng, -1, 1);
+    }
+    feeds[iname] = std::move(t);
+  }
+  return feeds;
+}
+
+struct RunResult {
+  TensorMap outputs;
+  TensorMap grads;
+};
+
+RunResult run_backprop(GraphExecutor& exec, const TensorMap& feeds) {
+  RunResult r;
+  r.outputs = exec.inference_and_backprop(feeds, "loss");
+  for (const auto& [pname, gname] : exec.network().gradients())
+    r.grads[gname] = exec.network().fetch_tensor(gname);
+  return r;
+}
+
+void check_model_determinism(const Model& m, const char* label) {
+  const TensorMap feeds = model_feeds(m, 77);
+
+  ThreadPool::instance().reset(1);
+  ReferenceExecutor ref(build_network(m));
+  const RunResult expected = run_backprop(ref, feeds);
+  ASSERT_FALSE(expected.outputs.empty()) << label;
+
+  for (int threads : {1, 2, 4}) {
+    ThreadPool::instance().reset(threads);
+    ParallelExecutor par(build_network(m));
+    const RunResult got = run_backprop(par, feeds);
+    ASSERT_EQ(got.outputs.size(), expected.outputs.size()) << label;
+    for (const auto& [oname, t] : expected.outputs)
+      expect_bitwise_equal(got.outputs.at(oname), t,
+                           std::string(label) + " output " + oname + " @" +
+                               std::to_string(threads) + "t");
+    ASSERT_EQ(got.grads.size(), expected.grads.size()) << label;
+    for (const auto& [gname, t] : expected.grads)
+      expect_bitwise_equal(got.grads.at(gname), t,
+                           std::string(label) + " " + gname + " @" +
+                               std::to_string(threads) + "t");
+  }
+}
+
+TEST(ParallelExecutor, MlpBitIdenticalToReference) {
+  check_model_determinism(models::mlp(4, 32, {24, 16}, 4, 11), "mlp");
+}
+
+TEST(ParallelExecutor, LenetBitIdenticalToReference) {
+  check_model_determinism(models::lenet(2, 1, 12, 12, 4, 12), "lenet");
+}
+
+TEST(ParallelExecutor, ResnetBitIdenticalToReference) {
+  check_model_determinism(models::resnet(2, 3, 8, 8, 4, 4, 1, 13), "resnet");
+}
+
+TEST(ParallelExecutor, AlexnetLikeBitIdenticalToReference) {
+  check_model_determinism(models::alexnet_like(2, 14, /*with_loss=*/true),
+                          "alexnet_like");
+}
+
+TEST(ParallelExecutor, InferenceMatchesReferenceAndFiresEvents) {
+  struct Counter : Event {
+    int before_op = 0, after_op = 0, before_inf = 0, after_inf = 0;
+    bool on_event(const EventInfo& info) override {
+      switch (info.point) {
+        case EventPoint::kBeforeOperator: ++before_op; break;
+        case EventPoint::kAfterOperator: ++after_op; break;
+        case EventPoint::kBeforeInference: ++before_inf; break;
+        case EventPoint::kAfterInference: ++after_inf; break;
+        default: break;
+      }
+      return true;
+    }
+  };
+  const Model m = models::lenet(2, 1, 12, 12, 4, 21);
+  const TensorMap feeds = model_feeds(m, 5);
+
+  ThreadPool::instance().reset(1);
+  ReferenceExecutor ref(build_network(m));
+  const TensorMap expected = ref.inference(feeds);
+
+  ThreadPool::instance().reset(4);
+  ParallelExecutor par(build_network(m));
+  auto counter = std::make_shared<Counter>();
+  par.add_event(counter);
+  const TensorMap got = par.inference(feeds);
+  for (const auto& [oname, t] : expected)
+    expect_bitwise_equal(got.at(oname), t, "inference output " + oname);
+  const int n_nodes = static_cast<int>(par.network().nodes().size());
+  EXPECT_EQ(counter->before_op, n_nodes);
+  EXPECT_EQ(counter->after_op, n_nodes);
+  EXPECT_EQ(counter->before_inf, 1);
+  EXPECT_EQ(counter->after_inf, 1);
+}
+
+TEST(ParallelExecutor, HonorsMemoryLimit) {
+  ThreadPool::instance().reset(4);
+  ParallelExecutor par(build_network(models::lenet(2, 1, 12, 12, 4, 31)));
+  par.set_memory_limit(1);  // absurdly small: first allocation must trip it
+  EXPECT_THROW(par.inference(model_feeds(models::lenet(2, 1, 12, 12, 4, 31), 5)),
+               OutOfMemoryError);
+}
+
+TEST(PlanExecutor, ParallelOptionBitIdenticalToSerialPlan) {
+  const Model m = models::resnet(2, 3, 8, 8, 4, 4, 1, 41);
+  const TensorMap feeds = model_feeds(m, 9);
+
+  ThreadPool::instance().reset(1);
+  ExecOptions serial_opts;
+  PlanExecutor serial(build_network(m), "plan-serial", serial_opts);
+  const RunResult expected = run_backprop(serial, feeds);
+
+  for (int threads : {1, 4}) {
+    ThreadPool::instance().reset(threads);
+    ExecOptions par_opts;
+    par_opts.parallel = true;
+    PlanExecutor par(build_network(m), "plan-parallel", par_opts);
+    const RunResult got = run_backprop(par, feeds);
+    for (const auto& [oname, t] : expected.outputs)
+      expect_bitwise_equal(got.outputs.at(oname), t, "plan output " + oname);
+    for (const auto& [gname, t] : expected.grads)
+      expect_bitwise_equal(got.grads.at(gname), t, "plan " + gname);
+  }
+}
+
+}  // namespace
+}  // namespace d500
