@@ -30,6 +30,19 @@ std::uint64_t bench_seed() {
   return seed;
 }
 
+std::string trace_path() {
+  const char* v = std::getenv("D500_TRACE");
+  return v != nullptr ? std::string(v) : std::string();
+}
+
+std::size_t trace_buffer_records() {
+  if (const char* v = std::getenv("D500_TRACE_BUFSZ")) {
+    const auto n = std::strtoull(v, nullptr, 10);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  return 65536;
+}
+
 std::string scratch_dir() {
   static const std::string dir = [] {
     std::string d = "/tmp/d500";

@@ -6,6 +6,7 @@
 //   D500_FULL=1  — closest to paper sizes (minutes)
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -33,5 +34,13 @@ std::uint64_t bench_seed();
 /// Scratch directory for dataset containers and JIT artifacts
 /// (D500_TMPDIR, default /tmp/d500).
 std::string scratch_dir();
+
+/// Chrome-trace output path (D500_TRACE). Empty means tracing stays off
+/// unless enabled programmatically (core/trace).
+std::string trace_path();
+
+/// Per-thread trace ring capacity in records (D500_TRACE_BUFSZ, default
+/// 65536; core/trace rounds up to a power of two).
+std::size_t trace_buffer_records();
 
 }  // namespace d500

@@ -35,6 +35,21 @@ struct EventInfo {
 };
 
 /// Base class for event hooks.
+///
+/// Threading contract (all host objects — executors and runners — honor
+/// it):
+///  - Dispatch is serialized: at most one on_event() call is in flight per
+///    host at any time, so hooks may mutate their own state without
+///    locking against other hooks on the same host.
+///  - Dispatch may happen on any thread. Parallel executors fire operator
+///    events from pool worker threads; hooks must not assume they run on
+///    the thread that called inference()/run().
+///  - Operator pairs may interleave: with a parallel executor,
+///    kBeforeOperator of one operator can arrive between the kBefore/
+///    kAfter pair of another. Correlate pairs with EventInfo::step (the
+///    operator index), not with "the last before event".
+///  - Hooks run inside the host's dispatch lock; an on_event() that calls
+///    back into the same host (another inference, add_event) deadlocks.
 class Event {
  public:
   virtual ~Event() = default;

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <vector>
 
 #include "core/error.hpp"
+#include "core/table.hpp"
 
 namespace d500 {
 
@@ -145,6 +147,53 @@ double HeatmapMetric::summary() const {
   double peak = 0.0;
   for (double c : cells_) peak = std::max(peak, c);
   return peak;
+}
+
+bool TimelineMetric::on_event(const EventInfo& info) {
+  if (info.point != EventPoint::kBeforeOperator &&
+      info.point != EventPoint::kAfterOperator)
+    return true;
+  const double now = clock_.seconds();
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto key = std::make_pair(info.step, info.label);
+  if (info.point == EventPoint::kBeforeOperator) {
+    open_[key] = now;
+  } else if (auto it = open_.find(key); it != open_.end()) {
+    OpStat& st = ops_[info.label];
+    ++st.calls;
+    st.seconds += now - it->second;
+    open_.erase(it);
+  }
+  return true;
+}
+
+double TimelineMetric::summary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double total = 0.0;
+  for (const auto& [_, st] : ops_) total += st.seconds;
+  return total;
+}
+
+std::map<std::string, TimelineMetric::OpStat> TimelineMetric::op_stats()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+std::string TimelineMetric::report() const {
+  const auto ops = op_stats();
+  if (ops.empty()) return name() + ": <no operator events>";
+  std::vector<std::pair<std::string, OpStat>> sorted(ops.begin(), ops.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second.seconds != b.second.seconds)
+      return a.second.seconds > b.second.seconds;
+    return a.first < b.first;
+  });
+  Table t({"operator", "calls", "total [ms]", "mean [us]"});
+  for (const auto& [op, st] : sorted)
+    t.add_row({op, std::to_string(st.calls), Table::num(st.seconds * 1e3, 3),
+               Table::num(st.seconds / static_cast<double>(st.calls) * 1e6, 1)});
+  return name() + ":\n" + t.to_text();
 }
 
 std::string HeatmapMetric::render() const {

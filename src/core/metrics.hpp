@@ -9,11 +9,15 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/event.hpp"
 #include "core/stats.hpp"
 #include "core/timer.hpp"
 
@@ -156,6 +160,43 @@ class HeatmapMetric : public TestMetric {
   std::vector<float> reference_;
   int rows_, cols_;
   std::vector<double> cells_;
+};
+
+/// Per-operator wallclock timeline, fed by executor operator events — the
+/// paper's "metric class may extend both TestMetric and Event" example.
+/// Attach with executor.add_event(metric); each kBefore/kAfterOperator pair
+/// contributes one sample to that operator's total. Pairs are correlated by
+/// operator index (EventInfo::step), so interleaved dispatch from a
+/// parallel executor is attributed correctly; dispatch is serialized by the
+/// host (see core/event.hpp), and the internal mutex additionally allows
+/// one metric to observe several executors.
+class TimelineMetric : public TestMetric, public Event {
+ public:
+  std::string name() const override { return "op_timeline"; }
+
+  bool on_event(const EventInfo& info) override;
+
+  /// Total seconds across all completed operator invocations.
+  double summary() const override;
+
+  /// Hot-op table: per-operator calls and total time, sorted by total time
+  /// descending.
+  std::string report() const override;
+
+  struct OpStat {
+    std::int64_t calls = 0;
+    double seconds = 0.0;
+  };
+  /// Per-operator aggregates keyed by operator name.
+  std::map<std::string, OpStat> op_stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  // Open spans keyed by (operator index, name): a before event arms the
+  // timestamp, the matching after event closes it.
+  std::map<std::pair<std::int64_t, std::string>, double> open_;
+  std::map<std::string, OpStat> ops_;
+  Timer clock_;  // one time base for all begin/end stamps
 };
 
 /// Runs `fn` under a metric honoring its reruns() count; convenience used by

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "core/error.hpp"
+#include "core/trace.hpp"
 
 namespace d500 {
 
@@ -71,12 +72,16 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
+      // The idle span brackets the cv wait; declared before the lock so its
+      // end record is emitted after the unlock (off the contended path).
+      TraceSpan idle("threadpool", "idle");
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (stopping_) return;
       job = std::move(queue_.front());
       queue_.pop_front();
     }
+    D500_TRACE_SCOPE("threadpool", "task");
     job();
   }
 }
@@ -96,6 +101,7 @@ void ThreadPool::help_while(const std::function<bool()>& done) {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
+    D500_TRACE_SCOPE("threadpool", "task");
     job();
   }
 }

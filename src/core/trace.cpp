@@ -1,0 +1,380 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "core/env.hpp"
+#include "core/table.hpp"
+
+namespace d500 {
+
+namespace trace_detail {
+
+std::atomic<int> g_state{0};
+
+namespace {
+
+constexpr std::size_t kWordsPerRecord = sizeof(TraceRecord) / 8;
+
+/// One thread's ring. Slots are atomic words so the collector can read
+/// them while the owner writes: relaxed stores ordered by the release
+/// store on head_, wraparound races resolved by re-reading head_.
+struct Ring {
+  Ring(int tid, std::size_t capacity) : tid(tid) { resize(capacity); }
+
+  void resize(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    this->capacity = cap;
+    mask = cap - 1;
+    words = std::vector<std::atomic<std::uint64_t>>(cap * kWordsPerRecord);
+    head.store(0, std::memory_order_relaxed);
+  }
+
+  int tid;
+  std::size_t capacity = 0;
+  std::size_t mask = 0;
+  std::atomic<std::uint64_t> head{0};  // records ever written
+  std::vector<std::atomic<std::uint64_t>> words;
+};
+
+/// Ring registry. Rings are immortal (leaked singleton): records from
+/// exited threads stay collectable and the atexit flush never touches
+/// freed memory, whatever the static-destruction order.
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<Ring>> rings;
+  std::size_t capacity = 0;  // for rings created after init
+  std::string out_path;      // atexit flush target; empty = none
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // intentionally leaked
+  return *r;
+}
+
+/// Trace epoch: first touch wins; all threads stamp against it.
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - trace_epoch())
+      .count();
+}
+
+thread_local Ring* t_ring = nullptr;
+
+Ring& local_ring() {
+  if (t_ring != nullptr) return *t_ring;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  if (reg.capacity == 0) reg.capacity = trace_buffer_records();
+  reg.rings.push_back(std::make_unique<Ring>(
+      static_cast<int>(reg.rings.size()), reg.capacity));
+  t_ring = reg.rings.back().get();
+  return *t_ring;
+}
+
+void flush_at_exit() {
+  std::string path;
+  {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    path = reg.out_path;
+  }
+  if (path.empty()) return;
+  if (Trace::write(path)) {
+    std::uint64_t total = 0, dropped = 0;
+    for (const auto& tt : Trace::collect()) {
+      total += tt.emitted;
+      dropped += tt.dropped;
+    }
+    std::fprintf(stderr, "trace: wrote %llu events to %s (%llu dropped)\n",
+                 static_cast<unsigned long long>(total - dropped), path.c_str(),
+                 static_cast<unsigned long long>(dropped));
+  } else {
+    std::fprintf(stderr, "trace: FAILED to write %s\n", path.c_str());
+  }
+}
+
+}  // namespace
+
+bool init_from_env() {
+  static const bool enabled = [] {
+    trace_epoch();  // pin the clock origin before any record is stamped
+    Registry& reg = registry();
+    std::string path;
+    {
+      std::lock_guard<std::mutex> lock(reg.mu);
+      if (reg.capacity == 0) reg.capacity = trace_buffer_records();
+      reg.out_path = trace_path();
+      path = reg.out_path;
+    }
+    if (path.empty()) {
+      g_state.store(1, std::memory_order_relaxed);
+      return false;
+    }
+    std::atexit(flush_at_exit);
+    g_state.store(2, std::memory_order_relaxed);
+    return true;
+  }();
+  return enabled;
+}
+
+void emit(TraceKind kind, const char* category, std::string_view name,
+          double value) {
+  Ring& ring = local_ring();
+  TraceRecord rec;
+  rec.ts_ns = now_ns();
+  rec.value = value;
+  rec.category = category;
+  const std::size_t n = std::min(name.size(), kTraceNameCap - 1);
+  std::memcpy(rec.name, name.data(), n);
+  rec.kind = kind;
+
+  std::uint64_t w[kWordsPerRecord];
+  std::memcpy(w, &rec, sizeof(rec));
+  const std::uint64_t h = ring.head.load(std::memory_order_relaxed);
+  std::atomic<std::uint64_t>* slot =
+      ring.words.data() + (h & ring.mask) * kWordsPerRecord;
+  for (std::size_t i = 0; i < kWordsPerRecord; ++i)
+    slot[i].store(w[i], std::memory_order_relaxed);
+  ring.head.store(h + 1, std::memory_order_release);
+}
+
+}  // namespace trace_detail
+
+void TraceSpan::open(const char* category, std::string_view name) {
+  category_ = category;
+  const std::size_t n = std::min(name.size(), kTraceNameCap - 1);
+  std::memcpy(name_, name.data(), n);
+  name_[n] = '\0';
+  trace_detail::emit(TraceKind::kSpanBegin, category, name, 0.0);
+}
+
+void TraceSpan::close() {
+  trace_detail::emit(TraceKind::kSpanEnd, category_, name_, 0.0);
+}
+
+void Trace::enable(std::size_t buffer_records) {
+  trace_enabled();  // resolve env config (output path, default capacity)
+  trace_detail::Registry& reg = trace_detail::registry();
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    if (buffer_records != 0) {
+      reg.capacity = buffer_records;
+      for (auto& ring : reg.rings) ring->resize(buffer_records);
+    }
+  }
+  trace_detail::g_state.store(2, std::memory_order_relaxed);
+}
+
+void Trace::disable() {
+  trace_enabled();
+  trace_detail::g_state.store(1, std::memory_order_relaxed);
+}
+
+void Trace::reset() {
+  trace_detail::Registry& reg = trace_detail::registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& ring : reg.rings)
+    ring->head.store(0, std::memory_order_relaxed);
+}
+
+std::vector<Trace::ThreadTrace> Trace::collect() {
+  trace_detail::Registry& reg = trace_detail::registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<ThreadTrace> out;
+  out.reserve(reg.rings.size());
+  for (const auto& rp : reg.rings) {
+    const trace_detail::Ring& ring = *rp;
+    ThreadTrace tt;
+    tt.tid = ring.tid;
+    const std::uint64_t cap = ring.capacity;
+    const std::uint64_t h0 = ring.head.load(std::memory_order_acquire);
+    const std::uint64_t lo0 = h0 > cap ? h0 - cap : 0;
+    std::vector<std::uint64_t> index;
+    std::vector<TraceRecord> records;
+    index.reserve(static_cast<std::size_t>(h0 - lo0));
+    records.reserve(static_cast<std::size_t>(h0 - lo0));
+    for (std::uint64_t i = lo0; i < h0; ++i) {
+      std::uint64_t w[trace_detail::kWordsPerRecord];
+      const std::atomic<std::uint64_t>* slot =
+          ring.words.data() + (i & ring.mask) * trace_detail::kWordsPerRecord;
+      for (std::size_t k = 0; k < trace_detail::kWordsPerRecord; ++k)
+        w[k] = slot[k].load(std::memory_order_relaxed);
+      TraceRecord rec;
+      std::memcpy(&rec, w, sizeof(rec));
+      index.push_back(i);
+      records.push_back(rec);
+    }
+    // Slots overwritten while we read (head advanced past their index +
+    // capacity) may be torn; count them as dropped instead of keeping them.
+    const std::uint64_t h1 = ring.head.load(std::memory_order_acquire);
+    const std::uint64_t lo1 = h1 > cap ? h1 - cap : 0;
+    tt.emitted = h1;
+    tt.dropped = lo1;
+    for (std::size_t k = 0; k < records.size(); ++k)
+      if (index[k] >= lo1) tt.records.push_back(records[k]);
+    out.push_back(std::move(tt));
+  }
+  return out;
+}
+
+namespace {
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+double sanitize(double v) { return std::isfinite(v) ? v : 0.0; }
+
+}  // namespace
+
+std::string Trace::to_chrome_json() {
+  const auto threads = collect();
+  std::string out;
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  auto emit_event = [&](const std::string& line) {
+    if (!first) out += ",\n";
+    first = false;
+    out += line;
+  };
+  for (const auto& tt : threads) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%d,\"args\":{\"name\":\"thread %d\"}}",
+                  tt.tid, tt.tid);
+    emit_event(buf);
+    for (const TraceRecord& r : tt.records) {
+      const char* ph = "i";
+      switch (r.kind) {
+        case TraceKind::kSpanBegin: ph = "B"; break;
+        case TraceKind::kSpanEnd: ph = "E"; break;
+        case TraceKind::kCounter: ph = "C"; break;
+        case TraceKind::kInstant: ph = "i"; break;
+      }
+      std::string line = "{\"name\":\"";
+      append_json_escaped(line, r.name);
+      line += "\",\"cat\":\"";
+      append_json_escaped(line, r.category != nullptr ? r.category : "?");
+      line += "\",\"ph\":\"";
+      line += ph;
+      line += "\",\"pid\":1,\"tid\":" + std::to_string(tt.tid);
+      char ts[48];
+      std::snprintf(ts, sizeof(ts), ",\"ts\":%.3f",
+                    sanitize(static_cast<double>(r.ts_ns) / 1e3));
+      line += ts;
+      if (r.kind == TraceKind::kCounter) {
+        char val[64];
+        std::snprintf(val, sizeof(val), "%.6g", sanitize(r.value));
+        line += ",\"args\":{\"";
+        append_json_escaped(line, r.name);
+        line += "\":";
+        line += val;
+        line += "}";
+      } else if (r.kind == TraceKind::kInstant) {
+        line += ",\"s\":\"t\"";
+      }
+      line += "}";
+      emit_event(line);
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string Trace::summary() {
+  struct CatStat {
+    std::int64_t spans = 0;
+    double span_seconds = 0.0;
+    std::int64_t counters = 0;
+    std::int64_t instants = 0;
+    std::int64_t unmatched = 0;  // begins/ends orphaned by wraparound
+  };
+  std::map<std::string, CatStat> cats;
+  std::uint64_t emitted = 0, dropped = 0;
+  const auto threads = collect();
+  for (const auto& tt : threads) {
+    emitted += tt.emitted;
+    dropped += tt.dropped;
+    // Spans are strictly nested per thread (RAII), so a stack pairs them;
+    // wraparound can orphan begins or ends, which only pair on an exact
+    // category+name match.
+    std::vector<const TraceRecord*> stack;
+    for (const TraceRecord& r : tt.records) {
+      const std::string cat = r.category != nullptr ? r.category : "?";
+      switch (r.kind) {
+        case TraceKind::kSpanBegin:
+          stack.push_back(&r);
+          break;
+        case TraceKind::kSpanEnd:
+          if (!stack.empty() && stack.back()->category == r.category &&
+              std::strncmp(stack.back()->name, r.name, kTraceNameCap) == 0) {
+            CatStat& cs = cats[cat];
+            ++cs.spans;
+            cs.span_seconds +=
+                static_cast<double>(r.ts_ns - stack.back()->ts_ns) / 1e9;
+            stack.pop_back();
+          } else {
+            ++cats[cat].unmatched;
+          }
+          break;
+        case TraceKind::kCounter: ++cats[cat].counters; break;
+        case TraceKind::kInstant: ++cats[cat].instants; break;
+      }
+    }
+    for (const TraceRecord* open : stack)
+      ++cats[open->category != nullptr ? open->category : "?"].unmatched;
+  }
+
+  Table t({"category", "spans", "span total [ms]", "counters", "instants",
+           "unmatched"});
+  for (const auto& [cat, cs] : cats)
+    t.add_row({cat, std::to_string(cs.spans),
+               Table::num(cs.span_seconds * 1e3, 3),
+               std::to_string(cs.counters), std::to_string(cs.instants),
+               std::to_string(cs.unmatched)});
+  std::string out = t.to_text();
+  out += "trace: " + std::to_string(emitted) + " records emitted, " +
+         std::to_string(dropped) + " dropped, " +
+         std::to_string(threads.size()) + " threads\n";
+  return out;
+}
+
+bool Trace::write(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << to_chrome_json();
+  return static_cast<bool>(out);
+}
+
+}  // namespace d500

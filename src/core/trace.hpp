@@ -1,0 +1,161 @@
+// Always-on tracing runtime (paper §VI-A: white-box instrumentation at <1%
+// overhead).
+//
+// Every thread that emits owns a private lock-free ring buffer of
+// fixed-size 64-byte records (span begin/end, counter, instant) stamped
+// from one process-wide steady-clock domain. Emission is a handful of
+// relaxed atomic word stores into the thread's own ring — no locks, no
+// allocation, no cross-thread contention on the hot path — and when the
+// ring fills, the oldest records are overwritten (dropped records are
+// counted, never blocked on). A collector merges the per-thread rings
+// into Chrome trace-event JSON (loadable in Perfetto / chrome://tracing)
+// plus a per-category summary table.
+//
+// Toggles: D500_TRACE=<path> enables tracing at startup and writes the
+// JSON to <path> at process exit; D500_TRACE_BUFSZ sizes the per-thread
+// ring in records (default 65536, rounded up to a power of two). Tests
+// and benches can flip tracing programmatically with Trace::enable() /
+// Trace::disable().
+//
+// When tracing is disabled every instrumentation site costs one relaxed
+// atomic load and one predictable branch — cheap enough to leave compiled
+// into every layer unconditionally ("always-on").
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace d500 {
+
+/// Record kinds, mapping 1:1 onto the Chrome trace-event phases they
+/// export as ("B"/"E" duration events, "C" counters, "i" instants).
+enum class TraceKind : std::uint8_t {
+  kSpanBegin = 0,
+  kSpanEnd = 1,
+  kCounter = 2,
+  kInstant = 3,
+};
+
+/// Inline name capacity (including the NUL); longer names are truncated.
+inline constexpr std::size_t kTraceNameCap = 32;
+
+/// One fixed-size trace record. `category` must be a string literal (the
+/// pointer is stored, not the characters); `name` is copied inline so
+/// dynamic strings (operator names) are safe to pass.
+struct TraceRecord {
+  std::int64_t ts_ns = 0;         // steady-clock ns since the trace epoch
+  double value = 0.0;             // counter payload
+  const char* category = nullptr; // static string literal
+  char name[kTraceNameCap] = {};  // NUL-terminated, truncated copy
+  TraceKind kind = TraceKind::kInstant;
+  char pad_[7] = {};
+};
+static_assert(sizeof(TraceRecord) == 64, "records are 8 atomic words");
+
+namespace trace_detail {
+/// 0 = uninitialized (resolve from D500_TRACE), 1 = off, 2 = on.
+extern std::atomic<int> g_state;
+bool init_from_env();
+void emit(TraceKind kind, const char* category, std::string_view name,
+          double value);
+}  // namespace trace_detail
+
+/// Hot-path gate: one relaxed load and one branch when tracing is off.
+inline bool trace_enabled() {
+  const int s = trace_detail::g_state.load(std::memory_order_relaxed);
+  if (s == 0) return trace_detail::init_from_env();  // once per process
+  return s == 2;
+}
+
+/// Counter sample (e.g. queue depth, cumulative bytes). No-op when
+/// tracing is disabled.
+inline void trace_counter(const char* category, std::string_view name,
+                          double value) {
+  if (trace_enabled())
+    trace_detail::emit(TraceKind::kCounter, category, name, value);
+}
+
+/// Zero-duration marker.
+inline void trace_instant(const char* category, std::string_view name) {
+  if (trace_enabled())
+    trace_detail::emit(TraceKind::kInstant, category, name, 0.0);
+}
+
+/// RAII span: emits a begin record at construction and the matching end
+/// record at scope exit, into the emitting thread's ring. When tracing is
+/// disabled, construction is the single gate branch and destruction tests
+/// a local flag.
+class TraceSpan {
+ public:
+  TraceSpan(const char* category, std::string_view name) {
+    if (trace_enabled()) open(category, name);
+  }
+  ~TraceSpan() {
+    if (category_ != nullptr) close();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void open(const char* category, std::string_view name);
+  void close();
+
+  const char* category_ = nullptr;  // non-null while a span is open
+  char name_[kTraceNameCap] = {};
+};
+
+/// Collector over every thread's ring buffer.
+class Trace {
+ public:
+  /// Enables tracing process-wide. `buffer_records` resizes the
+  /// per-thread rings (rounded up to a power of two; 0 keeps the current
+  /// env-configured capacity). Like ThreadPool::reset, must not be called
+  /// while other threads are emitting (rings may be reallocated).
+  static void enable(std::size_t buffer_records = 0);
+
+  /// Disables emission. Already-recorded events stay collectable.
+  static void disable();
+
+  /// Clears every ring and its drop counters (test hook; same quiescence
+  /// requirement as enable()).
+  static void reset();
+
+  /// One thread's retained window, oldest record first.
+  struct ThreadTrace {
+    int tid = 0;                       // registration order; main is 0
+    std::uint64_t emitted = 0;         // records ever written
+    std::uint64_t dropped = 0;         // overwritten by ring wraparound
+    std::vector<TraceRecord> records;  // newest min(emitted, capacity)
+  };
+
+  /// Snapshots every ring, including those of exited threads. Safe to run
+  /// while other threads emit: slots overwritten mid-read are counted as
+  /// dropped rather than returned torn.
+  static std::vector<ThreadTrace> collect();
+
+  /// Chrome trace-event JSON: {"traceEvents":[...]}, one event per line,
+  /// loadable in Perfetto. Includes thread_name metadata events.
+  static std::string to_chrome_json();
+
+  /// Per-category roll-up (span count / total span ms / counter and
+  /// instant counts) rendered with core/table, plus a drop-count line.
+  static std::string summary();
+
+  /// Writes to_chrome_json() to `path`. Returns false on I/O failure.
+  static bool write(const std::string& path);
+};
+
+#define D500_TRACE_CONCAT_IMPL(a, b) a##b
+#define D500_TRACE_CONCAT(a, b) D500_TRACE_CONCAT_IMPL(a, b)
+
+/// Span covering the enclosing scope. `category` must be a string
+/// literal; `name` may be any string (copied).
+#define D500_TRACE_SCOPE(category, name) \
+  ::d500::TraceSpan D500_TRACE_CONCAT(d500_trace_scope_, __LINE__)(category, \
+                                                                   name)
+
+}  // namespace d500

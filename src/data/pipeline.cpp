@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/threadpool.hpp"
+#include "core/trace.hpp"
 
 namespace d500 {
 
@@ -14,10 +15,14 @@ RecordPipeline::RecordPipeline(std::vector<std::string> shard_paths,
       reader_(std::move(shard_paths), shuffle_buffer, seed) {}
 
 Batch RecordPipeline::next_batch(std::int64_t batch) {
+  D500_TRACE_SCOPE("data", "batch");
   // Stage 1: sequential reads (through the pseudo-shuffle window).
   std::vector<Record> records;
   records.reserve(static_cast<std::size_t>(batch));
-  for (std::int64_t i = 0; i < batch; ++i) records.push_back(reader_.next());
+  {
+    D500_TRACE_SCOPE("data", "shuffle_read");
+    for (std::int64_t i = 0; i < batch; ++i) records.push_back(reader_.next());
+  }
 
   // Stage 2: decode the whole batch across the shared thread pool (the
   // structure matches TensorFlow's parallel decode). Each record writes a
@@ -27,6 +32,7 @@ Batch RecordPipeline::next_batch(std::int64_t batch) {
   out.labels = Tensor({batch});
   const std::int64_t sample_elems =
       spec_.channels * spec_.height * spec_.width;
+  D500_TRACE_SCOPE("data", "decode");
   parallel_for(0, batch, 1, [&](std::int64_t lo, std::int64_t hi) {
     for (std::int64_t i = lo; i < hi; ++i) {
       const RawImage img =
@@ -59,6 +65,7 @@ void PrefetchLoader::worker_loop() {
     }
     Batch b;
     try {
+      D500_TRACE_SCOPE("data", "prefetch");
       b = producer_();
     } catch (...) {
       // Park the exception for the consumer; without this, next() would
@@ -70,11 +77,14 @@ void PrefetchLoader::worker_loop() {
       cv_consume_.notify_all();
       return;
     }
+    std::size_t depth;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (stopping_) return;
       queue_.push_back(std::move(b));
+      depth = queue_.size();
     }
+    trace_counter("data", "queue_depth", static_cast<double>(depth));
     cv_consume_.notify_one();
   }
 }
@@ -86,7 +96,9 @@ Batch PrefetchLoader::next() {
   if (queue_.empty() && error_) std::rethrow_exception(error_);
   Batch b = std::move(queue_.front());
   queue_.pop_front();
+  const std::size_t depth = queue_.size();
   lock.unlock();
+  trace_counter("data", "queue_depth", static_cast<double>(depth));
   cv_produce_.notify_one();
   return b;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "core/trace.hpp"
+
 namespace d500 {
 
 SimMpi::SimMpi(int size)
@@ -60,6 +62,10 @@ void SimMpi::post(int src, int dst, int tag, std::vector<float> data) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     bytes_sent_[static_cast<std::size_t>(src)] += data.size() * sizeof(float);
     ++msgs_sent_[static_cast<std::size_t>(src)];
+    // Per-rank cumulative send volume; each rank thread emits into its own
+    // ring, so the counter tracks that rank's curve.
+    trace_counter("dist", "bytes_sent",
+                  static_cast<double>(bytes_sent_[static_cast<std::size_t>(src)]));
   }
   Mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
   {
@@ -113,6 +119,7 @@ void Communicator::barrier() {
 }
 
 void Communicator::bcast(std::span<float> data, int root) {
+  D500_TRACE_SCOPE("dist", "bcast");
   // Binomial tree rooted at `root`: virtual rank v = (rank - root) mod n.
   // v receives from v - lsb(v), then forwards to v + m for each mask m
   // below its own lowest set bit (the whole range below n for the root).
@@ -133,6 +140,7 @@ void Communicator::bcast(std::span<float> data, int root) {
 }
 
 void Communicator::reduce_sum(std::span<float> data, int root) {
+  D500_TRACE_SCOPE("dist", "reduce");
   // Binomial-tree reduce: virtual rank v = (rank - root) mod n.
   const int n = size();
   if (n == 1) return;
@@ -151,6 +159,7 @@ void Communicator::reduce_sum(std::span<float> data, int root) {
 }
 
 void Communicator::allreduce_sum_ring(std::span<float> data) {
+  D500_TRACE_SCOPE("dist", "allreduce_ring");
   const int n = size();
   if (n == 1) return;
   const std::size_t len = data.size();
@@ -188,6 +197,7 @@ void Communicator::allreduce_sum_ring(std::span<float> data) {
 }
 
 void Communicator::allreduce_sum_rd(std::span<float> data) {
+  D500_TRACE_SCOPE("dist", "allreduce_rd");
   const int n = size();
   if (n == 1) return;
   // Largest power of two <= n.
@@ -236,6 +246,7 @@ void Communicator::allreduce_sum_rd(std::span<float> data) {
 
 void Communicator::allgather(std::span<const float> chunk,
                              std::span<float> out) {
+  D500_TRACE_SCOPE("dist", "allgather");
   const int n = size();
   const std::size_t csize = chunk.size();
   D500_CHECK_MSG(out.size() == csize * static_cast<std::size_t>(n),

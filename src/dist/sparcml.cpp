@@ -5,6 +5,8 @@
 #include <cstring>
 #include <numeric>
 
+#include "core/trace.hpp"
+
 namespace d500 {
 
 SparseVector sparsify_topk(std::span<const float> dense, std::int64_t k) {
@@ -107,6 +109,7 @@ SparseAllreduceStats sparse_allreduce(Communicator& comm,
   D500_CHECK_MSG(is_power_of_two(n),
                  "sparse_allreduce requires power-of-two world, got " << n);
   SparseAllreduceStats stats;
+  D500_TRACE_SCOPE("dist", "sparse_allreduce");
   SparseVector acc = contribution;
   bool dense_mode = false;
 
@@ -143,6 +146,7 @@ SparseAllreduceStats sparse_allreduce(Communicator& comm,
   }
   if (!dense_mode) densify(acc, dense_out);
   stats.final_density = dense_mode ? 1.0 : acc.density();
+  trace_counter("dist", "density", stats.final_density);
   return stats;
 }
 

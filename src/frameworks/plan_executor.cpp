@@ -5,6 +5,7 @@
 
 #include "core/threadpool.hpp"
 #include "core/timer.hpp"
+#include "core/trace.hpp"
 #include "ops/conv2d.hpp"
 
 namespace d500 {
@@ -141,60 +142,65 @@ void PlanExecutor::exec_step(std::size_t idx, std::mutex* mu) {
     fire({EventPoint::kBeforeOperator, op_index, -1, step.node->name, 0.0});
   }
   Timer launch_timer;
+  {
+    // The span covers the launch + kernel, not the serialized event
+    // dispatch on either side.
+    D500_TRACE_SCOPE("op", step.node->name);
 
-  if (!options_.reuse_activations) {
-    // Slots are distinct vector elements, so concurrent steps allocate
-    // into disjoint storage.
-    for (std::size_t k = 0; k < step.out_slots.size(); ++k)
-      values_[static_cast<std::size_t>(step.out_slots[k])] =
-          Tensor(step.out_shapes[k]);
-  }
-
-  ConstTensors in;
-  in.reserve(step.in_slots.size());
-  for (std::size_t k = 0; k < step.in_slots.size(); ++k) {
-    const auto s = static_cast<std::size_t>(step.in_slots[k]);
-    if (value_is_stored_[s]) {
-      in.push_back(&net_.fetch_tensor(slot_names_[s]));
-    } else {
-      in.push_back(&values_[s]);
+    if (!options_.reuse_activations) {
+      // Slots are distinct vector elements, so concurrent steps allocate
+      // into disjoint storage.
+      for (std::size_t k = 0; k < step.out_slots.size(); ++k)
+        values_[static_cast<std::size_t>(step.out_slots[k])] =
+            Tensor(step.out_shapes[k]);
     }
-  }
-  MutTensors out;
-  out.reserve(step.out_slots.size());
-  for (int s : step.out_slots)
-    out.push_back(&values_[static_cast<std::size_t>(s)]);
 
-  if (options_.string_dispatch) {
-    // Session-style launch path: per-launch shape validation plus
-    // string-keyed stats bookkeeping (the management overhead the
-    // paper's FrameworkOverhead metric quantifies).
-    for (std::size_t k = 0; k < in.size(); ++k)
-      D500_CHECK_MSG(in[k]->shape() == step.in_shapes[k],
-                     name_ << ": launch-time shape mismatch at '"
-                     << step.node->name << "'");
-    if (options_.defensive_copy_shape_ops && step.is_shape_op) {
-      std::vector<Tensor> staged;
-      staged.reserve(out.size());
-      for (std::size_t k = 0; k < out.size(); ++k)
-        staged.emplace_back(step.out_shapes[k]);
-      MutTensors staged_ptrs;
-      for (auto& t : staged) staged_ptrs.push_back(&t);
-      step.node->op->forward(in, staged_ptrs);
-      for (std::size_t k = 0; k < out.size(); ++k) *out[k] = staged[k];
+    ConstTensors in;
+    in.reserve(step.in_slots.size());
+    for (std::size_t k = 0; k < step.in_slots.size(); ++k) {
+      const auto s = static_cast<std::size_t>(step.in_slots[k]);
+      if (value_is_stored_[s]) {
+        in.push_back(&net_.fetch_tensor(slot_names_[s]));
+      } else {
+        in.push_back(&values_[s]);
+      }
+    }
+    MutTensors out;
+    out.reserve(step.out_slots.size());
+    for (int s : step.out_slots)
+      out.push_back(&values_[static_cast<std::size_t>(s)]);
+
+    if (options_.string_dispatch) {
+      // Session-style launch path: per-launch shape validation plus
+      // string-keyed stats bookkeeping (the management overhead the
+      // paper's FrameworkOverhead metric quantifies).
+      for (std::size_t k = 0; k < in.size(); ++k)
+        D500_CHECK_MSG(in[k]->shape() == step.in_shapes[k],
+                       name_ << ": launch-time shape mismatch at '"
+                       << step.node->name << "'");
+      if (options_.defensive_copy_shape_ops && step.is_shape_op) {
+        std::vector<Tensor> staged;
+        staged.reserve(out.size());
+        for (std::size_t k = 0; k < out.size(); ++k)
+          staged.emplace_back(step.out_shapes[k]);
+        MutTensors staged_ptrs;
+        for (auto& t : staged) staged_ptrs.push_back(&t);
+        step.node->op->forward(in, staged_ptrs);
+        for (std::size_t k = 0; k < out.size(); ++k) *out[k] = staged[k];
+      } else {
+        step.node->op->forward(in, out);
+      }
+      const double seconds = launch_timer.seconds();
+      {
+        std::unique_lock<std::mutex> lock;
+        if (mu) lock = std::unique_lock<std::mutex>(*mu);
+        auto& st = launch_stats_[step.node->op_type + ":" + step.node->name];
+        ++st.launches;
+        st.seconds += seconds;
+      }
     } else {
       step.node->op->forward(in, out);
     }
-    const double seconds = launch_timer.seconds();
-    {
-      std::unique_lock<std::mutex> lock;
-      if (mu) lock = std::unique_lock<std::mutex>(*mu);
-      auto& st = launch_stats_[step.node->op_type + ":" + step.node->name];
-      ++st.launches;
-      st.seconds += seconds;
-    }
-  } else {
-    step.node->op->forward(in, out);
   }
 
   {
@@ -294,7 +300,10 @@ TensorMap PlanExecutor::inference_and_backprop(const TensorMap& feeds,
       grad_in[k] = &scratch[k];
     }
 
-    step.node->op->backward(grad_out, fwd_in, fwd_out, grad_in);
+    {
+      D500_TRACE_SCOPE("grad", step.node->name);
+      step.node->op->backward(grad_out, fwd_in, fwd_out, grad_in);
+    }
 
     for (std::size_t k = 0; k < step.in_slots.size(); ++k) {
       if (!grad_in[k]) continue;

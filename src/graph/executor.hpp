@@ -5,6 +5,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 
 #include "core/event.hpp"
 #include "graph/network.hpp"
@@ -51,7 +52,13 @@ class GraphExecutor {
   std::size_t last_peak_memory() const { return last_peak_memory_; }
 
  protected:
+  /// Serialized event dispatch (see the threading contract in
+  /// core/event.hpp): parallel executors fire from pool workers, so the
+  /// lock keeps at most one hook invocation in flight per executor. The
+  /// no-events fast path skips the lock entirely.
   bool fire(const EventInfo& info) {
+    if (events_.empty()) return true;
+    std::lock_guard<std::mutex> lock(events_mu_);
     bool keep_going = true;
     for (auto& ev : events_) keep_going = ev->on_event(info) && keep_going;
     return keep_going;
@@ -59,6 +66,7 @@ class GraphExecutor {
 
   Network net_;
   std::vector<std::shared_ptr<Event>> events_;
+  std::mutex events_mu_;
   std::size_t memory_limit_ = 0;
   std::size_t last_peak_memory_ = 0;
 };

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/threadpool.hpp"
+#include "core/trace.hpp"
 #include "ops/conv2d.hpp"
 
 namespace d500 {
@@ -121,7 +122,10 @@ void ParallelExecutor::forward_pass(const TensorMap& feeds, TensorMap& values) {
             std::to_string(memory_limit_) + " bytes)");
     }
 
-    node->op->forward(in, out);
+    {
+      D500_TRACE_SCOPE("op", node->name);
+      node->op->forward(in, out);
+    }
 
     {
       std::lock_guard<std::mutex> lock(mu);
@@ -283,7 +287,10 @@ TensorMap ParallelExecutor::inference_and_backprop(
         }
       }
 
-      node->op->backward(grad_out, fwd_in, fwd_out, grad_in);
+      {
+        D500_TRACE_SCOPE("grad", node->name);
+        node->op->backward(grad_out, fwd_in, fwd_out, grad_in);
+      }
     });
   }
 

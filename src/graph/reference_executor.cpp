@@ -2,6 +2,7 @@
 
 #include "core/stats.hpp"
 #include "core/timer.hpp"
+#include "core/trace.hpp"
 #include "graph/executor.hpp"
 #include "ops/conv2d.hpp"
 
@@ -64,10 +65,12 @@ void ReferenceExecutor::forward_pass(const TensorMap& feeds,
           " > " + std::to_string(memory_limit_) + " bytes)");
 
     if (collect_op_times_) {
+      D500_TRACE_SCOPE("op", node->name);
       Timer t;
       node->op->forward(in, out);
       op_times_[node->name].push_back(t.seconds());
     } else {
+      D500_TRACE_SCOPE("op", node->name);
       node->op->forward(in, out);
     }
 
@@ -166,7 +169,10 @@ TensorMap ReferenceExecutor::inference_and_backprop(
       }
     }
 
-    node->op->backward(grad_out, fwd_in, fwd_out, grad_in);
+    {
+      D500_TRACE_SCOPE("grad", node->name);
+      node->op->backward(grad_out, fwd_in, fwd_out, grad_in);
+    }
 
     for (std::size_t k = 0; k < node->inputs.size(); ++k) {
       if (!grad_in[k]) continue;

@@ -1,6 +1,7 @@
 #include "train/trainer.hpp"
 
 #include "core/timer.hpp"
+#include "core/trace.hpp"
 #include "ops/loss.hpp"
 
 namespace d500 {
@@ -38,6 +39,7 @@ RunStats Runner::run(std::int64_t epochs) {
   data_shape.insert(data_shape.begin(), batch_);
 
   for (std::int64_t e = 0; e < epochs; ++e) {
+    D500_TRACE_SCOPE("trainer", "epoch");
     fire({EventPoint::kBeforeEpoch, -1, e, "", 0.0});
     opt_.network().set_training(true);
     EpochStats es;
@@ -50,6 +52,7 @@ RunStats Runner::run(std::int64_t epochs) {
     bool early_exit = false;
 
     for (std::int64_t b = 0; b < batches && !early_exit; ++b) {
+      D500_TRACE_SCOPE("trainer", "step");
       const auto indices = sampler_.next_batch();
       TensorMap feeds;
       feeds["data"] = Tensor(data_shape);
@@ -95,6 +98,7 @@ RunStats Runner::run(std::int64_t epochs) {
 }
 
 double Runner::evaluate() {
+  D500_TRACE_SCOPE("trainer", "evaluate");
   opt_.network().set_training(false);
   Shape data_shape = test_.sample_shape();
   data_shape.insert(data_shape.begin(), batch_);
