@@ -1,0 +1,179 @@
+// Memory-planner / arena A/B benchmark: per-step training time and
+// allocator traffic for three configurations of the deferred engine —
+//   malloc        eager tensor churn against the system heap
+//                 (D500_ARENA=malloc semantics),
+//   arena         the same churn served by the size-class free lists,
+//   arena+planner compiled plan with static buffer reuse: warm steps
+//                 allocate nothing at all.
+// Configurations run round-robin interleaved so scheduler/thermal drift
+// hits all three equally. Allocation counts come from Arena stats deltas
+// (fresh blocks + reuse hits per step). Results land in BENCH_memory.json
+// with the headline improvement_pct (malloc -> arena+planner step time).
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+
+#include "common.hpp"
+#include "core/arena.hpp"
+#include "core/threadpool.hpp"
+#include "frameworks/plan_executor.hpp"
+#include "graph/visitor.hpp"
+#include "models/builders.hpp"
+
+namespace d500::bench {
+namespace {
+
+TensorMap model_feeds(const Model& m, std::uint64_t seed) {
+  Network net = build_network(m);
+  Rng rng(seed);
+  TensorMap feeds;
+  for (const auto& iname : net.inputs()) {
+    Tensor t(net.input_shape(iname));
+    if (iname == "labels") {
+      for (std::int64_t i = 0; i < t.elements(); ++i)
+        t.at(i) = static_cast<float>(rng.below(10));
+    } else {
+      t.fill_uniform(rng, -1, 1);
+    }
+    feeds[iname] = std::move(t);
+  }
+  return feeds;
+}
+
+struct Config {
+  const char* name;
+  ArenaMode arena_mode;
+  bool deferred;  // reuse_activations + memory_plan vs. eager churn
+};
+
+struct Leg {
+  std::unique_ptr<PlanExecutor> exec;
+  std::vector<double> step_s;
+  double allocs_per_step = 0.0;
+};
+
+struct ModelResult {
+  std::map<std::string, SampleSummary> time;
+  std::map<std::string, double> allocs;
+  std::size_t planned_bytes = 0;
+  std::size_t naive_bytes = 0;
+};
+
+std::uint64_t arena_allocs() {
+  const Arena::Stats s = Arena::instance().stats();
+  return s.fresh_blocks + s.reuse_hits;
+}
+
+ModelResult run_model(const Model& m, const char* label, int steps) {
+  const Config configs[] = {
+      {"malloc", ArenaMode::kMalloc, false},
+      {"arena", ArenaMode::kArena, false},
+      {"arena+planner", ArenaMode::kArena, true},
+  };
+  const TensorMap feeds = model_feeds(m, bench_seed());
+
+  std::map<std::string, Leg> legs;
+  for (const Config& c : configs) {
+    Arena::instance().set_mode(c.arena_mode);
+    ExecOptions o;
+    o.reuse_activations = c.deferred;
+    o.memory_plan = c.deferred;
+    Leg leg;
+    leg.exec = std::make_unique<PlanExecutor>(build_network(m), c.name, o);
+    for (int w = 0; w < 3; ++w) leg.exec->step(feeds, "loss");  // warm
+    leg.step_s.reserve(static_cast<std::size_t>(steps));
+    legs.emplace(c.name, std::move(leg));
+  }
+
+  ModelResult r;
+  std::map<std::string, std::uint64_t> alloc_count;
+  for (int it = 0; it < steps; ++it) {
+    for (const Config& c : configs) {
+      Arena::instance().set_mode(c.arena_mode);
+      Leg& leg = legs.at(c.name);
+      const std::uint64_t a0 = arena_allocs();
+      Timer t;
+      leg.exec->step(feeds, "loss");
+      leg.step_s.push_back(t.seconds());
+      alloc_count[c.name] += arena_allocs() - a0;
+    }
+  }
+  Arena::instance().set_mode(ArenaMode::kArena);
+
+  Table t({"config", "step time", "tensor allocs/step"});
+  for (const Config& c : configs) {
+    Leg& leg = legs.at(c.name);
+    leg.allocs_per_step =
+        static_cast<double>(alloc_count[c.name]) / steps;
+    r.time[c.name] = summarize(leg.step_s);
+    r.allocs[c.name] = leg.allocs_per_step;
+    t.add_row({c.name, ms(r.time.at(c.name)),
+               Table::num(leg.allocs_per_step, 1)});
+  }
+  // Footprint: training pins every activation (backward reads them all),
+  // so interval reuse only pays off in inference — report that plan.
+  {
+    ExecOptions o;
+    PlanExecutor inf(build_network(m), "footprint", o);
+    inf.inference(feeds);
+    r.planned_bytes = inf.planned_bytes();
+    r.naive_bytes = inf.plan_naive_bytes();
+  }
+  std::cout << "\n-- " << label << " (" << steps << " steps/config) --\n"
+            << t.to_text();
+  std::cout << "inference activation plan: " << r.planned_bytes
+            << " B shared vs " << r.naive_bytes
+            << " B one-buffer-per-value\n";
+  std::cout << "shape check: planner does zero allocations: "
+            << (r.allocs.at("arena+planner") == 0.0 ? "yes" : "NO") << "\n";
+  return r;
+}
+
+void emit_json(std::ostream& os, const char* label, const ModelResult& r) {
+  const double base = r.time.at("malloc").median;
+  const double plan = r.time.at("arena+planner").median;
+  os << "  \"" << label << "\": {\n";
+  for (const char* cfg : {"malloc", "arena", "arena+planner"}) {
+    os << "    \"" << cfg << "\": {\"median_step_s\": "
+       << r.time.at(cfg).median << ", \"allocs_per_step\": "
+       << r.allocs.at(cfg) << "},\n";
+  }
+  os << "    \"inference_planned_bytes\": " << r.planned_bytes << ",\n"
+     << "    \"inference_naive_bytes\": " << r.naive_bytes << ",\n"
+     << "    \"improvement_pct\": " << (base - plan) / base * 100.0 << "\n"
+     << "  }";
+}
+
+}  // namespace
+
+int run() {
+  const int steps = scale_pick(30, 80, 200);
+  print_bench_header("memory planner + arena A/B", bench_seed(),
+                     "malloc vs arena vs arena+planner, round-robin");
+  ThreadPool::instance().reset(1);
+
+  const Model mlp = models::mlp(32, 256, {256, 128}, 10, bench_seed());
+  const Model conv = models::lenet(8, 1, 12, 12, 10, bench_seed());
+  const ModelResult mlp_r = run_model(mlp, "mlp", steps);
+  const ModelResult conv_r = run_model(conv, "lenet", steps);
+
+  std::ofstream json("BENCH_memory.json");
+  json << "{\n";
+  emit_json(json, "mlp", mlp_r);
+  json << ",\n";
+  emit_json(json, "lenet", conv_r);
+  json << "\n}\n";
+  std::cout << "\nwrote BENCH_memory.json\n";
+
+  const double mlp_gain =
+      (mlp_r.time.at("malloc").median - mlp_r.time.at("arena+planner").median) /
+      mlp_r.time.at("malloc").median * 100.0;
+  std::cout << "mlp step-time improvement malloc -> arena+planner: "
+            << Table::num(mlp_gain, 1) << " %\n";
+  return 0;
+}
+
+}  // namespace d500::bench
+
+int main() { return d500::bench::run(); }

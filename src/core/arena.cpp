@@ -1,0 +1,176 @@
+#include "core/arena.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "core/env.hpp"
+#include "core/error.hpp"
+#include "core/trace.hpp"
+
+namespace d500 {
+
+namespace {
+
+constexpr std::size_t kAlign = 64;
+constexpr std::uint64_t kMagic = 0xD500'A12E'4A11'0C00ULL;
+
+/// Sits in the 64 bytes immediately before the payload, keeping the payload
+/// itself 64-byte aligned. `payload_bytes` is the size class (a power of
+/// two), not the caller's request.
+struct alignas(kAlign) BlockHeader {
+  std::uint64_t magic;
+  std::size_t payload_bytes;
+  std::uint32_t mode;  // ArenaMode at allocation time
+  std::uint32_t size_class;
+};
+static_assert(sizeof(BlockHeader) == kAlign);
+
+BlockHeader* header_of(void* payload) {
+  auto* h = reinterpret_cast<BlockHeader*>(
+      static_cast<char*>(payload) - sizeof(BlockHeader));
+  D500_CHECK_MSG(h->magic == kMagic,
+                 "Arena::deallocate: pointer was not allocated by the arena");
+  return h;
+}
+
+/// Smallest power-of-two class >= max(bytes, kAlign); returns log2.
+std::uint32_t size_class_of(std::size_t bytes) {
+  std::size_t cls = kAlign;
+  std::uint32_t k = 6;
+  while (cls < bytes) {
+    cls <<= 1;
+    ++k;
+  }
+  return k;
+}
+
+void* heap_alloc_block(std::size_t payload_bytes, std::uint32_t cls,
+                       std::uint32_t mode) {
+  void* raw = ::operator new(payload_bytes + sizeof(BlockHeader),
+                             std::align_val_t{kAlign});
+  auto* h = static_cast<BlockHeader*>(raw);
+  h->magic = kMagic;
+  h->payload_bytes = payload_bytes;
+  h->mode = mode;
+  h->size_class = cls;
+  return static_cast<char*>(raw) + sizeof(BlockHeader);
+}
+
+void heap_free_block(BlockHeader* h) {
+  h->magic = 0;
+  ::operator delete(static_cast<void*>(h), std::align_val_t{kAlign});
+}
+
+ArenaMode mode_from_env() {
+  return arena_mode_setting() == "malloc" ? ArenaMode::kMalloc
+                                          : ArenaMode::kArena;
+}
+
+}  // namespace
+
+Arena::Arena() : mode_(mode_from_env()) {
+  free_lists_.resize(64);
+}
+
+Arena& Arena::instance() {
+  static Arena* arena = new Arena();  // leaked: see header
+  return *arena;
+}
+
+ArenaMode Arena::mode() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return mode_;
+}
+
+void Arena::set_mode(ArenaMode m) {
+  std::lock_guard<std::mutex> lock(mu_);
+  mode_ = m;
+}
+
+void* Arena::allocate(std::size_t bytes) {
+  if (bytes == 0) return nullptr;
+  const std::uint32_t cls = size_class_of(bytes);
+  const std::size_t payload = std::size_t{1} << cls;
+
+  void* p = nullptr;
+  std::uint64_t in_use, hits;
+  std::uint32_t blk_mode;
+  bool peak_moved = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    blk_mode = static_cast<std::uint32_t>(mode_ == ArenaMode::kMalloc);
+    if (mode_ == ArenaMode::kArena && !free_lists_[cls].empty()) {
+      p = free_lists_[cls].back();
+      free_lists_[cls].pop_back();
+      stats_.cached_bytes -= payload;
+      ++stats_.reuse_hits;
+    }
+    stats_.bytes_in_use += payload;
+    if (stats_.bytes_in_use > stats_.peak_bytes) {
+      stats_.peak_bytes = stats_.bytes_in_use;
+      peak_moved = true;
+    }
+    if (p == nullptr) ++stats_.fresh_blocks;
+    in_use = stats_.bytes_in_use;
+    hits = stats_.reuse_hits;
+  }
+  if (p == nullptr) {
+    p = heap_alloc_block(payload, cls, blk_mode);
+  } else {
+    trace_counter("arena", "reuse_hit", static_cast<double>(hits));
+  }
+  trace_counter("arena", "bytes_in_use", static_cast<double>(in_use));
+  if (peak_moved)
+    trace_counter("arena", "peak", static_cast<double>(in_use));
+  return p;
+}
+
+void Arena::deallocate(void* p) noexcept {
+  if (p == nullptr) return;
+  BlockHeader* h = header_of(p);
+  const std::size_t payload = h->payload_bytes;
+  const bool to_heap = h->mode != 0;
+  std::uint64_t in_use;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.bytes_in_use -= payload;
+    ++stats_.freed_blocks;
+    if (!to_heap) {
+      free_lists_[h->size_class].push_back(p);
+      stats_.cached_bytes += payload;
+    }
+    in_use = stats_.bytes_in_use;
+  }
+  if (to_heap) heap_free_block(h);
+  trace_counter("arena", "bytes_in_use", static_cast<double>(in_use));
+}
+
+Arena::Stats Arena::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Arena::trim() {
+  std::vector<void*> victims;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& list : free_lists_) {
+      victims.insert(victims.end(), list.begin(), list.end());
+      list.clear();
+    }
+    stats_.cached_bytes = 0;
+  }
+  for (void* p : victims) heap_free_block(header_of(p));
+}
+
+float* arena_alloc_floats(std::int64_t n) {
+  if (n <= 0) return nullptr;
+  return static_cast<float*>(
+      Arena::instance().allocate(static_cast<std::size_t>(n) * sizeof(float)));
+}
+
+void arena_free_floats(float* p) { Arena::instance().deallocate(p); }
+
+}  // namespace d500

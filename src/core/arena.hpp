@@ -1,0 +1,76 @@
+// Process-wide 64-byte-aligned allocator for tensor storage.
+//
+// Deep500++ executors run the same step shapes over and over, so the
+// allocator's job is recycling, not general-purpose placement: blocks are
+// rounded up to power-of-two size classes and returned to per-class free
+// lists on deallocation, making a warm training step hit the free list for
+// every transient tensor instead of the system heap. Every payload is
+// 64-byte aligned (the contract tensor.hpp documents for vectorized
+// kernels) and carries a 64-byte header in front recording its size class,
+// so deallocation needs only the payload pointer — which is what lets the
+// stateless Tensor deleter stay a plain function pointer.
+//
+// Knob: D500_ARENA = "arena" (default, recycling free lists) or "malloc"
+// (aligned allocate/free per call — the A/B baseline for bench_memory_plan;
+// the alignment contract holds in both modes). The mode is recorded per
+// block, so switching modes mid-process (set_arena_mode) is always safe.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace d500 {
+
+enum class ArenaMode { kArena, kMalloc };
+
+class Arena {
+ public:
+  /// The process-wide instance (leaked, so tensors destroyed during static
+  /// teardown can still free into it). Mode comes from D500_ARENA.
+  static Arena& instance();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// 64-byte-aligned storage for at least `bytes` (nullptr when 0).
+  void* allocate(std::size_t bytes);
+  /// Returns a block from allocate(); nullptr is a no-op. Arena-mode blocks
+  /// go back to their size-class free list, malloc-mode blocks to the heap.
+  void deallocate(void* p) noexcept;
+
+  ArenaMode mode() const;
+  void set_mode(ArenaMode m);
+
+  struct Stats {
+    std::uint64_t bytes_in_use = 0;   // payload bytes currently allocated
+    std::uint64_t peak_bytes = 0;     // high-water mark of bytes_in_use
+    std::uint64_t reuse_hits = 0;     // allocations served from a free list
+    std::uint64_t fresh_blocks = 0;   // allocations that hit the heap
+    std::uint64_t freed_blocks = 0;   // deallocate() calls on real blocks
+    std::uint64_t cached_bytes = 0;   // payload bytes parked on free lists
+  };
+  Stats stats() const;
+
+  /// Releases every free-listed block back to the heap (bytes_in_use is
+  /// untouched; live blocks stay live).
+  void trim();
+
+ private:
+  Arena();
+
+  mutable std::mutex mu_;
+  ArenaMode mode_ = ArenaMode::kArena;
+  // free_lists_[k] holds blocks of payload size 2^k.
+  std::vector<std::vector<void*>> free_lists_;
+  Stats stats_;
+};
+
+/// Tensor-storage entry points: float payload of `n` elements,
+/// uninitialized, 64-byte aligned. arena_free_floats matches the Tensor
+/// deleter signature `void(*)(float*)`.
+float* arena_alloc_floats(std::int64_t n);
+void arena_free_floats(float* p);
+
+}  // namespace d500

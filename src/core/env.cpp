@@ -35,6 +35,11 @@ std::string trace_path() {
   return v != nullptr ? std::string(v) : std::string();
 }
 
+std::string arena_mode_setting() {
+  const char* v = std::getenv("D500_ARENA");
+  return v != nullptr ? std::string(v) : std::string("arena");
+}
+
 std::size_t trace_buffer_records() {
   if (const char* v = std::getenv("D500_TRACE_BUFSZ")) {
     const auto n = std::strtoull(v, nullptr, 10);

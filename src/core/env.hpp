@@ -39,6 +39,11 @@ std::string scratch_dir();
 /// unless enabled programmatically (core/trace).
 std::string trace_path();
 
+/// Allocator mode string (D500_ARENA): "arena" (default, recycling free
+/// lists) or "malloc" (aligned allocate/free per call). Parsed by
+/// core/arena; any other value falls back to "arena".
+std::string arena_mode_setting();
+
 /// Per-thread trace ring capacity in records (D500_TRACE_BUFSZ, default
 /// 65536; core/trace rounds up to a power of two).
 std::size_t trace_buffer_records();

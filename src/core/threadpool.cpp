@@ -156,21 +156,15 @@ void run_chunks(LoopState& st, std::int64_t begin, std::int64_t end,
 
 }  // namespace
 
-void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                  const std::function<void(std::int64_t, std::int64_t)>& fn) {
-  if (end <= begin) return;
-  const std::int64_t g = std::max<std::int64_t>(grain, 1);
+void detail::parallel_for_impl(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  // The template wrapper (threadpool.hpp) handled the empty and serial
+  // cases; here the range is non-empty, grain >= 1, and the pool has
+  // workers to fan out to.
+  const std::int64_t g = grain;
   const std::int64_t nchunks = (end - begin + g - 1) / g;
   ThreadPool& pool = ThreadPool::instance();
-  if (nchunks == 1 || pool.num_threads() == 1) {
-    // Serial path: identical chunk decomposition, executed in order.
-    for (std::int64_t c = 0; c < nchunks; ++c) {
-      const std::int64_t lo = begin + c * g;
-      fn(lo, std::min(lo + g, end));
-    }
-    return;
-  }
-
   auto st = std::make_shared<LoopState>();
   st->nchunks = nchunks;
   const int helpers = static_cast<int>(std::min<std::int64_t>(

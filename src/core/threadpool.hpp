@@ -72,6 +72,12 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 };
 
+namespace detail {
+/// Multi-chunk, multi-thread body of parallel_for (threadpool.cpp).
+void parallel_for_impl(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                       const std::function<void(std::int64_t, std::int64_t)>& fn);
+}  // namespace detail
+
 /// Deterministic parallel loop over [begin, end). The range is cut into
 /// ceil(range/grain) chunks of `grain` iterations (last chunk short) — a
 /// pure function of the range, never of the thread count — and
@@ -80,8 +86,29 @@ class ThreadPool {
 /// ensure chunks touch disjoint state; combine any per-chunk partials in
 /// chunk order afterwards to stay deterministic. The first exception thrown
 /// by fn is rethrown on the calling thread after in-flight chunks drain.
+///
+/// Templated so the serial path (one chunk, or a one-thread pool) calls the
+/// functor directly: capturing lambdas never convert to std::function — a
+/// conversion that heap-allocates past the ~16-byte SBO — keeping warm
+/// single-threaded steps allocation-free. The conversion is paid only when
+/// work actually fans out to the pool.
+template <typename Fn>
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                  const std::function<void(std::int64_t, std::int64_t)>& fn);
+                  Fn&& fn) {
+  if (end <= begin) return;
+  const std::int64_t g = grain < 1 ? 1 : grain;
+  const std::int64_t nchunks = (end - begin + g - 1) / g;
+  if (nchunks == 1 || ThreadPool::instance().num_threads() == 1) {
+    // Serial path: identical chunk decomposition, executed in order.
+    for (std::int64_t c = 0; c < nchunks; ++c) {
+      const std::int64_t lo = begin + c * g;
+      const std::int64_t hi = lo + g < end ? lo + g : end;
+      fn(lo, hi);
+    }
+    return;
+  }
+  detail::parallel_for_impl(begin, end, g, fn);
+}
 
 /// Runs tasks 0..deps.size()-1 on the pool respecting a dependency DAG:
 /// deps[i] = number of prerequisites of task i; unblocks[i] lists the tasks

@@ -10,6 +10,7 @@
 #include <memory>
 #include <mutex>
 
+#include "core/arena.hpp"
 #include "core/env.hpp"
 #include "core/table.hpp"
 
@@ -367,6 +368,12 @@ std::string Trace::summary() {
   out += "trace: " + std::to_string(emitted) + " records emitted, " +
          std::to_string(dropped) + " dropped, " +
          std::to_string(threads.size()) + " threads\n";
+  const Arena::Stats as = Arena::instance().stats();
+  out += "arena: " + std::to_string(as.bytes_in_use) + " B in use, peak " +
+         std::to_string(as.peak_bytes) + " B, " +
+         std::to_string(as.reuse_hits) + " reuse hits / " +
+         std::to_string(as.fresh_blocks) + " fresh blocks, " +
+         std::to_string(as.cached_bytes) + " B cached\n";
   return out;
 }
 

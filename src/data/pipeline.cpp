@@ -16,8 +16,10 @@ RecordPipeline::RecordPipeline(std::vector<std::string> shard_paths,
 
 Batch RecordPipeline::next_batch(std::int64_t batch) {
   D500_TRACE_SCOPE("data", "batch");
-  // Stage 1: sequential reads (through the pseudo-shuffle window).
-  std::vector<Record> records;
+  // Stage 1: sequential reads (through the pseudo-shuffle window). The
+  // record vector is a member so its capacity survives across batches.
+  std::vector<Record>& records = records_;
+  records.clear();
   records.reserve(static_cast<std::size_t>(batch));
   {
     D500_TRACE_SCOPE("data", "shuffle_read");
@@ -26,10 +28,13 @@ Batch RecordPipeline::next_batch(std::int64_t batch) {
 
   // Stage 2: decode the whole batch across the shared thread pool (the
   // structure matches TensorFlow's parallel decode). Each record writes a
-  // disjoint output slice.
+  // disjoint output slice, which together cover the batch tensor — so the
+  // buffers can skip zero-initialization (short decodes zero their own
+  // tail below).
   Batch out;
-  out.data = Tensor({batch, spec_.channels, spec_.height, spec_.width});
-  out.labels = Tensor({batch});
+  out.data = Tensor::uninitialized(
+      {batch, spec_.channels, spec_.height, spec_.width});
+  out.labels = Tensor::uninitialized({batch});
   const std::int64_t sample_elems =
       spec_.channels * spec_.height * spec_.width;
   D500_TRACE_SCOPE("data", "decode");
@@ -38,8 +43,11 @@ Batch RecordPipeline::next_batch(std::int64_t batch) {
       const RawImage img =
           decode_image(records[static_cast<std::size_t>(i)].payload, decoder_);
       float* dst = out.data.data() + i * sample_elems;
-      for (std::size_t k = 0; k < img.size(); ++k)
+      const std::size_t n = std::min(
+          img.size(), static_cast<std::size_t>(sample_elems));
+      for (std::size_t k = 0; k < n; ++k)
         dst[k] = static_cast<float>(img.pixels[k]) / 255.0f;
+      std::fill(dst + n, dst + sample_elems, 0.0f);
     }
   });
   for (std::int64_t i = 0; i < batch; ++i)
@@ -121,8 +129,9 @@ Batch load_batch(Dataset& ds, std::span<const std::int64_t> indices) {
   Shape data_shape = ds.sample_shape();
   data_shape.insert(data_shape.begin(),
                     static_cast<std::int64_t>(indices.size()));
-  out.data = Tensor(std::move(data_shape));
-  out.labels = Tensor({static_cast<std::int64_t>(indices.size())});
+  // fill_batch writes every element of both tensors.
+  out.data = Tensor::uninitialized(std::move(data_shape));
+  out.labels = Tensor::uninitialized({static_cast<std::int64_t>(indices.size())});
   ds.fill_batch(indices, out.data, out.labels);
   return out;
 }

@@ -45,6 +45,7 @@ class RecordPipeline {
   DatasetSpec spec_;
   DecoderKind decoder_;
   RecordFileReader reader_;
+  std::vector<Record> records_;  // per-batch staging, capacity recycled
 };
 
 /// Function producing the next minibatch (pull model).

@@ -1,23 +1,18 @@
 #include "frameworks/plan_executor.hpp"
 
 #include <algorithm>
-#include <sstream>
+#include <cstring>
 
+#include "core/arena.hpp"
 #include "core/threadpool.hpp"
 #include "core/timer.hpp"
 #include "core/trace.hpp"
+#include "graph/memory_plan.hpp"
 #include "ops/conv2d.hpp"
 
 namespace d500 {
 
 namespace {
-
-std::string feeds_signature(const TensorMap& feeds) {
-  std::ostringstream os;
-  for (const auto& [name, t] : feeds)
-    os << name << shape_to_string(t.shape()) << ";";
-  return os.str();
-}
 
 bool is_shape_op_type(const std::string& t) {
   return t == "Split" || t == "Concat" || t == "Flatten";
@@ -32,10 +27,29 @@ int PlanExecutor::slot_of(const std::string& value) const {
   return it->second;
 }
 
-void PlanExecutor::compile(const TensorMap& feeds) {
-  const std::string sig = feeds_signature(feeds);
-  if (compiled_ && sig == feed_signature_) return;
-  feed_signature_ = sig;
+bool PlanExecutor::feeds_match(const TensorMap& feeds, bool training) const {
+  if (!compiled_) return false;
+  // A training compile is a superset of an inference compile (lifetimes
+  // pinned, backward tables present), so it serves inference calls too —
+  // only the inference->training direction forces a recompile.
+  if (training && !compiled_training_) return false;
+  if (feeds.size() != feed_sig_.size()) return false;
+  std::size_t i = 0;
+  for (const auto& [fname, t] : feeds) {
+    const FeedSig& fs = feed_sig_[i++];
+    if (fname != fs.name || t.layout() != fs.layout || t.shape() != fs.shape)
+      return false;
+  }
+  return true;
+}
+
+void PlanExecutor::compile(const TensorMap& feeds, bool training) {
+  if (feeds_match(feeds, training)) return;
+
+  feed_sig_.clear();
+  for (const auto& [fname, t] : feeds)
+    feed_sig_.push_back({fname, t.shape(), t.layout()});
+  compiled_training_ = training;
 
   steps_.clear();
   slot_index_.clear();
@@ -45,6 +59,12 @@ void PlanExecutor::compile(const TensorMap& feeds) {
   value_is_feed_.clear();
   value_is_stored_.clear();
   grad_needed_.clear();
+  grad_publish_.clear();
+  output_bindings_.clear();
+  outputs_view_.clear();
+  plan_buffers_.clear();
+  planned_bytes_ = 0;
+  plan_naive_bytes_ = 0;
 
   auto add_slot = [&](const std::string& name, bool is_feed, bool is_stored) {
     const int slot = static_cast<int>(slot_names_.size());
@@ -60,9 +80,11 @@ void PlanExecutor::compile(const TensorMap& feeds) {
 
   // Slots for feeds and stored tensors referenced by the graph.
   std::map<std::string, Shape> shapes;
+  std::map<std::string, Layout> feed_layouts;
   for (const auto& [fname, t] : feeds) {
     add_slot(fname, true, false);
     shapes[fname] = t.shape();
+    feed_layouts[fname] = t.layout();
   }
 
   const auto order = net_.topological_order();
@@ -102,6 +124,10 @@ void PlanExecutor::compile(const TensorMap& feeds) {
     peak = std::max(peak, live_bytes + step.workspace_bytes);
     steps_.push_back(std::move(step));
   }
+  // The simulated device-memory model stays one-buffer-per-value on
+  // purpose: the planner changes what this process allocates, not what the
+  // modeled accelerator would hold (micro-batching experiments depend on
+  // the naive accounting).
   last_peak_memory_ = peak;
   if (memory_limit_ != 0 && peak > memory_limit_)
     throw OutOfMemoryError(name_ + ": plan peak memory " +
@@ -112,31 +138,190 @@ void PlanExecutor::compile(const TensorMap& feeds) {
   // when it reads a slot i produces (one edge per consumed slot).
   step_unblocks_.assign(steps_.size(), {});
   step_deps_.assign(steps_.size(), 0);
-  std::map<int, std::size_t> producer_step;
-  for (std::size_t i = 0; i < steps_.size(); ++i)
-    for (int s : steps_[i].out_slots) producer_step[s] = i;
+  const int nslots = static_cast<int>(slot_names_.size());
+  std::vector<int> producer(static_cast<std::size_t>(nslots), -1);
+  std::vector<int> last_use(static_cast<std::size_t>(nslots), -1);
+  std::vector<std::vector<int>> consumers(static_cast<std::size_t>(nslots));
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    for (int s : steps_[i].out_slots)
+      producer[static_cast<std::size_t>(s)] = static_cast<int>(i);
+    for (int s : steps_[i].in_slots) {
+      last_use[static_cast<std::size_t>(s)] = static_cast<int>(i);
+      consumers[static_cast<std::size_t>(s)].push_back(static_cast<int>(i));
+    }
+  }
   for (std::size_t j = 0; j < steps_.size(); ++j)
     for (int s : steps_[j].in_slots)
-      if (auto it = producer_step.find(s);
-          it != producer_step.end() && it->second != j) {
-        step_unblocks_[it->second].push_back(static_cast<int>(j));
+      if (const int p = producer[static_cast<std::size_t>(s)];
+          p >= 0 && p != static_cast<int>(j) &&
+          !value_is_feed_[static_cast<std::size_t>(s)]) {
+        step_unblocks_[static_cast<std::size_t>(p)].push_back(
+            static_cast<int>(j));
         ++step_deps_[j];
       }
 
-  // Preallocate activation buffers (deferred-engine behaviour).
-  if (options_.reuse_activations) {
+  // Bind value storage.
+  const bool use_plan = options_.reuse_activations && options_.memory_plan;
+  if (use_plan) {
+    // Static buffer assignment: every non-stored value becomes an interval
+    // over step indices and the planner (graph/memory_plan) packs
+    // non-overlapping intervals into shared buffers. Training pins every
+    // value (backward reads all activations, including feeds); declared
+    // outputs stay live so callers can read them after the run.
+    std::vector<BufferRequest> requests(static_cast<std::size_t>(nslots));
+    const auto& outs = net_.outputs();
+    for (int s = 0; s < nslots; ++s) {
+      const auto su = static_cast<std::size_t>(s);
+      if (value_is_stored_[su]) continue;  // lives in Network storage
+      BufferRequest& r = requests[su];
+      r.bytes = static_cast<std::size_t>(
+                    shape_elements(shapes.at(slot_names_[su]))) * 4;
+      r.def_step = value_is_feed_[su] ? -1 : producer[su];
+      const bool pinned =
+          training || std::find(outs.begin(), outs.end(), slot_names_[su]) !=
+                          outs.end();
+      // A value is live at least through its defining step (two outputs of
+      // one step must never share storage).
+      r.last_step =
+          pinned ? kStepLiveForever : std::max(last_use[su], r.def_step);
+    }
+    const MemoryPlan plan = plan_memory(requests);
+    planned_bytes_ = plan.planned_bytes();
+    plan_naive_bytes_ = plan.naive_bytes;
+    for (std::size_t b = 0; b < plan.buffer_bytes.size(); ++b) {
+      const std::int64_t n =
+          static_cast<std::int64_t>((plan.buffer_bytes[b] + 3) / 4);
+      plan_buffers_.emplace_back(arena_alloc_floats(n), arena_free_floats);
+      // Recycled arena blocks carry stale payloads; zero once so the first
+      // run sees the same storage state as the unplanned path.
+      std::memset(plan_buffers_[b].get(), 0, static_cast<std::size_t>(n) * 4);
+    }
+    for (int s = 0; s < nslots; ++s) {
+      const auto su = static_cast<std::size_t>(s);
+      if (value_is_stored_[su]) continue;
+      const Shape& sh = shapes.at(slot_names_[su]);
+      const int b = plan.placement[su];
+      if (b >= 0) {
+        const Layout lay = value_is_feed_[su] ? feed_layouts.at(slot_names_[su])
+                                              : Layout::kNCHW;
+        values_[su] = Tensor::borrow(
+            plan_buffers_[static_cast<std::size_t>(b)].get(), sh, lay);
+      } else {
+        values_[su] = Tensor(sh);  // zero-element values
+      }
+    }
+    if (options_.parallel) {
+      // Anti-dependency edges: when buffer `b` passes from value a to
+      // value b', every reader of a must finish before b's producer may
+      // overwrite the storage. Edges always point forward (a's last use is
+      // strictly before b's def), so the graph stays acyclic.
+      for (const auto& seq : plan.buffer_order)
+        for (std::size_t k = 1; k < seq.size(); ++k) {
+          const auto a = static_cast<std::size_t>(seq[k - 1]);
+          const int db = producer[static_cast<std::size_t>(seq[k])];
+          if (db < 0) continue;  // feeds are staged before step 0
+          if (!consumers[a].empty()) {
+            for (int c : consumers[a]) {
+              step_unblocks_[static_cast<std::size_t>(c)].push_back(db);
+              ++step_deps_[static_cast<std::size_t>(db)];
+            }
+          } else if (producer[a] >= 0) {
+            step_unblocks_[static_cast<std::size_t>(producer[a])].push_back(db);
+            ++step_deps_[static_cast<std::size_t>(db)];
+          }
+        }
+    }
+  } else if (options_.reuse_activations) {
+    // Deferred engine without the planner: one preallocated buffer per
+    // value (feeds included, so staging is a copy into place, not a fresh
+    // allocation).
     for (const auto& step : steps_)
       for (std::size_t k = 0; k < step.out_slots.size(); ++k)
         values_[static_cast<std::size_t>(step.out_slots[k])] =
             Tensor(step.out_shapes[k]);
+    for (const FeedSig& fs : feed_sig_)
+      values_[static_cast<std::size_t>(slot_of(fs.name))] =
+          Tensor(fs.shape, fs.layout);
   }
+
+  // Resolve per-step dispatch tables now that value storage is bound:
+  // values_/grads_ elements and Network map nodes are address-stable until
+  // the next compile.
+  for (Step& step : steps_) {
+    step.fwd_in.clear();
+    step.fwd_out.clear();
+    for (int s : step.in_slots) {
+      const auto su = static_cast<std::size_t>(s);
+      step.fwd_in.push_back(value_is_stored_[su]
+                                ? &net_.fetch_tensor(slot_names_[su])
+                                : &values_[su]);
+    }
+    for (int s : step.out_slots)
+      step.fwd_out.push_back(&values_[static_cast<std::size_t>(s)]);
+    if (options_.string_dispatch)
+      step.stats = &launch_stats_[step.node->op_type + ":" + step.node->name];
+    step.staged.clear();
+    step.staged_ptrs.clear();
+    if (options_.string_dispatch && options_.defensive_copy_shape_ops &&
+        step.is_shape_op) {
+      for (const Shape& sh : step.out_shapes) step.staged.emplace_back(sh);
+      for (Tensor& t : step.staged) step.staged_ptrs.push_back(&t);
+    }
+  }
+
+  if (training) {
+    for (int s = 0; s < nslots; ++s) {
+      const auto su = static_cast<std::size_t>(s);
+      if (!grad_needed_[su]) continue;
+      grads_[su] = Tensor(value_is_stored_[su]
+                              ? net_.fetch_tensor(slot_names_[su]).shape()
+                              : shapes.at(slot_names_[su]));
+    }
+    for (Step& step : steps_) {
+      step.bw_grad_out.clear();
+      step.bw_fwd_out.clear();
+      for (int s : step.out_slots) {
+        step.bw_grad_out.push_back(&grads_[static_cast<std::size_t>(s)]);
+        step.bw_fwd_out.push_back(&values_[static_cast<std::size_t>(s)]);
+      }
+      step.scratch.clear();
+      step.scratch.resize(step.in_slots.size());
+      step.bw_grad_in.assign(step.in_slots.size(), nullptr);
+      for (std::size_t k = 0; k < step.in_slots.size(); ++k) {
+        const auto su = static_cast<std::size_t>(step.in_slots[k]);
+        if (!grad_needed_[su]) continue;
+        step.scratch[k] = Tensor(step.in_shapes[k]);
+        step.bw_grad_in[k] = &step.scratch[k];
+      }
+    }
+    // Pre-create the published gradient tensors so backprop publishes by
+    // copy-in-place instead of allocating a tensor per parameter per step.
+    for (const auto& [pname, gname] : net_.gradients()) {
+      const Shape& ps = net_.fetch_tensor(pname).shape();
+      if (!net_.has_tensor(gname) || net_.fetch_tensor(gname).shape() != ps)
+        net_.feed_tensor(gname, Tensor(ps));
+      auto sit = slot_index_.find(pname);
+      grad_publish_.push_back(
+          {sit == slot_index_.end() ? -1 : sit->second,
+           &net_.fetch_tensor(gname)});
+    }
+  }
+  grad_live_.assign(slot_names_.size(), 0);
+
+  for (const auto& oname : net_.outputs()) {
+    auto sit = slot_index_.find(oname);
+    if (sit == slot_index_.end()) continue;
+    output_bindings_.push_back({oname, sit->second});
+    outputs_view_[oname];  // create the node; the view binds on first step()
+  }
+
   compiled_ = true;
 }
 
 void PlanExecutor::exec_step(std::size_t idx, std::mutex* mu) {
   Step& step = steps_[idx];
   const auto op_index = static_cast<std::int64_t>(idx);
-  {
+  if (has_events()) {
     std::unique_lock<std::mutex> lock;
     if (mu) lock = std::unique_lock<std::mutex>(*mu);
     fire({EventPoint::kBeforeOperator, op_index, -1, step.node->name, 0.0});
@@ -148,62 +333,46 @@ void PlanExecutor::exec_step(std::size_t idx, std::mutex* mu) {
     D500_TRACE_SCOPE("op", step.node->name);
 
     if (!options_.reuse_activations) {
-      // Slots are distinct vector elements, so concurrent steps allocate
-      // into disjoint storage.
+      // Eager engine: fresh output tensors every run (allocator pressure is
+      // part of the modeled behaviour; the arena recycles them). Slots are
+      // distinct vector elements, so concurrent steps allocate into
+      // disjoint storage and the fwd_out pointers stay valid.
       for (std::size_t k = 0; k < step.out_slots.size(); ++k)
         values_[static_cast<std::size_t>(step.out_slots[k])] =
             Tensor(step.out_shapes[k]);
     }
 
-    ConstTensors in;
-    in.reserve(step.in_slots.size());
-    for (std::size_t k = 0; k < step.in_slots.size(); ++k) {
-      const auto s = static_cast<std::size_t>(step.in_slots[k]);
-      if (value_is_stored_[s]) {
-        in.push_back(&net_.fetch_tensor(slot_names_[s]));
-      } else {
-        in.push_back(&values_[s]);
-      }
-    }
-    MutTensors out;
-    out.reserve(step.out_slots.size());
-    for (int s : step.out_slots)
-      out.push_back(&values_[static_cast<std::size_t>(s)]);
-
     if (options_.string_dispatch) {
       // Session-style launch path: per-launch shape validation plus
       // string-keyed stats bookkeeping (the management overhead the
       // paper's FrameworkOverhead metric quantifies).
-      for (std::size_t k = 0; k < in.size(); ++k)
-        D500_CHECK_MSG(in[k]->shape() == step.in_shapes[k],
+      for (std::size_t k = 0; k < step.fwd_in.size(); ++k)
+        D500_CHECK_MSG(step.fwd_in[k]->shape() == step.in_shapes[k],
                        name_ << ": launch-time shape mismatch at '"
                        << step.node->name << "'");
       if (options_.defensive_copy_shape_ops && step.is_shape_op) {
-        std::vector<Tensor> staged;
-        staged.reserve(out.size());
-        for (std::size_t k = 0; k < out.size(); ++k)
-          staged.emplace_back(step.out_shapes[k]);
-        MutTensors staged_ptrs;
-        for (auto& t : staged) staged_ptrs.push_back(&t);
-        step.node->op->forward(in, staged_ptrs);
-        for (std::size_t k = 0; k < out.size(); ++k) *out[k] = staged[k];
+        step.node->op->forward(step.fwd_in, step.staged_ptrs);
+        for (std::size_t k = 0; k < step.staged.size(); ++k) {
+          const Tensor& st = step.staged[k];
+          if (st.elements() > 0)
+            std::memcpy(step.fwd_out[k]->data(), st.data(), st.bytes());
+        }
       } else {
-        step.node->op->forward(in, out);
+        step.node->op->forward(step.fwd_in, step.fwd_out);
       }
       const double seconds = launch_timer.seconds();
       {
         std::unique_lock<std::mutex> lock;
         if (mu) lock = std::unique_lock<std::mutex>(*mu);
-        auto& st = launch_stats_[step.node->op_type + ":" + step.node->name];
-        ++st.launches;
-        st.seconds += seconds;
+        ++step.stats->launches;
+        step.stats->seconds += seconds;
       }
     } else {
-      step.node->op->forward(in, out);
+      step.node->op->forward(step.fwd_in, step.fwd_out);
     }
   }
 
-  {
+  if (has_events()) {
     std::unique_lock<std::mutex> lock;
     if (mu) lock = std::unique_lock<std::mutex>(*mu);
     fire({EventPoint::kAfterOperator, op_index, -1, step.node->name, 0.0});
@@ -212,10 +381,16 @@ void PlanExecutor::exec_step(std::size_t idx, std::mutex* mu) {
 
 void PlanExecutor::run_forward(const TensorMap& feeds) {
   // Stage feeds into their slots (framework feed/conversion boundary).
+  // compile() assigned feed slots 0..n-1 in map order, which feeds_match
+  // verified against the signature.
+  std::size_t fi = 0;
   for (const auto& [fname, t] : feeds) {
-    auto it = slot_index_.find(fname);
-    if (it == slot_index_.end()) continue;  // unused feed
-    values_[static_cast<std::size_t>(it->second)] = t;  // copy
+    Tensor& dst = values_[fi++];
+    if (options_.reuse_activations) {
+      if (t.elements() > 0) std::memcpy(dst.data(), t.data(), t.bytes());
+    } else {
+      dst = t;  // eager: fresh copy per run
+    }
   }
 
   if (options_.parallel && !steps_.empty()) {
@@ -228,9 +403,78 @@ void PlanExecutor::run_forward(const TensorMap& feeds) {
   }
 }
 
+int PlanExecutor::resolve_loss_slot(const std::string& loss_value) const {
+  if (!loss_value.empty()) return slot_of(loss_value);
+  D500_CHECK_MSG(!net_.outputs().empty(), "backprop without outputs");
+  return slot_of(net_.outputs().back());
+}
+
+void PlanExecutor::backprop_core(int loss_slot) {
+  grad_live_.assign(grad_live_.size(), 0);
+  for (std::size_t s = 0; s < grads_.size(); ++s)
+    if (grad_needed_[s]) grads_[s].fill(0.0f);
+  grads_[static_cast<std::size_t>(loss_slot)].fill(1.0f);
+  grad_live_[static_cast<std::size_t>(loss_slot)] = 1;
+
+  for (auto it = steps_.rbegin(); it != steps_.rend(); ++it) {
+    Step& step = *it;
+    bool any = false;
+    for (int s : step.out_slots)
+      if (grad_live_[static_cast<std::size_t>(s)]) any = true;
+    if (!any) continue;
+
+    // Backward may accumulate into its grad_in arguments, so the scratch
+    // buffers are re-zeroed every step (they persist across steps).
+    for (std::size_t k = 0; k < step.bw_grad_in.size(); ++k)
+      if (step.bw_grad_in[k]) step.scratch[k].fill(0.0f);
+
+    {
+      D500_TRACE_SCOPE("grad", step.node->name);
+      step.node->op->backward(step.bw_grad_out, step.fwd_in, step.bw_fwd_out,
+                              step.bw_grad_in);
+    }
+
+    for (std::size_t k = 0; k < step.bw_grad_in.size(); ++k) {
+      if (!step.bw_grad_in[k]) continue;
+      const auto s = static_cast<std::size_t>(step.in_slots[k]);
+      axpy(1.0f, step.scratch[k], grads_[s]);
+      grad_live_[s] = 1;
+    }
+  }
+
+  // Publish parameter gradients in place (zero for parameters the compiled
+  // graph never consumes).
+  for (const GradPublish& gp : grad_publish_) {
+    if (gp.slot < 0) {
+      gp.dst->fill(0.0f);
+      continue;
+    }
+    const Tensor& g = grads_[static_cast<std::size_t>(gp.slot)];
+    if (gp.dst->shape() != g.shape()) {
+      *gp.dst = g;  // stored tensor was replaced externally; re-shape
+    } else if (g.elements() > 0) {
+      std::memcpy(gp.dst->data(), g.data(), g.bytes());
+    }
+  }
+}
+
+void PlanExecutor::refresh_outputs_view() {
+  for (const OutputBinding& ob : output_bindings_) {
+    const Tensor& v = values_[static_cast<std::size_t>(ob.slot)];
+    Tensor& view = outputs_view_[ob.name];
+    if (view.data() == v.data() && view.shape() == v.shape() &&
+        view.layout() == v.layout())
+      continue;  // warm planned step: storage has not moved
+    view = v.elements() > 0
+               ? Tensor::borrow(const_cast<float*>(v.data()), v.shape(),
+                                v.layout())
+               : Tensor(v.shape(), v.layout());
+  }
+}
+
 TensorMap PlanExecutor::inference(const TensorMap& feeds) {
-  fire({EventPoint::kBeforeInference, -1, -1, net_.name(), 0.0});
-  compile(feeds);
+  if (has_events()) fire({EventPoint::kBeforeInference, -1, -1, net_.name(), 0.0});
+  compile(feeds, /*training=*/false);
   run_forward(feeds);
   TensorMap out;
   for (const auto& oname : net_.outputs()) {
@@ -239,100 +483,38 @@ TensorMap PlanExecutor::inference(const TensorMap& feeds) {
                    name_ << ": output '" << oname << "' not produced");
     out[oname] = values_[static_cast<std::size_t>(it->second)];
   }
-  fire({EventPoint::kAfterInference, -1, -1, net_.name(), 0.0});
+  if (has_events()) fire({EventPoint::kAfterInference, -1, -1, net_.name(), 0.0});
   return out;
+}
+
+const TensorMap& PlanExecutor::step(const TensorMap& feeds,
+                                    const std::string& loss_value) {
+  if (has_events()) fire({EventPoint::kBeforeInference, -1, -1, net_.name(), 0.0});
+  compile(feeds, /*training=*/true);
+  run_forward(feeds);
+  if (has_events()) fire({EventPoint::kAfterInference, -1, -1, net_.name(), 0.0});
+
+  const int loss_slot = resolve_loss_slot(loss_value);
+  D500_CHECK_MSG(values_[static_cast<std::size_t>(loss_slot)].elements() == 1,
+                 name_ << ": loss '" << slot_names_[static_cast<std::size_t>(
+                     loss_slot)] << "' is not scalar");
+
+  if (has_events()) fire({EventPoint::kBeforeBackprop, -1, -1, net_.name(), 0.0});
+  backprop_core(loss_slot);
+  if (has_events())
+    fire({EventPoint::kAfterBackprop, -1, -1, net_.name(),
+          static_cast<double>(
+              values_[static_cast<std::size_t>(loss_slot)].at(0))});
+
+  refresh_outputs_view();
+  return outputs_view_;
 }
 
 TensorMap PlanExecutor::inference_and_backprop(const TensorMap& feeds,
                                                const std::string& loss_value) {
-  fire({EventPoint::kBeforeInference, -1, -1, net_.name(), 0.0});
-  compile(feeds);
-  run_forward(feeds);
-  fire({EventPoint::kAfterInference, -1, -1, net_.name(), 0.0});
-
-  std::string loss = loss_value;
-  if (loss.empty()) {
-    D500_CHECK_MSG(!net_.outputs().empty(), "backprop without outputs");
-    loss = net_.outputs().back();
-  }
-  const int loss_slot = slot_of(loss);
-  D500_CHECK_MSG(values_[static_cast<std::size_t>(loss_slot)].elements() == 1,
-                 name_ << ": loss '" << loss << "' is not scalar");
-
-  fire({EventPoint::kBeforeBackprop, -1, -1, net_.name(), 0.0});
-
-  // (Re)shape + zero gradient slots.
-  std::vector<bool> grad_live(grads_.size(), false);
-  for (std::size_t s = 0; s < grads_.size(); ++s) {
-    if (!grad_needed_[s]) continue;
-    const Tensor& v = value_is_stored_[s] ? net_.fetch_tensor(slot_names_[s])
-                                          : values_[s];
-    if (grads_[s].shape() != v.shape()) grads_[s] = Tensor(v.shape());
-    else grads_[s].fill(0.0f);
-  }
-  grads_[static_cast<std::size_t>(loss_slot)].fill(1.0f);
-  grad_live[static_cast<std::size_t>(loss_slot)] = true;
-
-  for (auto it = steps_.rbegin(); it != steps_.rend(); ++it) {
-    Step& step = *it;
-    bool any = false;
-    for (int s : step.out_slots)
-      if (grad_live[static_cast<std::size_t>(s)]) any = true;
-    if (!any) continue;
-
-    ConstTensors grad_out, fwd_in, fwd_out;
-    for (int s : step.out_slots) {
-      grad_out.push_back(&grads_[static_cast<std::size_t>(s)]);
-      fwd_out.push_back(&values_[static_cast<std::size_t>(s)]);
-    }
-    for (std::size_t k = 0; k < step.in_slots.size(); ++k) {
-      const auto s = static_cast<std::size_t>(step.in_slots[k]);
-      fwd_in.push_back(value_is_stored_[s] ? &net_.fetch_tensor(slot_names_[s])
-                                           : &values_[s]);
-    }
-
-    std::vector<Tensor> scratch(step.in_slots.size());
-    MutTensors grad_in(step.in_slots.size(), nullptr);
-    for (std::size_t k = 0; k < step.in_slots.size(); ++k) {
-      const auto s = static_cast<std::size_t>(step.in_slots[k]);
-      if (!grad_needed_[s]) continue;
-      scratch[k] = Tensor(fwd_in[k]->shape());
-      grad_in[k] = &scratch[k];
-    }
-
-    {
-      D500_TRACE_SCOPE("grad", step.node->name);
-      step.node->op->backward(grad_out, fwd_in, fwd_out, grad_in);
-    }
-
-    for (std::size_t k = 0; k < step.in_slots.size(); ++k) {
-      if (!grad_in[k]) continue;
-      const auto s = static_cast<std::size_t>(step.in_slots[k]);
-      axpy(1.0f, scratch[k], grads_[s]);
-      grad_live[s] = true;
-    }
-  }
-
-  // Publish parameter gradients (zero for parameters the compiled graph
-  // never consumes).
-  for (const auto& [pname, gname] : net_.gradients()) {
-    auto sit = slot_index_.find(pname);
-    if (sit == slot_index_.end()) {
-      net_.feed_tensor(gname, Tensor(net_.fetch_tensor(pname).shape()));
-      continue;
-    }
-    net_.feed_tensor(gname, grads_[static_cast<std::size_t>(sit->second)]);
-  }
-
-  fire({EventPoint::kAfterBackprop, -1, -1, net_.name(),
-        static_cast<double>(values_[static_cast<std::size_t>(loss_slot)].at(0))});
-
+  const TensorMap& view = step(feeds, loss_value);
   TensorMap out;
-  for (const auto& oname : net_.outputs()) {
-    auto sit = slot_index_.find(oname);
-    if (sit != slot_index_.end())
-      out[oname] = values_[static_cast<std::size_t>(sit->second)];
-  }
+  for (const auto& [oname, t] : view) out[oname] = t;  // deep copies
   return out;
 }
 

@@ -2,25 +2,37 @@
 //
 // Where the reference executor interprets the graph (string lookups and
 // fresh allocations every run), PlanExecutor compiles the network once per
-// feed signature: values get integer slots, activations are preallocated
-// and reused, and dispatch walks a flat step table. Configuration knobs
-// recreate the *mechanical* differences between engines that the paper
-// benchmarks — they are real code paths, not injected delays:
+// (feed signature, training mode): values get integer slots, activations
+// are preallocated and reused, dispatch walks a flat step table through
+// pointer tables resolved at compile time, and — on the deferred path — a
+// static memory plan (graph/memory_plan) assigns lifetime-disjoint values
+// to shared buffers. A warm training step performs zero heap allocations:
+// every tensor the step touches (activations, gradients, backward scratch,
+// staged copies, published parameter gradients) was placed at compile time
+// and is rewritten in place. Configuration knobs recreate the *mechanical*
+// differences between engines that the paper benchmarks — they are real
+// code paths, not injected delays:
 //   * string_dispatch      — per-op bookkeeping through string-keyed maps
 //                            and per-launch records (TFSim's session-style
 //                            scheduling overhead);
 //   * reuse_activations    — preallocated activation/gradient buffers
 //                            (deferred engines) vs. fresh allocation per
 //                            run (also how the eager engine models
-//                            allocator pressure);
+//                            allocator pressure; those allocations recycle
+//                            through the arena's free lists);
 //   * defensive_copy_shape_ops — Split/Concat stage through an extra
 //                            buffer (the memory-copy behaviour that slows
 //                            transformed graphs on TFSim, paper §V-C).
 //   * parallel             — forward steps are scheduled onto the shared
 //                            thread pool through the compiled dependency
 //                            table (inter-op parallelism); steps write
-//                            disjoint preallocated slots, so results match
-//                            the serial walk bit for bit.
+//                            disjoint slots — memory-planned buffer
+//                            handoffs add anti-dependency edges — so
+//                            results match the serial walk bit for bit.
+//   * memory_plan          — static buffer-reuse assignment for the
+//                            deferred path (no effect when
+//                            reuse_activations is off). On/off is
+//                            bit-identical; off keeps one buffer per value.
 #pragma once
 
 #include <mutex>
@@ -34,6 +46,7 @@ struct ExecOptions {
   bool string_dispatch = false;
   bool defensive_copy_shape_ops = false;
   bool parallel = false;
+  bool memory_plan = true;
 };
 
 class PlanExecutor : public GraphExecutor {
@@ -49,7 +62,21 @@ class PlanExecutor : public GraphExecutor {
   TensorMap inference_and_backprop(const TensorMap& feeds,
                                    const std::string& loss_value = "") override;
 
+  /// Zero-copy training step: forward + backward + gradient publish, like
+  /// inference_and_backprop, but the returned outputs are borrowed views
+  /// into the executor's compiled buffers — valid until the next run or
+  /// recompile — so a warm step allocates nothing. Callers that need
+  /// owning outputs should use inference_and_backprop.
+  const TensorMap& step(const TensorMap& feeds,
+                        const std::string& loss_value = "");
+
   const ExecOptions& options() const { return options_; }
+
+  /// Memory-plan footprint of the last compile (0 until compiled or when
+  /// the planner is off): planned = sum of shared-buffer capacities,
+  /// naive = sum of per-value sizes (what one-buffer-per-value costs).
+  std::size_t planned_bytes() const { return planned_bytes_; }
+  std::size_t plan_naive_bytes() const { return plan_naive_bytes_; }
 
   /// Per-op launch bookkeeping accumulated when string_dispatch is on.
   struct LaunchStats {
@@ -69,15 +96,37 @@ class PlanExecutor : public GraphExecutor {
     std::vector<Shape> out_shapes;
     bool is_shape_op = false;  // Split/Concat/Flatten
     std::size_t workspace_bytes = 0;
+    // Dispatch state resolved at compile time. Pointers target Tensor
+    // objects in values_/grads_ (vector elements, never resized after
+    // compile) or Network storage (map nodes, address-stable), so a warm
+    // step does no lookups and no allocation.
+    ConstTensors fwd_in;
+    MutTensors fwd_out;
+    LaunchStats* stats = nullptr;   // string_dispatch bookkeeping slot
+    std::vector<Tensor> staged;     // defensive-copy staging (persistent)
+    MutTensors staged_ptrs;
+    // Backward tables (training compiles only).
+    ConstTensors bw_grad_out;
+    ConstTensors bw_fwd_out;
+    std::vector<Tensor> scratch;    // per-input grad contributions
+    MutTensors bw_grad_in;          // &scratch[k], or nullptr
   };
 
-  /// (Re)compiles the plan if the feed signature changed.
-  void compile(const TensorMap& feeds);
+  /// (Re)compiles the plan if the feed signature or mode changed.
+  void compile(const TensorMap& feeds, bool training);
+  bool feeds_match(const TensorMap& feeds, bool training) const;
   void run_forward(const TensorMap& feeds);
   /// Runs one compiled step. `mu` (non-null when steps run concurrently)
   /// serializes event hooks and launch-stats bookkeeping; kernels run
   /// outside it.
   void exec_step(std::size_t idx, std::mutex* mu);
+  /// Backward walk + gradient publish over the compiled tables. The
+  /// forward pass for the same compile must have run already.
+  void backprop_core(int loss_slot);
+  int resolve_loss_slot(const std::string& loss_value) const;
+  /// Points outputs_view_ entries at the current output slot storage
+  /// (no-op on a warm planned step: the pointers have not moved).
+  void refresh_outputs_view();
   int slot_of(const std::string& value) const;
 
   std::string name_;
@@ -85,17 +134,47 @@ class PlanExecutor : public GraphExecutor {
 
   // Compiled state.
   bool compiled_ = false;
-  std::string feed_signature_;
+  bool compiled_training_ = false;
+  struct FeedSig {
+    std::string name;
+    Shape shape;
+    Layout layout;
+  };
+  std::vector<FeedSig> feed_sig_;
   std::vector<Step> steps_;
   std::vector<std::vector<int>> step_unblocks_;  // step -> dependent steps
   std::vector<int> step_deps_;                   // prerequisite counts
   std::map<std::string, int> slot_index_;
   std::vector<std::string> slot_names_;
-  std::vector<Tensor> values_;       // activation slots
-  std::vector<Tensor> grads_;        // gradient slots (lazily shaped)
+  std::vector<Tensor> values_;       // activation slots (planned: views)
+  std::vector<Tensor> grads_;        // gradient slots (shaped at compile)
   std::vector<bool> value_is_feed_;
   std::vector<bool> value_is_stored_;  // lives in Network tensors
   std::vector<bool> grad_needed_;
+  std::vector<char> grad_live_;        // per-backprop flags, reused
+
+  // Static memory plan storage: shared buffers handed between values.
+  using PlanBuffer = std::unique_ptr<float[], void (*)(float*)>;
+  std::vector<PlanBuffer> plan_buffers_;
+  std::size_t planned_bytes_ = 0;
+  std::size_t plan_naive_bytes_ = 0;
+
+  // Parameter-gradient publish table: grads_[slot] is copied into the
+  // stored tensor each backprop (slot -1 = parameter unused by the
+  // compiled graph; its gradient is zeroed instead).
+  struct GradPublish {
+    int slot = -1;
+    Tensor* dst = nullptr;
+  };
+  std::vector<GradPublish> grad_publish_;
+
+  // step() outputs: borrowed views over the output slots.
+  struct OutputBinding {
+    std::string name;
+    int slot = -1;
+  };
+  std::vector<OutputBinding> output_bindings_;
+  TensorMap outputs_view_;
 
   std::map<std::string, LaunchStats> launch_stats_;
 };

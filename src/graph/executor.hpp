@@ -40,6 +40,9 @@ class GraphExecutor {
   /// the enclosing loop; executors only propagate the flag.
   void add_event(std::shared_ptr<Event> ev) { events_.push_back(std::move(ev)); }
   const std::vector<std::shared_ptr<Event>>& events() const { return events_; }
+  /// Lets hot paths skip building the EventInfo (which copies a label
+  /// string) when no hooks are registered.
+  bool has_events() const { return !events_.empty(); }
 
   /// Optional simulated device-memory budget in bytes for activations and
   /// operator workspace; 0 = unlimited. Executors throw OutOfMemoryError
@@ -95,6 +98,11 @@ class ReferenceExecutor : public GraphExecutor {
  private:
   /// Shared forward pass; fills `values` with all computed activations.
   void forward_pass(const TensorMap& feeds, TensorMap& values);
+
+  /// Activation cache reused across runs: forward_pass rewrites
+  /// same-shaped entries in place instead of reallocating (operators fully
+  /// overwrite their outputs), evicting names the graph no longer produces.
+  TensorMap values_;
 
   bool collect_op_times_ = false;
   std::map<std::string, std::vector<double>> op_times_;

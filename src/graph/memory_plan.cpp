@@ -1,0 +1,95 @@
+#include "graph/memory_plan.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace d500 {
+
+std::size_t MemoryPlan::planned_bytes() const {
+  std::size_t total = 0;
+  for (std::size_t b : buffer_bytes) total += b;
+  return total;
+}
+
+MemoryPlan plan_memory(const std::vector<BufferRequest>& requests) {
+  MemoryPlan plan;
+  plan.placement.assign(requests.size(), -1);
+  for (const BufferRequest& r : requests) plan.naive_bytes += r.bytes;
+
+  // Visit requests in ascending def_step (ties by request index, keeping
+  // the assignment deterministic and independent of container details).
+  std::vector<int> order(requests.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return requests[static_cast<std::size_t>(a)].def_step <
+           requests[static_cast<std::size_t>(b)].def_step;
+  });
+
+  // occupant_last[b] = last_step of the request currently holding buffer b.
+  std::vector<int> occupant_last;
+  for (int ri : order) {
+    const BufferRequest& r = requests[static_cast<std::size_t>(ri)];
+    if (r.bytes == 0) continue;  // empty values need no storage
+
+    // Strict inequality: a value last read at step d must not share a
+    // buffer with a value defined at step d (the kernel would overwrite
+    // its own input mid-step).
+    int best = -1;
+    for (int b = 0; b < static_cast<int>(occupant_last.size()); ++b) {
+      if (occupant_last[static_cast<std::size_t>(b)] >= r.def_step) continue;
+      if (best == -1) {
+        best = b;
+        continue;
+      }
+      const std::size_t cand = plan.buffer_bytes[static_cast<std::size_t>(b)];
+      const std::size_t cur = plan.buffer_bytes[static_cast<std::size_t>(best)];
+      const bool cand_fits = cand >= r.bytes;
+      const bool cur_fits = cur >= r.bytes;
+      // Prefer the tightest fitting buffer; with no fitting buffer, grow
+      // the largest (least added capacity).
+      if (cand_fits != cur_fits ? cand_fits
+                                : (cand_fits ? cand < cur : cand > cur))
+        best = b;
+    }
+
+    if (best == -1) {
+      best = static_cast<int>(occupant_last.size());
+      occupant_last.push_back(r.last_step);
+      plan.buffer_bytes.push_back(r.bytes);
+      plan.buffer_order.emplace_back();
+    } else {
+      occupant_last[static_cast<std::size_t>(best)] = r.last_step;
+      plan.buffer_bytes[static_cast<std::size_t>(best)] =
+          std::max(plan.buffer_bytes[static_cast<std::size_t>(best)], r.bytes);
+    }
+    plan.placement[static_cast<std::size_t>(ri)] = best;
+    plan.buffer_order[static_cast<std::size_t>(best)].push_back(ri);
+  }
+  return plan;
+}
+
+bool plan_is_valid(const MemoryPlan& plan,
+                   const std::vector<BufferRequest>& requests) {
+  if (plan.placement.size() != requests.size()) return false;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const int bi = plan.placement[i];
+    if (requests[i].bytes == 0) {
+      if (bi != -1) return false;
+      continue;
+    }
+    if (bi < 0 || bi >= static_cast<int>(plan.buffer_bytes.size())) return false;
+    if (plan.buffer_bytes[static_cast<std::size_t>(bi)] < requests[i].bytes)
+      return false;
+    for (std::size_t j = i + 1; j < requests.size(); ++j) {
+      if (plan.placement[j] != bi) continue;
+      // Overlap (with the strict-adjacency rule): sharing is legal only
+      // when one value's last use is strictly before the other's def.
+      const bool i_before_j = requests[i].last_step < requests[j].def_step;
+      const bool j_before_i = requests[j].last_step < requests[i].def_step;
+      if (!i_before_j && !j_before_i) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace d500

@@ -1,0 +1,63 @@
+// Static memory planning over a compiled step sequence.
+//
+// A PlanExecutor plan fixes the order of operator launches before the step
+// runs, so every intermediate value's lifetime is a closed interval over
+// step indices: defined when its producer runs, dead after its last
+// consumer. Values whose intervals do not overlap can share one physical
+// buffer — the classic linear-scan register-allocation idea applied to
+// activation memory — which is what lets a warm deferred-engine step run
+// with zero heap allocations: the buffers are assigned once at compile
+// time and simply rewritten every step.
+//
+// The planner is purely combinatorial (bytes + intervals in, buffer ids
+// out); the executor owns the actual storage and the safety rules around
+// parallel execution and training (see plan_executor.cpp).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace d500 {
+
+/// Sentinel last_step for values that must survive the whole step
+/// (declared outputs; every activation in training mode, since backward
+/// reads them all).
+inline constexpr int kStepLiveForever = std::numeric_limits<int>::max();
+
+/// One value's storage need over the compiled step sequence.
+struct BufferRequest {
+  std::size_t bytes = 0;
+  int def_step = 0;   // producing step; -1 = live before step 0 (feeds)
+  int last_step = 0;  // last consuming step (inclusive), or kStepLiveForever
+};
+
+struct MemoryPlan {
+  /// placement[i] = buffer id assigned to request i.
+  std::vector<int> placement;
+  /// Capacity of each buffer: max bytes over the requests assigned to it.
+  std::vector<std::size_t> buffer_bytes;
+  /// Requests sharing each buffer, in ascending def_step order — the order
+  /// the buffer is handed from one value to the next within a step. The
+  /// executor derives anti-dependency edges from consecutive pairs when
+  /// steps run concurrently.
+  std::vector<std::vector<int>> buffer_order;
+
+  std::size_t planned_bytes() const;  // sum of buffer capacities
+  std::size_t naive_bytes = 0;        // sum of request bytes (no reuse)
+};
+
+/// Greedy interval assignment (linear scan): requests are visited in
+/// ascending def_step; a buffer is reusable when its current occupant's
+/// last_step is STRICTLY before the new request's def_step (an occupant
+/// still read at the defining step must not be overwritten by it). Among
+/// reusable buffers the best fit wins: the smallest one large enough, else
+/// the largest one (grown to fit). Zero-byte requests get no buffer (-1).
+MemoryPlan plan_memory(const std::vector<BufferRequest>& requests);
+
+/// Exhaustive validity check (tests): no two requests with overlapping
+/// lifetimes share a buffer, and every buffer holds its occupants.
+bool plan_is_valid(const MemoryPlan& plan,
+                   const std::vector<BufferRequest>& requests);
+
+}  // namespace d500

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 #include <mutex>
+#include <set>
+#include <string_view>
 #include <utility>
 
 #include "core/threadpool.hpp"
@@ -56,6 +58,18 @@ void ParallelExecutor::forward_pass(const TensorMap& feeds, TensorMap& values) {
   const auto order = net_.topological_order();
   const std::size_t n = order.size();
 
+  // Evict cached activations the current graph does not produce, so a
+  // stale entry can never shadow a feed or stored tensor in lookup().
+  if (!values.empty()) {
+    std::set<std::string_view> produced;
+    for (const Network::Node* node : order)
+      for (const auto& oname : node->outputs) produced.insert(oname);
+    for (auto it = values.begin(); it != values.end();) {
+      if (produced.count(it->first)) ++it;
+      else it = values.erase(it);
+    }
+  }
+
   // Compile the dependency-count table: one count per node, one unblock
   // edge per consumed node-produced value.
   std::map<std::string, int> producer;
@@ -101,10 +115,12 @@ void ParallelExecutor::forward_pass(const TensorMap& feeds, TensorMap& values) {
       const auto out_shapes = node->op->output_shapes(in_shapes);
       out.reserve(out_shapes.size());
       for (std::size_t k = 0; k < out_shapes.size(); ++k) {
-        Tensor t(out_shapes[k]);
+        // Shape-keyed reuse (see ReferenceExecutor::forward_pass): rewrite
+        // the cached buffer in place when the shape still matches.
+        Tensor& t = values[node->outputs[k]];
+        if (t.shape() != out_shapes[k]) t = Tensor(out_shapes[k]);
         live_bytes += t.bytes();
-        values[node->outputs[k]] = std::move(t);
-        out.push_back(&values[node->outputs[k]]);
+        out.push_back(&t);
       }
 
       // Same memory model as the ReferenceExecutor: activations stay live
@@ -136,7 +152,7 @@ void ParallelExecutor::forward_pass(const TensorMap& feeds, TensorMap& values) {
 
 TensorMap ParallelExecutor::inference(const TensorMap& feeds) {
   fire({EventPoint::kBeforeInference, -1, -1, net_.name(), 0.0});
-  TensorMap values;
+  TensorMap& values = values_;
   forward_pass(feeds, values);
   TensorMap outputs;
   for (const auto& out : net_.outputs()) {
@@ -152,7 +168,7 @@ TensorMap ParallelExecutor::inference(const TensorMap& feeds) {
 TensorMap ParallelExecutor::inference_and_backprop(
     const TensorMap& feeds, const std::string& loss_value) {
   fire({EventPoint::kBeforeInference, -1, -1, net_.name(), 0.0});
-  TensorMap values;
+  TensorMap& values = values_;
   forward_pass(feeds, values);
   fire({EventPoint::kAfterInference, -1, -1, net_.name(), 0.0});
 

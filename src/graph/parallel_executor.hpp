@@ -35,6 +35,12 @@ class ParallelExecutor : public GraphExecutor {
   /// event hooks) is serialized under one mutex; operator kernels run
   /// outside it.
   void forward_pass(const TensorMap& feeds, TensorMap& values);
+
+  /// Activation cache reused across runs (same contract as the
+  /// ReferenceExecutor cache: in-place rewrite on shape match, eviction of
+  /// names the graph no longer produces). The run_task_graph join gives
+  /// the next run a happens-before edge over every cached write.
+  TensorMap values_;
 };
 
 }  // namespace d500

@@ -1,4 +1,6 @@
 #include <algorithm>
+#include <set>
+#include <string_view>
 
 #include "core/stats.hpp"
 #include "core/timer.hpp"
@@ -27,6 +29,19 @@ void ReferenceExecutor::forward_pass(const TensorMap& feeds,
   std::size_t live_bytes = 0;
   last_peak_memory_ = 0;
   const auto order = net_.topological_order();
+
+  // Evict cached activations the current graph does not produce, so a
+  // stale entry can never shadow a feed or stored tensor in lookup().
+  if (!values.empty()) {
+    std::set<std::string_view> produced;
+    for (const Network::Node* node : order)
+      for (const auto& oname : node->outputs) produced.insert(oname);
+    for (auto it = values.begin(); it != values.end();) {
+      if (produced.count(it->first)) ++it;
+      else it = values.erase(it);
+    }
+  }
+
   std::int64_t op_index = 0;
   for (const Network::Node* node : order) {
     fire({EventPoint::kBeforeOperator, op_index, -1, node->name, 0.0});
@@ -46,10 +61,13 @@ void ReferenceExecutor::forward_pass(const TensorMap& feeds,
     MutTensors out;
     out.reserve(out_shapes.size());
     for (std::size_t k = 0; k < out_shapes.size(); ++k) {
-      Tensor t(out_shapes[k]);
+      // Shape-keyed reuse: rewrite the cached buffer in place when the
+      // shape still matches (operators fully overwrite their outputs —
+      // the invariant all activation reuse in this codebase relies on).
+      Tensor& t = values[node->outputs[k]];
+      if (t.shape() != out_shapes[k]) t = Tensor(out_shapes[k]);
       live_bytes += t.bytes();
-      values[node->outputs[k]] = std::move(t);
-      out.push_back(&values[node->outputs[k]]);
+      out.push_back(&t);
     }
 
     // Memory model: activations stay live for the whole pass (they are
@@ -81,7 +99,7 @@ void ReferenceExecutor::forward_pass(const TensorMap& feeds,
 
 TensorMap ReferenceExecutor::inference(const TensorMap& feeds) {
   fire({EventPoint::kBeforeInference, -1, -1, net_.name(), 0.0});
-  TensorMap values;
+  TensorMap& values = values_;
   forward_pass(feeds, values);
   TensorMap outputs;
   for (const auto& out : net_.outputs()) {
@@ -97,7 +115,7 @@ TensorMap ReferenceExecutor::inference(const TensorMap& feeds) {
 TensorMap ReferenceExecutor::inference_and_backprop(
     const TensorMap& feeds, const std::string& loss_value) {
   fire({EventPoint::kBeforeInference, -1, -1, net_.name(), 0.0});
-  TensorMap values;
+  TensorMap& values = values_;
   forward_pass(feeds, values);
   fire({EventPoint::kAfterInference, -1, -1, net_.name(), 0.0});
 

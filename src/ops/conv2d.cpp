@@ -123,24 +123,37 @@ void conv_im2col(const Tensor& X, const Tensor& Wt, const Tensor& bias,
   const std::int64_t Wo = p.out_dim(W, p.kernel_w);
   const std::int64_t K = C * p.kernel_h * p.kernel_w;
   const std::int64_t spatial = Ho * Wo;
-  std::vector<float> col(static_cast<std::size_t>(K) * N * spatial);
+  // Grow-only per-thread workspaces (fully rewritten each call), so warm
+  // steps do not allocate.
+  thread_local std::vector<float> col;
+  if (col.size() < static_cast<std::size_t>(K) * N * spatial)
+    col.resize(static_cast<std::size_t>(K) * N * spatial);
+  // Workers must write the CALLER's buffer: naming a thread_local inside
+  // the lambda body would resolve to each worker's own (empty) instance,
+  // so the shared destination is passed as a plain pointer.
+  float* const col_buf = col.data();
   // col layout: row r holds sample-major columns [n*spatial + s]. Samples
   // lower into disjoint column slices, so they parallelise trivially.
   parallel_for(0, N, 1, [&](std::int64_t lo, std::int64_t hi) {
     // Lower each sample into a strided slice of the shared buffer via a
-    // per-sample contiguous scratch, then scatter rows.
-    std::vector<float> sample_col(static_cast<std::size_t>(K) * spatial);
+    // per-sample contiguous scratch, then scatter rows. sample_col is
+    // deliberately the WORKER's own thread_local (private scratch).
+    thread_local std::vector<float> sample_col;
+    if (sample_col.size() < static_cast<std::size_t>(K) * spatial)
+      sample_col.resize(static_cast<std::size_t>(K) * spatial);
     for (std::int64_t n = lo; n < hi; ++n) {
       im2col(X.data() + n * C * H * W, C, H, W, p, sample_col.data());
       for (std::int64_t r = 0; r < K; ++r)
-        std::memcpy(col.data() + (r * N + n) * spatial,
+        std::memcpy(col_buf + (r * N + n) * spatial,
                     sample_col.data() + r * spatial,
                     static_cast<std::size_t>(spatial) * sizeof(float));
     }
   });
   // One GEMM: [F, K] x [K, N*spatial] -> [F, N*spatial] (filter-major), then
   // scatter into NCHW output with the bias added.
-  std::vector<float> ybuf(static_cast<std::size_t>(F) * N * spatial);
+  thread_local std::vector<float> ybuf;
+  if (ybuf.size() < static_cast<std::size_t>(F) * N * spatial)
+    ybuf.resize(static_cast<std::size_t>(F) * N * spatial);
   gemm(GemmBackend::kPacked, F, N * spatial, K, 1.0f, Wt.data(), col.data(),
        0.0f, ybuf.data());
   float* y = Y.data();
@@ -213,12 +226,18 @@ void conv_winograd(const Tensor& X, const Tensor& Wt, const Tensor& bias,
   const std::int64_t F = Wt.dim(0);
   const std::int64_t Ho = p.out_dim(H, 3);
   const std::int64_t Wo = p.out_dim(W, 3);
-  // Pre-transform all filters: U[f][c] is a 4x4 tile.
-  std::vector<float> U(static_cast<std::size_t>(F) * C * 16);
+  // Pre-transform all filters: U[f][c] is a 4x4 tile. Grow-only
+  // per-thread workspace, fully rewritten each call.
+  thread_local std::vector<float> U;
+  if (U.size() < static_cast<std::size_t>(F) * C * 16)
+    U.resize(static_cast<std::size_t>(F) * C * 16);
   for (std::int64_t f = 0; f < F; ++f)
     for (std::int64_t c = 0; c < C; ++c)
       wino_transform_filter(Wt.data() + (f * C + c) * 9,
                             U.data() + (f * C + c) * 16);
+  // Plain pointer so pool workers read the caller's U, not their own
+  // (empty) thread_local instance.
+  const float* const U_buf = U.data();
 
   const std::int64_t tiles_h = (Ho + 1) / 2;
   const std::int64_t tiles_w = (Wo + 1) / 2;
@@ -228,7 +247,9 @@ void conv_winograd(const Tensor& X, const Tensor& Wt, const Tensor& bias,
   // Tile rows of distinct samples write disjoint output tiles; flatten
   // (n, th) into one index space for the pool.
   parallel_for(0, N * tiles_h, 1, [&](std::int64_t lo, std::int64_t hi) {
-    std::vector<float> V(static_cast<std::size_t>(C) * 16);
+    thread_local std::vector<float> V;
+    if (V.size() < static_cast<std::size_t>(C) * 16)
+      V.resize(static_cast<std::size_t>(C) * 16);
     for (std::int64_t nt = lo; nt < hi; ++nt) {
       const std::int64_t n = nt / tiles_h;
       const std::int64_t th = nt % tiles_h;
@@ -254,7 +275,7 @@ void conv_winograd(const Tensor& X, const Tensor& Wt, const Tensor& bias,
         // transform per filter.
         for (std::int64_t f = 0; f < F; ++f) {
           float m[4][4] = {};
-          const float* Uf = U.data() + f * C * 16;
+          const float* Uf = U_buf + f * C * 16;
           for (std::int64_t c = 0; c < C; ++c) {
             const float* u = Uf + c * 16;
             const float* v = V.data() + c * 16;
@@ -330,9 +351,14 @@ void Conv2DOp::backward(const ConstTensors& grad_outputs,
   if (grad_inputs[1]) grad_inputs[1]->fill(0.0f);
   if (grad_inputs[2]) grad_inputs[2]->fill(0.0f);
 
-  std::vector<float> col(static_cast<std::size_t>(K) * spatial);
-  std::vector<float> col_grad;
-  if (grad_inputs[0]) col_grad.resize(static_cast<std::size_t>(K) * spatial);
+  // Grow-only per-thread workspaces: col is fully rewritten by im2col,
+  // col_grad is re-zeroed per sample below.
+  thread_local std::vector<float> col;
+  if (col.size() < static_cast<std::size_t>(K) * spatial)
+    col.resize(static_cast<std::size_t>(K) * spatial);
+  thread_local std::vector<float> col_grad;
+  if (grad_inputs[0] && col_grad.size() < static_cast<std::size_t>(K) * spatial)
+    col_grad.resize(static_cast<std::size_t>(K) * spatial);
 
   for (std::int64_t n = 0; n < N; ++n) {
     const float* dy = dY.data() + n * F * spatial;

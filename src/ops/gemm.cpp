@@ -106,13 +106,21 @@ void micro_4xNR(std::int64_t K, const float* A, std::int64_t lda,
 void gemm_packed(std::int64_t M, std::int64_t N, std::int64_t K, float alpha,
                  const float* A, const float* B, float beta, float* C) {
   const std::int64_t npanels = (N + kNR - 1) / kNR;
-  // Phase 1: pack all panels of B (disjoint destinations per panel).
-  std::vector<float> packed(static_cast<std::size_t>(K) * npanels * kNR);
+  // Phase 1: pack all panels of B (disjoint destinations per panel). The
+  // pack buffer is a grow-only per-thread workspace (every panel is fully
+  // rewritten below), so steady-state calls do not touch the heap.
+  thread_local std::vector<float> packed;
+  if (packed.size() < static_cast<std::size_t>(K) * npanels * kNR)
+    packed.resize(static_cast<std::size_t>(K) * npanels * kNR);
+  // The lambdas must see the CALLER's buffer: a thread_local named inside
+  // a lambda body resolves to the executing worker's own (empty) instance,
+  // so hand workers a plain pointer instead.
+  float* const packed_buf = packed.data();
   parallel_for(0, npanels, 1, [&](std::int64_t p0, std::int64_t p1) {
     for (std::int64_t p = p0; p < p1; ++p) {
       const std::int64_t j0 = p * kNR;
       const std::int64_t jw = std::min<std::int64_t>(kNR, N - j0);
-      pack_b_panel(K, N, B, j0, jw, packed.data() + p * K * kNR);
+      pack_b_panel(K, N, B, j0, jw, packed_buf + p * K * kNR);
     }
   });
   // Phase 2: 4-row blocks of C sweep every panel; each block owns its C
@@ -130,7 +138,7 @@ void gemm_packed(std::int64_t M, std::int64_t N, std::int64_t K, float alpha,
       for (std::int64_t p = 0; p < npanels; ++p) {
         const std::int64_t j0 = p * kNR;
         const std::int64_t jw = std::min<std::int64_t>(kNR, N - j0);
-        micro_4xNR(K, A + i0 * K, K, packed.data() + p * K * kNR,
+        micro_4xNR(K, A + i0 * K, K, packed_buf + p * K * kNR,
                    C + i0 * N + j0, N, rows, jw, alpha);
       }
     }

@@ -23,7 +23,10 @@ void SoftmaxCrossEntropyOp::forward(const ConstTensors& inputs,
   const Tensor& Z = *inputs[0];
   const Tensor& labels = *inputs[1];
   const std::int64_t B = Z.dim(0), C = Z.dim(1);
-  std::vector<float> probs(static_cast<std::size_t>(B) * C);
+  // Grow-only per-thread workspace; softmax_rows fully rewrites it.
+  thread_local std::vector<float> probs;
+  if (probs.size() < static_cast<std::size_t>(B) * C)
+    probs.resize(static_cast<std::size_t>(B) * C);
   softmax_rows(Z.data(), probs.data(), B, C);
   double loss = 0.0;
   for (std::int64_t b = 0; b < B; ++b) {

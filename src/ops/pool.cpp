@@ -42,7 +42,8 @@ void Pool2DOp::forward(const ConstTensors& inputs, const MutTensors& outputs) {
   const std::int64_t Ho = params_.out_dim(H), Wo = params_.out_dim(W);
   const float* x = X.data();
   float* y = Y.data();
-  std::vector<float> window;
+  // Grow-only per-thread workspace (cleared per output element below).
+  thread_local std::vector<float> window;
   window.reserve(static_cast<std::size_t>(params_.kernel) * params_.kernel);
   for (std::int64_t nc = 0; nc < N * C; ++nc) {
     const float* xc = x + nc * H * W;
@@ -142,8 +143,10 @@ void Pool2DOp::backward(const ConstTensors& grad_outputs,
         // gradient to the selected element(s) — the argmax for max, the
         // middle order statistic for odd median windows, or half to each
         // of the two middle elements for even windows (matching the
-        // forward's average of the middle pair).
-        std::vector<std::pair<float, std::int64_t>> win;
+        // forward's average of the middle pair). Grow-only per-thread
+        // scratch so warm steps stay allocation-free.
+        thread_local std::vector<std::pair<float, std::int64_t>> win;
+        win.clear();
         for (std::int64_t kh = 0; kh < params_.kernel; ++kh) {
           const std::int64_t ih = oh * params_.stride - params_.pad + kh;
           if (ih < 0 || ih >= H) continue;

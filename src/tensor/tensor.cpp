@@ -5,24 +5,32 @@
 #include <cstring>
 #include <sstream>
 
-namespace d500 {
+#include "core/arena.hpp"
 
-namespace {
-float* alloc_zeroed(std::int64_t n) {
-  if (n == 0) return nullptr;
-  // value-initialized => zero-filled
-  return new float[static_cast<std::size_t>(n)]();
-}
-}  // namespace
+namespace d500 {
 
 Tensor::Tensor(Shape shape, Layout layout)
     : shape_(std::move(shape)),
       layout_(layout),
       elements_(shape_elements(shape_)),
-      data_(alloc_zeroed(elements_), array_deleter) {}
+      data_(arena_alloc_floats(elements_), arena_free_floats) {
+  // Recycled arena blocks carry stale payloads, so zero-init is explicit.
+  if (elements_ > 0)
+    std::memset(data_.get(), 0,
+                static_cast<std::size_t>(elements_) * sizeof(float));
+}
+
+Tensor Tensor::uninitialized(Shape shape, Layout layout) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.layout_ = layout;
+  t.elements_ = shape_elements(t.shape_);
+  t.data_ = Buffer(arena_alloc_floats(t.elements_), arena_free_floats);
+  return t;
+}
 
 Tensor::Tensor(Shape shape, std::span<const float> values, Layout layout)
-    : Tensor(std::move(shape), layout) {
+    : Tensor(uninitialized(std::move(shape), layout)) {
   D500_CHECK_MSG(static_cast<std::int64_t>(values.size()) == elements_,
                  "Tensor init size mismatch: " << values.size() << " vs "
                  << elements_);
@@ -33,7 +41,7 @@ Tensor::Tensor(const Tensor& other)
     : shape_(other.shape_),
       layout_(other.layout_),
       elements_(other.elements_),
-      data_(alloc_zeroed(other.elements_), array_deleter) {
+      data_(arena_alloc_floats(other.elements_), arena_free_floats) {
   // Copies always own their storage, even when copying a borrowed view.
   if (elements_ > 0)
     std::memcpy(data_.get(), other.data_.get(),
@@ -94,7 +102,7 @@ void Tensor::fill_kaiming(Rng& rng, std::int64_t fan_in) {
 Tensor Tensor::reshaped(Shape new_shape) const {
   D500_CHECK_MSG(shape_elements(new_shape) == elements_,
                  "reshaped: element count mismatch");
-  Tensor out(std::move(new_shape), layout_);
+  Tensor out = uninitialized(std::move(new_shape), layout_);
   if (elements_ > 0)
     std::memcpy(out.data(), data_.get(),
                 static_cast<std::size_t>(elements_) * sizeof(float));
@@ -126,7 +134,8 @@ std::int64_t Tensor::index4(std::int64_t n, std::int64_t c, std::int64_t h,
 Tensor Tensor::to_layout(Layout target) const {
   if (target == layout_) return *this;
   D500_CHECK_MSG(shape_.size() == 4, "to_layout requires rank-4 tensor");
-  Tensor out(shape_, target);
+  // The nested loops below write every element, so skip the zero-fill.
+  Tensor out = uninitialized(shape_, target);
   const std::int64_t N = shape_[0], C = shape_[1], H = shape_[2], W = shape_[3];
   for (std::int64_t n = 0; n < N; ++n)
     for (std::int64_t c = 0; c < C; ++c)

@@ -2,8 +2,10 @@
 //
 // Deep500 itself is a meta-framework; its tensors are thin owned buffers
 // with shape metadata that can be handed across the C ABI via tensor_t
-// descriptors (core/types.hpp). Row-major (C order), 64-byte aligned for
-// vectorized kernels.
+// descriptors (core/types.hpp). Row-major (C order). Owned storage comes
+// from the process-wide Arena (core/arena.hpp), so it is genuinely 64-byte
+// aligned for vectorized kernels and recycled through size-class free
+// lists instead of hitting the heap every step.
 #pragma once
 
 #include <cstddef>
@@ -23,6 +25,14 @@ class Tensor {
 
   /// Allocates a zero-initialized tensor of the given shape.
   explicit Tensor(Shape shape, Layout layout = Layout::kNCHW);
+
+  /// Allocates WITHOUT zero-initialization. Only legal when every element
+  /// is provably written before it is read — e.g. a copy destination, or an
+  /// operator output the kernel fully overwrites (the invariant the
+  /// executors' buffer reuse already relies on; see DESIGN.md "Memory
+  /// planning"). Recycled arena blocks carry stale payloads, so reading an
+  /// unwritten element is real garbage, not zero.
+  static Tensor uninitialized(Shape shape, Layout layout = Layout::kNCHW);
 
   /// Allocates and fills from a flat initializer.
   Tensor(Shape shape, std::span<const float> values,
@@ -93,7 +103,6 @@ class Tensor {
  private:
   using Buffer = std::unique_ptr<float[], void (*)(float*)>;
   static void noop_deleter(float*) {}
-  static void array_deleter(float* p) { delete[] p; }
 
   std::int64_t index4(std::int64_t n, std::int64_t c, std::int64_t h,
                       std::int64_t w) const;

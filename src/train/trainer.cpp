@@ -38,6 +38,13 @@ RunStats Runner::run(std::int64_t epochs) {
   Shape data_shape = train_.sample_shape();
   data_shape.insert(data_shape.begin(), batch_);
 
+  // Feed tensors live across steps and are rewritten in place by
+  // fill_batch (which writes every element); they are only reallocated
+  // when the batch size changes (trailing partial batch).
+  TensorMap feeds;
+  feeds["data"] = Tensor::uninitialized(data_shape);
+  feeds["labels"] = Tensor::uninitialized({batch_});
+
   for (std::int64_t e = 0; e < epochs; ++e) {
     D500_TRACE_SCOPE("trainer", "epoch");
     fire({EventPoint::kBeforeEpoch, -1, e, "", 0.0});
@@ -54,10 +61,16 @@ RunStats Runner::run(std::int64_t epochs) {
     for (std::int64_t b = 0; b < batches && !early_exit; ++b) {
       D500_TRACE_SCOPE("trainer", "step");
       const auto indices = sampler_.next_batch();
-      TensorMap feeds;
-      feeds["data"] = Tensor(data_shape);
-      feeds["labels"] = Tensor({static_cast<std::int64_t>(indices.size())});
-      train_.fill_batch(indices, feeds["data"], feeds["labels"]);
+      Tensor& data = feeds["data"];
+      Tensor& labels = feeds["labels"];
+      const auto bsz = static_cast<std::int64_t>(indices.size());
+      if (labels.elements() != bsz) {
+        Shape ds = train_.sample_shape();
+        ds.insert(ds.begin(), bsz);
+        data = Tensor::uninitialized(std::move(ds));
+        labels = Tensor::uninitialized({bsz});
+      }
+      train_.fill_batch(indices, data, labels);
 
       fire({EventPoint::kBeforeTrainingStep, b, e, "", 0.0});
       const TensorMap out = opt_.train(feeds);
@@ -106,12 +119,12 @@ double Runner::evaluate() {
   std::int64_t correct = 0, seen = 0;
   const std::int64_t batches = test_.size() / batch_;
   std::vector<std::int64_t> indices(static_cast<std::size_t>(batch_));
+  TensorMap feeds;
+  feeds["data"] = Tensor::uninitialized(data_shape);
+  feeds["labels"] = Tensor::uninitialized({batch_});
   for (std::int64_t b = 0; b < batches; ++b) {
     for (std::int64_t k = 0; k < batch_; ++k)
       indices[static_cast<std::size_t>(k)] = b * batch_ + k;
-    TensorMap feeds;
-    feeds["data"] = Tensor(data_shape);
-    feeds["labels"] = Tensor({batch_});
     test_.fill_batch(indices, feeds["data"], feeds["labels"]);
     const TensorMap out = opt_.executor().inference(feeds);
     auto it = out.find("logits");
