@@ -1,11 +1,15 @@
 // E2 / Fig. 6b — Level 0 matrix-multiplication benchmark, same protocol as
 // bench_l0_conv over the DeepBench GEMM size list; highlighted size
-// M=K=2560, N=64 (scaled 1/4 in M and K).
+// M=K=2560, N=64 (scaled 1/4 in M and K). Also sweeps every GEMM backend
+// under both kernel-dispatch modes (D500_KERNEL scalar vs simd) plus the
+// pre-packed-panel path, reporting GFLOP/s, and writes BENCH_kernels.json.
+#include <fstream>
 #include <iostream>
 
 #include "common.hpp"
 #include "core/metrics.hpp"
 #include "core/rng.hpp"
+#include "core/simd.hpp"
 #include "frameworks/framework.hpp"
 #include "ops/gemm.hpp"
 
@@ -117,6 +121,92 @@ int run() {
   for (const auto& [name, v] : worst_linf)
     norms.add_row({name, Table::num(v, 6)});
   std::cout << norms.to_text();
+
+  // -- Backend x dispatch GFLOP/s sweep (highlighted size) ------------------
+  // Measures the raw gemm() entry points (no operator wrapper) under both
+  // runtime dispatch modes, plus the pre-packed-panel path the PlanExecutor
+  // weight cache uses. The kernels-vs-scalar ratio is the SIMD speedup; the
+  // packed-vs-blocked ratio is the microkernel's win over cache blocking.
+  std::cout << "\n-- GEMM backend x dispatch, M=" << hs.M << " N=" << hs.N
+            << " K=" << hs.K << " (isa: " << simd::isa_name() << ") --\n";
+  const double flops = static_cast<double>(gemm_flops(hs.M, hs.N, hs.K));
+  const simd::KernelDispatch saved = simd::kernel_dispatch();
+  struct KernelLeg {
+    std::string name;
+    double gflops = 0.0;
+    double median_s = 0.0;
+  };
+  std::vector<KernelLeg> legs;
+  auto time_leg = [&](const std::string& label, auto&& call) {
+    call();  // warmup
+    std::vector<double> ts;
+    ts.reserve(static_cast<std::size_t>(reruns));
+    for (int r = 0; r < reruns; ++r) {
+      Timer t;
+      call();
+      ts.push_back(t.seconds());
+    }
+    const SampleSummary s = summarize(ts);
+    legs.push_back({label, flops / s.median * 1e-9, s.median});
+  };
+  const struct {
+    GemmBackend backend;
+    const char* name;
+  } backends[] = {{GemmBackend::kNaive, "naive"},
+                  {GemmBackend::kBlocked, "blocked"},
+                  {GemmBackend::kPacked, "packed"}};
+  for (const auto dm : {simd::KernelDispatch::kScalar,
+                        simd::KernelDispatch::kSimd}) {
+    simd::set_kernel_dispatch(dm);
+    const std::string suffix =
+        std::string("/") + simd::kernel_dispatch_name(dm);
+    for (const auto& bk : backends) {
+      if (bk.backend == GemmBackend::kNaive &&
+          dm == simd::KernelDispatch::kSimd)
+        continue;  // naive has no vector path; the scalar leg covers it
+      time_leg(bk.name + suffix, [&] {
+        gemm(bk.backend, hs.M, hs.N, hs.K, 1.0f, d.a.data(), d.b.data(), 0.0f,
+             d.c.data());
+      });
+    }
+    // Pre-packed panels: what a warm PlanExecutor step pays per GEMM.
+    std::vector<float> pa(
+        static_cast<std::size_t>(gemm_packed_a_elems(hs.M, hs.K)));
+    std::vector<float> pb(
+        static_cast<std::size_t>(gemm_packed_b_elems(hs.K, hs.N)));
+    gemm_pack_a(hs.M, hs.K, d.a.data(), pa.data());
+    gemm_pack_b(hs.K, hs.N, d.b.data(), pb.data());
+    time_leg("packed+prepack" + suffix, [&] {
+      gemm_packed_ex(hs.M, hs.N, hs.K, 1.0f, d.a.data(), pa.data(),
+                     d.b.data(), pb.data(), false, 0.0f, d.c.data());
+    });
+  }
+  simd::set_kernel_dispatch(saved);
+
+  Table kt({"kernel/dispatch", "median", "GFLOP/s"});
+  double blocked_simd = 0.0, packed_simd = 0.0;
+  for (const KernelLeg& leg : legs) {
+    kt.add_row({leg.name, Table::num(leg.median_s * 1e3, 3) + " ms",
+                Table::num(leg.gflops, 2)});
+    if (leg.name == "blocked/simd") blocked_simd = leg.gflops;
+    if (leg.name == "packed/simd") packed_simd = leg.gflops;
+  }
+  std::cout << kt.to_text();
+  if (blocked_simd > 0.0)
+    std::cout << "packed vs blocked (simd): " << Table::num(
+                     packed_simd / blocked_simd, 2) << "x\n";
+
+  std::ofstream json("BENCH_kernels.json");
+  json << "{\n  \"isa\": \"" << simd::isa_name() << "\",\n"
+       << "  \"native_width\": " << simd::kNativeWidth << ",\n"
+       << "  \"size\": {\"M\": " << hs.M << ", \"N\": " << hs.N
+       << ", \"K\": " << hs.K << "},\n  \"gemm\": {\n";
+  for (std::size_t i = 0; i < legs.size(); ++i)
+    json << "    \"" << legs[i].name << "\": {\"median_s\": "
+         << legs[i].median_s << ", \"gflops\": " << legs[i].gflops << "}"
+         << (i + 1 < legs.size() ? ",\n" : "\n");
+  json << "  }\n}\n";
+  std::cout << "wrote BENCH_kernels.json\n";
   return 0;
 }
 

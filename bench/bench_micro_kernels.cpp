@@ -4,7 +4,10 @@
 // with statistically managed per-op numbers.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "core/rng.hpp"
+#include "core/simd.hpp"
 #include "data/codec.hpp"
 #include "ops/conv2d.hpp"
 #include "ops/gemm.hpp"
@@ -14,22 +17,64 @@
 namespace d500 {
 namespace {
 
-void BM_Gemm(benchmark::State& state, GemmBackend backend) {
+// Every GEMM leg runs under an explicit kernel-dispatch mode (the same
+// knob as D500_KERNEL) and reports GFLOP/s, so one run shows the scalar
+// baseline, the SIMD speedup, and the packed-vs-blocked microkernel win.
+void BM_Gemm(benchmark::State& state, GemmBackend backend,
+             simd::KernelDispatch dm) {
   const auto n = static_cast<std::int64_t>(state.range(0));
   Rng rng(1);
   Tensor A({n, n}), B({n, n}), C({n, n});
   A.fill_uniform(rng, -1, 1);
   B.fill_uniform(rng, -1, 1);
+  const simd::KernelDispatch saved = simd::kernel_dispatch();
+  simd::set_kernel_dispatch(dm);
   for (auto _ : state) {
     gemm(backend, n, n, n, 1.0f, A.data(), B.data(), 0.0f, C.data());
     benchmark::DoNotOptimize(C.data());
   }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(gemm_flops(n, n, n)));
+  simd::set_kernel_dispatch(saved);
+  const auto flops = static_cast<std::int64_t>(gemm_flops(n, n, n));
+  state.SetItemsProcessed(state.iterations() * flops);
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(flops) *
+          1e-9,
+      benchmark::Counter::kIsRate);
 }
-BENCHMARK_CAPTURE(BM_Gemm, naive, GemmBackend::kNaive)->Arg(64)->Arg(128);
-BENCHMARK_CAPTURE(BM_Gemm, blocked, GemmBackend::kBlocked)->Arg(64)->Arg(128)->Arg(256);
-BENCHMARK_CAPTURE(BM_Gemm, packed, GemmBackend::kPacked)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK_CAPTURE(BM_Gemm, naive_scalar, GemmBackend::kNaive,
+                  simd::KernelDispatch::kScalar)->Arg(64)->Arg(128);
+BENCHMARK_CAPTURE(BM_Gemm, blocked_scalar, GemmBackend::kBlocked,
+                  simd::KernelDispatch::kScalar)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK_CAPTURE(BM_Gemm, blocked_simd, GemmBackend::kBlocked,
+                  simd::KernelDispatch::kSimd)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK_CAPTURE(BM_Gemm, packed_scalar, GemmBackend::kPacked,
+                  simd::KernelDispatch::kScalar)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK_CAPTURE(BM_Gemm, packed_simd, GemmBackend::kPacked,
+                  simd::KernelDispatch::kSimd)->Arg(64)->Arg(128)->Arg(256);
+
+// The PlanExecutor weight-cache path: B panels packed once outside the
+// timed region, so the loop pays only pack(A) + microkernel.
+void BM_GemmPrepacked(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  Rng rng(1);
+  Tensor A({n, n}), B({n, n}), C({n, n});
+  A.fill_uniform(rng, -1, 1);
+  B.fill_uniform(rng, -1, 1);
+  std::vector<float> pb(static_cast<std::size_t>(gemm_packed_b_elems(n, n)));
+  gemm_pack_b(n, n, B.data(), pb.data());
+  for (auto _ : state) {
+    gemm_packed_ex(n, n, n, 1.0f, A.data(), nullptr, B.data(), pb.data(),
+                   false, 0.0f, C.data());
+    benchmark::DoNotOptimize(C.data());
+  }
+  const auto flops = static_cast<std::int64_t>(gemm_flops(n, n, n));
+  state.SetItemsProcessed(state.iterations() * flops);
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(flops) *
+          1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmPrepacked)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_Conv(benchmark::State& state, ConvBackend backend) {
   const auto c = static_cast<std::int64_t>(state.range(0));
@@ -68,17 +113,21 @@ BENCHMARK_CAPTURE(BM_Pool, max, PoolKind::kMax);
 BENCHMARK_CAPTURE(BM_Pool, avg, PoolKind::kAvg);
 BENCHMARK_CAPTURE(BM_Pool, median, PoolKind::kMedian);
 
-void BM_Softmax(benchmark::State& state) {
+void BM_Softmax(benchmark::State& state, simd::KernelDispatch dm) {
   Rng rng(4);
   Tensor X({64, 1000}), Y({64, 1000});
   X.fill_uniform(rng, -5, 5);
   SoftmaxOp op;
+  const simd::KernelDispatch saved = simd::kernel_dispatch();
+  simd::set_kernel_dispatch(dm);
   for (auto _ : state) {
     op.forward({&X}, {&Y});
     benchmark::DoNotOptimize(Y.data());
   }
+  simd::set_kernel_dispatch(saved);
 }
-BENCHMARK(BM_Softmax);
+BENCHMARK_CAPTURE(BM_Softmax, scalar, simd::KernelDispatch::kScalar);
+BENCHMARK_CAPTURE(BM_Softmax, simd, simd::KernelDispatch::kSimd);
 
 void BM_Decode(benchmark::State& state, DecoderKind decoder) {
   Rng rng(5);

@@ -40,6 +40,16 @@ std::string arena_mode_setting() {
   return v != nullptr ? std::string(v) : std::string("arena");
 }
 
+std::string kernel_dispatch_setting() {
+  const char* v = std::getenv("D500_KERNEL");
+  return v != nullptr ? std::string(v) : std::string("auto");
+}
+
+std::string gemm_backend_setting() {
+  const char* v = std::getenv("D500_GEMM");
+  return v != nullptr ? std::string(v) : std::string("packed");
+}
+
 std::size_t trace_buffer_records() {
   if (const char* v = std::getenv("D500_TRACE_BUFSZ")) {
     const auto n = std::strtoull(v, nullptr, 10);

@@ -48,4 +48,16 @@ std::string arena_mode_setting();
 /// 65536; core/trace rounds up to a power of two).
 std::size_t trace_buffer_records();
 
+/// Kernel dispatch mode string (D500_KERNEL): "auto" (default; SIMD when
+/// compiled in), "scalar" (force the one-lane instantiation of every
+/// kernel), or "simd". Parsed once by core/simd; any other value falls
+/// back to "auto".
+std::string kernel_dispatch_setting();
+
+/// Default GEMM backend string (D500_GEMM): "packed" (default), "blocked",
+/// or "naive". Used where no explicit backend attribute is given (graph
+/// import, op defaults). Parsed by ops/gemm; unknown values fall back to
+/// "packed".
+std::string gemm_backend_setting();
+
 }  // namespace d500

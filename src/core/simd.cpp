@@ -1,0 +1,60 @@
+#include "core/simd.hpp"
+
+#include <atomic>
+
+#include "core/env.hpp"
+
+namespace d500::simd {
+
+namespace {
+
+KernelDispatch parse_dispatch() {
+  const std::string s = kernel_dispatch_setting();
+  if (s == "scalar") return KernelDispatch::kScalar;
+  if (s == "simd") return KernelDispatch::kSimd;
+  return KernelDispatch::kAuto;
+}
+
+// Relaxed is enough: tests/benches flip the mode between kernel launches,
+// never concurrently with one.
+std::atomic<KernelDispatch>& dispatch_state() {
+  static std::atomic<KernelDispatch> d{parse_dispatch()};
+  return d;
+}
+
+}  // namespace
+
+const char* isa_name() {
+#if defined(__AVX512F__)
+  return "avx512f";
+#elif defined(__AVX2__)
+  return "avx2";
+#elif defined(__ARM_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+KernelDispatch kernel_dispatch() {
+  return dispatch_state().load(std::memory_order_relaxed);
+}
+
+void set_kernel_dispatch(KernelDispatch d) {
+  dispatch_state().store(d, std::memory_order_relaxed);
+}
+
+const char* kernel_dispatch_name(KernelDispatch d) {
+  switch (d) {
+    case KernelDispatch::kScalar: return "scalar";
+    case KernelDispatch::kSimd: return "simd";
+    default: return "auto";
+  }
+}
+
+bool dispatch_simd() {
+  if (kNativeWidth == 1) return false;
+  return kernel_dispatch() != KernelDispatch::kScalar;
+}
+
+}  // namespace d500::simd

@@ -1,0 +1,334 @@
+// Portable SIMD abstraction for the float32 kernel layer.
+//
+// Every hot kernel (GEMM microkernel, elementwise maps, softmax rows,
+// optimizer updates, batchnorm inner loops) is written once against a small
+// vector type `V` with a uniform contract, instantiated twice — with the
+// widest vector type this build supports (`VecN`) and with the one-lane
+// scalar type (`Vec1`) — and selected at runtime by the D500_KERNEL knob
+// (core/env). The instruction set is chosen at compile time from feature
+// macros: AVX-512F, AVX2(+FMA), NEON, with Vec1 as the universal fallback,
+// so a build without any SIMD flags (cmake -DD500_SIMD=OFF) degenerates to
+// the scalar path everywhere and stays correct.
+//
+// Contract every Vec type obeys:
+//   * `width`      — compile-time lane count; panel layouts derived from it
+//                    (ops/gemm) are a build constant, NOT a dispatch-mode
+//                    property, so packed buffers are shared between paths.
+//   * load/store   — 64-byte-arena-aligned pointers (tensor storage);
+//     loadu/storeu — arbitrary pointers (slices, tails of parallel chunks).
+//   * fma(a,b,c)   — fused a*b+c in one rounding on every ISA, including
+//                    Vec1 (std::fma), so the scalar and vector paths of a
+//                    fixed-layout kernel round identically lane for lane.
+//   * hsum/hmax    — horizontal reductions with a fixed, width-dependent
+//                    combination order (deterministic per dispatch mode).
+//   * vexp/vsigmoid/vtanh — Cephes-style polynomial approximations shared
+//                    by ALL instantiations; scalar dispatch uses the same
+//                    polynomial, so scalar-vs-SIMD agreement is a few ULP.
+//
+// Tail rule: kernels consume full `V::width` lanes while they fit and
+// finish every range with Vec1 iterations. Chunk decomposition (grain,
+// range) stays a pure function of the problem size, so results remain
+// bit-identical at any thread count — same guarantee as core/threadpool.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+#if defined(__AVX512F__) || defined(__AVX2__)
+#include <immintrin.h>
+#elif defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace d500::simd {
+
+// ---------------------------------------------------------------------------
+// One-lane vector: the universal fallback and the tail iterator.
+
+struct Vec1 {
+  static constexpr int width = 1;
+  float v;
+
+  static Vec1 load(const float* p) { return {*p}; }
+  static Vec1 loadu(const float* p) { return {*p}; }
+  static Vec1 broadcast(float x) { return {x}; }
+  static Vec1 zero() { return {0.0f}; }
+  void store(float* p) const { *p = v; }
+  void storeu(float* p) const { *p = v; }
+
+  friend Vec1 operator+(Vec1 a, Vec1 b) { return {a.v + b.v}; }
+  friend Vec1 operator-(Vec1 a, Vec1 b) { return {a.v - b.v}; }
+  friend Vec1 operator*(Vec1 a, Vec1 b) { return {a.v * b.v}; }
+  friend Vec1 operator/(Vec1 a, Vec1 b) { return {a.v / b.v}; }
+  static Vec1 fma(Vec1 a, Vec1 b, Vec1 c) { return {std::fma(a.v, b.v, c.v)}; }
+  static Vec1 max(Vec1 a, Vec1 b) { return {a.v > b.v ? a.v : b.v}; }
+  static Vec1 min(Vec1 a, Vec1 b) { return {a.v < b.v ? a.v : b.v}; }
+  static Vec1 sqrt(Vec1 a) { return {std::sqrt(a.v)}; }
+  static Vec1 floor(Vec1 a) { return {std::floor(a.v)}; }
+  /// a where m > 0, b elsewhere (mask is a value comparison, see select()).
+  static Vec1 select_gt_zero(Vec1 m, Vec1 a, Vec1 b) {
+    return {m.v > 0.0f ? a.v : b.v};
+  }
+  /// 2^n for n an integral-valued float in the expf range.
+  static Vec1 pow2i(Vec1 n) {
+    const std::int32_t bits = (static_cast<std::int32_t>(n.v) + 127) << 23;
+    float out;
+    std::memcpy(&out, &bits, sizeof(out));
+    return {out};
+  }
+  float hsum() const { return v; }
+  float hmax() const { return v; }
+};
+
+// ---------------------------------------------------------------------------
+// AVX-512F: 16 lanes.
+
+#if defined(__AVX512F__)
+struct Vec16 {
+  static constexpr int width = 16;
+  __m512 v;
+
+  static Vec16 load(const float* p) { return {_mm512_load_ps(p)}; }
+  static Vec16 loadu(const float* p) { return {_mm512_loadu_ps(p)}; }
+  static Vec16 broadcast(float x) { return {_mm512_set1_ps(x)}; }
+  static Vec16 zero() { return {_mm512_setzero_ps()}; }
+  void store(float* p) const { _mm512_store_ps(p, v); }
+  void storeu(float* p) const { _mm512_storeu_ps(p, v); }
+
+  friend Vec16 operator+(Vec16 a, Vec16 b) { return {_mm512_add_ps(a.v, b.v)}; }
+  friend Vec16 operator-(Vec16 a, Vec16 b) { return {_mm512_sub_ps(a.v, b.v)}; }
+  friend Vec16 operator*(Vec16 a, Vec16 b) { return {_mm512_mul_ps(a.v, b.v)}; }
+  friend Vec16 operator/(Vec16 a, Vec16 b) { return {_mm512_div_ps(a.v, b.v)}; }
+  static Vec16 fma(Vec16 a, Vec16 b, Vec16 c) {
+    return {_mm512_fmadd_ps(a.v, b.v, c.v)};
+  }
+  static Vec16 max(Vec16 a, Vec16 b) { return {_mm512_max_ps(a.v, b.v)}; }
+  static Vec16 min(Vec16 a, Vec16 b) { return {_mm512_min_ps(a.v, b.v)}; }
+  static Vec16 sqrt(Vec16 a) { return {_mm512_sqrt_ps(a.v)}; }
+  static Vec16 floor(Vec16 a) {
+    return {_mm512_roundscale_ps(a.v, _MM_FROUND_TO_NEG_INF |
+                                          _MM_FROUND_NO_EXC)};
+  }
+  static Vec16 select_gt_zero(Vec16 m, Vec16 a, Vec16 b) {
+    const __mmask16 k = _mm512_cmp_ps_mask(m.v, _mm512_setzero_ps(), _CMP_GT_OQ);
+    return {_mm512_mask_blend_ps(k, b.v, a.v)};
+  }
+  static Vec16 pow2i(Vec16 n) {
+    const __m512i i = _mm512_cvtps_epi32(n.v);
+    const __m512i bits =
+        _mm512_slli_epi32(_mm512_add_epi32(i, _mm512_set1_epi32(127)), 23);
+    return {_mm512_castsi512_ps(bits)};
+  }
+  float hsum() const { return _mm512_reduce_add_ps(v); }
+  float hmax() const { return _mm512_reduce_max_ps(v); }
+};
+#endif  // __AVX512F__
+
+// ---------------------------------------------------------------------------
+// AVX2: 8 lanes. FMA is required alongside AVX2 by the build (cmake adds
+// -mavx2 -mfma together); the mul+add fallback keeps -mavx2-only builds
+// compiling, at the cost of the one-rounding guarantee.
+
+#if defined(__AVX2__)
+struct Vec8 {
+  static constexpr int width = 8;
+  __m256 v;
+
+  static Vec8 load(const float* p) { return {_mm256_load_ps(p)}; }
+  static Vec8 loadu(const float* p) { return {_mm256_loadu_ps(p)}; }
+  static Vec8 broadcast(float x) { return {_mm256_set1_ps(x)}; }
+  static Vec8 zero() { return {_mm256_setzero_ps()}; }
+  void store(float* p) const { _mm256_store_ps(p, v); }
+  void storeu(float* p) const { _mm256_storeu_ps(p, v); }
+
+  friend Vec8 operator+(Vec8 a, Vec8 b) { return {_mm256_add_ps(a.v, b.v)}; }
+  friend Vec8 operator-(Vec8 a, Vec8 b) { return {_mm256_sub_ps(a.v, b.v)}; }
+  friend Vec8 operator*(Vec8 a, Vec8 b) { return {_mm256_mul_ps(a.v, b.v)}; }
+  friend Vec8 operator/(Vec8 a, Vec8 b) { return {_mm256_div_ps(a.v, b.v)}; }
+  static Vec8 fma(Vec8 a, Vec8 b, Vec8 c) {
+#if defined(__FMA__)
+    return {_mm256_fmadd_ps(a.v, b.v, c.v)};
+#else
+    return {_mm256_add_ps(_mm256_mul_ps(a.v, b.v), c.v)};
+#endif
+  }
+  static Vec8 max(Vec8 a, Vec8 b) { return {_mm256_max_ps(a.v, b.v)}; }
+  static Vec8 min(Vec8 a, Vec8 b) { return {_mm256_min_ps(a.v, b.v)}; }
+  static Vec8 sqrt(Vec8 a) { return {_mm256_sqrt_ps(a.v)}; }
+  static Vec8 floor(Vec8 a) { return {_mm256_floor_ps(a.v)}; }
+  static Vec8 select_gt_zero(Vec8 m, Vec8 a, Vec8 b) {
+    const __m256 k = _mm256_cmp_ps(m.v, _mm256_setzero_ps(), _CMP_GT_OQ);
+    return {_mm256_blendv_ps(b.v, a.v, k)};
+  }
+  static Vec8 pow2i(Vec8 n) {
+    const __m256i i = _mm256_cvtps_epi32(n.v);
+    const __m256i bits =
+        _mm256_slli_epi32(_mm256_add_epi32(i, _mm256_set1_epi32(127)), 23);
+    return {_mm256_castsi256_ps(bits)};
+  }
+  float hsum() const {
+    // Fixed combination order: (lo + hi) pairwise within a 128-bit half.
+    const __m128 lo = _mm256_castps256_ps128(v);
+    const __m128 hi = _mm256_extractf128_ps(v, 1);
+    __m128 s = _mm_add_ps(lo, hi);
+    s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x1));
+    return _mm_cvtss_f32(s);
+  }
+  float hmax() const {
+    const __m128 lo = _mm256_castps256_ps128(v);
+    const __m128 hi = _mm256_extractf128_ps(v, 1);
+    __m128 s = _mm_max_ps(lo, hi);
+    s = _mm_max_ps(s, _mm_movehl_ps(s, s));
+    s = _mm_max_ss(s, _mm_shuffle_ps(s, s, 0x1));
+    return _mm_cvtss_f32(s);
+  }
+};
+#endif  // __AVX2__
+
+// ---------------------------------------------------------------------------
+// NEON: 4 lanes (AArch64).
+
+#if defined(__ARM_NEON)
+struct Vec4 {
+  static constexpr int width = 4;
+  float32x4_t v;
+
+  static Vec4 load(const float* p) { return {vld1q_f32(p)}; }
+  static Vec4 loadu(const float* p) { return {vld1q_f32(p)}; }
+  static Vec4 broadcast(float x) { return {vdupq_n_f32(x)}; }
+  static Vec4 zero() { return {vdupq_n_f32(0.0f)}; }
+  void store(float* p) const { vst1q_f32(p, v); }
+  void storeu(float* p) const { vst1q_f32(p, v); }
+
+  friend Vec4 operator+(Vec4 a, Vec4 b) { return {vaddq_f32(a.v, b.v)}; }
+  friend Vec4 operator-(Vec4 a, Vec4 b) { return {vsubq_f32(a.v, b.v)}; }
+  friend Vec4 operator*(Vec4 a, Vec4 b) { return {vmulq_f32(a.v, b.v)}; }
+  friend Vec4 operator/(Vec4 a, Vec4 b) { return {vdivq_f32(a.v, b.v)}; }
+  static Vec4 fma(Vec4 a, Vec4 b, Vec4 c) { return {vfmaq_f32(c.v, a.v, b.v)}; }
+  static Vec4 max(Vec4 a, Vec4 b) { return {vmaxq_f32(a.v, b.v)}; }
+  static Vec4 min(Vec4 a, Vec4 b) { return {vminq_f32(a.v, b.v)}; }
+  static Vec4 sqrt(Vec4 a) { return {vsqrtq_f32(a.v)}; }
+  static Vec4 floor(Vec4 a) { return {vrndmq_f32(a.v)}; }
+  static Vec4 select_gt_zero(Vec4 m, Vec4 a, Vec4 b) {
+    return {vbslq_f32(vcgtq_f32(m.v, vdupq_n_f32(0.0f)), a.v, b.v)};
+  }
+  static Vec4 pow2i(Vec4 n) {
+    const int32x4_t i = vcvtq_s32_f32(n.v);
+    const int32x4_t bits = vshlq_n_s32(vaddq_s32(i, vdupq_n_s32(127)), 23);
+    return {vreinterpretq_f32_s32(bits)};
+  }
+  float hsum() const {
+    const float32x2_t s = vadd_f32(vget_low_f32(v), vget_high_f32(v));
+    return vget_lane_f32(vpadd_f32(s, s), 0);
+  }
+  float hmax() const {
+    const float32x2_t s = vmax_f32(vget_low_f32(v), vget_high_f32(v));
+    return vget_lane_f32(vpmax_f32(s, s), 0);
+  }
+};
+#endif  // __ARM_NEON
+
+// ---------------------------------------------------------------------------
+// Native width for this build. Layout constants (GEMM panel widths) derive
+// from kNativeWidth and therefore never change with the runtime dispatch.
+
+#if defined(__AVX512F__)
+using VecN = Vec16;
+#elif defined(__AVX2__)
+using VecN = Vec8;
+#elif defined(__ARM_NEON)
+using VecN = Vec4;
+#else
+using VecN = Vec1;
+#endif
+
+inline constexpr int kNativeWidth = VecN::width;
+
+/// Human-readable name of the compiled-in instruction set.
+const char* isa_name();
+
+// ---------------------------------------------------------------------------
+// Runtime dispatch. D500_KERNEL=auto|scalar|simd (core/env) picks the
+// initial mode once; tests and benches flip it programmatically to compare
+// paths inside one process. `scalar` forces the Vec1 instantiation of every
+// kernel; `simd` (and `auto`) use VecN when the build has one.
+
+enum class KernelDispatch { kAuto, kScalar, kSimd };
+
+KernelDispatch kernel_dispatch();
+void set_kernel_dispatch(KernelDispatch d);
+const char* kernel_dispatch_name(KernelDispatch d);
+
+/// True when kernels should run their VecN instantiation.
+bool dispatch_simd();
+
+// ---------------------------------------------------------------------------
+// exp/sigmoid/tanh approximations, shared by every instantiation.
+
+/// expf via the Cephes polynomial: clamp to the finite-float range, split
+/// x = n*ln2 + r with |r| <= ln2/2, degree-5 polynomial in r, scale by 2^n.
+/// Max observed error vs std::expf is ~2 ULP across the clamped range.
+template <class V>
+inline V vexp(V x) {
+  x = V::min(x, V::broadcast(88.3762626647950f));
+  x = V::max(x, V::broadcast(-87.3365478515625f));
+  const V n = V::floor(
+      V::fma(x, V::broadcast(1.44269504088896341f), V::broadcast(0.5f)));
+  // r = x - n*ln2 with ln2 split hi/lo to keep the reduction exact.
+  V r = V::fma(n, V::broadcast(-0.693359375f), x);
+  r = V::fma(n, V::broadcast(2.12194440e-4f), r);
+  V p = V::broadcast(1.9875691500e-4f);
+  p = V::fma(p, r, V::broadcast(1.3981999507e-3f));
+  p = V::fma(p, r, V::broadcast(8.3334519073e-3f));
+  p = V::fma(p, r, V::broadcast(4.1665795894e-2f));
+  p = V::fma(p, r, V::broadcast(1.6666665459e-1f));
+  p = V::fma(p, r, V::broadcast(5.0000001201e-1f));
+  const V res = V::fma(r * r, p, r) + V::broadcast(1.0f);
+  return res * V::pow2i(n);
+}
+
+/// 1 / (1 + exp(-x)).
+template <class V>
+inline V vsigmoid(V x) {
+  return V::broadcast(1.0f) /
+         (V::broadcast(1.0f) + vexp(V::zero() - x));
+}
+
+/// tanh(x) = 1 - 2/(exp(2x) + 1).
+template <class V>
+inline V vtanh(V x) {
+  const V e = vexp(x + x);
+  return V::broadcast(1.0f) -
+         V::broadcast(2.0f) / (e + V::broadcast(1.0f));
+}
+
+// ---------------------------------------------------------------------------
+// Lane iteration helper: full V-width lanes while they fit, then a Vec1
+// tail — the uniform tail rule. `f(tag, i)` receives the vector type to use
+// as a value tag (`using W = decltype(tag)`) and the element index.
+
+template <class V, class F>
+inline void lanes(std::int64_t lo, std::int64_t hi, F&& f) {
+  std::int64_t i = lo;
+  if constexpr (V::width > 1) {
+    for (; i + V::width <= hi; i += V::width) f(V::zero(), i);
+  }
+  for (; i < hi; ++i) f(Vec1::zero(), i);
+}
+
+/// Instantiate-and-run under the runtime dispatch mode: calls `f` with a
+/// value of the selected vector type (VecN under simd/auto, Vec1 under
+/// scalar) to use as a type tag. Kernels branch once per call, not per
+/// element:
+///   simd::dispatch([&](auto tag) { using V = decltype(tag); ... });
+template <class F>
+inline void dispatch(F&& f) {
+  if (dispatch_simd())
+    f(VecN::zero());
+  else
+    f(Vec1::zero());
+}
+
+}  // namespace d500::simd

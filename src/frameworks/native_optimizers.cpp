@@ -2,7 +2,30 @@
 
 #include <cmath>
 
+#include "core/simd.hpp"
+#include "core/threadpool.hpp"
+
 namespace d500 {
+
+namespace {
+// Update-loop chunking: parameters are disjoint elementwise streams, so
+// chunks parallelize on the shared pool; the grain is a constant, keeping
+// the decomposition a pure function of n (bit-identical at any thread
+// count). The vector bodies below reproduce the exact multiply/add
+// sequences of the original scalar loops (no fma contraction), so scalar
+// and SIMD dispatch produce bit-identical parameter trajectories.
+constexpr std::int64_t kOptGrain = 16384;
+
+template <class F>
+void opt_map(std::int64_t n, F&& body) {
+  simd::dispatch([&](auto tag) {
+    using V = decltype(tag);
+    parallel_for(0, n, kOptGrain, [&](std::int64_t lo, std::int64_t hi) {
+      simd::lanes<V>(lo, hi, body);
+    });
+  });
+}
+}  // namespace
 
 FusedAdamOptimizer::FusedAdamOptimizer(GraphExecutor& exec,
                                        std::string framework, double lr,
@@ -31,11 +54,19 @@ TensorMap FusedAdamOptimizer::train(const TensorMap& feeds) {
     float* pp = p.data();
     const float* gp = g.data();
     const std::int64_t n = g.elements();
-    for (std::int64_t i = 0; i < n; ++i) {
-      mp[i] = b1 * mp[i] + (1.0f - b1) * gp[i];
-      vp[i] = b2 * vp[i] + (1.0f - b2) * gp[i] * gp[i];
-      pp[i] -= lr * (mp[i] / bc1) / (std::sqrt(vp[i] / bc2) + eps);
-    }
+    opt_map(n, [&](auto tag, std::int64_t i) {
+      using W = decltype(tag);
+      const W gv = W::loadu(gp + i);
+      const W mv = W::broadcast(b1) * W::loadu(mp + i) +
+                   W::broadcast(1.0f - b1) * gv;
+      const W vv = W::broadcast(b2) * W::loadu(vp + i) +
+                   W::broadcast(1.0f - b2) * gv * gv;
+      mv.storeu(mp + i);
+      vv.storeu(vp + i);
+      const W upd = W::broadcast(lr) * (mv / W::broadcast(bc1)) /
+                    (W::sqrt(vv / W::broadcast(bc2)) + W::broadcast(eps));
+      (W::loadu(pp + i) - upd).storeu(pp + i);
+    });
   }
   return out;
 }
@@ -123,33 +154,51 @@ TensorMap FusedSgdOptimizer::train(const TensorMap& feeds) {
     const float* gp = g.data();
     switch (rule_) {
       case Rule::kSgd:
-        for (std::int64_t i = 0; i < n; ++i) pp[i] -= lr * gp[i];
+        opt_map(n, [&](auto tag, std::int64_t i) {
+          using W = decltype(tag);
+          (W::loadu(pp + i) - W::broadcast(lr) * W::loadu(gp + i))
+              .storeu(pp + i);
+        });
         break;
       case Rule::kMomentum: {
         Tensor& vel = state_.try_emplace(pname, g.shape()).first->second;
         float* vp = vel.data();
-        for (std::int64_t i = 0; i < n; ++i) {
-          vp[i] = mu * vp[i] - lr * gp[i];
-          pp[i] += vp[i];
-        }
+        opt_map(n, [&](auto tag, std::int64_t i) {
+          using W = decltype(tag);
+          const W vv = W::broadcast(mu) * W::loadu(vp + i) -
+                       W::broadcast(lr) * W::loadu(gp + i);
+          vv.storeu(vp + i);
+          (W::loadu(pp + i) + vv).storeu(pp + i);
+        });
         break;
       }
       case Rule::kRmsProp: {
         Tensor& ms = state_.try_emplace(pname, g.shape()).first->second;
         float* sp = ms.data();
-        for (std::int64_t i = 0; i < n; ++i) {
-          sp[i] = mu * sp[i] + (1.0f - mu) * gp[i] * gp[i];
-          pp[i] -= lr * gp[i] / (std::sqrt(sp[i]) + eps);
-        }
+        opt_map(n, [&](auto tag, std::int64_t i) {
+          using W = decltype(tag);
+          const W gv = W::loadu(gp + i);
+          const W sv = W::broadcast(mu) * W::loadu(sp + i) +
+                       W::broadcast(1.0f - mu) * gv * gv;
+          sv.storeu(sp + i);
+          const W upd =
+              W::broadcast(lr) * gv / (W::sqrt(sv) + W::broadcast(eps));
+          (W::loadu(pp + i) - upd).storeu(pp + i);
+        });
         break;
       }
       case Rule::kAdaGrad: {
         Tensor& acc = state_.try_emplace(pname, g.shape()).first->second;
         float* ap = acc.data();
-        for (std::int64_t i = 0; i < n; ++i) {
-          ap[i] += gp[i] * gp[i];
-          pp[i] -= lr * gp[i] / (std::sqrt(ap[i]) + eps);
-        }
+        opt_map(n, [&](auto tag, std::int64_t i) {
+          using W = decltype(tag);
+          const W gv = W::loadu(gp + i);
+          const W av = W::loadu(ap + i) + gv * gv;
+          av.storeu(ap + i);
+          const W upd =
+              W::broadcast(lr) * gv / (W::sqrt(av) + W::broadcast(eps));
+          (W::loadu(pp + i) - upd).storeu(pp + i);
+        });
         break;
       }
     }

@@ -9,6 +9,7 @@
 #include "core/trace.hpp"
 #include "graph/memory_plan.hpp"
 #include "ops/conv2d.hpp"
+#include "ops/gemm.hpp"
 
 namespace d500 {
 
@@ -50,6 +51,13 @@ void PlanExecutor::compile(const TensorMap& feeds, bool training) {
   for (const auto& [fname, t] : feeds)
     feed_sig_.push_back({fname, t.shape(), t.layout()});
   compiled_training_ = training;
+
+  // Ops outlive compiles (the Network owns them): detach any panel
+  // pointers installed by a previous compile before their buffers die.
+  for (const Prepack& e : prepack_) install_prepack(e, nullptr, nullptr);
+  prepack_.clear();
+  prepack_buffers_.clear();
+  prepack_fresh_.clear();
 
   steps_.clear();
   slot_index_.clear();
@@ -315,7 +323,112 @@ void PlanExecutor::compile(const TensorMap& feeds, bool training) {
     outputs_view_[oname];  // create the node; the view binds on first step()
   }
 
+  build_prepack();
+
   compiled_ = true;
+}
+
+void PlanExecutor::install_prepack(const Prepack& e, const float* panels,
+                                   const float* src) {
+  switch (e.kind) {
+    case Prepack::Kind::kMatMulB:
+      static_cast<MatMulOp*>(e.op)->set_prepacked_b(panels, src);
+      break;
+    case Prepack::Kind::kLinearW:
+      static_cast<LinearOp*>(e.op)->set_prepacked_w(panels, src);
+      break;
+    case Prepack::Kind::kConvW:
+      static_cast<Conv2DOp*>(e.op)->set_prepacked_w(panels, src);
+      break;
+  }
+}
+
+void PlanExecutor::build_prepack() {
+  if (!options_.prepack_weights) return;
+  std::map<std::string, int> panel_index;  // param name + kind -> buffer
+  for (const Step& step : steps_) {
+    CustomOperator* op = step.node->op.get();
+    Prepack e;
+    if (auto* mm = dynamic_cast<MatMulOp*>(op)) {
+      if (mm->backend() != GemmBackend::kPacked) continue;
+      e.kind = Prepack::Kind::kMatMulB;
+    } else if (auto* lin = dynamic_cast<LinearOp*>(op)) {
+      if (lin->backend() != GemmBackend::kPacked) continue;
+      e.kind = Prepack::Kind::kLinearW;
+    } else if (auto* conv = dynamic_cast<Conv2DOp*>(op)) {
+      if (conv->backend() != ConvBackend::kIm2col) continue;
+      e.kind = Prepack::Kind::kConvW;
+    } else {
+      continue;
+    }
+    // The weight is input 1 for all three ops; only stored tensors
+    // (parameters/constants) are cacheable — an activation-valued operand
+    // changes every run.
+    if (step.in_slots.size() < 2) continue;
+    const auto su = static_cast<std::size_t>(step.in_slots[1]);
+    if (!value_is_stored_[su]) continue;
+    const std::string& pname = slot_names_[su];
+    e.op = op;
+    e.src = &net_.fetch_tensor(pname);
+    e.shape = e.src->shape();
+    std::int64_t elems = 0;
+    switch (e.kind) {
+      case Prepack::Kind::kMatMulB:  // B is [K, N]
+        elems = gemm_packed_b_elems(e.shape[0], e.shape[1]);
+        break;
+      case Prepack::Kind::kLinearW:  // W is [out, in]; panels hold W^T
+        elems = gemm_packed_b_elems(e.shape[1], e.shape[0]);
+        break;
+      case Prepack::Kind::kConvW:  // filter as the [F, C*kh*kw] A operand
+        elems = gemm_packed_a_elems(e.shape[0],
+                                    e.shape[1] * e.shape[2] * e.shape[3]);
+        break;
+    }
+    if (elems <= 0) continue;
+    const std::string key =
+        pname + '#' + std::to_string(static_cast<int>(e.kind));
+    auto [it, inserted] =
+        panel_index.try_emplace(key, static_cast<int>(prepack_buffers_.size()));
+    if (inserted)
+      prepack_buffers_.emplace_back(arena_alloc_floats(elems),
+                                    arena_free_floats);
+    e.buffer = it->second;
+    prepack_.push_back(std::move(e));
+  }
+  prepack_fresh_.reserve(prepack_buffers_.size());
+  if (!prepack_.empty()) repack_weights();
+}
+
+void PlanExecutor::repack_weights() {
+  D500_TRACE_SCOPE("plan", "prepack");
+  prepack_fresh_.assign(prepack_buffers_.size(), 0);
+  for (const Prepack& e : prepack_) {
+    const Tensor& w = *e.src;
+    if (w.shape() != e.shape) {
+      // Stored tensor was replaced with a different shape: the panels no
+      // longer fit, so this site falls back to per-call packing.
+      install_prepack(e, nullptr, nullptr);
+      continue;
+    }
+    float* panels = prepack_buffers_[static_cast<std::size_t>(e.buffer)].get();
+    if (!prepack_fresh_[static_cast<std::size_t>(e.buffer)]) {
+      prepack_fresh_[static_cast<std::size_t>(e.buffer)] = 1;
+      switch (e.kind) {
+        case Prepack::Kind::kMatMulB:
+          gemm_pack_b(e.shape[0], e.shape[1], w.data(), panels);
+          break;
+        case Prepack::Kind::kLinearW:
+          gemm_pack_bt(e.shape[0], e.shape[1], w.data(), panels);
+          break;
+        case Prepack::Kind::kConvW:
+          gemm_pack_a(e.shape[0], e.shape[1] * e.shape[2] * e.shape[3],
+                      w.data(), panels);
+          break;
+      }
+    }
+    install_prepack(e, panels, w.data());
+  }
+  prepack_version_ = net_.params_version();
 }
 
 void PlanExecutor::exec_step(std::size_t idx, std::mutex* mu) {
@@ -380,6 +493,12 @@ void PlanExecutor::exec_step(std::size_t idx, std::mutex* mu) {
 }
 
 void PlanExecutor::run_forward(const TensorMap& feeds) {
+  // Weight panels go stale whenever stored tensors may have mutated
+  // (optimizers publish through feed_tensor / mutable fetch_tensor, both
+  // of which bump the version counter).
+  if (!prepack_.empty() && prepack_version_ != net_.params_version())
+    repack_weights();
+
   // Stage feeds into their slots (framework feed/conversion boundary).
   // compile() assigned feed slots 0..n-1 in map order, which feeds_match
   // verified against the signature.

@@ -33,6 +33,18 @@
 //                            deferred path (no effect when
 //                            reuse_activations is off). On/off is
 //                            bit-identical; off keeps one buffer per value.
+//   * prepack_weights      — plan-time weight pre-packing: parameters that
+//                            feed packed GEMMs (MatMul B operands, Linear
+//                            weights, im2col Conv filters) are packed into
+//                            arena-backed panel buffers at compile time and
+//                            the ops consume the panels directly, skipping
+//                            the per-call pack. The Network params_version
+//                            counter invalidates the cache whenever an
+//                            optimizer publishes new weights; the repack is
+//                            a traced, parallel, allocation-free pass at
+//                            the start of the next run. Per-call and
+//                            prepacked packing share one code path, so
+//                            on/off is bit-identical.
 #pragma once
 
 #include <mutex>
@@ -47,6 +59,7 @@ struct ExecOptions {
   bool defensive_copy_shape_ops = false;
   bool parallel = false;
   bool memory_plan = true;
+  bool prepack_weights = true;
 };
 
 class PlanExecutor : public GraphExecutor {
@@ -128,6 +141,13 @@ class PlanExecutor : public GraphExecutor {
   /// (no-op on a warm planned step: the pointers have not moved).
   void refresh_outputs_view();
   int slot_of(const std::string& value) const;
+  /// Scans the compiled steps for packed-GEMM consumers of stored
+  /// parameters and builds the pre-packed panel cache (compile time only).
+  void build_prepack();
+  /// (Re)packs every cached panel buffer from the current parameter values
+  /// and re-installs the panel pointers on the consuming ops. Parallel
+  /// inside the pack kernels, traced, allocation-free.
+  void repack_weights();
 
   std::string name_;
   ExecOptions options_;
@@ -158,6 +178,28 @@ class PlanExecutor : public GraphExecutor {
   std::vector<PlanBuffer> plan_buffers_;
   std::size_t planned_bytes_ = 0;
   std::size_t plan_naive_bytes_ = 0;
+
+  // Pre-packed weight cache: one entry per (op, stored-param input) site
+  // consuming a parameter through a packed GEMM. Sites that consume the
+  // same parameter the same way share one panel buffer (keyed at build
+  // time by param name + pack kind). `src` is the Network map node
+  // (address-stable across runs); `shape` is what the panels were sized
+  // for — if the stored tensor is later replaced with a different shape
+  // the entry is uninstalled and the op falls back to per-call packing.
+  struct Prepack {
+    enum class Kind { kMatMulB, kLinearW, kConvW };
+    Kind kind = Kind::kMatMulB;
+    CustomOperator* op = nullptr;
+    Tensor* src = nullptr;
+    Shape shape;
+    int buffer = -1;
+  };
+  static void install_prepack(const Prepack& e, const float* panels,
+                              const float* src);
+  std::vector<Prepack> prepack_;
+  std::vector<PlanBuffer> prepack_buffers_;
+  std::vector<char> prepack_fresh_;  // per-buffer repack scratch (no alloc)
+  std::uint64_t prepack_version_ = 0;
 
   // Parameter-gradient publish table: grads_[slot] is copied into the
   // stored tensor each backprop (slot -1 = parameter unused by the

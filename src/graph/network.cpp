@@ -74,12 +74,17 @@ std::vector<const Network::Node*> Network::topological_order() const {
 }
 
 void Network::feed_tensor(const std::string& name, Tensor value) {
+  ++params_version_;
   tensors_[name] = std::move(value);
 }
 
 Tensor& Network::fetch_tensor(const std::string& name) {
   auto it = tensors_.find(name);
   D500_CHECK_MSG(it != tensors_.end(), "fetch_tensor: no tensor '" << name << "'");
+  // A mutable reference escapes: assume the caller writes (optimizers
+  // fetch parameters exactly this way), so pre-packed weight panels keyed
+  // on params_version() repack on the next run.
+  ++params_version_;
   return it->second;
 }
 

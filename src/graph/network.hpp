@@ -66,6 +66,13 @@ class Network {
   const Tensor& fetch_tensor(const std::string& name) const;
   bool has_tensor(const std::string& name) const;
 
+  /// Monotonic counter bumped whenever stored tensors may have mutated:
+  /// every feed_tensor and every MUTABLE fetch_tensor (optimizers publish
+  /// updated weights through exactly those paths; const reads don't bump).
+  /// The PlanExecutor pre-packed weight cache compares versions to decide
+  /// when packed panels are stale.
+  std::uint64_t params_version() const { return params_version_; }
+
   /// Trainable parameter names (paper: network.get_params()).
   const std::vector<std::string>& parameters() const { return parameters_; }
   void mark_parameter(const std::string& name);
@@ -102,6 +109,7 @@ class Network {
   std::vector<std::string> inputs_;
   std::map<std::string, Shape> input_shapes_;
   std::vector<std::string> outputs_;
+  std::uint64_t params_version_ = 0;
 };
 
 }  // namespace d500

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "core/simd.hpp"
+#include "core/threadpool.hpp"
+
 namespace d500 {
 
 BatchNormOp::BatchNormOp(std::int64_t channels, float momentum, float eps)
@@ -39,41 +42,56 @@ void BatchNormOp::forward(const ConstTensors& inputs,
   saved_mean_.assign(static_cast<std::size_t>(C), 0.0f);
   saved_inv_std_.assign(static_cast<std::size_t>(C), 0.0f);
 
-  for (std::int64_t c = 0; c < C; ++c) {
-    float mean, var;
-    if (training_) {
-      double sum = 0.0, sq = 0.0;
-      for (std::int64_t n = 0; n < N; ++n) {
-        const float* xs = x + (n * C + c) * S;
-        for (std::int64_t s = 0; s < S; ++s) {
-          sum += xs[s];
-          sq += static_cast<double>(xs[s]) * xs[s];
+  // Channels are fully independent (stats, running buffers, and the
+  // normalized slab are all per-channel), so the channel loop runs as
+  // parallel_for chunks. The stats accumulation keeps its serial double
+  // accumulators for precision; the normalize loop is a SIMD map that
+  // reproduces the scalar multiply/add sequence exactly.
+  parallel_for(0, C, 1, [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t c = c0; c < c1; ++c) {
+      float mean, var;
+      if (training_) {
+        double sum = 0.0, sq = 0.0;
+        for (std::int64_t n = 0; n < N; ++n) {
+          const float* xs = x + (n * C + c) * S;
+          for (std::int64_t s = 0; s < S; ++s) {
+            sum += xs[s];
+            sq += static_cast<double>(xs[s]) * xs[s];
+          }
         }
+        mean = static_cast<float>(sum / count);
+        var = static_cast<float>(sq / count) - mean * mean;
+        if (var < 0.0f) var = 0.0f;
+        running_mean_[static_cast<std::size_t>(c)] =
+            momentum_ * running_mean_[static_cast<std::size_t>(c)] +
+            (1.0f - momentum_) * mean;
+        running_var_[static_cast<std::size_t>(c)] =
+            momentum_ * running_var_[static_cast<std::size_t>(c)] +
+            (1.0f - momentum_) * var;
+      } else {
+        mean = running_mean_[static_cast<std::size_t>(c)];
+        var = running_var_[static_cast<std::size_t>(c)];
       }
-      mean = static_cast<float>(sum / count);
-      var = static_cast<float>(sq / count) - mean * mean;
-      if (var < 0.0f) var = 0.0f;
-      running_mean_[static_cast<std::size_t>(c)] =
-          momentum_ * running_mean_[static_cast<std::size_t>(c)] +
-          (1.0f - momentum_) * mean;
-      running_var_[static_cast<std::size_t>(c)] =
-          momentum_ * running_var_[static_cast<std::size_t>(c)] +
-          (1.0f - momentum_) * var;
-    } else {
-      mean = running_mean_[static_cast<std::size_t>(c)];
-      var = running_var_[static_cast<std::size_t>(c)];
+      const float inv_std = 1.0f / std::sqrt(var + eps_);
+      saved_mean_[static_cast<std::size_t>(c)] = mean;
+      saved_inv_std_[static_cast<std::size_t>(c)] = inv_std;
+      const float g = gamma.at(c), b = beta.at(c);
+      simd::dispatch([&](auto tag) {
+        using V = decltype(tag);
+        for (std::int64_t n = 0; n < N; ++n) {
+          const float* xs = x + (n * C + c) * S;
+          float* ys = y + (n * C + c) * S;
+          simd::lanes<V>(0, S, [&](auto t2, std::int64_t s) {
+            using W = decltype(t2);
+            (W::broadcast(g) * (W::loadu(xs + s) - W::broadcast(mean)) *
+                 W::broadcast(inv_std) +
+             W::broadcast(b))
+                .storeu(ys + s);
+          });
+        }
+      });
     }
-    const float inv_std = 1.0f / std::sqrt(var + eps_);
-    saved_mean_[static_cast<std::size_t>(c)] = mean;
-    saved_inv_std_[static_cast<std::size_t>(c)] = inv_std;
-    const float g = gamma.at(c), b = beta.at(c);
-    for (std::int64_t n = 0; n < N; ++n) {
-      const float* xs = x + (n * C + c) * S;
-      float* ys = y + (n * C + c) * S;
-      for (std::int64_t s = 0; s < S; ++s)
-        ys[s] = g * (xs[s] - mean) * inv_std + b;
-    }
-  }
+  });
 }
 
 void BatchNormOp::backward(const ConstTensors& grad_outputs,
@@ -89,39 +107,53 @@ void BatchNormOp::backward(const ConstTensors& grad_outputs,
   D500_CHECK_MSG(!saved_mean_.empty(),
                  "BatchNorm backward requires a prior training forward");
 
-  for (std::int64_t c = 0; c < C; ++c) {
-    const float mean = saved_mean_[static_cast<std::size_t>(c)];
-    const float inv_std = saved_inv_std_[static_cast<std::size_t>(c)];
-    const float g = gamma.at(c);
+  // Per-channel work writes only channel-owned outputs (dgamma[c],
+  // dbeta[c], the dx slab), so channels parallelize as in forward.
+  parallel_for(0, C, 1, [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t c = c0; c < c1; ++c) {
+      const float mean = saved_mean_[static_cast<std::size_t>(c)];
+      const float inv_std = saved_inv_std_[static_cast<std::size_t>(c)];
+      const float g = gamma.at(c);
 
-    // Accumulate sum(dy) and sum(dy * xhat) for this channel.
-    double sum_dy = 0.0, sum_dy_xhat = 0.0;
-    for (std::int64_t n = 0; n < N; ++n) {
-      const float* xs = x + (n * C + c) * S;
-      const float* dys = dy + (n * C + c) * S;
-      for (std::int64_t s = 0; s < S; ++s) {
-        const float xhat = (xs[s] - mean) * inv_std;
-        sum_dy += dys[s];
-        sum_dy_xhat += static_cast<double>(dys[s]) * xhat;
-      }
-    }
-    if (grad_inputs[1]) grad_inputs[1]->at(c) = static_cast<float>(sum_dy_xhat);
-    if (grad_inputs[2]) grad_inputs[2]->at(c) = static_cast<float>(sum_dy);
-    if (grad_inputs[0]) {
-      float* dxp = grad_inputs[0]->data();
-      const float mean_dy = static_cast<float>(sum_dy) / count;
-      const float mean_dy_xhat = static_cast<float>(sum_dy_xhat) / count;
+      // Accumulate sum(dy) and sum(dy * xhat) for this channel (serial
+      // double accumulators, kept for precision).
+      double sum_dy = 0.0, sum_dy_xhat = 0.0;
       for (std::int64_t n = 0; n < N; ++n) {
         const float* xs = x + (n * C + c) * S;
         const float* dys = dy + (n * C + c) * S;
-        float* dxs = dxp + (n * C + c) * S;
         for (std::int64_t s = 0; s < S; ++s) {
           const float xhat = (xs[s] - mean) * inv_std;
-          dxs[s] = g * inv_std * (dys[s] - mean_dy - xhat * mean_dy_xhat);
+          sum_dy += dys[s];
+          sum_dy_xhat += static_cast<double>(dys[s]) * xhat;
         }
       }
+      if (grad_inputs[1])
+        grad_inputs[1]->at(c) = static_cast<float>(sum_dy_xhat);
+      if (grad_inputs[2]) grad_inputs[2]->at(c) = static_cast<float>(sum_dy);
+      if (grad_inputs[0]) {
+        float* dxp = grad_inputs[0]->data();
+        const float mean_dy = static_cast<float>(sum_dy) / count;
+        const float mean_dy_xhat = static_cast<float>(sum_dy_xhat) / count;
+        simd::dispatch([&](auto tag) {
+          using V = decltype(tag);
+          for (std::int64_t n = 0; n < N; ++n) {
+            const float* xs = x + (n * C + c) * S;
+            const float* dys = dy + (n * C + c) * S;
+            float* dxs = dxp + (n * C + c) * S;
+            simd::lanes<V>(0, S, [&](auto t2, std::int64_t s) {
+              using W = decltype(t2);
+              const W xhat = (W::loadu(xs + s) - W::broadcast(mean)) *
+                             W::broadcast(inv_std);
+              (W::broadcast(g) * W::broadcast(inv_std) *
+               (W::loadu(dys + s) - W::broadcast(mean_dy) -
+                xhat * W::broadcast(mean_dy_xhat)))
+                  .storeu(dxs + s);
+            });
+          }
+        });
+      }
     }
-  }
+  });
 }
 
 std::uint64_t BatchNormOp::forward_flops(

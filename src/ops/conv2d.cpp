@@ -116,7 +116,8 @@ void conv_direct(const Tensor& X, const Tensor& Wt, const Tensor& bias,
 // that the paper's micro-batching transformation (§V-C) exploits: splitting
 // the minibatch shrinks this buffer and removes OOMs.
 void conv_im2col(const Tensor& X, const Tensor& Wt, const Tensor& bias,
-                 Tensor& Y, const Conv2DParams& p) {
+                 Tensor& Y, const Conv2DParams& p,
+                 const float* prepacked_w) {
   const std::int64_t N = X.dim(0), C = X.dim(1), H = X.dim(2), W = X.dim(3);
   const std::int64_t F = Wt.dim(0);
   const std::int64_t Ho = p.out_dim(H, p.kernel_h);
@@ -154,8 +155,10 @@ void conv_im2col(const Tensor& X, const Tensor& Wt, const Tensor& bias,
   thread_local std::vector<float> ybuf;
   if (ybuf.size() < static_cast<std::size_t>(F) * N * spatial)
     ybuf.resize(static_cast<std::size_t>(F) * N * spatial);
-  gemm(GemmBackend::kPacked, F, N * spatial, K, 1.0f, Wt.data(), col.data(),
-       0.0f, ybuf.data());
+  // Same arithmetic as gemm(kPacked, ...); the optional prepacked_w skips
+  // re-packing the filter panels when the plan executor cached them.
+  gemm_packed_ex(F, N * spatial, K, 1.0f, Wt.data(), prepacked_w, col.data(),
+                 nullptr, /*b_transposed=*/false, 0.0f, ybuf.data());
   float* y = Y.data();
   for (std::int64_t n = 0; n < N; ++n)
     for (std::int64_t f = 0; f < F; ++f) {
@@ -329,7 +332,12 @@ void Conv2DOp::forward(const ConstTensors& inputs, const MutTensors& outputs) {
   Tensor& Y = *outputs[0];
   switch (backend_) {
     case ConvBackend::kDirect: conv_direct(X, W, bias, Y, params_); break;
-    case ConvBackend::kIm2col: conv_im2col(X, W, bias, Y, params_); break;
+    case ConvBackend::kIm2col:
+      conv_im2col(X, W, bias, Y, params_,
+                  prepacked_w_ != nullptr && prepacked_src_ == W.data()
+                      ? prepacked_w_
+                      : nullptr);
+      break;
     case ConvBackend::kWinograd: conv_winograd(X, W, bias, Y, params_); break;
   }
 }

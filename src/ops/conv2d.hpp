@@ -55,6 +55,16 @@ class Conv2DOp : public CustomOperator {
   const Conv2DParams& params() const { return params_; }
   ConvBackend backend() const { return backend_; }
 
+  /// Installs pre-packed A-panels of the filter tensor (im2col backend's
+  /// GEMM treats W reshaped to [F, C*kh*kw] as the A operand). `src` is the
+  /// data pointer of the tensor the panels were packed from; the forward
+  /// uses the panels only while inputs[1].data() == src, so a swapped-out
+  /// weight tensor silently falls back to per-call packing.
+  void set_prepacked_w(const float* packed, const float* src) {
+    prepacked_w_ = packed;
+    prepacked_src_ = src;
+  }
+
   /// Bytes of scratch the backend allocates for the given input shapes;
   /// used by the micro-batching memory model (Level 1).
   std::size_t workspace_bytes(const std::vector<Shape>& inputs) const;
@@ -62,6 +72,8 @@ class Conv2DOp : public CustomOperator {
  private:
   Conv2DParams params_;
   ConvBackend backend_;
+  const float* prepacked_w_ = nullptr;
+  const float* prepacked_src_ = nullptr;
 };
 
 /// im2col lowering: writes the [C*kh*kw, Ho*Wo] column matrix for one

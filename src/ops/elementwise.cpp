@@ -1,15 +1,35 @@
 #include "ops/elementwise.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "core/simd.hpp"
 #include "core/threadpool.hpp"
 
 namespace d500 {
 
 namespace {
 // Chunk size for elementwise maps: large enough that chunk dispatch is noise,
-// small enough that mid-sized activations still spread across workers.
+// small enough that mid-sized activations still spread across workers. A
+// multiple of every vector width, so only the final chunk has a scalar tail.
 constexpr std::int64_t kEwGrain = 16384;
+
+using simd::Vec1;
+
+// Run `body(tag, i)` over [0, n) in parallel chunks, full-width lanes with a
+// Vec1 tail inside each chunk (core/simd tail rule). The chunk grid depends
+// only on n, and lanes never cross a chunk boundary, so results are
+// bit-identical at any thread count.
+template <class F>
+void ew_map(std::int64_t n, F&& body) {
+  simd::dispatch([&](auto tag) {
+    using V = decltype(tag);
+    parallel_for(0, n, kEwGrain, [&](std::int64_t lo, std::int64_t hi) {
+      simd::lanes<V>(lo, hi, body);
+    });
+  });
+}
+
 }  // namespace
 
 const char* activation_name(Activation a) {
@@ -41,21 +61,26 @@ void ActivationOp::forward(const ConstTensors& inputs,
   const float* x = inputs[0]->data();
   float* y = outputs[0]->data();
   const std::int64_t n = inputs[0]->elements();
-  parallel_for(0, n, kEwGrain, [&](std::int64_t lo, std::int64_t hi) {
-    switch (kind_) {
-      case Activation::kReLU:
-        for (std::int64_t i = lo; i < hi; ++i)
-          y[i] = x[i] > 0.0f ? x[i] : 0.0f;
-        break;
-      case Activation::kSigmoid:
-        for (std::int64_t i = lo; i < hi; ++i)
-          y[i] = 1.0f / (1.0f + std::exp(-x[i]));
-        break;
-      case Activation::kTanh:
-        for (std::int64_t i = lo; i < hi; ++i) y[i] = std::tanh(x[i]);
-        break;
-    }
-  });
+  switch (kind_) {
+    case Activation::kReLU:
+      ew_map(n, [&](auto tag, std::int64_t i) {
+        using W = decltype(tag);
+        W::max(W::loadu(x + i), W::zero()).storeu(y + i);
+      });
+      break;
+    case Activation::kSigmoid:
+      ew_map(n, [&](auto tag, std::int64_t i) {
+        using W = decltype(tag);
+        simd::vsigmoid(W::loadu(x + i)).storeu(y + i);
+      });
+      break;
+    case Activation::kTanh:
+      ew_map(n, [&](auto tag, std::int64_t i) {
+        using W = decltype(tag);
+        simd::vtanh(W::loadu(x + i)).storeu(y + i);
+      });
+      break;
+  }
 }
 
 void ActivationOp::backward(const ConstTensors& grad_outputs,
@@ -68,22 +93,29 @@ void ActivationOp::backward(const ConstTensors& grad_outputs,
   const float* y = fwd_outputs[0]->data();
   float* dx = grad_inputs[0]->data();
   const std::int64_t n = fwd_inputs[0]->elements();
-  parallel_for(0, n, kEwGrain, [&](std::int64_t lo, std::int64_t hi) {
-    switch (kind_) {
-      case Activation::kReLU:
-        for (std::int64_t i = lo; i < hi; ++i)
-          dx[i] = x[i] > 0.0f ? dy[i] : 0.0f;
-        break;
-      case Activation::kSigmoid:
-        for (std::int64_t i = lo; i < hi; ++i)
-          dx[i] = dy[i] * y[i] * (1.0f - y[i]);
-        break;
-      case Activation::kTanh:
-        for (std::int64_t i = lo; i < hi; ++i)
-          dx[i] = dy[i] * (1.0f - y[i] * y[i]);
-        break;
-    }
-  });
+  switch (kind_) {
+    case Activation::kReLU:
+      ew_map(n, [&](auto tag, std::int64_t i) {
+        using W = decltype(tag);
+        W::select_gt_zero(W::loadu(x + i), W::loadu(dy + i), W::zero())
+            .storeu(dx + i);
+      });
+      break;
+    case Activation::kSigmoid:
+      ew_map(n, [&](auto tag, std::int64_t i) {
+        using W = decltype(tag);
+        const W yv = W::loadu(y + i);
+        (W::loadu(dy + i) * yv * (W::broadcast(1.0f) - yv)).storeu(dx + i);
+      });
+      break;
+    case Activation::kTanh:
+      ew_map(n, [&](auto tag, std::int64_t i) {
+        using W = decltype(tag);
+        const W yv = W::loadu(y + i);
+        (W::loadu(dy + i) * (W::broadcast(1.0f) - yv * yv)).storeu(dx + i);
+      });
+      break;
+  }
 }
 
 std::uint64_t ActivationOp::forward_flops(
@@ -114,19 +146,26 @@ void BinaryOp::forward(const ConstTensors& inputs, const MutTensors& outputs) {
   const float* b = inputs[1]->data();
   float* c = outputs[0]->data();
   const std::int64_t n = inputs[0]->elements();
-  parallel_for(0, n, kEwGrain, [&](std::int64_t lo, std::int64_t hi) {
-    switch (kind_) {
-      case BinaryKind::kAdd:
-        for (std::int64_t i = lo; i < hi; ++i) c[i] = a[i] + b[i];
-        break;
-      case BinaryKind::kSub:
-        for (std::int64_t i = lo; i < hi; ++i) c[i] = a[i] - b[i];
-        break;
-      case BinaryKind::kMul:
-        for (std::int64_t i = lo; i < hi; ++i) c[i] = a[i] * b[i];
-        break;
-    }
-  });
+  switch (kind_) {
+    case BinaryKind::kAdd:
+      ew_map(n, [&](auto tag, std::int64_t i) {
+        using W = decltype(tag);
+        (W::loadu(a + i) + W::loadu(b + i)).storeu(c + i);
+      });
+      break;
+    case BinaryKind::kSub:
+      ew_map(n, [&](auto tag, std::int64_t i) {
+        using W = decltype(tag);
+        (W::loadu(a + i) - W::loadu(b + i)).storeu(c + i);
+      });
+      break;
+    case BinaryKind::kMul:
+      ew_map(n, [&](auto tag, std::int64_t i) {
+        using W = decltype(tag);
+        (W::loadu(a + i) * W::loadu(b + i)).storeu(c + i);
+      });
+      break;
+  }
 }
 
 void BinaryOp::backward(const ConstTensors& grad_outputs,
@@ -140,7 +179,7 @@ void BinaryOp::backward(const ConstTensors& grad_outputs,
         if (grad_inputs[k]) {
           float* d = grad_inputs[k]->data();
           parallel_for(0, n, kEwGrain, [&](std::int64_t lo, std::int64_t hi) {
-            for (std::int64_t i = lo; i < hi; ++i) d[i] = dc[i];
+            std::copy(dc + lo, dc + hi, d + lo);
           });
         }
       break;
@@ -148,13 +187,14 @@ void BinaryOp::backward(const ConstTensors& grad_outputs,
       if (grad_inputs[0]) {
         float* d = grad_inputs[0]->data();
         parallel_for(0, n, kEwGrain, [&](std::int64_t lo, std::int64_t hi) {
-          for (std::int64_t i = lo; i < hi; ++i) d[i] = dc[i];
+          std::copy(dc + lo, dc + hi, d + lo);
         });
       }
       if (grad_inputs[1]) {
         float* d = grad_inputs[1]->data();
-        parallel_for(0, n, kEwGrain, [&](std::int64_t lo, std::int64_t hi) {
-          for (std::int64_t i = lo; i < hi; ++i) d[i] = -dc[i];
+        ew_map(n, [&](auto tag, std::int64_t i) {
+          using W = decltype(tag);
+          (W::zero() - W::loadu(dc + i)).storeu(d + i);
         });
       }
       break;
@@ -162,15 +202,17 @@ void BinaryOp::backward(const ConstTensors& grad_outputs,
       if (grad_inputs[0]) {
         const float* b = fwd_inputs[1]->data();
         float* d = grad_inputs[0]->data();
-        parallel_for(0, n, kEwGrain, [&](std::int64_t lo, std::int64_t hi) {
-          for (std::int64_t i = lo; i < hi; ++i) d[i] = dc[i] * b[i];
+        ew_map(n, [&](auto tag, std::int64_t i) {
+          using W = decltype(tag);
+          (W::loadu(dc + i) * W::loadu(b + i)).storeu(d + i);
         });
       }
       if (grad_inputs[1]) {
         const float* a = fwd_inputs[0]->data();
         float* d = grad_inputs[1]->data();
-        parallel_for(0, n, kEwGrain, [&](std::int64_t lo, std::int64_t hi) {
-          for (std::int64_t i = lo; i < hi; ++i) d[i] = dc[i] * a[i];
+        ew_map(n, [&](auto tag, std::int64_t i) {
+          using W = decltype(tag);
+          (W::loadu(dc + i) * W::loadu(a + i)).storeu(d + i);
         });
       }
       break;
@@ -198,13 +240,19 @@ void BiasAddOp::forward(const ConstTensors& inputs, const MutTensors& outputs) {
   const std::int64_t N = X.dim(0), C = X.dim(1), S = X.dim(2) * X.dim(3);
   const float* x = X.data();
   float* y = Y.data();
-  parallel_for(0, N * C, 1, [&](std::int64_t lo, std::int64_t hi) {
-    for (std::int64_t nc = lo; nc < hi; ++nc) {
-      const float b = bias.at(nc % C);
-      const float* xs = x + nc * S;
-      float* ys = y + nc * S;
-      for (std::int64_t s = 0; s < S; ++s) ys[s] = xs[s] + b;
-    }
+  simd::dispatch([&](auto tag) {
+    using V = decltype(tag);
+    parallel_for(0, N * C, 1, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t nc = lo; nc < hi; ++nc) {
+        const float b = bias.at(nc % C);
+        const float* xs = x + nc * S;
+        float* ys = y + nc * S;
+        simd::lanes<V>(0, S, [&](auto t2, std::int64_t s) {
+          using W = decltype(t2);
+          (W::loadu(xs + s) + W::broadcast(b)).storeu(ys + s);
+        });
+      }
+    });
   });
 }
 
@@ -223,13 +271,22 @@ void BiasAddOp::backward(const ConstTensors& grad_outputs, const ConstTensors& f
   if (grad_inputs[1]) {
     Tensor& db = *grad_inputs[1];
     db.fill(0.0f);
-    for (std::int64_t n = 0; n < N; ++n)
-      for (std::int64_t c = 0; c < C; ++c) {
-        const float* dys = dy + (n * C + c) * S;
-        float acc = 0.0f;
-        for (std::int64_t s = 0; s < S; ++s) acc += dys[s];
-        db.at(c) += acc;
-      }
+    simd::dispatch([&](auto tag) {
+      using V = decltype(tag);
+      for (std::int64_t n = 0; n < N; ++n)
+        for (std::int64_t c = 0; c < C; ++c) {
+          const float* dys = dy + (n * C + c) * S;
+          // Per-lane partial sums over the spatial extent, combined with
+          // hsum; the lane split is a pure function of S.
+          V acc = V::zero();
+          std::int64_t s = 0;
+          for (; s + V::width <= S; s += V::width)
+            acc = acc + V::loadu(dys + s);
+          float a = acc.hsum();
+          for (; s < S; ++s) a += dys[s];
+          db.at(c) += a;
+        }
+    });
   }
 }
 
@@ -251,16 +308,19 @@ void FusedBiasReluOp::forward(const ConstTensors& inputs,
   const std::int64_t N = X.dim(0), C = X.dim(1), S = X.dim(2) * X.dim(3);
   const float* x = X.data();
   float* y = Y.data();
-  parallel_for(0, N * C, 1, [&](std::int64_t lo, std::int64_t hi) {
-    for (std::int64_t nc = lo; nc < hi; ++nc) {
-      const float b = bias.at(nc % C);
-      const float* xs = x + nc * S;
-      float* ys = y + nc * S;
-      for (std::int64_t s = 0; s < S; ++s) {
-        const float v = xs[s] + b;
-        ys[s] = v > 0.0f ? v : 0.0f;
+  simd::dispatch([&](auto tag) {
+    using V = decltype(tag);
+    parallel_for(0, N * C, 1, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t nc = lo; nc < hi; ++nc) {
+        const float b = bias.at(nc % C);
+        const float* xs = x + nc * S;
+        float* ys = y + nc * S;
+        simd::lanes<V>(0, S, [&](auto t2, std::int64_t s) {
+          using W = decltype(t2);
+          W::max(W::loadu(xs + s) + W::broadcast(b), W::zero()).storeu(ys + s);
+        });
       }
-    }
+    });
   });
 }
 
@@ -275,24 +335,33 @@ void FusedBiasReluOp::backward(const ConstTensors& grad_outputs,
   const float* y = Y.data();
   if (grad_inputs[0]) {
     float* dx = grad_inputs[0]->data();
-    parallel_for(0, dY.elements(), kEwGrain,
-                 [&](std::int64_t lo, std::int64_t hi) {
-                   for (std::int64_t i = lo; i < hi; ++i)
-                     dx[i] = y[i] > 0.0f ? dy[i] : 0.0f;
-                 });
+    ew_map(dY.elements(), [&](auto tag, std::int64_t i) {
+      using W = decltype(tag);
+      W::select_gt_zero(W::loadu(y + i), W::loadu(dy + i), W::zero())
+          .storeu(dx + i);
+    });
   }
   if (grad_inputs[1]) {
     Tensor& db = *grad_inputs[1];
     db.fill(0.0f);
-    for (std::int64_t n = 0; n < N; ++n)
-      for (std::int64_t c = 0; c < C; ++c) {
-        const float* dys = dy + (n * C + c) * S;
-        const float* ys = y + (n * C + c) * S;
-        float acc = 0.0f;
-        for (std::int64_t s = 0; s < S; ++s)
-          if (ys[s] > 0.0f) acc += dys[s];
-        db.at(c) += acc;
-      }
+    simd::dispatch([&](auto tag) {
+      using V = decltype(tag);
+      for (std::int64_t n = 0; n < N; ++n)
+        for (std::int64_t c = 0; c < C; ++c) {
+          const float* dys = dy + (n * C + c) * S;
+          const float* ys = y + (n * C + c) * S;
+          V acc = V::zero();
+          std::int64_t s = 0;
+          for (; s + V::width <= S; s += V::width)
+            acc = acc +
+                  V::select_gt_zero(V::loadu(ys + s), V::loadu(dys + s),
+                                    V::zero());
+          float a = acc.hsum();
+          for (; s < S; ++s)
+            if (ys[s] > 0.0f) a += dys[s];
+          db.at(c) += a;
+        }
+    });
   }
 }
 

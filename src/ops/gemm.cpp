@@ -1,9 +1,12 @@
 #include "ops/gemm.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <vector>
 
+#include "core/env.hpp"
+#include "core/simd.hpp"
 #include "core/threadpool.hpp"
 
 namespace d500 {
@@ -17,7 +20,26 @@ const char* gemm_backend_name(GemmBackend b) {
   return "?";
 }
 
+GemmBackend default_gemm_backend() {
+  static const GemmBackend b = [] {
+    const std::string s = gemm_backend_setting();
+    if (s == "naive") return GemmBackend::kNaive;
+    if (s == "blocked") return GemmBackend::kBlocked;
+    return GemmBackend::kPacked;
+  }();
+  return b;
+}
+
 namespace {
+
+using simd::Vec1;
+using simd::VecN;
+
+// Microkernel geometry: 6 C rows x 2 native vectors of columns. Build
+// constants (not dispatch-dependent) so packed panel layouts are stable —
+// see the header comment.
+constexpr std::int64_t kMR = 6;
+constexpr std::int64_t kNR = 2 * simd::kNativeWidth;
 
 void gemm_naive(std::int64_t M, std::int64_t N, std::int64_t K, float alpha,
                 const float* A, const float* B, float beta, float* C) {
@@ -30,13 +52,38 @@ void gemm_naive(std::int64_t M, std::int64_t N, std::int64_t K, float alpha,
   }
 }
 
-void gemm_blocked(std::int64_t M, std::int64_t N, std::int64_t K, float alpha,
-                  float const* A, const float* B, float beta, float* C) {
+// y[0..n) += a * x[0..n), fused per element; tail follows the uniform
+// full-width-then-Vec1 rule from core/simd.
+template <class V>
+inline void axpy_span(std::int64_t n, float a, const float* x, float* y) {
+  simd::lanes<V>(0, n, [&](auto tag, std::int64_t i) {
+    using W = decltype(tag);
+    W::fma(W::broadcast(a), W::loadu(x + i), W::loadu(y + i)).storeu(y + i);
+  });
+}
+
+// sum(x[0..n) * y[0..n)): one vector accumulator over full-width lanes,
+// horizontal sum, then a scalar fma tail — deterministic per dispatch mode.
+template <class V>
+inline float dot_span(std::int64_t n, const float* x, const float* y) {
+  V acc = V::zero();
+  std::int64_t i = 0;
+  for (; i + V::width <= n; i += V::width)
+    acc = V::fma(V::loadu(x + i), V::loadu(y + i), acc);
+  float s = acc.hsum();
+  for (; i < n; ++i) s = std::fma(x[i], y[i], s);
+  return s;
+}
+
+template <class V>
+void gemm_blocked_impl(std::int64_t M, std::int64_t N, std::int64_t K,
+                       float alpha, const float* A, const float* B, float beta,
+                       float* C) {
   // Row blocks of C are independent, so they run as parallel_for chunks on
   // the shared pool (one chunk = one MB-row block, a pure function of M).
   // Within a block: scale/zero the C rows, then accumulate with ikj
-  // ordering inside cache blocks; the j loop is contiguous in both B and C
-  // and auto-vectorizes.
+  // ordering inside cache blocks; the j loop is a contiguous SIMD axpy
+  // over both B and C.
   constexpr std::int64_t MB = 64, NB = 256, KB = 64;
   parallel_for(0, (M + MB - 1) / MB, 1, [&](std::int64_t b0, std::int64_t b1) {
     for (std::int64_t blk = b0; blk < b1; ++blk) {
@@ -56,8 +103,7 @@ void gemm_blocked(std::int64_t M, std::int64_t N, std::int64_t K, float alpha,
             float* Ci = C + i * N;
             for (std::int64_t k = k0; k < k1; ++k) {
               const float a = alpha * A[i * K + k];
-              const float* Bk = B + k * N;
-              for (std::int64_t j = j0; j < j1; ++j) Ci[j] += a * Bk[j];
+              axpy_span<V>(j1 - j0, a, B + k * N + j0, Ci + j0);
             }
           }
         }
@@ -66,86 +112,225 @@ void gemm_blocked(std::int64_t M, std::int64_t N, std::int64_t K, float alpha,
   });
 }
 
-// Packed backend: packs B into K-major panels of width NR and runs a 4xNR
-// register-tiled microkernel. Packing and row blocks are parallel_for
-// chunks on the shared pool; the old per-panel OpenMP fork is hoisted into
-// exactly two parallel regions per call.
-constexpr std::int64_t kNR = 16;
+// --- kPacked: panel packing + 6 x kNR microkernel --------------------------
 
-void pack_b_panel(std::int64_t K, std::int64_t N, const float* B,
-                  std::int64_t j0, std::int64_t jw, float* packed) {
-  // packed[k*kNR + jj] = B[k*N + j0+jj], zero-padded to kNR columns.
+void pack_a_panel(std::int64_t i0, std::int64_t rows, std::int64_t K,
+                  const float* A, std::int64_t lda, float* dst) {
+  // dst[k*kMR + r] = A[(i0+r)*lda + k], rows zero-padded to kMR so the
+  // microkernel can unroll all kMR rows unconditionally.
   for (std::int64_t k = 0; k < K; ++k) {
-    const float* src = B + k * N + j0;
-    float* dst = packed + k * kNR;
-    std::int64_t jj = 0;
-    for (; jj < jw; ++jj) dst[jj] = src[jj];
-    for (; jj < kNR; ++jj) dst[jj] = 0.0f;
+    float* d = dst + k * kMR;
+    std::int64_t r = 0;
+    for (; r < rows; ++r) d[r] = A[(i0 + r) * lda + k];
+    for (; r < kMR; ++r) d[r] = 0.0f;
   }
 }
 
-void micro_4xNR(std::int64_t K, const float* A, std::int64_t lda,
-                const float* packedB, float* C, std::int64_t ldc,
-                std::int64_t rows, std::int64_t cols, float alpha) {
-  float acc[4][kNR];
-  for (int r = 0; r < 4; ++r)
-    for (std::int64_t j = 0; j < kNR; ++j) acc[r][j] = 0.0f;
+void pack_b_panel(std::int64_t j0, std::int64_t cols, std::int64_t K,
+                  const float* B, std::int64_t ldb, float* dst) {
+  // dst[k*kNR + jj] = B[k*ldb + j0+jj], columns zero-padded to kNR.
+  for (std::int64_t k = 0; k < K; ++k) {
+    const float* src = B + k * ldb + j0;
+    float* d = dst + k * kNR;
+    std::int64_t jj = 0;
+    for (; jj < cols; ++jj) d[jj] = src[jj];
+    for (; jj < kNR; ++jj) d[jj] = 0.0f;
+  }
+}
+
+void pack_bt_panel(std::int64_t j0, std::int64_t cols, std::int64_t K,
+                   const float* Bt, std::int64_t ldbt, float* dst) {
+  // Same destination layout as pack_b_panel, sourced from Bt (N x K): the
+  // logical B is Bt^T, so dst[k*kNR + jj] = Bt[(j0+jj)*ldbt + k].
+  for (std::int64_t jj = 0; jj < cols; ++jj) {
+    const float* src = Bt + (j0 + jj) * ldbt;
+    for (std::int64_t k = 0; k < K; ++k) dst[k * kNR + jj] = src[k];
+  }
+  for (std::int64_t jj = cols; jj < kNR; ++jj)
+    for (std::int64_t k = 0; k < K; ++k) dst[k * kNR + jj] = 0.0f;
+}
+
+// Full unroll of the register-tile loops: trip counts are compile-time
+// constants, and without the pragma gcc -O2 leaves the accumulator tile in
+// a stack array — every k iteration then runs through store-forwarding
+// instead of registers, costing ~3x on the packed GEMM.
+#if defined(__clang__)
+#define D500_UNROLL _Pragma("unroll")
+#elif defined(__GNUC__)
+#define D500_UNROLL _Pragma("GCC unroll 16")
+#else
+#define D500_UNROLL
+#endif
+
+// C(rows x cols) += alpha * Ap x Bp for one (m-panel, n-panel) pair.
+// Ap: kMR-interleaved, zero-padded; Bp: kNR-column panel, zero-padded.
+// All accumulation is per output element in ascending k with one fma per
+// step, and writeback is one fma per element in both the full-width and
+// the spill path — so results are identical for every instantiation V.
+template <class V>
+void micro_kernel(std::int64_t K, const float* Ap, const float* Bp,
+                  float alpha, float* C, std::int64_t ldc, std::int64_t rows,
+                  std::int64_t cols) {
+  constexpr int NV = static_cast<int>(kNR / V::width);
+  V acc[kMR][NV];
+  D500_UNROLL
+  for (int r = 0; r < kMR; ++r)
+    D500_UNROLL
+    for (int v = 0; v < NV; ++v) acc[r][v] = V::zero();
 
   for (std::int64_t k = 0; k < K; ++k) {
-    const float* b = packedB + k * kNR;
-    for (std::int64_t r = 0; r < rows; ++r) {
-      const float a = A[r * lda + k];
-      for (std::int64_t j = 0; j < kNR; ++j) acc[r][j] += a * b[j];
+    const float* b = Bp + k * kNR;
+    V bv[NV];
+    D500_UNROLL
+    for (int v = 0; v < NV; ++v) bv[v] = V::loadu(b + v * V::width);
+    const float* a = Ap + k * kMR;
+    D500_UNROLL
+    for (int r = 0; r < kMR; ++r) {
+      const V av = V::broadcast(a[r]);
+      D500_UNROLL
+      for (int v = 0; v < NV; ++v) acc[r][v] = V::fma(av, bv[v], acc[r][v]);
     }
   }
-  for (std::int64_t r = 0; r < rows; ++r)
-    for (std::int64_t j = 0; j < cols; ++j)
-      C[r * ldc + j] += alpha * acc[r][j];
+
+  if (cols == kNR) {
+    const V alpha_v = V::broadcast(alpha);
+    for (std::int64_t r = 0; r < rows; ++r) {
+      float* c = C + r * ldc;
+      for (int v = 0; v < NV; ++v) {
+        const V cv = V::loadu(c + v * V::width);
+        V::fma(alpha_v, acc[r][v], cv).storeu(c + v * V::width);
+      }
+    }
+  } else {
+    alignas(64) float buf[kNR];
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (int v = 0; v < NV; ++v)
+        acc[r][v].storeu(buf + v * V::width);
+      float* c = C + r * ldc;
+      for (std::int64_t j = 0; j < cols; ++j)
+        c[j] = std::fma(alpha, buf[j], c[j]);
+    }
+  }
 }
 
-void gemm_packed(std::int64_t M, std::int64_t N, std::int64_t K, float alpha,
-                 const float* A, const float* B, float beta, float* C) {
-  const std::int64_t npanels = (N + kNR - 1) / kNR;
-  // Phase 1: pack all panels of B (disjoint destinations per panel). The
-  // pack buffer is a grow-only per-thread workspace (every panel is fully
-  // rewritten below), so steady-state calls do not touch the heap.
-  thread_local std::vector<float> packed;
-  if (packed.size() < static_cast<std::size_t>(K) * npanels * kNR)
-    packed.resize(static_cast<std::size_t>(K) * npanels * kNR);
-  // The lambdas must see the CALLER's buffer: a thread_local named inside
-  // a lambda body resolves to the executing worker's own (empty) instance,
-  // so hand workers a plain pointer instead.
-  float* const packed_buf = packed.data();
-  parallel_for(0, npanels, 1, [&](std::int64_t p0, std::int64_t p1) {
+using MicroKernelFn = void (*)(std::int64_t, const float*, const float*, float,
+                               float*, std::int64_t, std::int64_t,
+                               std::int64_t);
+
+MicroKernelFn pick_micro_kernel() {
+  return simd::dispatch_simd() ? &micro_kernel<VecN> : &micro_kernel<Vec1>;
+}
+
+}  // namespace
+
+std::int64_t gemm_packed_a_elems(std::int64_t M, std::int64_t K) {
+  return (M + kMR - 1) / kMR * kMR * K;
+}
+
+std::int64_t gemm_packed_b_elems(std::int64_t K, std::int64_t N) {
+  return (N + kNR - 1) / kNR * kNR * K;
+}
+
+void gemm_pack_a(std::int64_t M, std::int64_t K, const float* A,
+                 float* packed) {
+  const std::int64_t mp = (M + kMR - 1) / kMR;
+  parallel_for(0, mp, 4, [&](std::int64_t p0, std::int64_t p1) {
     for (std::int64_t p = p0; p < p1; ++p) {
-      const std::int64_t j0 = p * kNR;
-      const std::int64_t jw = std::min<std::int64_t>(kNR, N - j0);
-      pack_b_panel(K, N, B, j0, jw, packed_buf + p * K * kNR);
+      const std::int64_t i0 = p * kMR;
+      pack_a_panel(i0, std::min(kMR, M - i0), K, A, K, packed + p * K * kMR);
     }
   });
-  // Phase 2: 4-row blocks of C sweep every panel; each block owns its C
-  // rows end to end (scaling included), so blocks are independent.
-  parallel_for(0, (M + 3) / 4, 8, [&](std::int64_t b0, std::int64_t b1) {
+}
+
+void gemm_pack_b(std::int64_t K, std::int64_t N, const float* B,
+                 float* packed) {
+  const std::int64_t np = (N + kNR - 1) / kNR;
+  parallel_for(0, np, 4, [&](std::int64_t p0, std::int64_t p1) {
+    for (std::int64_t p = p0; p < p1; ++p) {
+      const std::int64_t j0 = p * kNR;
+      pack_b_panel(j0, std::min(kNR, N - j0), K, B, N, packed + p * K * kNR);
+    }
+  });
+}
+
+void gemm_pack_bt(std::int64_t N, std::int64_t K, const float* Bt,
+                  float* packed) {
+  const std::int64_t np = (N + kNR - 1) / kNR;
+  parallel_for(0, np, 4, [&](std::int64_t p0, std::int64_t p1) {
+    for (std::int64_t p = p0; p < p1; ++p) {
+      const std::int64_t j0 = p * kNR;
+      pack_bt_panel(j0, std::min(kNR, N - j0), K, Bt, K, packed + p * K * kNR);
+    }
+  });
+}
+
+void gemm_packed_ex(std::int64_t M, std::int64_t N, std::int64_t K,
+                    float alpha, const float* A, const float* packedA,
+                    const float* B, const float* packedB, bool b_transposed,
+                    float beta, float* C) {
+  const std::int64_t mp = (M + kMR - 1) / kMR;
+  const std::int64_t np = (N + kNR - 1) / kNR;
+
+  // Pack whichever operands arrived unpacked into grow-only per-thread
+  // workspaces (steady-state calls never touch the heap). The lambdas must
+  // see the CALLER's buffer: a thread_local named inside a lambda body
+  // resolves to the executing worker's own (empty) instance, so hand
+  // workers plain pointers instead. A and B panels pack in ONE parallel
+  // region: indices below `mp` are A panels, the rest B panels.
+  thread_local std::vector<float> ws_a, ws_b;
+  const std::int64_t need_a = packedA == nullptr ? mp : 0;
+  const std::int64_t need_b = packedB == nullptr ? np : 0;
+  if (need_a && ws_a.size() < static_cast<std::size_t>(mp * K * kMR))
+    ws_a.resize(static_cast<std::size_t>(mp * K * kMR));
+  if (need_b && ws_b.size() < static_cast<std::size_t>(np * K * kNR))
+    ws_b.resize(static_cast<std::size_t>(np * K * kNR));
+  float* const pa_buf = need_a ? ws_a.data() : nullptr;
+  float* const pb_buf = need_b ? ws_b.data() : nullptr;
+  if (need_a + need_b > 0) {
+    parallel_for(0, need_a + need_b, 4,
+                 [&, pa_buf, pb_buf](std::int64_t p0, std::int64_t p1) {
+      for (std::int64_t p = p0; p < p1; ++p) {
+        if (p < need_a) {
+          const std::int64_t i0 = p * kMR;
+          pack_a_panel(i0, std::min(kMR, M - i0), K, A, K,
+                       pa_buf + p * K * kMR);
+        } else {
+          const std::int64_t q = p - need_a;
+          const std::int64_t j0 = q * kNR;
+          const std::int64_t cols = std::min(kNR, N - j0);
+          if (b_transposed)
+            pack_bt_panel(j0, cols, K, B, K, pb_buf + q * K * kNR);
+          else
+            pack_b_panel(j0, cols, K, B, N, pb_buf + q * K * kNR);
+        }
+      }
+    });
+  }
+  const float* const pa = packedA != nullptr ? packedA : pa_buf;
+  const float* const pb = packedB != nullptr ? packedB : pb_buf;
+
+  // Compute: kMR-row blocks of C sweep every B panel; each block owns its
+  // C rows end to end (beta scaling included), so blocks are independent
+  // and the decomposition depends only on M.
+  const MicroKernelFn micro = pick_micro_kernel();
+  parallel_for(0, mp, 2, [&, pa, pb, micro](std::int64_t b0, std::int64_t b1) {
     for (std::int64_t blk = b0; blk < b1; ++blk) {
-      const std::int64_t i0 = blk * 4;
-      const std::int64_t rows = std::min<std::int64_t>(4, M - i0);
+      const std::int64_t i0 = blk * kMR;
+      const std::int64_t rows = std::min(kMR, M - i0);
       if (beta == 0.0f) {
         std::memset(C + i0 * N, 0,
                     static_cast<std::size_t>(rows) * N * sizeof(float));
       } else if (beta != 1.0f) {
         for (std::int64_t i = i0 * N; i < (i0 + rows) * N; ++i) C[i] *= beta;
       }
-      for (std::int64_t p = 0; p < npanels; ++p) {
+      for (std::int64_t p = 0; p < np; ++p) {
         const std::int64_t j0 = p * kNR;
-        const std::int64_t jw = std::min<std::int64_t>(kNR, N - j0);
-        micro_4xNR(K, A + i0 * K, K, packed_buf + p * K * kNR,
-                   C + i0 * N + j0, N, rows, jw, alpha);
+        micro(K, pa + blk * K * kMR, pb + p * K * kNR, alpha, C + i0 * N + j0,
+              N, rows, std::min(kNR, N - j0));
       }
     }
   });
 }
-
-}  // namespace
 
 void gemm(GemmBackend backend, std::int64_t M, std::int64_t N, std::int64_t K,
           float alpha, const float* A, const float* B, float beta, float* C) {
@@ -159,11 +344,75 @@ void gemm(GemmBackend backend, std::int64_t M, std::int64_t N, std::int64_t K,
     return;
   }
   switch (backend) {
-    case GemmBackend::kNaive: gemm_naive(M, N, K, alpha, A, B, beta, C); break;
-    case GemmBackend::kBlocked: gemm_blocked(M, N, K, alpha, A, B, beta, C); break;
-    case GemmBackend::kPacked: gemm_packed(M, N, K, alpha, A, B, beta, C); break;
+    case GemmBackend::kNaive:
+      gemm_naive(M, N, K, alpha, A, B, beta, C);
+      break;
+    case GemmBackend::kBlocked:
+      if (simd::dispatch_simd())
+        gemm_blocked_impl<VecN>(M, N, K, alpha, A, B, beta, C);
+      else
+        gemm_blocked_impl<Vec1>(M, N, K, alpha, A, B, beta, C);
+      break;
+    case GemmBackend::kPacked:
+      gemm_packed_ex(M, N, K, alpha, A, nullptr, B, nullptr, false, beta, C);
+      break;
   }
 }
+
+namespace {
+
+template <class V>
+void gemm_at_b_impl(std::int64_t M, std::int64_t N, std::int64_t K,
+                    const float* A, const float* B, float* C) {
+  // Row blocks of C are independent parallel_for chunks; inside a block, k
+  // is tiled so the touched B panel stays in cache while the contiguous j
+  // loop runs as a SIMD axpy. Accumulation over k stays in ascending order
+  // per row, so the result is thread-count independent.
+  constexpr std::int64_t MB = 64, KB = 64;
+  parallel_for(0, (M + MB - 1) / MB, 1, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t blk = b0; blk < b1; ++blk) {
+      const std::int64_t i0 = blk * MB;
+      const std::int64_t i1 = std::min(i0 + MB, M);
+      for (std::int64_t k0 = 0; k0 < K; k0 += KB) {
+        const std::int64_t k1 = std::min(k0 + KB, K);
+        for (std::int64_t i = i0; i < i1; ++i) {
+          float* Ci = C + i * N;
+          for (std::int64_t k = k0; k < k1; ++k) {
+            const float a = A[k * M + i];
+            if (a == 0.0f) continue;
+            axpy_span<V>(N, a, B + k * N, Ci);
+          }
+        }
+      }
+    }
+  });
+}
+
+template <class V>
+void gemm_a_bt_impl(std::int64_t M, std::int64_t N, std::int64_t K,
+                    const float* A, const float* B, float* C) {
+  // i/j tiling reuses a block of B rows across the A rows of the tile;
+  // each (i,j) entry is one SIMD dot product over the full K, and C row
+  // blocks are independent parallel_for chunks.
+  constexpr std::int64_t MB = 32, NB = 64;
+  parallel_for(0, (M + MB - 1) / MB, 1, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t blk = b0; blk < b1; ++blk) {
+      const std::int64_t i0 = blk * MB;
+      const std::int64_t i1 = std::min(i0 + MB, M);
+      for (std::int64_t j0 = 0; j0 < N; j0 += NB) {
+        const std::int64_t j1 = std::min(j0 + NB, N);
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const float* Ai = A + i * K;
+          float* Ci = C + i * N;
+          for (std::int64_t j = j0; j < j1; ++j)
+            Ci[j] += dot_span<V>(K, Ai, B + j * K);
+        }
+      }
+    }
+  });
+}
+
+}  // namespace
 
 void gemm_at_b(GemmBackend backend, std::int64_t M, std::int64_t N,
                std::int64_t K, const float* A, const float* B, float* C) {
@@ -182,29 +431,10 @@ void gemm_at_b(GemmBackend backend, std::int64_t M, std::int64_t N,
     }
     return;
   }
-  // Blocked/packed: row blocks of C are independent parallel_for chunks;
-  // inside a block, k is tiled so the touched B panel stays in cache while
-  // the contiguous j loop vectorizes. Accumulation over k stays in
-  // ascending order per row, so the result is thread-count independent.
-  constexpr std::int64_t MB = 64, KB = 64;
-  parallel_for(0, (M + MB - 1) / MB, 1, [&](std::int64_t b0, std::int64_t b1) {
-    for (std::int64_t blk = b0; blk < b1; ++blk) {
-      const std::int64_t i0 = blk * MB;
-      const std::int64_t i1 = std::min(i0 + MB, M);
-      for (std::int64_t k0 = 0; k0 < K; k0 += KB) {
-        const std::int64_t k1 = std::min(k0 + KB, K);
-        for (std::int64_t i = i0; i < i1; ++i) {
-          float* Ci = C + i * N;
-          for (std::int64_t k = k0; k < k1; ++k) {
-            const float a = A[k * M + i];
-            if (a == 0.0f) continue;
-            const float* Bk = B + k * N;
-            for (std::int64_t j = 0; j < N; ++j) Ci[j] += a * Bk[j];
-          }
-        }
-      }
-    }
-  });
+  if (simd::dispatch_simd())
+    gemm_at_b_impl<VecN>(M, N, K, A, B, C);
+  else
+    gemm_at_b_impl<Vec1>(M, N, K, A, B, C);
 }
 
 void gemm_a_bt(GemmBackend backend, std::int64_t M, std::int64_t N,
@@ -224,30 +454,10 @@ void gemm_a_bt(GemmBackend backend, std::int64_t M, std::int64_t N,
     }
     return;
   }
-  // Blocked/packed: i/j tiling reuses a block of B rows across the A rows
-  // of the tile; each (i,j) dot product runs over the full K contiguously
-  // (identical accumulation order to the naive loop), and C row blocks are
-  // independent parallel_for chunks.
-  constexpr std::int64_t MB = 32, NB = 64;
-  parallel_for(0, (M + MB - 1) / MB, 1, [&](std::int64_t b0, std::int64_t b1) {
-    for (std::int64_t blk = b0; blk < b1; ++blk) {
-      const std::int64_t i0 = blk * MB;
-      const std::int64_t i1 = std::min(i0 + MB, M);
-      for (std::int64_t j0 = 0; j0 < N; j0 += NB) {
-        const std::int64_t j1 = std::min(j0 + NB, N);
-        for (std::int64_t i = i0; i < i1; ++i) {
-          const float* Ai = A + i * K;
-          float* Ci = C + i * N;
-          for (std::int64_t j = j0; j < j1; ++j) {
-            const float* Bj = B + j * K;
-            float acc = 0.0f;
-            for (std::int64_t k = 0; k < K; ++k) acc += Ai[k] * Bj[k];
-            Ci[j] += acc;
-          }
-        }
-      }
-    }
-  });
+  if (simd::dispatch_simd())
+    gemm_a_bt_impl<VecN>(M, N, K, A, B, C);
+  else
+    gemm_a_bt_impl<Vec1>(M, N, K, A, B, C);
 }
 
 std::vector<Shape> MatMulOp::output_shapes(
@@ -265,8 +475,16 @@ void MatMulOp::forward(const ConstTensors& inputs, const MutTensors& outputs) {
   const Tensor& A = *inputs[0];
   const Tensor& B = *inputs[1];
   Tensor& C = *outputs[0];
-  gemm(backend_, A.dim(0), B.dim(1), A.dim(1), 1.0f, A.data(), B.data(), 0.0f,
-       C.data());
+  const std::int64_t M = A.dim(0), K = A.dim(1), N = B.dim(1);
+  const bool use_prepacked = backend_ == GemmBackend::kPacked &&
+                             prepacked_b_ != nullptr &&
+                             prepacked_src_ == B.data();
+  if (use_prepacked) {
+    gemm_packed_ex(M, N, K, 1.0f, A.data(), nullptr, B.data(), prepacked_b_,
+                   false, 0.0f, C.data());
+  } else {
+    gemm(backend_, M, N, K, 1.0f, A.data(), B.data(), 0.0f, C.data());
+  }
 }
 
 void MatMulOp::backward(const ConstTensors& grad_outputs,
@@ -309,13 +527,34 @@ void LinearOp::forward(const ConstTensors& inputs, const MutTensors& outputs) {
   const Tensor& bias = *inputs[2];
   Tensor& Y = *outputs[0];
   const std::int64_t B = X.dim(0), in = X.dim(1), out = W.dim(0);
-  // Y = X x W^T
-  Y.fill(0.0f);
-  gemm_a_bt(backend_, B, out, in, X.data(), W.data(), Y.data());
-  for (std::int64_t i = 0; i < B; ++i) {
-    float* y = Y.data() + i * out;
-    for (std::int64_t j = 0; j < out; ++j) y[j] += bias.at(j);
+  // Y = X x W^T + bias.
+  if (backend_ == GemmBackend::kPacked) {
+    // Packed path: W^T panels either come from the PlanExecutor prepack
+    // cache or are packed per call — identical arithmetic either way.
+    const float* pb =
+        prepacked_w_ != nullptr && prepacked_src_ == W.data() ? prepacked_w_
+                                                              : nullptr;
+    gemm_packed_ex(B, out, in, 1.0f, X.data(), nullptr, W.data(), pb,
+                   /*b_transposed=*/true, 0.0f, Y.data());
+  } else {
+    Y.fill(0.0f);
+    gemm_a_bt(backend_, B, out, in, X.data(), W.data(), Y.data());
   }
+  const float* bias_p = bias.data();
+  const auto add_bias = [&](auto tag) {
+    using V = decltype(tag);
+    for (std::int64_t i = 0; i < B; ++i) {
+      float* y = Y.data() + i * out;
+      simd::lanes<V>(0, out, [&](auto t2, std::int64_t j) {
+        using W2 = decltype(t2);
+        (W2::loadu(y + j) + W2::loadu(bias_p + j)).storeu(y + j);
+      });
+    }
+  };
+  if (simd::dispatch_simd())
+    add_bias(VecN::zero());
+  else
+    add_bias(Vec1::zero());
 }
 
 void LinearOp::backward(const ConstTensors& grad_outputs,
@@ -337,10 +576,21 @@ void LinearOp::backward(const ConstTensors& grad_outputs,
   if (grad_inputs[2]) {  // dbias = column sum of dY
     Tensor& db = *grad_inputs[2];
     db.fill(0.0f);
-    for (std::int64_t i = 0; i < B; ++i) {
-      const float* dy = dY.data() + i * out;
-      for (std::int64_t j = 0; j < out; ++j) db.at(j) += dy[j];
-    }
+    float* dbp = db.data();
+    const auto col_sum = [&](auto tag) {
+      using V = decltype(tag);
+      for (std::int64_t i = 0; i < B; ++i) {
+        const float* dy = dY.data() + i * out;
+        simd::lanes<V>(0, out, [&](auto t2, std::int64_t j) {
+          using W2 = decltype(t2);
+          (W2::loadu(dbp + j) + W2::loadu(dy + j)).storeu(dbp + j);
+        });
+      }
+    };
+    if (simd::dispatch_simd())
+      col_sum(VecN::zero());
+    else
+      col_sum(Vec1::zero());
   }
 }
 

@@ -5,10 +5,25 @@
 // Three backends with genuinely different performance (used to play the
 // roles of "framework kernels" vs. the DeepBench bare-kernel baseline):
 //   kNaive   — textbook ijk triple loop, strictly serial
-//   kBlocked — ikj ordering + cache blocking (vectorizable inner loop),
+//   kBlocked — ikj ordering + cache blocking (explicit SIMD inner loop),
 //              row blocks spread over the shared thread pool
-//   kPacked  — panel packing + register-tiled microkernel; packing and row
-//              blocks run as parallel_for chunks on the shared pool
+//   kPacked  — BLIS-style: A packed into MR-interleaved panels, B into
+//              NR-column panels, consumed by a register-blocked
+//              6 x (2 * vector width) microkernel written on core/simd;
+//              packing and row blocks run as parallel_for chunks
+//
+// Panel layout constants derive from the compile-time native vector width
+// (core/simd kNativeWidth), NOT from the runtime D500_KERNEL dispatch —
+// pre-packed buffers built once stay valid if the dispatch mode changes,
+// and the scalar and SIMD instantiations of the microkernel accumulate
+// each output element in the same order with the same fused operations, so
+// kPacked results are bit-identical across dispatch modes.
+//
+// The packing API below is shared between the per-call path and the
+// PlanExecutor pre-packed weight cache: both produce byte-identical panel
+// buffers and feed the same microkernel, which is what keeps "prepack on"
+// vs "prepack off" bitwise-equal (tests/test_memory_plan.cpp relies on
+// this to compare PlanExecutor against ReferenceExecutor).
 //
 // All parallel decomposition is a pure function of the problem size (never
 // of the thread count), so every backend is bit-deterministic at any
@@ -24,6 +39,11 @@ namespace d500 {
 enum class GemmBackend { kNaive, kBlocked, kPacked };
 
 const char* gemm_backend_name(GemmBackend b);
+
+/// Backend used when none is requested explicitly (op constructor defaults,
+/// graph import without a backend attribute): D500_GEMM=naive|blocked|packed,
+/// parsed once, defaulting to kPacked.
+GemmBackend default_gemm_backend();
 
 /// C(MxN) = alpha * A(MxK) x B(KxN) + beta * C. Row-major, no transposes
 /// (transposition is handled a level up where needed).
@@ -48,10 +68,49 @@ inline std::uint64_t gemm_flops(std::int64_t M, std::int64_t N,
          static_cast<std::uint64_t>(K);
 }
 
+// --- kPacked panel API -----------------------------------------------------
+// Shared by the per-call path and the PlanExecutor pre-packed weight cache.
+// Panel geometry (MR row interleave, NR column width) is a build constant;
+// buffers sized with the helpers below stay valid for the process lifetime.
+
+/// Elements a packed copy of A (M x K row-major) occupies: rows padded up
+/// to the microkernel row count MR.
+std::int64_t gemm_packed_a_elems(std::int64_t M, std::int64_t K);
+
+/// Elements a packed copy of B (K x N row-major) occupies: columns padded
+/// up to the panel width NR.
+std::int64_t gemm_packed_b_elems(std::int64_t K, std::int64_t N);
+
+/// Pack A (M x K row-major) into MR-interleaved, zero-padded panels.
+/// Parallel over panels on the shared pool; writes gemm_packed_a_elems.
+void gemm_pack_a(std::int64_t M, std::int64_t K, const float* A, float* packed);
+
+/// Pack B (K x N row-major) into NR-column, zero-padded panels.
+void gemm_pack_b(std::int64_t K, std::int64_t N, const float* B, float* packed);
+
+/// Pack B^T panels from Bt stored (N x K row-major) — i.e. pack the K x N
+/// logical matrix Bt^T without materializing it. Used for Linear weights
+/// (W is [out, in]; the forward GEMM needs W^T panels).
+void gemm_pack_bt(std::int64_t N, std::int64_t K, const float* Bt,
+                  float* packed);
+
+/// kPacked core with optional pre-packed operands. Computes
+/// C = alpha * A x B + beta * C. `packedA` / `packedB` — when non-null —
+/// must hold gemm_pack_a(M, K, A) / gemm_pack_b(K, N, B) output; null
+/// operands are packed per call into grow-only thread-local workspaces.
+/// When `b_transposed` is true, B is stored (N x K) and packed via
+/// gemm_pack_bt instead (packedB, if given, must match that layout).
+/// Both paths run identical arithmetic, so prepacked vs per-call results
+/// are bitwise equal.
+void gemm_packed_ex(std::int64_t M, std::int64_t N, std::int64_t K,
+                    float alpha, const float* A, const float* packedA,
+                    const float* B, const float* packedB, bool b_transposed,
+                    float beta, float* C);
+
 /// MatMul operator: inputs {A [M,K], B [K,N]}, output {C [M,N]}.
 class MatMulOp : public CustomOperator {
  public:
-  explicit MatMulOp(GemmBackend backend = GemmBackend::kPacked)
+  explicit MatMulOp(GemmBackend backend = default_gemm_backend())
       : backend_(backend) {}
 
   std::string name() const override { return "MatMul"; }
@@ -67,15 +126,26 @@ class MatMulOp : public CustomOperator {
 
   GemmBackend backend() const { return backend_; }
 
+  /// Install a pre-packed copy of input B (PlanExecutor weight cache).
+  /// `src` is the tensor data the panels were packed from; the packed copy
+  /// is consumed only while inputs[1] still aliases that storage, so a
+  /// swapped-out weight tensor silently falls back to per-call packing.
+  void set_prepacked_b(const float* packed, const float* src) {
+    prepacked_b_ = packed;
+    prepacked_src_ = src;
+  }
+
  private:
   GemmBackend backend_;
+  const float* prepacked_b_ = nullptr;
+  const float* prepacked_src_ = nullptr;
 };
 
 /// Fully-connected (linear) layer: inputs {X [B,in], W [out,in], bias [out]},
 /// output {Y [B,out]} with Y = X W^T + bias.
 class LinearOp : public CustomOperator {
  public:
-  explicit LinearOp(GemmBackend backend = GemmBackend::kPacked)
+  explicit LinearOp(GemmBackend backend = default_gemm_backend())
       : backend_(backend) {}
 
   std::string name() const override { return "Linear"; }
@@ -89,8 +159,19 @@ class LinearOp : public CustomOperator {
                 const MutTensors& grad_inputs) override;
   std::uint64_t forward_flops(const std::vector<Shape>& inputs) const override;
 
+  GemmBackend backend() const { return backend_; }
+
+  /// Install pre-packed W^T panels (gemm_pack_bt of W [out, in]).
+  /// Consumed only while inputs[1] still aliases `src`.
+  void set_prepacked_w(const float* packed, const float* src) {
+    prepacked_w_ = packed;
+    prepacked_src_ = src;
+  }
+
  private:
   GemmBackend backend_;
+  const float* prepacked_w_ = nullptr;
+  const float* prepacked_src_ = nullptr;
 };
 
 }  // namespace d500

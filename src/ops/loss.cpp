@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "core/simd.hpp"
+#include "core/threadpool.hpp"
 #include "ops/softmax.hpp"
 
 namespace d500 {
@@ -51,11 +53,22 @@ void SoftmaxCrossEntropyOp::backward(const ConstTensors& grad_outputs,
   const std::int64_t B = Z.dim(0), C = Z.dim(1);
   softmax_rows(Z.data(), dZ.data(), B, C);
   const float invB = upstream / static_cast<float>(B);
-  for (std::int64_t b = 0; b < B; ++b) {
-    const auto label = static_cast<std::int64_t>(labels.at(b));
-    dZ.at(b * C + label) -= 1.0f;
-    for (std::int64_t c = 0; c < C; ++c) dZ.at(b * C + c) *= invB;
-  }
+  float* dz = dZ.data();
+  const float* lab = labels.data();
+  simd::dispatch([&](auto tag) {
+    using V = decltype(tag);
+    parallel_for(0, B, 64, [&](std::int64_t b0, std::int64_t b1) {
+      for (std::int64_t b = b0; b < b1; ++b) {
+        const auto label = static_cast<std::int64_t>(lab[b]);
+        float* row = dz + b * C;
+        row[label] -= 1.0f;
+        simd::lanes<V>(0, C, [&](auto t2, std::int64_t c) {
+          using W = decltype(t2);
+          (W::loadu(row + c) * W::broadcast(invB)).storeu(row + c);
+        });
+      }
+    });
+  });
 }
 
 std::vector<Shape> MSELossOp::output_shapes(
@@ -86,13 +99,25 @@ void MSELossOp::backward(const ConstTensors& grad_outputs,
   const Tensor& T = *fwd_inputs[1];
   const std::int64_t n = P.elements();
   const float k = 2.0f * upstream / static_cast<float>(n);
+  const float* p = P.data();
+  const float* t = T.data();
   if (grad_inputs[0]) {
-    for (std::int64_t i = 0; i < n; ++i)
-      grad_inputs[0]->at(i) = k * (P.at(i) - T.at(i));
+    float* d = grad_inputs[0]->data();
+    simd::dispatch([&](auto tag) {
+      simd::lanes<decltype(tag)>(0, n, [&](auto t2, std::int64_t i) {
+        using W = decltype(t2);
+        (W::broadcast(k) * (W::loadu(p + i) - W::loadu(t + i))).storeu(d + i);
+      });
+    });
   }
   if (grad_inputs[1]) {
-    for (std::int64_t i = 0; i < n; ++i)
-      grad_inputs[1]->at(i) = -k * (P.at(i) - T.at(i));
+    float* d = grad_inputs[1]->data();
+    simd::dispatch([&](auto tag) {
+      simd::lanes<decltype(tag)>(0, n, [&](auto t2, std::int64_t i) {
+        using W = decltype(t2);
+        (W::broadcast(-k) * (W::loadu(p + i) - W::loadu(t + i))).storeu(d + i);
+      });
+    });
   }
 }
 

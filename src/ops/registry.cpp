@@ -98,7 +98,9 @@ ConvBackend conv_backend_from(const Attrs& a) {
 }
 
 GemmBackend gemm_backend_from(const Attrs& a) {
-  const std::string b = a.get_string("backend", "packed");
+  // No explicit attribute → the D500_GEMM-selected default backend.
+  const std::string b =
+      a.get_string("backend", gemm_backend_name(default_gemm_backend()));
   if (b == "naive") return GemmBackend::kNaive;
   if (b == "blocked") return GemmBackend::kBlocked;
   if (b == "packed") return GemmBackend::kPacked;

@@ -3,22 +3,109 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/simd.hpp"
+#include "core/threadpool.hpp"
+
 namespace d500 {
 
-void softmax_rows(const float* x, float* y, std::int64_t B, std::int64_t C) {
-  for (std::int64_t b = 0; b < B; ++b) {
-    const float* xr = x + b * C;
-    float* yr = y + b * C;
-    float mx = xr[0];
-    for (std::int64_t c = 1; c < C; ++c) mx = std::max(mx, xr[c]);
-    float sum = 0.0f;
-    for (std::int64_t c = 0; c < C; ++c) {
-      yr[c] = std::exp(xr[c] - mx);
-      sum += yr[c];
+namespace {
+
+// Rows are independent, so batch chunks run on the shared pool; the grain
+// targets ~4k elements per chunk and depends only on C (bit-determinism at
+// any thread count).
+inline std::int64_t row_grain(std::int64_t C) {
+  return std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(1, C));
+}
+
+// Online softmax (single fused max/exp/sum traversal): each lane carries a
+// running maximum m and a sum s of exponentials relative to that maximum;
+// when a new maximum arrives, the lane's sum is rescaled by exp(m_old - m).
+// Lane states then merge against the row maximum in fixed lane order, the
+// scalar tail folds in the same way, and one output pass materializes
+// y = exp(x - M) / total. Two sweeps over the row instead of three, and
+// exp comes from the shared core/simd polynomial in every dispatch mode.
+template <class V>
+void softmax_rows_impl(const float* x, float* y, std::int64_t B,
+                       std::int64_t C) {
+  parallel_for(0, B, row_grain(C), [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t b = b0; b < b1; ++b) {
+      const float* xr = x + b * C;
+      float* yr = y + b * C;
+
+      V m = V::broadcast(-3.4e38f);
+      V s = V::zero();
+      std::int64_t c = 0;
+      for (; c + V::width <= C; c += V::width) {
+        const V xv = V::loadu(xr + c);
+        const V mn = V::max(m, xv);
+        s = V::fma(s, simd::vexp(m - mn), simd::vexp(xv - mn));
+        m = mn;
+      }
+      float mx = m.hmax();
+      float total = 0.0f;
+      if (c > 0) {
+        // Merge lane partials against the cross-lane max in lane order.
+        alignas(64) float ml[V::width];
+        alignas(64) float sl[V::width];
+        m.storeu(ml);
+        s.storeu(sl);
+        for (int l = 0; l < V::width; ++l)
+          total += sl[l] * std::exp(ml[l] - mx);
+      } else {
+        mx = xr[0];
+      }
+      for (; c < C; ++c) {
+        const float xv = xr[c];
+        if (xv > mx) {
+          total = total * std::exp(mx - xv) + 1.0f;
+          mx = xv;
+        } else {
+          total += std::exp(xv - mx);
+        }
+      }
+
+      const float inv = 1.0f / total;
+      simd::lanes<V>(0, C, [&](auto tag, std::int64_t i) {
+        using W = decltype(tag);
+        (simd::vexp(W::loadu(xr + i) - W::broadcast(mx)) * W::broadcast(inv))
+            .storeu(yr + i);
+      });
     }
-    const float inv = 1.0f / sum;
-    for (std::int64_t c = 0; c < C; ++c) yr[c] *= inv;
-  }
+  });
+}
+
+template <class V>
+void softmax_backward_impl(const float* dy, const float* y, float* dx,
+                           std::int64_t B, std::int64_t C) {
+  parallel_for(0, B, row_grain(C), [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t b = b0; b < b1; ++b) {
+      const float* dyr = dy + b * C;
+      const float* yr = y + b * C;
+      float* dxr = dx + b * C;
+      // s = sum(dy * y): vector partials then hsum, scalar fma tail.
+      V acc = V::zero();
+      std::int64_t c = 0;
+      for (; c + V::width <= C; c += V::width)
+        acc = V::fma(V::loadu(dyr + c), V::loadu(yr + c), acc);
+      float s = acc.hsum();
+      for (; c < C; ++c) s = std::fma(dyr[c], yr[c], s);
+      // dx = y * (dy - s)
+      simd::lanes<V>(0, C, [&](auto tag, std::int64_t i) {
+        using W = decltype(tag);
+        (W::loadu(yr + i) * (W::loadu(dyr + i) - W::broadcast(s)))
+            .storeu(dxr + i);
+      });
+    }
+  });
+}
+
+}  // namespace
+
+void softmax_rows(const float* x, float* y, std::int64_t B, std::int64_t C) {
+  if (B <= 0 || C <= 0) return;
+  simd::dispatch([&](auto tag) {
+    softmax_rows_impl<decltype(tag)>(x, y, B, C);
+  });
 }
 
 std::vector<Shape> SoftmaxOp::output_shapes(
@@ -41,18 +128,10 @@ void SoftmaxOp::backward(const ConstTensors& grad_outputs, const ConstTensors&,
   const Tensor& dY = *grad_outputs[0];
   const Tensor& Y = *fwd_outputs[0];
   const std::int64_t B = Y.dim(0), C = Y.dim(1);
-  const float* dy = dY.data();
-  const float* y = Y.data();
-  float* dx = grad_inputs[0]->data();
-  // dx = y * (dy - sum(dy*y))
-  for (std::int64_t b = 0; b < B; ++b) {
-    const float* dyr = dy + b * C;
-    const float* yr = y + b * C;
-    float* dxr = dx + b * C;
-    float s = 0.0f;
-    for (std::int64_t c = 0; c < C; ++c) s += dyr[c] * yr[c];
-    for (std::int64_t c = 0; c < C; ++c) dxr[c] = yr[c] * (dyr[c] - s);
-  }
+  simd::dispatch([&](auto tag) {
+    softmax_backward_impl<decltype(tag)>(dY.data(), Y.data(),
+                                         grad_inputs[0]->data(), B, C);
+  });
 }
 
 std::uint64_t SoftmaxOp::forward_flops(const std::vector<Shape>& inputs) const {

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "core/arena.hpp"
+#include "core/simd.hpp"
 
 namespace d500 {
 
@@ -166,18 +167,35 @@ void check_same_size(const Tensor& a, const Tensor& b, const char* op) {
 }
 }  // namespace
 
+// The float helpers below run under the core/simd dispatch with the exact
+// multiply/add shape of their original scalar loops (no fma contraction),
+// so scalar and SIMD dispatch stay bit-identical. The double-accumulator
+// reductions (dot, l2_norm, linf_norm) stay scalar on purpose: they are
+// verification/metrics helpers whose extra precision is the contract.
+
 void axpy(float alpha, const Tensor& x, Tensor& y) {
   check_same_size(x, y, "axpy");
   const float* xp = x.data();
   float* yp = y.data();
   const std::int64_t n = x.elements();
-  for (std::int64_t i = 0; i < n; ++i) yp[i] += alpha * xp[i];
+  simd::dispatch([&](auto tag) {
+    simd::lanes<decltype(tag)>(0, n, [&](auto t2, std::int64_t i) {
+      using W = decltype(t2);
+      (W::loadu(yp + i) + W::broadcast(alpha) * W::loadu(xp + i))
+          .storeu(yp + i);
+    });
+  });
 }
 
 void scale(Tensor& x, float alpha) {
   float* p = x.data();
   const std::int64_t n = x.elements();
-  for (std::int64_t i = 0; i < n; ++i) p[i] *= alpha;
+  simd::dispatch([&](auto tag) {
+    simd::lanes<decltype(tag)>(0, n, [&](auto t2, std::int64_t i) {
+      using W = decltype(t2);
+      (W::loadu(p + i) * W::broadcast(alpha)).storeu(p + i);
+    });
+  });
 }
 
 void add(const Tensor& a, const Tensor& b, Tensor& out) {
@@ -187,7 +205,12 @@ void add(const Tensor& a, const Tensor& b, Tensor& out) {
   const float* bp = b.data();
   float* op = out.data();
   const std::int64_t n = a.elements();
-  for (std::int64_t i = 0; i < n; ++i) op[i] = ap[i] + bp[i];
+  simd::dispatch([&](auto tag) {
+    simd::lanes<decltype(tag)>(0, n, [&](auto t2, std::int64_t i) {
+      using W = decltype(t2);
+      (W::loadu(ap + i) + W::loadu(bp + i)).storeu(op + i);
+    });
+  });
 }
 
 void sub(const Tensor& a, const Tensor& b, Tensor& out) {
@@ -197,7 +220,12 @@ void sub(const Tensor& a, const Tensor& b, Tensor& out) {
   const float* bp = b.data();
   float* op = out.data();
   const std::int64_t n = a.elements();
-  for (std::int64_t i = 0; i < n; ++i) op[i] = ap[i] - bp[i];
+  simd::dispatch([&](auto tag) {
+    simd::lanes<decltype(tag)>(0, n, [&](auto t2, std::int64_t i) {
+      using W = decltype(t2);
+      (W::loadu(ap + i) - W::loadu(bp + i)).storeu(op + i);
+    });
+  });
 }
 
 void mul(const Tensor& a, const Tensor& b, Tensor& out) {
@@ -207,7 +235,12 @@ void mul(const Tensor& a, const Tensor& b, Tensor& out) {
   const float* bp = b.data();
   float* op = out.data();
   const std::int64_t n = a.elements();
-  for (std::int64_t i = 0; i < n; ++i) op[i] = ap[i] * bp[i];
+  simd::dispatch([&](auto tag) {
+    simd::lanes<decltype(tag)>(0, n, [&](auto t2, std::int64_t i) {
+      using W = decltype(t2);
+      (W::loadu(ap + i) * W::loadu(bp + i)).storeu(op + i);
+    });
+  });
 }
 
 double dot(const Tensor& a, const Tensor& b) {

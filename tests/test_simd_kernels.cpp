@@ -1,0 +1,448 @@
+// SIMD kernel-layer tests (ctest -L kernels): scalar-vs-SIMD dispatch
+// agreement for every vectorized kernel family at the tail-critical sizes
+// N = 1, W-1, W, W+1 and a large size, on aligned and unaligned storage;
+// the kPacked bit-identity contract across dispatch modes; the exp
+// approximation's error bound; and the PlanExecutor pre-packed weight
+// cache (per-call equivalence, optimizer-driven invalidation, stale-source
+// fallback).
+//
+// Tolerances are ULP-scaled: per-lane-independent kernels reproduce the
+// scalar op sequence exactly (0 ULP); kernels whose reduction order moves
+// between instantiations (softmax lane merges, dot-product accumulators)
+// get a small ULP budget instead.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/simd.hpp"
+#include "core/threadpool.hpp"
+#include "frameworks/native_optimizers.hpp"
+#include "frameworks/plan_executor.hpp"
+#include "graph/executor.hpp"
+#include "graph/visitor.hpp"
+#include "models/builders.hpp"
+#include "ops/elementwise.hpp"
+#include "ops/gemm.hpp"
+#include "ops/softmax.hpp"
+
+namespace d500 {
+namespace {
+
+/// Restores the process dispatch mode on scope exit, so a failing ASSERT
+/// inside a forced-scalar section cannot leak the mode into other tests.
+struct DispatchGuard {
+  simd::KernelDispatch saved = simd::kernel_dispatch();
+  ~DispatchGuard() { simd::set_kernel_dispatch(saved); }
+};
+
+/// Tail-critical element counts around the native vector width.
+std::vector<std::int64_t> kernel_sizes() {
+  const std::int64_t w = simd::kNativeWidth;
+  std::vector<std::int64_t> sizes{1, w, w + 1, 1000};
+  if (w > 1) sizes.insert(sizes.begin() + 1, w - 1);
+  return sizes;
+}
+
+void expect_close_ulps(const float* ref, const float* got, std::int64_t n,
+                       double ulps, const std::string& what) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float tol = static_cast<float>(ulps) *
+                      std::max(std::abs(ref[i]), 1.0f) *
+                      std::numeric_limits<float>::epsilon();
+    ASSERT_NEAR(ref[i], got[i], tol) << what << " i=" << i;
+  }
+}
+
+/// Runs `kernel` (writing `n` floats into its argument) under both dispatch
+/// modes and compares the outputs with a ULP-scaled tolerance.
+template <class F>
+void compare_dispatch_modes(std::int64_t n, double ulps,
+                            const std::string& what, F&& kernel) {
+  std::vector<float> scalar_out(static_cast<std::size_t>(n));
+  std::vector<float> simd_out(static_cast<std::size_t>(n));
+  DispatchGuard guard;
+  simd::set_kernel_dispatch(simd::KernelDispatch::kScalar);
+  kernel(scalar_out.data());
+  simd::set_kernel_dispatch(simd::KernelDispatch::kSimd);
+  kernel(simd_out.data());
+  expect_close_ulps(scalar_out.data(), simd_out.data(), n, ulps, what);
+}
+
+/// Fills `n` floats starting at an optionally unaligned offset inside a
+/// fresh buffer and returns a borrowed [n]-tensor over them: SIMD kernels
+/// must not assume vector alignment of operand storage.
+struct UnalignedInput {
+  std::vector<float> storage;
+  Tensor view;
+
+  UnalignedInput(std::int64_t n, bool unaligned, Rng& rng, float lo, float hi)
+      : storage(static_cast<std::size_t>(n) + 1) {
+    float* base = storage.data() + (unaligned ? 1 : 0);
+    for (std::int64_t i = 0; i < n; ++i) base[i] = rng.uniform(lo, hi);
+    view = Tensor::borrow(base, {n});
+  }
+};
+
+// ---------------------------------------------------------------------------
+// exp approximation: shared by every instantiation, so its error bound is
+// the determinism story for sigmoid/tanh/softmax.
+
+TEST(SimdKernels, VexpMatchesStdExpWithinRelativeBound) {
+  for (float x = -87.0f; x <= 88.0f; x += 0.37f) {
+    const float got = simd::vexp(simd::Vec1::broadcast(x)).hsum();
+    const float want = std::exp(x);
+    ASSERT_NEAR(got, want, 4e-7f * std::max(want, 1e-30f)) << "x=" << x;
+  }
+  // Wide and scalar instantiations evaluate the same polynomial: identical.
+  for (float x = -20.0f; x <= 20.0f; x += 0.11f) {
+    alignas(64) float lanes[simd::kNativeWidth];
+    simd::vexp(simd::VecN::broadcast(x)).storeu(lanes);
+    const float s = simd::vexp(simd::Vec1::broadcast(x)).hsum();
+    for (int l = 0; l < simd::kNativeWidth; ++l)
+      ASSERT_EQ(lanes[l], s) << "x=" << x;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise activations and binary ops: per-lane independent, identical
+// op sequence in both instantiations -> 0 ULP budget.
+
+TEST(SimdKernels, ActivationsAgreeAcrossDispatch) {
+  for (const auto kind :
+       {Activation::kReLU, Activation::kSigmoid, Activation::kTanh}) {
+    ActivationOp op(kind);
+    for (const std::int64_t n : kernel_sizes()) {
+      for (const bool unaligned : {false, true}) {
+        Rng rng(17);
+        UnalignedInput x(n, unaligned, rng, -4.0f, 4.0f);
+        UnalignedInput dy(n, unaligned, rng, -1.0f, 1.0f);
+        const std::string what = "activation kind=" +
+                                 std::to_string(static_cast<int>(kind)) +
+                                 " n=" + std::to_string(n) +
+                                 (unaligned ? " unaligned" : "");
+        compare_dispatch_modes(n, 0.0, what + " fwd", [&](float* out) {
+          Tensor y = Tensor::borrow(out, {n});
+          op.forward({&x.view}, {&y});
+        });
+        compare_dispatch_modes(n, 0.0, what + " bwd", [&](float* out) {
+          Tensor y({n});
+          op.forward({&x.view}, {&y});
+          Tensor dx = Tensor::borrow(out, {n});
+          dx.fill(0.0f);
+          op.backward({&dy.view}, {&x.view}, {&y}, {&dx});
+        });
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, BinaryOpsAgreeAcrossDispatch) {
+  for (const auto kind : {BinaryKind::kAdd, BinaryKind::kSub, BinaryKind::kMul}) {
+    BinaryOp op(kind);
+    for (const std::int64_t n : kernel_sizes()) {
+      for (const bool unaligned : {false, true}) {
+        Rng rng(23);
+        UnalignedInput a(n, unaligned, rng, -2.0f, 2.0f);
+        UnalignedInput b(n, unaligned, rng, -2.0f, 2.0f);
+        const std::string what = "binary kind=" +
+                                 std::to_string(static_cast<int>(kind)) +
+                                 " n=" + std::to_string(n) +
+                                 (unaligned ? " unaligned" : "");
+        compare_dispatch_modes(n, 0.0, what, [&](float* out) {
+          Tensor c = Tensor::borrow(out, {n});
+          op.forward({&a.view, &b.view}, {&c});
+        });
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tensor helpers (axpy/scale/add/sub/mul): exact scalar op sequence in the
+// vector body -> bitwise equal across dispatch modes.
+
+TEST(SimdKernels, TensorHelpersBitIdenticalAcrossDispatch) {
+  for (const std::int64_t n : kernel_sizes()) {
+    Rng rng(31);
+    Tensor x({n}), y0({n});
+    x.fill_uniform(rng, -2, 2);
+    y0.fill_uniform(rng, -2, 2);
+    compare_dispatch_modes(n, 0.0, "axpy n=" + std::to_string(n),
+                           [&](float* out) {
+                             Tensor y = Tensor::borrow(out, {n});
+                             std::memcpy(out, y0.data(), y0.bytes());
+                             axpy(0.37f, x, y);
+                           });
+    compare_dispatch_modes(n, 0.0, "scale n=" + std::to_string(n),
+                           [&](float* out) {
+                             Tensor y = Tensor::borrow(out, {n});
+                             std::memcpy(out, y0.data(), y0.bytes());
+                             scale(y, -1.75f);
+                           });
+    compare_dispatch_modes(n, 0.0, "mul n=" + std::to_string(n),
+                           [&](float* out) {
+                             Tensor c = Tensor::borrow(out, {n});
+                             mul(x, y0, c);
+                           });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Softmax: the fused online pass keeps per-lane running maxima/sums whose
+// merge order differs between instantiations -> small ULP budget.
+
+TEST(SimdKernels, SoftmaxRowsAgreeAcrossDispatch) {
+  const std::int64_t B = 3;
+  for (const std::int64_t c : kernel_sizes()) {
+    Rng rng(41);
+    UnalignedInput x(B * c, true, rng, -6.0f, 6.0f);
+    compare_dispatch_modes(
+        B * c, 64.0, "softmax C=" + std::to_string(c), [&](float* out) {
+          softmax_rows(x.view.data(), out, B, c);
+        });
+    // Rows are normalized distributions in both modes.
+    DispatchGuard guard;
+    for (const auto dm :
+         {simd::KernelDispatch::kScalar, simd::KernelDispatch::kSimd}) {
+      simd::set_kernel_dispatch(dm);
+      std::vector<float> y(static_cast<std::size_t>(B * c));
+      softmax_rows(x.view.data(), y.data(), B, c);
+      for (std::int64_t b = 0; b < B; ++b) {
+        double sum = 0.0;
+        for (std::int64_t i = 0; i < c; ++i) {
+          const float v = y[static_cast<std::size_t>(b * c + i)];
+          ASSERT_GE(v, 0.0f);
+          sum += v;
+        }
+        ASSERT_NEAR(sum, 1.0, 1e-5) << "C=" << c << " row=" << b;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, SoftmaxBackwardAgreesAcrossDispatch) {
+  SoftmaxOp op;
+  const std::int64_t B = 2;
+  for (const std::int64_t c : kernel_sizes()) {
+    Rng rng(43);
+    UnalignedInput x(B * c, false, rng, -3.0f, 3.0f);
+    UnalignedInput dy(B * c, true, rng, -1.0f, 1.0f);
+    Tensor x2 = Tensor::borrow(const_cast<float*>(x.view.data()), {B, c});
+    Tensor dy2 = Tensor::borrow(const_cast<float*>(dy.view.data()), {B, c});
+    compare_dispatch_modes(
+        B * c, 64.0, "softmax bwd C=" + std::to_string(c), [&](float* out) {
+          Tensor y({B, c});
+          op.forward({&x2}, {&y});
+          Tensor dx = Tensor::borrow(out, {B, c});
+          dx.fill(0.0f);
+          op.backward({&dy2}, {&x2}, {&y}, {&dx});
+        });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GEMM: kBlocked shares the per-element fma accumulation between
+// instantiations except in its dot-product reductions (transposed
+// helpers), so forward gets 0 ULP; kPacked is contractually bit-identical
+// across dispatch modes AND against per-call/pre-packed operands.
+
+TEST(SimdKernels, GemmBackendsAgreeAcrossDispatch) {
+  for (const std::int64_t n : kernel_sizes()) {
+    const std::int64_t M = 5, K = 7;
+    Rng rng(53);
+    UnalignedInput a(M * K, true, rng, -1.0f, 1.0f);
+    UnalignedInput b(K * n, true, rng, -1.0f, 1.0f);
+    for (const auto backend : {GemmBackend::kBlocked, GemmBackend::kPacked}) {
+      compare_dispatch_modes(
+          M * n, 0.0,
+          std::string("gemm ") + gemm_backend_name(backend) + " N=" +
+              std::to_string(n),
+          [&](float* out) {
+            std::memset(out, 0, static_cast<std::size_t>(M * n) * 4);
+            gemm(backend, M, n, K, 1.0f, a.view.data(), b.view.data(), 0.0f,
+                 out);
+          });
+    }
+  }
+}
+
+TEST(SimdKernels, PackedBitIdenticalAcrossDispatchAndPrepack) {
+  const std::int64_t M = 23, N = 2 * simd::kNativeWidth + 3, K = 31;
+  Rng rng(59);
+  Tensor A({M, K}), B({K, N});
+  A.fill_uniform(rng, -1, 1);
+  B.fill_uniform(rng, -1, 1);
+  std::vector<float> pa(static_cast<std::size_t>(gemm_packed_a_elems(M, K)));
+  std::vector<float> pb(static_cast<std::size_t>(gemm_packed_b_elems(K, N)));
+
+  DispatchGuard guard;
+  std::vector<std::vector<float>> results;
+  for (const auto dm :
+       {simd::KernelDispatch::kScalar, simd::KernelDispatch::kSimd}) {
+    simd::set_kernel_dispatch(dm);
+    gemm_pack_a(M, K, A.data(), pa.data());
+    gemm_pack_b(K, N, B.data(), pb.data());
+    std::vector<float> per_call(static_cast<std::size_t>(M * N));
+    std::vector<float> prepacked(per_call.size());
+    gemm(GemmBackend::kPacked, M, N, K, 1.0f, A.data(), B.data(), 0.0f,
+         per_call.data());
+    gemm_packed_ex(M, N, K, 1.0f, A.data(), pa.data(), B.data(), pb.data(),
+                   false, 0.0f, prepacked.data());
+    ASSERT_EQ(std::memcmp(per_call.data(), prepacked.data(),
+                          per_call.size() * 4),
+              0)
+        << "per-call vs prepacked, dispatch="
+        << simd::kernel_dispatch_name(dm);
+    results.push_back(std::move(per_call));
+  }
+  ASSERT_EQ(
+      std::memcmp(results[0].data(), results[1].data(), results[0].size() * 4),
+      0)
+      << "kPacked scalar vs simd dispatch";
+}
+
+// ---------------------------------------------------------------------------
+// Optimizer updates run the exact scalar multiply/add sequence in their
+// vector bodies: full training trajectories must agree across dispatch
+// modes (softmax-family kernels inject small ULP noise, hence tolerance).
+
+TEST(SimdKernels, AdamTrainingTrajectoryAgreesAcrossDispatch) {
+  ThreadPool::instance().reset(1);
+  const Model m = models::mlp(4, 24, {16}, 4, 71);
+  TensorMap feeds;
+  {
+    Network net = build_network(m);
+    Rng rng(73);
+    for (const auto& iname : net.inputs()) {
+      Tensor t(net.input_shape(iname));
+      if (iname == "labels")
+        for (std::int64_t i = 0; i < t.elements(); ++i)
+          t.at(i) = static_cast<float>(rng.below(4));
+      else
+        t.fill_uniform(rng, -1, 1);
+      feeds[iname] = std::move(t);
+    }
+  }
+
+  DispatchGuard guard;
+  std::vector<TensorMap> params;
+  for (const auto dm :
+       {simd::KernelDispatch::kScalar, simd::KernelDispatch::kSimd}) {
+    simd::set_kernel_dispatch(dm);
+    PlanExecutor exec(build_network(m), "simd-adam", ExecOptions{});
+    FusedAdamOptimizer opt(exec, "test", 1e-2);
+    opt.set_loss_value("loss");
+    for (int s = 0; s < 3; ++s) opt.train(feeds);
+    TensorMap snapshot;
+    for (const auto& pname : exec.network().parameters())
+      snapshot[pname] = exec.network().fetch_tensor(pname);
+    params.push_back(std::move(snapshot));
+  }
+  for (const auto& [pname, t] : params[0]) {
+    const Tensor& other = params[1].at(pname);
+    ASSERT_EQ(t.shape(), other.shape()) << pname;
+    expect_close_ulps(t.data(), other.data(), t.elements(), 256.0,
+                      "adam param " + pname);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pre-packed weight cache: two optimizer steps under prepack on vs off
+// must stay bitwise equal — step 2's forward runs on weights the optimizer
+// just rewrote, so any stale panel shows up as divergent parameters.
+
+TEST(SimdKernels, PrepackCacheInvalidatesAfterOptimizerSteps) {
+  ThreadPool::instance().reset(1);
+  const Model m = models::mlp(4, 24, {16, 12}, 4, 79);
+  TensorMap feeds;
+  {
+    Network net = build_network(m);
+    Rng rng(83);
+    for (const auto& iname : net.inputs()) {
+      Tensor t(net.input_shape(iname));
+      if (iname == "labels")
+        for (std::int64_t i = 0; i < t.elements(); ++i)
+          t.at(i) = static_cast<float>(rng.below(4));
+      else
+        t.fill_uniform(rng, -1, 1);
+      feeds[iname] = std::move(t);
+    }
+  }
+
+  std::vector<TensorMap> trajectories;
+  for (const bool prepack : {false, true}) {
+    ExecOptions o;
+    o.prepack_weights = prepack;
+    PlanExecutor exec(build_network(m), prepack ? "prepack-on" : "prepack-off",
+                      o);
+    FusedSgdOptimizer opt(exec, "test", FusedSgdOptimizer::Rule::kMomentum,
+                          1e-2, 0.9);
+    opt.set_loss_value("loss");
+    TensorMap snapshot;
+    for (int s = 0; s < 2; ++s) {
+      opt.train(feeds);
+      // Snapshot after every step: a stale panel would corrupt step 2.
+      for (const auto& pname : exec.network().parameters())
+        snapshot[pname + "@" + std::to_string(s)] =
+            exec.network().fetch_tensor(pname);
+    }
+    trajectories.push_back(std::move(snapshot));
+  }
+  ASSERT_EQ(trajectories[0].size(), trajectories[1].size());
+  for (const auto& [key, t] : trajectories[0]) {
+    const Tensor& other = trajectories[1].at(key);
+    ASSERT_EQ(t.shape(), other.shape()) << key;
+    EXPECT_EQ(std::memcmp(t.data(), other.data(), t.bytes()), 0)
+        << "prepack on/off diverged at " << key;
+  }
+}
+
+// Op-level cache contract: panels are consumed only while the weight input
+// still aliases the source they were packed from.
+
+TEST(SimdKernels, MatMulPrepackedPanelsMatchAndFallBackWhenStale) {
+  const std::int64_t M = 6, K = 9, N = 2 * simd::kNativeWidth + 1;
+  Rng rng(89);
+  Tensor A({M, K}), B({K, N}), C_ref({M, N}), C({M, N});
+  A.fill_uniform(rng, -1, 1);
+  B.fill_uniform(rng, -1, 1);
+
+  MatMulOp op(GemmBackend::kPacked);
+  op.forward({&A, &B}, {&C_ref});
+
+  std::vector<float> panels(
+      static_cast<std::size_t>(gemm_packed_b_elems(K, N)));
+  gemm_pack_b(K, N, B.data(), panels.data());
+  op.set_prepacked_b(panels.data(), B.data());
+  op.forward({&A, &B}, {&C});
+  EXPECT_EQ(std::memcmp(C.data(), C_ref.data(), C.bytes()), 0)
+      << "prepacked panels vs per-call packing";
+
+  // Weights mutate in place (what an optimizer does): stale panels must be
+  // refreshed by re-packing, after which results track the new weights.
+  for (std::int64_t i = 0; i < B.elements(); ++i) B.at(i) += 0.25f;
+  gemm_pack_b(K, N, B.data(), panels.data());
+  op.forward({&A, &B}, {&C});
+  op.set_prepacked_b(nullptr, nullptr);
+  op.forward({&A, &B}, {&C_ref});
+  EXPECT_EQ(std::memcmp(C.data(), C_ref.data(), C.bytes()), 0)
+      << "repacked panels vs per-call packing after weight update";
+
+  // A different tensor at the weight input must bypass the stale panels.
+  Tensor B2({K, N});
+  B2.fill_uniform(rng, -1, 1);
+  op.set_prepacked_b(panels.data(), B.data());  // packed from B, not B2
+  op.forward({&A, &B2}, {&C});
+  op.set_prepacked_b(nullptr, nullptr);
+  op.forward({&A, &B2}, {&C_ref});
+  EXPECT_EQ(std::memcmp(C.data(), C_ref.data(), C.bytes()), 0)
+      << "stale-source fallback";
+}
+
+}  // namespace
+}  // namespace d500
