@@ -1,0 +1,220 @@
+// Bucketed gradient allreduce with communication/compute overlap: step
+// time and wire volume of BucketedDecentralized over ranks x bucket cap x
+// overlap on/off, at a fixed 4-thread pool. Overlap launches each bucket's
+// nonblocking allreduce from the PlanExecutor grad-ready hook while the
+// remaining backward ops still run; off packs and ring-allreduces the same
+// buckets after backprop. The contract checked alongside the timing: for
+// every (ranks, cap) pair the trained parameters are bit-identical across
+// the two modes (FNV-1a over the packed parameter vector). Results land in
+// BENCH_overlap.json.
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "core/rng.hpp"
+#include "core/threadpool.hpp"
+#include "dist/dist_optimizer.hpp"
+#include "frameworks/plan_executor.hpp"
+#include "graph/visitor.hpp"
+#include "models/builders.hpp"
+#include "train/optimizers.hpp"
+
+namespace d500::bench {
+namespace {
+
+constexpr std::int64_t kPerRankBatch = 4;
+constexpr std::int64_t kInDim = 512;
+
+/// ~0.8M parameters over 8 tensors: three 512-wide hidden layers, so the
+/// 64 KB..1 MB cap sweep spans one-bucket-per-tensor up to all-in-one.
+Model overlap_model() {
+  return models::mlp(kPerRankBatch, kInDim, {512, 512, 512}, 10,
+                     bench_seed());
+}
+
+TensorMap feeds_for(int rank) {
+  Rng rng(bench_seed() + 31 * static_cast<std::uint64_t>(rank) + 1);
+  TensorMap f;
+  Tensor d({kPerRankBatch, kInDim});
+  d.fill_uniform(rng, -1, 1);
+  f["data"] = std::move(d);
+  Tensor l({kPerRankBatch});
+  for (std::int64_t i = 0; i < kPerRankBatch; ++i)
+    l.at(i) = static_cast<float>(rng.below(10));
+  f["labels"] = std::move(l);
+  return f;
+}
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string hex(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i, v >>= 4)
+    s[static_cast<std::size_t>(i)] = digits[v & 0xf];
+  return s;
+}
+
+struct RunResult {
+  int ranks = 0;
+  std::size_t cap_kb = 0;
+  bool overlap = false;
+  SampleSummary step;              // barrier-to-barrier world step time
+  std::size_t buckets = 0;         // rank-0 partition size
+  std::uint64_t hook_launches = 0; // rank 0, across all steps
+  double wire_mb_step = 0;         // whole world, per step
+  double app_mb_step = 0;          // per rank, per step
+  std::uint64_t checksum = 0;      // rank-0 packed parameters
+};
+
+RunResult run_config(const Model& model, int ranks, std::size_t cap_kb,
+                     bool overlap, int steps) {
+  RunResult res;
+  res.ranks = ranks;
+  res.cap_kb = cap_kb;
+  res.overlap = overlap;
+  SimMpi mpi(ranks);
+  std::vector<double> times;
+  std::atomic<std::uint64_t> app{0};
+  std::mutex mu;
+  mpi.run([&](Communicator& comm) {
+    ExecOptions eopts;
+    eopts.overlap_comm = overlap;
+    PlanExecutor exec(build_network(model), "plan", eopts);
+    auto base = std::make_unique<GradientDescentOptimizer>(exec, 0.05);
+    BucketOptions bopts;
+    bopts.cap_bytes = cap_kb * 1024;
+    bopts.overlap = overlap ? 1 : 0;
+    BucketedDecentralized opt(std::move(base), comm, bopts);
+    opt.set_loss_value("loss");
+    const TensorMap feeds = feeds_for(comm.rank());
+    opt.train(feeds);  // warmup: plan compile, bucket build, buffers
+    for (int s = 0; s < steps; ++s) {
+      comm.barrier();
+      Timer t;
+      opt.train(feeds);
+      comm.barrier();
+      if (comm.rank() == 0) times.push_back(t.seconds());
+    }
+    app += opt.app_bytes();
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lock(mu);
+      res.buckets = opt.buckets().size();
+      res.hook_launches = opt.hook_launches();
+      const std::vector<float> params = pack_parameters(exec.network());
+      res.checksum = fnv1a(1469598103934665603ull, params.data(),
+                           params.size() * sizeof(float));
+    }
+  });
+  res.step = summarize(times);
+  // Warmup + timed steps all count toward the byte totals.
+  res.wire_mb_step =
+      static_cast<double>(mpi.total_bytes_sent()) / (steps + 1) / 1e6;
+  res.app_mb_step =
+      static_cast<double>(app.load()) / ranks / (steps + 1) / 1e6;
+  return res;
+}
+
+}  // namespace
+
+int run() {
+  const int steps = scale_pick(6, 16, 30);
+  const int threads = 4;
+  ThreadPool::instance().reset(threads);
+  print_bench_header(
+      "L3 bucketed allreduce + comm/compute overlap", bench_seed(),
+      "mlp 512x{512,512,512}x10 (~0.8M params), per-rank batch " +
+          std::to_string(kPerRankBatch) + ", pool threads " +
+          std::to_string(threads));
+
+  const Model model = overlap_model();
+  const std::vector<int> rank_counts{2, 4};
+  // 512x512 weights are 1 MiB each: 256 KB degenerates to one tensor per
+  // bucket, 1 MiB packs each weight with its bias, 4 MiB fuses layers.
+  const std::vector<std::size_t> caps_kb{256, 1024, 4096};
+
+  std::vector<RunResult> rows;
+  for (int ranks : rank_counts)
+    for (std::size_t cap : caps_kb)
+      for (bool overlap : {false, true})
+        rows.push_back(run_config(model, ranks, cap, overlap, steps));
+
+  Table t({"ranks", "bucket cap", "overlap", "buckets", "step time",
+           "wire MB/step", "hook launches", "param checksum"});
+  for (const auto& r : rows) {
+    t.add_row({std::to_string(r.ranks), std::to_string(r.cap_kb) + " KB",
+               r.overlap ? "on" : "off", std::to_string(r.buckets),
+               ms(r.step), Table::num(r.wire_mb_step, 2),
+               std::to_string(r.hook_launches), hex(r.checksum)});
+  }
+  std::cout << t.to_text();
+
+  // Bit-identity: overlap on/off pairs at the same (ranks, cap) must train
+  // to identical parameters. (Across caps the ring chunk boundaries move,
+  // so cross-cap checksums legitimately differ in the last ulp.)
+  bool identical = true;
+  for (std::size_t i = 0; i + 1 < rows.size(); i += 2)
+    identical = identical && rows[i].checksum == rows[i + 1].checksum;
+  std::cout << "\nbit-identity: overlap on == off at every (ranks, cap): "
+            << (identical ? "yes" : "NO") << "\n";
+
+  // Overlap gain at the largest world: compare medians per cap.
+  double best_gain = -1e9;
+  for (std::size_t i = 0; i + 1 < rows.size(); i += 2) {
+    if (rows[i].ranks < 2) continue;
+    const double gain =
+        (rows[i].step.median - rows[i + 1].step.median) /
+        rows[i].step.median * 100.0;
+    best_gain = std::max(best_gain, gain);
+    std::cout << "ranks=" << rows[i].ranks << " cap=" << rows[i].cap_kb
+              << "KB: overlap saves " << Table::num(gain, 1) << " %\n";
+  }
+  // The overlap path wins even when cores are scarce — it replaces the
+  // 2(n-1)-step blocking ring (per-step mailbox waits with all ranks idle)
+  // with one completion task, and the pack memcpy rides inside backprop —
+  // but wall-clock numbers on a host with fewer cores than ranks+pool
+  // threads are noisier, so the check is best-of-caps.
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::cout << "shape check: overlap-on beats overlap-off for some bucket "
+               "cap at >=2 ranks ("
+            << hw << "-core host): " << (best_gain > 0 ? "yes" : "NO")
+            << "\n";
+
+  std::ofstream json("BENCH_overlap.json");
+  json << "{\n  \"bench\": \"l3_overlap\",\n  \"seed\": " << bench_seed()
+       << ",\n  \"pool_threads\": " << threads
+       << ",\n  \"steps\": " << steps << ",\n  \"configs\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    json << "    {\"ranks\": " << r.ranks << ", \"bucket_kb\": " << r.cap_kb
+         << ", \"overlap\": " << (r.overlap ? "true" : "false")
+         << ", \"step_ms_median\": " << r.step.median * 1e3
+         << ", \"buckets\": " << r.buckets
+         << ", \"hook_launches\": " << r.hook_launches
+         << ", \"wire_mb_per_step\": " << r.wire_mb_step
+         << ", \"app_mb_per_rank_step\": " << r.app_mb_step
+         << ", \"param_checksum\": \"" << hex(r.checksum) << "\"}"
+         << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  json << "  ],\n  \"bit_identical_overlap_pairs\": "
+       << (identical ? "true" : "false") << "\n}\n";
+  std::cout << "\nwrote BENCH_overlap.json\n";
+
+  return identical ? 0 : 1;
+}
+
+}  // namespace d500::bench
+
+int main() { return d500::bench::run(); }

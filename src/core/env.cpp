@@ -50,6 +50,16 @@ std::string gemm_backend_setting() {
   return v != nullptr ? std::string(v) : std::string("packed");
 }
 
+bool overlap_comm_setting() { return env_flag("D500_OVERLAP"); }
+
+std::size_t bucket_cap_bytes() {
+  if (const char* v = std::getenv("D500_BUCKET_KB")) {
+    const auto kb = std::strtoull(v, nullptr, 10);
+    if (kb > 0) return static_cast<std::size_t>(kb) * 1024;
+  }
+  return std::size_t{1024} * 1024;
+}
+
 std::size_t trace_buffer_records() {
   if (const char* v = std::getenv("D500_TRACE_BUFSZ")) {
     const auto n = std::strtoull(v, nullptr, 10);

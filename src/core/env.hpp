@@ -60,4 +60,16 @@ std::string kernel_dispatch_setting();
 /// "packed".
 std::string gemm_backend_setting();
 
+/// Communication/compute overlap default (D500_OVERLAP): when set (and not
+/// "0"), distributed optimizers launch bucketed nonblocking allreduces
+/// during backprop instead of blocking ring allreduces after it. Read
+/// fresh on every call (tests and benches flip it mid-process).
+bool overlap_comm_setting();
+
+/// Gradient bucket size cap in bytes (D500_BUCKET_KB, default 1024 KiB).
+/// A bucket always holds at least one gradient tensor, so a cap smaller
+/// than the largest tensor degenerates to one bucket per tensor. Read
+/// fresh on every call.
+std::size_t bucket_cap_bytes();
+
 }  // namespace d500

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cstring>
 
+#include "core/env.hpp"
+#include "core/trace.hpp"
+#include "frameworks/plan_executor.hpp"
+
 namespace d500 {
 
 DistributedOptimizer::DistributedOptimizer(
@@ -123,6 +127,132 @@ std::unique_ptr<ConsistentDecentralized> make_horovod_like(
   DsgdOptions opt;
   opt.fuse_buffers = true;
   return std::make_unique<ConsistentDecentralized>(std::move(base), comm, opt);
+}
+
+// ---- BucketedDecentralized (bucketed DSGD, optional overlap) ---------------
+
+std::vector<GradientBucket> build_gradient_buckets(const Network& net,
+                                                   std::size_t cap_bytes) {
+  std::vector<GradientBucket> buckets;
+  for (const auto& pname : backward_ready_param_order(net)) {
+    const auto elems =
+        static_cast<std::size_t>(net.fetch_tensor(pname).elements());
+    const std::size_t bytes = elems * sizeof(float);
+    if (buckets.empty() ||
+        buckets.back().elements * sizeof(float) + bytes > cap_bytes)
+      buckets.emplace_back();
+    GradientBucket& b = buckets.back();
+    b.params.push_back(pname);
+    b.offsets.push_back(b.elements);
+    b.elements += elems;
+  }
+  return buckets;
+}
+
+BucketedDecentralized::BucketedDecentralized(
+    std::unique_ptr<ThreeStepOptimizer> base, Communicator& comm,
+    BucketOptions options)
+    : DistributedOptimizer(std::move(base), comm), options_(options) {
+  if (options_.cap_bytes == 0) options_.cap_bytes = bucket_cap_bytes();
+  overlap_ = options_.overlap < 0 ? overlap_comm_setting()
+                                  : options_.overlap != 0;
+}
+
+std::string BucketedDecentralized::name() const {
+  return overlap_ ? "Bucketed-DSGD/overlap" : "Bucketed-DSGD";
+}
+
+void BucketedDecentralized::ensure_buckets() {
+  if (!buckets_.empty()) return;
+  buckets_ = build_gradient_buckets(network(), options_.cap_bytes);
+  bucket_bufs_.resize(buckets_.size());
+  param_site_.clear();
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    bucket_bufs_[i].assign(buckets_[i].elements, 0.0f);
+    for (std::size_t k = 0; k < buckets_[i].params.size(); ++k)
+      param_site_[buckets_[i].params[k]] = {i, buckets_[i].offsets[k]};
+  }
+}
+
+TensorMap BucketedDecentralized::train(const TensorMap& feeds) {
+  ensure_buckets();
+  auto* plan = dynamic_cast<PlanExecutor*>(&executor());
+  const bool overlap = overlap_ && plan != nullptr;
+
+  base_->new_input();
+  for (const auto& pname : network().parameters()) base_->prepare_param(pname);
+
+  bucket_reqs_.clear();
+  bucket_reqs_.resize(buckets_.size());
+  if (overlap) {
+    bucket_pending_.assign(buckets_.size(), 0);
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+      bucket_pending_[i] = static_cast<int>(buckets_[i].params.size());
+    plan->set_grad_ready_hook([this](const std::string& pname,
+                                     const Tensor& g) {
+      auto it = param_site_.find(pname);
+      if (it == param_site_.end()) return;
+      const auto [bi, off] = it->second;
+      {
+        D500_TRACE_SCOPE("dist", "bucket_pack");
+        std::memcpy(bucket_bufs_[bi].data() + off, g.data(), g.bytes());
+      }
+      if (--bucket_pending_[bi] == 0) {
+        // Bucket complete: launch its allreduce while backprop continues.
+        bucket_reqs_[bi] = comm_.iallreduce_sum(
+            bucket_bufs_[bi], options_.tag_base + static_cast<int>(bi));
+        count(bucket_bufs_[bi].size() * sizeof(float));
+        ++hook_launches_;
+        overlap_bytes_ += bucket_bufs_[bi].size() * sizeof(float);
+        trace_counter("dist", "overlap_bytes",
+                      static_cast<double>(overlap_bytes_));
+      }
+    });
+  }
+  TensorMap out = executor().inference_and_backprop(feeds, loss_value());
+  if (overlap) {
+    plan->set_grad_ready_hook(nullptr);
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+      D500_CHECK_MSG(bucket_pending_[i] == 0,
+                     name() << ": bucket " << i << " never completed ("
+                            << bucket_pending_[i] << " gradients missing)");
+  }
+
+  // Drain (overlap) or run (blocking) the bucket allreduces in launch
+  // order, then scale and scatter back — one shared code path, so the two
+  // modes do the exact same arithmetic.
+  const float inv_n = 1.0f / static_cast<float>(comm_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    std::vector<float>& buf = bucket_bufs_[i];
+    if (overlap) {
+      comm_.wait(bucket_reqs_[i]);
+    } else {
+      const GradientBucket& b = buckets_[i];
+      for (std::size_t k = 0; k < b.params.size(); ++k) {
+        const Tensor& g = network().fetch_tensor(
+            Network::gradient_name(b.params[k]));
+        std::memcpy(buf.data() + b.offsets[k], g.data(), g.bytes());
+      }
+      comm_.allreduce_sum_ring(buf);
+      count(buf.size() * sizeof(float));
+    }
+    for (auto& v : buf) v *= inv_n;
+    const GradientBucket& b = buckets_[i];
+    for (std::size_t k = 0; k < b.params.size(); ++k) {
+      Tensor& g =
+          network().fetch_tensor(Network::gradient_name(b.params[k]));
+      std::memcpy(g.data(), buf.data() + b.offsets[k], g.bytes());
+    }
+  }
+  // Apply the base update rule on the averaged gradients (declaration
+  // order, like every other variant).
+  for (const auto& [pname, gname] : network().gradients()) {
+    const Tensor& g = network().fetch_tensor(gname);
+    Tensor updated =
+        base_->update_rule(g, network().fetch_tensor(pname), pname);
+    network().feed_tensor(pname, std::move(updated));
+  }
+  return out;
 }
 
 // ---- ConsistentCentralized (PSSGD) -----------------------------------------

@@ -88,6 +88,68 @@ class ConsistentDecentralized : public DistributedOptimizer {
 std::unique_ptr<ConsistentDecentralized> make_horovod_like(
     std::unique_ptr<ThreeStepOptimizer> base, Communicator& comm);
 
+/// One size-capped group of parameter gradients communicated as a unit.
+/// Parameters appear in canonical backward_ready_param_order, so a bucket
+/// fills up exactly as backprop retires its members.
+struct GradientBucket {
+  std::vector<std::string> params;
+  std::vector<std::size_t> offsets;  // element offset of each param
+  std::size_t elements = 0;
+};
+
+/// Greedy fill in backward_ready_param_order: a new bucket opens when
+/// adding the next gradient would exceed `cap_bytes` (a bucket always
+/// holds at least one tensor, so a cap below the largest tensor
+/// degenerates to one bucket per tensor — never a split tensor).
+std::vector<GradientBucket> build_gradient_buckets(const Network& net,
+                                                   std::size_t cap_bytes);
+
+struct BucketOptions {
+  std::size_t cap_bytes = 0;  // 0 → D500_BUCKET_KB env (default 1 MiB)
+  int overlap = -1;           // -1 → D500_OVERLAP env; 0/1 force off/on
+  int tag_base = 900;         // per-bucket iallreduce tag namespace
+};
+
+/// DSGD with bucketed gradient allreduce and optional communication/
+/// compute overlap. Gradients are grouped into size-capped buckets in the
+/// order backprop finishes them; with overlap on (and a PlanExecutor
+/// underneath) each bucket's nonblocking allreduce launches from the
+/// executor's grad-ready hook the moment the bucket's last gradient is
+/// published — while the remaining backward ops still run — and is drained
+/// after backprop. With overlap off the same buckets go through blocking
+/// ring allreduces after backprop. The two modes are bit-identical: the
+/// nonblocking completion reduces with the ring algorithm's exact
+/// summation order, the bucket layouts match, and the scale/update code is
+/// shared. Executors without the grad-ready hook fall back to the blocking
+/// path (still bucketed).
+class BucketedDecentralized : public DistributedOptimizer {
+ public:
+  BucketedDecentralized(std::unique_ptr<ThreeStepOptimizer> base,
+                        Communicator& comm, BucketOptions options = {});
+  std::string name() const override;
+  TensorMap train(const TensorMap& feeds) override;
+
+  /// Bucket partition in launch order (built on first train()).
+  const std::vector<GradientBucket>& buckets() const { return buckets_; }
+  bool overlap_enabled() const { return overlap_; }
+  /// Buckets launched via the grad-ready hook across all steps so far.
+  std::uint64_t hook_launches() const { return hook_launches_; }
+
+ private:
+  void ensure_buckets();
+
+  BucketOptions options_;
+  bool overlap_ = false;
+  std::vector<GradientBucket> buckets_;
+  std::vector<std::vector<float>> bucket_bufs_;
+  std::vector<int> bucket_pending_;
+  std::vector<AllreduceRequest> bucket_reqs_;
+  std::map<std::string, std::pair<std::size_t, std::size_t>>
+      param_site_;  // param -> (bucket index, element offset)
+  std::uint64_t hook_launches_ = 0;
+  std::uint64_t overlap_bytes_ = 0;
+};
+
 /// PSSGD: rank 0 is the parameter server (also a worker, as in the paper's
 /// reference implementation).
 class ConsistentCentralized : public DistributedOptimizer {

@@ -3,9 +3,35 @@
 #include <algorithm>
 #include <thread>
 
+#include "core/threadpool.hpp"
 #include "core/trace.hpp"
 
 namespace d500 {
+
+namespace {
+
+/// Chunk boundaries of the ring allreduce (n nearly-equal chunks of a
+/// `len`-element vector) — shared by the blocking algorithm and the
+/// ring-equivalent accounting/reduction of the nonblocking path.
+std::size_t ring_chunk_begin(std::size_t len, int n, int c) {
+  return len * static_cast<std::size_t>(c) / static_cast<std::size_t>(n);
+}
+std::size_t ring_chunk_size(std::size_t len, int n, int c) {
+  return ring_chunk_begin(len, n, c + 1) - ring_chunk_begin(len, n, c);
+}
+
+/// Bytes rank `r` sends in a blocking ring allreduce of `len` floats:
+/// n-1 reduce-scatter chunks then n-1 allgather chunks.
+std::uint64_t ring_send_bytes(int r, int n, std::size_t len) {
+  std::uint64_t bytes = 0;
+  for (int s = 0; s < n - 1; ++s) {
+    bytes += ring_chunk_size(len, n, ((r - s) % n + n) % n);
+    bytes += ring_chunk_size(len, n, ((r + 1 - s) % n + n) % n);
+  }
+  return bytes * sizeof(float);
+}
+
+}  // namespace
 
 SimMpi::SimMpi(int size)
     : size_(size),
@@ -73,6 +99,81 @@ void SimMpi::post(int src, int dst, int tag, std::vector<float> data) {
     box.queues[{src, tag}].push_back(Message{std::move(data)});
   }
   box.cv.notify_all();
+}
+
+void SimMpi::set_completion_scheduler(
+    std::function<void(std::function<void()>)> s) {
+  std::lock_guard<std::mutex> lock(coll_mu_);
+  completion_scheduler_ = std::move(s);
+}
+
+std::shared_ptr<SimMpi::CollectiveOp> SimMpi::join_collective(
+    int rank, int tag, std::uint64_t seq, std::span<float> data) {
+  std::shared_ptr<CollectiveOp> op;
+  std::function<void(std::function<void()>)> scheduler;
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lock(coll_mu_);
+    auto key = std::make_pair(tag, seq);
+    auto it = pending_colls_.find(key);
+    if (it == pending_colls_.end()) {
+      op = std::make_shared<CollectiveOp>();
+      op->expected = size_;
+      op->len = data.size();
+      op->bufs.resize(static_cast<std::size_t>(size_));
+      pending_colls_.emplace(key, op);
+    } else {
+      op = it->second;
+      D500_CHECK_MSG(data.size() == op->len,
+                     "iallreduce: buffer size mismatch across ranks (got "
+                         << data.size() << ", want " << op->len << ")");
+    }
+    op->bufs[static_cast<std::size_t>(rank)] = data;
+    if (++op->arrived == op->expected) {
+      pending_colls_.erase(key);
+      last = true;
+      scheduler = completion_scheduler_;
+    }
+  }
+  if (last) {
+    auto task = [op] {
+      complete_allreduce(*op);
+      op->done.store(true, std::memory_order_release);
+      ThreadPool::instance().notify();
+    };
+    if (scheduler) {
+      scheduler(std::move(task));
+    } else {
+      ThreadPool::instance().enqueue(std::move(task));
+    }
+  }
+  return op;
+}
+
+void SimMpi::complete_allreduce(CollectiveOp& op) {
+  D500_TRACE_SCOPE("dist", "iallreduce_complete");
+  const int n = op.expected;
+  const std::size_t len = op.len;
+  if (n == 1 || len == 0) {
+    return;
+  }
+  std::vector<float> acc(len);
+  // Per ring chunk c, fold contributions in cyclic order starting at rank
+  // c — the summation order chunk c experiences in allreduce_sum_ring
+  // (it originates at rank c and accumulates while travelling the ring).
+  for (int c = 0; c < n; ++c) {
+    const std::size_t lo = ring_chunk_begin(len, n, c);
+    const std::size_t sz = ring_chunk_size(len, n, c);
+    float* a = acc.data() + lo;
+    std::copy_n(op.bufs[static_cast<std::size_t>(c)].data() + lo, sz, a);
+    for (int s = 1; s < n; ++s) {
+      const float* src =
+          op.bufs[static_cast<std::size_t>((c + s) % n)].data() + lo;
+      for (std::size_t i = 0; i < sz; ++i) a[i] += src[i];
+    }
+  }
+  for (int r = 0; r < n; ++r)
+    std::copy(acc.begin(), acc.end(), op.bufs[static_cast<std::size_t>(r)].begin());
 }
 
 SimMpi::Message SimMpi::take(int src, int dst, int tag) {
@@ -264,6 +365,42 @@ void Communicator::allgather(std::span<const float> chunk,
     recv(left, out.subspan(csize * static_cast<std::size_t>(recv_c), csize),
          /*tag=*/500 + s);
   }
+}
+
+AllreduceRequest Communicator::iallreduce_sum(std::span<float> data, int tag) {
+  D500_TRACE_SCOPE("dist", "iallreduce_launch");
+  const std::uint64_t seq = coll_seq_[tag]++;
+  AllreduceRequest req;
+  req.op_ = world_->join_collective(rank_, tag, seq, data);
+  // Charge exactly what the blocking ring algorithm would send from this
+  // rank, so volume metrics are algorithm-equivalent across both paths.
+  const int n = size();
+  if (n > 1) {
+    std::lock_guard<std::mutex> lock(world_->stats_mu_);
+    auto& bytes = world_->bytes_sent_[static_cast<std::size_t>(rank_)];
+    bytes += ring_send_bytes(rank_, n, data.size());
+    world_->msgs_sent_[static_cast<std::size_t>(rank_)] +=
+        2 * static_cast<std::uint64_t>(n - 1);
+    trace_counter("dist", "bytes_sent", static_cast<double>(bytes));
+  }
+  return req;
+}
+
+void Communicator::wait(AllreduceRequest& req) {
+  if (!req.op_) return;
+  D500_TRACE_SCOPE("dist", "overlap_wait");
+  auto op = req.op_;
+  // Work the shared pool queue while waiting: on a worker-less pool (1
+  // thread) this is what actually runs the completion task, and on a busy
+  // pool it turns wait time into useful compute.
+  ThreadPool::instance().help_while(
+      [&op] { return op->done.load(std::memory_order_acquire); });
+  req.op_.reset();
+}
+
+bool Communicator::test(const AllreduceRequest& req) const {
+  return req.op_ == nullptr ||
+         req.op_->done.load(std::memory_order_acquire);
 }
 
 }  // namespace d500

@@ -11,11 +11,13 @@
 // dist/netmodel.hpp instead).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <vector>
@@ -25,6 +27,7 @@
 namespace d500 {
 
 class Communicator;
+class AllreduceRequest;
 
 /// A world of `size` ranks. run() launches one thread per rank and joins.
 class SimMpi {
@@ -44,8 +47,29 @@ class SimMpi {
   std::uint64_t messages_sent(int rank) const;
   void reset_counters();
 
+  /// Test-only hook intercepting nonblocking-collective completion tasks.
+  /// The default (empty) scheduler enqueues each completion onto the shared
+  /// thread pool; a test can capture the closures instead and run them in
+  /// an adversarial order — results must not depend on it. Completions left
+  /// unexecuted deadlock wait(), exactly like a lost MPI message would.
+  void set_completion_scheduler(std::function<void(std::function<void()>)> s);
+
  private:
   friend class Communicator;
+  friend class AllreduceRequest;
+
+  /// Shared state of one in-flight nonblocking allreduce: every rank's
+  /// buffer span, registered on arrival. The last arrival schedules a
+  /// single completion task that reduces with the blocking ring algorithm's
+  /// exact arithmetic and fans the result out to every registered span
+  /// (buffers must stay valid until wait(), as in MPI).
+  struct CollectiveOp {
+    int expected = 0;
+    int arrived = 0;
+    std::size_t len = 0;                 // element count (all ranks equal)
+    std::vector<std::span<float>> bufs;  // indexed by rank
+    std::atomic<bool> done{false};
+  };
 
   struct Message {
     std::vector<float> data;
@@ -59,8 +83,27 @@ class SimMpi {
   void post(int src, int dst, int tag, std::vector<float> data);
   Message take(int src, int dst, int tag);
 
+  /// Rank `rank` joins nonblocking collective (tag, seq); returns the
+  /// shared op. The last arrival schedules the completion task.
+  std::shared_ptr<CollectiveOp> join_collective(int rank, int tag,
+                                                std::uint64_t seq,
+                                                std::span<float> data);
+  /// Ring-equivalent reduction: for each ring chunk c, fold the ranks'
+  /// contributions in cyclic order starting at rank c — the exact
+  /// summation order (IEEE addition is commutative) of
+  /// Communicator::allreduce_sum_ring — then fan the chunk out to every
+  /// buffer. Bit-identical to the blocking path by construction.
+  static void complete_allreduce(CollectiveOp& op);
+
   int size_;
   std::vector<Mailbox> mailboxes_;  // one per destination rank
+
+  // Nonblocking collectives in flight, keyed by (tag, per-tag sequence).
+  // Entries are erased by the last arrival (waiters hold shared_ptrs).
+  std::mutex coll_mu_;
+  std::map<std::pair<int, std::uint64_t>, std::shared_ptr<CollectiveOp>>
+      pending_colls_;
+  std::function<void(std::function<void()>)> completion_scheduler_;
 
   // Barrier state (central counter, generation-based).
   std::mutex barrier_mu_;
@@ -104,12 +147,53 @@ class Communicator {
   /// size*chunk, rank r's contribution at offset r*chunk.
   void allgather(std::span<const float> chunk, std::span<float> out);
 
+  /// Nonblocking allreduce (sum). Returns immediately with a handle; the
+  /// reduction runs as a single task on the shared thread pool once every
+  /// rank has joined, so communication proceeds while the caller keeps
+  /// computing. `data` must stay valid and untouched until wait()/test()
+  /// reports completion, and holds the full sum afterwards. Matching is by
+  /// (tag, per-tag call sequence): every rank's i-th iallreduce on a tag
+  /// joins the same collective, so launch order across tags may differ
+  /// between ranks. Results are bit-identical to allreduce_sum_ring on the
+  /// same data, and byte/message accounting charges exactly what the
+  /// blocking ring algorithm would send.
+  AllreduceRequest iallreduce_sum(std::span<float> data, int tag = 0);
+
+  /// Blocks until `req` completes. While blocked, the calling thread works
+  /// the shared pool queue (it may execute other ranks' completion tasks —
+  /// that is the single-core overlap story, and it also means wait() makes
+  /// progress even on a pool with no workers). Idempotent: a second wait
+  /// on the same handle returns immediately.
+  void wait(AllreduceRequest& req);
+
+  /// Nonblocking completion poll.
+  bool test(const AllreduceRequest& req) const;
+
  private:
   friend class SimMpi;
   Communicator(SimMpi* world, int rank) : world_(world), rank_(rank) {}
 
   SimMpi* world_;
   int rank_;
+  std::map<int, std::uint64_t> coll_seq_;  // per-tag iallreduce call count
+};
+
+/// Handle for a nonblocking collective (default-constructed = empty, and
+/// wait() on it is a no-op). Movable, not copyable: exactly one owner
+/// waits, like an MPI_Request.
+class AllreduceRequest {
+ public:
+  AllreduceRequest() = default;
+  AllreduceRequest(AllreduceRequest&&) = default;
+  AllreduceRequest& operator=(AllreduceRequest&&) = default;
+  AllreduceRequest(const AllreduceRequest&) = delete;
+  AllreduceRequest& operator=(const AllreduceRequest&) = delete;
+
+  bool valid() const { return op_ != nullptr; }
+
+ private:
+  friend class Communicator;
+  std::shared_ptr<SimMpi::CollectiveOp> op_;
 };
 
 }  // namespace d500

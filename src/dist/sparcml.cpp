@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "core/trace.hpp"
+#include "frameworks/plan_executor.hpp"
 
 namespace d500 {
 
@@ -157,13 +158,53 @@ SparCMLOptimizer::SparCMLOptimizer(std::unique_ptr<ThreeStepOptimizer> base,
       switch_threshold_(dense_switch_threshold) {}
 
 TensorMap SparCMLOptimizer::train(const TensorMap& feeds) {
+  // Lay out the packed gradient vector (declaration order, matching
+  // pack_gradients) once.
+  if (pack_offset_.empty()) {
+    std::size_t off = 0;
+    for (const auto& [pname, gname] : network().gradients()) {
+      pack_offset_[pname] = off;
+      off += static_cast<std::size_t>(network().fetch_tensor(pname).elements());
+    }
+    packed_.assign(off, 0.0f);
+    residual_.assign(off, 0.0f);
+  }
+
+  // Overlap path: fuse the residual re-add into the per-gradient pack and
+  // run it from the executor's grad-ready hook, element-for-element the
+  // same arithmetic as the batch loop below.
+  auto* plan = dynamic_cast<PlanExecutor*>(&executor());
+  const bool overlap = plan != nullptr && plan->options().overlap_comm;
+  if (overlap) {
+    plan->set_grad_ready_hook([this](const std::string& pname,
+                                     const Tensor& g) {
+      auto it = pack_offset_.find(pname);
+      if (it == pack_offset_.end()) return;
+      D500_TRACE_SCOPE("dist", "sparse_pack");
+      const float* src = g.data();
+      float* dst = packed_.data() + it->second;
+      const float* res = residual_.data() + it->second;
+      for (std::int64_t i = 0; i < g.elements(); ++i) dst[i] = src[i] + res[i];
+      ++hook_packs_;
+    });
+  }
+
   return step_with_gradients(feeds, [&] {
-    std::vector<float> grads = pack_gradients(network());
-    // Residual feedback: re-add the mass dropped by earlier
-    // sparsifications before selecting this step's top-k.
-    if (residual_.size() != grads.size())
-      residual_.assign(grads.size(), 0.0f);
-    for (std::size_t i = 0; i < grads.size(); ++i) grads[i] += residual_[i];
+    if (overlap) {
+      plan->set_grad_ready_hook(nullptr);
+    } else {
+      // Residual feedback: re-add the mass dropped by earlier
+      // sparsifications before selecting this step's top-k.
+      std::size_t off = 0;
+      for (const auto& [pname, gname] : network().gradients()) {
+        const Tensor& g = network().fetch_tensor(gname);
+        for (std::int64_t i = 0; i < g.elements(); ++i)
+          packed_[off + static_cast<std::size_t>(i)] =
+              g.data()[i] + residual_[off + static_cast<std::size_t>(i)];
+        off += static_cast<std::size_t>(g.elements());
+      }
+    }
+    std::vector<float>& grads = packed_;
 
     const auto k = static_cast<std::int64_t>(
         density_ * static_cast<double>(grads.size()));

@@ -56,6 +56,11 @@ SparseAllreduceStats sparse_allreduce(Communicator& comm,
                                       double dense_switch_threshold = 0.35);
 
 /// DSGD with SparCML sparse gradient aggregation (+ residual feedback).
+/// When the executor is a PlanExecutor with overlap_comm on, the
+/// residual-add + pack of each gradient runs from the grad-ready hook as
+/// backprop retires it (same element-wise arithmetic, overlapped with the
+/// remaining backward ops); the global top-k selection necessarily stays
+/// after backprop — it needs every gradient.
 class SparCMLOptimizer : public DistributedOptimizer {
  public:
   SparCMLOptimizer(std::unique_ptr<ThreeStepOptimizer> base,
@@ -65,12 +70,17 @@ class SparCMLOptimizer : public DistributedOptimizer {
   TensorMap train(const TensorMap& feeds) override;
 
   double last_density() const { return last_density_; }
+  /// Gradients packed via the grad-ready hook across all steps so far.
+  std::uint64_t hook_packs() const { return hook_packs_; }
 
  private:
   double density_;
   double switch_threshold_;
   double last_density_ = 0.0;
   std::vector<float> residual_;
+  std::vector<float> packed_;
+  std::map<std::string, std::size_t> pack_offset_;
+  std::uint64_t hook_packs_ = 0;
 };
 
 }  // namespace d500

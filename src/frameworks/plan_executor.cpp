@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "core/arena.hpp"
+#include "core/env.hpp"
 #include "core/threadpool.hpp"
 #include "core/timer.hpp"
 #include "core/trace.hpp"
@@ -20,6 +21,8 @@ bool is_shape_op_type(const std::string& t) {
 }
 
 }  // namespace
+
+bool overlap_comm_default() { return overlap_comm_setting(); }
 
 int PlanExecutor::slot_of(const std::string& value) const {
   auto it = slot_index_.find(value);
@@ -68,6 +71,8 @@ void PlanExecutor::compile(const TensorMap& feeds, bool training) {
   value_is_stored_.clear();
   grad_needed_.clear();
   grad_publish_.clear();
+  publish_at_step_.clear();
+  publish_head_.clear();
   output_bindings_.clear();
   outputs_view_.clear();
   plan_buffers_.clear();
@@ -311,7 +316,24 @@ void PlanExecutor::compile(const TensorMap& feeds, bool training) {
       auto sit = slot_index_.find(pname);
       grad_publish_.push_back(
           {sit == slot_index_.end() ? -1 : sit->second,
-           &net_.fetch_tensor(gname)});
+           &net_.fetch_tensor(gname), pname});
+    }
+    // Eager-publish schedule: a parameter's gradient is final once the
+    // reverse walk has passed its earliest consumer step (that consumer is
+    // the last one backward visits). Within a step, grad_publish_ order is
+    // declaration order — the tie-break backward_ready_param_order uses —
+    // so ascending index here reproduces the canonical ready order.
+    publish_at_step_.assign(steps_.size(), {});
+    std::map<std::string, std::size_t> first_consumer;
+    for (std::size_t i = 0; i < steps_.size(); ++i)
+      for (const auto& in : steps_[i].node->inputs)
+        first_consumer.emplace(in, i);
+    for (std::size_t j = 0; j < grad_publish_.size(); ++j) {
+      auto fit = first_consumer.find(grad_publish_[j].pname);
+      if (grad_publish_[j].slot < 0 || fit == first_consumer.end())
+        publish_head_.push_back(static_cast<int>(j));
+      else
+        publish_at_step_[fit->second].push_back(static_cast<int>(j));
     }
   }
   grad_live_.assign(slot_names_.size(), 0);
@@ -528,6 +550,19 @@ int PlanExecutor::resolve_loss_slot(const std::string& loss_value) const {
   return slot_of(net_.outputs().back());
 }
 
+void PlanExecutor::publish_gradient(const GradPublish& gp) {
+  if (gp.slot < 0) {
+    gp.dst->fill(0.0f);
+    return;
+  }
+  const Tensor& g = grads_[static_cast<std::size_t>(gp.slot)];
+  if (gp.dst->shape() != g.shape()) {
+    *gp.dst = g;  // stored tensor was replaced externally; re-shape
+  } else if (g.elements() > 0) {
+    std::memcpy(gp.dst->data(), g.data(), g.bytes());
+  }
+}
+
 void PlanExecutor::backprop_core(int loss_slot) {
   grad_live_.assign(grad_live_.size(), 0);
   for (std::size_t s = 0; s < grads_.size(); ++s)
@@ -535,45 +570,61 @@ void PlanExecutor::backprop_core(int loss_slot) {
   grads_[static_cast<std::size_t>(loss_slot)].fill(1.0f);
   grad_live_[static_cast<std::size_t>(loss_slot)] = 1;
 
-  for (auto it = steps_.rbegin(); it != steps_.rend(); ++it) {
-    Step& step = *it;
+  // Eager mode publishes each parameter gradient (and fires the hook) the
+  // moment the reverse walk passes the parameter's earliest consumer; the
+  // batch mode below publishes after the walk. Values and order match
+  // exactly — only the interleaving with backward ops differs.
+  const bool eager = options_.overlap_comm && grad_ready_hook_ != nullptr;
+  auto flush = [&](const std::vector<int>& ready) {
+    for (int j : ready) {
+      const GradPublish& gp = grad_publish_[static_cast<std::size_t>(j)];
+      publish_gradient(gp);
+      if (grad_ready_hook_) grad_ready_hook_(gp.pname, *gp.dst);
+    }
+  };
+  if (eager) flush(publish_head_);
+
+  for (std::size_t i = steps_.size(); i-- > 0;) {
+    Step& step = steps_[i];
     bool any = false;
     for (int s : step.out_slots)
       if (grad_live_[static_cast<std::size_t>(s)]) any = true;
-    if (!any) continue;
+    if (any) {
+      // Backward may accumulate into its grad_in arguments, so the scratch
+      // buffers are re-zeroed every step (they persist across steps).
+      for (std::size_t k = 0; k < step.bw_grad_in.size(); ++k)
+        if (step.bw_grad_in[k]) step.scratch[k].fill(0.0f);
 
-    // Backward may accumulate into its grad_in arguments, so the scratch
-    // buffers are re-zeroed every step (they persist across steps).
-    for (std::size_t k = 0; k < step.bw_grad_in.size(); ++k)
-      if (step.bw_grad_in[k]) step.scratch[k].fill(0.0f);
+      {
+        D500_TRACE_SCOPE("grad", step.node->name);
+        step.node->op->backward(step.bw_grad_out, step.fwd_in, step.bw_fwd_out,
+                                step.bw_grad_in);
+      }
 
-    {
-      D500_TRACE_SCOPE("grad", step.node->name);
-      step.node->op->backward(step.bw_grad_out, step.fwd_in, step.bw_fwd_out,
-                              step.bw_grad_in);
+      for (std::size_t k = 0; k < step.bw_grad_in.size(); ++k) {
+        if (!step.bw_grad_in[k]) continue;
+        const auto s = static_cast<std::size_t>(step.in_slots[k]);
+        axpy(1.0f, step.scratch[k], grads_[s]);
+        grad_live_[s] = 1;
+      }
     }
-
-    for (std::size_t k = 0; k < step.bw_grad_in.size(); ++k) {
-      if (!step.bw_grad_in[k]) continue;
-      const auto s = static_cast<std::size_t>(step.in_slots[k]);
-      axpy(1.0f, step.scratch[k], grads_[s]);
-      grad_live_[s] = 1;
-    }
+    if (eager) flush(publish_at_step_[i]);
   }
 
+  if (eager) return;  // every entry was flushed inline above
+
   // Publish parameter gradients in place (zero for parameters the compiled
-  // graph never consumes).
-  for (const GradPublish& gp : grad_publish_) {
-    if (gp.slot < 0) {
-      gp.dst->fill(0.0f);
-      continue;
-    }
-    const Tensor& g = grads_[static_cast<std::size_t>(gp.slot)];
-    if (gp.dst->shape() != g.shape()) {
-      *gp.dst = g;  // stored tensor was replaced externally; re-shape
-    } else if (g.elements() > 0) {
-      std::memcpy(gp.dst->data(), g.data(), g.bytes());
-    }
+  // graph never consumes), then fire the hook in canonical ready order.
+  for (const GradPublish& gp : grad_publish_) publish_gradient(gp);
+  if (grad_ready_hook_) {
+    auto fire = [&](const std::vector<int>& ready) {
+      for (int j : ready) {
+        const GradPublish& gp = grad_publish_[static_cast<std::size_t>(j)];
+        grad_ready_hook_(gp.pname, *gp.dst);
+      }
+    };
+    fire(publish_head_);
+    for (std::size_t i = steps_.size(); i-- > 0;) fire(publish_at_step_[i]);
   }
 }
 

@@ -53,6 +53,10 @@
 
 namespace d500 {
 
+/// Default for ExecOptions::overlap_comm: the D500_OVERLAP environment
+/// knob (core/env overlap_comm_setting), read fresh at construction.
+bool overlap_comm_default();
+
 struct ExecOptions {
   bool reuse_activations = true;
   bool string_dispatch = false;
@@ -60,6 +64,18 @@ struct ExecOptions {
   bool parallel = false;
   bool memory_plan = true;
   bool prepack_weights = true;
+  //   * overlap_comm       — publish each parameter gradient (and fire the
+  //                          grad-ready hook) as soon as the backward walk
+  //                          has passed the parameter's earliest consumer,
+  //                          instead of in one batch after the walk. The
+  //                          publish values and order are identical either
+  //                          way (the hook fires in canonical
+  //                          backward_ready_param_order); only the timing
+  //                          moves, which is what lets a distributed
+  //                          optimizer launch bucket allreduces while the
+  //                          rest of backprop still runs. No effect unless
+  //                          a hook is installed.
+  bool overlap_comm = overlap_comm_default();
 };
 
 class PlanExecutor : public GraphExecutor {
@@ -98,6 +114,19 @@ class PlanExecutor : public GraphExecutor {
   };
   const std::map<std::string, LaunchStats>& launch_stats() const {
     return launch_stats_;
+  }
+
+  /// Called once per trainable parameter per backprop, right after that
+  /// parameter's gradient is published into Network storage, with the
+  /// parameter name and the published tensor. With overlap_comm on the
+  /// calls interleave with the remaining backward ops (fired from the
+  /// backprop thread the moment the gradient is final); with it off they
+  /// fire in one batch after the walk — in the same canonical
+  /// backward_ready_param_order either way. Distributed optimizers hang
+  /// gradient bucketing off this. Pass nullptr to uninstall.
+  using GradReadyHook = std::function<void(const std::string&, const Tensor&)>;
+  void set_grad_ready_hook(GradReadyHook hook) {
+    grad_ready_hook_ = std::move(hook);
   }
 
  private:
@@ -207,8 +236,17 @@ class PlanExecutor : public GraphExecutor {
   struct GradPublish {
     int slot = -1;
     Tensor* dst = nullptr;
+    std::string pname;
   };
+  void publish_gradient(const GradPublish& gp);
   std::vector<GradPublish> grad_publish_;
+  // Eager-publish schedule (overlap_comm): grad_publish_ indices that are
+  // final once the reverse walk has passed step i, plus the entries that
+  // are final before the walk starts (parameters no compiled step
+  // consumes: their gradient is the zero it was just reset to).
+  std::vector<std::vector<int>> publish_at_step_;
+  std::vector<int> publish_head_;
+  GradReadyHook grad_ready_hook_;
 
   // step() outputs: borrowed views over the output slots.
   struct OutputBinding {

@@ -144,4 +144,34 @@ std::int64_t Network::parameter_count() const {
   return n;
 }
 
+std::vector<std::string> backward_ready_param_order(const Network& net) {
+  const auto& nodes = net.nodes();
+  const auto& params = net.parameters();
+  constexpr std::size_t kUnconsumed = static_cast<std::size_t>(-1);
+  std::map<std::string, std::size_t> min_consumer;
+  for (const auto& p : params) min_consumer[p] = kUnconsumed;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (const auto& in : nodes[i].inputs) {
+      auto it = min_consumer.find(in);
+      if (it != min_consumer.end() && it->second == kUnconsumed)
+        it->second = i;  // first hit is the min (ascending scan)
+    }
+  }
+  // Indices into `params`, stable-sorted so declaration order breaks ties.
+  std::vector<std::size_t> idx(params.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    const std::size_t ca = min_consumer[params[a]];
+    const std::size_t cb = min_consumer[params[b]];
+    if (ca == cb) return false;
+    if (ca == kUnconsumed) return true;   // ready before the walk starts
+    if (cb == kUnconsumed) return false;
+    return ca > cb;  // visited earlier in the reverse walk
+  });
+  std::vector<std::string> order;
+  order.reserve(params.size());
+  for (std::size_t i : idx) order.push_back(params[i]);
+  return order;
+}
+
 }  // namespace d500

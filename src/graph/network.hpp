@@ -112,4 +112,16 @@ class Network {
   std::uint64_t params_version_ = 0;
 };
 
+/// Canonical gradient-readiness order of the trainable parameters during
+/// backprop: a parameter's gradient is final once the backward walk has
+/// visited ALL of its consumer nodes, i.e. after the consumer with the
+/// smallest topological index (backprop walks nodes in reverse). Sorted by
+/// descending min-consumer index — the order gradients finish during the
+/// backward pass — with ties broken by declaration order and unconsumed
+/// parameters (gradient is trivially zero) first, since they are "ready"
+/// before the walk begins. Gradient bucketing (dist/dist_optimizer) and
+/// the PlanExecutor's eager gradient publication both derive from this one
+/// rule so bucket launch order is consistent everywhere.
+std::vector<std::string> backward_ready_param_order(const Network& net);
+
 }  // namespace d500

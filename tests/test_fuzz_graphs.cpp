@@ -8,12 +8,24 @@
 // This is the white-box counterpart of the paper's ONNX correctness tests:
 // instead of a fixed operator conformance suite, the DAG space itself is
 // sampled.
+//
+// The differential training harness below extends the property to whole
+// training runs: the same random model trained with bucketed-allreduce
+// DSGD must produce bit-identical parameters and losses within each
+// executor engine across thread counts (1/2/4) and communication-overlap
+// on/off — the executors' determinism contracts composed with the
+// ring-equivalent nonblocking collectives.
 #include <gtest/gtest.h>
 
+#include "core/threadpool.hpp"
+#include "dist/dist_optimizer.hpp"
 #include "frameworks/framework.hpp"
+#include "frameworks/plan_executor.hpp"
+#include "graph/parallel_executor.hpp"
 #include "graph/shape_inference.hpp"
 #include "graph/visitor.hpp"
 #include "models/builders.hpp"
+#include "train/optimizers.hpp"
 
 namespace d500 {
 namespace {
@@ -188,6 +200,137 @@ TEST_P(FuzzGraphs, AllExecutorsAgreeForwardAndBackward) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzGraphs,
                          ::testing::Range<std::uint64_t>(1, 21),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// ---- differential training harness ----------------------------------------
+
+/// FNV-1a over raw bytes (same checksum bench_parallel_executor prints).
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+enum class Engine { kReference, kParallel, kPlan };
+constexpr Engine kEngines[] = {Engine::kReference, Engine::kParallel,
+                               Engine::kPlan};
+const char* engine_name(Engine e) {
+  switch (e) {
+    case Engine::kReference: return "reference";
+    case Engine::kParallel: return "parallel";
+    default: return "plan";
+  }
+}
+
+struct TrainRun {
+  std::uint64_t param_checksum = 0;
+  std::vector<float> losses;
+};
+
+/// Trains the seed's random model for 3 steps with bucketed-allreduce DSGD
+/// on a 2-rank world (both ranks see the same minibatch, so statistical
+/// behaviour matches single-process SGD while every collective still
+/// runs); returns rank 0's parameter checksum and per-step losses.
+TrainRun differential_train(Engine engine, int threads, bool overlap,
+                            std::uint64_t seed) {
+  ThreadPool::instance().reset(threads);
+  const Model m = random_model(seed);
+  SimMpi mpi(2);
+  TrainRun run;
+  std::mutex mu;
+  mpi.run([&](Communicator& comm) {
+    std::unique_ptr<GraphExecutor> exec;
+    switch (engine) {
+      case Engine::kReference:
+        exec = std::make_unique<ReferenceExecutor>(build_network(m));
+        break;
+      case Engine::kParallel:
+        exec = std::make_unique<ParallelExecutor>(build_network(m));
+        break;
+      case Engine::kPlan: {
+        ExecOptions opts;
+        opts.overlap_comm = overlap;
+        exec = std::make_unique<PlanExecutor>(build_network(m), "plan", opts);
+        break;
+      }
+    }
+    auto base = std::make_unique<GradientDescentOptimizer>(*exec, 0.05);
+    BucketOptions bopts;
+    bopts.cap_bytes = 1024;  // small cap: multiple buckets on most seeds
+    bopts.overlap = overlap ? 1 : 0;
+    BucketedDecentralized opt(std::move(base), comm, bopts);
+    opt.set_loss_value("loss");
+    std::vector<float> losses;
+    for (int s = 0; s < 3; ++s) {
+      const TensorMap feeds = random_feeds(m, seed + 1000 * (s + 1));
+      losses.push_back(opt.train(feeds).at("loss").at(0));
+    }
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lock(mu);
+      const Network& net = exec->network();
+      std::uint64_t h = 1469598103934665603ull;
+      for (const auto& pname : net.parameters()) {
+        const Tensor& p = net.fetch_tensor(pname);
+        h = fnv1a(h, p.data(), p.bytes());
+      }
+      run.param_checksum = h;
+      run.losses = std::move(losses);
+    }
+  });
+  return run;
+}
+
+class FuzzTrainingDifferential
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzTrainingDifferential, BitIdenticalAcrossThreadsAndOverlap) {
+  const std::uint64_t seed = GetParam();
+  const int pool_before = ThreadPool::instance().num_threads();
+
+  // Engine baselines: 1 thread, overlap off.
+  std::map<Engine, TrainRun> baseline;
+  for (Engine e : kEngines) baseline[e] = differential_train(e, 1, false, seed);
+
+  // Reference and Parallel share a determinism contract: bit-identical to
+  // each other. Plan differs numerically (packed GEMM accumulation order),
+  // so it only has to stay close.
+  EXPECT_EQ(baseline[Engine::kReference].param_checksum,
+            baseline[Engine::kParallel].param_checksum)
+      << "seed=" << seed;
+  ASSERT_EQ(baseline[Engine::kPlan].losses.size(),
+            baseline[Engine::kReference].losses.size());
+  for (std::size_t s = 0; s < baseline[Engine::kPlan].losses.size(); ++s)
+    EXPECT_NEAR(baseline[Engine::kPlan].losses[s],
+                baseline[Engine::kReference].losses[s], 5e-3f)
+        << "seed=" << seed << " step " << s;
+
+  // The differential sweep: every (threads, overlap) cell must reproduce
+  // its engine's baseline exactly — parameters and losses, bit for bit.
+  for (Engine e : kEngines) {
+    for (int threads : {1, 2, 4}) {
+      for (bool overlap : {false, true}) {
+        const TrainRun got = differential_train(e, threads, overlap, seed);
+        EXPECT_EQ(got.param_checksum, baseline[e].param_checksum)
+            << engine_name(e) << " threads=" << threads
+            << " overlap=" << overlap << " seed=" << seed;
+        ASSERT_EQ(got.losses.size(), baseline[e].losses.size());
+        for (std::size_t s = 0; s < got.losses.size(); ++s)
+          EXPECT_EQ(got.losses[s], baseline[e].losses[s])
+              << engine_name(e) << " threads=" << threads
+              << " overlap=" << overlap << " seed=" << seed << " step " << s;
+      }
+    }
+  }
+  ThreadPool::instance().reset(pool_before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTrainingDifferential,
+                         ::testing::Range<std::uint64_t>(1, 7),
                          [](const auto& info) {
                            return "seed" + std::to_string(info.param);
                          });

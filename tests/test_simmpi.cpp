@@ -1,14 +1,28 @@
 // SimMPI tests: point-to-point semantics, collectives vs. analytic
 // expectations across world sizes (incl. non-powers of two), byte
-// accounting, and exception propagation.
+// accounting, exception propagation, and the nonblocking allreduce —
+// including fuzzed adversarial completion orders through the test-only
+// scheduler hook, which must never change the bit pattern of the result.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
+#include <random>
 
 #include "dist/simmpi.hpp"
 
 namespace d500 {
 namespace {
+
+/// Per-rank deterministic random vector (same across both worlds of a
+/// comparison, different across ranks and buckets).
+std::vector<float> random_vec(std::size_t len, int rank, int salt) {
+  std::mt19937 rng(static_cast<unsigned>(9000 + 131 * rank + salt));
+  std::uniform_real_distribution<float> dist(-2.0f, 2.0f);
+  std::vector<float> v(len);
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
 
 TEST(SimMpi, SendRecvDeliversData) {
   SimMpi world(2);
@@ -162,6 +176,200 @@ TEST(SimMpi, RdAllreduceSendsLogRounds) {
   // Power-of-two world: log2(n)=3 full-vector sends per rank.
   for (int r = 0; r < n; ++r)
     EXPECT_EQ(world.bytes_sent(r), 3 * elems * sizeof(float));
+}
+
+TEST_P(CollectiveWorlds, IallreduceMatchesBlockingRingBitwise) {
+  const int n = GetParam();
+  // Uneven chunking on purpose (13 % n != 0 for most n).
+  for (const std::size_t len : {std::size_t{1}, std::size_t{13},
+                                std::size_t{257}}) {
+    SimMpi world(n);
+    world.run([&](Communicator& c) {
+      std::vector<float> blocking = random_vec(len, c.rank(), 0);
+      std::vector<float> nonblocking = blocking;
+      c.allreduce_sum_ring(blocking);
+      AllreduceRequest req = c.iallreduce_sum(nonblocking);
+      c.wait(req);
+      EXPECT_FALSE(req.valid());
+      for (std::size_t i = 0; i < len; ++i)
+        ASSERT_EQ(blocking[i], nonblocking[i])
+            << "rank " << c.rank() << " len " << len << " i=" << i;
+    });
+  }
+}
+
+TEST_P(CollectiveWorlds, IallreduceManyInFlightDrainedInAnyOrder) {
+  const int n = GetParam();
+  constexpr int kBuckets = 5;
+  const std::size_t sizes[kBuckets] = {7, 64, 1, 129, 32};
+  SimMpi world(n);
+  world.run([&](Communicator& c) {
+    std::vector<std::vector<float>> expected(kBuckets), got(kBuckets);
+    for (int b = 0; b < kBuckets; ++b) {
+      expected[b] = random_vec(sizes[b], c.rank(), b + 1);
+      got[b] = expected[b];
+      c.allreduce_sum_ring(expected[b]);
+    }
+    std::vector<AllreduceRequest> reqs(kBuckets);
+    for (int b = 0; b < kBuckets; ++b)
+      reqs[b] = c.iallreduce_sum(got[b], /*tag=*/b);
+    // Drain back-to-front: completion must not depend on wait order.
+    for (int b = kBuckets - 1; b >= 0; --b) c.wait(reqs[b]);
+    for (int b = 0; b < kBuckets; ++b)
+      for (std::size_t i = 0; i < sizes[b]; ++i)
+        ASSERT_EQ(expected[b][i], got[b][i])
+            << "rank " << c.rank() << " bucket " << b << " i=" << i;
+  });
+}
+
+TEST(SimMpi, IallreduceTagMatchingIgnoresLaunchOrder) {
+  // Matching is (tag, per-tag sequence): ranks may launch tags in
+  // different orders without cross-matching buffers.
+  const int n = 4;
+  SimMpi world(n);
+  world.run([&](Communicator& c) {
+    std::vector<float> a(11), b(11);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      a[i] = static_cast<float>(c.rank() + 1);
+      b[i] = static_cast<float>(10 * (c.rank() + 1));
+    }
+    AllreduceRequest ra, rb;
+    if (c.rank() % 2 == 0) {
+      ra = c.iallreduce_sum(a, /*tag=*/1);
+      rb = c.iallreduce_sum(b, /*tag=*/2);
+    } else {
+      rb = c.iallreduce_sum(b, /*tag=*/2);
+      ra = c.iallreduce_sum(a, /*tag=*/1);
+    }
+    c.wait(ra);
+    c.wait(rb);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_FLOAT_EQ(a[i], static_cast<float>(n * (n + 1) / 2));
+      ASSERT_FLOAT_EQ(b[i], static_cast<float>(10 * n * (n + 1) / 2));
+    }
+  });
+}
+
+TEST(SimMpi, IallreduceByteAccountingMatchesBlockingRingExactly) {
+  for (const int n : {2, 3, 4, 5}) {
+    for (const std::size_t elems : {std::size_t{17}, std::size_t{1024}}) {
+      SimMpi blocking_world(n), nonblocking_world(n);
+      blocking_world.run([&](Communicator& c) {
+        std::vector<float> data(elems, 1.0f);
+        c.allreduce_sum_ring(data);
+      });
+      nonblocking_world.run([&](Communicator& c) {
+        std::vector<float> data(elems, 1.0f);
+        AllreduceRequest req = c.iallreduce_sum(data);
+        c.wait(req);
+      });
+      for (int r = 0; r < n; ++r) {
+        EXPECT_EQ(blocking_world.bytes_sent(r),
+                  nonblocking_world.bytes_sent(r))
+            << "n=" << n << " elems=" << elems << " rank " << r;
+        EXPECT_EQ(blocking_world.messages_sent(r),
+                  nonblocking_world.messages_sent(r))
+            << "n=" << n << " elems=" << elems << " rank " << r;
+      }
+    }
+  }
+}
+
+TEST(SimMpi, IallreduceFuzzAdversarialCompletionOrder) {
+  // Random worlds, random bucket counts and sizes, and completion tasks
+  // executed in a shuffled order on one rank's thread instead of the
+  // thread pool: results must stay bit-identical to the blocking ring
+  // path no matter when or where completions run.
+  for (unsigned trial = 0; trial < 8; ++trial) {
+    std::mt19937 rng(777 + trial);
+    const int n = std::uniform_int_distribution<int>(2, 5)(rng);
+    const int buckets = std::uniform_int_distribution<int>(1, 6)(rng);
+    std::vector<std::size_t> sizes(static_cast<std::size_t>(buckets));
+    for (auto& s : sizes)
+      s = static_cast<std::size_t>(
+          std::uniform_int_distribution<int>(1, 300)(rng));
+
+    // Reference results from the blocking path.
+    std::vector<std::vector<std::vector<float>>> expected(
+        static_cast<std::size_t>(n));
+    SimMpi ref_world(n);
+    ref_world.run([&](Communicator& c) {
+      auto& mine = expected[static_cast<std::size_t>(c.rank())];
+      mine.resize(static_cast<std::size_t>(buckets));
+      for (int b = 0; b < buckets; ++b) {
+        mine[static_cast<std::size_t>(b)] = random_vec(
+            sizes[static_cast<std::size_t>(b)], c.rank(),
+            static_cast<int>(trial * 100) + b);
+        c.allreduce_sum_ring(mine[static_cast<std::size_t>(b)]);
+      }
+    });
+
+    SimMpi world(n);
+    std::mutex mu;
+    std::vector<std::function<void()>> captured;
+    world.set_completion_scheduler([&](std::function<void()> task) {
+      std::lock_guard<std::mutex> lock(mu);
+      captured.push_back(std::move(task));
+    });
+    const unsigned shuffle_seed = rng();
+    world.run([&](Communicator& c) {
+      std::vector<std::vector<float>> data(static_cast<std::size_t>(buckets));
+      std::vector<AllreduceRequest> reqs(static_cast<std::size_t>(buckets));
+      for (int b = 0; b < buckets; ++b) {
+        data[static_cast<std::size_t>(b)] = random_vec(
+            sizes[static_cast<std::size_t>(b)], c.rank(),
+            static_cast<int>(trial * 100) + b);
+        reqs[static_cast<std::size_t>(b)] = c.iallreduce_sum(
+            data[static_cast<std::size_t>(b)], /*tag=*/b);
+      }
+      // All ranks have joined every collective after this barrier, so all
+      // completion tasks are captured; rank 0 runs them shuffled.
+      c.barrier();
+      if (c.rank() == 0) {
+        std::lock_guard<std::mutex> lock(mu);
+        EXPECT_EQ(captured.size(), static_cast<std::size_t>(buckets));
+        std::shuffle(captured.begin(), captured.end(),
+                     std::mt19937(shuffle_seed));
+        for (auto& task : captured) task();
+        captured.clear();
+      }
+      for (int b = 0; b < buckets; ++b) c.wait(reqs[static_cast<std::size_t>(b)]);
+      const auto& mine = expected[static_cast<std::size_t>(c.rank())];
+      for (int b = 0; b < buckets; ++b)
+        for (std::size_t i = 0; i < sizes[static_cast<std::size_t>(b)]; ++i)
+          ASSERT_EQ(mine[static_cast<std::size_t>(b)][i],
+                    data[static_cast<std::size_t>(b)][i])
+              << "trial " << trial << " rank " << c.rank() << " bucket " << b
+              << " i=" << i;
+    });
+  }
+}
+
+TEST(SimMpi, WaitOnEmptyRequestIsNoop) {
+  SimMpi world(2);
+  world.run([](Communicator& c) {
+    AllreduceRequest req;
+    EXPECT_FALSE(req.valid());
+    c.wait(req);  // no-op
+    EXPECT_TRUE(c.test(req));
+    std::vector<float> v{1.0f, 2.0f};
+    AllreduceRequest live = c.iallreduce_sum(v);
+    c.wait(live);
+    c.wait(live);  // idempotent
+    EXPECT_FLOAT_EQ(v[0], 2.0f);
+    EXPECT_FLOAT_EQ(v[1], 4.0f);
+  });
+}
+
+TEST(SimMpi, IallreduceSizeMismatchThrows) {
+  // The second rank to join a collective with a different buffer size
+  // throws; nobody waits (the op can never complete).
+  SimMpi world(2);
+  EXPECT_THROW(world.run([](Communicator& c) {
+                 std::vector<float> v(c.rank() == 0 ? 4 : 5, 1.0f);
+                 AllreduceRequest req = c.iallreduce_sum(v);
+               }),
+               Error);
 }
 
 TEST(SimMpi, ExceptionsPropagate) {

@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "dist/sparcml.hpp"
+#include "frameworks/plan_executor.hpp"
 #include "graph/visitor.hpp"
 #include "models/builders.hpp"
 #include "train/optimizers.hpp"
@@ -191,6 +192,55 @@ TEST(SparCMLOptimizer, Density1MatchesDenseDSGD) {
   ASSERT_EQ(sparse_result.size(), dense_result.size());
   for (std::size_t i = 0; i < sparse_result.size(); ++i)
     ASSERT_NEAR(sparse_result[i], dense_result[i], 1e-4f);
+}
+
+TEST(SparCMLOptimizer, OverlappedPackBitIdenticalToBatchPack) {
+  // With a PlanExecutor and overlap_comm on, the residual-add + pack runs
+  // per gradient from the grad-ready hook during backprop; the trained
+  // parameters must match the batch pack path bit for bit.
+  const int world = 2;
+  const std::int64_t per = 4;
+  const Model model = models::mlp(per, 10, {6}, 3, 603);
+
+  auto run = [&](bool overlap, std::uint64_t* out_packs) {
+    std::vector<float> result;
+    std::mutex mu;
+    SimMpi mpi(world);
+    mpi.run([&](Communicator& comm) {
+      ExecOptions eopts;
+      eopts.overlap_comm = overlap;
+      PlanExecutor exec(build_network(model), "plan", eopts);
+      auto base = std::make_unique<GradientDescentOptimizer>(exec, 0.2);
+      SparCMLOptimizer opt(std::move(base), comm, /*density=*/0.2);
+      opt.set_loss_value("loss");
+      Rng rng(42 + comm.rank());
+      TensorMap feeds;
+      Tensor d({per, 10});
+      d.fill_uniform(rng, -1, 1);
+      feeds["data"] = std::move(d);
+      Tensor l({per});
+      for (std::int64_t i = 0; i < per; ++i)
+        l.at(i) = static_cast<float>(i % 3);
+      feeds["labels"] = std::move(l);
+      for (int s = 0; s < 4; ++s) opt.train(feeds);
+      if (comm.rank() == 0) {
+        std::lock_guard<std::mutex> lock(mu);
+        result = pack_parameters(exec.network());
+        if (out_packs) *out_packs = opt.hook_packs();
+      }
+    });
+    return result;
+  };
+
+  std::uint64_t packs_on = 0, packs_off = 0;
+  const auto batch_packed = run(false, &packs_off);
+  const auto hook_packed = run(true, &packs_on);
+  EXPECT_EQ(packs_off, 0u);
+  // 4 params (2 layers x W,b) x 4 steps.
+  EXPECT_EQ(packs_on, 16u);
+  ASSERT_EQ(batch_packed.size(), hook_packed.size());
+  for (std::size_t i = 0; i < batch_packed.size(); ++i)
+    ASSERT_EQ(batch_packed[i], hook_packed[i]) << "i=" << i;
 }
 
 TEST(SparCMLOptimizer, ResidualFeedbackKeepsTraining) {
