@@ -1,0 +1,309 @@
+// Level 1 graph-compiler pass benchmark: training-step time of the plan
+// executor with the full pass pipeline ("all") against the unrewritten
+// graph ("none"), plus node-count reduction and per-pass rewrite counts.
+// Models cover the rewrite patterns: an elementwise-activation-chain model
+// (fuse-bias-relu + fuse-elementwise; memory-bound, the headline speedup),
+// an MLP (fuse-epilogue folds every hidden ReLU into its Linear), and a
+// Conv+BN+ReLU stack (fuse-conv-bn; also timed in eval mode where the BN
+// folds into pre-packed conv weights). The correctness gate mirrors the
+// pass contract: fused and unfused runs must produce bit-identical
+// forward outputs and parameter gradients (eval-mode conv+bn folding is
+// tolerance-checked — DESIGN.md §10). Results land in BENCH_fusion.json.
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/rng.hpp"
+#include "core/threadpool.hpp"
+#include "core/timer.hpp"
+#include "frameworks/plan_executor.hpp"
+#include "graph/visitor.hpp"
+#include "models/builders.hpp"
+
+namespace d500::bench {
+namespace {
+
+/// Elementwise-chain-heavy model: a wide feature map pushed through a
+/// BiasAdd and a chain of activations, with a tiny classifier head.
+/// Unfused, every chain link is a full load+store pass over the map (plus
+/// an axpy gradient hop in backward); fused, the whole chain is one pass
+/// each way. The DRAM-sized ReLU chain is the memory-bound headline case;
+/// the mixed sigmoid/tanh chain shows the recompute tradeoff (fused
+/// backward re-evaluates the transcendental chain instead of reloading
+/// stored outputs).
+Model chain_model(const std::string& name,
+                  const std::vector<std::string>& acts, std::int64_t batch,
+                  std::int64_t ch, std::int64_t hw) {
+  Rng rng(bench_seed());
+  Tensor bias({ch});
+  bias.fill_uniform(rng, -0.5f, 0.5f);
+  Tensor fw({10, ch});
+  fw.fill_kaiming(rng, ch);
+  ModelBuilder b(name);
+  b.input("data", {batch, ch, hw, hw})
+      .input("labels", {batch})
+      .initializer("bias", std::move(bias))
+      .initializer("fc.w", std::move(fw))
+      .initializer("fc.b", Tensor({10}))
+      .node("BiasAdd", {"data", "bias"}, {"v0"});
+  std::string cur = "v0";
+  for (std::size_t i = 0; i < acts.size(); ++i) {
+    const std::string out = "v" + std::to_string(i + 1);
+    b.node(acts[i], {cur}, {out});
+    cur = out;
+  }
+  b.node("GlobalAvgPool", {cur}, {"gap"})
+      .node("Linear", {"gap", "fc.w", "fc.b"}, {"logits"})
+      .node("SoftmaxCrossEntropy", {"logits", "labels"}, {"loss"})
+      .output("logits")
+      .output("loss");
+  return b.build();
+}
+
+/// Conv+BN+ReLU x2 stack with classifier head (fuse-conv-bn fodder).
+Model convbn_model(std::int64_t batch) {
+  Rng rng(bench_seed() + 1);
+  ModelBuilder b("convbn");
+  b.input("data", {batch, 8, 16, 16}).input("labels", {batch});
+  std::string cur = "data";
+  std::int64_t ch = 8;
+  for (int i = 0; i < 2; ++i) {
+    const std::string p = "s" + std::to_string(i);
+    const std::int64_t f = 16;
+    Tensor w({f, ch, 3, 3});
+    w.fill_kaiming(rng, ch * 9);
+    Tensor gamma({f});
+    gamma.fill(1.0f);
+    b.initializer(p + ".w", std::move(w))
+        .initializer(p + ".b", Tensor({f}))
+        .initializer(p + ".g", std::move(gamma))
+        .initializer(p + ".be", Tensor({f}))
+        .node("Conv2D", {cur, p + ".w", p + ".b"}, {p + ".c"},
+              Attrs{{"kernel", std::int64_t{3}}, {"pad", std::int64_t{1}}})
+        .node("BatchNorm", {p + ".c", p + ".g", p + ".be"}, {p + ".bn"},
+              Attrs{{"channels", f}})
+        .node("ReLU", {p + ".bn"}, {p + ".a"});
+    cur = p + ".a";
+    ch = f;
+  }
+  Tensor fw({10, ch});
+  fw.fill_kaiming(rng, ch);
+  b.initializer("fc.w", std::move(fw))
+      .initializer("fc.b", Tensor({10}))
+      .node("GlobalAvgPool", {cur}, {"gap"})
+      .node("Linear", {"gap", "fc.w", "fc.b"}, {"logits"})
+      .node("SoftmaxCrossEntropy", {"logits", "labels"}, {"loss"})
+      .output("logits")
+      .output("loss");
+  return b.build();
+}
+
+TensorMap feeds_for(const Model& m) {
+  Rng rng(bench_seed() + 7);
+  TensorMap feeds;
+  for (const auto& in : m.graph_inputs) {
+    Tensor t(m.input_shapes.at(in));
+    if (in == "labels") {
+      for (std::int64_t i = 0; i < t.elements(); ++i)
+        t.at(i) = static_cast<float>(rng.below(10));
+    } else {
+      t.fill_uniform(rng, -1, 1);
+    }
+    feeds[in] = std::move(t);
+  }
+  return feeds;
+}
+
+struct ModelResult {
+  std::string name;
+  std::size_t nodes_before = 0;
+  std::size_t nodes_after = 0;
+  SampleSummary unfused;     // training-step time, passes="none"
+  SampleSummary fused;       // training-step time, passes="all"
+  SampleSummary eval_unfused;  // eval forward (conv model only)
+  SampleSummary eval_fused;
+  bool has_eval = false;
+  bool bitwise_ok = true;    // outputs + gradients, fused vs unfused
+  std::vector<PassStats> stats;
+};
+
+SampleSummary time_steps(PlanExecutor& exec, const TensorMap& feeds,
+                         int reruns, bool train) {
+  if (train)
+    exec.inference_and_backprop(feeds, "loss");  // warmup: compile + plan
+  else
+    exec.inference(feeds);
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reruns));
+  for (int r = 0; r < reruns; ++r) {
+    Timer t;
+    if (train)
+      exec.inference_and_backprop(feeds, "loss");
+    else
+      exec.inference(feeds);
+    times.push_back(t.seconds());
+  }
+  return summarize(times);
+}
+
+ModelResult run_model(const std::string& name, const Model& m, int reruns,
+                      bool with_eval) {
+  ModelResult res;
+  res.name = name;
+  res.nodes_before = m.nodes.size();
+  res.has_eval = with_eval;
+  const TensorMap feeds = feeds_for(m);
+
+  ExecOptions off;
+  off.passes = "none";
+  PlanExecutor unfused(build_network(m), "bench-none", off);
+  ExecOptions on;
+  on.passes = "all";
+  PlanExecutor fused(build_network(m), "bench-all", on);
+  res.nodes_after = fused.network().nodes().size();
+  res.stats = fused.pass_stats().stats;
+
+  // Correctness gate before timing: bit-identical outputs and gradients.
+  const TensorMap want = unfused.inference_and_backprop(feeds, "loss");
+  const TensorMap got = fused.inference_and_backprop(feeds, "loss");
+  for (const auto& out : m.graph_outputs) {
+    const Tensor& a = got.at(out);
+    const Tensor& r = want.at(out);
+    for (std::int64_t i = 0; i < r.elements(); ++i)
+      if (a.at(i) != r.at(i)) res.bitwise_ok = false;
+  }
+  for (const auto& [pname, gname] : unfused.network().gradients()) {
+    const Tensor& rg = unfused.network().fetch_tensor(gname);
+    const Tensor& eg = fused.network().fetch_tensor(gname);
+    for (std::int64_t i = 0; i < rg.elements(); ++i)
+      if (eg.at(i) != rg.at(i)) res.bitwise_ok = false;
+  }
+
+  res.unfused = time_steps(unfused, feeds, reruns, /*train=*/true);
+  res.fused = time_steps(fused, feeds, reruns, /*train=*/true);
+
+  if (with_eval) {
+    unfused.network().set_training(false);
+    fused.network().set_training(false);
+    res.eval_unfused = time_steps(unfused, feeds, reruns, /*train=*/false);
+    res.eval_fused = time_steps(fused, feeds, reruns, /*train=*/false);
+    // Eval-mode BN folding is tolerance-checked, not bitwise (DESIGN.md §10).
+    const Tensor a = fused.inference(feeds).at("logits");
+    const Tensor r = unfused.inference(feeds).at("logits");
+    for (std::int64_t i = 0; i < r.elements(); ++i)
+      if (std::abs(a.at(i) - r.at(i)) > 1e-4f + 1e-4f * std::abs(r.at(i)))
+        res.bitwise_ok = false;
+  }
+  return res;
+}
+
+double speedup(const SampleSummary& base, const SampleSummary& opt) {
+  return base.median / opt.median;
+}
+
+}  // namespace
+
+int run() {
+  const int reruns = bench_reruns();
+  const int threads = 2;
+  ThreadPool::instance().reset(threads);
+  print_bench_header("L1 graph compiler passes (operator fusion)",
+                     bench_seed(),
+                     "training-step median over " + std::to_string(reruns) +
+                         " reruns, pool threads " + std::to_string(threads));
+
+  std::vector<ModelResult> rows;
+  // 16x32x64x64 = 8 MB per activation map: each unfused chain link is a
+  // DRAM round trip, the regime fusion targets.
+  rows.push_back(run_model(
+      "relu-chain",
+      chain_model("relu_chain",
+                  {"ReLU", "ReLU", "ReLU", "ReLU", "ReLU", "ReLU"}, 16, 32,
+                  64),
+      reruns, false));
+  rows.push_back(run_model(
+      "act-chain",
+      chain_model("act_chain",
+                  {"ReLU", "Sigmoid", "Tanh", "ReLU", "Sigmoid", "Tanh"}, 16,
+                  16, 32),
+      reruns, false));
+  rows.push_back(run_model(
+      "mlp", models::mlp(32, 256, {256, 256}, 10, bench_seed()), reruns,
+      false));
+  rows.push_back(run_model("conv-bn-relu", convbn_model(8), reruns, true));
+
+  Table t({"model", "nodes", "unfused step", "fused step", "speedup",
+           "bitwise"});
+  for (const auto& r : rows) {
+    t.add_row({r.name,
+               std::to_string(r.nodes_before) + " -> " +
+                   std::to_string(r.nodes_after),
+               ms(r.unfused), ms(r.fused),
+               Table::num(speedup(r.unfused, r.fused), 2) + "x",
+               r.bitwise_ok ? "yes" : "NO"});
+  }
+  std::cout << t.to_text() << "\n";
+
+  for (const auto& r : rows) {
+    std::cout << r.name << " rewrites:";
+    for (const auto& s : r.stats)
+      if (s.rewrites > 0) std::cout << " " << s.name << "=" << s.rewrites;
+    std::cout << "\n";
+  }
+  const auto& conv = rows.back();
+  std::cout << "\nconv-bn-relu eval forward (BN folded into packed weights): "
+            << ms(conv.eval_unfused) << " -> " << ms(conv.eval_fused) << " ("
+            << Table::num(speedup(conv.eval_unfused, conv.eval_fused), 2)
+            << "x)\n";
+
+  bool all_bitwise = true;
+  double best = 0;
+  for (const auto& r : rows) {
+    all_bitwise = all_bitwise && r.bitwise_ok;
+    best = std::max(best, speedup(r.unfused, r.fused));
+  }
+  std::cout << "shape check: best fused-vs-unfused step speedup "
+            << Table::num(best, 2) << "x (target >= 1.2x): "
+            << (best >= 1.2 ? "yes" : "NO") << "\n";
+
+  std::ofstream json("BENCH_fusion.json");
+  json << "{\n  \"bench\": \"l1_fusion\",\n  \"seed\": " << bench_seed()
+       << ",\n  \"pool_threads\": " << threads
+       << ",\n  \"reruns\": " << reruns << ",\n  \"models\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    json << "    {\"model\": \"" << r.name << "\", \"nodes_before\": "
+         << r.nodes_before << ", \"nodes_after\": " << r.nodes_after
+         << ", \"step_ms_unfused\": " << r.unfused.median * 1e3
+         << ", \"step_ms_fused\": " << r.fused.median * 1e3
+         << ", \"speedup\": " << speedup(r.unfused, r.fused);
+    if (r.has_eval)
+      json << ", \"eval_ms_unfused\": " << r.eval_unfused.median * 1e3
+           << ", \"eval_ms_fused\": " << r.eval_fused.median * 1e3
+           << ", \"eval_speedup\": "
+           << speedup(r.eval_unfused, r.eval_fused);
+    json << ", \"bitwise_identical\": " << (r.bitwise_ok ? "true" : "false")
+         << ", \"rewrites\": {";
+    bool first = true;
+    for (const auto& s : r.stats) {
+      if (s.rewrites == 0) continue;
+      json << (first ? "" : ", ") << "\"" << s.name << "\": " << s.rewrites;
+      first = false;
+    }
+    json << "}}" << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  json << "  ],\n  \"best_speedup\": " << best
+       << ",\n  \"meets_1_2x_target\": " << (best >= 1.2 ? "true" : "false")
+       << "\n}\n";
+  std::cout << "\nwrote BENCH_fusion.json\n";
+
+  return all_bitwise ? 0 : 1;
+}
+
+}  // namespace d500::bench
+
+int main() { return d500::bench::run(); }

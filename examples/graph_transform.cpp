@@ -1,15 +1,15 @@
 // Graph transformations as a user workflow (paper §IV-D and §V-C): load a
-// model, inspect it, apply operator fusion and the micro-batching rewrite,
-// and verify with the executor that semantics are preserved while memory
-// behaviour changes.
+// model, inspect it, apply the micro-batching rewrite and the plan-time
+// compiler passes, and verify with the executor that semantics are
+// preserved while memory behaviour and node counts change.
 //
 // Run: ./graph_transform
 #include <iostream>
 
 #include "frameworks/framework.hpp"
+#include "frameworks/plan_executor.hpp"
 #include "graph/microbatch.hpp"
 #include "graph/shape_inference.hpp"
-#include "graph/transforms.hpp"
 #include "graph/visitor.hpp"
 #include "models/builders.hpp"
 
@@ -51,7 +51,8 @@ int main() {
             << " MiB, after " << after.last_peak_memory() / 1024 / 1024
             << " MiB\n\n";
 
-  // Operator fusion on an explicit BiasAdd+ReLU chain.
+  // Plan-time compiler passes on an explicit BiasAdd+ReLU+Sigmoid+Tanh
+  // chain: the PlanExecutor runs the pipeline at construction.
   Rng rng2(1);
   Tensor bias({8});
   bias.fill_uniform(rng2, -0.5f, 0.5f);
@@ -59,12 +60,18 @@ int main() {
                           .input("data", {2, 8, 8, 8})
                           .initializer("bias", std::move(bias))
                           .node("BiasAdd", {"data", "bias"}, {"b"})
-                          .node("ReLU", {"b"}, {"y"})
+                          .node("ReLU", {"b"}, {"r"})
+                          .node("Sigmoid", {"r"}, {"s"})
+                          .node("Tanh", {"s"}, {"y"})
                           .output("y")
                           .build();
-  const Model fused = FuseBiasReluTransform().apply(chain);
-  std::cout << "fusion: " << chain.nodes.size() << " nodes -> "
-            << fused.nodes.size() << " nodes ("
-            << fused.nodes[0].op_type << ")\n";
+  ExecOptions opt;
+  opt.passes = "all";
+  PlanExecutor plan(build_network(chain), "demo", opt);
+  std::cout << "passes: " << chain.nodes.size() << " nodes -> "
+            << plan.network().nodes().size() << " nodes\n";
+  for (const PassStats& s : plan.pass_stats().stats)
+    if (s.rewrites > 0)
+      std::cout << "  " << s.name << ": " << s.rewrites << " rewrite(s)\n";
   return max_err < 1e-4 ? 0 : 1;
 }

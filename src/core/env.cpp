@@ -52,6 +52,11 @@ std::string gemm_backend_setting() {
 
 bool overlap_comm_setting() { return env_flag("D500_OVERLAP"); }
 
+std::string passes_setting() {
+  const char* v = std::getenv("D500_PASSES");
+  return v != nullptr ? std::string(v) : std::string("all");
+}
+
 std::size_t bucket_cap_bytes() {
   if (const char* v = std::getenv("D500_BUCKET_KB")) {
     const auto kb = std::strtoull(v, nullptr, 10);

@@ -66,6 +66,12 @@ std::string gemm_backend_setting();
 /// fresh on every call (tests and benches flip it mid-process).
 bool overlap_comm_setting();
 
+/// Plan-time graph pass selection (D500_PASSES, default "all"): a spec
+/// string parsed by graph/passes — "all"/"none", a comma list of pass
+/// names, or "-name" exclusions. Read fresh on every call (tests and the
+/// ci-passes-off preset flip it per-process).
+std::string passes_setting();
+
 /// Gradient bucket size cap in bytes (D500_BUCKET_KB, default 1024 KiB).
 /// A bucket always holds at least one gradient tensor, so a cap smaller
 /// than the largest tensor degenerates to one bucket per tensor. Read

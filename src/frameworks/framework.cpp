@@ -1,7 +1,6 @@
 #include "frameworks/framework.hpp"
 
 #include "frameworks/native_optimizers.hpp"
-#include "graph/transforms.hpp"
 #include "ops/cabi.hpp"
 
 namespace d500 {
@@ -72,6 +71,7 @@ class TFSim : public Framework {
     opt.reuse_activations = true;
     opt.string_dispatch = true;
     opt.defensive_copy_shape_ops = true;
+    opt.passes = "none";  // session-style engine: runs the graph as declared
     return std::make_unique<PlanExecutor>(visitor.build(model), name(), opt);
   }
 
@@ -115,12 +115,14 @@ class CF2Sim : public Framework {
   std::string name() const override { return "cf2sim"; }
 
   std::unique_ptr<GraphExecutor> compile(const Model& model) const override {
-    // Deferred engine with a fusion pass (the Caffe2 kernel-fusion profile).
-    const Model fused = FuseBiasReluTransform().apply(model);
+    // Deferred engine with the full compiler pipeline (the Caffe2
+    // kernel-fusion profile, paper Use Case 1): fusion and folding run as
+    // plan-time passes inside the executor.
     BackendVisitor visitor("im2col", "packed");
     ExecOptions opt;
     opt.reuse_activations = true;
-    return std::make_unique<PlanExecutor>(visitor.build(fused), name(), opt);
+    opt.passes = "all";
+    return std::make_unique<PlanExecutor>(visitor.build(model), name(), opt);
   }
 
   OperatorPtr native_operator(const std::string& op_type,
@@ -166,6 +168,7 @@ class PTSim : public Framework {
     BackendVisitor visitor("auto_winograd", "packed");
     ExecOptions opt;
     opt.reuse_activations = false;  // eager: allocate per run
+    opt.passes = "none";            // eager engines don't see the whole graph
     return std::make_unique<PlanExecutor>(visitor.build(model), name(), opt);
   }
 

@@ -10,6 +10,7 @@
 #include "core/trace.hpp"
 #include "graph/memory_plan.hpp"
 #include "ops/conv2d.hpp"
+#include "ops/fused.hpp"
 #include "ops/gemm.hpp"
 
 namespace d500 {
@@ -23,6 +24,18 @@ bool is_shape_op_type(const std::string& t) {
 }  // namespace
 
 bool overlap_comm_default() { return overlap_comm_setting(); }
+
+std::string default_pass_spec() { return passes_setting(); }
+
+PlanExecutor::PlanExecutor(Network net, std::string name, ExecOptions options)
+    : GraphExecutor(std::move(net)),
+      name_(std::move(name)),
+      options_(std::move(options)) {
+  // Rewrite the instantiated graph before any compile: every later feed
+  // signature sees the same optimized node set.
+  pass_result_ = PassPipeline::from_spec(options_.passes).run(net_);
+  fold_version_ = net_.params_version();
+}
 
 int PlanExecutor::slot_of(const std::string& value) const {
   auto it = slot_index_.find(value);
@@ -134,6 +147,8 @@ void PlanExecutor::compile(const TensorMap& feeds, bool training) {
     }
     if (const auto* conv = dynamic_cast<const Conv2DOp*>(node->op.get()))
       step.workspace_bytes = conv->workspace_bytes(step.in_shapes);
+    else if (const auto* fcb = dynamic_cast<const FusedConvBnOp*>(node->op.get()))
+      step.workspace_bytes = fcb->workspace_bytes(step.in_shapes);
     peak = std::max(peak, live_bytes + step.workspace_bytes);
     steps_.push_back(std::move(step));
   }
@@ -362,6 +377,9 @@ void PlanExecutor::install_prepack(const Prepack& e, const float* panels,
     case Prepack::Kind::kConvW:
       static_cast<Conv2DOp*>(e.op)->set_prepacked_w(panels, src);
       break;
+    case Prepack::Kind::kFusedConvW:
+      static_cast<FusedConvBnOp*>(e.op)->conv().set_prepacked_w(panels, src);
+      break;
   }
 }
 
@@ -380,6 +398,13 @@ void PlanExecutor::build_prepack() {
     } else if (auto* conv = dynamic_cast<Conv2DOp*>(op)) {
       if (conv->backend() != ConvBackend::kIm2col) continue;
       e.kind = Prepack::Kind::kConvW;
+    } else if (auto* fcb = dynamic_cast<FusedConvBnOp*>(op)) {
+      // Training-mode forwards run the inner conv on the original filter
+      // (input 1), so the panels stay valid; the eval-mode fold installs
+      // its own folded panels over these and the next repack (after any
+      // parameter update) restores them.
+      if (fcb->conv().backend() != ConvBackend::kIm2col) continue;
+      e.kind = Prepack::Kind::kFusedConvW;
     } else {
       continue;
     }
@@ -402,6 +427,7 @@ void PlanExecutor::build_prepack() {
         elems = gemm_packed_b_elems(e.shape[1], e.shape[0]);
         break;
       case Prepack::Kind::kConvW:  // filter as the [F, C*kh*kw] A operand
+      case Prepack::Kind::kFusedConvW:
         elems = gemm_packed_a_elems(e.shape[0],
                                     e.shape[1] * e.shape[2] * e.shape[3]);
         break;
@@ -443,6 +469,7 @@ void PlanExecutor::repack_weights() {
           gemm_pack_bt(e.shape[0], e.shape[1], w.data(), panels);
           break;
         case Prepack::Kind::kConvW:
+        case Prepack::Kind::kFusedConvW:
           gemm_pack_a(e.shape[0], e.shape[1] * e.shape[2] * e.shape[3],
                       w.data(), panels);
           break;
@@ -451,6 +478,39 @@ void PlanExecutor::repack_weights() {
     install_prepack(e, panels, w.data());
   }
   prepack_version_ = net_.params_version();
+}
+
+void PlanExecutor::refresh_folds() {
+  D500_TRACE_SCOPE("plan", "refresh-folds");
+  for (const FoldedConstant& f : pass_result_.folds) {
+    ConstTensors ins;
+    std::vector<Shape> in_shapes;
+    ins.reserve(f.input_names.size());
+    in_shapes.reserve(f.input_names.size());
+    for (const std::string& in : f.input_names) {
+      const Tensor& t =
+          static_cast<const Network&>(net_).fetch_tensor(in);
+      ins.push_back(&t);
+      in_shapes.push_back(t.shape());
+    }
+    const Shape out_shape = f.op->output_shapes(in_shapes)[0];
+    // Recorded order is dependency order (a fold can feed a later fold),
+    // so evaluating front to back stays correct. Same-shape refreshes
+    // rewrite the stored tensor in place — no allocation on warm steps.
+    Tensor& dst = net_.fetch_tensor(f.output_name);
+    if (dst.shape() == out_shape) {
+      MutTensors outs{&dst};
+      f.op->forward(ins, outs);
+    } else {
+      Tensor out(out_shape);
+      MutTensors outs{&out};
+      f.op->forward(ins, outs);
+      net_.feed_tensor(f.output_name, std::move(out));
+    }
+  }
+  for (FusedConvBnOp* site : pass_result_.bn_fold_sites)
+    site->mark_fold_dirty();
+  fold_version_ = net_.params_version();
 }
 
 void PlanExecutor::exec_step(std::size_t idx, std::mutex* mu) {
@@ -515,6 +575,12 @@ void PlanExecutor::exec_step(std::size_t idx, std::mutex* mu) {
 }
 
 void PlanExecutor::run_forward(const TensorMap& feeds) {
+  // Pass-produced folds first: refresh_folds republishes folded constants
+  // (bumping params_version), so the prepack staleness check below also
+  // sees any folded tensor that feeds a packed GEMM.
+  if (pass_result_.needs_refresh() && fold_version_ != net_.params_version())
+    refresh_folds();
+
   // Weight panels go stale whenever stored tensors may have mutated
   // (optimizers publish through feed_tensor / mutable fetch_tensor, both
   // of which bump the version counter).

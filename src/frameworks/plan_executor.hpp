@@ -50,12 +50,17 @@
 #include <mutex>
 
 #include "graph/executor.hpp"
+#include "graph/passes/pass.hpp"
 
 namespace d500 {
 
 /// Default for ExecOptions::overlap_comm: the D500_OVERLAP environment
 /// knob (core/env overlap_comm_setting), read fresh at construction.
 bool overlap_comm_default();
+
+/// Default for ExecOptions::passes: the D500_PASSES environment knob
+/// (core/env passes_setting), read fresh at construction.
+std::string default_pass_spec();
 
 struct ExecOptions {
   bool reuse_activations = true;
@@ -76,14 +81,23 @@ struct ExecOptions {
   //                          rest of backprop still runs. No effect unless
   //                          a hook is installed.
   bool overlap_comm = overlap_comm_default();
+  //   * passes             — plan-time graph compiler pipeline (graph/passes):
+  //                          a D500_PASSES-style spec selecting which rewrite
+  //                          passes run over the network at construction.
+  //                          Framework profiles pin it (cf2sim = "all",
+  //                          tfsim/ptsim = "none"); a plain PlanExecutor
+  //                          follows the environment. Every pass preserves
+  //                          bitwise results (eval-mode conv+bn folding is
+  //                          the one documented ULP-tolerance exception).
+  std::string passes = default_pass_spec();
 };
 
 class PlanExecutor : public GraphExecutor {
  public:
-  PlanExecutor(Network net, std::string name, ExecOptions options)
-      : GraphExecutor(std::move(net)),
-        name_(std::move(name)),
-        options_(options) {}
+  /// Runs the configured pass pipeline over the network before anything
+  /// else: passes rewrite the instantiated graph in place, so every later
+  /// compile sees the optimized node set.
+  PlanExecutor(Network net, std::string name, ExecOptions options);
 
   std::string name() const override { return name_; }
 
@@ -115,6 +129,10 @@ class PlanExecutor : public GraphExecutor {
   const std::map<std::string, LaunchStats>& launch_stats() const {
     return launch_stats_;
   }
+
+  /// Per-pass rewrite counts and timings from the construction-time
+  /// pipeline run, plus the fold sites the executor keeps fresh.
+  const PassResult& pass_stats() const { return pass_result_; }
 
   /// Called once per trainable parameter per backprop, right after that
   /// parameter's gradient is published into Network storage, with the
@@ -177,9 +195,19 @@ class PlanExecutor : public GraphExecutor {
   /// and re-installs the panel pointers on the consuming ops. Parallel
   /// inside the pack kernels, traced, allocation-free.
   void repack_weights();
+  /// Re-evaluates constfold results in recorded (dependency) order and
+  /// invalidates conv+bn eval folds; runs at the top of run_forward when
+  /// params_version has moved past fold_version_. Writes in place when
+  /// shapes are unchanged, so warm steps stay allocation-free.
+  void refresh_folds();
 
   std::string name_;
   ExecOptions options_;
+
+  // Construction-time pass pipeline output: stats for reporting, folded
+  // constants and conv+bn sites to keep fresh as parameters move.
+  PassResult pass_result_;
+  std::uint64_t fold_version_ = 0;
 
   // Compiled state.
   bool compiled_ = false;
@@ -216,7 +244,7 @@ class PlanExecutor : public GraphExecutor {
   // for — if the stored tensor is later replaced with a different shape
   // the entry is uninstalled and the op falls back to per-call packing.
   struct Prepack {
-    enum class Kind { kMatMulB, kLinearW, kConvW };
+    enum class Kind { kMatMulB, kLinearW, kConvW, kFusedConvW };
     Kind kind = Kind::kMatMulB;
     CustomOperator* op = nullptr;
     Tensor* src = nullptr;

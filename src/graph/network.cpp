@@ -2,9 +2,6 @@
 
 #include <algorithm>
 
-#include "ops/batchnorm.hpp"
-#include "ops/dropout.hpp"
-
 namespace d500 {
 
 void Network::add_node(std::string node_name, OperatorPtr op,
@@ -132,10 +129,7 @@ void Network::declare_output(const std::string& name) {
 }
 
 void Network::set_training(bool training) {
-  for (auto& n : nodes_) {
-    if (auto* d = dynamic_cast<DropoutOp*>(n.op.get())) d->set_training(training);
-    if (auto* b = dynamic_cast<BatchNormOp*>(n.op.get())) b->set_training(training);
-  }
+  for (auto& n : nodes_) n.op->set_training_mode(training);
 }
 
 std::int64_t Network::parameter_count() const {

@@ -1,0 +1,88 @@
+// constfold: a node whose inputs are all stored, non-trainable,
+// non-runtime tensors is evaluated once at plan time; its output becomes a
+// stored constant and the node disappears from the step. Only stateless,
+// deterministic operators fold (activations, binary arithmetic, bias-add,
+// GEMMs) — Dropout draws random masks and BatchNorm mutates running
+// statistics, so they never qualify. Trainable inputs disqualify a node:
+// folding one would sever its gradient path. The folded operator and its
+// operand names are recorded in PassResult::folds so the executor can
+// re-evaluate the constant whenever params_version moves (stored tensors
+// may be refed at runtime). Evaluation runs the very kernel the node would
+// have run, so folded values are bitwise identical.
+#include <algorithm>
+#include <utility>
+
+#include "graph/passes/pass.hpp"
+#include "ops/elementwise.hpp"
+#include "ops/gemm.hpp"
+
+namespace d500 {
+namespace passes {
+namespace {
+
+bool foldable_op(const CustomOperator* op) {
+  return dynamic_cast<const ActivationOp*>(op) != nullptr ||
+         dynamic_cast<const BinaryOp*>(op) != nullptr ||
+         dynamic_cast<const BiasAddOp*>(op) != nullptr ||
+         dynamic_cast<const FusedBiasReluOp*>(op) != nullptr ||
+         dynamic_cast<const MatMulOp*>(op) != nullptr ||
+         dynamic_cast<const LinearOp*>(op) != nullptr;
+}
+
+class ConstFoldPass : public GraphPass {
+ public:
+  std::string name() const override { return "constfold"; }
+
+  int apply(Network& net, PassResult& result) override {
+    int rewrites = 0;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Network::Node& n : net.nodes()) {
+        if (n.op->num_outputs() != 1) continue;
+        if (!foldable_op(n.op.get())) continue;
+        if (is_graph_output(net, n.outputs[0])) continue;
+        const auto& params = net.parameters();
+        const bool eligible = std::all_of(
+            n.inputs.begin(), n.inputs.end(), [&](const std::string& in) {
+              return net.has_tensor(in) && !is_graph_input(net, in) &&
+                     std::find(params.begin(), params.end(), in) ==
+                         params.end();
+            });
+        if (!eligible) continue;
+
+        // Evaluate through the node's own kernel and store the result.
+        ConstTensors ins;
+        std::vector<Shape> in_shapes;
+        for (const std::string& name : n.inputs) {
+          const Tensor& t = std::as_const(net).fetch_tensor(name);
+          ins.push_back(&t);
+          in_shapes.push_back(t.shape());
+        }
+        Tensor out(n.op->output_shapes(in_shapes)[0]);
+        MutTensors outs{&out};
+        n.op->forward(ins, outs);
+
+        FoldedConstant fold;
+        fold.input_names = n.inputs;
+        fold.output_name = n.outputs[0];
+        const std::string dead = n.name;
+        fold.op = std::move(net.node(dead).op);
+        net.feed_tensor(fold.output_name, std::move(out));
+        result.folds.push_back(std::move(fold));
+        net.remove_node(dead);
+        ++rewrites;
+        changed = true;
+        break;  // node storage moved; restart the scan
+      }
+    }
+    return rewrites;
+  }
+};
+
+}  // namespace
+
+PassPtr make_constfold_pass() { return std::make_unique<ConstFoldPass>(); }
+
+}  // namespace passes
+}  // namespace d500

@@ -1,0 +1,50 @@
+// dce: removes nodes none of whose outputs are consumed or exported.
+// Ported from the legacy Model-level DeadNodeElimination, generalized to
+// training graphs: a node whose forward output is unused receives an
+// all-zero output gradient during backprop, and every operator's backward
+// maps a zero dY to zero input gradients, so removing the node leaves all
+// published parameter gradients bitwise unchanged (zeroed scratch plus an
+// axpy of zeros is the value the unpruned graph computed). Runs last so it
+// sweeps anything the fusion passes orphaned.
+#include <set>
+
+#include "graph/passes/pass.hpp"
+
+namespace d500 {
+namespace passes {
+namespace {
+
+class DcePass : public GraphPass {
+ public:
+  std::string name() const override { return "dce"; }
+
+  int apply(Network& net, PassResult&) override {
+    int rewrites = 0;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      std::set<std::string> used(net.outputs().begin(), net.outputs().end());
+      for (const Network::Node& n : net.nodes())
+        for (const std::string& in : n.inputs) used.insert(in);
+      for (const Network::Node& n : net.nodes()) {
+        bool live = false;
+        for (const std::string& out : n.outputs)
+          if (used.count(out) > 0) live = true;
+        if (live) continue;
+        const std::string dead = n.name;
+        net.remove_node(dead);
+        ++rewrites;
+        changed = true;
+        break;  // node storage moved; recompute the use set
+      }
+    }
+    return rewrites;
+  }
+};
+
+}  // namespace
+
+PassPtr make_dce_pass() { return std::make_unique<DcePass>(); }
+
+}  // namespace passes
+}  // namespace d500

@@ -1,0 +1,54 @@
+// fuse-bias-relu: BiasAdd -> ReLU (single consumer) becomes one
+// FusedBiasRelu node — the operation-fusion optimization the paper
+// attributes to Caffe2 kernels (Use Case 1). Ported from the legacy
+// Model-level FuseBiasReluTransform onto the Network pass framework; the
+// fused kernel applies max(x + b, 0) in one pass over memory, and its
+// backward matches the unfused pair bitwise (the store/load round trip
+// between BiasAdd and ReLU is exact).
+#include "graph/passes/pass.hpp"
+#include "ops/elementwise.hpp"
+
+namespace d500 {
+namespace passes {
+namespace {
+
+class FuseBiasReluPass : public GraphPass {
+ public:
+  std::string name() const override { return "fuse-bias-relu"; }
+
+  int apply(Network& net, PassResult&) override {
+    int rewrites = 0;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Network::Node& n : net.nodes()) {
+        if (dynamic_cast<const BiasAddOp*>(n.op.get()) == nullptr) continue;
+        Network::Node* next = sole_consumer(net, n.outputs[0]);
+        if (next == nullptr) continue;
+        const auto* act = dynamic_cast<const ActivationOp*>(next->op.get());
+        if (act == nullptr || act->kind() != Activation::kReLU) continue;
+
+        // Mutate the BiasAdd node in place (keeps its position in the
+        // stored topological order), then drop the absorbed ReLU node.
+        const std::string dead = next->name;
+        std::vector<std::string> outs = next->outputs;
+        Network::Node& head = net.node(n.name);
+        head.op = std::make_unique<FusedBiasReluOp>();
+        head.op_type = head.op->name();
+        head.outputs = std::move(outs);
+        net.remove_node(dead);
+        ++rewrites;
+        changed = true;
+        break;  // node storage moved; restart the scan
+      }
+    }
+    return rewrites;
+  }
+};
+
+}  // namespace
+
+PassPtr make_fuse_bias_relu_pass() { return std::make_unique<FuseBiasReluPass>(); }
+
+}  // namespace passes
+}  // namespace d500

@@ -1,0 +1,78 @@
+// fuse-conv-bn: Conv2D -> BatchNorm (-> ReLU) collapses into one
+// FusedConvBnOp owning the original operator instances. Training mode runs
+// the same kernels back to back through member scratch (bit-identical,
+// ops/fused.hpp); eval mode folds the normalization into the convolution
+// weights and biases (documented ULP tolerance). The fusion site is
+// recorded in PassResult::bn_fold_sites so the executor can invalidate the
+// fold when params_version moves.
+#include "graph/passes/pass.hpp"
+#include "ops/fused.hpp"
+
+namespace d500 {
+namespace passes {
+namespace {
+
+class FuseConvBnPass : public GraphPass {
+ public:
+  std::string name() const override { return "fuse-conv-bn"; }
+
+  int apply(Network& net, PassResult& result) override {
+    int rewrites = 0;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Network::Node& n : net.nodes()) {
+        if (dynamic_cast<const Conv2DOp*>(n.op.get()) == nullptr) continue;
+        Network::Node* bn_node = sole_consumer(net, n.outputs[0]);
+        if (bn_node == nullptr) continue;
+        if (dynamic_cast<const BatchNormOp*>(bn_node->op.get()) == nullptr)
+          continue;
+        // The BN node must consume the conv output as X (not gamma/beta).
+        if (bn_node->inputs[0] != n.outputs[0]) continue;
+
+        // Optional trailing ReLU (single consumer of the BN output).
+        bool with_relu = false;
+        Network::Node* relu_node = sole_consumer(net, bn_node->outputs[0]);
+        if (relu_node != nullptr) {
+          const auto* act =
+              dynamic_cast<const ActivationOp*>(relu_node->op.get());
+          with_relu = act != nullptr && act->kind() == Activation::kReLU;
+        }
+
+        const std::string bn_name = bn_node->name;
+        const std::string relu_name = with_relu ? relu_node->name : "";
+        std::vector<std::string> ins = n.inputs;  // {X, W, bias}
+        ins.push_back(bn_node->inputs[1]);        // gamma
+        ins.push_back(bn_node->inputs[2]);        // beta
+        std::vector<std::string> outs =
+            with_relu ? relu_node->outputs : bn_node->outputs;
+
+        Network::Node& head = net.node(n.name);
+        auto conv = std::unique_ptr<Conv2DOp>(
+            static_cast<Conv2DOp*>(head.op.release()));
+        auto bn = std::unique_ptr<BatchNormOp>(
+            static_cast<BatchNormOp*>(net.node(bn_name).op.release()));
+        auto fused = std::make_unique<FusedConvBnOp>(std::move(conv),
+                                                     std::move(bn), with_relu);
+        result.bn_fold_sites.push_back(fused.get());
+        head.op = std::move(fused);
+        head.op_type = head.op->name();
+        head.inputs = std::move(ins);
+        head.outputs = std::move(outs);
+        net.remove_node(bn_name);
+        if (with_relu) net.remove_node(relu_name);
+        ++rewrites;
+        changed = true;
+        break;  // node storage moved; restart the scan
+      }
+    }
+    return rewrites;
+  }
+};
+
+}  // namespace
+
+PassPtr make_fuse_conv_bn_pass() { return std::make_unique<FuseConvBnPass>(); }
+
+}  // namespace passes
+}  // namespace d500

@@ -1,0 +1,67 @@
+// fuse-elementwise: a single-consumer chain of unary activations
+// (ReLU/Sigmoid/Tanh) collapses into one FusedElementwiseOp — one pass
+// over memory instead of m, with the backward recomputing the chain per
+// SIMD lane in registers. Runs after fuse-epilogue, so only chains the
+// epilogue pass could not absorb (length >= 2, or not behind a compute op)
+// remain. Bitwise-equal to the unfused chain: same SIMD kernels, same
+// evaluation order, +0.0 on the internal gradient hops (ops/fused.hpp).
+#include "graph/passes/pass.hpp"
+#include "ops/fused.hpp"
+
+namespace d500 {
+namespace passes {
+namespace {
+
+class FuseElementwisePass : public GraphPass {
+ public:
+  std::string name() const override { return "fuse-elementwise"; }
+
+  int apply(Network& net, PassResult&) override {
+    int rewrites = 0;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Network::Node& n : net.nodes()) {
+        const auto* head_act = dynamic_cast<const ActivationOp*>(n.op.get());
+        if (head_act == nullptr) continue;
+
+        // Greedily extend the chain while each intermediate feeds exactly
+        // one downstream activation and nothing else (multi-consumer or
+        // exported intermediates stop the chain — fusing past them would
+        // change observable values).
+        std::vector<Activation> kinds{head_act->kind()};
+        std::vector<std::string> absorbed;
+        std::string tail_out = n.outputs[0];
+        while (kinds.size() < FusedElementwiseOp::kMaxChain) {
+          Network::Node* next = sole_consumer(net, tail_out);
+          if (next == nullptr) break;
+          const auto* act = dynamic_cast<const ActivationOp*>(next->op.get());
+          if (act == nullptr) break;
+          kinds.push_back(act->kind());
+          absorbed.push_back(next->name);
+          tail_out = next->outputs[0];
+        }
+        if (kinds.size() < 2) continue;
+
+        Network::Node& head = net.node(n.name);
+        head.op = std::make_unique<FusedElementwiseOp>(std::move(kinds));
+        head.op_type = head.op->name();
+        head.outputs = {tail_out};
+        for (const std::string& dead : absorbed) net.remove_node(dead);
+        ++rewrites;
+        changed = true;
+        break;  // node storage moved; restart the scan
+      }
+    }
+    return rewrites;
+  }
+};
+
+}  // namespace
+
+PassPtr make_fuse_elementwise_pass() {
+  return std::make_unique<FuseElementwisePass>();
+}
+
+}  // namespace passes
+}  // namespace d500

@@ -1,0 +1,73 @@
+// fuse-epilogue: MatMul/Linear/Conv2D followed by a single-consumer unary
+// activation folds into the compute op's epilogue — the activation runs in
+// place over the GEMM/conv output while it is still cache-resident, and
+// the op's backward converts dY to the pre-activation gradient before the
+// usual weight/input gradient kernels. Bit-identical to the unfused pair:
+// the epilogue uses the same SIMD activation kernels, and the backward's
+// leading +0.0f reproduces the executor's zeroed-scratch axpy hop on the
+// removed edge (ops/elementwise.hpp).
+#include "graph/passes/pass.hpp"
+#include "ops/conv2d.hpp"
+#include "ops/gemm.hpp"
+
+namespace d500 {
+namespace passes {
+namespace {
+
+// Installs the epilogue when the node's operator supports one and has none
+// yet; returns false otherwise.
+bool try_set_epilogue(CustomOperator* op, Activation kind) {
+  if (auto* mm = dynamic_cast<MatMulOp*>(op)) {
+    if (mm->epilogue()) return false;
+    mm->set_epilogue(kind);
+    return true;
+  }
+  if (auto* lin = dynamic_cast<LinearOp*>(op)) {
+    if (lin->epilogue()) return false;
+    lin->set_epilogue(kind);
+    return true;
+  }
+  if (auto* conv = dynamic_cast<Conv2DOp*>(op)) {
+    if (conv->epilogue()) return false;
+    conv->set_epilogue(kind);
+    return true;
+  }
+  return false;
+}
+
+class FuseEpiloguePass : public GraphPass {
+ public:
+  std::string name() const override { return "fuse-epilogue"; }
+
+  int apply(Network& net, PassResult&) override {
+    int rewrites = 0;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Network::Node& n : net.nodes()) {
+        Network::Node* next = sole_consumer(net, n.outputs[0]);
+        if (next == nullptr) continue;
+        const auto* act = dynamic_cast<const ActivationOp*>(next->op.get());
+        if (act == nullptr) continue;
+        if (!try_set_epilogue(n.op.get(), act->kind())) continue;
+
+        const std::string dead = next->name;
+        std::vector<std::string> outs = next->outputs;
+        Network::Node& head = net.node(n.name);
+        head.outputs = std::move(outs);
+        net.remove_node(dead);
+        ++rewrites;
+        changed = true;
+        break;  // node storage moved; restart the scan
+      }
+    }
+    return rewrites;
+  }
+};
+
+}  // namespace
+
+PassPtr make_fuse_epilogue_pass() { return std::make_unique<FuseEpiloguePass>(); }
+
+}  // namespace passes
+}  // namespace d500

@@ -1,0 +1,190 @@
+#include "graph/passes/pass.hpp"
+
+#include <algorithm>
+
+#include "core/timer.hpp"
+#include "core/trace.hpp"
+
+namespace d500 {
+
+int PassResult::total_rewrites() const {
+  int n = 0;
+  for (const PassStats& s : stats) n += s.rewrites;
+  return n;
+}
+
+const PassStats* PassResult::find(const std::string& pass_name) const {
+  for (const PassStats& s : stats)
+    if (s.name == pass_name) return &s;
+  return nullptr;
+}
+
+namespace {
+
+// Canonical pipeline order. Constant folding runs first so later fusions
+// see the simplified graph; conv+bn fuses before the generic epilogue pass
+// (which would otherwise claim the conv's ReLU); DCE runs last to sweep
+// anything the other passes orphaned.
+void register_builtin_passes(PassRegistry& reg) {
+  reg.register_pass(10, "constfold", passes::make_constfold_pass);
+  reg.register_pass(20, "fuse-conv-bn", passes::make_fuse_conv_bn_pass);
+  reg.register_pass(30, "fuse-bias-relu", passes::make_fuse_bias_relu_pass);
+  reg.register_pass(40, "fuse-epilogue", passes::make_fuse_epilogue_pass);
+  reg.register_pass(50, "fuse-elementwise", passes::make_fuse_elementwise_pass);
+  reg.register_pass(60, "dce", passes::make_dce_pass);
+}
+
+}  // namespace
+
+PassRegistry& PassRegistry::instance() {
+  static PassRegistry* reg = [] {
+    auto* r = new PassRegistry();
+    register_builtin_passes(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+void PassRegistry::register_pass(int order, std::string name,
+                                 std::function<PassPtr()> factory) {
+  for (Entry& e : entries_) {
+    if (e.name == name) {
+      e.order = order;
+      e.factory = std::move(factory);
+      std::stable_sort(entries_.begin(), entries_.end(),
+                       [](const Entry& a, const Entry& b) {
+                         return a.order < b.order;
+                       });
+      return;
+    }
+  }
+  entries_.push_back(Entry{order, std::move(name), std::move(factory)});
+  std::stable_sort(
+      entries_.begin(), entries_.end(),
+      [](const Entry& a, const Entry& b) { return a.order < b.order; });
+}
+
+std::vector<std::string> PassRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.name);
+  return out;
+}
+
+bool PassRegistry::known(const std::string& name) const {
+  for (const Entry& e : entries_)
+    if (e.name == name) return true;
+  return false;
+}
+
+PassPtr PassRegistry::make(const std::string& name) const {
+  for (const Entry& e : entries_)
+    if (e.name == name) return e.factory();
+  throw Error("unknown graph pass '" + name + "'");
+}
+
+std::vector<std::string> parse_pass_spec(const std::string& spec) {
+  PassRegistry& reg = PassRegistry::instance();
+  const std::vector<std::string> all = reg.names();
+
+  std::vector<std::string> selected;
+  const auto add = [&](const std::string& n) {
+    if (std::find(selected.begin(), selected.end(), n) == selected.end())
+      selected.push_back(n);
+  };
+  const auto remove = [&](const std::string& n) {
+    selected.erase(std::remove(selected.begin(), selected.end(), n),
+                   selected.end());
+  };
+
+  std::size_t pos = 0;
+  bool any_token = false;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string tok = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    // Trim surrounding whitespace.
+    const std::size_t b = tok.find_first_not_of(" \t");
+    if (b == std::string::npos) continue;
+    tok = tok.substr(b, tok.find_last_not_of(" \t") - b + 1);
+    any_token = true;
+
+    if (tok == "all" || tok == "1") {
+      for (const std::string& n : all) add(n);
+    } else if (tok == "none" || tok == "off" || tok == "0") {
+      selected.clear();
+    } else if (tok[0] == '-') {
+      const std::string n = tok.substr(1);
+      if (!reg.known(n)) throw Error("unknown graph pass '" + n + "'");
+      remove(n);
+    } else {
+      if (!reg.known(tok)) throw Error("unknown graph pass '" + tok + "'");
+      add(tok);
+    }
+  }
+  if (!any_token)  // empty spec means default-on
+    return all;
+
+  // Canonical order regardless of how the spec listed them.
+  std::vector<std::string> ordered;
+  for (const std::string& n : all)
+    if (std::find(selected.begin(), selected.end(), n) != selected.end())
+      ordered.push_back(n);
+  return ordered;
+}
+
+PassPipeline PassPipeline::from_spec(const std::string& spec) {
+  PassPipeline p;
+  p.names_ = parse_pass_spec(spec);
+  return p;
+}
+
+PassResult PassPipeline::run(Network& net) const {
+  PassResult result;
+  for (const std::string& name : names_) {
+    PassPtr pass = PassRegistry::instance().make(name);
+    Timer timer;
+    int rewrites = 0;
+    {
+      TraceSpan span("pass", name);
+      rewrites = pass->apply(net, result);
+    }
+    trace_counter("pass", name + ".rewrites", static_cast<double>(rewrites));
+    result.stats.push_back(PassStats{name, rewrites, timer.seconds()});
+  }
+  return result;
+}
+
+namespace passes {
+
+int value_use_count(const Network& net, const std::string& value) {
+  int uses = 0;
+  for (const Network::Node& n : net.nodes())
+    for (const std::string& in : n.inputs)
+      if (in == value) ++uses;
+  return uses;
+}
+
+bool is_graph_output(const Network& net, const std::string& value) {
+  const auto& outs = net.outputs();
+  return std::find(outs.begin(), outs.end(), value) != outs.end();
+}
+
+bool is_graph_input(const Network& net, const std::string& value) {
+  const auto& ins = net.inputs();
+  return std::find(ins.begin(), ins.end(), value) != ins.end();
+}
+
+Network::Node* sole_consumer(Network& net, const std::string& value) {
+  if (is_graph_output(net, value)) return nullptr;
+  if (value_use_count(net, value) != 1) return nullptr;
+  for (const Network::Node& n : net.nodes())
+    for (const std::string& in : n.inputs)
+      if (in == value) return &net.node(n.name);
+  return nullptr;
+}
+
+}  // namespace passes
+
+}  // namespace d500

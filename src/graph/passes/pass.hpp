@@ -1,0 +1,143 @@
+// Plan-time graph compiler passes (Level 1, paper §IV-D): a pass is an
+// in-place rewrite of an instantiated Network that must preserve observable
+// semantics — graph outputs and published parameter gradients stay
+// bit-identical to the unrewritten graph (or within the documented ULP
+// tolerance for folded reductions; see DESIGN.md §10).
+//
+// Passes run once, at PlanExecutor construction, before any shape
+// inference: they may only inspect graph structure and stored tensors,
+// never feed shapes. Rewrites mutate head nodes in place (keeping the node
+// name, so the stored topological order survives) and remove absorbed
+// nodes; they never append nodes.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/network.hpp"
+
+namespace d500 {
+
+class FusedConvBnOp;  // ops/fused.hpp
+
+/// Per-pass observability: rewrite count + wall time, mirrored into the
+/// trace runtime as a "pass" span and a rewrite counter.
+struct PassStats {
+  std::string name;
+  int rewrites = 0;
+  double seconds = 0.0;
+};
+
+/// A parameter-only subexpression evaluated at compile time by the
+/// constfold pass. The executor re-evaluates it (through the moved-out
+/// operator) whenever params_version moves, so optimizer updates to the
+/// source parameters propagate into the folded tensor.
+struct FoldedConstant {
+  OperatorPtr op;                        // the folded-away operator
+  std::vector<std::string> input_names;  // stored-tensor operands
+  std::string output_name;               // stored tensor holding the result
+};
+
+/// Everything the executor needs to keep a rewritten graph fresh across
+/// parameter updates, plus the per-pass stats for reporting.
+struct PassResult {
+  std::vector<PassStats> stats;
+  std::vector<FoldedConstant> folds;
+  // Conv+BN fusion sites whose eval-mode folded weights must be
+  // invalidated when params_version moves.
+  std::vector<FusedConvBnOp*> bn_fold_sites;
+
+  int total_rewrites() const;
+  const PassStats* find(const std::string& pass_name) const;
+  /// True when the executor must watch params_version (any fold present).
+  bool needs_refresh() const {
+    return !folds.empty() || !bn_fold_sites.empty();
+  }
+};
+
+class GraphPass {
+ public:
+  virtual ~GraphPass() = default;
+  virtual std::string name() const = 0;
+  /// Rewrites `net` in place; returns the number of rewrites applied.
+  virtual int apply(Network& net, PassResult& result) = 0;
+};
+
+using PassPtr = std::unique_ptr<GraphPass>;
+
+/// Registry of known passes in canonical application order. Built-in
+/// passes register at first use (lazy, so static-library dead-stripping
+/// cannot lose them); tests may add their own with register_pass.
+class PassRegistry {
+ public:
+  static PassRegistry& instance();
+
+  /// Registers a pass factory at the given pipeline position (ascending
+  /// order; built-ins use 10..60). Re-registering a name replaces it.
+  void register_pass(int order, std::string name,
+                     std::function<PassPtr()> factory);
+
+  /// All registered pass names, in canonical order.
+  std::vector<std::string> names() const;
+  bool known(const std::string& name) const;
+  /// Instantiates a pass by name; throws Error on unknown names.
+  PassPtr make(const std::string& name) const;
+
+ private:
+  struct Entry {
+    int order;
+    std::string name;
+    std::function<PassPtr()> factory;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// Parses a D500_PASSES-style spec into a canonically-ordered pass list:
+///   ""/"all"/"1"   -> every registered pass
+///   "none"/"off"/"0" -> no passes
+///   "a,b"          -> exactly those passes
+///   "all,-dce"     -> everything except dce ("-name" removes, "all" resets)
+/// Unknown names throw Error. The result is always in registry order, no
+/// matter how the spec lists them.
+std::vector<std::string> parse_pass_spec(const std::string& spec);
+
+/// An ordered sequence of passes with tracing. `run` emits one "pass"
+/// trace span and one rewrite trace_counter per pass.
+class PassPipeline {
+ public:
+  static PassPipeline from_spec(const std::string& spec);
+
+  PassResult run(Network& net) const;
+  const std::vector<std::string>& pass_names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+namespace passes {
+
+// Shared rewrite-eligibility helpers (defined in pass.cpp).
+
+/// Number of node-input references to `value` across the graph (a node
+/// consuming the value twice counts twice).
+int value_use_count(const Network& net, const std::string& value);
+bool is_graph_output(const Network& net, const std::string& value);
+bool is_graph_input(const Network& net, const std::string& value);
+/// The single consuming node, or nullptr when the value has != 1 use or is
+/// also a declared graph output (fusing past an exported edge would change
+/// observable results). Pointer is invalidated by any node add/remove.
+Network::Node* sole_consumer(Network& net, const std::string& value);
+
+// Built-in pass factories (one translation unit each).
+PassPtr make_constfold_pass();
+PassPtr make_fuse_conv_bn_pass();
+PassPtr make_fuse_bias_relu_pass();
+PassPtr make_fuse_epilogue_pass();
+PassPtr make_fuse_elementwise_pass();
+PassPtr make_dce_pass();
+
+}  // namespace passes
+
+}  // namespace d500

@@ -3,7 +3,10 @@
 //
 // Transforms are Model -> Model rewrites, applied before network
 // construction so they are framework-independent — the property the
-// paper's micro-batching case study (§V-C) relies on.
+// paper's micro-batching case study (§V-C) relies on. Operator fusion and
+// dead-code elimination moved to the instantiated-graph pass pipeline in
+// graph/passes/ (they need operator identity, not just op_type strings);
+// only structural Model rewrites (micro-batching) remain transforms.
 #pragma once
 
 #include "graph/model.hpp"
@@ -15,22 +18,6 @@ class GraphTransform {
   virtual ~GraphTransform() = default;
   virtual std::string name() const = 0;
   virtual Model apply(const Model& model) const = 0;
-};
-
-/// Fuses BiasAdd -> ReLU chains (single consumer) into FusedBiasRelu: the
-/// operation-fusion optimization the paper attributes to Caffe2 kernels
-/// (Use Case 1). Returns the number of fusions via last_fused().
-class FuseBiasReluTransform : public GraphTransform {
- public:
-  std::string name() const override { return "fuse-bias-relu"; }
-  Model apply(const Model& model) const override;
-};
-
-/// Removes nodes none of whose outputs are consumed or exported.
-class DeadNodeElimination : public GraphTransform {
- public:
-  std::string name() const override { return "dead-node-elimination"; }
-  Model apply(const Model& model) const override;
 };
 
 }  // namespace d500

@@ -26,8 +26,13 @@ class BatchNormOp : public CustomOperator {
   std::uint64_t forward_flops(const std::vector<Shape>& inputs) const override;
 
   void set_training(bool training) { training_ = training; }
+  void set_training_mode(bool training) override { training_ = training; }
   bool training() const { return training_; }
   std::int64_t channels() const { return channels_; }
+  float eps() const { return eps_; }
+  /// Inference-mode statistics, exposed for the conv+bn folding pass.
+  const std::vector<float>& running_mean() const { return running_mean_; }
+  const std::vector<float>& running_var() const { return running_var_; }
 
  private:
   std::int64_t channels_;

@@ -340,12 +340,22 @@ void Conv2DOp::forward(const ConstTensors& inputs, const MutTensors& outputs) {
       break;
     case ConvBackend::kWinograd: conv_winograd(X, W, bias, Y, params_); break;
   }
+  if (epilogue_)
+    activation_forward_inplace(*epilogue_, Y.data(), Y.elements());
 }
 
 void Conv2DOp::backward(const ConstTensors& grad_outputs,
-                        const ConstTensors& fwd_inputs, const ConstTensors&,
+                        const ConstTensors& fwd_inputs,
+                        const ConstTensors& fwd_outputs,
                         const MutTensors& grad_inputs) {
-  const Tensor& dY = *grad_outputs[0];
+  const Tensor* gout = grad_outputs[0];
+  if (epilogue_) {
+    if (dpre_.shape() != gout->shape()) dpre_ = Tensor(gout->shape());
+    activation_backward_into(*epilogue_, gout->data(), fwd_outputs[0]->data(),
+                             dpre_.data(), gout->elements());
+    gout = &dpre_;
+  }
+  const Tensor& dY = *gout;
   const Tensor& X = *fwd_inputs[0];
   const Tensor& Wt = *fwd_inputs[1];
   const std::int64_t N = X.dim(0), C = X.dim(1), H = X.dim(2), W = X.dim(3);

@@ -10,6 +10,8 @@
 // Backward always uses the im2col formulation (col2im for input gradients).
 #pragma once
 
+#include <optional>
+
 #include "ops/gemm.hpp"
 #include "ops/operator.hpp"
 
@@ -69,11 +71,17 @@ class Conv2DOp : public CustomOperator {
   /// used by the micro-batching memory model (Level 1).
   std::size_t workspace_bytes(const std::vector<Shape>& inputs) const;
 
+  /// Fused activation epilogue; see MatMulOp::set_epilogue.
+  void set_epilogue(Activation kind) { epilogue_ = kind; }
+  const std::optional<Activation>& epilogue() const { return epilogue_; }
+
  private:
   Conv2DParams params_;
   ConvBackend backend_;
   const float* prepacked_w_ = nullptr;
   const float* prepacked_src_ = nullptr;
+  std::optional<Activation> epilogue_;
+  Tensor dpre_;  // grow-only epilogue-backward scratch
 };
 
 /// im2col lowering: writes the [C*kh*kw, Ho*Wo] column matrix for one

@@ -30,6 +30,7 @@ class DropoutOp : public CustomOperator {
                 const MutTensors& grad_inputs) override;
 
   void set_training(bool training) { training_ = training; }
+  void set_training_mode(bool training) override { training_ = training; }
   bool training() const { return training_; }
   float ratio() const { return ratio_; }
 

@@ -32,6 +32,59 @@ void ew_map(std::int64_t n, F&& body) {
 
 }  // namespace
 
+void activation_forward_inplace(Activation kind, float* y, std::int64_t n) {
+  switch (kind) {
+    case Activation::kReLU:
+      ew_map(n, [&](auto tag, std::int64_t i) {
+        using W = decltype(tag);
+        W::max(W::loadu(y + i), W::zero()).storeu(y + i);
+      });
+      break;
+    case Activation::kSigmoid:
+      ew_map(n, [&](auto tag, std::int64_t i) {
+        using W = decltype(tag);
+        simd::vsigmoid(W::loadu(y + i)).storeu(y + i);
+      });
+      break;
+    case Activation::kTanh:
+      ew_map(n, [&](auto tag, std::int64_t i) {
+        using W = decltype(tag);
+        simd::vtanh(W::loadu(y + i)).storeu(y + i);
+      });
+      break;
+  }
+}
+
+void activation_backward_into(Activation kind, const float* dy, const float* y,
+                              float* dpre, std::int64_t n) {
+  switch (kind) {
+    case Activation::kReLU:
+      ew_map(n, [&](auto tag, std::int64_t i) {
+        using W = decltype(tag);
+        (W::zero() +
+         W::select_gt_zero(W::loadu(y + i), W::loadu(dy + i), W::zero()))
+            .storeu(dpre + i);
+      });
+      break;
+    case Activation::kSigmoid:
+      ew_map(n, [&](auto tag, std::int64_t i) {
+        using W = decltype(tag);
+        const W yv = W::loadu(y + i);
+        (W::zero() + W::loadu(dy + i) * yv * (W::broadcast(1.0f) - yv))
+            .storeu(dpre + i);
+      });
+      break;
+    case Activation::kTanh:
+      ew_map(n, [&](auto tag, std::int64_t i) {
+        using W = decltype(tag);
+        const W yv = W::loadu(y + i);
+        (W::zero() + W::loadu(dy + i) * (W::broadcast(1.0f) - yv * yv))
+            .storeu(dpre + i);
+      });
+      break;
+  }
+}
+
 const char* activation_name(Activation a) {
   switch (a) {
     case Activation::kReLU: return "relu";

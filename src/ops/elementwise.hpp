@@ -11,6 +11,23 @@ enum class Activation { kReLU, kSigmoid, kTanh };
 
 const char* activation_name(Activation a);
 
+/// Fused-epilogue entry points (graph/passes fuse-epilogue): the compute
+/// ops (MatMul/Linear/Conv2D) apply an activation in place over their
+/// output instead of the graph running a separate ActivationOp. Same SIMD
+/// kernels as ActivationOp, so fused results are bit-identical to the
+/// unfused two-op sequence (a float store/load round trip is exact).
+void activation_forward_inplace(Activation kind, float* y, std::int64_t n);
+
+/// Epilogue backward: dpre[i] = 0.0f + d(act)/d(pre) * dy[i], computed
+/// from the post-activation output y alone. ReLU keys off y > 0, which is
+/// equivalent to pre > 0 under the max(pre, 0) forward kernel (NaN pre
+/// maps to y = 0, matching select_gt_zero's all-false NaN compare). The
+/// leading +0.0f reproduces the executor's zeroed-scratch axpy hop on the
+/// act->op edge of the unfused graph, so -0.0 gradients canonicalize to
+/// +0.0 exactly as they do unfused.
+void activation_backward_into(Activation kind, const float* dy, const float* y,
+                              float* dpre, std::int64_t n);
+
 /// Unary activation: {X} -> {Y}, any rank.
 class ActivationOp : public CustomOperator {
  public:

@@ -1,0 +1,122 @@
+// Fused operators produced by the Level 1 compiler passes (graph/passes):
+// an arena-resident elementwise chain (fuse-elementwise) and the
+// Conv+BatchNorm[+ReLU] block (fuse-conv-bn). Both are bit-identical to
+// the unfused op sequences in training mode — see DESIGN.md §10 for the
+// exact rules (store/load round trips, the +0.0 gradient-hop
+// canonicalization) — while the conv+bn eval path folds the normalization
+// into the convolution weights (documented ULP tolerance).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ops/batchnorm.hpp"
+#include "ops/conv2d.hpp"
+#include "ops/elementwise.hpp"
+
+namespace d500 {
+
+/// A single-consumer chain of unary activations collapsed into one loop:
+/// {X} -> {Y} with Y = act_m(...act_1(X)). Forward is one pass over
+/// memory; backward recomputes the chain per SIMD lane in registers and
+/// walks it in reverse. Internal gradient hops add +0.0 to reproduce the
+/// executor's zeroed-scratch axpy between unfused nodes, so results stay
+/// bitwise equal to the m-node graph.
+class FusedElementwiseOp : public CustomOperator {
+ public:
+  /// Chains longer than this are split by the pass (the backward keeps the
+  /// per-lane intermediates in registers / on the stack).
+  static constexpr std::size_t kMaxChain = 8;
+
+  explicit FusedElementwiseOp(std::vector<Activation> kinds);
+
+  std::string name() const override { return "FusedElementwise"; }
+  std::size_t num_inputs() const override { return 1; }
+  std::size_t num_outputs() const override { return 1; }
+  std::vector<Shape> output_shapes(
+      const std::vector<Shape>& inputs) const override;
+  void forward(const ConstTensors& inputs, const MutTensors& outputs) override;
+  void backward(const ConstTensors& grad_outputs, const ConstTensors& fwd_inputs,
+                const ConstTensors& fwd_outputs,
+                const MutTensors& grad_inputs) override;
+  std::uint64_t forward_flops(const std::vector<Shape>& inputs) const override;
+
+  const std::vector<Activation>& kinds() const { return kinds_; }
+
+ private:
+  std::vector<Activation> kinds_;
+};
+
+/// Conv2D + BatchNorm (+ optional ReLU) block: inputs
+/// {X, W, bias, gamma, beta} -> {Y}. Owns the original operator instances.
+///
+/// Training mode runs conv and bn kernels back to back through member
+/// scratch (grow-only, so warm steps stay zero-alloc), with the +0.0
+/// gradient-hop rule applied on the internal edges — bitwise equal to the
+/// unfused three-node graph.
+///
+/// Eval mode folds the normalization into the convolution:
+///   s  = gamma / sqrt(running_var + eps)
+///   W' = W * s (per output channel),  b' = beta + (bias - mean) * s
+/// and runs a single conv (+ ReLU epilogue) over pre-packed W' panels.
+/// The fold reassociates the per-element multiply/add sequence, so eval
+/// outputs match unfused within a few ULP (documented tolerance, DESIGN.md
+/// §10); it is recomputed whenever the executor observes a params_version
+/// change (mark_fold_dirty) or the mode flips.
+class FusedConvBnOp : public CustomOperator {
+ public:
+  FusedConvBnOp(std::unique_ptr<Conv2DOp> conv, std::unique_ptr<BatchNormOp> bn,
+                bool with_relu);
+
+  std::string name() const override { return "FusedConvBn"; }
+  std::size_t num_inputs() const override { return 5; }
+  std::size_t num_outputs() const override { return 1; }
+  std::vector<Shape> output_shapes(
+      const std::vector<Shape>& inputs) const override;
+  void forward(const ConstTensors& inputs, const MutTensors& outputs) override;
+  void backward(const ConstTensors& grad_outputs, const ConstTensors& fwd_inputs,
+                const ConstTensors& fwd_outputs,
+                const MutTensors& grad_inputs) override;
+  std::uint64_t forward_flops(const std::vector<Shape>& inputs) const override;
+  void set_training_mode(bool training) override;
+
+  Conv2DOp& conv() { return *conv_; }
+  const Conv2DOp& conv() const { return *conv_; }
+  const BatchNormOp& bn() const { return *bn_; }
+  bool with_relu() const { return with_relu_; }
+
+  /// Conv workspace for the executor's memory model (first three shapes
+  /// are the conv inputs).
+  std::size_t workspace_bytes(const std::vector<Shape>& inputs) const;
+
+  /// Invalidate the eval-mode folded weights: the executor calls this when
+  /// Network::params_version moves (W/bias/gamma/beta may have changed).
+  void mark_fold_dirty() { fold_dirty_ = true; }
+
+ private:
+  void ensure_fold(const Tensor& W, const Tensor& bias, const Tensor& gamma,
+                   const Tensor& beta);
+
+  std::unique_ptr<Conv2DOp> conv_;
+  std::unique_ptr<BatchNormOp> bn_;
+  bool with_relu_;
+
+  // Training-path scratch: grow-only tensors plus capacity-reusing pointer
+  // vectors, so warm steps allocate nothing.
+  Tensor conv_out_;  // conv output, retained for the bn/conv backwards
+  Tensor d_bn_;      // relu->bn gradient hop
+  Tensor d_conv_;    // bn->conv gradient hop
+  ConstTensors sub_in_, sub_gout_, sub_fin_, sub_fout_;
+  MutTensors sub_out_, sub_gin_;
+
+  // Eval-path fold state.
+  bool fold_dirty_ = true;
+  Tensor w_folded_, b_folded_;
+  std::vector<float> fold_panels_;  // pre-packed W' (im2col backend only)
+  const float* fold_src_w_ = nullptr;
+  const float* fold_src_b_ = nullptr;
+  const float* fold_src_gamma_ = nullptr;
+  const float* fold_src_beta_ = nullptr;
+};
+
+}  // namespace d500

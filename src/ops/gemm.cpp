@@ -485,12 +485,22 @@ void MatMulOp::forward(const ConstTensors& inputs, const MutTensors& outputs) {
   } else {
     gemm(backend_, M, N, K, 1.0f, A.data(), B.data(), 0.0f, C.data());
   }
+  if (epilogue_)
+    activation_forward_inplace(*epilogue_, C.data(), C.elements());
 }
 
 void MatMulOp::backward(const ConstTensors& grad_outputs,
-                        const ConstTensors& fwd_inputs, const ConstTensors&,
+                        const ConstTensors& fwd_inputs,
+                        const ConstTensors& fwd_outputs,
                         const MutTensors& grad_inputs) {
-  const Tensor& dC = *grad_outputs[0];
+  const Tensor* gout = grad_outputs[0];
+  if (epilogue_) {
+    if (dpre_.shape() != gout->shape()) dpre_ = Tensor(gout->shape());
+    activation_backward_into(*epilogue_, gout->data(), fwd_outputs[0]->data(),
+                             dpre_.data(), gout->elements());
+    gout = &dpre_;
+  }
+  const Tensor& dC = *gout;
   const Tensor& A = *fwd_inputs[0];
   const Tensor& B = *fwd_inputs[1];
   const std::int64_t M = A.dim(0), K = A.dim(1), N = B.dim(1);
@@ -555,12 +565,22 @@ void LinearOp::forward(const ConstTensors& inputs, const MutTensors& outputs) {
     add_bias(VecN::zero());
   else
     add_bias(Vec1::zero());
+  if (epilogue_)
+    activation_forward_inplace(*epilogue_, Y.data(), Y.elements());
 }
 
 void LinearOp::backward(const ConstTensors& grad_outputs,
-                        const ConstTensors& fwd_inputs, const ConstTensors&,
+                        const ConstTensors& fwd_inputs,
+                        const ConstTensors& fwd_outputs,
                         const MutTensors& grad_inputs) {
-  const Tensor& dY = *grad_outputs[0];
+  const Tensor* gout = grad_outputs[0];
+  if (epilogue_) {
+    if (dpre_.shape() != gout->shape()) dpre_ = Tensor(gout->shape());
+    activation_backward_into(*epilogue_, gout->data(), fwd_outputs[0]->data(),
+                             dpre_.data(), gout->elements());
+    gout = &dpre_;
+  }
+  const Tensor& dY = *gout;
   const Tensor& X = *fwd_inputs[0];
   const Tensor& W = *fwd_inputs[1];
   const std::int64_t B = X.dim(0), in = X.dim(1), out = W.dim(0);

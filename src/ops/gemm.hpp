@@ -31,7 +31,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
+#include "ops/elementwise.hpp"
 #include "ops/operator.hpp"
 
 namespace d500 {
@@ -135,10 +137,19 @@ class MatMulOp : public CustomOperator {
     prepacked_src_ = src;
   }
 
+  /// Fused activation epilogue (graph/passes fuse-epilogue): forward
+  /// applies the activation in place over C, backward reconstructs the
+  /// pre-activation gradient internally — bit-identical to the unfused
+  /// MatMul + ActivationOp pair (ops/elementwise epilogue helpers).
+  void set_epilogue(Activation kind) { epilogue_ = kind; }
+  const std::optional<Activation>& epilogue() const { return epilogue_; }
+
  private:
   GemmBackend backend_;
   const float* prepacked_b_ = nullptr;
   const float* prepacked_src_ = nullptr;
+  std::optional<Activation> epilogue_;
+  Tensor dpre_;  // grow-only epilogue-backward scratch
 };
 
 /// Fully-connected (linear) layer: inputs {X [B,in], W [out,in], bias [out]},
@@ -168,10 +179,16 @@ class LinearOp : public CustomOperator {
     prepacked_src_ = src;
   }
 
+  /// Fused activation epilogue; see MatMulOp::set_epilogue.
+  void set_epilogue(Activation kind) { epilogue_ = kind; }
+  const std::optional<Activation>& epilogue() const { return epilogue_; }
+
  private:
   GemmBackend backend_;
   const float* prepacked_w_ = nullptr;
   const float* prepacked_src_ = nullptr;
+  std::optional<Activation> epilogue_;
+  Tensor dpre_;  // grow-only epilogue-backward scratch
 };
 
 }  // namespace d500

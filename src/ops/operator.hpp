@@ -57,6 +57,12 @@ class CustomOperator {
   virtual std::uint64_t forward_flops(const std::vector<Shape>& inputs) const {
     return 0;
   }
+
+  /// Training/inference mode switch. Stateless operators ignore it;
+  /// stateful ones (Dropout, BatchNorm, fused ops embedding them)
+  /// override. Network::set_training broadcasts through this, so graph
+  /// rewrites never hide a stateful op from the mode flip.
+  virtual void set_training_mode(bool /*training*/) {}
 };
 
 inline void CustomOperator::backward(const ConstTensors&, const ConstTensors&,

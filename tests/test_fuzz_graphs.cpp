@@ -236,8 +236,11 @@ struct TrainRun {
 /// on a 2-rank world (both ranks see the same minibatch, so statistical
 /// behaviour matches single-process SGD while every collective still
 /// runs); returns rank 0's parameter checksum and per-step losses.
+/// `passes` selects the plan engine's compiler pipeline (D500_PASSES
+/// syntax); the other engines ignore it.
 TrainRun differential_train(Engine engine, int threads, bool overlap,
-                            std::uint64_t seed) {
+                            std::uint64_t seed,
+                            const std::string& passes = "all") {
   ThreadPool::instance().reset(threads);
   const Model m = random_model(seed);
   SimMpi mpi(2);
@@ -255,6 +258,7 @@ TrainRun differential_train(Engine engine, int threads, bool overlap,
       case Engine::kPlan: {
         ExecOptions opts;
         opts.overlap_comm = overlap;
+        opts.passes = passes;
         exec = std::make_unique<PlanExecutor>(build_network(m), "plan", opts);
         break;
       }
@@ -331,6 +335,47 @@ TEST_P(FuzzTrainingDifferential, BitIdenticalAcrossThreadsAndOverlap) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTrainingDifferential,
                          ::testing::Range<std::uint64_t>(1, 7),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// ---- compiler-pass axis -----------------------------------------------------
+
+/// The pass-pipeline extension of the differential property: on the plan
+/// engine, every individual compiler pass — and the whole pipeline — must
+/// train to bit-identical parameters and losses as the unrewritten graph,
+/// at every thread count. This is the fusion bit-identity contract
+/// (DESIGN.md §10) composed with the executor determinism contract: fused
+/// kernels reproduce the exact hop values (+0.0 gradient canonicalization,
+/// ReLU masks from stored outputs) the unfused graph produces.
+class FuzzPassDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzPassDifferential, EveryPassTrainsBitIdenticalToUnfused) {
+  const std::uint64_t seed = GetParam();
+  const int pool_before = ThreadPool::instance().num_threads();
+
+  const TrainRun base =
+      differential_train(Engine::kPlan, 1, false, seed, "none");
+  const char* specs[] = {"constfold",      "fuse-conv-bn", "fuse-bias-relu",
+                         "fuse-epilogue",  "fuse-elementwise", "dce", "all"};
+  for (const char* passes : specs) {
+    for (int threads : {1, 2, 4}) {
+      const TrainRun got =
+          differential_train(Engine::kPlan, threads, false, seed, passes);
+      EXPECT_EQ(got.param_checksum, base.param_checksum)
+          << "passes=" << passes << " threads=" << threads << " seed=" << seed;
+      ASSERT_EQ(got.losses.size(), base.losses.size());
+      for (std::size_t s = 0; s < got.losses.size(); ++s)
+        EXPECT_EQ(got.losses[s], base.losses[s])
+            << "passes=" << passes << " threads=" << threads
+            << " seed=" << seed << " step " << s;
+    }
+  }
+  ThreadPool::instance().reset(pool_before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPassDifferential,
+                         ::testing::Range<std::uint64_t>(1, 5),
                          [](const auto& info) {
                            return "seed" + std::to_string(info.param);
                          });

@@ -1,86 +1,17 @@
-// Graph-transform tests: bias+ReLU fusion, dead-node elimination, the
-// micro-batch DP solver, and the full micro-batch rewrite (semantics
-// preserved, OOM eliminated — the paper's §V-C case study at unit scale).
+// Graph-transform tests: the micro-batch DP solver and the full
+// micro-batch rewrite (semantics preserved, OOM eliminated — the paper's
+// §V-C case study at unit scale). Operator fusion and dead-node
+// elimination moved to the pass pipeline; see test_passes.cpp.
 #include <gtest/gtest.h>
 
 #include "graph/executor.hpp"
 #include "graph/microbatch.hpp"
 #include "graph/shape_inference.hpp"
-#include "graph/transforms.hpp"
 #include "graph/visitor.hpp"
 #include "models/builders.hpp"
 
 namespace d500 {
 namespace {
-
-Model bias_relu_model() {
-  Rng rng(2);
-  Tensor bias({3});
-  bias.fill_uniform(rng, -1, 1);
-  return ModelBuilder("br")
-      .input("data", {2, 3, 4, 4})
-      .initializer("bias", std::move(bias))
-      .node("BiasAdd", {"data", "bias"}, {"b"})
-      .node("ReLU", {"b"}, {"y"})
-      .output("y")
-      .build();
-}
-
-TEST(Fusion, FusesBiasReluAndPreservesSemantics) {
-  const Model m = bias_relu_model();
-  const Model fused = FuseBiasReluTransform().apply(m);
-  ASSERT_EQ(fused.nodes.size(), 1u);
-  EXPECT_EQ(fused.nodes[0].op_type, "FusedBiasRelu");
-
-  Rng rng(7);
-  TensorMap feeds;
-  Tensor d({2, 3, 4, 4});
-  d.fill_uniform(rng, -1, 1);
-  feeds["data"] = d;
-
-  ReferenceExecutor e1(build_network(m));
-  ReferenceExecutor e2(build_network(fused));
-  const Tensor y1 = e1.inference(feeds).at("y");
-  const Tensor y2 = e2.inference(feeds).at("y");
-  for (std::int64_t i = 0; i < y1.elements(); ++i)
-    ASSERT_FLOAT_EQ(y1.at(i), y2.at(i));
-}
-
-TEST(Fusion, DoesNotFuseWhenIntermediateIsExported) {
-  Model m = bias_relu_model();
-  m.graph_outputs.push_back("b");
-  const Model fused = FuseBiasReluTransform().apply(m);
-  EXPECT_EQ(fused.nodes.size(), 2u);
-}
-
-TEST(Fusion, DoesNotFuseMultiConsumerIntermediate) {
-  Rng rng(2);
-  Tensor bias({3});
-  Model m = ModelBuilder("br2")
-                .input("data", {1, 3, 2, 2})
-                .initializer("bias", std::move(bias))
-                .node("BiasAdd", {"data", "bias"}, {"b"})
-                .node("ReLU", {"b"}, {"y1"})
-                .node("Sigmoid", {"b"}, {"y2"})
-                .output("y1")
-                .output("y2")
-                .build();
-  const Model fused = FuseBiasReluTransform().apply(m);
-  EXPECT_EQ(fused.nodes.size(), 3u);
-}
-
-TEST(DeadNodes, RemovesUnusedChains) {
-  Model m = ModelBuilder("dead")
-                .input("data", {1, 4})
-                .node("ReLU", {"data"}, {"live"})
-                .node("Sigmoid", {"data"}, {"dead1"})
-                .node("Tanh", {"dead1"}, {"dead2"})
-                .output("live")
-                .build();
-  const Model out = DeadNodeElimination().apply(m);
-  EXPECT_EQ(out.nodes.size(), 1u);
-  EXPECT_EQ(out.nodes[0].op_type, "ReLU");
-}
 
 TEST(MicrobatchSolver, PicksLargestFeasibleChunk) {
   auto cost = [](std::int64_t s) {
