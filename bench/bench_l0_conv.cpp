@@ -8,10 +8,13 @@
 //  * the highlighted size with median + 95% CI and CI-overlap verdicts,
 //  * E3: the L-inf norm between each framework's output and the Deep500
 //    reference implementation (paper §V-B: ~7e-4).
+// Results land in BENCH_conv.json.
 #include <iostream>
 
 #include "common.hpp"
+#include "core/json.hpp"
 #include "core/metrics.hpp"
+#include "core/report.hpp"
 #include "core/rng.hpp"
 #include "frameworks/framework.hpp"
 #include "ops/conv2d.hpp"
@@ -123,6 +126,8 @@ int run() {
   Table high({"configuration", "median [95% CI]", "vs native"});
   high.add_row({"deepbench (bare kernel)", ms(db_time), "-"});
   bool deepbench_fastest = true;
+  BenchReport report("l0_conv");
+  report.add_summary("highlight.deepbench_s", db_time, "s");
   for (const Framework* fw : all_frameworks()) {
     auto native = fw->native_operator("Conv2D", conv_attrs(hs));
     auto wrapped = custom_op_from_native(*fw, "Conv2D", conv_attrs(hs));
@@ -132,6 +137,9 @@ int run() {
     high.add_row({fw->name() + " deep500", ms(tw),
                   ci_overlap(tn, tw) ? "within CI (indistinguishable)"
                                      : "outside CI"});
+    report.add_summary("highlight." + fw->name() + ".native_s", tn, "s");
+    report.add_summary("highlight." + fw->name() + ".wrapped_s", tw, "s");
+    report.add_flag(fw->name() + ".wrap_within_ci", ci_overlap(tn, tw));
     // Frameworks sharing the fastest kernel tie with the baseline up to
     // single-core timing noise; "fastest" means no framework clearly
     // undercuts it.
@@ -149,6 +157,27 @@ int run() {
   std::cout << "\nshape check: deepbench baseline fastest at highlighted "
                "size: "
             << (deepbench_fastest ? "yes" : "NO") << "\n";
+
+  for (const auto& [name, v] : worst_linf)
+    report.add_scalar("linf." + name, v, "abs");
+  report.add_flag("deepbench_fastest", deepbench_fastest);
+  JsonWriter extra;
+  extra.begin_object();
+  extra.key("highlight_size");
+  extra.begin_object();
+  extra.kv("N", static_cast<std::int64_t>(hs.N));
+  extra.kv("C", static_cast<std::int64_t>(hs.C));
+  extra.kv("H", static_cast<std::int64_t>(hs.H));
+  extra.kv("W", static_cast<std::int64_t>(hs.W));
+  extra.kv("K", static_cast<std::int64_t>(hs.K));
+  extra.kv("R", static_cast<std::int64_t>(hs.R));
+  extra.kv("stride", static_cast<std::int64_t>(hs.stride));
+  extra.kv("pad", static_cast<std::int64_t>(hs.pad));
+  extra.end_object();
+  extra.kv("sizes_swept", static_cast<std::uint64_t>(sizes.size()));
+  extra.end_object();
+  report.set_extra_json(extra.take());
+  report.write_file("BENCH_conv.json");
   return 0;
 }
 

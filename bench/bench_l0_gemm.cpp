@@ -2,12 +2,15 @@
 // bench_l0_conv over the DeepBench GEMM size list; highlighted size
 // M=K=2560, N=64 (scaled 1/4 in M and K). Also sweeps every GEMM backend
 // under both kernel-dispatch modes (D500_KERNEL scalar vs simd) plus the
-// pre-packed-panel path, reporting GFLOP/s, and writes BENCH_kernels.json.
-#include <fstream>
+// pre-packed-panel path, reporting GFLOP/s with hardware counters (IPC,
+// cache MPKI) per leg, and writes BENCH_kernels.json.
 #include <iostream>
 
 #include "common.hpp"
+#include "core/json.hpp"
 #include "core/metrics.hpp"
+#include "core/perf.hpp"
+#include "core/report.hpp"
 #include "core/rng.hpp"
 #include "core/simd.hpp"
 #include "frameworks/framework.hpp"
@@ -135,19 +138,25 @@ int run() {
     std::string name;
     double gflops = 0.0;
     double median_s = 0.0;
+    PerfCounts hw;
   };
   std::vector<KernelLeg> legs;
+  PerfRegion perf;  // one counter group reused across legs
   auto time_leg = [&](const std::string& label, auto&& call) {
     call();  // warmup
     std::vector<double> ts;
     ts.reserve(static_cast<std::size_t>(reruns));
+    // Counters bracket the whole timed loop: per-leg IPC / miss rates over
+    // `reruns` identical kernel calls.
+    perf.begin();
     for (int r = 0; r < reruns; ++r) {
       Timer t;
       call();
       ts.push_back(t.seconds());
     }
+    const PerfCounts hw = perf.end();
     const SampleSummary s = summarize(ts);
-    legs.push_back({label, flops / s.median * 1e-9, s.median});
+    legs.push_back({label, flops / s.median * 1e-9, s.median, hw});
   };
   const struct {
     GemmBackend backend;
@@ -183,30 +192,55 @@ int run() {
   }
   simd::set_kernel_dispatch(saved);
 
-  Table kt({"kernel/dispatch", "median", "GFLOP/s"});
+  const bool hw_live = perf.perf_available();
+  Table kt(hw_live
+               ? std::vector<std::string>{"kernel/dispatch", "median",
+                                          "GFLOP/s", "ipc", "c-mpki"}
+               : std::vector<std::string>{"kernel/dispatch", "median",
+                                          "GFLOP/s"});
   double blocked_simd = 0.0, packed_simd = 0.0;
   for (const KernelLeg& leg : legs) {
-    kt.add_row({leg.name, Table::num(leg.median_s * 1e3, 3) + " ms",
-                Table::num(leg.gflops, 2)});
+    std::vector<std::string> row{leg.name,
+                                 Table::num(leg.median_s * 1e3, 3) + " ms",
+                                 Table::num(leg.gflops, 2)};
+    if (hw_live) {
+      row.push_back(Table::num(leg.hw.ipc(), 2));
+      row.push_back(Table::num(leg.hw.cache_mpki(), 2));
+    }
+    kt.add_row(std::move(row));
     if (leg.name == "blocked/simd") blocked_simd = leg.gflops;
     if (leg.name == "packed/simd") packed_simd = leg.gflops;
   }
   std::cout << kt.to_text();
+  if (!hw_live)
+    std::cout << "(hardware counters unavailable; D500_PERF/"
+                 "perf_event_paranoid — wall-clock only)\n";
   if (blocked_simd > 0.0)
     std::cout << "packed vs blocked (simd): " << Table::num(
                      packed_simd / blocked_simd, 2) << "x\n";
 
-  std::ofstream json("BENCH_kernels.json");
-  json << "{\n  \"isa\": \"" << simd::isa_name() << "\",\n"
-       << "  \"native_width\": " << simd::kNativeWidth << ",\n"
-       << "  \"size\": {\"M\": " << hs.M << ", \"N\": " << hs.N
-       << ", \"K\": " << hs.K << "},\n  \"gemm\": {\n";
-  for (std::size_t i = 0; i < legs.size(); ++i)
-    json << "    \"" << legs[i].name << "\": {\"median_s\": "
-         << legs[i].median_s << ", \"gflops\": " << legs[i].gflops << "}"
-         << (i + 1 < legs.size() ? ",\n" : "\n");
-  json << "  }\n}\n";
-  std::cout << "wrote BENCH_kernels.json\n";
+  BenchReport report("l0_gemm");
+  report.add_summary("highlight.deepbench_s", db_time, "s");
+  for (const KernelLeg& leg : legs) {
+    report.add_scalar("gemm." + leg.name + ".gflops", leg.gflops, "GFLOP/s",
+                      Better::kHigher);
+    report.add_perf("gemm." + leg.name, leg.hw);
+  }
+  for (const auto& [name, v] : worst_linf)
+    report.add_scalar("linf." + name, v, "abs");
+  JsonWriter extra;
+  extra.begin_object();
+  extra.kv("isa", std::string_view(simd::isa_name()));
+  extra.kv("native_width", simd::kNativeWidth);
+  extra.key("size");
+  extra.begin_object();
+  extra.kv("M", static_cast<std::int64_t>(hs.M));
+  extra.kv("N", static_cast<std::int64_t>(hs.N));
+  extra.kv("K", static_cast<std::int64_t>(hs.K));
+  extra.end_object();
+  extra.end_object();
+  report.set_extra_json(extra.take());
+  report.write_file("BENCH_kernels.json");
   return 0;
 }
 

@@ -11,12 +11,13 @@
 // tolerance-checked — DESIGN.md §10). Results land in BENCH_fusion.json.
 #include <cmath>
 #include <cstdint>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common.hpp"
+#include "core/json.hpp"
+#include "core/report.hpp"
 #include "core/rng.hpp"
 #include "core/threadpool.hpp"
 #include "core/timer.hpp"
@@ -270,36 +271,44 @@ int run() {
             << Table::num(best, 2) << "x (target >= 1.2x): "
             << (best >= 1.2 ? "yes" : "NO") << "\n";
 
-  std::ofstream json("BENCH_fusion.json");
-  json << "{\n  \"bench\": \"l1_fusion\",\n  \"seed\": " << bench_seed()
-       << ",\n  \"pool_threads\": " << threads
-       << ",\n  \"reruns\": " << reruns << ",\n  \"models\": [\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const auto& r = rows[i];
-    json << "    {\"model\": \"" << r.name << "\", \"nodes_before\": "
-         << r.nodes_before << ", \"nodes_after\": " << r.nodes_after
-         << ", \"step_ms_unfused\": " << r.unfused.median * 1e3
-         << ", \"step_ms_fused\": " << r.fused.median * 1e3
-         << ", \"speedup\": " << speedup(r.unfused, r.fused);
-    if (r.has_eval)
-      json << ", \"eval_ms_unfused\": " << r.eval_unfused.median * 1e3
-           << ", \"eval_ms_fused\": " << r.eval_fused.median * 1e3
-           << ", \"eval_speedup\": "
-           << speedup(r.eval_unfused, r.eval_fused);
-    json << ", \"bitwise_identical\": " << (r.bitwise_ok ? "true" : "false")
-         << ", \"rewrites\": {";
-    bool first = true;
-    for (const auto& s : r.stats) {
-      if (s.rewrites == 0) continue;
-      json << (first ? "" : ", ") << "\"" << s.name << "\": " << s.rewrites;
-      first = false;
+  BenchReport report("l1_fusion");
+  for (const auto& r : rows) {
+    report.add_summary(r.name + ".step_unfused_s", r.unfused, "s");
+    report.add_summary(r.name + ".step_fused_s", r.fused, "s");
+    // Informational: a ratio of two noisy medians amplifies noise; the
+    // step summaries above carry the CI-overlap gate, and
+    // meets_1_2x_target below gates the headline claim.
+    report.add_scalar(r.name + ".speedup", speedup(r.unfused, r.fused), "x");
+    if (r.has_eval) {
+      report.add_summary(r.name + ".eval_unfused_s", r.eval_unfused, "s");
+      report.add_summary(r.name + ".eval_fused_s", r.eval_fused, "s");
     }
-    json << "}}" << (i + 1 < rows.size() ? ",\n" : "\n");
+    report.add_flag(r.name + ".bitwise_identical", r.bitwise_ok);
   }
-  json << "  ],\n  \"best_speedup\": " << best
-       << ",\n  \"meets_1_2x_target\": " << (best >= 1.2 ? "true" : "false")
-       << "\n}\n";
-  std::cout << "\nwrote BENCH_fusion.json\n";
+  report.add_scalar("best_speedup", best, "x");
+  report.add_flag("meets_1_2x_target", best >= 1.2);
+  JsonWriter extra;
+  extra.begin_object();
+  extra.kv("reruns", reruns);
+  extra.key("models");
+  extra.begin_array();
+  for (const auto& r : rows) {
+    extra.begin_object();
+    extra.kv("model", std::string_view(r.name));
+    extra.kv("nodes_before", static_cast<std::uint64_t>(r.nodes_before));
+    extra.kv("nodes_after", static_cast<std::uint64_t>(r.nodes_after));
+    extra.key("rewrites");
+    extra.begin_object();
+    for (const auto& s : r.stats)
+      if (s.rewrites > 0)
+        extra.kv(s.name, static_cast<std::int64_t>(s.rewrites));
+    extra.end_object();
+    extra.end_object();
+  }
+  extra.end_array();
+  extra.end_object();
+  report.set_extra_json(extra.take());
+  report.write_file("BENCH_fusion.json");
 
   return all_bitwise ? 0 : 1;
 }

@@ -5,21 +5,24 @@
 //     attached (loss recording, training accuracy at every step, per-step
 //     timing events). Apart from first-epoch instantiation, overhead must
 //     be negligible.
-//  2. per-step training time with the always-on trace runtime (core/trace)
-//     disabled vs. enabled, in back-to-back alternating pairs so drift
-//     hits both sides equally. The median-step overhead must stay under
-//     1%; the result is written to BENCH_overhead.json so the trajectory
-//     is tracked across PRs.
+//  2. per-step training time with the always-on observability runtime —
+//     trace rings (core/trace) AND the metrics registry
+//     (core/metrics_registry) together — disabled vs. enabled, in
+//     back-to-back alternating pairs so drift hits both sides equally.
+//     The combined median-step overhead must stay under 1%; the result is
+//     written to BENCH_overhead.json so the trajectory is tracked across
+//     PRs.
 // A final cross-stack phase exercises the data pipeline and the simulated
 // MPI collectives so a D500_TRACE=out.json run captures spans/counters
 // from every instrumented subsystem in one artifact.
 #include <algorithm>
 #include <filesystem>
-#include <fstream>
 #include <iostream>
 #include <thread>
 
 #include "common.hpp"
+#include "core/metrics_registry.hpp"
+#include "core/report.hpp"
 #include "core/trace.hpp"
 #include "data/dataset.hpp"
 #include "data/pipeline.hpp"
@@ -58,6 +61,7 @@ int run() {
                      "lenet-like on mnist-like, batch=" +
                          std::to_string(batch));
   const bool trace_was_on = trace_enabled();
+  const bool metrics_was_on = metrics_enabled();
 
   DatasetSpec spec = mnist_like_spec();
   spec.train_size = scale_pick<std::int64_t>(512, 1024, 4096);
@@ -123,15 +127,18 @@ int run() {
             << (std::abs(steady) < 1.0 ? "yes" : "NO (noise on 1 core; "
                "see EXPERIMENTS.md)") << "\n";
 
-  // --- Tracing overhead: the always-on trace runtime, off vs. on -------
+  // --- Observability overhead: trace + metrics, off vs. on -------------
   // One training step on a fixed batch, timed individually, off/on steps
   // paired back-to-back with alternating order so scheduler/thermal drift
-  // hits both sides equally. On a 1-core shared host the A/B step times
-  // carry noise far above the true cost, so the verdict comes from a
-  // direct measurement: (records emitted per step) x (measured cost per
-  // record) / (median step time). The A/B medians are reported alongside
-  // as corroboration that no indirect cost (cache pollution, allocator
-  // pressure) escapes the per-record accounting.
+  // hits both sides equally. The "on" leg enables BOTH always-on runtimes
+  // (trace rings and the metrics registry) so the number gated below is
+  // their combined cost. On a 1-core shared host the A/B step times carry
+  // noise far above the true cost, so the verdict comes from a direct
+  // measurement: (trace records/step x cost per record) + (metric
+  // samples/step x cost per sample), over the median step time. The A/B
+  // medians are reported alongside as corroboration that no indirect cost
+  // (cache pollution, allocator pressure) escapes the per-event
+  // accounting.
   {
     auto exec = cf2sim().compile(model);
     auto opt = cf2sim().native_sgd(*exec, 0.1);
@@ -152,72 +159,117 @@ int run() {
       for (const auto& tt : Trace::collect()) n += tt.emitted;
       return n;
     };
+    auto total_samples = [] {
+      std::uint64_t n = 0;
+      const auto snap = MetricsRegistry::instance().snapshot();
+      for (const auto& h : snap.histograms) n += h.count;
+      return n;
+    };
     const std::uint64_t emitted_before = total_emitted();
+    const std::uint64_t samples_before = total_samples();
 
     // Adjacent off/on pairs with alternating order, so scheduler/thermal
     // drift on any timescale longer than two steps hits both sides equally.
-    std::vector<double> untraced, traced;
+    std::vector<double> plain, instrumented;
     for (int i = 0; i < pairs; ++i) {
       for (int leg = 0; leg < 2; ++leg) {
-        const bool trace_leg = (leg == 0) == ((i & 1) != 0);
-        if (trace_leg) Trace::enable(); else Trace::disable();
+        const bool on_leg = (leg == 0) == ((i & 1) != 0);
+        if (on_leg) {
+          Trace::enable();
+          MetricsRegistry::enable();
+        } else {
+          Trace::disable();
+          MetricsRegistry::disable();
+        }
         Timer tm;
         opt->train(feeds);
-        (trace_leg ? traced : untraced).push_back(tm.seconds());
+        (on_leg ? instrumented : plain).push_back(tm.seconds());
       }
     }
     const double recs_per_step =
         double(total_emitted() - emitted_before) / pairs;
+    const double samples_per_step =
+        double(total_samples() - samples_before) / pairs;
 
-    // Direct cost of one record: hammer the emit path. Ring wraparound
-    // during the loop is the steady-state path and costs the same. Runs on
-    // its own thread so the flood lands in that thread's ring and cannot
-    // evict the op/grad/trainer spans from the main thread's.
+    // Direct cost of one trace record: hammer the emit path. Ring
+    // wraparound during the loop is the steady-state path and costs the
+    // same. Runs on its own thread so the flood lands in that thread's
+    // ring and cannot evict the op/grad/trainer spans from the main
+    // thread's. The same thread then hammers Histogram::record — the
+    // per-thread shard is the steady-state metrics path (counter adds are
+    // a strict subset of its work and far rarer per step).
     const int emits = 200000;
-    double ns_per_rec = 0;
+    double ns_per_rec = 0, ns_per_sample = 0;
     std::thread emit_bench([&] {
       Trace::enable();
+      MetricsRegistry::enable();
       for (int i = 0; i < 1000; ++i)  // ring registration + allocation
         trace_counter("bench", "emit_cost", i);
       Timer emit_tm;
       for (int i = 0; i < emits; ++i)
         trace_counter("bench", "emit_cost", i);
       ns_per_rec = emit_tm.seconds() * 1e9 / emits;
+
+      Histogram& h =
+          MetricsRegistry::instance().histogram("bench.sample_cost_ns");
+      for (int i = 0; i < 1000; ++i) h.record(i + 1);  // shard allocation
+      Timer sample_tm;
+      for (int i = 0; i < emits; ++i) h.record(i + 1);
+      ns_per_sample = sample_tm.seconds() * 1e9 / emits;
     });
     emit_bench.join();
     if (trace_was_on) Trace::enable(); else Trace::disable();
+    if (metrics_was_on) MetricsRegistry::enable();
+    else MetricsRegistry::disable();
 
-    const double m_off = median(untraced);
-    const double m_on = median(traced);
+    const double m_off = median(plain);
+    const double m_on = median(instrumented);
     const double ab_pct = (m_on - m_off) / m_off * 100.0;
-    const double pct = recs_per_step * ns_per_rec / (m_off * 1e9) * 100.0;
-    Table tt({"tracing", "median step [ms]", "steps"});
+    const double trace_pct = recs_per_step * ns_per_rec / (m_off * 1e9) * 100.0;
+    const double metrics_pct =
+        samples_per_step * ns_per_sample / (m_off * 1e9) * 100.0;
+    const double pct = trace_pct + metrics_pct;
+    Table tt({"trace+metrics", "median step [ms]", "steps"});
     tt.add_row({"off", Table::num(m_off * 1e3, 3),
-                std::to_string(untraced.size())});
+                std::to_string(plain.size())});
     tt.add_row({"on", Table::num(m_on * 1e3, 3),
-                std::to_string(traced.size())});
+                std::to_string(instrumented.size())});
     std::cout << "\n" << tt.to_text();
-    std::cout << "emit cost: " << Table::num(ns_per_rec, 1) << " ns/record x "
-              << Table::num(recs_per_step, 0) << " records/step\n";
-    std::cout << "tracing overhead (direct, per-record): "
+    std::cout << "trace cost:   " << Table::num(ns_per_rec, 1)
+              << " ns/record x " << Table::num(recs_per_step, 0)
+              << " records/step = " << Table::num(trace_pct, 3) << " %\n";
+    std::cout << "metrics cost: " << Table::num(ns_per_sample, 1)
+              << " ns/sample x " << Table::num(samples_per_step, 0)
+              << " samples/step = " << Table::num(metrics_pct, 3) << " %\n";
+    std::cout << "combined overhead (direct, per-event): "
               << Table::num(pct, 3) << " %\n";
-    std::cout << "tracing overhead (A/B median step, noise-limited): "
+    std::cout << "combined overhead (A/B median step, noise-limited): "
               << Table::num(ab_pct, 2) << " %\n";
-    std::cout << "shape check: overhead < 1%: "
-              << (pct < 1.0 && ab_pct < 5.0
+    const bool under_1pct = pct < 1.0;
+    std::cout << "shape check: combined overhead < 1%: "
+              << (under_1pct && ab_pct < 5.0
                       ? "yes"
                       : "NO (see EXPERIMENTS.md)") << "\n";
 
-    std::ofstream json("BENCH_overhead.json");
-    json << "{\n"
-         << "  \"median_step_s_untraced\": " << m_off << ",\n"
-         << "  \"median_step_s_traced\": " << m_on << ",\n"
-         << "  \"records_per_step\": " << recs_per_step << ",\n"
-         << "  \"ns_per_record\": " << ns_per_rec << ",\n"
-         << "  \"overhead_pct\": " << pct << ",\n"
-         << "  \"overhead_pct_ab\": " << ab_pct << "\n"
-         << "}\n";
-    std::cout << "wrote BENCH_overhead.json\n";
+    BenchReport report("l2_overhead");
+    report.add_summary("step_plain_s", summarize(plain), "s");
+    report.add_summary("step_instrumented_s", summarize(instrumented), "s");
+    report.add_scalar("trace.records_per_step", recs_per_step, "records");
+    report.add_scalar("trace.ns_per_record", ns_per_rec, "ns",
+                      Better::kLower);
+    report.add_scalar("metrics.samples_per_step", samples_per_step,
+                      "samples");
+    report.add_scalar("metrics.ns_per_sample", ns_per_sample, "ns",
+                      Better::kLower);
+    report.add_scalar("overhead_pct", pct, "%", Better::kLower);
+    report.add_scalar("overhead_pct_trace", trace_pct, "%", Better::kLower);
+    report.add_scalar("overhead_pct_metrics", metrics_pct, "%",
+                      Better::kLower);
+    report.add_scalar("overhead_pct_ab", ab_pct, "%");
+    report.add_flag("overhead_under_1pct", under_1pct);
+    report.add_scalar("steady_state_epoch_overhead_pct", steady, "%");
+    report.add_runtime_metrics();
+    report.write_file("BENCH_overhead.json");
   }
 
   // --- Cross-stack trace demo ------------------------------------------

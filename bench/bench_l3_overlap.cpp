@@ -9,13 +9,14 @@
 // BENCH_overlap.json.
 #include <algorithm>
 #include <cstdint>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common.hpp"
+#include "core/json.hpp"
+#include "core/report.hpp"
 #include "core/rng.hpp"
 #include "core/threadpool.hpp"
 #include "dist/dist_optimizer.hpp"
@@ -192,25 +193,36 @@ int run() {
             << hw << "-core host): " << (best_gain > 0 ? "yes" : "NO")
             << "\n";
 
-  std::ofstream json("BENCH_overlap.json");
-  json << "{\n  \"bench\": \"l3_overlap\",\n  \"seed\": " << bench_seed()
-       << ",\n  \"pool_threads\": " << threads
-       << ",\n  \"steps\": " << steps << ",\n  \"configs\": [\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const auto& r = rows[i];
-    json << "    {\"ranks\": " << r.ranks << ", \"bucket_kb\": " << r.cap_kb
-         << ", \"overlap\": " << (r.overlap ? "true" : "false")
-         << ", \"step_ms_median\": " << r.step.median * 1e3
-         << ", \"buckets\": " << r.buckets
-         << ", \"hook_launches\": " << r.hook_launches
-         << ", \"wire_mb_per_step\": " << r.wire_mb_step
-         << ", \"app_mb_per_rank_step\": " << r.app_mb_step
-         << ", \"param_checksum\": \"" << hex(r.checksum) << "\"}"
-         << (i + 1 < rows.size() ? ",\n" : "\n");
+  BenchReport report("l3_overlap");
+  for (const auto& r : rows) {
+    const std::string p = "r" + std::to_string(r.ranks) + ".cap" +
+                          std::to_string(r.cap_kb) + "." +
+                          (r.overlap ? "overlap" : "blocking");
+    report.add_summary(p + ".step_s", r.step, "s");
+    report.add_scalar(p + ".wire_mb_per_step", r.wire_mb_step, "MB",
+                      Better::kLower);
   }
-  json << "  ],\n  \"bit_identical_overlap_pairs\": "
-       << (identical ? "true" : "false") << "\n}\n";
-  std::cout << "\nwrote BENCH_overlap.json\n";
+  report.add_flag("bit_identical_overlap_pairs", identical);
+  JsonWriter extra;
+  extra.begin_object();
+  extra.kv("steps", steps);
+  extra.key("configs");
+  extra.begin_array();
+  for (const auto& r : rows) {
+    extra.begin_object();
+    extra.kv("ranks", r.ranks);
+    extra.kv("bucket_kb", static_cast<std::uint64_t>(r.cap_kb));
+    extra.kv("overlap", r.overlap);
+    extra.kv("buckets", static_cast<std::uint64_t>(r.buckets));
+    extra.kv("hook_launches", static_cast<std::uint64_t>(r.hook_launches));
+    extra.kv("app_mb_per_rank_step", r.app_mb_step);
+    extra.kv("param_checksum", std::string_view(hex(r.checksum)));
+    extra.end_object();
+  }
+  extra.end_array();
+  extra.end_object();
+  report.set_extra_json(extra.take());
+  report.write_file("BENCH_overlap.json");
 
   return identical ? 0 : 1;
 }

@@ -9,13 +9,13 @@
 // hits all three equally. Allocation counts come from Arena stats deltas
 // (fresh blocks + reuse hits per step). Results land in BENCH_memory.json
 // with the headline improvement_pct (malloc -> arena+planner step time).
-#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
 
 #include "common.hpp"
 #include "core/arena.hpp"
+#include "core/report.hpp"
 #include "core/threadpool.hpp"
 #include "frameworks/plan_executor.hpp"
 #include "graph/visitor.hpp"
@@ -130,19 +130,28 @@ ModelResult run_model(const Model& m, const char* label, int steps) {
   return r;
 }
 
-void emit_json(std::ostream& os, const char* label, const ModelResult& r) {
+void add_to_report(BenchReport& report, const char* label,
+                   const ModelResult& r) {
+  const std::string p(label);
   const double base = r.time.at("malloc").median;
   const double plan = r.time.at("arena+planner").median;
-  os << "  \"" << label << "\": {\n";
   for (const char* cfg : {"malloc", "arena", "arena+planner"}) {
-    os << "    \"" << cfg << "\": {\"median_step_s\": "
-       << r.time.at(cfg).median << ", \"allocs_per_step\": "
-       << r.allocs.at(cfg) << "},\n";
+    report.add_summary(p + "." + cfg + ".step_s", r.time.at(cfg), "s");
+    report.add_scalar(p + "." + cfg + ".allocs_per_step", r.allocs.at(cfg),
+                      "allocs", Better::kLower);
   }
-  os << "    \"inference_planned_bytes\": " << r.planned_bytes << ",\n"
-     << "    \"inference_naive_bytes\": " << r.naive_bytes << ",\n"
-     << "    \"improvement_pct\": " << (base - plan) / base * 100.0 << "\n"
-     << "  }";
+  report.add_scalar(p + ".inference_planned_bytes",
+                    static_cast<double>(r.planned_bytes), "B",
+                    Better::kLower);
+  report.add_scalar(p + ".inference_naive_bytes",
+                    static_cast<double>(r.naive_bytes), "B");
+  // Informational: a ratio of two noisy medians amplifies noise far past
+  // any sensible tolerance; the per-config step_s summaries above carry
+  // the CI-overlap gate instead.
+  report.add_scalar(p + ".improvement_pct", (base - plan) / base * 100.0,
+                    "%");
+  report.add_flag(p + ".planner_zero_allocs",
+                  r.allocs.at("arena+planner") == 0.0);
 }
 
 }  // namespace
@@ -158,13 +167,10 @@ int run() {
   const ModelResult mlp_r = run_model(mlp, "mlp", steps);
   const ModelResult conv_r = run_model(conv, "lenet", steps);
 
-  std::ofstream json("BENCH_memory.json");
-  json << "{\n";
-  emit_json(json, "mlp", mlp_r);
-  json << ",\n";
-  emit_json(json, "lenet", conv_r);
-  json << "\n}\n";
-  std::cout << "\nwrote BENCH_memory.json\n";
+  BenchReport report("memory_plan");
+  add_to_report(report, "mlp", mlp_r);
+  add_to_report(report, "lenet", conv_r);
+  report.write_file("BENCH_memory.json");
 
   const double mlp_gain =
       (mlp_r.time.at("malloc").median - mlp_r.time.at("arena+planner").median) /

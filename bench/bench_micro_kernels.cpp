@@ -1,11 +1,14 @@
 // E16 — google-benchmark microkernel suite: per-kernel timings for the
 // primitives underlying every experiment (GEMM backends, conv backends,
 // pooling, softmax, codec decode). Complements the table-producing benches
-// with statistically managed per-op numbers.
+// with statistically managed per-op numbers. GEMM legs additionally report
+// hardware-counter rates (ipc, cache/branch MPKI) as custom counters when
+// perf_event_open is available (core/perf; D500_PERF=off suppresses).
 #include <benchmark/benchmark.h>
 
 #include <vector>
 
+#include "core/perf.hpp"
 #include "core/rng.hpp"
 #include "core/simd.hpp"
 #include "data/codec.hpp"
@@ -16,6 +19,17 @@
 
 namespace d500 {
 namespace {
+
+// Hardware-counter rates over the whole timed loop, attached as custom
+// counters. Ratios (not totals) so iteration count divides out; omitted
+// entirely in fallback mode so absent counters read as "unavailable"
+// rather than zero.
+void attach_hw_counters(benchmark::State& state, const PerfCounts& hw) {
+  if (!hw.perf_available) return;
+  state.counters["ipc"] = hw.ipc();
+  state.counters["c-mpki"] = hw.cache_mpki();
+  state.counters["b-mpki"] = hw.branch_mpki();
+}
 
 // Every GEMM leg runs under an explicit kernel-dispatch mode (the same
 // knob as D500_KERNEL) and reports GFLOP/s, so one run shows the scalar
@@ -29,10 +43,13 @@ void BM_Gemm(benchmark::State& state, GemmBackend backend,
   B.fill_uniform(rng, -1, 1);
   const simd::KernelDispatch saved = simd::kernel_dispatch();
   simd::set_kernel_dispatch(dm);
+  PerfRegion perf;
+  perf.begin();
   for (auto _ : state) {
     gemm(backend, n, n, n, 1.0f, A.data(), B.data(), 0.0f, C.data());
     benchmark::DoNotOptimize(C.data());
   }
+  attach_hw_counters(state, perf.end());
   simd::set_kernel_dispatch(saved);
   const auto flops = static_cast<std::int64_t>(gemm_flops(n, n, n));
   state.SetItemsProcessed(state.iterations() * flops);
@@ -62,11 +79,14 @@ void BM_GemmPrepacked(benchmark::State& state) {
   B.fill_uniform(rng, -1, 1);
   std::vector<float> pb(static_cast<std::size_t>(gemm_packed_b_elems(n, n)));
   gemm_pack_b(n, n, B.data(), pb.data());
+  PerfRegion perf;
+  perf.begin();
   for (auto _ : state) {
     gemm_packed_ex(n, n, n, 1.0f, A.data(), nullptr, B.data(), pb.data(),
                    false, 0.0f, C.data());
     benchmark::DoNotOptimize(C.data());
   }
+  attach_hw_counters(state, perf.end());
   const auto flops = static_cast<std::int64_t>(gemm_flops(n, n, n));
   state.SetItemsProcessed(state.iterations() * flops);
   state.counters["GFLOP/s"] = benchmark::Counter(
@@ -85,10 +105,13 @@ void BM_Conv(benchmark::State& state, ConvBackend backend) {
   Conv2DParams p{3, 3, 1, 1, 1};
   Conv2DOp op(p, backend);
   Tensor Y(op.output_shapes({X.shape(), W.shape(), b.shape()})[0]);
+  PerfRegion perf;
+  perf.begin();
   for (auto _ : state) {
     op.forward({&X, &W, &b}, {&Y});
     benchmark::DoNotOptimize(Y.data());
   }
+  attach_hw_counters(state, perf.end());
   state.SetItemsProcessed(
       state.iterations() *
       static_cast<std::int64_t>(

@@ -65,6 +65,18 @@ std::size_t bucket_cap_bytes() {
   return std::size_t{1024} * 1024;
 }
 
+bool metrics_setting() {
+  const char* v = std::getenv("D500_METRICS");
+  if (v == nullptr) return true;
+  const std::string s(v);
+  return !(s == "0" || s == "off" || s == "OFF" || s == "false");
+}
+
+std::string perf_setting() {
+  const char* v = std::getenv("D500_PERF");
+  return v != nullptr ? std::string(v) : std::string("auto");
+}
+
 std::size_t trace_buffer_records() {
   if (const char* v = std::getenv("D500_TRACE_BUFSZ")) {
     const auto n = std::strtoull(v, nullptr, 10);

@@ -78,4 +78,15 @@ std::string passes_setting();
 /// fresh on every call.
 std::size_t bucket_cap_bytes();
 
+/// Metrics registry master switch (D500_METRICS, default on): "0"/"off"
+/// disable counter/gauge/histogram emission process-wide. Resolved once by
+/// core/metrics_registry's gate; MetricsRegistry::enable()/disable()
+/// override it programmatically.
+bool metrics_setting();
+
+/// Hardware-counter profiling mode (D500_PERF): "auto" (default — try
+/// perf_event_open, fall back to rusage/clock) or "off" (never attempt the
+/// syscall). Read fresh on every call (tests flip it per-process).
+std::string perf_setting();
+
 }  // namespace d500

@@ -1,0 +1,344 @@
+#include "core/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace d500 {
+
+void json_escape(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // JSON has no trailing-dot or leading-dot forms to worry about from %g,
+  // but "inf"/"nan" were excluded above.
+  return buf;
+}
+
+void JsonWriter::before_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already placed the comma/indent
+  }
+  if (comma_stack_.back()) out_ += ',';
+  comma_stack_.back() = true;
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  comma_stack_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  comma_stack_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  comma_stack_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  comma_stack_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::key(std::string_view k) {
+  if (comma_stack_.back()) out_ += ',';
+  comma_stack_.back() = true;
+  out_ += '"';
+  json_escape(out_, k);
+  out_ += "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  before_value();
+  out_ += '"';
+  json_escape(out_, s);
+  out_ += '"';
+}
+
+void JsonWriter::value(double v) {
+  before_value();
+  out_ += json_number(v);
+}
+
+void JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(bool b) {
+  before_value();
+  out_ += b ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  before_value();
+  out_ += "null";
+}
+
+void JsonWriter::raw(std::string_view fragment) {
+  before_value();
+  out_ += fragment;
+}
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& msg) {
+    if (error.empty())
+      error = msg + " at byte " + std::to_string(pos);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r'))
+      ++pos;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return fail(std::string("expected '") + c + "'");
+  }
+
+  bool parse_value(Json& out) {
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const char c = text[pos];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      out.kind = Json::Kind::kString;
+      return parse_string(out.str);
+    }
+    if (c == 't' || c == 'f') return parse_literal(out);
+    if (c == 'n') return parse_literal(out);
+    return parse_number(out);
+  }
+
+  bool parse_literal(Json& out) {
+    auto match = [&](std::string_view lit) {
+      if (text.substr(pos, lit.size()) != lit) return false;
+      pos += lit.size();
+      return true;
+    };
+    if (match("true")) {
+      out.kind = Json::Kind::kBool;
+      out.boolean = true;
+      return true;
+    }
+    if (match("false")) {
+      out.kind = Json::Kind::kBool;
+      out.boolean = false;
+      return true;
+    }
+    if (match("null")) {
+      out.kind = Json::Kind::kNull;
+      return true;
+    }
+    return fail("invalid literal");
+  }
+
+  bool parse_number(Json& out) {
+    const std::size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '+' || text[pos] == '-'))
+      ++pos;
+    if (pos == start) return fail("invalid value");
+    const std::string tok(text.substr(start, pos - start));
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0') return fail("invalid number");
+    out.kind = Json::Kind::kNumber;
+    out.number = v;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos >= text.size()) return fail("unterminated escape");
+        const char e = text[pos++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) return fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              else
+                return fail("bad \\u escape");
+            }
+            // UTF-8 encode the BMP code point (surrogate pairs in report
+            // files do not occur; a lone surrogate encodes as-is).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_array(Json& out) {
+    if (!consume('[')) return false;
+    out.kind = Json::Kind::kArray;
+    skip_ws();
+    if (pos < text.size() && text[pos] == ']') {
+      ++pos;
+      return true;
+    }
+    for (;;) {
+      Json item;
+      if (!parse_value(item)) return false;
+      out.items.push_back(std::move(item));
+      skip_ws();
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      return consume(']');
+    }
+  }
+
+  bool parse_object(Json& out) {
+    if (!consume('{')) return false;
+    out.kind = Json::Kind::kObject;
+    skip_ws();
+    if (pos < text.size() && text[pos] == '}') {
+      ++pos;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      if (!consume(':')) return false;
+      Json val;
+      if (!parse_value(val)) return false;
+      out.members.emplace_back(std::move(key), std::move(val));
+      skip_ws();
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      return consume('}');
+    }
+  }
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text, std::string* err) {
+  Parser p{text, 0, {}};
+  Json out;
+  if (!p.parse_value(out)) {
+    if (err != nullptr) *err = p.error;
+    return Json{};
+  }
+  p.skip_ws();
+  if (p.pos != text.size()) {
+    if (err != nullptr)
+      *err = "trailing garbage at byte " + std::to_string(p.pos);
+    return Json{};
+  }
+  if (err != nullptr) err->clear();
+  return out;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+double Json::num_or(std::string_view key, double def) const {
+  const Json* j = find(key);
+  return j != nullptr && j->kind == Kind::kNumber ? j->number : def;
+}
+
+std::string Json::str_or(std::string_view key, std::string def) const {
+  const Json* j = find(key);
+  return j != nullptr && j->kind == Kind::kString ? j->str : def;
+}
+
+bool Json::bool_or(std::string_view key, bool def) const {
+  const Json* j = find(key);
+  return j != nullptr && j->kind == Kind::kBool ? j->boolean : def;
+}
+
+}  // namespace d500

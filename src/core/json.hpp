@@ -1,0 +1,95 @@
+// Minimal JSON support for the observability layer: a streaming writer for
+// report/trace emission and a recursive-descent parser for bench_diff and
+// tests. Deliberately small — no external dependency, no DOM mutation API;
+// just enough to write the BenchReport schema (core/report) and read it
+// back for comparison.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace d500 {
+
+/// Escapes `s` into a JSON string body (no surrounding quotes).
+void json_escape(std::string& out, std::string_view s);
+
+/// Formats a double the way JSON requires: finite shortest round-trip-ish
+/// representation ("%.17g" capped), non-finite values become 0.
+std::string json_number(double v);
+
+/// Streaming JSON writer. Handles commas and indentation; keys and values
+/// are appended in document order. Misuse (value without key inside an
+/// object) is the caller's bug and produces invalid JSON rather than
+/// throwing — keep emission sites simple and obviously correct.
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(std::string_view k);  // must precede a value/begin_* in objects
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(bool b);
+  void null();
+  /// Splices a pre-rendered JSON fragment as the next value.
+  void raw(std::string_view fragment);
+
+  /// Object convenience: key + value in one call.
+  template <typename T>
+  void kv(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void before_value();
+  void newline();
+
+  std::string out_;
+  // Per-nesting-level state: needs_comma before the next element.
+  std::vector<bool> comma_stack_{false};
+  bool pending_key_ = false;
+};
+
+/// Parsed JSON value. Object member order is preserved (reports compare in
+/// emission order).
+struct Json {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Json> items;                                // arrays
+  std::vector<std::pair<std::string, Json>> members;      // objects
+
+  /// Parses `text`; on failure returns kNull and sets *err (if non-null)
+  /// to a one-line diagnostic with the byte offset.
+  static Json parse(std::string_view text, std::string* err = nullptr);
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json* find(std::string_view key) const;
+
+  /// Typed lookups with defaults (missing member / wrong kind yield the
+  /// default). Convenient for schema-tolerant report reading.
+  double num_or(std::string_view key, double def) const;
+  std::string str_or(std::string_view key, std::string def) const;
+  bool bool_or(std::string_view key, bool def) const;
+};
+
+}  // namespace d500

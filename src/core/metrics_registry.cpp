@@ -1,0 +1,350 @@
+#include "core/metrics_registry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "core/env.hpp"
+#include "core/json.hpp"
+#include "core/table.hpp"
+
+namespace d500 {
+
+namespace metrics_detail {
+
+std::atomic<int> g_state{0};
+
+bool init_from_env() {
+  static const bool enabled = [] {
+    const bool on = metrics_setting();
+    g_state.store(on ? 2 : 1, std::memory_order_relaxed);
+    return on;
+  }();
+  return enabled;
+}
+
+std::int64_t now_ns() {
+  // One steady-clock domain for all latency samples; no shared epoch is
+  // needed because only deltas are recorded.
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int thread_slot() {
+  static std::atomic<int> next{0};
+  thread_local const int slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return slot;
+}
+
+}  // namespace metrics_detail
+
+// ---------------------------------------------------------------------------
+// Counter
+
+std::atomic<std::uint64_t>& Counter::shard() {
+  return shards_[static_cast<std::size_t>(metrics_detail::thread_slot())];
+}
+
+std::uint64_t Counter::value() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::reset() {
+  for (auto& s : shards_) s.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+int Histogram::bucket_of(double v) {
+  if (!(v > 0.0)) return 0;  // non-positive and NaN clamp to the underflow slot
+  int exp = 0;
+  const double frac = std::frexp(v, &exp);  // v = frac * 2^exp, frac in [0.5,1)
+  if (exp <= kMinExp) return 0;
+  if (exp > kMaxExp) return kBuckets - 1;
+  int sub = static_cast<int>((frac - 0.5) * (2 * kSubBuckets));
+  if (sub < 0) sub = 0;
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;
+  return (exp - kMinExp - 1) * kSubBuckets + sub + 1;
+}
+
+double Histogram::bucket_lo(int idx) {
+  if (idx <= 0) return 0.0;
+  if (idx >= kBuckets - 1) return std::ldexp(1.0, kMaxExp);
+  const int exp = kMinExp + 1 + (idx - 1) / kSubBuckets;
+  const int sub = (idx - 1) % kSubBuckets;
+  return std::ldexp(0.5 + static_cast<double>(sub) * 0.5 / kSubBuckets, exp);
+}
+
+double Histogram::bucket_hi(int idx) {
+  if (idx <= 0) return std::ldexp(1.0, kMinExp);
+  if (idx >= kBuckets - 1) return std::ldexp(1.0, kMaxExp + 1);
+  const int exp = kMinExp + 1 + (idx - 1) / kSubBuckets;
+  const int sub = (idx - 1) % kSubBuckets;
+  return std::ldexp(0.5 + static_cast<double>(sub + 1) * 0.5 / kSubBuckets,
+                    exp);
+}
+
+Histogram::Shard& Histogram::shard() {
+  const auto slot =
+      static_cast<std::size_t>(metrics_detail::thread_slot());
+  Shard* s = shards_[slot].load(std::memory_order_acquire);
+  if (s != nullptr) return *s;
+  auto* fresh = new Shard;
+  Shard* expected = nullptr;
+  if (shards_[slot].compare_exchange_strong(expected, fresh,
+                                            std::memory_order_acq_rel))
+    return *fresh;
+  delete fresh;  // another thread on the same slot won the race
+  return *expected;
+}
+
+Histogram::~Histogram() {
+  for (auto& slot : shards_) delete slot.load(std::memory_order_acquire);
+}
+
+void Histogram::record(double v) {
+  if (!metrics_enabled()) return;
+  Shard& s = shard();
+  s.buckets[static_cast<std::size_t>(bucket_of(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  s.sum.fetch_add(v, std::memory_order_relaxed);
+  const std::uint64_t prev = s.count.fetch_add(1, std::memory_order_relaxed);
+  if (prev == 0) {
+    s.min.store(v, std::memory_order_relaxed);
+    s.max.store(v, std::memory_order_relaxed);
+    return;
+  }
+  double cur = s.min.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !s.min.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = s.max.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !s.max.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.name = name_;
+  snap.unit = unit_;
+  snap.buckets.assign(kBuckets, 0);
+  bool any = false;
+  for (const auto& slot : shards_) {
+    const Shard* s = slot.load(std::memory_order_acquire);
+    if (s == nullptr) continue;
+    if (s->count.load(std::memory_order_relaxed) == 0) continue;
+    for (int b = 0; b < kBuckets; ++b)
+      snap.buckets[static_cast<std::size_t>(b)] +=
+          s->buckets[static_cast<std::size_t>(b)].load(
+              std::memory_order_relaxed);
+    snap.sum += s->sum.load(std::memory_order_relaxed);
+    const double lo = s->min.load(std::memory_order_relaxed);
+    const double hi = s->max.load(std::memory_order_relaxed);
+    snap.min = any ? std::min(snap.min, lo) : lo;
+    snap.max = any ? std::max(snap.max, hi) : hi;
+    any = true;
+  }
+  for (const std::uint64_t b : snap.buckets) snap.count += b;
+  return snap;
+}
+
+void Histogram::reset() {
+  for (auto& slot : shards_) {
+    Shard* s = slot.load(std::memory_order_acquire);
+    if (s == nullptr) continue;
+    for (auto& b : s->buckets) b.store(0, std::memory_order_relaxed);
+    s->sum.store(0.0, std::memory_order_relaxed);
+    s->min.store(0.0, std::memory_order_relaxed);
+    s->max.store(0.0, std::memory_order_relaxed);
+    s->count.store(0, std::memory_order_relaxed);
+  }
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the order statistic (1-based), matching the nearest-rank
+  // definition; rank 1 at q=0, rank `count` at q=1.
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  const std::uint64_t target = rank == 0 ? 1 : rank;
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    cum += buckets[b];
+    if (cum >= target) {
+      // Clamp the representative into the observed range so estimates never
+      // fall outside [min, max].
+      const double mid = Histogram::bucket_mid(static_cast<int>(b));
+      return std::min(std::max(mid, min), max);
+    }
+  }
+  return max;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+MetricsRegistry& MetricsRegistry::instance() {
+  // Leaked singleton: metric references handed out to instrumentation
+  // sites must outlive every static destructor (atexit trace flush reads
+  // the registry).
+  static MetricsRegistry* r = new MetricsRegistry;
+  return *r;
+}
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  static Impl* impl = new Impl;  // intentionally leaked, see instance()
+  return *impl;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.counters.find(name);
+  if (it == im.counters.end())
+    it = im.counters
+             .emplace(std::string(name),
+                      std::make_unique<Counter>(std::string(name)))
+             .first;
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.gauges.find(name);
+  if (it == im.gauges.end())
+    it = im.gauges
+             .emplace(std::string(name),
+                      std::make_unique<Gauge>(std::string(name)))
+             .first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::string_view unit) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.histograms.find(name);
+  if (it == im.histograms.end())
+    it = im.histograms
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::string(name),
+                                                  std::string(unit)))
+             .first;
+  return *it->second;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  Snapshot snap;
+  for (const auto& [name, c] : im.counters)
+    snap.counters.emplace_back(name, c->value());
+  for (const auto& [name, g] : im.gauges)
+    snap.gauges.emplace_back(name, g->value());
+  for (const auto& [name, h] : im.histograms)
+    snap.histograms.push_back(h->snapshot());
+  return snap;
+}
+
+std::string MetricsRegistry::summary_text() const {
+  const Snapshot snap = snapshot();
+  std::string out;
+  bool any_hist = false;
+  for (const auto& h : snap.histograms) any_hist = any_hist || h.count > 0;
+  if (any_hist) {
+    Table t({"histogram", "unit", "count", "p50", "p95", "p99", "max"});
+    for (const auto& h : snap.histograms) {
+      if (h.count == 0) continue;
+      t.add_row({h.name, h.unit, std::to_string(h.count),
+                 Table::num(h.p50(), 1), Table::num(h.p95(), 1),
+                 Table::num(h.p99(), 1), Table::num(h.max, 1)});
+    }
+    out += t.to_text();
+  }
+  std::string scalars;
+  for (const auto& [name, v] : snap.counters) {
+    if (v == 0) continue;
+    scalars += (scalars.empty() ? "" : ", ") + name + "=" + std::to_string(v);
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    if (v == 0.0) continue;
+    scalars += (scalars.empty() ? "" : ", ") + name + "=" + Table::num(v, 1);
+  }
+  if (!scalars.empty()) out += "metrics: " + scalars + "\n";
+  return out;
+}
+
+std::string MetricsRegistry::snapshot_json() const {
+  const Snapshot snap = snapshot();
+  JsonWriter w;
+  w.begin_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& h : snap.histograms) {
+    if (h.count == 0) continue;
+    w.key(h.name);
+    w.begin_object();
+    w.kv("unit", std::string_view(h.unit));
+    w.kv("count", h.count);
+    w.kv("mean", h.mean());
+    w.kv("p50", h.p50());
+    w.kv("p95", h.p95());
+    w.kv("p99", h.p99());
+    w.kv("min", h.min);
+    w.kv("max", h.max);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, v] : snap.counters)
+    if (v != 0) w.kv(name, v);
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, v] : snap.gauges)
+    if (v != 0.0) w.kv(name, v);
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+void MetricsRegistry::enable() {
+  metrics_enabled();  // resolve the env default first (idempotent)
+  metrics_detail::g_state.store(2, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::disable() {
+  metrics_enabled();
+  metrics_detail::g_state.store(1, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::reset() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  for (auto& [name, c] : im.counters) c->reset();
+  for (auto& [name, g] : im.gauges) g->reset();
+  for (auto& [name, h] : im.histograms) h->reset();
+}
+
+}  // namespace d500

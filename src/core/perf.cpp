@@ -1,0 +1,203 @@
+#include "core/perf.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "core/env.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/resource.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace d500 {
+
+namespace {
+
+std::atomic<bool> g_force_fallback{false};
+
+std::int64_t wall_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+#if defined(__linux__)
+double tv_seconds(const timeval& tv) {
+  return static_cast<double>(tv.tv_sec) +
+         static_cast<double>(tv.tv_usec) * 1e-6;
+}
+
+void thread_rusage(double* user_s, double* sys_s, std::int64_t* max_rss_kb) {
+  rusage ru{};
+  // RUSAGE_THREAD: the measuring thread's own CPU time, matching the
+  // per-thread scope of the perf group.
+  if (getrusage(RUSAGE_THREAD, &ru) == 0) {
+    *user_s = tv_seconds(ru.ru_utime);
+    *sys_s = tv_seconds(ru.ru_stime);
+  }
+  rusage rp{};
+  if (getrusage(RUSAGE_SELF, &rp) == 0) *max_rss_kb = rp.ru_maxrss;
+}
+
+long perf_open(std::uint32_t type, std::uint64_t config, int group_fd,
+               bool leader) {
+  perf_event_attr attr{};
+  attr.type = type;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = leader ? 1 : 0;  // the group toggles through the leader
+  attr.exclude_kernel = 1;         // works at perf_event_paranoid <= 2
+  attr.exclude_hv = 1;
+  attr.read_format =
+      PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return syscall(SYS_perf_event_open, &attr, 0 /*this thread*/,
+                 -1 /*any cpu*/, group_fd, 0);
+}
+#else
+void thread_rusage(double* user_s, double* sys_s, std::int64_t* max_rss_kb) {
+  (void)user_s;
+  (void)sys_s;
+  (void)max_rss_kb;
+}
+#endif
+
+}  // namespace
+
+bool perf_events_allowed() {
+  if (g_force_fallback.load(std::memory_order_relaxed)) return false;
+#if defined(__linux__)
+  const std::string mode = perf_setting();
+  return !(mode == "off" || mode == "0");
+#else
+  return false;
+#endif
+}
+
+void perf_force_fallback(bool on) {
+  g_force_fallback.store(on, std::memory_order_relaxed);
+}
+
+PerfRegion::PerfRegion() {
+#if defined(__linux__)
+  if (!perf_events_allowed()) return;
+  static const struct {
+    std::uint64_t config;
+  } events[kEvents] = {{PERF_COUNT_HW_CPU_CYCLES},
+                       {PERF_COUNT_HW_INSTRUCTIONS},
+                       {PERF_COUNT_HW_CACHE_MISSES},
+                       {PERF_COUNT_HW_BRANCH_MISSES}};
+  bool ok = true;
+  for (int i = 0; i < kEvents && ok; ++i) {
+    const long fd = perf_open(PERF_TYPE_HARDWARE, events[i].config,
+                              i == 0 ? -1 : fds_[0], i == 0);
+    if (fd < 0) {
+      ok = false;
+      break;
+    }
+    fds_[i] = static_cast<int>(fd);
+  }
+  if (!ok) {
+    // Graceful degradation: close whatever opened and run in fallback
+    // mode. Containers with perf_event_paranoid locked down land here.
+    for (int i = 0; i < kEvents; ++i) {
+      if (fds_[i] >= 0) close(fds_[i]);
+      fds_[i] = -1;
+    }
+    return;
+  }
+  available_ = true;
+#endif
+}
+
+PerfRegion::~PerfRegion() {
+#if defined(__linux__)
+  for (int i = 0; i < kEvents; ++i)
+    if (fds_[i] >= 0) close(fds_[i]);
+#endif
+}
+
+PerfRegion::Reading PerfRegion::read_group() const {
+  Reading r;
+#if defined(__linux__)
+  if (!available_) return r;
+  r.ok = true;
+  for (int i = 0; i < kEvents; ++i) {
+    // value, time_enabled, time_running per fd (read_format above).
+    std::uint64_t buf[3] = {};
+    if (read(fds_[i], buf, sizeof(buf)) != sizeof(buf)) {
+      r.ok = false;
+      return r;
+    }
+    // Multiplex scaling: if the PMU ran this event for only part of the
+    // enabled window, extrapolate. running == 0 means never scheduled.
+    const double scale =
+        buf[2] > 0 ? static_cast<double>(buf[1]) / static_cast<double>(buf[2])
+                   : 0.0;
+    r.values[i] = static_cast<double>(buf[0]) * scale;
+  }
+#endif
+  return r;
+}
+
+void PerfRegion::begin() {
+#if defined(__linux__)
+  if (available_) {
+    ioctl(fds_[0], PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ioctl(fds_[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+    begin_reading_ = Reading{};  // deltas from zero after the reset
+    begin_reading_.ok = true;
+  }
+#endif
+  std::int64_t rss = 0;
+  thread_rusage(&begin_user_s_, &begin_sys_s_, &rss);
+  begin_wall_ns_ = wall_ns();
+}
+
+PerfCounts PerfRegion::end() {
+  PerfCounts c;
+  c.wall_s = static_cast<double>(wall_ns() - begin_wall_ns_) * 1e-9;
+  double user = 0.0, sys = 0.0;
+  thread_rusage(&user, &sys, &c.max_rss_kb);
+  c.user_s = user - begin_user_s_;
+  c.sys_s = sys - begin_sys_s_;
+#if defined(__linux__)
+  if (available_) {
+    const Reading r = read_group();
+    ioctl(fds_[0], PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+    if (r.ok) {
+      c.perf_available = true;
+      c.cycles = r.values[0] - begin_reading_.values[0];
+      c.instructions = r.values[1] - begin_reading_.values[1];
+      c.cache_misses = r.values[2] - begin_reading_.values[2];
+      c.branch_misses = r.values[3] - begin_reading_.values[3];
+    }
+  }
+#endif
+  return c;
+}
+
+std::string PerfCounts::to_string() const {
+  char buf[192];
+  if (perf_available) {
+    std::snprintf(buf, sizeof(buf),
+                  "ipc=%.2f cache-mpki=%.2f branch-mpki=%.2f cycles=%.3g "
+                  "instr=%.3g wall=%.3fs",
+                  ipc(), cache_mpki(), branch_mpki(), cycles, instructions,
+                  wall_s);
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "perf unavailable (fallback): wall=%.3fs user=%.3fs "
+                  "sys=%.3fs rss=%lld KB",
+                  wall_s, user_s, sys_s,
+                  static_cast<long long>(max_rss_kb));
+  }
+  return buf;
+}
+
+}  // namespace d500

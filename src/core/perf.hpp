@@ -1,0 +1,103 @@
+// Hardware performance-counter profiling behind scoped regions.
+//
+// Wraps a Linux perf_event_open counter group — cycles, instructions,
+// cache-misses, branch-misses, scheduled together so ratios (IPC,
+// miss rates) are consistent — opened per PerfRegion for the calling
+// thread. Counter multiplexing is handled by reading TIME_ENABLED /
+// TIME_RUNNING and scaling.
+//
+// perf_event_open is frequently unavailable (CI containers, locked-down
+// perf_event_paranoid, non-Linux hosts): every region then degrades to a
+// wall-clock + getrusage fallback and flags the sample with
+// perf_available=false, so benches always produce *something* and reports
+// record honestly which kind of data they carry.
+//
+// Knob: D500_PERF = "auto" (default: try the syscall, fall back) or "off"
+// (never attempt the syscall; rusage/clock only). perf_force_fallback()
+// lets tests exercise the fallback path on hosts where perf works.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace d500 {
+
+/// One measured region's worth of hardware counters. Counter fields are
+/// multiplex-scaled estimates (doubles); zero when perf is unavailable.
+struct PerfCounts {
+  bool perf_available = false;
+  double cycles = 0.0;
+  double instructions = 0.0;
+  double cache_misses = 0.0;
+  double branch_misses = 0.0;
+  double wall_s = 0.0;
+  double user_s = 0.0;
+  double sys_s = 0.0;
+  std::int64_t max_rss_kb = 0;  // process high-water mark at region end
+
+  /// Instructions per cycle; 0 when cycles were not measured.
+  double ipc() const { return cycles > 0.0 ? instructions / cycles : 0.0; }
+  /// Cache misses per thousand instructions (MPKI).
+  double cache_mpki() const {
+    return instructions > 0.0 ? cache_misses / instructions * 1e3 : 0.0;
+  }
+  /// Branch misses per thousand instructions.
+  double branch_mpki() const {
+    return instructions > 0.0 ? branch_misses / instructions * 1e3 : 0.0;
+  }
+
+  /// One-line human-readable rendering ("ipc=2.31 cache-mpki=0.48 ..." or
+  /// the fallback's "wall=.. user=.. sys=..").
+  std::string to_string() const;
+};
+
+/// True when the D500_PERF knob allows attempting perf_event_open (and the
+/// test hook has not forced the fallback). Read fresh on every call.
+bool perf_events_allowed();
+
+/// Test hook: force every subsequently-constructed PerfRegion onto the
+/// rusage/clock fallback path, as if perf_event_open had failed.
+void perf_force_fallback(bool on);
+
+/// Scoped counter group for the calling thread. Construct once, then
+/// begin()/end() around each measured region; end() returns the deltas.
+/// Not thread-safe; create one per measuring thread.
+class PerfRegion {
+ public:
+  PerfRegion();
+  ~PerfRegion();
+  PerfRegion(const PerfRegion&) = delete;
+  PerfRegion& operator=(const PerfRegion&) = delete;
+
+  /// Whether the hardware group opened (false = fallback mode).
+  bool perf_available() const { return available_; }
+
+  void begin();
+  PerfCounts end();
+
+ private:
+  static constexpr int kEvents = 4;
+  struct Reading {
+    double values[kEvents] = {};  // multiplex-scaled counts
+    bool ok = false;
+  };
+  Reading read_group() const;
+
+  int fds_[kEvents] = {-1, -1, -1, -1};
+  bool available_ = false;
+  Reading begin_reading_;
+  std::int64_t begin_wall_ns_ = 0;
+  double begin_user_s_ = 0.0;
+  double begin_sys_s_ = 0.0;
+};
+
+/// Convenience: measures one callable invocation in a fresh region.
+template <typename Fn>
+PerfCounts perf_measure(Fn&& fn) {
+  PerfRegion region;
+  region.begin();
+  fn();
+  return region.end();
+}
+
+}  // namespace d500

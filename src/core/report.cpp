@@ -1,0 +1,461 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+
+#include "core/env.hpp"
+#include "core/json.hpp"
+#include "core/metrics_registry.hpp"
+#include "core/table.hpp"
+#include "core/threadpool.hpp"
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <unistd.h>
+extern char** environ;
+#endif
+
+namespace d500 {
+
+namespace {
+
+constexpr int kSchemaVersion = 1;
+
+/// Runs `cmd` with stderr silenced and returns its first output line.
+std::string run_line(const std::string& cmd) {
+#if defined(__linux__) || defined(__APPLE__)
+  FILE* p = popen((cmd + " 2>/dev/null").c_str(), "r");
+  if (p == nullptr) return {};
+  char buf[256] = {};
+  std::string out;
+  if (std::fgets(buf, sizeof(buf), p) != nullptr) out = buf;
+  pclose(p);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r'))
+    out.pop_back();
+  return out;
+#else
+  (void)cmd;
+  return {};
+#endif
+}
+
+std::string read_hostname() {
+#if defined(__linux__) || defined(__APPLE__)
+  char buf[256] = {};
+  if (gethostname(buf, sizeof(buf) - 1) == 0) return buf;
+#endif
+  return "unknown";
+}
+
+/// Parses /proc/cpuinfo for the model name, logical CPU count, and the
+/// ISA flags the kernels care about.
+void read_cpuinfo(std::string* model, int* logical,
+                  std::vector<std::string>* flags) {
+  std::ifstream in("/proc/cpuinfo");
+  if (!in) return;
+  static const char* kInteresting[] = {"sse2", "avx",     "avx2", "fma",
+                                       "avx512f", "avx512bw", "neon"};
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string key = line.substr(0, colon);
+    while (!key.empty() && (key.back() == ' ' || key.back() == '\t'))
+      key.pop_back();
+    std::string val = line.substr(colon + 1);
+    if (!val.empty() && val.front() == ' ') val.erase(0, 1);
+    if (key == "model name" && model->empty()) *model = val;
+    if (key == "processor") ++*logical;
+    if ((key == "flags" || key == "Features") && flags->empty()) {
+      std::istringstream fs(val);
+      std::string f;
+      while (fs >> f)
+        for (const char* want : kInteresting)
+          if (f == want) flags->push_back(f);
+    }
+  }
+}
+
+std::string utc_timestamp() {
+  const std::time_t t = std::time(nullptr);
+  std::tm tm{};
+#if defined(__linux__) || defined(__APPLE__)
+  gmtime_r(&t, &tm);
+#else
+  tm = *std::gmtime(&t);
+#endif
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+const char* better_name(Better b) {
+  switch (b) {
+    case Better::kLower: return "lower";
+    case Better::kHigher: return "higher";
+    default: return "none";
+  }
+}
+
+Better better_from(const std::string& s) {
+  if (s == "lower") return Better::kLower;
+  if (s == "higher") return Better::kHigher;
+  return Better::kNone;
+}
+
+void write_summary_fields(JsonWriter& w, const SampleSummary& s) {
+  w.kv("n", static_cast<std::uint64_t>(s.n));
+  w.kv("min", s.min);
+  w.kv("max", s.max);
+  w.kv("mean", s.mean);
+  w.kv("median", s.median);
+  w.kv("stddev", s.stddev);
+  w.kv("p25", s.p25);
+  w.kv("p75", s.p75);
+  w.kv("ci95_lo", s.ci95_lo);
+  w.kv("ci95_hi", s.ci95_hi);
+}
+
+SampleSummary summary_from_json(const Json& m) {
+  SampleSummary s;
+  s.n = static_cast<std::size_t>(m.num_or("n", 0.0));
+  s.min = m.num_or("min", 0.0);
+  s.max = m.num_or("max", 0.0);
+  s.mean = m.num_or("mean", 0.0);
+  s.median = m.num_or("median", 0.0);
+  s.stddev = m.num_or("stddev", 0.0);
+  s.p25 = m.num_or("p25", 0.0);
+  s.p75 = m.num_or("p75", 0.0);
+  s.ci95_lo = m.num_or("ci95_lo", 0.0);
+  s.ci95_hi = m.num_or("ci95_hi", 0.0);
+  return s;
+}
+
+std::string rel_change_str(double old_v, double new_v) {
+  if (old_v == 0.0) return "n/a";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", (new_v - old_v) / old_v * 100.0);
+  return buf;
+}
+
+}  // namespace
+
+const Provenance& Provenance::collect() {
+  static const Provenance p = [] {
+    Provenance pr;
+    pr.git_sha = run_line("git rev-parse HEAD");
+    if (pr.git_sha.empty()) pr.git_sha = "unknown";
+    if (pr.git_sha != "unknown")
+      pr.git_dirty = !run_line("git status --porcelain").empty();
+    pr.hostname = read_hostname();
+    read_cpuinfo(&pr.cpu_model, &pr.cpu_logical, &pr.cpu_flags);
+    if (pr.cpu_model.empty()) pr.cpu_model = "unknown";
+    pr.pool_threads = ThreadPool::instance().num_threads();
+#if defined(__linux__) || defined(__APPLE__)
+    for (char** e = environ; *e != nullptr; ++e) {
+      const char* eq = std::strchr(*e, '=');
+      if (eq == nullptr) continue;
+      std::string name(*e, eq - *e);
+      if (name.rfind("D500_", 0) == 0) pr.env.emplace_back(name, eq + 1);
+    }
+    std::sort(pr.env.begin(), pr.env.end());
+#endif
+    return pr;
+  }();
+  return p;
+}
+
+BenchReport::BenchReport(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {}
+
+void BenchReport::add_summary(const std::string& name, const SampleSummary& s,
+                              const std::string& unit, Better better) {
+  Metric m;
+  m.kind = Metric::Kind::kSummary;
+  m.name = name;
+  m.unit = unit;
+  m.better = better;
+  m.summary = s;
+  metrics_.push_back(std::move(m));
+}
+
+void BenchReport::add_scalar(const std::string& name, double value,
+                             const std::string& unit, Better better) {
+  Metric m;
+  m.kind = Metric::Kind::kScalar;
+  m.name = name;
+  m.unit = unit;
+  m.better = better;
+  m.value = value;
+  metrics_.push_back(std::move(m));
+}
+
+void BenchReport::add_flag(const std::string& name, bool ok) {
+  Metric m;
+  m.kind = Metric::Kind::kFlag;
+  m.name = name;
+  m.flag = ok;
+  metrics_.push_back(std::move(m));
+}
+
+void BenchReport::add_perf(const std::string& name, const PerfCounts& counts) {
+  perf_.push_back({name, counts});
+}
+
+void BenchReport::add_runtime_metrics() {
+  runtime_metrics_json_ = MetricsRegistry::instance().snapshot_json();
+}
+
+void BenchReport::set_extra_json(std::string raw_object) {
+  extra_json_ = std::move(raw_object);
+}
+
+std::string BenchReport::to_json() const {
+  const Provenance& pv = Provenance::collect();
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema_version", kSchemaVersion);
+  w.kv("bench", bench_name_);
+  w.kv("timestamp_utc", utc_timestamp());
+
+  w.key("provenance");
+  w.begin_object();
+  w.kv("git_sha", pv.git_sha);
+  w.kv("git_dirty", pv.git_dirty);
+  w.kv("hostname", pv.hostname);
+  w.kv("cpu_model", pv.cpu_model);
+  w.kv("cpu_logical", pv.cpu_logical);
+  w.key("cpu_flags");
+  w.begin_array();
+  for (const auto& f : pv.cpu_flags) w.value(f);
+  w.end_array();
+  w.kv("pool_threads", pv.pool_threads);
+  w.key("env");
+  w.begin_object();
+  for (const auto& [k, v] : pv.env) w.kv(k, v);
+  w.end_object();
+  // Resolved knob values — what the run actually used, independent of
+  // which env vars were set.
+  w.key("config");
+  w.begin_object();
+  w.kv("seed", bench_seed());
+  w.kv("scale", bench_scale() == BenchScale::kFast     ? "fast"
+                : bench_scale() == BenchScale::kFull   ? "full"
+                                                       : "default");
+  w.kv("kernel", kernel_dispatch_setting());
+  w.kv("gemm", gemm_backend_setting());
+  w.kv("arena", arena_mode_setting());
+  w.kv("passes", passes_setting());
+  w.kv("overlap", overlap_comm_setting());
+  w.kv("bucket_kb",
+       static_cast<std::uint64_t>(bucket_cap_bytes() / 1024));
+  w.kv("metrics", metrics_setting());
+  w.kv("perf", perf_setting());
+  w.end_object();
+  w.end_object();  // provenance
+
+  w.key("metrics");
+  w.begin_object();
+  for (const auto& m : metrics_) {
+    w.key(m.name);
+    w.begin_object();
+    switch (m.kind) {
+      case Metric::Kind::kSummary:
+        w.kv("kind", "summary");
+        w.kv("unit", m.unit);
+        w.kv("better", better_name(m.better));
+        write_summary_fields(w, m.summary);
+        break;
+      case Metric::Kind::kScalar:
+        w.kv("kind", "scalar");
+        w.kv("unit", m.unit);
+        w.kv("better", better_name(m.better));
+        w.kv("value", m.value);
+        break;
+      case Metric::Kind::kFlag:
+        w.kv("kind", "flag");
+        w.kv("ok", m.flag);
+        break;
+    }
+    w.end_object();
+  }
+  w.end_object();
+
+  if (!perf_.empty()) {
+    w.key("hw");
+    w.begin_object();
+    for (const auto& e : perf_) {
+      w.key(e.name);
+      w.begin_object();
+      w.kv("perf_available", e.counts.perf_available);
+      w.kv("cycles", e.counts.cycles);
+      w.kv("instructions", e.counts.instructions);
+      w.kv("cache_misses", e.counts.cache_misses);
+      w.kv("branch_misses", e.counts.branch_misses);
+      w.kv("ipc", e.counts.ipc());
+      w.kv("cache_mpki", e.counts.cache_mpki());
+      w.kv("branch_mpki", e.counts.branch_mpki());
+      w.kv("wall_s", e.counts.wall_s);
+      w.kv("user_s", e.counts.user_s);
+      w.kv("sys_s", e.counts.sys_s);
+      w.kv("max_rss_kb", static_cast<std::int64_t>(e.counts.max_rss_kb));
+      w.end_object();
+    }
+    w.end_object();
+  }
+
+  if (!runtime_metrics_json_.empty()) {
+    w.key("runtime_metrics");
+    w.raw(runtime_metrics_json_);
+  }
+  if (!extra_json_.empty()) {
+    w.key("extra");
+    w.raw(extra_json_);
+  }
+  w.end_object();
+  return w.take();
+}
+
+bool BenchReport::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json() << "\n";
+  if (!out) return false;
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+std::string ReportDiff::to_text() const {
+  if (!comparable) return "reports not comparable: " + incomparable_reason;
+  Table t({"metric", "verdict", "detail"});
+  for (const auto& l : lines) t.add_row({l.name, l.verdict, l.detail});
+  std::string out = t.to_text();
+  char tail[96];
+  std::snprintf(tail, sizeof(tail), "\n%d regression(s), %d improvement(s)\n",
+                regressions, improvements);
+  out += tail;
+  return out;
+}
+
+ReportDiff diff_reports(const Json& old_report, const Json& new_report,
+                        const ReportDiffOptions& opts) {
+  ReportDiff d;
+  if (!old_report.is_object() || !new_report.is_object()) {
+    d.incomparable_reason = "not JSON objects";
+    return d;
+  }
+  const double old_ver = old_report.num_or("schema_version", 0.0);
+  const double new_ver = new_report.num_or("schema_version", 0.0);
+  if (old_ver < 1.0 || new_ver < 1.0) {
+    d.incomparable_reason = "missing schema_version";
+    return d;
+  }
+  const std::string old_bench = old_report.str_or("bench", "");
+  const std::string new_bench = new_report.str_or("bench", "");
+  if (old_bench != new_bench) {
+    d.incomparable_reason =
+        "bench names differ: '" + old_bench + "' vs '" + new_bench + "'";
+    return d;
+  }
+  const Json* old_m = old_report.find("metrics");
+  const Json* new_m = new_report.find("metrics");
+  if (old_m == nullptr || new_m == nullptr || !old_m->is_object() ||
+      !new_m->is_object()) {
+    d.incomparable_reason = "missing metrics object";
+    return d;
+  }
+  d.comparable = true;
+
+  for (const auto& [name, om] : old_m->members) {
+    ReportDiffLine line;
+    line.name = name;
+    const Json* nm = new_m->find(name);
+    if (nm == nullptr) {
+      line.verdict = "gone";
+      line.detail = "metric absent in new report";
+      d.lines.push_back(std::move(line));
+      continue;
+    }
+    const std::string kind = om.str_or("kind", "scalar");
+    if (kind != nm->str_or("kind", "scalar")) {
+      line.verdict = "gone";
+      line.detail = "metric kind changed";
+      d.lines.push_back(std::move(line));
+      continue;
+    }
+
+    if (kind == "flag") {
+      const bool was_ok = om.bool_or("ok", false);
+      const bool now_ok = nm->bool_or("ok", false);
+      if (was_ok && !now_ok) {
+        line.verdict = "REGRESSED";
+        line.detail = "flag flipped true -> false";
+        ++d.regressions;
+      } else if (!was_ok && now_ok) {
+        line.verdict = "improved";
+        line.detail = "flag flipped false -> true";
+        ++d.improvements;
+      } else {
+        line.verdict = "ok";
+        line.detail = now_ok ? "true" : "false (unchanged)";
+      }
+    } else if (kind == "summary") {
+      const SampleSummary os = summary_from_json(om);
+      const SampleSummary ns = summary_from_json(*nm);
+      const Better better = better_from(nm->str_or("better", "lower"));
+      const double rel = os.median != 0.0
+                             ? (ns.median - os.median) / os.median
+                             : 0.0;
+      const bool overlap = ci_overlap(os, ns);
+      const bool worse = better == Better::kLower   ? rel > 0.0
+                         : better == Better::kHigher ? rel < 0.0
+                                                     : false;
+      line.detail = "median " + summary_to_string(os) + " -> " +
+                    summary_to_string(ns) + " (" +
+                    rel_change_str(os.median, ns.median) +
+                    (overlap ? ", CIs overlap)" : ", CIs disjoint)");
+      // Paper §V-B: distinguishable only when the 95% CIs are disjoint;
+      // rel_tol damps one-bucket flukes on very fast regions.
+      if (!overlap && worse && std::fabs(rel) > opts.rel_tol) {
+        line.verdict = "REGRESSED";
+        ++d.regressions;
+      } else if (!overlap && better != Better::kNone && !worse &&
+                 std::fabs(rel) > opts.rel_tol) {
+        line.verdict = "improved";
+        ++d.improvements;
+      } else {
+        line.verdict = "ok";
+      }
+    } else {  // scalar
+      const double ov = om.num_or("value", 0.0);
+      const double nv = nm->num_or("value", 0.0);
+      const Better better = better_from(nm->str_or("better", "none"));
+      const double rel = ov != 0.0 ? (nv - ov) / ov : 0.0;
+      const bool worse = better == Better::kLower   ? rel > 0.0
+                         : better == Better::kHigher ? rel < 0.0
+                                                     : false;
+      line.detail = json_number(ov) + " -> " + json_number(nv) + " (" +
+                    rel_change_str(ov, nv) + ")";
+      if (better != Better::kNone && std::fabs(rel) > opts.scalar_tol) {
+        line.verdict = worse ? "REGRESSED" : "improved";
+        ++(worse ? d.regressions : d.improvements);
+      } else {
+        line.verdict = "ok";
+      }
+    }
+    d.lines.push_back(std::move(line));
+  }
+
+  for (const auto& [name, nm] : new_m->members) {
+    (void)nm;
+    if (old_m->find(name) == nullptr)
+      d.lines.push_back({name, "new", "metric absent in old report"});
+  }
+  return d;
+}
+
+}  // namespace d500

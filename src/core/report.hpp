@@ -1,0 +1,150 @@
+// Provenance-stamped benchmark reports and the CI-overlap regression diff.
+//
+// Every bench binary writes one BENCH_*.json through this writer instead of
+// hand-rolled ofstream emission. The envelope is a versioned contract:
+//
+//   {
+//     "schema_version": 1,
+//     "bench": "<name>",
+//     "timestamp_utc": "...",
+//     "provenance": { git SHA + dirty flag, hostname, CPU model/flags/
+//                     logical count, pool thread count, every D500_* env
+//                     var, and the resolved knob values (scale, seed,
+//                     kernel, gemm, arena, passes, overlap, bucket_kb,
+//                     metrics, perf) },
+//     "metrics": { name -> {kind: summary|scalar|flag, unit, better,
+//                           median/ci95 or value} },
+//     "hw":      { name -> perf counter sample (ipc, mpki, ...) },
+//     "runtime_metrics": MetricsRegistry snapshot (histogram percentiles),
+//     "extra":   free-form bench-specific detail
+//   }
+//
+// "summary" metrics carry core/stats' median + nonparametric 95% CI;
+// diff_reports applies the paper's §V-B criterion — two runs are
+// statistically indistinguishable when the CIs overlap — to decide
+// regressions, which is what the ci-bench-smoke workflow gates on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/perf.hpp"
+#include "core/stats.hpp"
+
+namespace d500 {
+
+struct Json;
+
+/// Which direction of change is an improvement for a metric. kNone makes
+/// the metric informational (never gates).
+enum class Better { kLower, kHigher, kNone };
+
+/// Host / build / configuration identity captured once per process.
+struct Provenance {
+  std::string git_sha;       // "unknown" when not in a git checkout
+  bool git_dirty = false;
+  std::string hostname;
+  std::string cpu_model;
+  int cpu_logical = 0;
+  std::vector<std::string> cpu_flags;  // interesting ISA subset
+  int pool_threads = 0;                // shared ThreadPool size
+  std::vector<std::pair<std::string, std::string>> env;  // all D500_* vars
+
+  /// Collected once and cached (git subprocess, /proc/cpuinfo parse).
+  static const Provenance& collect();
+};
+
+/// Builder for one benchmark report. Metric insertion order is preserved.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name);
+
+  /// Full sample statistics (median + 95% CI) — the only kind the CI diff
+  /// gates with the CI-overlap criterion.
+  void add_summary(const std::string& name, const SampleSummary& s,
+                   const std::string& unit, Better better = Better::kLower);
+
+  /// Single number (GFLOP/s, bytes). Gated by relative tolerance when
+  /// `better` is directional.
+  void add_scalar(const std::string& name, double value,
+                  const std::string& unit, Better better = Better::kNone);
+
+  /// Boolean invariant (bitwise identity, shape checks). A true -> false
+  /// transition between reports is always a regression.
+  void add_flag(const std::string& name, bool ok);
+
+  /// Hardware counter sample for a named region (bench_l0_gemm kernels).
+  void add_perf(const std::string& name, const PerfCounts& counts);
+
+  /// Attaches the process MetricsRegistry snapshot (histogram percentiles
+  /// et al.) under "runtime_metrics".
+  void add_runtime_metrics();
+
+  /// Free-form bench-specific payload; must be a rendered JSON object.
+  void set_extra_json(std::string raw_object);
+
+  std::string to_json() const;
+
+  /// Writes to_json() to `path` and prints "wrote <path>" on stdout.
+  /// Returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  struct Metric {
+    enum class Kind { kSummary, kScalar, kFlag };
+    Kind kind = Kind::kScalar;
+    std::string name;
+    std::string unit;
+    Better better = Better::kNone;
+    SampleSummary summary;
+    double value = 0.0;
+    bool flag = false;
+  };
+  struct PerfEntry {
+    std::string name;
+    PerfCounts counts;
+  };
+
+  std::string bench_name_;
+  std::vector<Metric> metrics_;
+  std::vector<PerfEntry> perf_;
+  std::string runtime_metrics_json_;
+  std::string extra_json_;
+};
+
+/// One metric's comparison outcome.
+struct ReportDiffLine {
+  std::string name;
+  std::string verdict;  // "ok" | "improved" | "REGRESSED" | "new" | "gone"
+  std::string detail;
+};
+
+struct ReportDiffOptions {
+  /// Minimum relative median change for a CI-disjoint summary shift to
+  /// count (damps one-bucket CI flukes on fast runs).
+  double rel_tol = 0.02;
+  /// Relative tolerance for directional scalar metrics.
+  double scalar_tol = 0.10;
+};
+
+struct ReportDiff {
+  bool comparable = false;  // schemas parsed and bench names matched
+  std::string incomparable_reason;
+  int regressions = 0;
+  int improvements = 0;
+  std::vector<ReportDiffLine> lines;
+
+  /// Rendered comparison table plus a one-line verdict.
+  std::string to_text() const;
+};
+
+/// Compares two parsed reports metric-by-metric: summary metrics regress
+/// when the new median is worse, the 95% CIs do not overlap (paper §V-B),
+/// and the relative change exceeds rel_tol; flags regress on true->false;
+/// directional scalars regress beyond scalar_tol. Metrics present in only
+/// one report are noted, never gated.
+ReportDiff diff_reports(const Json& old_report, const Json& new_report,
+                        const ReportDiffOptions& opts = {});
+
+}  // namespace d500

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "core/error.hpp"
+#include "core/metrics_registry.hpp"
 #include "core/trace.hpp"
 
 namespace d500 {
@@ -59,18 +60,29 @@ void ThreadPool::reset(int threads) {
 }
 
 void ThreadPool::enqueue(std::function<void()> job) {
+  // Stamp the enqueue time only when someone will look at it: the
+  // dequeue side samples "pool.queue_wait_ns" from the delta.
+  const std::int64_t enq =
+      metrics_enabled() ? metrics_detail::now_ns() : 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(job));
+    queue_.push_back(Job{std::move(job), enq});
   }
   cv_.notify_one();
+}
+
+void ThreadPool::record_queue_wait(std::int64_t enq_ns) {
+  if (enq_ns == 0 || !metrics_enabled()) return;
+  static Histogram& h =
+      MetricsRegistry::instance().histogram("pool.queue_wait_ns");
+  h.record(static_cast<double>(metrics_detail::now_ns() - enq_ns));
 }
 
 void ThreadPool::notify() { cv_.notify_all(); }
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> job;
+    Job job;
     {
       // The idle span brackets the cv wait; declared before the lock so its
       // end record is emitted after the unlock (off the contended path).
@@ -81,14 +93,15 @@ void ThreadPool::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
+    record_queue_wait(job.enq_ns);
     D500_TRACE_SCOPE("threadpool", "task");
-    job();
+    job.fn();
   }
 }
 
 void ThreadPool::help_while(const std::function<bool()>& done) {
   for (;;) {
-    std::function<void()> job;
+    Job job;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [&] { return stopping_ || done() || !queue_.empty(); });
@@ -101,8 +114,9 @@ void ThreadPool::help_while(const std::function<bool()>& done) {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
+    record_queue_wait(job.enq_ns);
     D500_TRACE_SCOPE("threadpool", "task");
-    job();
+    job.fn();
   }
 }
 

@@ -65,9 +65,17 @@ class ThreadPool {
   void stop_workers();
   void worker_loop();
 
+  /// Queue entry: the job plus its enqueue timestamp, feeding the
+  /// "pool.queue_wait_ns" histogram (0 when metrics are off — not sampled).
+  struct Job {
+    std::function<void()> fn;
+    std::int64_t enq_ns = 0;
+  };
+  static void record_queue_wait(std::int64_t enq_ns);
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Job> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

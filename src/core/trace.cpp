@@ -12,6 +12,7 @@
 
 #include "core/arena.hpp"
 #include "core/env.hpp"
+#include "core/metrics_registry.hpp"
 #include "core/table.hpp"
 
 namespace d500 {
@@ -269,11 +270,19 @@ std::string Trace::to_chrome_json() {
     out += line;
   };
   for (const auto& tt : threads) {
-    char buf[160];
+    char buf[224];
     std::snprintf(buf, sizeof(buf),
                   "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
                   "\"tid\":%d,\"args\":{\"name\":\"thread %d\"}}",
                   tt.tid, tt.tid);
+    emit_event(buf);
+    // Per-ring accounting so a viewer (or jq) can see how much of this
+    // thread's activity was overwritten before collection.
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"trace_ring\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%d,\"args\":{\"emitted\":%llu,\"dropped\":%llu}}",
+                  tt.tid, static_cast<unsigned long long>(tt.emitted),
+                  static_cast<unsigned long long>(tt.dropped));
     emit_event(buf);
     for (const TraceRecord& r : tt.records) {
       const char* ph = "i";
@@ -309,7 +318,15 @@ std::string Trace::to_chrome_json() {
       emit_event(line);
     }
   }
-  out += "\n]}\n";
+  out += "\n]";
+  // Histogram/counter roll-up rides along as a top-level key; Chrome's
+  // viewer ignores unknown keys, tools can parse it back out.
+  const std::string metrics = MetricsRegistry::instance().snapshot_json();
+  if (!metrics.empty()) {
+    out += ",\n\"metrics\":";
+    out += metrics;
+  }
+  out += "}\n";
   return out;
 }
 
@@ -368,12 +385,24 @@ std::string Trace::summary() {
   out += "trace: " + std::to_string(emitted) + " records emitted, " +
          std::to_string(dropped) + " dropped, " +
          std::to_string(threads.size()) + " threads\n";
+  if (dropped > 0) {
+    // Which rings overflowed — undersized D500_TRACE_BUFSZ shows up here.
+    out += "trace: drops by ring:";
+    for (const auto& tt : threads)
+      if (tt.dropped > 0)
+        out += " tid " + std::to_string(tt.tid) + "=" +
+               std::to_string(tt.dropped);
+    out += "\n";
+  }
   const Arena::Stats as = Arena::instance().stats();
   out += "arena: " + std::to_string(as.bytes_in_use) + " B in use, peak " +
          std::to_string(as.peak_bytes) + " B, " +
          std::to_string(as.reuse_hits) + " reuse hits / " +
          std::to_string(as.fresh_blocks) + " fresh blocks, " +
          std::to_string(as.cached_bytes) + " B cached\n";
+  // Histogram percentiles (per-op latency, queue waits, collectives) from
+  // the metrics registry — the distributions behind the span timeline.
+  out += MetricsRegistry::instance().summary_text();
   return out;
 }
 

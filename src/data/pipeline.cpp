@@ -2,10 +2,18 @@
 
 #include <algorithm>
 
+#include "core/metrics_registry.hpp"
 #include "core/threadpool.hpp"
 #include "core/trace.hpp"
 
 namespace d500 {
+
+namespace {
+Gauge& queue_depth_gauge() {
+  static Gauge& g = MetricsRegistry::instance().gauge("data.queue_depth");
+  return g;
+}
+}  // namespace
 
 RecordPipeline::RecordPipeline(std::vector<std::string> shard_paths,
                                DatasetSpec spec, std::int64_t shuffle_buffer,
@@ -15,6 +23,9 @@ RecordPipeline::RecordPipeline(std::vector<std::string> shard_paths,
       reader_(std::move(shard_paths), shuffle_buffer, seed) {}
 
 Batch RecordPipeline::next_batch(std::int64_t batch) {
+  static Histogram& lat =
+      MetricsRegistry::instance().histogram("data.batch_ns");
+  LatencyScope scope(lat);
   D500_TRACE_SCOPE("data", "batch");
   // Stage 1: sequential reads (through the pseudo-shuffle window). The
   // record vector is a member so its capacity survives across batches.
@@ -93,6 +104,7 @@ void PrefetchLoader::worker_loop() {
       depth = queue_.size();
     }
     trace_counter("data", "queue_depth", static_cast<double>(depth));
+    queue_depth_gauge().set(static_cast<double>(depth));
     cv_consume_.notify_one();
   }
 }
@@ -107,6 +119,7 @@ Batch PrefetchLoader::next() {
   const std::size_t depth = queue_.size();
   lock.unlock();
   trace_counter("data", "queue_depth", static_cast<double>(depth));
+  queue_depth_gauge().set(static_cast<double>(depth));
   cv_produce_.notify_one();
   return b;
 }

@@ -3,12 +3,26 @@
 #include <algorithm>
 #include <thread>
 
+#include "core/metrics_registry.hpp"
 #include "core/threadpool.hpp"
 #include "core/trace.hpp"
 
 namespace d500 {
 
 namespace {
+
+/// Shared latency histogram for every blocking collective; the wire-volume
+/// counter pairs with the per-rank trace curve.
+Histogram& collective_hist() {
+  static Histogram& h =
+      MetricsRegistry::instance().histogram("mpi.collective_ns");
+  return h;
+}
+
+Counter& wire_bytes_counter() {
+  static Counter& c = MetricsRegistry::instance().counter("mpi.wire_bytes");
+  return c;
+}
 
 /// Chunk boundaries of the ring allreduce (n nearly-equal chunks of a
 /// `len`-element vector) — shared by the blocking algorithm and the
@@ -93,6 +107,7 @@ void SimMpi::post(int src, int dst, int tag, std::vector<float> data) {
     trace_counter("dist", "bytes_sent",
                   static_cast<double>(bytes_sent_[static_cast<std::size_t>(src)]));
   }
+  wire_bytes_counter().add(data.size() * sizeof(float));
   Mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
   {
     std::lock_guard<std::mutex> lock(box.mu);
@@ -220,6 +235,7 @@ void Communicator::barrier() {
 }
 
 void Communicator::bcast(std::span<float> data, int root) {
+  LatencyScope lat(collective_hist());
   D500_TRACE_SCOPE("dist", "bcast");
   // Binomial tree rooted at `root`: virtual rank v = (rank - root) mod n.
   // v receives from v - lsb(v), then forwards to v + m for each mask m
@@ -241,6 +257,7 @@ void Communicator::bcast(std::span<float> data, int root) {
 }
 
 void Communicator::reduce_sum(std::span<float> data, int root) {
+  LatencyScope lat(collective_hist());
   D500_TRACE_SCOPE("dist", "reduce");
   // Binomial-tree reduce: virtual rank v = (rank - root) mod n.
   const int n = size();
@@ -260,6 +277,7 @@ void Communicator::reduce_sum(std::span<float> data, int root) {
 }
 
 void Communicator::allreduce_sum_ring(std::span<float> data) {
+  LatencyScope lat(collective_hist());
   D500_TRACE_SCOPE("dist", "allreduce_ring");
   const int n = size();
   if (n == 1) return;
@@ -298,6 +316,7 @@ void Communicator::allreduce_sum_ring(std::span<float> data) {
 }
 
 void Communicator::allreduce_sum_rd(std::span<float> data) {
+  LatencyScope lat(collective_hist());
   D500_TRACE_SCOPE("dist", "allreduce_rd");
   const int n = size();
   if (n == 1) return;
@@ -347,6 +366,7 @@ void Communicator::allreduce_sum_rd(std::span<float> data) {
 
 void Communicator::allgather(std::span<const float> chunk,
                              std::span<float> out) {
+  LatencyScope lat(collective_hist());
   D500_TRACE_SCOPE("dist", "allgather");
   const int n = size();
   const std::size_t csize = chunk.size();
@@ -382,6 +402,7 @@ AllreduceRequest Communicator::iallreduce_sum(std::span<float> data, int tag) {
     world_->msgs_sent_[static_cast<std::size_t>(rank_)] +=
         2 * static_cast<std::uint64_t>(n - 1);
     trace_counter("dist", "bytes_sent", static_cast<double>(bytes));
+    wire_bytes_counter().add(ring_send_bytes(rank_, n, data.size()));
   }
   return req;
 }

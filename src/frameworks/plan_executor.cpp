@@ -5,6 +5,7 @@
 
 #include "core/arena.hpp"
 #include "core/env.hpp"
+#include "core/metrics_registry.hpp"
 #include "core/threadpool.hpp"
 #include "core/timer.hpp"
 #include "core/trace.hpp"
@@ -286,6 +287,12 @@ void PlanExecutor::compile(const TensorMap& feeds, bool training) {
     }
     for (int s : step.out_slots)
       step.fwd_out.push_back(&values_[static_cast<std::size_t>(s)]);
+    // Resolve the per-op-type latency histogram once per compile, so the
+    // hot path records without any name lookup. Registered even while
+    // metrics are off: the gate is re-checked per sample (LatencyScope),
+    // and empty histograms cost nothing in snapshots.
+    step.lat = &MetricsRegistry::instance().histogram(
+        "op." + step.node->op_type);
     if (options_.string_dispatch)
       step.stats = &launch_stats_[step.node->op_type + ":" + step.node->name];
     step.staged.clear();
@@ -524,7 +531,8 @@ void PlanExecutor::exec_step(std::size_t idx, std::mutex* mu) {
   Timer launch_timer;
   {
     // The span covers the launch + kernel, not the serialized event
-    // dispatch on either side.
+    // dispatch on either side; the histogram samples the same window.
+    LatencyScope lat(step.lat);
     D500_TRACE_SCOPE("op", step.node->name);
 
     if (!options_.reuse_activations) {

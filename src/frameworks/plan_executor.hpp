@@ -54,6 +54,8 @@
 
 namespace d500 {
 
+class Histogram;
+
 /// Default for ExecOptions::overlap_comm: the D500_OVERLAP environment
 /// knob (core/env overlap_comm_setting), read fresh at construction.
 bool overlap_comm_default();
@@ -162,6 +164,7 @@ class PlanExecutor : public GraphExecutor {
     // step does no lookups and no allocation.
     ConstTensors fwd_in;
     MutTensors fwd_out;
+    Histogram* lat = nullptr;       // "op.<type>" latency, compile-resolved
     LaunchStats* stats = nullptr;   // string_dispatch bookkeeping slot
     std::vector<Tensor> staged;     // defensive-copy staging (persistent)
     MutTensors staged_ptrs;

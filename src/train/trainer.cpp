@@ -1,5 +1,6 @@
 #include "train/trainer.hpp"
 
+#include "core/metrics_registry.hpp"
 #include "core/timer.hpp"
 #include "core/trace.hpp"
 #include "ops/loss.hpp"
@@ -58,7 +59,10 @@ RunStats Runner::run(std::int64_t epochs) {
     const std::int64_t batches = sampler_.batches_per_epoch();
     bool early_exit = false;
 
+    static Histogram& step_lat =
+        MetricsRegistry::instance().histogram("trainer.step_ns");
     for (std::int64_t b = 0; b < batches && !early_exit; ++b) {
+      LatencyScope lat(step_lat);
       D500_TRACE_SCOPE("trainer", "step");
       const auto indices = sampler_.next_batch();
       Tensor& data = feeds["data"];

@@ -1,0 +1,244 @@
+// Metrics registry tests: log-bucket geometry, percentile accuracy against
+// core/stats' exact quantile (within one bucket by construction),
+// cross-thread shard merging, concurrent counter/gauge consistency, the
+// disabled-gate fast path, LatencyScope, and the summary/snapshot render
+// paths (including the registry roll-up riding in Trace::summary()). The
+// suite carries the `threads` label so it runs under D500_SANITIZE=thread.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/json.hpp"
+#include "core/metrics_registry.hpp"
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "core/trace.hpp"
+
+namespace d500 {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::enable();
+    MetricsRegistry::instance().reset();
+  }
+  void TearDown() override { MetricsRegistry::enable(); }
+};
+
+TEST_F(MetricsTest, BucketGeometryBrackets) {
+  // Every positive value lands in a bucket whose [lo, hi) range contains
+  // it, and the midpoint stays inside the range.
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = std::exp(rng.uniform() * std::log(1e12));
+    const int idx = Histogram::bucket_of(v);
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, Histogram::kBuckets);
+    if (idx > 0 && idx < Histogram::kBuckets - 1) {
+      EXPECT_LE(Histogram::bucket_lo(idx), v);
+      EXPECT_LT(v, Histogram::bucket_hi(idx));
+    }
+    EXPECT_GE(Histogram::bucket_mid(idx), Histogram::bucket_lo(idx));
+    EXPECT_LE(Histogram::bucket_mid(idx), Histogram::bucket_hi(idx));
+  }
+}
+
+TEST_F(MetricsTest, BucketsAreMonotone) {
+  for (int idx = 1; idx < Histogram::kBuckets; ++idx)
+    EXPECT_LE(Histogram::bucket_lo(idx - 1), Histogram::bucket_lo(idx))
+        << "at bucket " << idx;
+}
+
+TEST_F(MetricsTest, PercentilesWithinOneBucketOfExact) {
+  Histogram& h = MetricsRegistry::instance().histogram("test.pctl");
+  Rng rng(42);
+  std::vector<double> values;
+  for (int i = 0; i < 20000; ++i) {
+    // Log-uniform over ~9 decades: exercises many octaves, like real
+    // latency data.
+    const double v = std::exp(rng.uniform() * std::log(1e9)) + 1.0;
+    values.push_back(v);
+    h.record(v);
+  }
+  const HistogramSnapshot snap = h.snapshot();
+  ASSERT_EQ(snap.count, values.size());
+  for (const double q : {0.5, 0.95, 0.99}) {
+    const double exact = quantile(values, q);
+    const double est = snap.quantile(q);
+    EXPECT_LE(std::abs(Histogram::bucket_of(est) - Histogram::bucket_of(exact)),
+              1)
+        << "q=" << q << " exact=" << exact << " est=" << est;
+  }
+}
+
+TEST_F(MetricsTest, SnapshotSumMinMaxExact) {
+  Histogram& h = MetricsRegistry::instance().histogram("test.sum");
+  double sum = 0.0;
+  for (int i = 1; i <= 1000; ++i) {
+    h.record(i);
+    sum += i;
+  }
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_DOUBLE_EQ(snap.sum, sum);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 1000.0);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+TEST_F(MetricsTest, CrossThreadShardMerge) {
+  Histogram& h = MetricsRegistry::instance().histogram("test.merge");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        h.record(static_cast<double>(t * kPerThread + i + 1));
+    });
+  for (auto& t : ts) t.join();
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads * kPerThread));
+  // Sum of 1..80000 — each write is one atomic add, so the merged sum is
+  // exact once writers quiesce.
+  const double n = kThreads * kPerThread;
+  EXPECT_DOUBLE_EQ(snap.sum, n * (n + 1) / 2);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, n);
+}
+
+TEST_F(MetricsTest, ConcurrentCountersAreExact) {
+  Counter& c = MetricsRegistry::instance().counter("test.ctr");
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 100000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) c.add();
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kAdds);
+  c.add(41);
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kAdds + 41);
+}
+
+TEST_F(MetricsTest, GaugeLastWriterWins) {
+  Gauge& g = MetricsRegistry::instance().gauge("test.gauge");
+  constexpr int kThreads = 8;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([&g, t] { g.set(static_cast<double>(t + 1)); });
+  for (auto& t : ts) t.join();
+  const double v = g.value();
+  EXPECT_GE(v, 1.0);  // some thread's write, torn values impossible
+  EXPECT_LE(v, static_cast<double>(kThreads));
+  g.set(42.5);
+  EXPECT_DOUBLE_EQ(g.value(), 42.5);
+}
+
+TEST_F(MetricsTest, DisabledGateDropsWrites) {
+  Histogram& h = MetricsRegistry::instance().histogram("test.gate");
+  Counter& c = MetricsRegistry::instance().counter("test.gate_ctr");
+  Gauge& g = MetricsRegistry::instance().gauge("test.gate_gauge");
+  g.set(7.0);
+  MetricsRegistry::disable();
+  EXPECT_FALSE(metrics_enabled());
+  h.record(123.0);
+  c.add(5);
+  g.set(9.0);
+  MetricsRegistry::enable();
+  EXPECT_TRUE(metrics_enabled());
+  EXPECT_EQ(h.snapshot().count, 0u);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+  h.record(123.0);
+  EXPECT_EQ(h.snapshot().count, 1u);
+}
+
+TEST_F(MetricsTest, LatencyScopeRecordsOneSample) {
+  Histogram& h = MetricsRegistry::instance().histogram("test.scope");
+  {
+    LatencyScope scope(h);
+    volatile double sink = 0;
+    for (int i = 0; i < 1000; ++i) sink = sink + i;
+  }
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_GT(snap.max, 0.0);
+  // Null histogram pointer: no crash, no sample.
+  { LatencyScope nul(static_cast<Histogram*>(nullptr)); }
+}
+
+TEST_F(MetricsTest, RegistryReturnsSameObjectByName) {
+  Histogram& a = MetricsRegistry::instance().histogram("test.same");
+  Histogram& b = MetricsRegistry::instance().histogram("test.same");
+  EXPECT_EQ(&a, &b);
+  Counter& c1 = MetricsRegistry::instance().counter("test.same_ctr");
+  Counter& c2 = MetricsRegistry::instance().counter("test.same_ctr");
+  EXPECT_EQ(&c1, &c2);
+}
+
+TEST_F(MetricsTest, SummaryTextShowsPercentiles) {
+  Histogram& h = MetricsRegistry::instance().histogram("test.render");
+  for (int i = 1; i <= 100; ++i) h.record(i * 1000.0);
+  MetricsRegistry::instance().counter("test.render_ctr").add(3);
+  const std::string text = MetricsRegistry::instance().summary_text();
+  EXPECT_NE(text.find("test.render"), std::string::npos);
+  EXPECT_NE(text.find("p50"), std::string::npos);
+  EXPECT_NE(text.find("p95"), std::string::npos);
+  EXPECT_NE(text.find("p99"), std::string::npos);
+  EXPECT_NE(text.find("test.render_ctr"), std::string::npos);
+}
+
+TEST_F(MetricsTest, TraceSummaryEmbedsMetrics) {
+  // Acceptance: histogram percentiles surface in Trace::summary() when the
+  // registry has data and D500_METRICS is on.
+  Histogram& h = MetricsRegistry::instance().histogram("test.via_trace");
+  for (int i = 1; i <= 50; ++i) h.record(i * 100.0);
+  const std::string s = Trace::summary();
+  EXPECT_NE(s.find("test.via_trace"), std::string::npos);
+  EXPECT_NE(s.find("p99"), std::string::npos);
+}
+
+TEST_F(MetricsTest, SnapshotJsonParses) {
+  Histogram& h = MetricsRegistry::instance().histogram("test.json");
+  for (int i = 1; i <= 1000; ++i) h.record(i * 10.0);
+  MetricsRegistry::instance().counter("test.json_ctr").add(12);
+  MetricsRegistry::instance().gauge("test.json_gauge").set(3.5);
+  std::string err;
+  const Json j = Json::parse(MetricsRegistry::instance().snapshot_json(), &err);
+  ASSERT_TRUE(j.is_object()) << err;
+  const Json* hists = j.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const Json* mine = hists->find("test.json");
+  ASSERT_NE(mine, nullptr);
+  EXPECT_EQ(mine->num_or("count", 0), 1000.0);
+  EXPECT_GT(mine->num_or("p50", 0), 0.0);
+  EXPECT_GE(mine->num_or("p99", 0), mine->num_or("p50", 0));
+  const Json* ctrs = j.find("counters");
+  ASSERT_NE(ctrs, nullptr);
+  EXPECT_EQ(ctrs->num_or("test.json_ctr", 0), 12.0);
+  const Json* gauges = j.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->num_or("test.json_gauge", 0), 3.5);
+}
+
+TEST_F(MetricsTest, ResetZeroesEverything) {
+  Histogram& h = MetricsRegistry::instance().histogram("test.reset");
+  Counter& c = MetricsRegistry::instance().counter("test.reset_ctr");
+  h.record(5.0);
+  c.add(5);
+  MetricsRegistry::instance().reset();
+  EXPECT_EQ(h.snapshot().count, 0u);
+  EXPECT_EQ(c.value(), 0u);
+}
+
+}  // namespace
+}  // namespace d500

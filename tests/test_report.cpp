@@ -1,0 +1,185 @@
+// BenchReport envelope and diff tests: every report carries the versioned
+// provenance envelope; diff_reports applies the paper's §V-B CI-overlap
+// criterion (self-compare is clean, a genuine slowdown with disjoint CIs
+// regresses, a flipped invariant flag always regresses, directional
+// scalars gate on relative tolerance).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/json.hpp"
+#include "core/report.hpp"
+#include "core/stats.hpp"
+
+namespace d500 {
+namespace {
+
+SampleSummary around(double center, double spread = 0.01) {
+  std::vector<double> xs;
+  for (int i = 0; i < 21; ++i)
+    xs.push_back(center + spread * center * (i - 10) / 10.0);
+  return summarize(xs);
+}
+
+Json parse_report(const BenchReport& r) {
+  std::string err;
+  const Json j = Json::parse(r.to_json(), &err);
+  EXPECT_TRUE(j.is_object()) << err;
+  return j;
+}
+
+TEST(ReportTest, EnvelopeCarriesProvenance) {
+  BenchReport r("unit_test");
+  r.add_summary("step_s", around(1.0), "s");
+  r.add_scalar("gflops", 12.5, "GFLOP/s", Better::kHigher);
+  r.add_flag("invariant", true);
+  const Json j = parse_report(r);
+  EXPECT_EQ(j.num_or("schema_version", 0), 1.0);
+  EXPECT_EQ(j.str_or("bench", ""), "unit_test");
+  EXPECT_FALSE(j.str_or("timestamp_utc", "").empty());
+  const Json* prov = j.find("provenance");
+  ASSERT_NE(prov, nullptr);
+  EXPECT_FALSE(prov->str_or("git_sha", "").empty());
+  EXPECT_FALSE(prov->str_or("hostname", "").empty());
+  EXPECT_GT(prov->num_or("cpu_logical", 0), 0.0);
+  ASSERT_NE(prov->find("config"), nullptr);
+  ASSERT_NE(prov->find("env"), nullptr);
+  const Json* metrics = j.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const Json* step = metrics->find("step_s");
+  ASSERT_NE(step, nullptr);
+  EXPECT_EQ(step->str_or("kind", ""), "summary");
+  EXPECT_EQ(step->str_or("better", ""), "lower");
+  EXPECT_GT(step->num_or("median", 0), 0.0);
+  const Json* flag = metrics->find("invariant");
+  ASSERT_NE(flag, nullptr);
+  EXPECT_EQ(flag->str_or("kind", ""), "flag");
+  EXPECT_TRUE(flag->bool_or("ok", false));
+}
+
+TEST(ReportTest, PerfEntriesLandUnderHw) {
+  BenchReport r("unit_test");
+  PerfCounts c;
+  c.perf_available = true;
+  c.cycles = 2e9;
+  c.instructions = 4e9;
+  c.cache_misses = 1e6;
+  c.wall_s = 1.0;
+  r.add_perf("kernel", c);
+  const Json j = parse_report(r);
+  const Json* hw = j.find("hw");
+  ASSERT_NE(hw, nullptr);
+  const Json* k = hw->find("kernel");
+  ASSERT_NE(k, nullptr);
+  EXPECT_TRUE(k->bool_or("perf_available", false));
+  EXPECT_DOUBLE_EQ(k->num_or("ipc", 0), 2.0);
+}
+
+TEST(ReportTest, SelfDiffIsClean) {
+  BenchReport r("unit_test");
+  r.add_summary("step_s", around(1.0), "s");
+  r.add_scalar("gflops", 12.5, "GFLOP/s", Better::kHigher);
+  r.add_flag("invariant", true);
+  const Json j = parse_report(r);
+  const ReportDiff d = diff_reports(j, j);
+  EXPECT_TRUE(d.comparable);
+  EXPECT_EQ(d.regressions, 0);
+  EXPECT_EQ(d.improvements, 0);
+}
+
+TEST(ReportTest, DisjointSlowdownRegresses) {
+  BenchReport a("unit_test"), b("unit_test");
+  a.add_summary("step_s", around(1.0), "s");
+  b.add_summary("step_s", around(2.0), "s");  // 2x slower, CIs disjoint
+  const ReportDiff d = diff_reports(parse_report(a), parse_report(b));
+  ASSERT_TRUE(d.comparable);
+  EXPECT_EQ(d.regressions, 1);
+  ASSERT_EQ(d.lines.size(), 1u);
+  EXPECT_EQ(d.lines[0].verdict, "REGRESSED");
+  // The same change in the other direction is an improvement.
+  const ReportDiff up = diff_reports(parse_report(b), parse_report(a));
+  EXPECT_EQ(up.regressions, 0);
+  EXPECT_EQ(up.improvements, 1);
+}
+
+TEST(ReportTest, OverlappingCIsDoNotGate) {
+  // 3% median shift but wide, overlapping CIs: statistically
+  // indistinguishable per the paper's criterion.
+  BenchReport a("unit_test"), b("unit_test");
+  a.add_summary("step_s", around(1.00, 0.20), "s");
+  b.add_summary("step_s", around(1.03, 0.20), "s");
+  const ReportDiff d = diff_reports(parse_report(a), parse_report(b));
+  EXPECT_EQ(d.regressions, 0);
+}
+
+TEST(ReportTest, HigherBetterSummaryDirection) {
+  BenchReport a("unit_test"), b("unit_test");
+  a.add_summary("throughput", around(100.0), "items/s", Better::kHigher);
+  b.add_summary("throughput", around(50.0), "items/s", Better::kHigher);
+  const ReportDiff d = diff_reports(parse_report(a), parse_report(b));
+  EXPECT_EQ(d.regressions, 1);
+}
+
+TEST(ReportTest, FlagFlipAlwaysRegresses) {
+  BenchReport a("unit_test"), b("unit_test");
+  a.add_flag("bitwise_identical", true);
+  b.add_flag("bitwise_identical", false);
+  const ReportDiff d = diff_reports(parse_report(a), parse_report(b));
+  EXPECT_EQ(d.regressions, 1);
+  const ReportDiff fix = diff_reports(parse_report(b), parse_report(a));
+  EXPECT_EQ(fix.regressions, 0);
+}
+
+TEST(ReportTest, ScalarToleranceGates) {
+  BenchReport a("unit_test"), within("unit_test"), beyond("unit_test");
+  a.add_scalar("gflops", 100.0, "GFLOP/s", Better::kHigher);
+  within.add_scalar("gflops", 95.0, "GFLOP/s", Better::kHigher);
+  beyond.add_scalar("gflops", 80.0, "GFLOP/s", Better::kHigher);
+  EXPECT_EQ(diff_reports(parse_report(a), parse_report(within)).regressions,
+            0);
+  EXPECT_EQ(diff_reports(parse_report(a), parse_report(beyond)).regressions,
+            1);
+  // Non-directional scalars never gate, whatever the change.
+  BenchReport c("unit_test"), d("unit_test");
+  c.add_scalar("records_per_step", 44.0, "records");
+  d.add_scalar("records_per_step", 440.0, "records");
+  EXPECT_EQ(diff_reports(parse_report(c), parse_report(d)).regressions, 0);
+}
+
+TEST(ReportTest, BenchNameMismatchIsIncomparable) {
+  BenchReport a("bench_a"), b("bench_b");
+  a.add_scalar("x", 1.0, "u");
+  b.add_scalar("x", 1.0, "u");
+  const ReportDiff d = diff_reports(parse_report(a), parse_report(b));
+  EXPECT_FALSE(d.comparable);
+  EXPECT_FALSE(d.incomparable_reason.empty());
+}
+
+TEST(ReportTest, AddedAndRemovedMetricsAreNotedNotGated) {
+  BenchReport a("unit_test"), b("unit_test");
+  a.add_scalar("old_only", 1.0, "u", Better::kLower);
+  b.add_scalar("new_only", 1.0, "u", Better::kLower);
+  const ReportDiff d = diff_reports(parse_report(a), parse_report(b));
+  EXPECT_EQ(d.regressions, 0);
+  bool saw_new = false, saw_gone = false;
+  for (const auto& line : d.lines) {
+    if (line.verdict == "new") saw_new = true;
+    if (line.verdict == "gone") saw_gone = true;
+  }
+  EXPECT_TRUE(saw_new);
+  EXPECT_TRUE(saw_gone);
+}
+
+TEST(ReportTest, DiffTextRendersVerdict) {
+  BenchReport a("unit_test"), b("unit_test");
+  a.add_summary("step_s", around(1.0), "s");
+  b.add_summary("step_s", around(2.0), "s");
+  const ReportDiff d = diff_reports(parse_report(a), parse_report(b));
+  const std::string text = d.to_text();
+  EXPECT_NE(text.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(text.find("1 regression"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace d500

@@ -1,0 +1,92 @@
+// bench_diff: compares two BenchReport JSON files and gates on regressions.
+//
+//   bench_diff old.json new.json [--rel-tol 0.02] [--scalar-tol 0.10]
+//
+// Exit codes: 0 = no regression, 1 = at least one metric regressed by the
+// paper's §V-B criterion (worse median, disjoint 95% CIs, beyond
+// tolerance), 2 = usage or parse error. The ci-bench-smoke workflow runs
+// this against committed baseline reports.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/json.hpp"
+#include "core/report.hpp"
+
+namespace {
+
+bool read_file(const char* path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_diff old.json new.json"
+               " [--rel-tol F] [--scalar-tol F]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* old_path = nullptr;
+  const char* new_path = nullptr;
+  d500::ReportDiffOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rel-tol") == 0 && i + 1 < argc) {
+      opts.rel_tol = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--scalar-tol") == 0 && i + 1 < argc) {
+      opts.scalar_tol = std::atof(argv[++i]);
+    } else if (old_path == nullptr) {
+      old_path = argv[i];
+    } else if (new_path == nullptr) {
+      new_path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (old_path == nullptr || new_path == nullptr) return usage();
+
+  std::string old_text, new_text, err;
+  if (!read_file(old_path, &old_text)) {
+    std::fprintf(stderr, "bench_diff: cannot read %s\n", old_path);
+    return 2;
+  }
+  if (!read_file(new_path, &new_text)) {
+    std::fprintf(stderr, "bench_diff: cannot read %s\n", new_path);
+    return 2;
+  }
+  const d500::Json old_report = d500::Json::parse(old_text, &err);
+  if (!err.empty()) {
+    std::fprintf(stderr, "bench_diff: %s: %s\n", old_path, err.c_str());
+    return 2;
+  }
+  const d500::Json new_report = d500::Json::parse(new_text, &err);
+  if (!err.empty()) {
+    std::fprintf(stderr, "bench_diff: %s: %s\n", new_path, err.c_str());
+    return 2;
+  }
+
+  const d500::ReportDiff diff =
+      d500::diff_reports(old_report, new_report, opts);
+  std::printf("comparing %s (%s @ %s)\n       vs %s (%s @ %s)\n\n", old_path,
+              old_report.str_or("bench", "?").c_str(),
+              old_report.find("provenance") != nullptr
+                  ? old_report.find("provenance")->str_or("git_sha", "?").c_str()
+                  : "?",
+              new_path, new_report.str_or("bench", "?").c_str(),
+              new_report.find("provenance") != nullptr
+                  ? new_report.find("provenance")->str_or("git_sha", "?").c_str()
+                  : "?");
+  std::printf("%s", diff.to_text().c_str());
+  if (!diff.comparable) return 2;
+  return diff.regressions > 0 ? 1 : 0;
+}
