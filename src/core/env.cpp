@@ -77,6 +77,40 @@ std::string perf_setting() {
   return v != nullptr ? std::string(v) : std::string("auto");
 }
 
+std::int64_t serve_max_batch() {
+  if (const char* v = std::getenv("D500_SERVE_MAX_BATCH")) {
+    const auto n = std::strtoll(v, nullptr, 10);
+    if (n > 0) return n;
+  }
+  return 32;
+}
+
+std::int64_t serve_deadline_us() {
+  if (const char* v = std::getenv("D500_SERVE_DEADLINE_US")) {
+    const auto n = std::strtoll(v, nullptr, 10);
+    if (n > 0) return n;
+  }
+  return 2000;
+}
+
+int serve_sessions_setting() {
+  if (const char* v = std::getenv("D500_SERVE_SESSIONS")) {
+    const auto n = std::strtol(v, nullptr, 10);
+    if (n > 0) return static_cast<int>(n);
+  }
+  return 2;
+}
+
+std::string serve_policy_setting() {
+  const char* v = std::getenv("D500_SERVE_POLICY");
+  return v != nullptr ? std::string(v) : std::string("adaptive");
+}
+
+std::string serve_buckets_setting() {
+  const char* v = std::getenv("D500_SERVE_BUCKETS");
+  return v != nullptr ? std::string(v) : std::string("1,2,4,8,16,32");
+}
+
 std::size_t trace_buffer_records() {
   if (const char* v = std::getenv("D500_TRACE_BUFSZ")) {
     const auto n = std::strtoull(v, nullptr, 10);

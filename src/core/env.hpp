@@ -89,4 +89,31 @@ bool metrics_setting();
 /// syscall). Read fresh on every call (tests flip it per-process).
 std::string perf_setting();
 
+// Inference-serving knobs (src/serve). All read fresh on every call: tests
+// and the serving bench flip policies per-process.
+
+/// Dynamic-batching cap (D500_SERVE_MAX_BATCH, default 32): the most
+/// single-sample requests one launch may coalesce. Clamped by the session's
+/// largest plan bucket.
+std::int64_t serve_max_batch();
+
+/// Batching deadline in microseconds (D500_SERVE_DEADLINE_US, default
+/// 2000): a queued request never waits longer than this for its batch to
+/// fill before the deadline/adaptive policies launch early.
+std::int64_t serve_deadline_us();
+
+/// Session count (D500_SERVE_SESSIONS, default 2): how many
+/// InferenceSessions a SessionPool runs concurrently.
+int serve_sessions_setting();
+
+/// Batching policy string (D500_SERVE_POLICY, default "adaptive"):
+/// "none" | "fixed" | "deadline" | "adaptive" (serve/pool parses it;
+/// unknown values fall back to "adaptive").
+std::string serve_policy_setting();
+
+/// Plan-cache bucket list (D500_SERVE_BUCKETS, default "1,2,4,8,16,32"):
+/// comma-separated batch sizes the session precompiles plans for; requests
+/// pad up to the nearest bucket (serve/session parses it).
+std::string serve_buckets_setting();
+
 }  // namespace d500

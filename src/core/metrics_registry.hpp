@@ -142,6 +142,11 @@ class Histogram {
   void record(double v);
 
   HistogramSnapshot snapshot() const;
+  /// Arbitrary-quantile convenience over a fresh shard merge: lets callers
+  /// report p99.9 (or any q) without the registry growing new hardcoded
+  /// percentile fields. Taking one snapshot() and querying it repeatedly is
+  /// cheaper when several quantiles of the same instant are needed.
+  double quantile(double q) const { return snapshot().quantile(q); }
   const std::string& name() const { return name_; }
   const std::string& unit() const { return unit_; }
   void reset();

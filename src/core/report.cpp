@@ -255,6 +255,11 @@ std::string BenchReport::to_json() const {
        static_cast<std::uint64_t>(bucket_cap_bytes() / 1024));
   w.kv("metrics", metrics_setting());
   w.kv("perf", perf_setting());
+  w.kv("serve_policy", serve_policy_setting());
+  w.kv("serve_max_batch", static_cast<std::int64_t>(serve_max_batch()));
+  w.kv("serve_deadline_us", static_cast<std::int64_t>(serve_deadline_us()));
+  w.kv("serve_sessions", serve_sessions_setting());
+  w.kv("serve_buckets", serve_buckets_setting());
   w.end_object();
   w.end_object();  // provenance
 
@@ -370,6 +375,13 @@ ReportDiff diff_reports(const Json& old_report, const Json& new_report,
   }
   d.comparable = true;
 
+  const auto resolve_better = [&opts](const std::string& metric,
+                                      Better stamped) {
+    for (const auto& [name, dir] : opts.direction)
+      if (name == metric) return dir;
+    return stamped;
+  };
+
   for (const auto& [name, om] : old_m->members) {
     ReportDiffLine line;
     line.name = name;
@@ -406,7 +418,8 @@ ReportDiff diff_reports(const Json& old_report, const Json& new_report,
     } else if (kind == "summary") {
       const SampleSummary os = summary_from_json(om);
       const SampleSummary ns = summary_from_json(*nm);
-      const Better better = better_from(nm->str_or("better", "lower"));
+      const Better better =
+          resolve_better(name, better_from(nm->str_or("better", "lower")));
       const double rel = os.median != 0.0
                              ? (ns.median - os.median) / os.median
                              : 0.0;
@@ -433,7 +446,8 @@ ReportDiff diff_reports(const Json& old_report, const Json& new_report,
     } else {  // scalar
       const double ov = om.num_or("value", 0.0);
       const double nv = nm->num_or("value", 0.0);
-      const Better better = better_from(nm->str_or("better", "none"));
+      const Better better =
+          resolve_better(name, better_from(nm->str_or("better", "none")));
       const double rel = ov != 0.0 ? (nv - ov) / ov : 0.0;
       const bool worse = better == Better::kLower   ? rel > 0.0
                          : better == Better::kHigher ? rel < 0.0

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/perf.hpp"
@@ -126,6 +127,12 @@ struct ReportDiffOptions {
   double rel_tol = 0.02;
   /// Relative tolerance for directional scalar metrics.
   double scalar_tol = 0.10;
+  /// Per-metric direction overrides (bench_diff --direction name=lower).
+  /// Takes precedence over the direction stamped in the report, so the
+  /// CI-overlap gate can treat lower-is-better metrics (latency
+  /// percentiles in BENCH_serving.json) as such even when an emitter left
+  /// them informational — and can silence a stamped direction with kNone.
+  std::vector<std::pair<std::string, Better>> direction;
 };
 
 struct ReportDiff {

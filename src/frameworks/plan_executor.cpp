@@ -731,6 +731,15 @@ TensorMap PlanExecutor::inference(const TensorMap& feeds) {
   return out;
 }
 
+const TensorMap& PlanExecutor::inference_step(const TensorMap& feeds) {
+  if (has_events()) fire({EventPoint::kBeforeInference, -1, -1, net_.name(), 0.0});
+  compile(feeds, /*training=*/false);
+  run_forward(feeds);
+  if (has_events()) fire({EventPoint::kAfterInference, -1, -1, net_.name(), 0.0});
+  refresh_outputs_view();
+  return outputs_view_;
+}
+
 const TensorMap& PlanExecutor::step(const TensorMap& feeds,
                                     const std::string& loss_value) {
   if (has_events()) fire({EventPoint::kBeforeInference, -1, -1, net_.name(), 0.0});

@@ -115,6 +115,14 @@ class PlanExecutor : public GraphExecutor {
   const TensorMap& step(const TensorMap& feeds,
                         const std::string& loss_value = "");
 
+  /// Zero-copy forward-only step: like inference(), but the returned
+  /// outputs are borrowed views into the executor's compiled buffers —
+  /// valid until the next run or recompile — so a warm call allocates
+  /// nothing (inference() deep-copies every output). This is the serving
+  /// hot path: an InferenceSession (src/serve) issues one inference_step
+  /// per coalesced batch. Reuses a training compile when one is live.
+  const TensorMap& inference_step(const TensorMap& feeds);
+
   const ExecOptions& options() const { return options_; }
 
   /// Memory-plan footprint of the last compile (0 until compiled or when

@@ -1,0 +1,80 @@
+#include "serve/loadgen.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace d500::serve {
+
+LoadGenResult run_open_loop(SessionPool& pool, const LoadGenOptions& opts,
+                            const float* samples, std::int64_t nsamples) {
+  D500_CHECK_MSG(opts.requests > 0 && opts.rate_rps > 0.0 && nsamples > 0,
+                 "serve: loadgen needs positive requests/rate/samples");
+  const std::int64_t n = opts.requests;
+  const std::int64_t in_elems = pool.input_elems();
+  const std::int64_t out_elems = pool.output_elems();
+
+  // Pre-draw the whole arrival schedule (exponential gaps) and preallocate
+  // every request + reply buffer so the submit loop does no work that could
+  // distort the schedule.
+  Rng rng(opts.seed);
+  std::vector<std::int64_t> scheduled(static_cast<std::size_t>(n));
+  const double mean_gap_ns = 1e9 / opts.rate_rps;
+  std::vector<SessionPool::Request> reqs(static_cast<std::size_t>(n));
+  std::vector<float> replies(static_cast<std::size_t>(n * out_elems));
+
+  const std::int64_t t0 = serve_now_ns() + 1000000;  // 1 ms lead-in
+  std::int64_t t = t0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    double u = 0.0;
+    do { u = rng.uniform(); } while (u <= 1e-12);
+    t += static_cast<std::int64_t>(-std::log(u) * mean_gap_ns);
+    scheduled[static_cast<std::size_t>(i)] = t;
+    reqs[static_cast<std::size_t>(i)].input =
+        samples + (i % nsamples) * in_elems;
+    reqs[static_cast<std::size_t>(i)].output =
+        replies.data() + i * out_elems;
+  }
+
+  for (std::int64_t i = 0; i < n; ++i) {
+    // Hold each submit to its scheduled instant: coarse sleep until close,
+    // then a yielding spin for the remainder. Plain sleep_for overshoots
+    // by scheduler quanta (thinning the offered load); a hard spin would
+    // starve the pool workers on low-core hosts — yield() keeps the
+    // schedule tight while letting workers drain during the wait.
+    const std::int64_t due = scheduled[static_cast<std::size_t>(i)];
+    const std::int64_t now = serve_now_ns();
+    if (due - now > 200000)
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(due - now - 100000));
+    while (serve_now_ns() < due) std::this_thread::yield();
+    const bool ok = pool.submit(&reqs[static_cast<std::size_t>(i)]);
+    D500_CHECK_MSG(ok, "serve: pool rejected request " << i);
+  }
+
+  // Drain: close the queue so partial batches flush (the fixed policy's
+  // tail would otherwise wait forever), then collect every reply.
+  pool.shutdown();
+
+  LoadGenResult res;
+  res.latency_s.reserve(static_cast<std::size_t>(n));
+  std::int64_t last_done = t0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto& r = reqs[static_cast<std::size_t>(i)];
+    pool.wait(r);
+    res.latency_s.push_back(
+        static_cast<double>(r.done_ns - scheduled[static_cast<std::size_t>(i)]) *
+        1e-9);
+    last_done = std::max(last_done, r.done_ns);
+  }
+  res.completed = n;
+  res.duration_s = static_cast<double>(last_done - scheduled.front()) * 1e-9;
+  res.throughput_rps =
+      res.duration_s > 0.0 ? static_cast<double>(n) / res.duration_s : 0.0;
+  return res;
+}
+
+}  // namespace d500::serve

@@ -1,0 +1,41 @@
+// Open-loop Poisson load generator for SessionPool SLO benchmarks.
+//
+// Open-loop means arrival times are scheduled up front from the target rate
+// and never react to completions: when the server falls behind, requests
+// queue and their measured latency grows, instead of the generator slowing
+// down and hiding the backlog. Latency is measured from each request's
+// *scheduled* arrival to its completion, so generator scheduling jitter
+// inflates the numbers rather than masking queueing delay (the
+// coordinated-omission-free convention).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/pool.hpp"
+
+namespace d500::serve {
+
+struct LoadGenOptions {
+  std::int64_t requests = 1000;
+  double rate_rps = 1000.0;      // mean Poisson arrival rate
+  std::uint64_t seed = 0x5eed;   // inter-arrival stream (deterministic)
+};
+
+struct LoadGenResult {
+  std::int64_t completed = 0;
+  double duration_s = 0.0;        // first scheduled arrival -> last done
+  double throughput_rps = 0.0;    // completed / duration_s
+  std::vector<double> latency_s;  // per request: scheduled arrival -> done
+};
+
+/// Drives `pool` (already start()ed) with `opts.requests` arrivals at
+/// exponential inter-arrival gaps, cycling request payloads through the
+/// `nsamples` rows of `samples` (each pool.input_elems() floats). After the
+/// last submit the pool is shut down — the drain guarantee completes every
+/// accepted request — and all replies are awaited. The pool is NOT
+/// restartable afterwards; benches build a fresh pool per trial.
+LoadGenResult run_open_loop(SessionPool& pool, const LoadGenOptions& opts,
+                            const float* samples, std::int64_t nsamples);
+
+}  // namespace d500::serve

@@ -1,0 +1,136 @@
+#include "serve/session.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/error.hpp"
+#include "graph/visitor.hpp"
+
+namespace d500::serve {
+
+std::int64_t serve_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::vector<std::int64_t> parse_buckets(const std::string& spec) {
+  std::vector<std::int64_t> out;
+  const char* p = spec.c_str();
+  while (*p != '\0') {
+    char* end = nullptr;
+    const long long v = std::strtoll(p, &end, 10);
+    if (end == p) break;  // not a number: reject the whole spec
+    if (v > 0) out.push_back(v);
+    p = end;
+    while (*p == ',' || *p == ' ') ++p;
+  }
+  if (*p != '\0' || out.empty()) out = {1, 2, 4, 8, 16, 32};
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  if (out.front() != 1) out.insert(out.begin(), 1);
+  return out;
+}
+
+InferenceSession::InferenceSession(const Model& model,
+                                   std::vector<std::int64_t> buckets,
+                                   std::string name)
+    : buckets_(std::move(buckets)) {
+  D500_CHECK_MSG(!buckets_.empty() && buckets_.front() >= 1,
+                 "serve: empty bucket list");
+  D500_CHECK_MSG(model.graph_inputs.size() == 1,
+                 "serve: model must have exactly one graph input, got "
+                     << model.graph_inputs.size());
+  D500_CHECK_MSG(!model.graph_outputs.empty(),
+                 "serve: model declares no outputs");
+  input_name_ = model.graph_inputs.front();
+  output_name_ = model.graph_outputs.front();
+
+  const Shape& declared = model.input_shapes.at(input_name_);
+  D500_CHECK_MSG(declared.size() >= 1,
+                 "serve: input '" << input_name_ << "' has no batch axis");
+  Shape sample(declared.begin() + 1, declared.end());
+  input_elems_ = 1;
+  for (const std::int64_t d : sample) input_elems_ *= d;
+
+  dispatches_.assign(buckets_.size(), 0);
+  plans_.reserve(buckets_.size());
+  for (std::size_t bi = 0; bi < buckets_.size(); ++bi) {
+    BucketPlan plan;
+    plan.batch = buckets_[bi];
+    Shape batched{plan.batch};
+    batched.insert(batched.end(), sample.begin(), sample.end());
+    plan.feeds[input_name_] = Tensor(batched);
+    // Each bucket instantiates its own Network from the shared Model (same
+    // initialized weights, fresh operator instances): PlanExecutor caches
+    // one compiled plan per executor, so one executor per bucket IS the
+    // plan cache. Eval mode pins the row-independence the determinism
+    // contract needs (BatchNorm uses stored stats, Dropout is identity).
+    Network net = build_network(model);
+    net.set_training(false);
+    plan.exec = std::make_unique<PlanExecutor>(
+        std::move(net), name + "#b" + std::to_string(plan.batch),
+        ExecOptions{});
+    // Compile + warm now: two steps so every lazily-created buffer (first
+    // touch, histogram shards for this thread) exists before real traffic.
+    plan.exec->inference_step(plan.feeds);
+    const TensorMap& out = plan.exec->inference_step(plan.feeds);
+    auto oit = out.find(output_name_);
+    D500_CHECK_MSG(oit != out.end(),
+                   "serve: output '" << output_name_ << "' not produced");
+    const Shape& oshape = oit->second.shape();
+    D500_CHECK_MSG(!oshape.empty() && oshape[0] == plan.batch,
+                   "serve: output '" << output_name_
+                       << "' does not carry the batch axis");
+    const std::int64_t row = oit->second.elements() / plan.batch;
+    if (bi == 0) {
+      output_elems_ = row;
+    } else {
+      D500_CHECK_MSG(row == output_elems_,
+                     "serve: output row size varies across buckets");
+    }
+    plans_.push_back(std::move(plan));
+  }
+}
+
+std::int64_t InferenceSession::bucket_for(std::int64_t n) const {
+  D500_CHECK_MSG(n >= 1 && n <= buckets_.back(),
+                 "serve: batch " << n << " outside bucket range [1, "
+                                 << buckets_.back() << "]");
+  const auto it = std::lower_bound(buckets_.begin(), buckets_.end(), n);
+  return *it;
+}
+
+void InferenceSession::run_batch(Request* const* reqs, std::int64_t n) {
+  const std::int64_t bucket = bucket_for(n);
+  const auto bi = static_cast<std::size_t>(
+      std::lower_bound(buckets_.begin(), buckets_.end(), bucket) -
+      buckets_.begin());
+  BucketPlan& plan = plans_[bi];
+  ++dispatches_[bi];
+  padded_rows_ += bucket - n;
+
+  // Stage request rows into the persistent feed tensor. Rows n..bucket-1
+  // keep whatever a previous batch left there: row independence (header
+  // contract) makes padding content irrelevant to the real rows.
+  Tensor& feed = plan.feeds[input_name_];
+  float* dst = feed.data();
+  const std::size_t row_bytes = static_cast<std::size_t>(input_elems_) * 4;
+  for (std::int64_t i = 0; i < n; ++i)
+    std::memcpy(dst + i * input_elems_, reqs[i]->input, row_bytes);
+
+  const TensorMap& out = plan.exec->inference_step(plan.feeds);
+
+  // Slice replies: real rows only, padding rows are discarded here.
+  const float* src = out.at(output_name_).data();
+  const std::size_t out_bytes = static_cast<std::size_t>(output_elems_) * 4;
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::memcpy(reqs[i]->output, src + i * output_elems_, out_bytes);
+    reqs[i]->done_ns = serve_now_ns();
+    reqs[i]->done.store(true, std::memory_order_release);
+  }
+}
+
+}  // namespace d500::serve

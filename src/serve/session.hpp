@@ -1,0 +1,130 @@
+// InferenceSession: a forward-only serving wrapper around PlanExecutor
+// with a shape-bucketed plan cache.
+//
+// The training stack compiles one plan per feed signature, so a serving
+// tier that batched requests naively would recompile (slot tables, memory
+// plan, weight panels) every time the coalesced batch size changed — and
+// the first request at each new size would pay the full compile. The
+// session instead precompiles a plan for each batch size in a configurable
+// bucket list (default 1/2/4/8/16/32, D500_SERVE_BUCKETS): one forward-only
+// PlanExecutor per bucket, each warmed at construction. A batch of k
+// requests is padded up to the nearest bucket b >= k, executed through that
+// bucket's zero-alloc inference_step(), and rows k..b-1 are sliced off
+// before replies are written — so no warm request ever triggers a
+// recompile or a heap allocation.
+//
+// Determinism contract: a served request's output is bitwise identical
+// whether it ran solo or coalesced into any batch. This holds because the
+// session serves eval-mode graphs whose per-row computation is independent
+// of the other rows (Linear/MatMul/Conv compute each output row from its
+// input row with a fixed-order reduction; Softmax, activations, pooling
+// and eval-mode BatchNorm are row-local), and kernel work decomposition is
+// a pure function of the problem shape, never of thread count. Padding
+// rows are therefore free to carry stale payloads from earlier batches:
+// their values never flow into real rows. tests/test_serving proves the
+// contract; training-mode graphs (batch-coupled BatchNorm) are out of
+// scope for serving.
+//
+// Thread compatibility: a session is single-owner (no internal locking).
+// SessionPool (serve/pool) runs one session per worker thread. Kernels run
+// serially inside each session (ExecOptions default) — serving parallelism
+// comes from N sessions executing concurrently, which also keeps the
+// zero-alloc and determinism guarantees independent of pool sizing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frameworks/plan_executor.hpp"
+#include "graph/model.hpp"
+
+namespace d500::serve {
+
+/// Parses a D500_SERVE_BUCKETS-style comma list ("1,2,4,8") into a sorted,
+/// deduplicated bucket list. Invalid or empty specs yield the default
+/// 1/2/4/8/16/32 ladder; a leading 1 is enforced so solo requests always
+/// have an exact plan.
+std::vector<std::int64_t> parse_buckets(const std::string& spec);
+
+class InferenceSession {
+ public:
+  /// Builds one forward-only executor per bucket from `model` (each gets
+  /// its own Network instantiation, switched to eval mode) and warms every
+  /// plan so the first real request runs on the hot path. The model must
+  /// have exactly one graph input whose leading dimension is the batch
+  /// axis; replies carry the model's first declared output.
+  InferenceSession(const Model& model, std::vector<std::int64_t> buckets,
+                   std::string name);
+
+  /// Floats per request input/output row.
+  std::int64_t input_elems() const { return input_elems_; }
+  std::int64_t output_elems() const { return output_elems_; }
+  std::int64_t max_batch() const { return buckets_.back(); }
+  const std::vector<std::int64_t>& buckets() const { return buckets_; }
+  const std::string& output_name() const { return output_name_; }
+
+  /// Smallest precompiled bucket >= n (n must be in [1, max_batch()]).
+  std::int64_t bucket_for(std::int64_t n) const;
+
+  /// Executes `n` single-sample requests (1 <= n <= max_batch()) as one
+  /// padded batch: copies each request's input into a row of the bucket's
+  /// persistent feed tensor, runs the precompiled plan, copies each output
+  /// row back into the request's reply buffer, stamps done_ns and releases
+  /// the done flag. Warm calls perform zero heap allocations.
+  ///
+  /// `reqs` entries must outlive the call and carry input/output buffers
+  /// of input_elems()/output_elems() floats.
+  struct Request;
+  void run_batch(Request* const* reqs, std::int64_t n);
+
+  /// Plan-cache observability: dispatches per bucket index (every launch
+  /// is a hit on some bucket — misses cannot happen after construction,
+  /// which is the point), total padding rows executed-and-discarded, and
+  /// the compile count (one per bucket, at construction).
+  std::int64_t dispatches(std::size_t bucket_index) const {
+    return dispatches_[bucket_index];
+  }
+  std::int64_t padded_rows() const { return padded_rows_; }
+  std::int64_t plans_compiled() const {
+    return static_cast<std::int64_t>(buckets_.size());
+  }
+
+ private:
+  std::vector<std::int64_t> buckets_;     // ascending, unique, >= 1
+  std::string input_name_;
+  std::string output_name_;
+  std::int64_t input_elems_ = 0;
+  std::int64_t output_elems_ = 0;
+  // One compiled plan per bucket. The executor holds the Network; the feed
+  // map holds the persistent [bucket, sample...] staging tensor requests
+  // are copied into (unique_ptr keeps executor addresses stable — compiled
+  // plans hold self-referential pointer tables).
+  struct BucketPlan {
+    std::int64_t batch = 0;
+    std::unique_ptr<PlanExecutor> exec;
+    TensorMap feeds;
+  };
+  std::vector<BucketPlan> plans_;
+  std::vector<std::int64_t> dispatches_;
+  std::int64_t padded_rows_ = 0;
+};
+
+/// One single-sample serving request. The client owns the payload buffers
+/// and the request object; the session writes `output`, stamps `done_ns`,
+/// and release-stores `done` (clients acquire-load it — SessionPool::wait
+/// wraps that in a condition variable).
+struct InferenceSession::Request {
+  const float* input = nullptr;   // input_elems() floats
+  float* output = nullptr;        // output_elems() floats, written before done
+  std::int64_t arrival_ns = 0;    // stamped by SessionPool::submit
+  std::int64_t done_ns = 0;       // stamped by the session at completion
+  std::atomic<bool> done{false};
+};
+
+/// Steady-clock nanoseconds; the one time domain for arrival/done stamps.
+std::int64_t serve_now_ns();
+
+}  // namespace d500::serve

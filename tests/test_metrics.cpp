@@ -76,6 +76,68 @@ TEST_F(MetricsTest, PercentilesWithinOneBucketOfExact) {
   }
 }
 
+TEST_F(MetricsTest, ArbitraryQuantileMatchesSnapshotAtExtremes) {
+  // Histogram::quantile(q) is the arbitrary-quantile API serving SLO
+  // reports use for p99.9: it must agree with a fresh snapshot and stay
+  // within one bucket of the exact order statistic out in the tail.
+  Histogram& h = MetricsRegistry::instance().histogram("test.extreme");
+  Rng rng(1234);
+  std::vector<double> values;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = std::exp(rng.uniform() * std::log(1e9)) + 1.0;
+    values.push_back(v);
+    h.record(v);
+  }
+  const HistogramSnapshot snap = h.snapshot();
+  for (const double q : {0.001, 0.5, 0.99, 0.999, 0.9999, 1.0}) {
+    const double exact = quantile(values, q);
+    const double est = h.quantile(q);
+    EXPECT_EQ(est, snap.quantile(q)) << "q=" << q;
+    EXPECT_LE(std::abs(Histogram::bucket_of(est) - Histogram::bucket_of(exact)),
+              1)
+        << "q=" << q << " exact=" << exact << " est=" << est;
+  }
+  // Degenerate q clamps to the extreme samples' buckets rather than
+  // over/underflowing rank arithmetic.
+  EXPECT_GT(h.quantile(0.0), 0.0);
+  EXPECT_LE(Histogram::bucket_of(h.quantile(1.0)),
+            Histogram::bucket_of(snap.max) + 1);
+}
+
+TEST_F(MetricsTest, ExtremeQuantilesSurviveCrossShardMerge) {
+  // A p99.9 whose tail samples all land on ONE thread's shard must still
+  // surface after the merge: record a bulk of small values from several
+  // threads and a handful of huge outliers from one more, then check the
+  // extreme quantiles see the outliers.
+  Histogram& h = MetricsRegistry::instance().histogram("test.shardtail");
+  constexpr int kThreads = 4;
+  constexpr int kBulkPerThread = 24975;  // 4 * 24975 = 99900 small samples
+  constexpr int kOutliers = 100;         // exactly the top 0.1%
+  std::vector<std::thread> ts;
+  ts.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&h, t] {
+      Rng rng(static_cast<std::uint64_t>(t) + 99);
+      for (int i = 0; i < kBulkPerThread; ++i)
+        h.record(1000.0 + rng.uniform() * 1000.0);  // [1e3, 2e3)
+    });
+  }
+  ts.emplace_back([&h] {
+    for (int i = 0; i < kOutliers; ++i) h.record(1e9);
+  });
+  for (auto& t : ts) t.join();
+
+  const HistogramSnapshot snap = h.snapshot();
+  ASSERT_EQ(snap.count,
+            static_cast<std::uint64_t>(kThreads * kBulkPerThread + kOutliers));
+  // p99.9 sits exactly at the outlier boundary; p99.95 and p100 are deep
+  // inside it. p99 must still be bulk-sized.
+  EXPECT_LT(snap.quantile(0.99), 3000.0);
+  EXPECT_GT(snap.quantile(0.9995), 1e8);
+  EXPECT_GT(snap.quantile(1.0), 1e8);
+  EXPECT_EQ(snap.max, 1e9);
+}
+
 TEST_F(MetricsTest, SnapshotSumMinMaxExact) {
   Histogram& h = MetricsRegistry::instance().histogram("test.sum");
   double sum = 0.0;

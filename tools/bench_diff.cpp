@@ -1,6 +1,13 @@
 // bench_diff: compares two BenchReport JSON files and gates on regressions.
 //
 //   bench_diff old.json new.json [--rel-tol 0.02] [--scalar-tol 0.10]
+//              [--direction metric=lower|higher|none]...
+//
+// --direction overrides the improvement direction stamped in the report
+// for one metric (repeatable). Latency percentiles are lower-is-better,
+// throughput is higher-is-better; the flag lets the CI gate apply the
+// §V-B overlap criterion in the right direction for both shapes in
+// BENCH_serving.json, or mute a metric entirely with `=none`.
 //
 // Exit codes: 0 = no regression, 1 = at least one metric regressed by the
 // paper's §V-B criterion (worse median, disjoint 95% CIs, beyond
@@ -12,6 +19,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "core/json.hpp"
 #include "core/report.hpp"
@@ -30,8 +38,28 @@ bool read_file(const char* path, std::string* out) {
 int usage() {
   std::fprintf(stderr,
                "usage: bench_diff old.json new.json"
-               " [--rel-tol F] [--scalar-tol F]\n");
+               " [--rel-tol F] [--scalar-tol F]"
+               " [--direction metric=lower|higher|none]...\n");
   return 2;
+}
+
+/// Parses "metric=lower|higher|none" into a direction override.
+bool parse_direction(const char* arg,
+                     std::pair<std::string, d500::Better>* out) {
+  const char* eq = std::strchr(arg, '=');
+  if (eq == nullptr || eq == arg) return false;
+  const std::string dir(eq + 1);
+  if (dir == "lower") {
+    out->second = d500::Better::kLower;
+  } else if (dir == "higher") {
+    out->second = d500::Better::kHigher;
+  } else if (dir == "none") {
+    out->second = d500::Better::kNone;
+  } else {
+    return false;
+  }
+  out->first.assign(arg, eq - arg);
+  return true;
 }
 
 }  // namespace
@@ -45,6 +73,10 @@ int main(int argc, char** argv) {
       opts.rel_tol = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--scalar-tol") == 0 && i + 1 < argc) {
       opts.scalar_tol = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--direction") == 0 && i + 1 < argc) {
+      std::pair<std::string, d500::Better> dir;
+      if (!parse_direction(argv[++i], &dir)) return usage();
+      opts.direction.push_back(std::move(dir));
     } else if (old_path == nullptr) {
       old_path = argv[i];
     } else if (new_path == nullptr) {
