@@ -192,6 +192,86 @@ int run() {
   }
   simd::set_kernel_dispatch(saved);
 
+  // -- Epilogue fusion sweep ------------------------------------------------
+  // Linear-shaped GEMM (Y = X W^T + bias, then an activation chain) with the
+  // epilogue fused into the tile store (one kernel launch) vs the post-GEMM
+  // sweeps (D500_GEMM_EPILOGUE=post, the pre-fusion path). Two regimes:
+  // the deep-K highlighted size (compute-bound — the epilogue is a small
+  // fraction of the work, so fusion is roughly neutral there) and a
+  // shallow-K/large-output shape where every post sweep is a DRAM round
+  // trip over Y — the regime tile-store fusion targets.
+  // Pre-packed weights, native dispatch.
+  std::cout << "\n-- GEMM epilogue: fused tile-store vs post sweeps "
+            << "(Linear fwd, prepacked W) --\n";
+  struct EpiLeg {
+    std::string name;
+    double median_s = 0.0;
+    double gflops = 0.0;
+  };
+  std::vector<EpiLeg> epi_legs;
+  const GemmSize epi_sizes[] = {
+      hs,                  // deep-K, compute-bound
+      {4096, 64, 64},      // shallow-K: 1 MB output, sweeps hit DRAM
+  };
+  const EpilogueMode saved_mode = gemm_epilogue_mode();
+  for (const GemmSize& es : epi_sizes) {
+    const std::string size_tag = "M" + std::to_string(es.M) + "N" +
+                                 std::to_string(es.N) + "K" +
+                                 std::to_string(es.K);
+    const double eflops = static_cast<double>(gemm_flops(es.M, es.N, es.K));
+    Tensor X({es.M, es.K}), Wt({es.N, es.K}), bias({es.N}), Y({es.M, es.N});
+    X.fill_uniform(rng, -1, 1);
+    Wt.fill_uniform(rng, -1, 1);
+    bias.fill_uniform(rng, -1, 1);
+    std::vector<float> panels(
+        static_cast<std::size_t>(gemm_packed_b_elems(es.K, es.N)));
+    gemm_pack_bt(es.N, es.K, Wt.data(), panels.data());
+    const struct {
+      const char* name;
+      std::vector<Activation> chain;
+    } chains[] = {
+        {"bias", {}},
+        {"bias+relu", {Activation::kReLU}},
+        {"bias+chain4",
+         {Activation::kTanh, Activation::kSigmoid, Activation::kReLU,
+          Activation::kTanh}},
+    };
+    for (const auto& cs : chains) {
+      for (const EpilogueMode mode :
+           {EpilogueMode::kFused, EpilogueMode::kPost}) {
+        set_gemm_epilogue_mode(mode);
+        LinearOp op(GemmBackend::kPacked);
+        for (const Activation a : cs.chain) op.try_fuse_epilogue(a);
+        op.set_prepacked_w(panels.data(), Wt.data());
+        const ConstTensors lin{&X, &Wt, &bias};
+        op.forward(lin, {&Y});  // warmup
+        std::vector<double> ts;
+        ts.reserve(static_cast<std::size_t>(reruns));
+        for (int r = 0; r < reruns; ++r) {
+          Timer t;
+          op.forward(lin, {&Y});
+          ts.push_back(t.seconds());
+        }
+        const SampleSummary s = summarize(ts);
+        epi_legs.push_back({size_tag + "." + cs.name + "/" +
+                                epilogue_mode_name(mode),
+                            s.median, eflops / s.median * 1e-9});
+      }
+    }
+  }
+  set_gemm_epilogue_mode(saved_mode);
+  Table et({"size.epilogue/mode", "median", "GFLOP/s", "fused vs post"});
+  for (std::size_t i = 0; i < epi_legs.size(); i += 2) {
+    const EpiLeg& f = epi_legs[i];
+    const EpiLeg& p = epi_legs[i + 1];
+    et.add_row({f.name, Table::num(f.median_s * 1e3, 3) + " ms",
+                Table::num(f.gflops, 2),
+                Table::num(p.median_s / f.median_s, 2) + "x"});
+    et.add_row({p.name, Table::num(p.median_s * 1e3, 3) + " ms",
+                Table::num(p.gflops, 2), "-"});
+  }
+  std::cout << et.to_text();
+
   const bool hw_live = perf.perf_available();
   Table kt(hw_live
                ? std::vector<std::string>{"kernel/dispatch", "median",
@@ -226,6 +306,9 @@ int run() {
                       Better::kHigher);
     report.add_perf("gemm." + leg.name, leg.hw);
   }
+  for (const EpiLeg& leg : epi_legs)
+    report.add_scalar("epilogue." + leg.name + ".gflops", leg.gflops,
+                      "GFLOP/s", Better::kHigher);
   for (const auto& [name, v] : worst_linf)
     report.add_scalar("linf." + name, v, "abs");
   JsonWriter extra;

@@ -50,6 +50,11 @@ std::string gemm_backend_setting() {
   return v != nullptr ? std::string(v) : std::string("packed");
 }
 
+std::string gemm_epilogue_setting() {
+  const char* v = std::getenv("D500_GEMM_EPILOGUE");
+  return v != nullptr ? std::string(v) : std::string("fused");
+}
+
 bool overlap_comm_setting() { return env_flag("D500_OVERLAP"); }
 
 std::string passes_setting() {

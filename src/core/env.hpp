@@ -60,6 +60,13 @@ std::string kernel_dispatch_setting();
 /// "packed".
 std::string gemm_backend_setting();
 
+/// GEMM epilogue mode string (D500_GEMM_EPILOGUE): "fused" (default —
+/// bias/activation-chain epilogues apply in registers at microkernel tile
+/// store time) or "post" (the pre-fusion two-pass path: GEMM, then
+/// separate sweeps over C; kept as the differential oracle). Parsed once
+/// by ops/gemm; set_gemm_epilogue_mode overrides it programmatically.
+std::string gemm_epilogue_setting();
+
 /// Communication/compute overlap default (D500_OVERLAP): when set (and not
 /// "0"), distributed optimizers launch bucketed nonblocking allreduces
 /// during backprop instead of blocking ring allreduces after it. Read

@@ -2,8 +2,9 @@
 // (ReLU/Sigmoid/Tanh) collapses into one FusedElementwiseOp — one pass
 // over memory instead of m, with the backward recomputing the chain per
 // SIMD lane in registers. Runs after fuse-epilogue, so only chains the
-// epilogue pass could not absorb (length >= 2, or not behind a compute op)
-// remain. Bitwise-equal to the unfused chain: same SIMD kernels, same
+// epilogue pass could not absorb (not behind a compute op, or overflowing
+// its kMaxActivationChain slots) remain. Bitwise-equal to the unfused
+// chain: same SIMD kernels, same
 // evaluation order, +0.0 on the internal gradient hops (ops/fused.hpp).
 #include "graph/passes/pass.hpp"
 #include "ops/fused.hpp"

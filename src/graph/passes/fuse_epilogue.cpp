@@ -1,11 +1,14 @@
-// fuse-epilogue: MatMul/Linear/Conv2D followed by a single-consumer unary
-// activation folds into the compute op's epilogue — the activation runs in
-// place over the GEMM/conv output while it is still cache-resident, and
-// the op's backward converts dY to the pre-activation gradient before the
-// usual weight/input gradient kernels. Bit-identical to the unfused pair:
-// the epilogue uses the same SIMD activation kernels, and the backward's
-// leading +0.0f reproduces the executor's zeroed-scratch axpy hop on the
-// removed edge (ops/elementwise.hpp).
+// fuse-epilogue: MatMul/Linear/Conv2D followed by a single-consumer chain
+// of unary activations folds into the compute op's epilogue chain (up to
+// kMaxActivationChain links, absorbed link by link by the fixpoint loop
+// below). Under EpilogueMode::kFused the chain applies in registers at the
+// kernel's tile-store/scatter time — Linear/MatMul/Conv + bias + activation
+// chain compiles to ONE kernel launch with zero extra passes over the
+// output; under kPost (the differential oracle) it runs as the pre-fusion
+// in-place sweeps. Both are bit-identical to the unfused graph: same SIMD
+// activation kernels, and the backward gives every absorbed gradient hop
+// the +0.0f that reproduces the executor's zeroed-scratch axpy on the
+// removed edges (ops/elementwise.hpp EpilogueChain).
 #include "graph/passes/pass.hpp"
 #include "ops/conv2d.hpp"
 #include "ops/gemm.hpp"
@@ -14,24 +17,12 @@ namespace d500 {
 namespace passes {
 namespace {
 
-// Installs the epilogue when the node's operator supports one and has none
-// yet; returns false otherwise.
-bool try_set_epilogue(CustomOperator* op, Activation kind) {
-  if (auto* mm = dynamic_cast<MatMulOp*>(op)) {
-    if (mm->epilogue()) return false;
-    mm->set_epilogue(kind);
-    return true;
-  }
-  if (auto* lin = dynamic_cast<LinearOp*>(op)) {
-    if (lin->epilogue()) return false;
-    lin->set_epilogue(kind);
-    return true;
-  }
-  if (auto* conv = dynamic_cast<Conv2DOp*>(op)) {
-    if (conv->epilogue()) return false;
-    conv->set_epilogue(kind);
-    return true;
-  }
+// Appends one link to the node's epilogue chain when the operator supports
+// one and the chain has room; returns false otherwise.
+bool try_fuse(CustomOperator* op, Activation kind) {
+  if (auto* mm = dynamic_cast<MatMulOp*>(op)) return mm->try_fuse_epilogue(kind);
+  if (auto* lin = dynamic_cast<LinearOp*>(op)) return lin->try_fuse_epilogue(kind);
+  if (auto* conv = dynamic_cast<Conv2DOp*>(op)) return conv->try_fuse_epilogue(kind);
   return false;
 }
 
@@ -49,7 +40,7 @@ class FuseEpiloguePass : public GraphPass {
         if (next == nullptr) continue;
         const auto* act = dynamic_cast<const ActivationOp*>(next->op.get());
         if (act == nullptr) continue;
-        if (!try_set_epilogue(n.op.get(), act->kind())) continue;
+        if (!try_fuse(n.op.get(), act->kind())) continue;
 
         const std::string dead = next->name;
         std::vector<std::string> outs = next->outputs;

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "core/simd.hpp"
 #include "core/threadpool.hpp"
 
 namespace d500 {
@@ -115,9 +116,14 @@ void conv_direct(const Tensor& X, const Tensor& Wt, const Tensor& bias,
 // batch-scaling workspace behaviour (as in cuDNN's non-fused algorithms)
 // that the paper's micro-batching transformation (§V-C) exploits: splitting
 // the minibatch shrinks this buffer and removes OOMs.
+// `chain`/`chain_len`/`save_pre` are the op's fused epilogue: the bias add
+// was always part of the scatter below, and under EpilogueMode::kFused the
+// activation chain (plus the optional pre-chain save-out for the backward)
+// rides the same pass — per-element maps, so the result is bit-identical to
+// the post-sweep path at any dispatch mode or thread count.
 void conv_im2col(const Tensor& X, const Tensor& Wt, const Tensor& bias,
-                 Tensor& Y, const Conv2DParams& p,
-                 const float* prepacked_w) {
+                 Tensor& Y, const Conv2DParams& p, const float* prepacked_w,
+                 const Activation* chain, int chain_len, float* save_pre) {
   const std::int64_t N = X.dim(0), C = X.dim(1), H = X.dim(2), W = X.dim(3);
   const std::int64_t F = Wt.dim(0);
   const std::int64_t Ho = p.out_dim(H, p.kernel_h);
@@ -159,14 +165,32 @@ void conv_im2col(const Tensor& X, const Tensor& Wt, const Tensor& bias,
   // re-packing the filter panels when the plan executor cached them.
   gemm_packed_ex(F, N * spatial, K, 1.0f, Wt.data(), prepacked_w, col.data(),
                  nullptr, /*b_transposed=*/false, 0.0f, ybuf.data());
-  float* y = Y.data();
-  for (std::int64_t n = 0; n < N; ++n)
-    for (std::int64_t f = 0; f < F; ++f) {
-      const float b = bias.at(f);
-      const float* src = ybuf.data() + (f * N + n) * spatial;
-      float* dst = y + (n * F + f) * spatial;
-      for (std::int64_t s = 0; s < spatial; ++s) dst[s] = src[s] + b;
-    }
+  // Filter-major -> NCHW scatter with the bias (and, when fused, the
+  // activation chain) applied in flight. Each (n, f) plane is disjoint, so
+  // the decomposition is a pure function of the problem size.
+  float* const y = Y.data();
+  const float* const src0 = ybuf.data();
+  const float* const b = bias.data();
+  simd::dispatch([&](auto tag) {
+    using V = decltype(tag);
+    parallel_for(0, N * F, 1, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t nf = lo; nf < hi; ++nf) {
+        const std::int64_t n = nf / F;
+        const std::int64_t f = nf % F;
+        const float bf = b[f];
+        const float* src = src0 + (f * N + n) * spatial;
+        float* dst = y + nf * spatial;
+        float* pre = save_pre != nullptr ? save_pre + nf * spatial : nullptr;
+        simd::lanes<V>(0, spatial, [&](auto w, std::int64_t s) {
+          using W = decltype(w);
+          W v = W::loadu(src + s) + W::broadcast(bf);
+          if (pre != nullptr) v.storeu(pre + s);
+          for (int l = 0; l < chain_len; ++l) v = apply_activation(chain[l], v);
+          v.storeu(dst + s);
+        });
+      }
+    });
+  });
 }
 
 // Winograd F(2x2, 3x3): 4x4 input tiles, 2x2 output tiles.
@@ -330,31 +354,32 @@ void Conv2DOp::forward(const ConstTensors& inputs, const MutTensors& outputs) {
   const Tensor& W = *inputs[1];
   const Tensor& bias = *inputs[2];
   Tensor& Y = *outputs[0];
+  const bool fuse = backend_ == ConvBackend::kIm2col && !epilogue_.empty() &&
+                    gemm_epilogue_mode() == EpilogueMode::kFused;
   switch (backend_) {
     case ConvBackend::kDirect: conv_direct(X, W, bias, Y, params_); break;
     case ConvBackend::kIm2col:
       conv_im2col(X, W, bias, Y, params_,
                   prepacked_w_ != nullptr && prepacked_src_ == W.data()
                       ? prepacked_w_
+                      : nullptr,
+                  fuse ? epilogue_.chain().data() : nullptr,
+                  fuse ? epilogue_.size() : 0,
+                  fuse && epilogue_.needs_pre()
+                      ? epilogue_.ensure_pre(Y.elements())
                       : nullptr);
       break;
     case ConvBackend::kWinograd: conv_winograd(X, W, bias, Y, params_); break;
   }
-  if (epilogue_)
-    activation_forward_inplace(*epilogue_, Y.data(), Y.elements());
+  if (!fuse) epilogue_.forward_post(Y.data(), Y.elements());
 }
 
 void Conv2DOp::backward(const ConstTensors& grad_outputs,
                         const ConstTensors& fwd_inputs,
                         const ConstTensors& fwd_outputs,
                         const MutTensors& grad_inputs) {
-  const Tensor* gout = grad_outputs[0];
-  if (epilogue_) {
-    if (dpre_.shape() != gout->shape()) dpre_ = Tensor(gout->shape());
-    activation_backward_into(*epilogue_, gout->data(), fwd_outputs[0]->data(),
-                             dpre_.data(), gout->elements());
-    gout = &dpre_;
-  }
+  const Tensor* gout =
+      epilogue_.backward(grad_outputs[0], fwd_outputs[0]->data());
   const Tensor& dY = *gout;
   const Tensor& X = *fwd_inputs[0];
   const Tensor& Wt = *fwd_inputs[1];

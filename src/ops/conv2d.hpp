@@ -10,8 +10,6 @@
 // Backward always uses the im2col formulation (col2im for input gradients).
 #pragma once
 
-#include <optional>
-
 #include "ops/gemm.hpp"
 #include "ops/operator.hpp"
 
@@ -71,17 +69,24 @@ class Conv2DOp : public CustomOperator {
   /// used by the micro-batching memory model (Level 1).
   std::size_t workspace_bytes(const std::vector<Shape>& inputs) const;
 
-  /// Fused activation epilogue; see MatMulOp::set_epilogue.
-  void set_epilogue(Activation kind) { epilogue_ = kind; }
-  const std::optional<Activation>& epilogue() const { return epilogue_; }
+  /// Fused activation epilogue chain; see MatMulOp::try_fuse_epilogue.
+  /// Conv's im2col GEMM is filter-major ([F, N*spatial]) with bias per ROW
+  /// (per filter), so the chain cannot ride the per-column GemmEpilogue
+  /// descriptor; instead the im2col backend fuses bias + chain into the
+  /// filter-major -> NCHW scatter it already performs (still one pass over
+  /// Y, zero extra sweeps). Direct/winograd backends always run the
+  /// post-sweep path.
+  bool try_fuse_epilogue(Activation kind) { return epilogue_.try_push(kind); }
+  /// Drop the chain (FusedConvBn installs a transient eval-mode ReLU).
+  void clear_epilogue() { epilogue_.clear(); }
+  const EpilogueChain& epilogue() const { return epilogue_; }
 
  private:
   Conv2DParams params_;
   ConvBackend backend_;
   const float* prepacked_w_ = nullptr;
   const float* prepacked_src_ = nullptr;
-  std::optional<Activation> epilogue_;
-  Tensor dpre_;  // grow-only epilogue-backward scratch
+  EpilogueChain epilogue_;
 };
 
 /// im2col lowering: writes the [C*kh*kw, Ho*Wo] column matrix for one

@@ -8,30 +8,6 @@
 
 namespace d500 {
 
-namespace {
-// Chunk size for elementwise maps: large enough that chunk dispatch is noise,
-// small enough that mid-sized activations still spread across workers. A
-// multiple of every vector width, so only the final chunk has a scalar tail.
-constexpr std::int64_t kEwGrain = 16384;
-
-using simd::Vec1;
-
-// Run `body(tag, i)` over [0, n) in parallel chunks, full-width lanes with a
-// Vec1 tail inside each chunk (core/simd tail rule). The chunk grid depends
-// only on n, and lanes never cross a chunk boundary, so results are
-// bit-identical at any thread count.
-template <class F>
-void ew_map(std::int64_t n, F&& body) {
-  simd::dispatch([&](auto tag) {
-    using V = decltype(tag);
-    parallel_for(0, n, kEwGrain, [&](std::int64_t lo, std::int64_t hi) {
-      simd::lanes<V>(lo, hi, body);
-    });
-  });
-}
-
-}  // namespace
-
 void activation_forward_inplace(Activation kind, float* y, std::int64_t n) {
   switch (kind) {
     case Activation::kReLU:
@@ -83,6 +59,64 @@ void activation_backward_into(Activation kind, const float* dy, const float* y,
       });
       break;
   }
+}
+
+void activation_chain_backward_into(const Activation* chain, int len,
+                                    const float* dy, const float* x0,
+                                    float* dpre, std::int64_t n) {
+  D500_CHECK(len >= 1 &&
+             len <= static_cast<int>(kMaxActivationChain));
+  ew_map(n, [&](auto tag, std::int64_t i) {
+    using W = decltype(tag);
+    W vals[kMaxActivationChain + 1];
+    vals[0] = W::loadu(x0 + i);
+    for (int j = 1; j <= len; ++j)
+      vals[j] = apply_activation(chain[j - 1], vals[j - 1]);
+    W d = W::loadu(dy + i);
+    for (int j = len; j >= 1; --j) {
+      const W g = activation_grad(chain[j - 1], d, vals[j - 1], vals[j]);
+      d = W::zero() + g;  // every hop is internalized; see the header
+    }
+    d.storeu(dpre + i);
+  });
+}
+
+bool EpilogueChain::try_push(Activation kind) {
+  if (chain_.size() >= kMaxActivationChain) return false;
+  chain_.push_back(kind);
+  return true;
+}
+
+float* EpilogueChain::ensure_pre(std::int64_t n) {
+  if (pre_.elements() < n) pre_ = Tensor({n});
+  return pre_.data();
+}
+
+void EpilogueChain::forward_post(float* y, std::int64_t n) {
+  if (chain_.empty()) return;
+  if (needs_pre()) {
+    float* p = ensure_pre(n);
+    parallel_for(0, n, kEwGrain, [&](std::int64_t lo, std::int64_t hi) {
+      std::copy(y + lo, y + hi, p + lo);
+    });
+  }
+  for (Activation a : chain_) activation_forward_inplace(a, y, n);
+}
+
+const Tensor* EpilogueChain::backward(const Tensor* gout, const float* y) {
+  if (chain_.empty()) return gout;
+  if (dpre_.shape() != gout->shape()) dpre_ = Tensor(gout->shape());
+  const std::int64_t n = gout->elements();
+  if (chain_.size() == 1) {
+    activation_backward_into(chain_[0], gout->data(), y, dpre_.data(), n);
+  } else {
+    D500_CHECK_MSG(pre_.elements() >= n,
+                   "epilogue chain backward needs the pre-chain values "
+                   "saved by the most recent forward");
+    activation_chain_backward_into(chain_.data(), size(), gout->data(),
+                                   pre_.data(), dpre_.data(), n);
+  }
+  return &dpre_;
 }
 
 const char* activation_name(Activation a) {

@@ -7,48 +7,9 @@
 
 namespace d500 {
 
-namespace {
-
-// Same chunk grid as ops/elementwise: chunk layout is a pure function of n
-// and lanes never cross a chunk boundary, so results are bit-identical at
-// any thread count (and chunking cannot change per-element arithmetic for
-// these pure maps anyway).
-constexpr std::int64_t kEwGrain = 16384;
-
-template <class F>
-void ew_map(std::int64_t n, F&& body) {
-  simd::dispatch([&](auto tag) {
-    using V = decltype(tag);
-    parallel_for(0, n, kEwGrain, [&](std::int64_t lo, std::int64_t hi) {
-      simd::lanes<V>(lo, hi, body);
-    });
-  });
-}
-
-template <class W>
-W apply_activation(Activation a, W v) {
-  switch (a) {
-    case Activation::kReLU: return W::max(v, W::zero());
-    case Activation::kSigmoid: return simd::vsigmoid(v);
-    case Activation::kTanh: return simd::vtanh(v);
-  }
-  return v;
-}
-
-/// d(act)/d(pre) * d, from the chain's saved pre-activation x and
-/// post-activation y — the same expressions (and evaluation order) as
-/// ActivationOp::backward.
-template <class W>
-W activation_grad(Activation a, W d, W x, W y) {
-  switch (a) {
-    case Activation::kReLU: return W::select_gt_zero(x, d, W::zero());
-    case Activation::kSigmoid: return d * y * (W::broadcast(1.0f) - y);
-    case Activation::kTanh: return d * (W::broadcast(1.0f) - y * y);
-  }
-  return d;
-}
-
-}  // namespace
+// The per-lane chain kernels (apply_activation / activation_grad) and the
+// ew_map chunk grid are shared with the GEMM epilogue path via
+// ops/elementwise.hpp — one definition keeps every fused path bit-identical.
 
 // ---- FusedElementwiseOp ----------------------------------------------------
 
@@ -177,7 +138,13 @@ void FusedConvBnOp::forward(const ConstTensors& inputs,
     sub_in_.push_back(&b_folded_);
     sub_out_.clear();
     sub_out_.push_back(&Y);
+    // Eval mode needs no backward, so the ReLU can ride the conv's fused
+    // epilogue (one pass over Y on the im2col backend). Installed
+    // transiently: the training path must keep ReLU after the bn sweep.
+    if (with_relu_) conv_->try_fuse_epilogue(Activation::kReLU);
     conv_->forward(sub_in_, sub_out_);
+    if (with_relu_) conv_->clear_epilogue();
+    return;
   }
   if (with_relu_)
     activation_forward_inplace(Activation::kReLU, Y.data(), Y.elements());

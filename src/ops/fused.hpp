@@ -25,8 +25,9 @@ namespace d500 {
 class FusedElementwiseOp : public CustomOperator {
  public:
   /// Chains longer than this are split by the pass (the backward keeps the
-  /// per-lane intermediates in registers / on the stack).
-  static constexpr std::size_t kMaxChain = 8;
+  /// per-lane intermediates in registers / on the stack). Same bound as
+  /// the GEMM epilogue descriptor (ops/elementwise.hpp).
+  static constexpr std::size_t kMaxChain = kMaxActivationChain;
 
   explicit FusedElementwiseOp(std::vector<Activation> kinds);
 

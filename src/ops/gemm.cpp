@@ -1,6 +1,7 @@
 #include "ops/gemm.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <vector>
@@ -28,6 +29,28 @@ GemmBackend default_gemm_backend() {
     return GemmBackend::kPacked;
   }();
   return b;
+}
+
+namespace {
+std::atomic<EpilogueMode>& epilogue_mode_state() {
+  static std::atomic<EpilogueMode> mode{[] {
+    return gemm_epilogue_setting() == "post" ? EpilogueMode::kPost
+                                             : EpilogueMode::kFused;
+  }()};
+  return mode;
+}
+}  // namespace
+
+EpilogueMode gemm_epilogue_mode() {
+  return epilogue_mode_state().load(std::memory_order_relaxed);
+}
+
+void set_gemm_epilogue_mode(EpilogueMode m) {
+  epilogue_mode_state().store(m, std::memory_order_relaxed);
+}
+
+const char* epilogue_mode_name(EpilogueMode m) {
+  return m == EpilogueMode::kPost ? "post" : "fused";
 }
 
 namespace {
@@ -167,10 +190,23 @@ void pack_bt_panel(std::int64_t j0, std::int64_t cols, std::int64_t K,
 // All accumulation is per output element in ascending k with one fma per
 // step, and writeback is one fma per element in both the full-width and
 // the spill path — so results are identical for every instantiation V.
-template <class V>
+//
+// The optional bias (pre-offset to the tile's column window j0) applies per
+// element at store time, still in registers: x = fma(alpha, acc, c) +
+// bias[j]. A plain per-lane add has width-independent bits, so the fused
+// store is bitwise identical to a flat bias sweep after the GEMM — and the
+// spill path's Vec1 add matches the full-width path lane for lane.
+// HasBias is a compile-time split, not a runtime branch, so the bias-free
+// kernel compiles exactly as before the epilogue existed. The activation
+// chain deliberately does NOT run here: the polynomial bodies
+// (vsigmoid/vtanh) inlined into the store path measurably degrade the
+// k-loop's register allocation and serialize the chain per kNR-wide slice.
+// The chain instead runs per completed row block in gemm_packed_ex, while
+// the block is still L1-resident (see apply_block_epilogue).
+template <class V, bool HasBias>
 void micro_kernel(std::int64_t K, const float* Ap, const float* Bp,
                   float alpha, float* C, std::int64_t ldc, std::int64_t rows,
-                  std::int64_t cols) {
+                  std::int64_t cols, const float* bias) {
   constexpr int NV = static_cast<int>(kNR / V::width);
   V acc[kMR][NV];
   D500_UNROLL
@@ -194,11 +230,23 @@ void micro_kernel(std::int64_t K, const float* Ap, const float* Bp,
 
   if (cols == kNR) {
     const V alpha_v = V::broadcast(alpha);
+    [[maybe_unused]] V bv[NV];
+    if constexpr (HasBias) {
+      D500_UNROLL
+      for (int v = 0; v < NV; ++v) bv[v] = V::loadu(bias + v * V::width);
+    }
     for (std::int64_t r = 0; r < rows; ++r) {
       float* c = C + r * ldc;
-      for (int v = 0; v < NV; ++v) {
-        const V cv = V::loadu(c + v * V::width);
-        V::fma(alpha_v, acc[r][v], cv).storeu(c + v * V::width);
+      if constexpr (!HasBias) {
+        for (int v = 0; v < NV; ++v) {
+          const V cv = V::loadu(c + v * V::width);
+          V::fma(alpha_v, acc[r][v], cv).storeu(c + v * V::width);
+        }
+      } else {
+        for (int v = 0; v < NV; ++v) {
+          const V cv = V::loadu(c + v * V::width);
+          (V::fma(alpha_v, acc[r][v], cv) + bv[v]).storeu(c + v * V::width);
+        }
       }
     }
   } else {
@@ -207,21 +255,60 @@ void micro_kernel(std::int64_t K, const float* Ap, const float* Bp,
       for (int v = 0; v < NV; ++v)
         acc[r][v].storeu(buf + v * V::width);
       float* c = C + r * ldc;
-      for (std::int64_t j = 0; j < cols; ++j)
-        c[j] = std::fma(alpha, buf[j], c[j]);
+      if constexpr (!HasBias) {
+        for (std::int64_t j = 0; j < cols; ++j)
+          c[j] = std::fma(alpha, buf[j], c[j]);
+      } else {
+        for (std::int64_t j = 0; j < cols; ++j)
+          c[j] = (Vec1{std::fma(alpha, buf[j], c[j])} + Vec1{bias[j]}).v;
+      }
     }
   }
 }
 
 using MicroKernelFn = void (*)(std::int64_t, const float*, const float*, float,
-                               float*, std::int64_t, std::int64_t,
-                               std::int64_t);
+                               float*, std::int64_t, std::int64_t, std::int64_t,
+                               const float*);
 
-MicroKernelFn pick_micro_kernel() {
-  return simd::dispatch_simd() ? &micro_kernel<VecN> : &micro_kernel<Vec1>;
+MicroKernelFn pick_micro_kernel(bool has_bias) {
+  if (has_bias)
+    return simd::dispatch_simd() ? &micro_kernel<VecN, true>
+                                 : &micro_kernel<Vec1, true>;
+  return simd::dispatch_simd() ? &micro_kernel<VecN, false>
+                               : &micro_kernel<Vec1, false>;
+}
+
+// Runs the activation chain (and the optional pre-chain save-out the
+// backward pass needs for chains of length >= 2) over one completed row
+// block of C. The block — kMR full-width rows, i.e. a contiguous span of
+// n = rows * N floats — was just written by the microkernel sweeps of this
+// same parallel_for iteration, so it is still L1/L2-resident: the chain
+// costs no extra pass over C at DRAM distance even though it re-reads the
+// span. Applying the chain here instead of inside the tile store keeps the
+// polynomial bodies out of the microkernel (register allocation) and gives
+// each link a flat sweep with full instruction-level parallelism across
+// vectors, exactly like the unfused activation sweeps — and since every
+// per-lane map has width-independent bits, the result is bitwise identical
+// to those sweeps (the Vec1 tail included).
+void apply_block_epilogue(const GemmEpilogue* epi, float* c, float* pre,
+                          std::int64_t n) {
+  if (pre != nullptr) std::memcpy(pre, c, static_cast<std::size_t>(n) * sizeof(float));
+  simd::dispatch([&](auto tag) {
+    using V = decltype(tag);
+    for (int l = 0; l < epi->chain_len; ++l) {
+      const Activation a = epi->chain[l];
+      simd::lanes<V>(0, n, [&](auto w, std::int64_t i) {
+        using W = decltype(w);
+        apply_activation(a, W::loadu(c + i)).storeu(c + i);
+      });
+    }
+  });
 }
 
 }  // namespace
+
+std::int64_t gemm_micro_mr() { return kMR; }
+std::int64_t gemm_micro_nr() { return kNR; }
 
 std::int64_t gemm_packed_a_elems(std::int64_t M, std::int64_t K) {
   return (M + kMR - 1) / kMR * kMR * K;
@@ -267,7 +354,11 @@ void gemm_pack_bt(std::int64_t N, std::int64_t K, const float* Bt,
 void gemm_packed_ex(std::int64_t M, std::int64_t N, std::int64_t K,
                     float alpha, const float* A, const float* packedA,
                     const float* B, const float* packedB, bool b_transposed,
-                    float beta, float* C) {
+                    float beta, float* C, const GemmEpilogue* epi) {
+  if (epi != nullptr && !epi->active()) epi = nullptr;
+  D500_CHECK_MSG(epi == nullptr || beta == 0.0f,
+                 "gemm epilogue requires beta == 0 (each C element must be "
+                 "produced by exactly one tile store)");
   const std::int64_t mp = (M + kMR - 1) / kMR;
   const std::int64_t np = (N + kNR - 1) / kNR;
 
@@ -312,7 +403,10 @@ void gemm_packed_ex(std::int64_t M, std::int64_t N, std::int64_t K,
   // Compute: kMR-row blocks of C sweep every B panel; each block owns its
   // C rows end to end (beta scaling included), so blocks are independent
   // and the decomposition depends only on M.
-  const MicroKernelFn micro = pick_micro_kernel();
+  const float* const bias = epi != nullptr ? epi->bias : nullptr;
+  const bool block_epi =
+      epi != nullptr && (epi->chain_len > 0 || epi->save_pre != nullptr);
+  const MicroKernelFn micro = pick_micro_kernel(bias != nullptr);
   parallel_for(0, mp, 2, [&, pa, pb, micro](std::int64_t b0, std::int64_t b1) {
     for (std::int64_t blk = b0; blk < b1; ++blk) {
       const std::int64_t i0 = blk * kMR;
@@ -326,8 +420,14 @@ void gemm_packed_ex(std::int64_t M, std::int64_t N, std::int64_t K,
       for (std::int64_t p = 0; p < np; ++p) {
         const std::int64_t j0 = p * kNR;
         micro(K, pa + blk * K * kMR, pb + p * K * kNR, alpha, C + i0 * N + j0,
-              N, rows, std::min(kNR, N - j0));
+              N, rows, std::min(kNR, N - j0),
+              bias != nullptr ? bias + j0 : nullptr);
       }
+      if (block_epi)
+        apply_block_epilogue(
+            epi, C + i0 * N,
+            epi->save_pre != nullptr ? epi->save_pre + i0 * N : nullptr,
+            rows * N);
     }
   });
 }
@@ -479,27 +579,34 @@ void MatMulOp::forward(const ConstTensors& inputs, const MutTensors& outputs) {
   const bool use_prepacked = backend_ == GemmBackend::kPacked &&
                              prepacked_b_ != nullptr &&
                              prepacked_src_ == B.data();
+  const bool fuse = backend_ == GemmBackend::kPacked && !epilogue_.empty() &&
+                    gemm_epilogue_mode() == EpilogueMode::kFused;
+  if (fuse) {
+    // One kernel launch: the chain applies per row block while it is still
+    // cache-resident from the tile stores.
+    const GemmEpilogue epi{
+        nullptr, epilogue_.chain().data(), epilogue_.size(),
+        epilogue_.needs_pre() ? epilogue_.ensure_pre(C.elements()) : nullptr};
+    gemm_packed_ex(M, N, K, 1.0f, A.data(), nullptr, B.data(),
+                   use_prepacked ? prepacked_b_ : nullptr, false, 0.0f,
+                   C.data(), &epi);
+    return;
+  }
   if (use_prepacked) {
     gemm_packed_ex(M, N, K, 1.0f, A.data(), nullptr, B.data(), prepacked_b_,
                    false, 0.0f, C.data());
   } else {
     gemm(backend_, M, N, K, 1.0f, A.data(), B.data(), 0.0f, C.data());
   }
-  if (epilogue_)
-    activation_forward_inplace(*epilogue_, C.data(), C.elements());
+  epilogue_.forward_post(C.data(), C.elements());
 }
 
 void MatMulOp::backward(const ConstTensors& grad_outputs,
                         const ConstTensors& fwd_inputs,
                         const ConstTensors& fwd_outputs,
                         const MutTensors& grad_inputs) {
-  const Tensor* gout = grad_outputs[0];
-  if (epilogue_) {
-    if (dpre_.shape() != gout->shape()) dpre_ = Tensor(gout->shape());
-    activation_backward_into(*epilogue_, gout->data(), fwd_outputs[0]->data(),
-                             dpre_.data(), gout->elements());
-    gout = &dpre_;
-  }
+  const Tensor* gout =
+      epilogue_.backward(grad_outputs[0], fwd_outputs[0]->data());
   const Tensor& dC = *gout;
   const Tensor& A = *fwd_inputs[0];
   const Tensor& B = *fwd_inputs[1];
@@ -544,6 +651,19 @@ void LinearOp::forward(const ConstTensors& inputs, const MutTensors& outputs) {
     const float* pb =
         prepacked_w_ != nullptr && prepacked_src_ == W.data() ? prepacked_w_
                                                               : nullptr;
+    if (gemm_epilogue_mode() == EpilogueMode::kFused) {
+      // The headline fusion: GEMM + bias + activation chain as ONE kernel
+      // launch — the bias applies in registers at tile store time and the
+      // chain per cache-resident row block, so the pre-fusion bias sweep
+      // and per-link DRAM sweeps over Y disappear (bias fuses even with an
+      // empty chain).
+      const GemmEpilogue epi{
+          bias.data(), epilogue_.chain().data(), epilogue_.size(),
+          epilogue_.needs_pre() ? epilogue_.ensure_pre(Y.elements()) : nullptr};
+      gemm_packed_ex(B, out, in, 1.0f, X.data(), nullptr, W.data(), pb,
+                     /*b_transposed=*/true, 0.0f, Y.data(), &epi);
+      return;
+    }
     gemm_packed_ex(B, out, in, 1.0f, X.data(), nullptr, W.data(), pb,
                    /*b_transposed=*/true, 0.0f, Y.data());
   } else {
@@ -565,21 +685,15 @@ void LinearOp::forward(const ConstTensors& inputs, const MutTensors& outputs) {
     add_bias(VecN::zero());
   else
     add_bias(Vec1::zero());
-  if (epilogue_)
-    activation_forward_inplace(*epilogue_, Y.data(), Y.elements());
+  epilogue_.forward_post(Y.data(), Y.elements());
 }
 
 void LinearOp::backward(const ConstTensors& grad_outputs,
                         const ConstTensors& fwd_inputs,
                         const ConstTensors& fwd_outputs,
                         const MutTensors& grad_inputs) {
-  const Tensor* gout = grad_outputs[0];
-  if (epilogue_) {
-    if (dpre_.shape() != gout->shape()) dpre_ = Tensor(gout->shape());
-    activation_backward_into(*epilogue_, gout->data(), fwd_outputs[0]->data(),
-                             dpre_.data(), gout->elements());
-    gout = &dpre_;
-  }
+  const Tensor* gout =
+      epilogue_.backward(grad_outputs[0], fwd_outputs[0]->data());
   const Tensor& dY = *gout;
   const Tensor& X = *fwd_inputs[0];
   const Tensor& W = *fwd_inputs[1];

@@ -31,7 +31,6 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
 
 #include "ops/elementwise.hpp"
 #include "ops/operator.hpp"
@@ -46,6 +45,48 @@ const char* gemm_backend_name(GemmBackend b);
 /// graph import without a backend attribute): D500_GEMM=naive|blocked|packed,
 /// parsed once, defaulting to kPacked.
 GemmBackend default_gemm_backend();
+
+// --- Epilogue fusion mode --------------------------------------------------
+
+/// How compute ops with an EpilogueChain realize it (D500_GEMM_EPILOGUE):
+///   kFused — one kernel launch, zero extra passes over C at DRAM distance:
+///            the bias applies in registers at microkernel tile store time,
+///            the activation chain per completed row block while it is
+///            still L1-resident from those stores
+///   kPost  — the pre-fusion two-pass path: GEMM, then separate bias and
+///            activation sweeps. Kept as the differential oracle; both
+///            modes are bitwise identical by construction (a float
+///            store/load round trip is exact, and every per-element
+///            operation — bias add, activation polynomial — produces the
+///            same bits in any vector width, so regrouping the work into
+///            tiles cannot change any output element).
+enum class EpilogueMode { kFused, kPost };
+
+/// Parsed once from D500_GEMM_EPILOGUE (default kFused); tests and benches
+/// flip it programmatically to compare the paths inside one process.
+EpilogueMode gemm_epilogue_mode();
+void set_gemm_epilogue_mode(EpilogueMode m);
+const char* epilogue_mode_name(EpilogueMode m);
+
+/// Per-GEMM epilogue descriptor consumed by gemm_packed_ex at tile store
+/// time. All pointers are borrowed; null members disable that part.
+struct GemmEpilogue {
+  /// Per-column bias, length N (Linear's bias vector). Added to each
+  /// output element before the chain.
+  const float* bias = nullptr;
+  /// Activation chain applied in order after the bias add.
+  const Activation* chain = nullptr;
+  int chain_len = 0;
+  /// When non-null, receives the post-bias / pre-chain value of every
+  /// element (same M x N layout as C) — copied from the cache-resident row
+  /// block before its chain runs, for the chain backward's per-lane
+  /// recompute.
+  float* save_pre = nullptr;
+
+  bool active() const {
+    return bias != nullptr || chain_len > 0;
+  }
+};
 
 /// C(MxN) = alpha * A(MxK) x B(KxN) + beta * C. Row-major, no transposes
 /// (transposition is handled a level up where needed).
@@ -96,6 +137,12 @@ void gemm_pack_b(std::int64_t K, std::int64_t N, const float* B, float* packed);
 void gemm_pack_bt(std::int64_t N, std::int64_t K, const float* Bt,
                   float* packed);
 
+/// Microkernel register-tile geometry (rows x columns). Exposed so tests
+/// and benches can target the tile-tail boundary sizes; build constants,
+/// not dispatch-mode properties.
+std::int64_t gemm_micro_mr();
+std::int64_t gemm_micro_nr();
+
 /// kPacked core with optional pre-packed operands. Computes
 /// C = alpha * A x B + beta * C. `packedA` / `packedB` — when non-null —
 /// must hold gemm_pack_a(M, K, A) / gemm_pack_b(K, N, B) output; null
@@ -104,10 +151,19 @@ void gemm_pack_bt(std::int64_t N, std::int64_t K, const float* Bt,
 /// gemm_pack_bt instead (packedB, if given, must match that layout).
 /// Both paths run identical arithmetic, so prepacked vs per-call results
 /// are bitwise equal.
+///
+/// `epi` — when non-null and active — fuses the bias / activation-chain
+/// epilogue into the GEMM (requires beta == 0: each C element is produced
+/// exactly once, by its own tile store). The bias adds in registers at tile
+/// store time; the chain (and save_pre copy) runs per completed row block
+/// while it is cache-resident, inside the same parallel region. The
+/// epilogue is a pure per-element map, so fusing it this way is bitwise
+/// identical to running the same sweeps after the GEMM, at any dispatch
+/// mode or thread count.
 void gemm_packed_ex(std::int64_t M, std::int64_t N, std::int64_t K,
                     float alpha, const float* A, const float* packedA,
                     const float* B, const float* packedB, bool b_transposed,
-                    float beta, float* C);
+                    float beta, float* C, const GemmEpilogue* epi = nullptr);
 
 /// MatMul operator: inputs {A [M,K], B [K,N]}, output {C [M,N]}.
 class MatMulOp : public CustomOperator {
@@ -137,19 +193,22 @@ class MatMulOp : public CustomOperator {
     prepacked_src_ = src;
   }
 
-  /// Fused activation epilogue (graph/passes fuse-epilogue): forward
-  /// applies the activation in place over C, backward reconstructs the
-  /// pre-activation gradient internally — bit-identical to the unfused
-  /// MatMul + ActivationOp pair (ops/elementwise epilogue helpers).
-  void set_epilogue(Activation kind) { epilogue_ = kind; }
-  const std::optional<Activation>& epilogue() const { return epilogue_; }
+  /// Fused activation epilogue chain (graph/passes fuse-epilogue): under
+  /// EpilogueMode::kFused the packed path applies the chain inside the
+  /// GEMM kernel launch, per cache-resident row block; otherwise (kPost,
+  /// or a non-packed backend) the chain runs as separate in-place sweeps
+  /// after the GEMM. Backward reconstructs
+  /// the pre-chain gradient internally — bit-identical to the unfused
+  /// MatMul + activation-node sequence (ops/elementwise EpilogueChain).
+  /// Returns false once the chain is full.
+  bool try_fuse_epilogue(Activation kind) { return epilogue_.try_push(kind); }
+  const EpilogueChain& epilogue() const { return epilogue_; }
 
  private:
   GemmBackend backend_;
   const float* prepacked_b_ = nullptr;
   const float* prepacked_src_ = nullptr;
-  std::optional<Activation> epilogue_;
-  Tensor dpre_;  // grow-only epilogue-backward scratch
+  EpilogueChain epilogue_;
 };
 
 /// Fully-connected (linear) layer: inputs {X [B,in], W [out,in], bias [out]},
@@ -179,16 +238,17 @@ class LinearOp : public CustomOperator {
     prepacked_src_ = src;
   }
 
-  /// Fused activation epilogue; see MatMulOp::set_epilogue.
-  void set_epilogue(Activation kind) { epilogue_ = kind; }
-  const std::optional<Activation>& epilogue() const { return epilogue_; }
+  /// Fused activation epilogue chain; see MatMulOp::try_fuse_epilogue.
+  /// Linear additionally folds its own bias add into the fused tile store
+  /// (the packed forward is one kernel even with an empty chain).
+  bool try_fuse_epilogue(Activation kind) { return epilogue_.try_push(kind); }
+  const EpilogueChain& epilogue() const { return epilogue_; }
 
  private:
   GemmBackend backend_;
   const float* prepacked_w_ = nullptr;
   const float* prepacked_src_ = nullptr;
-  std::optional<Activation> epilogue_;
-  Tensor dpre_;  // grow-only epilogue-backward scratch
+  EpilogueChain epilogue_;
 };
 
 }  // namespace d500

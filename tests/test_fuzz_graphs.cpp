@@ -25,6 +25,7 @@
 #include "graph/shape_inference.hpp"
 #include "graph/visitor.hpp"
 #include "models/builders.hpp"
+#include "ops/gemm.hpp"
 #include "train/optimizers.hpp"
 
 namespace d500 {
@@ -375,6 +376,49 @@ TEST_P(FuzzPassDifferential, EveryPassTrainsBitIdenticalToUnfused) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPassDifferential,
+                         ::testing::Range<std::uint64_t>(1, 5),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// ---- epilogue-mode axis -----------------------------------------------------
+
+/// The GEMM-epilogue extension of the differential property: with the full
+/// pass pipeline (so fuse-epilogue installs bias/activation chains on
+/// Linear/MatMul/Conv nodes), training under EpilogueMode::kFused — chains
+/// applied in registers at tile-store time — must be bit-identical to the
+/// kPost oracle (the pre-fusion two-pass sweeps), at every thread count.
+class FuzzEpilogueModeDifferential
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzEpilogueModeDifferential, FusedTrainsBitIdenticalToPostOracle) {
+  const std::uint64_t seed = GetParam();
+  const int pool_before = ThreadPool::instance().num_threads();
+  const EpilogueMode mode_before = gemm_epilogue_mode();
+
+  set_gemm_epilogue_mode(EpilogueMode::kPost);
+  const TrainRun oracle = differential_train(Engine::kPlan, 1, false, seed);
+
+  for (const EpilogueMode mode : {EpilogueMode::kPost, EpilogueMode::kFused}) {
+    set_gemm_epilogue_mode(mode);
+    for (int threads : {1, 2, 4}) {
+      const TrainRun got =
+          differential_train(Engine::kPlan, threads, false, seed);
+      EXPECT_EQ(got.param_checksum, oracle.param_checksum)
+          << "mode=" << epilogue_mode_name(mode) << " threads=" << threads
+          << " seed=" << seed;
+      ASSERT_EQ(got.losses.size(), oracle.losses.size());
+      for (std::size_t s = 0; s < got.losses.size(); ++s)
+        EXPECT_EQ(got.losses[s], oracle.losses[s])
+            << "mode=" << epilogue_mode_name(mode) << " threads=" << threads
+            << " seed=" << seed << " step " << s;
+    }
+  }
+  set_gemm_epilogue_mode(mode_before);
+  ThreadPool::instance().reset(pool_before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEpilogueModeDifferential,
                          ::testing::Range<std::uint64_t>(1, 5),
                          [](const auto& info) {
                            return "seed" + std::to_string(info.param);

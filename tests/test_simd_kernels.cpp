@@ -12,6 +12,7 @@
 // get a small ULP budget instead.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -26,6 +27,7 @@
 #include "graph/executor.hpp"
 #include "graph/visitor.hpp"
 #include "models/builders.hpp"
+#include "ops/conv2d.hpp"
 #include "ops/elementwise.hpp"
 #include "ops/gemm.hpp"
 #include "ops/softmax.hpp"
@@ -442,6 +444,185 @@ TEST(SimdKernels, MatMulPrepackedPanelsMatchAndFallBackWhenStale) {
   op.forward({&A, &B2}, {&C_ref});
   EXPECT_EQ(std::memcmp(C.data(), C_ref.data(), C.bytes()), 0)
       << "stale-source fallback";
+}
+
+// ---------------------------------------------------------------------------
+// GEMM epilogue fusion: under EpilogueMode::kFused the bias + activation
+// chain applies in registers at tile store time; under kPost it runs as the
+// pre-fusion separate sweeps. The two must be BITWISE identical — forward
+// outputs and every backward gradient — at the tile-tail boundary sizes
+// (M, N around the microkernel's MR / NR), with prepacked weights on or
+// off, at any thread count, under either dispatch mode.
+
+/// Restores the process epilogue mode on scope exit.
+struct EpilogueModeGuard {
+  EpilogueMode saved = gemm_epilogue_mode();
+  ~EpilogueModeGuard() { set_gemm_epilogue_mode(saved); }
+};
+
+/// One Linear forward + backward with the given epilogue chain installed,
+/// in the current epilogue mode.
+void run_linear_epilogue(const Tensor& X, const Tensor& W, const Tensor& bias,
+                         const Tensor& dY, const std::vector<Activation>& chain,
+                         bool prepack, Tensor& Y, Tensor& dX, Tensor& dW,
+                         Tensor& db) {
+  LinearOp op(GemmBackend::kPacked);
+  for (const Activation a : chain) ASSERT_TRUE(op.try_fuse_epilogue(a));
+  std::vector<float> panels;
+  if (prepack) {
+    const std::int64_t out = W.dim(0), in = W.dim(1);
+    panels.resize(static_cast<std::size_t>(gemm_packed_b_elems(in, out)));
+    gemm_pack_bt(out, in, W.data(), panels.data());
+    op.set_prepacked_w(panels.data(), W.data());
+  }
+  op.forward({&X, &W, &bias}, {&Y});
+  dX.fill(0.0f);
+  op.backward({&dY}, {&X, &W, &bias}, {&Y}, {&dX, &dW, &db});
+}
+
+TEST(SimdKernels, LinearEpilogueFusedMatchesPostBitwise) {
+  EpilogueModeGuard mode_guard;
+  DispatchGuard dispatch_guard;
+  const std::int64_t mr = gemm_micro_mr(), nr = gemm_micro_nr();
+  std::vector<std::int64_t> sizes{1, mr - 1, mr, mr + 1, nr - 1, nr, nr + 1};
+  std::sort(sizes.begin(), sizes.end());
+  sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
+  while (!sizes.empty() && sizes.front() < 1) sizes.erase(sizes.begin());
+  const std::int64_t K = 17;
+  const std::vector<std::vector<Activation>> chains = {
+      {},  // bias-only fusion (Linear's headline single-kernel case)
+      {Activation::kReLU},
+      {Activation::kTanh, Activation::kSigmoid, Activation::kReLU,
+       Activation::kTanh}};
+
+  for (const int threads : {1, 2, 4}) {
+    ThreadPool::instance().reset(threads);
+    for (const auto dm :
+         {simd::KernelDispatch::kScalar, simd::KernelDispatch::kSimd}) {
+      simd::set_kernel_dispatch(dm);
+      for (const std::int64_t M : sizes) {
+        for (const std::int64_t N : sizes) {
+          Rng rng(97 + static_cast<std::uint64_t>(M * 131 + N));
+          Tensor X({M, K}), W({N, K}), bias({N}), dY({M, N});
+          X.fill_uniform(rng, -1, 1);
+          W.fill_uniform(rng, -1, 1);
+          bias.fill_uniform(rng, -1, 1);
+          dY.fill_uniform(rng, -1, 1);
+          for (const auto& chain : chains) {
+            for (const bool prepack : {false, true}) {
+              Tensor Yf({M, N}), dXf({M, K}), dWf({N, K}), dbf({N});
+              Tensor Yp({M, N}), dXp({M, K}), dWp({N, K}), dbp({N});
+              set_gemm_epilogue_mode(EpilogueMode::kFused);
+              run_linear_epilogue(X, W, bias, dY, chain, prepack, Yf, dXf,
+                                  dWf, dbf);
+              set_gemm_epilogue_mode(EpilogueMode::kPost);
+              run_linear_epilogue(X, W, bias, dY, chain, prepack, Yp, dXp,
+                                  dWp, dbp);
+              const std::string what =
+                  "M=" + std::to_string(M) + " N=" + std::to_string(N) +
+                  " chain=" + std::to_string(chain.size()) +
+                  " prepack=" + std::to_string(prepack) +
+                  " threads=" + std::to_string(threads) + " dispatch=" +
+                  simd::kernel_dispatch_name(dm);
+              ASSERT_EQ(std::memcmp(Yf.data(), Yp.data(), Yf.bytes()), 0)
+                  << "Y " << what;
+              ASSERT_EQ(std::memcmp(dXf.data(), dXp.data(), dXf.bytes()), 0)
+                  << "dX " << what;
+              ASSERT_EQ(std::memcmp(dWf.data(), dWp.data(), dWf.bytes()), 0)
+                  << "dW " << what;
+              ASSERT_EQ(std::memcmp(dbf.data(), dbp.data(), dbf.bytes()), 0)
+                  << "dbias " << what;
+            }
+          }
+        }
+      }
+    }
+  }
+  ThreadPool::instance().reset(1);
+}
+
+TEST(SimdKernels, LinearEpilogueFusedMatchesPostBitwiseLarge) {
+  EpilogueModeGuard mode_guard;
+  DispatchGuard dispatch_guard;
+  const std::int64_t M = 1000, N = 1000, K = 64;
+  Rng rng(101);
+  Tensor X({M, K}), W({N, K}), bias({N}), dY({M, N});
+  X.fill_uniform(rng, -1, 1);
+  W.fill_uniform(rng, -1, 1);
+  bias.fill_uniform(rng, -1, 1);
+  dY.fill_uniform(rng, -1, 1);
+  const std::vector<Activation> chain{Activation::kTanh, Activation::kSigmoid,
+                                      Activation::kReLU, Activation::kTanh};
+  ThreadPool::instance().reset(4);
+  for (const auto dm :
+       {simd::KernelDispatch::kScalar, simd::KernelDispatch::kSimd}) {
+    simd::set_kernel_dispatch(dm);
+    Tensor Yf({M, N}), dXf({M, K}), dWf({N, K}), dbf({N});
+    Tensor Yp({M, N}), dXp({M, K}), dWp({N, K}), dbp({N});
+    set_gemm_epilogue_mode(EpilogueMode::kFused);
+    run_linear_epilogue(X, W, bias, dY, chain, true, Yf, dXf, dWf, dbf);
+    set_gemm_epilogue_mode(EpilogueMode::kPost);
+    run_linear_epilogue(X, W, bias, dY, chain, true, Yp, dXp, dWp, dbp);
+    const char* what = simd::kernel_dispatch_name(dm);
+    ASSERT_EQ(std::memcmp(Yf.data(), Yp.data(), Yf.bytes()), 0) << what;
+    ASSERT_EQ(std::memcmp(dXf.data(), dXp.data(), dXf.bytes()), 0) << what;
+    ASSERT_EQ(std::memcmp(dWf.data(), dWp.data(), dWf.bytes()), 0) << what;
+    ASSERT_EQ(std::memcmp(dbf.data(), dbp.data(), dbf.bytes()), 0) << what;
+  }
+  ThreadPool::instance().reset(1);
+}
+
+TEST(SimdKernels, ConvEpilogueFusedMatchesPostBitwise) {
+  EpilogueModeGuard mode_guard;
+  DispatchGuard dispatch_guard;
+  Conv2DParams p;
+  p.pad = 1;
+  const std::int64_t Nb = 2, C = 3, H = 7, Wd = 7, F = 5;
+  Rng rng(103);
+  Tensor X({Nb, C, H, Wd}), W({F, C, 3, 3}), bias({F});
+  X.fill_uniform(rng, -1, 1);
+  W.fill_uniform(rng, -1, 1);
+  bias.fill_uniform(rng, -1, 1);
+  const std::vector<std::vector<Activation>> chains = {
+      {Activation::kReLU},
+      {Activation::kSigmoid, Activation::kReLU, Activation::kTanh}};
+  for (const int threads : {1, 4}) {
+    ThreadPool::instance().reset(threads);
+    for (const auto dm :
+         {simd::KernelDispatch::kScalar, simd::KernelDispatch::kSimd}) {
+      simd::set_kernel_dispatch(dm);
+      for (const auto& chain : chains) {
+        std::vector<Tensor> ys, dxs;
+        for (const EpilogueMode mode :
+             {EpilogueMode::kFused, EpilogueMode::kPost}) {
+          set_gemm_epilogue_mode(mode);
+          Conv2DOp op(p, ConvBackend::kIm2col);
+          for (const Activation a : chain)
+            ASSERT_TRUE(op.try_fuse_epilogue(a));
+          const Shape ys_shape =
+              op.output_shapes({X.shape(), W.shape(), bias.shape()})[0];
+          Tensor Y(ys_shape), dY(ys_shape);
+          Rng grng(107);
+          dY.fill_uniform(grng, -1, 1);
+          op.forward({&X, &W, &bias}, {&Y});
+          Tensor dX(X.shape()), dW(W.shape()), db(bias.shape());
+          op.backward({&dY}, {&X, &W, &bias}, {&Y}, {&dX, &dW, &db});
+          ys.push_back(std::move(Y));
+          dxs.push_back(std::move(dX));
+        }
+        const std::string what = "chain=" + std::to_string(chain.size()) +
+                                 " threads=" + std::to_string(threads) +
+                                 " dispatch=" +
+                                 simd::kernel_dispatch_name(dm);
+        ASSERT_EQ(std::memcmp(ys[0].data(), ys[1].data(), ys[0].bytes()), 0)
+            << "Y " << what;
+        ASSERT_EQ(std::memcmp(dxs[0].data(), dxs[1].data(), dxs[0].bytes()),
+                  0)
+            << "dX " << what;
+      }
+    }
+  }
+  ThreadPool::instance().reset(1);
 }
 
 }  // namespace
