@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "core/error.hpp"
+
 namespace d500 {
 
 namespace {
@@ -114,6 +116,91 @@ std::string serve_policy_setting() {
 std::string serve_buckets_setting() {
   const char* v = std::getenv("D500_SERVE_BUCKETS");
   return v != nullptr ? std::string(v) : std::string("1,2,4,8,16,32");
+}
+
+bool faults_enabled_setting() {
+  const bool on = env_flag("D500_FAULTS");
+  if (!on) {
+    // Misconfiguration must fail loudly: a schedule knob without the
+    // master switch would otherwise silently run fault-free.
+    static const char* const knobs[] = {
+        "D500_FAULT_SEED",      "D500_FAULT_DROP",    "D500_FAULT_RETRIES",
+        "D500_FAULT_TIMEOUT_US", "D500_FAULT_SLOW_RANK", "D500_FAULT_SLOW_US",
+        "D500_FAULT_LATE"};
+    for (const char* k : knobs)
+      D500_CHECK_MSG(std::getenv(k) == nullptr,
+                     k << " is set but D500_FAULTS is not — set D500_FAULTS=1 "
+                          "to enable fault injection");
+  }
+  return on;
+}
+
+std::uint64_t fault_seed_setting() {
+  if (const char* v = std::getenv("D500_FAULT_SEED"))
+    return static_cast<std::uint64_t>(std::strtoull(v, nullptr, 10));
+  return 0;
+}
+
+double fault_drop_setting() {
+  if (const char* v = std::getenv("D500_FAULT_DROP")) {
+    const double p = std::strtod(v, nullptr);
+    D500_CHECK_MSG(p >= 0.0 && p < 1.0,
+                   "D500_FAULT_DROP must be in [0, 1), got " << p);
+    return p;
+  }
+  return 0.0;
+}
+
+int fault_retries_setting() {
+  if (const char* v = std::getenv("D500_FAULT_RETRIES")) {
+    const auto n = std::strtol(v, nullptr, 10);
+    D500_CHECK_MSG(n >= 0, "D500_FAULT_RETRIES must be >= 0");
+    return static_cast<int>(n);
+  }
+  return 3;
+}
+
+std::int64_t fault_timeout_us_setting() {
+  if (const char* v = std::getenv("D500_FAULT_TIMEOUT_US")) {
+    const auto n = std::strtoll(v, nullptr, 10);
+    D500_CHECK_MSG(n >= 0, "D500_FAULT_TIMEOUT_US must be >= 0");
+    return n;
+  }
+  return 50;
+}
+
+int fault_slow_rank_setting() {
+  if (const char* v = std::getenv("D500_FAULT_SLOW_RANK"))
+    return static_cast<int>(std::strtol(v, nullptr, 10));
+  return -1;
+}
+
+std::int64_t fault_slow_us_setting() {
+  if (const char* v = std::getenv("D500_FAULT_SLOW_US")) {
+    const auto n = std::strtoll(v, nullptr, 10);
+    D500_CHECK_MSG(n >= 0, "D500_FAULT_SLOW_US must be >= 0");
+    return n;
+  }
+  return 200;
+}
+
+double fault_late_setting() {
+  if (const char* v = std::getenv("D500_FAULT_LATE")) {
+    const double p = std::strtod(v, nullptr);
+    D500_CHECK_MSG(p >= 0.0 && p < 1.0,
+                   "D500_FAULT_LATE must be in [0, 1), got " << p);
+    return p;
+  }
+  return 0.0;
+}
+
+std::int64_t staleness_setting() {
+  if (const char* v = std::getenv("D500_STALENESS")) {
+    const auto n = std::strtoll(v, nullptr, 10);
+    D500_CHECK_MSG(n >= 0, "D500_STALENESS must be >= 0");
+    return n;
+  }
+  return 1;
 }
 
 std::size_t trace_buffer_records() {

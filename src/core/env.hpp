@@ -123,4 +123,49 @@ std::string serve_policy_setting();
 /// pad up to the nearest bucket (serve/session parses it).
 std::string serve_buckets_setting();
 
+// Fault-injection knobs (src/dist/fault). D500_FAULTS is the master
+// switch: when it is unset, every D500_FAULT_* knob must also be unset —
+// faults_enabled_setting() D500_CHECKs this so a schedule knob without the
+// master switch fails loudly instead of silently running fault-free. All
+// read fresh on every call (tests flip them per-process).
+
+/// Fault-injection master switch (D500_FAULTS): unset/"0" off, anything
+/// else on. With it on, every SimMpi world attaches a FaultInjector built
+/// from the D500_FAULT_* env schedule below.
+bool faults_enabled_setting();
+
+/// Deterministic fault-schedule seed (D500_FAULT_SEED, default 0): drives
+/// the per-message drop and per-round lateness hashes.
+std::uint64_t fault_seed_setting();
+
+/// Per-delivery-attempt drop probability (D500_FAULT_DROP, default 0).
+/// Each dropped attempt costs wire bytes and one virtual retry timeout;
+/// a message undeliverable after the retry bound throws.
+double fault_drop_setting();
+
+/// Bounded-retry limit for dropped point-to-point messages
+/// (D500_FAULT_RETRIES, default 3 retries after the initial attempt).
+int fault_retries_setting();
+
+/// Virtual retry-timeout charged per failed delivery attempt, in
+/// microseconds (D500_FAULT_TIMEOUT_US, default 50).
+std::int64_t fault_timeout_us_setting();
+
+/// Straggler schedule: rank slowed (D500_FAULT_SLOW_RANK, default -1 =
+/// none) and the real per-send delay applied to it in microseconds
+/// (D500_FAULT_SLOW_US, default 200).
+int fault_slow_rank_setting();
+std::int64_t fault_slow_us_setting();
+
+/// Per-(rank, round) probability that a rank's contribution to an eager
+/// collective is late (D500_FAULT_LATE, default 0) — peers proceed with
+/// its previous-round value, bounded by D500_STALENESS.
+double fault_late_setting();
+
+/// Staleness bound for the partially-asynchronous paths (D500_STALENESS,
+/// default 1): the most consecutive rounds an eager collective may
+/// substitute a rank's stale contribution, and the parameter-server
+/// optimizer's clock-gap bound. 0 degenerates to fully synchronous.
+std::int64_t staleness_setting();
+
 }  // namespace d500

@@ -407,6 +407,156 @@ TensorMap StaleSynchronous::train(const TensorMap& feeds) {
   return out;
 }
 
+// ---- EagerDecentralized (eager DSGD over a stale-substituting board) -------
+
+EagerDecentralized::EagerDecentralized(std::unique_ptr<ThreeStepOptimizer> base,
+                                       Communicator& comm,
+                                       EagerAllreduce& board)
+    : DistributedOptimizer(std::move(base), comm), board_(board) {}
+
+TensorMap EagerDecentralized::train(const TensorMap& feeds) {
+  return step_with_gradients(feeds, [&] {
+    const float inv_n = 1.0f / static_cast<float>(comm_.size());
+    fusion_buffer_ = pack_gradients(network());
+    board_.allreduce(comm_, fusion_buffer_);
+    count(fusion_buffer_.size() * sizeof(float));
+    for (auto& v : fusion_buffer_) v *= inv_n;
+    unpack_gradients(network(), fusion_buffer_);
+    for (const auto& [pname, gname] : network().gradients()) {
+      const Tensor& g = network().fetch_tensor(gname);
+      Tensor updated =
+          base_->update_rule(g, network().fetch_tensor(pname), pname);
+      network().feed_tensor(pname, std::move(updated));
+    }
+  });
+}
+
+// ---- Bounded-staleness parameter server over send/recv ---------------------
+
+PsStats run_parameter_server(Communicator& comm, ThreeStepOptimizer& update,
+                             std::int64_t bound) {
+  D500_CHECK_MSG(comm.rank() == 0,
+                 "run_parameter_server: the service loop runs on rank 0");
+  D500_CHECK_MSG(bound >= 0, "run_parameter_server: bound must be >= 0");
+  const int n = comm.size();
+  const int workers = n - 1;
+  PsStats stats;
+  stats.applied.assign(static_cast<std::size_t>(n), 0);
+  if (workers == 0) return stats;
+  Network& net = update.network();
+  // The server never runs backprop, so the gradient tensors worker pushes
+  // land in do not exist yet — materialize them param-shaped.
+  for (const auto& [pname, gname] : net.gradients())
+    net.feed_tensor(gname, Tensor(net.fetch_tensor(pname).shape()));
+
+  auto apply_push = [&](int rank, std::span<const float> grads) {
+    D500_TRACE_SCOPE("dist", "ps_apply");
+    unpack_gradients(net, grads);
+    for (const auto& [pname, gname] : net.gradients()) {
+      const Tensor& g = net.fetch_tensor(gname);
+      Tensor updated = update.update_rule(g, net.fetch_tensor(pname), pname);
+      net.feed_tensor(pname, std::move(updated));
+    }
+    ++stats.applied[static_cast<std::size_t>(rank)];
+  };
+  auto slowest = [&] {
+    std::int64_t m = stats.applied[1];
+    for (int r = 2; r < n; ++r)
+      m = std::min(m, stats.applied[static_cast<std::size_t>(r)]);
+    return m;
+  };
+
+  // Pulls waiting on the staleness window (worker step, or -1).
+  std::vector<std::int64_t> pending_pull(static_cast<std::size_t>(n), -1);
+  auto service_pulls = [&] {
+    for (int r = 1; r < n; ++r) {
+      const std::int64_t want = pending_pull[static_cast<std::size_t>(r)];
+      if (want < 0 || want - slowest() > bound) continue;
+      stats.max_staleness_served =
+          std::max(stats.max_staleness_served, std::max<std::int64_t>(
+                                                   0, want - slowest()));
+      comm.send(r, pack_parameters(net), kPsDataTag);
+      pending_pull[static_cast<std::size_t>(r)] = -1;
+    }
+  };
+
+  // Bound 0 buffers each step's pushes and applies them in rank order once
+  // every worker has pushed — the deterministic schedule the matrix test
+  // pins down. Bound >= 1 applies in arrival order.
+  std::map<std::int64_t, std::map<int, std::vector<float>>> step_pushes;
+  int done = 0;
+  while (done < workers) {
+    auto [src, msg] = comm.recv_any(kPsCtrlTag);
+    D500_CHECK_MSG(msg.size() >= 2, "parameter server: malformed control");
+    const float op = msg[0];
+    const auto step = static_cast<std::int64_t>(msg[1]);
+    if (op == kPsOpDone) {
+      ++done;
+    } else if (op == kPsOpPull) {
+      pending_pull[static_cast<std::size_t>(src)] = step;
+      service_pulls();
+    } else {
+      std::span<const float> grads(msg.data() + 2, msg.size() - 2);
+      if (bound == 0) {
+        step_pushes[step][src].assign(grads.begin(), grads.end());
+        auto it = step_pushes.find(step);
+        if (static_cast<int>(it->second.size()) == workers) {
+          for (auto& [r, buf] : it->second) apply_push(r, buf);
+          step_pushes.erase(it);
+        }
+      } else {
+        apply_push(src, grads);
+      }
+      service_pulls();
+    }
+  }
+  D500_CHECK_MSG(step_pushes.empty(),
+                 "parameter server: workers exited with buffered pushes");
+  return stats;
+}
+
+BoundedStalenessWorker::BoundedStalenessWorker(
+    std::unique_ptr<ThreeStepOptimizer> base, Communicator& comm)
+    : DistributedOptimizer(std::move(base), comm) {
+  D500_CHECK_MSG(comm.rank() != 0,
+                 "BoundedStalenessWorker: rank 0 is the dedicated server");
+}
+
+TensorMap BoundedStalenessWorker::train(const TensorMap& feeds) {
+  // Pull the parameters for this step (the server defers the reply until
+  // the staleness window admits us).
+  std::vector<float> ctrl = {kPsOpPull, static_cast<float>(step_)};
+  comm_.send(0, ctrl, kPsCtrlTag);
+  count(ctrl.size() * sizeof(float));
+  std::size_t elems = 0;
+  for (const auto& pname : network().parameters())
+    elems += static_cast<std::size_t>(network().fetch_tensor(pname).elements());
+  std::vector<float> params(elems);
+  comm_.recv(0, params, kPsDataTag);
+  count(params.size() * sizeof(float));
+  unpack_parameters(network(), params);
+
+  base_->new_input();
+  for (const auto& pname : network().parameters()) base_->prepare_param(pname);
+  TensorMap out = executor().inference_and_backprop(feeds, loss_value());
+
+  // Push this step's gradients, step-prefixed so a bound-0 server can
+  // batch them per step.
+  std::vector<float> push = {kPsOpPush, static_cast<float>(step_)};
+  const std::vector<float> grads = pack_gradients(network());
+  push.insert(push.end(), grads.begin(), grads.end());
+  comm_.send(0, push, kPsCtrlTag);
+  count(push.size() * sizeof(float));
+  ++step_;
+  return out;
+}
+
+void BoundedStalenessWorker::finish() {
+  std::vector<float> ctrl = {kPsOpDone, static_cast<float>(step_)};
+  comm_.send(0, ctrl, kPsCtrlTag);
+  count(ctrl.size() * sizeof(float));
+}
+
 // ---- ModelAveraging ----------------------------------------------------------
 
 ModelAveraging::ModelAveraging(std::unique_ptr<ThreeStepOptimizer> base,

@@ -30,6 +30,7 @@
 #include <atomic>
 #include <memory>
 
+#include "dist/eager.hpp"
 #include "dist/simmpi.hpp"
 #include "train/optimizer.hpp"
 
@@ -221,6 +222,69 @@ class StaleSynchronous : public DistributedOptimizer {
   ParameterStore& store_;
   double lr_;
   std::int64_t bound_;
+};
+
+/// Eager DSGD: gradient averaging through an EagerAllreduce board, so a
+/// scheduled straggler's contribution is substituted with its most recent
+/// on-time gradient instead of being waited for (staleness bounded by the
+/// board; see dist/eager.hpp). All ranks consume the identical substituted
+/// sum, so parameters stay replicated and the run is bit-reproducible for
+/// a given (fault seed, bound).
+class EagerDecentralized : public DistributedOptimizer {
+ public:
+  EagerDecentralized(std::unique_ptr<ThreeStepOptimizer> base,
+                     Communicator& comm, EagerAllreduce& board);
+  std::string name() const override { return "Eager-DSGD"; }
+  TensorMap train(const TensorMap& feeds) override;
+
+ private:
+  EagerAllreduce& board_;
+  std::vector<float> fusion_buffer_;
+};
+
+/// Wire protocol of the bounded-staleness parameter server: one control
+/// tag carries [opcode, step, payload...] worker->server; parameter
+/// replies come back on the data tag.
+inline constexpr int kPsCtrlTag = 700;
+inline constexpr int kPsDataTag = 701;
+inline constexpr float kPsOpPull = 0.0f;
+inline constexpr float kPsOpPush = 1.0f;
+inline constexpr float kPsOpDone = 2.0f;
+
+/// Counters of one parameter-server service run.
+struct PsStats {
+  /// Gradient pushes applied per rank (index 0 — the server — stays 0).
+  std::vector<std::int64_t> applied;
+  /// Largest (worker step - slowest worker's applied pushes) served.
+  std::int64_t max_staleness_served = 0;
+};
+
+/// Runs the dedicated parameter-server service loop on the calling rank
+/// (must be rank 0; the server is not a worker). Serves pulls and applies
+/// pushes from ranks 1..n-1 until every worker sends DONE; a pull for
+/// worker step t is deferred until t minus the slowest worker's applied
+/// pushes is within `bound`. With bound 0 the server buffers each step's
+/// pushes and applies them in rank order once all arrive — bit-
+/// deterministic; with bound >= 1 pushes apply in arrival order, which is
+/// deliberately not reproducible (the determinism matrix pins that down).
+/// Final parameters live in `update.network()` when the loop returns.
+PsStats run_parameter_server(Communicator& comm, ThreeStepOptimizer& update,
+                             std::int64_t bound);
+
+/// Worker half: pull parameters for the step, compute gradients locally,
+/// push them back. Call finish() after the last step so the server's
+/// service loop can terminate.
+class BoundedStalenessWorker : public DistributedOptimizer {
+ public:
+  BoundedStalenessWorker(std::unique_ptr<ThreeStepOptimizer> base,
+                         Communicator& comm);
+  std::string name() const override { return "PS-bounded"; }
+  TensorMap train(const TensorMap& feeds) override;
+  void finish();
+  std::int64_t steps_done() const { return step_; }
+
+ private:
+  std::int64_t step_ = 0;
 };
 
 /// MAVG: local optimizer step, then parameter averaging via allreduce.

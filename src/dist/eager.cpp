@@ -1,0 +1,118 @@
+#include "dist/eager.hpp"
+
+#include <algorithm>
+
+#include "core/metrics_registry.hpp"
+#include "core/trace.hpp"
+
+namespace d500 {
+
+namespace {
+Counter& stale_counter() {
+  static Counter& c = MetricsRegistry::instance().counter("eager.stale_uses");
+  return c;
+}
+}  // namespace
+
+EagerAllreduce::EagerAllreduce(int world, std::int64_t staleness_bound)
+    : world_(world),
+      bound_(staleness_bound < 0 ? 0 : staleness_bound),
+      depth_(bound_ + 1),
+      slots_(static_cast<std::size_t>(world)),
+      stale_by_rank_(static_cast<std::size_t>(world), 0) {
+  D500_CHECK_MSG(world >= 1, "EagerAllreduce: world must have >= 1 rank");
+  for (auto& per_rank : slots_)
+    per_rank.resize(static_cast<std::size_t>(depth_));
+}
+
+void EagerAllreduce::allreduce(Communicator& comm, std::span<float> data) {
+  D500_CHECK_MSG(comm.size() == world_,
+                 "EagerAllreduce: world size mismatch (board built for "
+                     << world_ << ", communicator has " << comm.size() << ")");
+  const int n = world_;
+  const int r = comm.rank();
+  FaultInjector& inj = comm.world_->fault_injector();
+  // A scheduled straggler pays its delay at deposit time — timing only,
+  // the substitution schedule below is what changes data.
+  inj.maybe_slow(r);
+  if (n == 1) return;
+  D500_TRACE_SCOPE("dist", "eager_allreduce");
+  // Flat eager exchange: each rank ships its contribution to n-1 peers.
+  comm.world_->charge(
+      r, static_cast<std::uint64_t>(n - 1) * data.size() * sizeof(float),
+      static_cast<std::uint64_t>(n - 1));
+
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::int64_t k = round_;
+  auto& slot =
+      slots_[static_cast<std::size_t>(r)][static_cast<std::size_t>(k % depth_)];
+  slot.assign(data.begin(), data.end());
+  if (++arrived_ == n) {
+    // Last depositor resolves the read set once: every rank then sums the
+    // exact same substituted contributions, in rank index order.
+    age_.assign(static_cast<std::size_t>(n), 0);
+    for (int p = 0; p < n; ++p) {
+      const std::int64_t s = inj.staleness(p, k, bound_);
+      age_[static_cast<std::size_t>(p)] = s;
+      if (s > 0) {
+        ++stale_events_;
+        ++stale_by_rank_[static_cast<std::size_t>(p)];
+        stale_counter().add(1);
+      }
+      max_staleness_ = std::max(max_staleness_, s);
+    }
+    trace_counter("dist", "stale_uses", static_cast<double>(stale_events_));
+    cv_.notify_all();
+  } else {
+    cv_.wait(lock, [&] { return arrived_ == n; });
+  }
+
+  // Sum in rank index order; a rank with age s contributes its round k-s
+  // deposit (s <= bound < depth_, so the slot still holds it).
+  for (int p = 0; p < n; ++p) {
+    const std::int64_t used = k - age_[static_cast<std::size_t>(p)];
+    const auto& contrib = slots_[static_cast<std::size_t>(p)]
+                                [static_cast<std::size_t>(used % depth_)];
+    D500_CHECK_MSG(contrib.size() == data.size(),
+                   "EagerAllreduce: buffer size changed across rounds (rank "
+                       << p << " round " << used << " has " << contrib.size()
+                       << " elements, want " << data.size() << ")");
+    if (p == 0)
+      std::copy(contrib.begin(), contrib.end(), data.begin());
+    else
+      for (std::size_t i = 0; i < data.size(); ++i) data[i] += contrib[i];
+  }
+
+  // Exit barrier: the next round's deposits overwrite the oldest history
+  // slot, so nobody may deposit round k+1 while round k reads are live.
+  if (++departed_ == n) {
+    arrived_ = 0;
+    departed_ = 0;
+    ++round_;
+    cv_.notify_all();
+  } else {
+    cv_.wait(lock, [&] { return round_ != k; });
+  }
+}
+
+std::int64_t EagerAllreduce::rounds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return round_;
+}
+
+std::uint64_t EagerAllreduce::stale_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stale_events_;
+}
+
+std::int64_t EagerAllreduce::max_staleness_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_staleness_;
+}
+
+std::uint64_t EagerAllreduce::stale_events_for(int rank) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stale_by_rank_[static_cast<std::size_t>(rank)];
+}
+
+}  // namespace d500

@@ -1,0 +1,186 @@
+#include "dist/fault.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "core/env.hpp"
+#include "core/metrics_registry.hpp"
+#include "core/rng.hpp"
+#include "core/trace.hpp"
+
+namespace d500 {
+
+namespace {
+
+Counter& drop_counter() {
+  static Counter& c = MetricsRegistry::instance().counter("fault.drops");
+  return c;
+}
+Counter& delay_counter() {
+  static Counter& c = MetricsRegistry::instance().counter("fault.delay_us");
+  return c;
+}
+Counter& abort_counter() {
+  static Counter& c = MetricsRegistry::instance().counter("fault.aborts");
+  return c;
+}
+
+/// Stateless mix of the schedule seed with event coordinates; uniform in
+/// [0, 1). splitmix64 gives full avalanche, so neighboring events are
+/// decorrelated.
+double event_uniform(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                     std::uint64_t c) {
+  std::uint64_t s = seed ^ (a * 0x9E3779B97F4A7C15ULL) ^
+                    (b * 0xC2B2AE3D27D4EB4FULL) ^ (c * 0x165667B19E3779F9ULL);
+  const std::uint64_t h = splitmix64(s);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultPlan fault_plan_from_env() {
+  FaultPlan plan;
+  plan.enabled = faults_enabled_setting();  // D500_CHECKs orphan knobs
+  if (!plan.enabled) return plan;
+  plan.seed = fault_seed_setting();
+  plan.drop_prob = fault_drop_setting();
+  plan.max_retries = fault_retries_setting();
+  plan.retry_timeout_us = fault_timeout_us_setting();
+  plan.slow_rank = fault_slow_rank_setting();
+  plan.slow_us = fault_slow_us_setting();
+  plan.late_prob = fault_late_setting();
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, int world_size)
+    : plan_(std::move(plan)),
+      world_(world_size),
+      send_seq_(static_cast<std::size_t>(world_size)) {
+  D500_CHECK_MSG(world_size >= 1, "FaultInjector: world must have >= 1 rank");
+  D500_CHECK_MSG(plan_.drop_prob >= 0.0 && plan_.drop_prob < 1.0,
+                 "FaultInjector: drop_prob must be in [0, 1)");
+  D500_CHECK_MSG(plan_.late_prob >= 0.0 && plan_.late_prob < 1.0,
+                 "FaultInjector: late_prob must be in [0, 1)");
+  D500_CHECK_MSG(plan_.max_retries >= 0,
+                 "FaultInjector: max_retries must be >= 0");
+  for (auto& s : send_seq_) s.store(0, std::memory_order_relaxed);
+}
+
+void FaultInjector::maybe_slow(int rank) {
+  if (!plan_.enabled) return;
+  if (rank != plan_.slow_rank || plan_.slow_us <= 0) return;
+  D500_TRACE_SCOPE("fault", "straggler_delay");
+  std::this_thread::sleep_for(std::chrono::microseconds(plan_.slow_us));
+  delay_us_.fetch_add(static_cast<std::uint64_t>(plan_.slow_us),
+                      std::memory_order_relaxed);
+  delay_counter().add(static_cast<std::uint64_t>(plan_.slow_us));
+}
+
+int FaultInjector::on_send(int src, int dst, int tag, std::size_t bytes) {
+  if (!plan_.enabled) return 0;
+  (void)bytes;
+  const std::int64_t seq = send_seq_[static_cast<std::size_t>(src)].fetch_add(
+      1, std::memory_order_relaxed);
+
+  for (const auto& [rank, nth] : plan_.abort_sends) {
+    if (rank == src && nth == seq) {
+      abort_counter().add(1);
+      std::ostringstream os;
+      os << "fault: scheduled abort of rank " << src << " at send #" << seq
+         << " (dst " << dst << ", tag " << tag << ")";
+      throw RankFailure(os.str());
+    }
+  }
+
+  maybe_slow(src);
+
+  if (plan_.drop_prob <= 0.0) return 0;
+  // Count consecutive dropped delivery attempts; decision per attempt is a
+  // pure hash, so the whole retransmission history of the message is fixed
+  // by (seed, src, send index).
+  int dropped = 0;
+  while (dropped <= plan_.max_retries &&
+         event_uniform(plan_.seed, static_cast<std::uint64_t>(src),
+                       static_cast<std::uint64_t>(seq),
+                       static_cast<std::uint64_t>(dropped)) < plan_.drop_prob)
+    ++dropped;
+  if (dropped > 0) {
+    D500_TRACE_SCOPE("fault", "retry");
+    drops_.fetch_add(static_cast<std::uint64_t>(dropped),
+                     std::memory_order_relaxed);
+    drop_counter().add(static_cast<std::uint64_t>(dropped));
+    const std::uint64_t virt = static_cast<std::uint64_t>(dropped) *
+                               static_cast<std::uint64_t>(plan_.retry_timeout_us);
+    delay_us_.fetch_add(virt, std::memory_order_relaxed);
+    delay_counter().add(virt);
+  }
+  if (dropped > plan_.max_retries) {
+    std::ostringstream os;
+    os << "fault: message from rank " << src << " to " << dst << " (tag "
+       << tag << ", send #" << seq << ") dropped on the initial attempt and "
+       << "all " << plan_.max_retries << " retries — undeliverable";
+    throw Error(os.str());
+  }
+  return dropped;
+}
+
+bool FaultInjector::raw_late(int rank, std::int64_t round) const {
+  if (round == 0) return false;  // no previous contribution to fall back on
+  return event_uniform(plan_.seed ^ 0xEA6E'EA6E'EA6E'EA6EULL,
+                       static_cast<std::uint64_t>(rank),
+                       static_cast<std::uint64_t>(round), 0) < plan_.late_prob;
+}
+
+bool FaultInjector::effective_late(int rank, std::int64_t round,
+                                   std::int64_t staleness_bound) {
+  return staleness(rank, round, staleness_bound) > 0;
+}
+
+std::int64_t FaultInjector::staleness(int rank, std::int64_t round,
+                                      std::int64_t staleness_bound) {
+  if (!plan_.enabled || plan_.late_prob <= 0.0 || staleness_bound <= 0)
+    return 0;
+  std::lock_guard<std::mutex> lock(late_mu_);
+  if (bound_seen_ < 0) bound_seen_ = staleness_bound;
+  D500_CHECK_MSG(bound_seen_ == staleness_bound,
+                 "FaultInjector: staleness bound changed mid-run (memo was "
+                 "built for bound " << bound_seen_ << ", got "
+                 << staleness_bound << ")");
+  const auto key = std::make_pair(rank, round);
+  auto it = streak_memo_.find(key);
+  if (it != streak_memo_.end()) return it->second;
+  // Walk forward from the last memoized round (rounds are small and
+  // monotone in practice): a streak at the bound forces the rank on time,
+  // so no observer ever reads a contribution older than `bound` rounds.
+  std::int64_t from = 0, streak = 0;
+  for (std::int64_t k = round - 1; k >= 1; --k) {
+    auto sit = streak_memo_.find(std::make_pair(rank, k));
+    if (sit != streak_memo_.end()) {
+      from = k + 1;
+      streak = sit->second;
+      break;
+    }
+  }
+  for (std::int64_t k = from; k <= round; ++k) {
+    const bool late = raw_late(rank, k) && streak < staleness_bound;
+    streak = late ? streak + 1 : 0;
+    streak_memo_[std::make_pair(rank, k)] = streak;
+  }
+  return streak;
+}
+
+bool FaultInjector::restart_due(int rank, std::int64_t step) const {
+  if (!plan_.enabled) return false;
+  for (const auto& [r, s] : plan_.restarts)
+    if (r == rank && s == step) return true;
+  return false;
+}
+
+std::uint64_t FaultInjector::sends_seen(int rank) const {
+  return static_cast<std::uint64_t>(
+      send_seq_[static_cast<std::size_t>(rank)].load(
+          std::memory_order_relaxed));
+}
+
+}  // namespace d500

@@ -51,11 +51,31 @@ SimMpi::SimMpi(int size)
     : size_(size),
       mailboxes_(static_cast<std::size_t>(size)),
       bytes_sent_(static_cast<std::size_t>(size), 0),
-      msgs_sent_(static_cast<std::size_t>(size), 0) {
+      msgs_sent_(static_cast<std::size_t>(size), 0),
+      injector_(std::make_unique<FaultInjector>(fault_plan_from_env(), size)) {
   D500_CHECK_MSG(size >= 1, "SimMpi world must have >= 1 rank");
 }
 
+void SimMpi::set_fault_plan(FaultPlan plan) {
+  injector_ = std::make_unique<FaultInjector>(std::move(plan), size_);
+}
+
+void SimMpi::clear_mailboxes() {
+  for (auto& box : mailboxes_) {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.queues.clear();
+  }
+  std::lock_guard<std::mutex> lock(coll_mu_);
+  pending_colls_.clear();
+}
+
 void SimMpi::run(const std::function<void(Communicator&)>& fn) {
+  revoked_.store(false, std::memory_order_relaxed);
+  {
+    // A revoked barrier may have left a partial count behind.
+    std::lock_guard<std::mutex> lock(barrier_mu_);
+    barrier_count_ = 0;
+  }
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size_));
   threads.reserve(static_cast<std::size_t>(size_));
@@ -66,12 +86,38 @@ void SimMpi::run(const std::function<void(Communicator&)>& fn) {
         fn(comm);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
+        revoke();
       }
     });
   }
   for (auto& t : threads) t.join();
+  // Revocation makes the surviving ranks throw secondary RankFailures, so
+  // the root cause is the first error that is NOT one — unless the fault
+  // really was a scheduled RankFailure, in which case every capture is one
+  // and the first (by rank order) is rethrown.
+  for (const auto& e : errors) {
+    if (!e) continue;
+    try {
+      std::rethrow_exception(e);
+    } catch (const RankFailure&) {
+    } catch (...) {
+      throw;
+    }
+  }
   for (const auto& e : errors)
     if (e) std::rethrow_exception(e);
+}
+
+void SimMpi::revoke() {
+  revoked_.store(true, std::memory_order_release);
+  for (auto& box : mailboxes_) {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.cv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(barrier_mu_);
+    barrier_cv_.notify_all();
+  }
 }
 
 std::uint64_t SimMpi::bytes_sent(int rank) const {
@@ -98,22 +144,46 @@ void SimMpi::reset_counters() {
 }
 
 void SimMpi::post(int src, int dst, int tag, std::vector<float> data) {
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    bytes_sent_[static_cast<std::size_t>(src)] += data.size() * sizeof(float);
-    ++msgs_sent_[static_cast<std::size_t>(src)];
-    // Per-rank cumulative send volume; each rank thread emits into its own
-    // ring, so the counter tracks that rank's curve.
-    trace_counter("dist", "bytes_sent",
-                  static_cast<double>(bytes_sent_[static_cast<std::size_t>(src)]));
+  // Every delivery routes through the injector — disabled, on_send is a
+  // single branch, so the straggler-free path and the fault build share
+  // one code path. A dropped attempt went on the wire before it was lost:
+  // each one charges full message bytes, and delivery happens on the first
+  // surviving attempt (on_send throws past the retry bound).
+  int dropped = 0;
+  try {
+    dropped = injector_->on_send(src, dst, tag, data.size() * sizeof(float));
+  } catch (const RankFailure&) {
+    throw;  // scheduled abort: the rank dies before anything hits the wire
+  } catch (const Error&) {
+    // Undeliverable: the initial attempt and every retry went on the wire
+    // and were lost — charge them all, then propagate.
+    const auto tries =
+        static_cast<std::uint64_t>(injector_->plan().max_retries) + 1;
+    charge(src, tries * data.size() * sizeof(float), tries);
+    throw;
   }
-  wire_bytes_counter().add(data.size() * sizeof(float));
+  const auto attempts = static_cast<std::uint64_t>(dropped) + 1;
+  charge(src, attempts * data.size() * sizeof(float), attempts);
   Mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
   {
     std::lock_guard<std::mutex> lock(box.mu);
     box.queues[{src, tag}].push_back(Message{std::move(data)});
   }
   box.cv.notify_all();
+}
+
+void SimMpi::charge(int rank, std::uint64_t bytes, std::uint64_t msgs) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    bytes_sent_[static_cast<std::size_t>(rank)] += bytes;
+    msgs_sent_[static_cast<std::size_t>(rank)] += msgs;
+    // Per-rank cumulative send volume; each rank thread emits into its own
+    // ring, so the counter tracks that rank's curve.
+    trace_counter(
+        "dist", "bytes_sent",
+        static_cast<double>(bytes_sent_[static_cast<std::size_t>(rank)]));
+  }
+  wire_bytes_counter().add(bytes);
 }
 
 void SimMpi::set_completion_scheduler(
@@ -195,14 +265,43 @@ SimMpi::Message SimMpi::take(int src, int dst, int tag) {
   Mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
   std::unique_lock<std::mutex> lock(box.mu);
   auto key = std::make_pair(src, tag);
-  box.cv.wait(lock, [&] {
+  auto ready = [&] {
     auto it = box.queues.find(key);
     return it != box.queues.end() && !it->second.empty();
+  };
+  box.cv.wait(lock, [&] {
+    return ready() || revoked_.load(std::memory_order_acquire);
   });
+  // Queued messages stay consumable after revocation; only an empty wait
+  // aborts (the peer that should have sent is gone).
+  if (!ready())
+    throw RankFailure("SimMpi: communicator revoked — a peer rank failed");
   auto& q = box.queues[key];
   Message m = std::move(q.front());
   q.pop_front();
   return m;
+}
+
+std::pair<int, SimMpi::Message> SimMpi::take_any(int dst, int tag) {
+  Mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  // The queue map is ordered by (src, tag), so the linear scan naturally
+  // yields the lowest waiting source first — a deterministic tie-break.
+  auto find_ready = [&]() -> decltype(box.queues.begin()) {
+    for (auto it = box.queues.begin(); it != box.queues.end(); ++it)
+      if (it->first.second == tag && !it->second.empty()) return it;
+    return box.queues.end();
+  };
+  decltype(box.queues.begin()) ready;
+  box.cv.wait(lock, [&] {
+    return (ready = find_ready()) != box.queues.end() ||
+           revoked_.load(std::memory_order_acquire);
+  });
+  if ((ready = find_ready()) == box.queues.end())
+    throw RankFailure("SimMpi: communicator revoked — a peer rank failed");
+  Message m = std::move(ready->second.front());
+  ready->second.pop_front();
+  return {ready->first.first, std::move(m)};
 }
 
 void Communicator::send(int dst, std::span<const float> data, int tag) {
@@ -221,6 +320,11 @@ void Communicator::recv(int src, std::span<float> out, int tag) {
   std::copy(m.data.begin(), m.data.end(), out.begin());
 }
 
+std::pair<int, std::vector<float>> Communicator::recv_any(int tag) {
+  auto [src, m] = world_->take_any(rank_, tag);
+  return {src, std::move(m.data)};
+}
+
 void Communicator::barrier() {
   std::unique_lock<std::mutex> lock(world_->barrier_mu_);
   const std::uint64_t gen = world_->barrier_generation_;
@@ -229,8 +333,12 @@ void Communicator::barrier() {
     ++world_->barrier_generation_;
     world_->barrier_cv_.notify_all();
   } else {
-    world_->barrier_cv_.wait(
-        lock, [&] { return world_->barrier_generation_ != gen; });
+    world_->barrier_cv_.wait(lock, [&] {
+      return world_->barrier_generation_ != gen ||
+             world_->revoked_.load(std::memory_order_acquire);
+    });
+    if (world_->barrier_generation_ == gen)
+      throw RankFailure("SimMpi: communicator revoked — a peer rank failed");
   }
 }
 
@@ -389,21 +497,18 @@ void Communicator::allgather(std::span<const float> chunk,
 
 AllreduceRequest Communicator::iallreduce_sum(std::span<float> data, int tag) {
   D500_TRACE_SCOPE("dist", "iallreduce_launch");
+  // The nonblocking path moves no real point-to-point messages, so drops
+  // cannot apply; a scheduled straggler still pays its delay at launch.
+  world_->injector_->maybe_slow(rank_);
   const std::uint64_t seq = coll_seq_[tag]++;
   AllreduceRequest req;
   req.op_ = world_->join_collective(rank_, tag, seq, data);
   // Charge exactly what the blocking ring algorithm would send from this
   // rank, so volume metrics are algorithm-equivalent across both paths.
   const int n = size();
-  if (n > 1) {
-    std::lock_guard<std::mutex> lock(world_->stats_mu_);
-    auto& bytes = world_->bytes_sent_[static_cast<std::size_t>(rank_)];
-    bytes += ring_send_bytes(rank_, n, data.size());
-    world_->msgs_sent_[static_cast<std::size_t>(rank_)] +=
-        2 * static_cast<std::uint64_t>(n - 1);
-    trace_counter("dist", "bytes_sent", static_cast<double>(bytes));
-    wire_bytes_counter().add(ring_send_bytes(rank_, n, data.size()));
-  }
+  if (n > 1)
+    world_->charge(rank_, ring_send_bytes(rank_, n, data.size()),
+                   2 * static_cast<std::uint64_t>(n - 1));
   return req;
 }
 

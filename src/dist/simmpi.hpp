@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/error.hpp"
+#include "dist/fault.hpp"
 
 namespace d500 {
 
@@ -32,9 +33,23 @@ class AllreduceRequest;
 /// A world of `size` ranks. run() launches one thread per rank and joins.
 class SimMpi {
  public:
+  /// The world attaches a FaultInjector built from the D500_FAULTS env
+  /// schedule (the all-no-op disabled plan when unset); every send routes
+  /// through it unconditionally.
   explicit SimMpi(int size);
 
   int size() const { return size_; }
+
+  /// Replaces the injector with a programmatic schedule (tests/benches).
+  /// Call before run(); per-rank event counters restart from zero.
+  void set_fault_plan(FaultPlan plan);
+  FaultInjector& fault_injector() { return *injector_; }
+
+  /// Drops every queued point-to-point message and forgets in-flight
+  /// nonblocking collectives. Recovery support: after a RankFailure aborts
+  /// a collective mid-flight, the orphaned partial messages must not
+  /// cross-match a retried attempt. Only call between run() invocations.
+  void clear_mailboxes();
 
   /// Runs `fn(comm)` on every rank concurrently. Exceptions thrown by any
   /// rank are captured and rethrown (first by rank order) after join.
@@ -57,6 +72,7 @@ class SimMpi {
  private:
   friend class Communicator;
   friend class AllreduceRequest;
+  friend class EagerAllreduce;  // analytic wire charge for board rounds
 
   /// Shared state of one in-flight nonblocking allreduce: every rank's
   /// buffer span, registered on arrival. The last arrival schedules a
@@ -80,8 +96,21 @@ class SimMpi {
     std::map<std::pair<int, int>, std::deque<Message>> queues;  // (src, tag)
   };
 
+  /// Marks the world revoked (a rank died mid-run): every blocked take /
+  /// take_any / barrier wakes and throws RankFailure, so one rank's
+  /// scheduled abort cannot deadlock its peers in a blocking collective —
+  /// the ULFM MPI_Comm_revoke model. run() resets the flag on entry.
+  void revoke();
+
   void post(int src, int dst, int tag, std::vector<float> data);
   Message take(int src, int dst, int tag);
+  /// Wildcard receive: first queued message for `dst` on `tag` from any
+  /// source, lowest source rank first when several wait. Blocks like take.
+  std::pair<int, Message> take_any(int dst, int tag);
+  /// Wire/message accounting for paths that do not move real point-to-point
+  /// messages (nonblocking collectives, eager boards) but must charge what
+  /// the equivalent algorithm would send.
+  void charge(int rank, std::uint64_t bytes, std::uint64_t msgs);
 
   /// Rank `rank` joins nonblocking collective (tag, seq); returns the
   /// shared op. The last arrival schedules the completion task.
@@ -111,9 +140,13 @@ class SimMpi {
   int barrier_count_ = 0;
   std::uint64_t barrier_generation_ = 0;
 
+  std::atomic<bool> revoked_{false};
+
   mutable std::mutex stats_mu_;
   std::vector<std::uint64_t> bytes_sent_;
   std::vector<std::uint64_t> msgs_sent_;
+
+  std::unique_ptr<FaultInjector> injector_;
 };
 
 /// Per-rank handle (only valid inside SimMpi::run).
@@ -125,6 +158,11 @@ class Communicator {
   /// Point-to-point. Data is copied (value semantics, like MPI buffers).
   void send(int dst, std::span<const float> data, int tag = 0);
   void recv(int src, std::span<float> out, int tag = 0);
+
+  /// Wildcard receive (MPI_ANY_SOURCE): blocks for the first message on
+  /// `tag` from any source; returns (source rank, payload). The
+  /// parameter-server optimizer's service loop is built on this.
+  std::pair<int, std::vector<float>> recv_any(int tag = 0);
 
   void barrier();
 
@@ -171,6 +209,7 @@ class Communicator {
 
  private:
   friend class SimMpi;
+  friend class EagerAllreduce;
   Communicator(SimMpi* world, int rank) : world_(world), rank_(rank) {}
 
   SimMpi* world_;

@@ -1,0 +1,65 @@
+#include "train/checkpoint.hpp"
+
+#include "core/error.hpp"
+#include "core/serialize.hpp"
+
+namespace d500 {
+
+namespace {
+constexpr std::uint32_t kCkptMagic = 0xD500C4B7;
+constexpr std::uint32_t kCkptVersion = 1;
+}  // namespace
+
+std::vector<std::uint8_t> snapshot_parameters(const Network& net,
+                                              std::int64_t step) {
+  BinaryWriter w;
+  w.u32(kCkptMagic);
+  w.u32(kCkptVersion);
+  w.i64(step);
+  w.u64(net.parameters().size());
+  for (const auto& pname : net.parameters()) {
+    const Tensor& p = net.fetch_tensor(pname);
+    w.str(pname);
+    w.u64(static_cast<std::uint64_t>(p.elements()));
+    w.raw(p.data(), p.bytes());
+  }
+  return w.take();
+}
+
+std::int64_t restore_parameters(Network& net,
+                                std::span<const std::uint8_t> blob) {
+  BinaryReader r(blob);
+  if (r.u32() != kCkptMagic) throw FormatError("checkpoint: bad magic");
+  if (r.u32() != kCkptVersion)
+    throw FormatError("checkpoint: unsupported version");
+  const std::int64_t step = r.i64();
+  const std::uint64_t count = r.u64();
+  D500_CHECK_MSG(count == net.parameters().size(),
+                 "checkpoint: parameter count mismatch (snapshot has "
+                     << count << ", network has " << net.parameters().size()
+                     << ")");
+  for (const auto& pname : net.parameters()) {
+    const std::string name = r.str();
+    D500_CHECK_MSG(name == pname, "checkpoint: parameter order mismatch (got "
+                                      << name << ", want " << pname << ")");
+    Tensor& p = net.fetch_tensor(pname);
+    const std::uint64_t elems = r.u64();
+    D500_CHECK_MSG(elems == static_cast<std::uint64_t>(p.elements()),
+                   "checkpoint: shape mismatch for " << pname);
+    r.raw(p.data(), p.bytes());
+  }
+  return step;
+}
+
+void save_checkpoint(const Network& net, std::int64_t step,
+                     const std::string& path) {
+  const auto blob = snapshot_parameters(net, step);
+  write_file(path, blob);
+}
+
+std::int64_t load_checkpoint(Network& net, const std::string& path) {
+  const auto blob = read_file(path);
+  return restore_parameters(net, blob);
+}
+
+}  // namespace d500

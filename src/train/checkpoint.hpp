@@ -1,0 +1,32 @@
+// Parameter checkpoints: a snapshot of every parameter tensor plus the
+// step counter, in the repo's length-prefixed binary format. The fault
+// subsystem's restart path is built on these — a rank hit by a scheduled
+// RankFailure restores its last snapshot and replays from there, and the
+// restore is bitwise (raw float bytes), so a restarted synchronous run
+// reproduces the uninterrupted run exactly (test_faults pins this).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/network.hpp"
+
+namespace d500 {
+
+/// Serializes `net`'s parameters and `step` into a standalone blob.
+std::vector<std::uint8_t> snapshot_parameters(const Network& net,
+                                              std::int64_t step);
+
+/// Restores a snapshot_parameters blob into `net` (names and shapes must
+/// match the snapshot exactly); returns the saved step.
+std::int64_t restore_parameters(Network& net,
+                                std::span<const std::uint8_t> blob);
+
+/// File convenience wrappers around the blob form.
+void save_checkpoint(const Network& net, std::int64_t step,
+                     const std::string& path);
+std::int64_t load_checkpoint(Network& net, const std::string& path);
+
+}  // namespace d500

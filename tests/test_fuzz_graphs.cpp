@@ -238,13 +238,16 @@ struct TrainRun {
 /// behaviour matches single-process SGD while every collective still
 /// runs); returns rank 0's parameter checksum and per-step losses.
 /// `passes` selects the plan engine's compiler pipeline (D500_PASSES
-/// syntax); the other engines ignore it.
+/// syntax); the other engines ignore it. `fault` (optional) installs a
+/// fault schedule on the world before training.
 TrainRun differential_train(Engine engine, int threads, bool overlap,
                             std::uint64_t seed,
-                            const std::string& passes = "all") {
+                            const std::string& passes = "all",
+                            const FaultPlan* fault = nullptr) {
   ThreadPool::instance().reset(threads);
   const Model m = random_model(seed);
   SimMpi mpi(2);
+  if (fault) mpi.set_fault_plan(*fault);
   TrainRun run;
   std::mutex mu;
   mpi.run([&](Communicator& comm) {
@@ -419,6 +422,97 @@ TEST_P(FuzzEpilogueModeDifferential, FusedTrainsBitIdenticalToPostOracle) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEpilogueModeDifferential,
+                         ::testing::Range<std::uint64_t>(1, 5),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// ---- fault-schedule axis ----------------------------------------------------
+
+/// Eager-DSGD training of the seed's random model under a lateness
+/// schedule: 2 ranks over the stale-substituting board (dist/eager.hpp),
+/// same feeds/steps as differential_train.
+TrainRun eager_fuzz_train(std::uint64_t seed, const FaultPlan& plan,
+                          std::int64_t bound) {
+  ThreadPool::instance().reset(1);
+  const Model m = random_model(seed);
+  SimMpi mpi(2);
+  mpi.set_fault_plan(plan);
+  EagerAllreduce board(2, bound);
+  TrainRun run;
+  std::mutex mu;
+  mpi.run([&](Communicator& comm) {
+    ReferenceExecutor exec(build_network(m));
+    auto base = std::make_unique<GradientDescentOptimizer>(exec, 0.05);
+    EagerDecentralized opt(std::move(base), comm, board);
+    opt.set_loss_value("loss");
+    std::vector<float> losses;
+    for (int s = 0; s < 3; ++s) {
+      const TensorMap feeds = random_feeds(m, seed + 1000 * (s + 1));
+      losses.push_back(opt.train(feeds).at("loss").at(0));
+    }
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lock(mu);
+      const Network& net = exec.network();
+      std::uint64_t h = 1469598103934665603ull;
+      for (const auto& pname : net.parameters()) {
+        const Tensor& p = net.fetch_tensor(pname);
+        h = fnv1a(h, p.data(), p.bytes());
+      }
+      run.param_checksum = h;
+      run.losses = std::move(losses);
+    }
+  });
+  return run;
+}
+
+/// The fault extension of the differential property: random graphs ×
+/// random fault schedules. The synchronous path must be bit-identical to
+/// the injector-off run under any timing-only schedule (drops+retries and
+/// straggler delays never change data); the eager path must stay finite
+/// and reproduce its checksum exactly per (model seed, fault seed).
+class FuzzFaultAxis : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzFaultAxis, SyncUnchangedEagerReproduciblePerSchedule) {
+  const std::uint64_t seed = GetParam();
+  const int pool_before = ThreadPool::instance().num_threads();
+
+  const TrainRun clean =
+      differential_train(Engine::kReference, 1, false, seed);
+  for (const std::uint64_t fault_seed : {3ull, 11ull}) {
+    FaultPlan timing;
+    timing.enabled = true;
+    timing.seed = fault_seed;
+    timing.drop_prob = 0.2;
+    timing.max_retries = 8;
+    timing.retry_timeout_us = 3;
+    timing.slow_rank = 1;
+    timing.slow_us = 20;
+    const TrainRun faulted = differential_train(Engine::kReference, 1, false,
+                                                seed, "all", &timing);
+    EXPECT_EQ(faulted.param_checksum, clean.param_checksum)
+        << "seed=" << seed << " fault_seed=" << fault_seed;
+    EXPECT_EQ(faulted.losses, clean.losses)
+        << "seed=" << seed << " fault_seed=" << fault_seed;
+
+    FaultPlan late;
+    late.enabled = true;
+    late.seed = fault_seed;
+    late.late_prob = 0.5;
+    const TrainRun eager = eager_fuzz_train(seed, late, /*bound=*/1);
+    for (float l : eager.losses)
+      EXPECT_TRUE(std::isfinite(l))
+          << "seed=" << seed << " fault_seed=" << fault_seed;
+    const TrainRun again = eager_fuzz_train(seed, late, /*bound=*/1);
+    EXPECT_EQ(again.param_checksum, eager.param_checksum)
+        << "seed=" << seed << " fault_seed=" << fault_seed;
+    EXPECT_EQ(again.losses, eager.losses)
+        << "seed=" << seed << " fault_seed=" << fault_seed;
+  }
+  ThreadPool::instance().reset(pool_before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzFaultAxis,
                          ::testing::Range<std::uint64_t>(1, 5),
                          [](const auto& info) {
                            return "seed" + std::to_string(info.param);

@@ -392,5 +392,158 @@ TEST(SimMpi, ResetCounters) {
   EXPECT_EQ(world.total_bytes_sent(), 0u);
 }
 
+// ---- fault injection: adversarial retry / timeout / abort cases -------------
+//
+// The injector's drop schedule is a pure function of (seed, src, send
+// index, attempt), so a mirror injector built from the same plan replays
+// the exact retransmission history SimMpi will see — letting these tests
+// assert wire bytes, message counts, and injected delay to the byte.
+
+struct DropProbe {
+  std::vector<int> drops;        // per delivered send, in send order
+  bool undeliverable = false;    // probe stopped at an exhausted message
+};
+
+/// Replays rank 0's send schedule until `limit` sends or the first
+/// undeliverable message (whose index is drops.size()).
+DropProbe probe_drops(const FaultPlan& plan, int limit) {
+  FaultInjector probe(plan, 2);
+  DropProbe out;
+  for (int i = 0; i < limit; ++i) {
+    try {
+      out.drops.push_back(probe.on_send(0, 1, 0, 16));
+    } catch (const Error&) {
+      out.undeliverable = true;
+      break;
+    }
+  }
+  return out;
+}
+
+TEST(SimMpiFaults, RetryDeliveredExactlyAtDeadline) {
+  // A message whose drop count equals max_retries is delivered on the very
+  // last permitted attempt — data intact, every attempt on the wire, and
+  // the full retry timeout charged as virtual delay.
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.drop_prob = 0.5;
+  plan.max_retries = 2;
+  plan.retry_timeout_us = 7;
+  int deadline = -1;
+  for (std::uint64_t seed = 1; seed <= 40 && deadline < 0; ++seed) {
+    plan.seed = seed;
+    const DropProbe probe = probe_drops(plan, 64);
+    for (std::size_t i = 0; i < probe.drops.size(); ++i)
+      if (probe.drops[i] == plan.max_retries) {
+        deadline = static_cast<int>(i);
+        break;
+      }
+  }
+  ASSERT_GE(deadline, 0) << "no seed produced a deadline delivery";
+  const DropProbe probe = probe_drops(plan, deadline + 1);
+  const int sends = deadline + 1;
+
+  SimMpi world(2);
+  world.set_fault_plan(plan);
+  world.run([&](Communicator& c) {
+    for (int i = 0; i < sends; ++i) {
+      std::vector<float> msg{static_cast<float>(i), static_cast<float>(2 * i),
+                             -1.0f, 0.5f};
+      if (c.rank() == 0) {
+        c.send(1, msg);
+      } else {
+        std::vector<float> got(4);
+        c.recv(0, got);
+        EXPECT_EQ(got, msg) << "send " << i;
+      }
+    }
+  });
+
+  std::uint64_t attempts = 0, dropped = 0;
+  for (int d : probe.drops) {
+    attempts += static_cast<std::uint64_t>(d) + 1;
+    dropped += static_cast<std::uint64_t>(d);
+  }
+  EXPECT_EQ(world.bytes_sent(0), attempts * 16u);
+  EXPECT_EQ(world.messages_sent(0), attempts);
+  EXPECT_EQ(world.fault_injector().drops(), dropped);
+  EXPECT_EQ(world.fault_injector().delay_us_injected(),
+            dropped * static_cast<std::uint64_t>(plan.retry_timeout_us));
+}
+
+TEST(SimMpiFaults, UndeliverableMessageThrowsWithExactAccounting) {
+  // Dropped on the initial attempt and every retry: the send throws Error
+  // after charging all max_retries + 1 attempts — they all went on the
+  // wire; only the delivery never happened.
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.drop_prob = 0.8;
+  plan.max_retries = 1;
+  plan.seed = 2;
+  DropProbe probe = probe_drops(plan, 256);
+  for (std::uint64_t seed = 2; !probe.undeliverable && seed <= 40; ++seed) {
+    plan.seed = seed;
+    probe = probe_drops(plan, 256);
+  }
+  ASSERT_TRUE(probe.undeliverable) << "no seed produced an undeliverable send";
+  const int delivered = static_cast<int>(probe.drops.size());
+
+  SimMpi world(2);
+  world.set_fault_plan(plan);
+  EXPECT_THROW(world.run([&](Communicator& c) {
+                 if (c.rank() == 0) {
+                   std::vector<float> msg(4, 1.0f);
+                   for (int i = 0; i <= delivered; ++i) c.send(1, msg);
+                 } else {
+                   std::vector<float> got(4);
+                   for (int i = 0; i < delivered; ++i) c.recv(0, got);
+                 }
+               }),
+               Error);
+
+  std::uint64_t attempts = 0;
+  for (int d : probe.drops) attempts += static_cast<std::uint64_t>(d) + 1;
+  // The exhausted message itself: initial attempt + max_retries retries.
+  attempts += static_cast<std::uint64_t>(plan.max_retries) + 1;
+  EXPECT_EQ(world.bytes_sent(0), attempts * 16u);
+  EXPECT_EQ(world.messages_sent(0), attempts);
+}
+
+TEST(SimMpiFaults, ScheduledAbortMidCollectiveRevokesPeersAndRecovers) {
+  // Rank 1 dies at its second send — inside the allgather phase of a ring
+  // allreduce. The peer must not deadlock: revocation wakes it with
+  // RankFailure. After clear_mailboxes, the retried collective runs clean
+  // (the per-rank send counter moved past the scheduled abort) and every
+  // partial message of the aborted attempt was charged exactly once.
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.abort_sends.emplace_back(1, 1);
+  SimMpi world(2);
+  world.set_fault_plan(plan);
+
+  auto attempt = [&world] {
+    world.run([](Communicator& c) {
+      std::vector<float> v = c.rank() == 0
+                                 ? std::vector<float>{1, 2, 3, 4}
+                                 : std::vector<float>{10, 20, 30, 40};
+      c.allreduce_sum_ring(v);
+      EXPECT_EQ(v, (std::vector<float>{11, 22, 33, 44})) << "rank " << c.rank();
+    });
+  };
+  EXPECT_THROW(attempt(), RankFailure);
+  // World 2, 4 floats: 2 chunks of 8 bytes. Rank 1 delivered its
+  // reduce-scatter chunk then aborted; rank 0 finished reduce-scatter and
+  // posted its allgather chunk before blocking on rank 1's.
+  EXPECT_EQ(world.bytes_sent(1), 8u);
+  EXPECT_EQ(world.bytes_sent(0), 16u);
+
+  world.clear_mailboxes();
+  attempt();  // the scheduled abort fired once; the retry must complete
+  EXPECT_EQ(world.bytes_sent(1), 8u + 16u);
+  EXPECT_EQ(world.bytes_sent(0), 16u + 16u);
+  EXPECT_EQ(world.messages_sent(0), 4u);
+  EXPECT_EQ(world.messages_sent(1), 3u);
+}
+
 }  // namespace
 }  // namespace d500
